@@ -1,0 +1,61 @@
+//! Figure 11: multi-threaded speedup of reading + deserializing the
+//! synthetic 15 GB dataset, by sample size — the small-sample scaling
+//! collapse, traced to serialized per-sample dispatch.
+
+use presto::report::TableBuilder;
+use presto_bench::{banner, bench_env};
+use presto_datasets::synthetic::{records, sample_sizes_mb, SynthDType};
+use presto_pipeline::sim::SimEnv;
+use presto_pipeline::Strategy;
+
+fn speedups(size_mb: f64, env: SimEnv) -> (f64, f64, Vec<f64>) {
+    let workload = records(size_mb, SynthDType::F32);
+    let sim = workload.simulator(env);
+    let mut sps = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let profile = sim.profile(&Strategy::at_split(1).with_threads(threads), 1);
+        sps.push(profile.throughput_sps());
+    }
+    let dispatch_rate = {
+        let profile = sim.profile(&Strategy::at_split(1).with_threads(8), 1);
+        profile.epochs[0].stats.dispatches_per_second()
+    };
+    (sps[0], dispatch_rate, sps.iter().map(|s| s / sps[0]).collect())
+}
+
+fn main() {
+    banner("Figure 11", "Multi-threaded speedup vs sample size (15 GB f32)");
+    let mut table = TableBuilder::new(&[
+        "sample MB",
+        "1t",
+        "2t",
+        "4t",
+        "8t",
+        "dispatch/s @8t",
+    ]);
+    for &size_mb in &sample_sizes_mb() {
+        let (_, dispatches, speedup) = speedups(size_mb, bench_env());
+        table.row(&[
+            format!("{size_mb:.2}"),
+            format!("{:.1}x", speedup[0]),
+            format!("{:.1}x", speedup[1]),
+            format!("{:.1}x", speedup[2]),
+            format!("{:.1}x", speedup[3]),
+            format!("{dispatches:.0}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: ~1x speedup at 0.01 MB (100k context switches/s), good");
+    println!("scaling at 20.5 MB. The dispatch column is the context-switch proxy.");
+
+    // Ablation: halve the serialized dispatch cost — the collapse point
+    // moves to smaller samples, confirming the mechanism.
+    let mut cheap = bench_env();
+    cheap.dispatch_ns /= 4.0;
+    let (_, _, base) = speedups(0.04, bench_env());
+    let (_, _, fast_dispatch) = speedups(0.04, cheap);
+    println!(
+        "ablation (dispatch cost /4) at 0.04 MB: 8-thread speedup {:.1}x -> {:.1}x",
+        base[3], fast_dispatch[3]
+    );
+}

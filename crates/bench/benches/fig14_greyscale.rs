@@ -1,0 +1,63 @@
+//! Figure 14 / Section 4.6: inserting an `applied-greyscale` step into
+//! the already-profiled CV pipeline, before vs after pixel centering.
+
+use presto::report::{shape_check, Comparison, TableBuilder};
+use presto_bench::{banner, bench_env, summarize_shape};
+use presto_datasets::{anchors, cv};
+
+fn main() {
+    banner("Figure 14", "Adding a greyscale step before/after pixel centering");
+    for (setup, before) in [("greyscale BEFORE pixel-centering", true), ("greyscale AFTER", false)]
+    {
+        let workload = cv::cv_with_greyscale(before);
+        let sim = workload.simulator(bench_env());
+        let profiles = sim.profile_all(1);
+        let mut table =
+            TableBuilder::new(&["strategy", "storage GB", "SPS", "paper SPS"]);
+        let anchor_name = if before { "CV+grey-before" } else { "CV+grey-after" };
+        let mut comparisons = Vec::new();
+        for profile in &profiles {
+            let paper = anchors::find(
+                anchors::FIG14,
+                anchor_name,
+                &profile.label,
+                anchors::Metric::ThroughputSps,
+            );
+            table.row(&[
+                profile.label.clone(),
+                format!("{:.0}", profile.storage_bytes as f64 / 1e9),
+                format!("{:.0}", profile.throughput_sps()),
+                paper.map_or("-".into(), |v| format!("{v:.0}")),
+            ]);
+            if let Some(paper) = paper {
+                comparisons.push(Comparison::new(
+                    &format!("{anchor_name} {}", profile.label),
+                    paper,
+                    profile.throughput_sps(),
+                ));
+            }
+        }
+        println!("-- {setup}");
+        println!("{}", table.render());
+        summarize_shape(&shape_check(&comparisons));
+    }
+    // The headline comparison: max throughput with greyscale-before vs
+    // the plain pipeline's best.
+    let plain_best = cv::cv()
+        .simulator(bench_env())
+        .profile_all(1)
+        .iter()
+        .map(|p| p.throughput_sps())
+        .fold(0.0, f64::max);
+    let grey_best = cv::cv_with_greyscale(true)
+        .simulator(bench_env())
+        .profile_all(1)
+        .iter()
+        .map(|p| p.throughput_sps())
+        .fold(0.0, f64::max);
+    println!(
+        "max pipeline throughput: plain {plain_best:.0} SPS -> with greyscale {grey_best:.0} SPS \
+         ({:.1}x; paper: 2.8x)",
+        grey_best / plain_best
+    );
+}

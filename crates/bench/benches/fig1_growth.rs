@@ -1,0 +1,28 @@
+//! Figure 1: storage consumption of real-world CV and NLP datasets
+//! over time (log scale) — the motivation figure.
+
+use presto::report::TableBuilder;
+use presto_bench::banner;
+use presto_datasets::growth::{log_growth_per_year, Domain, GROWTH};
+
+fn main() {
+    banner("Figure 1", "Dataset storage consumption over time");
+    let mut table = TableBuilder::new(&["year", "dataset", "domain", "size GB", "log10"]);
+    let mut points: Vec<_> = GROWTH.to_vec();
+    points.sort_by_key(|p| p.year);
+    for p in &points {
+        table.row(&[
+            p.year.to_string(),
+            p.name.to_string(),
+            format!("{:?}", p.domain),
+            format!("{:.2}", p.size_gb),
+            format!("{:.2}", p.size_gb.log10()),
+        ]);
+    }
+    println!("{}", table.render());
+    let cv = log_growth_per_year(Domain::Cv);
+    let nlp = log_growth_per_year(Domain::Nlp);
+    println!("log10(GB)/year growth: CV {cv:.3} (~{:.1}x/decade), NLP {nlp:.3} (~{:.1}x/decade)",
+        10f64.powf(cv * 10.0), 10f64.powf(nlp * 10.0));
+    println!("paper's claim: exponential storage growth in both domains.");
+}

@@ -1,0 +1,75 @@
+//! Figure 6 (a–g): throughput and storage consumption for every
+//! strategy of all seven pipelines — the paper's central figure.
+
+use presto::report::{format_bytes, TableBuilder};
+use presto_bench::{banner, bench_env};
+use presto_datasets::{all_workloads, anchors};
+
+fn main() {
+    banner("Figure 6", "Throughput and storage per strategy, all pipelines");
+    for workload in all_workloads() {
+        let name = workload.pipeline.name.clone();
+        let sim = workload.simulator(bench_env());
+        let profiles = sim.profile_all(1);
+        let mut table = TableBuilder::new(&[
+            "strategy",
+            "SPS",
+            "paper SPS",
+            "net MB/s",
+            "paper MB/s",
+            "storage",
+            "prep time",
+        ]);
+        for profile in &profiles {
+            let paper_sps = anchors::find(
+                anchors::TABLE4_HDD,
+                &name,
+                &profile.label,
+                anchors::Metric::ThroughputSps,
+            )
+            .or_else(|| {
+                anchors::find(
+                    anchors::SECTION41,
+                    &name,
+                    &profile.label,
+                    anchors::Metric::ThroughputSps,
+                )
+            })
+            .or_else(|| {
+                anchors::find(anchors::TABLE1, &name, &profile.label, anchors::Metric::ThroughputSps)
+            });
+            let paper_net = anchors::find(
+                anchors::SECTION41,
+                &name,
+                &profile.label,
+                anchors::Metric::NetworkMbps,
+            )
+            .or_else(|| {
+                anchors::find(
+                    anchors::TABLE4_HDD,
+                    &name,
+                    &profile.label,
+                    anchors::Metric::NetworkMbps,
+                )
+            });
+            table.row(&[
+                profile.label.clone(),
+                format!("{:.0}", profile.throughput_sps()),
+                paper_sps.map_or("-".into(), |v| format!("{v:.0}")),
+                format!("{:.0}", profile.epochs[0].network_read_mbps),
+                paper_net.map_or("-".into(), |v| format!("{v:.0}")),
+                format_bytes(profile.storage_bytes),
+                format!("{:.0}s", profile.preprocessing_secs()),
+            ]);
+        }
+        println!("-- {name}");
+        println!("{}", table.render());
+        let best = profiles
+            .iter()
+            .max_by(|a, b| a.throughput_sps().partial_cmp(&b.throughput_sps()).unwrap())
+            .unwrap();
+        println!("best strategy: {} at {:.0} SPS\n", best.label, best.throughput_sps());
+    }
+    println!("paper's qualitative claims: CV-family + NLP best at an intermediate");
+    println!("strategy; NILM/MP3/FLAC best fully preprocessed.");
+}

@@ -1,0 +1,55 @@
+//! Section 4.5: shuffling — per-sample cost of the buffered
+//! with-replacement shuffle is constant in sample count, so shuffle
+//! placement should follow the smallest-sample step (max buffer
+//! entropy), not the strategy choice. Measured on the real engine.
+
+use presto::report::TableBuilder;
+use presto_bench::banner;
+use presto_pipeline::shuffle::{buffer_capacity_for, ShuffleBuffer};
+use std::time::Instant;
+
+fn per_sample_nanos(count: usize, capacity: usize) -> f64 {
+    // Measure the shuffle overhead itself: iterate u64 keys through the
+    // buffer vs a plain iterator.
+    let start = Instant::now();
+    let shuffled: u64 = ShuffleBuffer::new(0..count as u64, capacity, 42).sum();
+    let with = start.elapsed();
+    let start = Instant::now();
+    let plain: u64 = (0..count as u64).sum();
+    let without = start.elapsed();
+    assert_eq!(shuffled, plain);
+    (with.as_nanos() as f64 - without.as_nanos() as f64).max(0.0) / count as f64
+}
+
+fn main() {
+    banner("Section 4.5", "Shuffle-buffer cost is constant per sample");
+    let mut table =
+        TableBuilder::new(&["samples", "buffer", "ns/sample (shuffle overhead)"]);
+    for &count in &[10_000usize, 50_000, 250_000, 1_000_000] {
+        let capacity = 4_096;
+        // Warm up + take the median of 3 runs for stability.
+        let mut runs: Vec<f64> = (0..3).map(|_| per_sample_nanos(count, capacity)).collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        table.row(&[count.to_string(), capacity.to_string(), format!("{:.0}", runs[1])]);
+    }
+    println!("{}", table.render());
+    println!("paper: constant ~9.6 ms/sample at tf.data scale; the invariant");
+    println!("checked here is flatness across sample counts (linear total cost).");
+
+    // The placement recommendation: buffer capacity per step size.
+    let mut table = TableBuilder::new(&["cache point", "sample MB", "samples in 1 GB buffer"]);
+    for (label, mb) in [
+        ("CV resized", 0.267),
+        ("CV pixel-centered", 1.068),
+        ("NLP bpe-encoded", 0.0036),
+        ("NLP embedded", 2.71),
+    ] {
+        table.row(&[
+            label.to_string(),
+            format!("{mb}"),
+            buffer_capacity_for(1_000_000_000, (mb * 1e6) as u64).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("recommendation: shuffle after the smallest-sample step (max entropy).");
+}

@@ -1,0 +1,50 @@
+//! Section 2's open question: is profiling a small sample of the
+//! dataset sufficient to estimate throughput, storage and prep time?
+//! Sweep subset sizes and report metric drift + recommendation
+//! stability per pipeline.
+
+use presto::fidelity::{sufficient_sample_count, sweep};
+use presto::report::TableBuilder;
+use presto::{Presto, Weights};
+use presto_bench::banner;
+use presto_datasets::all_workloads;
+use presto_pipeline::sim::SimEnv;
+
+fn main() {
+    banner("Section 2", "Subset-profiling fidelity");
+    let sizes = [250u64, 1_000, 4_000, 16_000];
+    let mut table = TableBuilder::new(&[
+        "pipeline",
+        "250",
+        "1k",
+        "4k",
+        "16k (ref)",
+        "sufficient @10%",
+    ]);
+    for workload in all_workloads() {
+        let presto = Presto::new(
+            workload.pipeline.clone(),
+            workload.dataset.clone(),
+            SimEnv::paper_vm(),
+        );
+        let points = sweep(&presto, &sizes, Weights::MAX_THROUGHPUT);
+        let mut cells = vec![workload.pipeline.name.clone()];
+        for p in &points {
+            cells.push(format!(
+                "{}{:.0}%",
+                if p.recommendation_stable { "" } else { "!" },
+                p.max_throughput_drift * 100.0
+            ));
+        }
+        cells.push(
+            sufficient_sample_count(&points, 0.10)
+                .map_or("-".into(), |n| n.to_string()),
+        );
+        table.row(&cells);
+    }
+    println!("{}", table.render());
+    println!("cells: max throughput drift vs the 16k reference; '!' marks a");
+    println!("changed recommendation. The paper's caveat — 'some bottlenecks only");
+    println!("show after local caches are full' — argues for full-dataset profiling");
+    println!("when caching is part of the strategy; steady-state rates converge fast.");
+}

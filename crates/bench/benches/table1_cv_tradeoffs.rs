@@ -1,0 +1,61 @@
+//! Table 1: trade-offs for the CV pipeline at the three motivating
+//! preprocessing strategies — throughput and storage consumption for
+//! "all steps at every iteration" (unprocessed), "all steps once"
+//! (pixel-centered) and "until resize step once" (resized).
+
+use presto::report::{comparison_table, shape_check, Comparison, TableBuilder};
+use presto_bench::{banner, bench_env, profile_label, summarize_shape};
+use presto_datasets::cv;
+
+fn main() {
+    banner("Table 1", "CV preprocessing-strategy trade-offs");
+    let workload = cv::cv();
+    let rows: &[(&str, &str, f64, f64)] = &[
+        ("all steps at every iteration", "unprocessed", 107.0, 146.0),
+        ("all steps once", "pixel-centered", 576.0, 1_535.0),
+        ("until resize step once", "resized", 1_789.0, 494.0),
+    ];
+
+    let mut table = TableBuilder::new(&[
+        "preprocessing strategy",
+        "paper SPS",
+        "measured SPS",
+        "paper GB",
+        "measured GB",
+    ]);
+    let mut sps_comparisons = Vec::new();
+    for (strategy_name, label, paper_sps, paper_gb) in rows {
+        let profile = profile_label(&workload, label, bench_env(), 1);
+        let measured_sps = profile.throughput_sps();
+        let measured_gb = profile.storage_bytes as f64 / 1e9;
+        table.row(&[
+            strategy_name.to_string(),
+            format!("{paper_sps:.0}"),
+            format!("{measured_sps:.0}"),
+            format!("{paper_gb:.0}"),
+            format!("{measured_gb:.0}"),
+        ]);
+        sps_comparisons.push(Comparison::new(
+            &format!("CV {label} SPS"),
+            *paper_sps,
+            measured_sps,
+        ));
+    }
+    println!("{}", table.render());
+    println!("{}", comparison_table("throughput detail", &sps_comparisons));
+
+    let resized = &sps_comparisons[2];
+    let centered = &sps_comparisons[1];
+    let unprocessed = &sps_comparisons[0];
+    println!(
+        "paper: resized is {:.1}x pixel-centered and {:.1}x unprocessed",
+        1_789.0 / 576.0,
+        1_789.0 / 107.0
+    );
+    println!(
+        "ours : resized is {:.1}x pixel-centered and {:.1}x unprocessed",
+        resized.measured / centered.measured,
+        resized.measured / unprocessed.measured
+    );
+    summarize_shape(&shape_check(&sps_comparisons));
+}

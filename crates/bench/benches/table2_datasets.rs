@@ -1,0 +1,45 @@
+//! Table 2: metadata of all profiled datasets — sample count, total
+//! size, average sample size, source format.
+
+use presto::report::TableBuilder;
+use presto_bench::banner;
+use presto_datasets::all_workloads;
+
+fn main() {
+    banner("Table 2", "Metadata of all profiled datasets");
+    let formats = ["JPG", "JPG", "PNG", "TXT", "HDF5", "MP3", "FLAC"];
+    let paper: &[(u64, f64, f64)] = &[
+        (1_300_000, 146.90, 0.1147),
+        (4_890, 2.54, 0.5203),
+        (4_890, 85.17, 17.4176),
+        (181_000, 7.71, 0.0427),
+        (268_000, 39.56, 0.1477),
+        (13_000, 0.25, 0.0197),
+        (29_000, 6.61, 0.2319),
+    ];
+    let mut table = TableBuilder::new(&[
+        "pipeline",
+        "samples",
+        "paper GB",
+        "ours GB",
+        "paper MB/sample",
+        "ours MB/sample",
+        "format",
+    ]);
+    for ((workload, (count, gb, mb)), format) in
+        all_workloads().iter().zip(paper).zip(formats)
+    {
+        assert_eq!(workload.dataset.sample_count, *count);
+        table.row(&[
+            workload.pipeline.name.clone(),
+            format!("{count}"),
+            format!("{gb:.2}"),
+            format!("{:.2}", workload.dataset.total_bytes() / 1e9),
+            format!("{mb:.4}"),
+            format!("{:.4}", workload.dataset.unprocessed_sample_bytes / 1e6),
+            format.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(formats are the stand-in codecs documented in DESIGN.md)");
+}

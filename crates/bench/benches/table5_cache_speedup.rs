@@ -1,0 +1,55 @@
+//! Table 5: throughput increase of system- vs application-level
+//! caching, for each pipeline's last strategy, against no caching.
+
+use presto::report::{shape_check, Comparison, TableBuilder};
+use presto_bench::{banner, bench_env, summarize_shape};
+use presto_datasets::{all_workloads, anchors};
+use presto_pipeline::{CacheLevel, Strategy};
+
+fn main() {
+    banner("Table 5", "Caching-level speedups of each pipeline's last strategy");
+    let mut table = TableBuilder::new(&[
+        "pipeline",
+        "sample MB",
+        "paper sys",
+        "ours sys",
+        "paper app",
+        "ours app",
+    ]);
+    let mut sys_rows = Vec::new();
+    for workload in all_workloads() {
+        let name = workload.pipeline.name.clone();
+        let last = workload.pipeline.max_split();
+        let label = workload.pipeline.split_name(last).to_string();
+        let sim = workload.simulator(bench_env());
+        let base = sim.profile(&Strategy::at_split(last), 1);
+        let sys = sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::System), 2);
+        let app =
+            sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::Application), 2);
+        let sys_speedup = sys.epochs.get(1).map_or(0.0, |e| e.throughput_sps)
+            / base.throughput_sps();
+        let app_speedup = match &app.error {
+            Some(_) => f64::NAN, // failed to run (paper: CV, NLP)
+            None => app.epochs[1].throughput_sps / base.throughput_sps(),
+        };
+        let paper_sys =
+            anchors::find(anchors::TABLE5, &name, &label, anchors::Metric::SysCacheSpeedup);
+        let paper_app =
+            anchors::find(anchors::TABLE5, &name, &label, anchors::Metric::AppCacheSpeedup);
+        table.row(&[
+            name.clone(),
+            format!("{:.3}", base.stored_sample_bytes / 1e6),
+            paper_sys.map_or("-".into(), |v| format!("{v:.1}x")),
+            format!("{sys_speedup:.1}x"),
+            paper_app.map_or("failed".into(), |v| format!("{v:.1}x")),
+            if app_speedup.is_nan() { "failed".into() } else { format!("{app_speedup:.1}x") },
+        ]);
+        if let Some(paper) = paper_sys {
+            sys_rows.push(Comparison::new(&format!("{name} sys speedup"), paper, sys_speedup));
+        }
+    }
+    println!("{}", table.render());
+    println!("paper's observation 4: speedups decline with smaller sample sizes;");
+    println!("CV and NLP last strategies fail app-level caching (dataset > RAM).");
+    summarize_shape(&shape_check(&sys_rows));
+}

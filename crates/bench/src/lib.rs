@@ -1,0 +1,69 @@
+//! Shared helpers for the experiment bench targets.
+//!
+//! Every bench target regenerates one table or figure of the paper and
+//! prints *paper vs measured* rows. Absolute numbers come from a
+//! simulator, so the reproduction criterion is shape: orderings,
+//! crossovers, and rough factors (see EXPERIMENTS.md).
+
+use presto_pipeline::sim::{SimEnv, StrategyProfile};
+use presto_pipeline::Strategy;
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// The environment used by benches: the paper's HDD VM with a subset
+/// size tuned for bench runtime (override with `PRESTO_BENCH_SAMPLES`).
+pub fn bench_env() -> SimEnv {
+    let subset = std::env::var("PRESTO_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    SimEnv { subset_samples: subset, ..SimEnv::paper_vm() }
+}
+
+/// Same against the SSD cluster.
+pub fn bench_env_ssd() -> SimEnv {
+    SimEnv { device: presto_storage::DeviceProfile::ssd_ceph(), ..bench_env() }
+}
+
+/// Split index for a strategy label ("unprocessed" = 0, else after the
+/// named step).
+pub fn split_for(workload: &presto_datasets::Workload, label: &str) -> usize {
+    if label == "unprocessed" {
+        return 0;
+    }
+    workload
+        .pipeline
+        .step_names()
+        .iter()
+        .position(|n| *n == label)
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("{}: no step '{label}'", workload.pipeline.name))
+}
+
+/// Profile one labelled strategy with default knobs.
+pub fn profile_label(
+    workload: &presto_datasets::Workload,
+    label: &str,
+    env: SimEnv,
+    epochs: usize,
+) -> StrategyProfile {
+    let split = split_for(workload, label);
+    workload.simulator(env).profile(&Strategy::at_split(split), epochs)
+}
+
+/// Print a footer summarizing pass/fail of shape checks.
+pub fn summarize_shape(violations: &[(String, String)]) {
+    if violations.is_empty() {
+        println!("shape check: OK (all paper orderings preserved)");
+    } else {
+        println!("shape check: {} ordering violation(s):", violations.len());
+        for (a, b) in violations {
+            println!("  paper has {a} > {b}, measurement disagrees");
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Minimal `--flag value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed positional arguments and `--key value` options.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+}
+
+/// Parse an argument list. `--key value` pairs become options; `--flag`
+/// followed by another `--…` (or nothing) becomes `flag=true`.
+pub fn parse(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = &argv[i];
+        if let Some(key) = arg.strip_prefix("--") {
+            if key.is_empty() {
+                return Err("empty option name '--'".into());
+            }
+            let value = match argv.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 1;
+                    next.clone()
+                }
+                _ => "true".to_string(),
+            };
+            if args.options.insert(key.to_string(), value).is_some() {
+                return Err(format!("duplicate option --{key}"));
+            }
+        } else {
+            args.positional.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+impl Args {
+    /// An option parsed as `T`, or `default` when absent.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: '{raw}'")),
+        }
+    }
+
+    /// An option as a string, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Reject unknown options (typo protection).
+    pub fn expect_known(&self, known: &[&str]) -> Result<(), String> {
+        for key in self.options.keys() {
+            if !known.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown option --{key} (expected one of: {})",
+                    known.join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let args = parse(&argv(&["profile", "CV", "--epochs", "2", "--ssd"])).unwrap();
+        assert_eq!(args.positional, vec!["profile", "CV"]);
+        assert_eq!(args.get_or("epochs", 1usize).unwrap(), 2);
+        assert_eq!(args.get_str("ssd"), Some("true"));
+    }
+
+    #[test]
+    fn flag_before_flag_is_boolean() {
+        let args = parse(&argv(&["--a", "--b", "x"])).unwrap();
+        assert_eq!(args.get_str("a"), Some("true"));
+        assert_eq!(args.get_str("b"), Some("x"));
+    }
+
+    #[test]
+    fn duplicate_and_empty_rejected() {
+        assert!(parse(&argv(&["--x", "1", "--x", "2"])).is_err());
+        assert!(parse(&argv(&["--"])).is_err());
+    }
+
+    #[test]
+    fn bad_numeric_value_reports_key() {
+        let args = parse(&argv(&["--epochs", "lots"])).unwrap();
+        let err = args.get_or("epochs", 1usize).unwrap_err();
+        assert!(err.contains("epochs"));
+    }
+
+    #[test]
+    fn unknown_option_detection() {
+        let args = parse(&argv(&["--epohcs", "3"])).unwrap();
+        assert!(args.expect_known(&["epochs"]).is_err());
+        assert!(args.expect_known(&["epohcs"]).is_ok());
+    }
+}

@@ -1,0 +1,369 @@
+//! Command dispatch and implementations.
+
+use crate::args::{parse, Args};
+use crate::render;
+use presto::cost::{cheapest, cheapest_feeding, cost_of, Campaign, CloudPricing};
+use presto::report::{format_bytes, TableBuilder};
+use presto::{Presto, Weights};
+use presto_codecs::{Codec, Level};
+use presto_datasets::{all_workloads, cv, Workload};
+use presto_pipeline::sim::SimEnv;
+use presto_pipeline::{CacheLevel, Strategy};
+use presto_storage::fio::{self, FioWorkload};
+use presto_storage::DeviceProfile;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: presto <command> [options]
+
+commands:
+  pipelines                      list built-in workloads
+  steps <pipeline> [--split N]   show the step chain and a split
+  profile <pipeline>             profile every strategy
+      [--ssd] [--epochs N] [--samples N] [--codec gzip|zlib]
+      [--cache sys|app] [--threads N] [--csv]
+  recommend <pipeline>           rank strategies by weighted objective
+      [--wp W] [--ws W] [--wt W] [--samples N]
+  cost <pipeline>                cheapest strategy for a campaign
+      [--epochs N] [--months M] [--vm $/h] [--gb-month $] [--feed SPS]
+  diagnose <pipeline>            bottleneck attribution per strategy
+      [--samples N] [--ssd]
+  fio [--device hdd|ssd|nvme]    storage microbenchmark (Table 3)
+  help                           this text";
+
+/// Dispatch a CLI invocation.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv)?;
+    let command = args.positional.first().map(String::as_str).unwrap_or("help");
+    match command {
+        "pipelines" => cmd_pipelines(),
+        "steps" => cmd_steps(&args),
+        "profile" => cmd_profile(&args),
+        "recommend" => cmd_recommend(&args),
+        "cost" => cmd_cost(&args),
+        "diagnose" => cmd_diagnose(&args),
+        "fio" => cmd_fio(&args),
+        "help" | "--help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn find_workload(args: &Args) -> Result<Workload, String> {
+    let name = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "missing pipeline name (try `presto pipelines`)".to_string())?;
+    if name == "CV+grey" {
+        return Ok(cv::cv_with_greyscale(true));
+    }
+    all_workloads()
+        .into_iter()
+        .find(|w| w.pipeline.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown pipeline '{name}' (try `presto pipelines`)"))
+}
+
+fn env_from(args: &Args) -> Result<SimEnv, String> {
+    let mut env = if args.get_str("ssd").is_some() {
+        SimEnv::paper_vm_ssd()
+    } else {
+        SimEnv::paper_vm()
+    };
+    env.subset_samples = args.get_or("samples", env.subset_samples)?;
+    Ok(env)
+}
+
+fn cmd_pipelines() -> Result<(), String> {
+    let mut table =
+        TableBuilder::new(&["pipeline", "dataset", "samples", "size", "steps"]);
+    for workload in all_workloads() {
+        table.row(&[
+            workload.pipeline.name.clone(),
+            workload.dataset.name.clone(),
+            workload.dataset.sample_count.to_string(),
+            format_bytes(workload.dataset.total_bytes() as u64),
+            workload.pipeline.step_names().join(", "),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("also: CV+grey (the Section 4.6 greyscale case study)");
+    Ok(())
+}
+
+fn cmd_steps(args: &Args) -> Result<(), String> {
+    args.expect_known(&["split"])?;
+    let workload = find_workload(args)?;
+    println!("{}", render::pipeline_chain(&workload.pipeline));
+    println!();
+    let split: usize = args.get_or("split", workload.pipeline.max_split())?;
+    if split > workload.pipeline.max_split() {
+        return Err(format!(
+            "split {split} crosses a non-deterministic step (max {})",
+            workload.pipeline.max_split()
+        ));
+    }
+    println!("strategy '{}':", workload.pipeline.split_name(split));
+    println!("{}", render::strategy_split(&workload.pipeline, split));
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    args.expect_known(&["ssd", "epochs", "samples", "codec", "cache", "threads", "csv"])?;
+    let workload = find_workload(args)?;
+    let env = env_from(args)?;
+    let epochs: usize = args.get_or("epochs", 1)?;
+    let codec = match args.get_str("codec") {
+        None => Codec::None,
+        Some("gzip") => Codec::Gzip(Level::DEFAULT),
+        Some("zlib") => Codec::Zlib(Level::DEFAULT),
+        Some(other) => return Err(format!("unknown codec '{other}'")),
+    };
+    let cache = match args.get_str("cache") {
+        None => CacheLevel::None,
+        Some("sys") => CacheLevel::System,
+        Some("app") => CacheLevel::Application,
+        Some(other) => return Err(format!("unknown cache level '{other}'")),
+    };
+    let threads: usize = args.get_or("threads", 8)?;
+
+    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env);
+    let want_csv = args.get_str("csv").is_some();
+    let mut profiles = Vec::new();
+    let mut table = TableBuilder::new(&[
+        "strategy",
+        "SPS",
+        "net MB/s",
+        "storage",
+        "prep",
+        "T1/T2/T3 MB/s",
+    ]);
+    for base in Strategy::enumerate(&workload.pipeline) {
+        let step_codec = if base_split_allows_codec(&base) { codec } else { Codec::None };
+        let strategy =
+            base.with_threads(threads).with_compression(step_codec).with_cache(cache);
+        let profile = presto.profile_strategy(&strategy, epochs);
+        if want_csv {
+            profiles.push(profile.clone());
+        }
+        if let Some(error) = &profile.error {
+            table.row(&[profile.label, format!("{error}"), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let t = profile.throughputs();
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            format!("{:.0}", profile.epochs.last().unwrap().network_read_mbps),
+            format_bytes(profile.storage_bytes),
+            format!("{:.0}s", profile.preprocessing_secs()),
+            format!("{:.0}/{:.0}/{:.0}", t.t1_mbps, t.t2_mbps, t.t3_mbps),
+        ]);
+    }
+    if want_csv {
+        print!("{}", presto::report::profiles_to_csv(&profiles));
+    } else {
+        println!("{}", table.render());
+    }
+    Ok(())
+}
+
+fn base_split_allows_codec(strategy: &Strategy) -> bool {
+    strategy.split > 0
+}
+
+fn cmd_recommend(args: &Args) -> Result<(), String> {
+    args.expect_known(&["wp", "ws", "wt", "samples", "ssd"])?;
+    let workload = find_workload(args)?;
+    let env = env_from(args)?;
+    let weights = Weights::new(
+        args.get_or("wp", 0.0)?,
+        args.get_or("ws", 0.0)?,
+        args.get_or("wt", 1.0)?,
+    );
+    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env);
+    let analysis = presto.profile_all(1);
+    let mut table =
+        TableBuilder::new(&["rank", "strategy", "score", "SPS", "storage", "prep"]);
+    for (rank, scored) in analysis.rank(weights).iter().enumerate() {
+        table.row(&[
+            (rank + 1).to_string(),
+            scored.label.clone(),
+            format!("{:.3}", scored.score),
+            format!("{:.0}", scored.throughput_sps),
+            format_bytes(scored.storage_bytes),
+            format!("{:.0}s", scored.preprocessing_secs),
+        ]);
+    }
+    println!("weights: w_p={} w_s={} w_t={}", weights.preprocessing, weights.storage, weights.throughput);
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_cost(args: &Args) -> Result<(), String> {
+    args.expect_known(&["epochs", "months", "vm", "gb-month", "feed", "samples", "ssd"])?;
+    let workload = find_workload(args)?;
+    let env = env_from(args)?;
+    let campaign = Campaign {
+        epochs: args.get_or("epochs", 90u32)?,
+        retention_months: args.get_or("months", 1.0)?,
+    };
+    let typical = CloudPricing::typical();
+    let pricing = CloudPricing {
+        vm_per_hour: args.get_or("vm", typical.vm_per_hour)?,
+        storage_per_gb_month: args.get_or("gb-month", typical.storage_per_gb_month)?,
+    };
+    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env);
+    let analysis = presto.profile_all(1);
+
+    let mut table = TableBuilder::new(&["strategy", "prep $", "storage $", "online $", "total $"]);
+    for profile in analysis.profiles() {
+        if profile.error.is_some() {
+            continue;
+        }
+        let cost = cost_of(profile, &pricing, &campaign);
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.2}", cost.preprocessing_usd),
+            format!("{:.2}", cost.storage_usd),
+            format!("{:.2}", cost.online_usd),
+            format!("{:.2}", cost.total()),
+        ]);
+    }
+    println!(
+        "campaign: {} epochs, {:.1} months retention, VM ${}/h, storage ${}/GB-month",
+        campaign.epochs, campaign.retention_months, pricing.vm_per_hour, pricing.storage_per_gb_month
+    );
+    println!("{}", table.render());
+    match args.get_or::<f64>("feed", 0.0)? {
+        floor if floor > 0.0 => match cheapest_feeding(&analysis, &pricing, &campaign, floor) {
+            Some((profile, cost)) => println!(
+                "cheapest strategy feeding {floor:.0} SPS: {} (${:.2})",
+                profile.label,
+                cost.total()
+            ),
+            None => println!("no strategy reaches {floor:.0} SPS"),
+        },
+        _ => {
+            if let Some((profile, cost)) = cheapest(&analysis, &pricing, &campaign) {
+                println!("cheapest strategy: {} (${:.2})", profile.label, cost.total());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_diagnose(args: &Args) -> Result<(), String> {
+    args.expect_known(&["samples", "ssd"])?;
+    let workload = find_workload(args)?;
+    let env = env_from(args)?;
+    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env.clone());
+    let mut table = TableBuilder::new(&[
+        "strategy",
+        "SPS",
+        "bottleneck",
+        "storage",
+        "cpu",
+        "dispatch",
+        "lock wait",
+    ]);
+    for strategy in Strategy::enumerate(&workload.pipeline) {
+        let profile = presto.profile_strategy(&strategy, 1);
+        let Some(diagnosis) = presto::diagnose(&profile, &env) else { continue };
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            diagnosis.bottleneck.to_string(),
+            format!("{:.0}%", diagnosis.storage_util * 100.0),
+            format!("{:.0}%", diagnosis.cpu_util * 100.0),
+            format!("{:.0}%", diagnosis.dispatch_util * 100.0),
+            format!("{:.0}%", diagnosis.lock_wait_fraction * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_fio(args: &Args) -> Result<(), String> {
+    args.expect_known(&["device"])?;
+    let device = match args.get_str("device").unwrap_or("hdd") {
+        "hdd" => DeviceProfile::hdd_ceph(),
+        "ssd" => DeviceProfile::ssd_ceph(),
+        "nvme" => DeviceProfile::local_nvme(),
+        other => return Err(format!("unknown device '{other}'")),
+    };
+    println!("device: {}", device.name);
+    let mut table =
+        TableBuilder::new(&["threads", "files/thread", "MB/s", "requests/s"]);
+    for workload in FioWorkload::table3() {
+        let result = fio::run(&device, workload);
+        table.row(&[
+            workload.threads.to_string(),
+            workload.files_per_thread.to_string(),
+            format!("{:.1}", result.bandwidth_mbps),
+            format!("{:.0}", result.iops),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(words: &[&str]) -> Result<(), String> {
+        let argv: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        dispatch(&argv)
+    }
+
+    #[test]
+    fn help_and_pipelines_succeed() {
+        run(&["help"]).unwrap();
+        run(&["pipelines"]).unwrap();
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn steps_renders_named_pipeline() {
+        run(&["steps", "CV"]).unwrap();
+        run(&["steps", "CV", "--split", "2"]).unwrap();
+        assert!(run(&["steps", "CV", "--split", "99"]).is_err());
+        assert!(run(&["steps", "NOPE"]).is_err());
+    }
+
+    #[test]
+    fn profile_small_run_succeeds() {
+        run(&["profile", "MP3", "--samples", "500"]).unwrap();
+        run(&["profile", "MP3", "--samples", "500", "--codec", "zlib"]).unwrap();
+        run(&["profile", "MP3", "--samples", "500", "--csv"]).unwrap();
+        assert!(run(&["profile", "MP3", "--codec", "rar"]).is_err());
+        assert!(run(&["profile", "MP3", "--epohcs", "2"]).is_err());
+    }
+
+    #[test]
+    fn recommend_and_cost_run() {
+        run(&["recommend", "FLAC", "--samples", "500", "--wp", "1"]).unwrap();
+        run(&["cost", "FLAC", "--samples", "500", "--epochs", "10"]).unwrap();
+        run(&["cost", "FLAC", "--samples", "500", "--feed", "1000"]).unwrap();
+    }
+
+    #[test]
+    fn diagnose_runs() {
+        run(&["diagnose", "MP3", "--samples", "500"]).unwrap();
+        assert!(run(&["diagnose", "NOPE"]).is_err());
+    }
+
+    #[test]
+    fn fio_devices() {
+        run(&["fio"]).unwrap();
+        run(&["fio", "--device", "ssd"]).unwrap();
+        run(&["fio", "--device", "nvme"]).unwrap();
+        assert!(run(&["fio", "--device", "floppy"]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `presto` — command-line interface to the preprocessing-strategy
+//! profiler.
+//!
+//! ```text
+//! presto pipelines                     list built-in workloads
+//! presto steps CV                      show a pipeline's steps (Fig. 2 style)
+//! presto profile CV [options]          strategy sweep table
+//! presto recommend CV --wt 1 --wp 1    weighted recommendation
+//! presto cost CV --epochs 90           cheapest strategy for a campaign
+//! presto fio [--device ssd]            Table-3-style storage profile
+//! ```
+
+mod args;
+mod commands;
+mod render;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! ASCII rendering of pipelines and strategies (Figure 2 style).
+
+use presto_pipeline::Pipeline;
+
+/// Render the pipeline's step chain, marking non-deterministic steps
+/// (which must stay online) with a dotted arrow, like the paper's
+/// Figure 2.
+pub fn pipeline_chain(pipeline: &Pipeline) -> String {
+    let mut out = String::from("read");
+    for step in pipeline.steps() {
+        if step.spec.deterministic {
+            out.push_str(" --> ");
+        } else {
+            out.push_str(" ..> "); // non-deterministic: online only
+        }
+        out.push_str(&step.spec.name);
+    }
+    out.push_str(" --> train");
+    out
+}
+
+/// Render one strategy's offline/online split under the chain.
+pub fn strategy_split(pipeline: &Pipeline, split: usize) -> String {
+    let mut offline = vec!["read".to_string()];
+    let mut online = Vec::new();
+    for (i, step) in pipeline.steps().iter().enumerate() {
+        if i < split {
+            offline.push(step.spec.name.clone());
+        } else {
+            online.push(step.spec.name.clone());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("offline (once): {}\n", offline.join(" -> ")));
+    if split > 0 {
+        out.push_str("                `-> save to storage\n");
+        out.push_str("online (every epoch): load");
+        for name in &online {
+            out.push_str(" -> ");
+            out.push_str(name);
+        }
+    } else {
+        out.push_str("online (every epoch): ");
+        out.push_str(&online.join(" -> "));
+    }
+    out.push_str(" -> train");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_pipeline::{CostModel, SizeModel, StepSpec};
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new("t")
+            .push_spec(StepSpec::native("decoded", CostModel::FREE, SizeModel::IDENTITY))
+            .push_spec(
+                StepSpec::native("random-crop", CostModel::FREE, SizeModel::IDENTITY)
+                    .non_deterministic(),
+            )
+    }
+
+    #[test]
+    fn chain_marks_non_deterministic_steps() {
+        let chain = pipeline_chain(&pipeline());
+        assert_eq!(chain, "read --> decoded ..> random-crop --> train");
+    }
+
+    #[test]
+    fn split_renders_offline_and_online_parts() {
+        let rendered = strategy_split(&pipeline(), 1);
+        assert!(rendered.contains("offline (once): read -> decoded"));
+        assert!(rendered.contains("load -> random-crop -> train"));
+        let unprocessed = strategy_split(&pipeline(), 0);
+        assert!(unprocessed.contains("decoded -> random-crop -> train"));
+        assert!(!unprocessed.contains("save"));
+    }
+}

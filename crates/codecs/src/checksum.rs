@@ -1,0 +1,155 @@
+//! CRC-32 (IEEE 802.3, as used by GZIP) and Adler-32 (as used by ZLIB).
+
+/// Table-driven CRC-32 with the reflected IEEE polynomial `0xEDB88320`.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut c = self.state;
+        for &byte in data {
+            c = CRC_TABLE[((c ^ byte as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+
+    /// One-shot convenience.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut crc = Crc32::new();
+        crc.update(data);
+        crc.finish()
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Adler-32 running checksum (RFC 1950 §8.2).
+#[derive(Debug, Clone)]
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+const ADLER_MOD: u32 = 65_521;
+/// Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) fits in u32.
+const ADLER_NMAX: usize = 5552;
+
+impl Adler32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// Feed bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        for chunk in data.chunks(ADLER_NMAX) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= ADLER_MOD;
+            self.b %= ADLER_MOD;
+        }
+    }
+
+    /// Final checksum value.
+    pub fn finish(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+
+    /// One-shot convenience.
+    pub fn checksum(data: &[u8]) -> u32 {
+        let mut adler = Adler32::new();
+        adler.update(data);
+        adler.finish()
+    }
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors computed with zlib's crc32()/adler32().
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(Crc32::checksum(b""), 0x0000_0000);
+        assert_eq!(Crc32::checksum(b"a"), 0xE8B7_BE43);
+        assert_eq!(Crc32::checksum(b"abc"), 0x3524_41C2);
+        assert_eq!(Crc32::checksum(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            Crc32::checksum(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn adler32_known_vectors() {
+        assert_eq!(Adler32::checksum(b""), 0x0000_0001);
+        assert_eq!(Adler32::checksum(b"a"), 0x0062_0062);
+        assert_eq!(Adler32::checksum(b"abc"), 0x024d_0127);
+        assert_eq!(Adler32::checksum(b"Wikipedia"), 0x11E6_0398);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 7 + 13) as u8).collect();
+        let mut crc = Crc32::new();
+        let mut adler = Adler32::new();
+        for chunk in data.chunks(97) {
+            crc.update(chunk);
+            adler.update(chunk);
+        }
+        assert_eq!(crc.finish(), Crc32::checksum(&data));
+        assert_eq!(adler.finish(), Adler32::checksum(&data));
+    }
+
+    #[test]
+    fn adler32_long_input_does_not_overflow() {
+        let data = vec![0xFFu8; 1 << 20];
+        // Must not panic in debug (overflow checks) and must be stable.
+        let c1 = Adler32::checksum(&data);
+        let c2 = Adler32::checksum(&data);
+        assert_eq!(c1, c2);
+    }
+}

@@ -1,0 +1,449 @@
+//! DEFLATE (RFC 1951) compressor: stored, fixed-Huffman and
+//! dynamic-Huffman blocks over the LZ77 token stream.
+
+use crate::bitio::BitWriter;
+use crate::huffman::{canonical_codes, code_lengths};
+use crate::lz77::{self, Token};
+use crate::Level;
+
+/// Number of literal/length symbols (0..=287; 286/287 never used).
+pub const NUM_LITLEN: usize = 288;
+/// Number of distance symbols.
+pub const NUM_DIST: usize = 30;
+/// Number of code-length-alphabet symbols.
+pub const NUM_CLEN: usize = 19;
+
+/// Order in which code-length code lengths are transmitted (RFC 1951 §3.2.7).
+pub const CLEN_ORDER: [usize; NUM_CLEN] =
+    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// `(base_length, extra_bits)` for length codes 257..=285.
+pub const LENGTH_TABLE: [(u16, u8); 29] = [
+    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
+    (11, 1), (13, 1), (15, 1), (17, 1),
+    (19, 2), (23, 2), (27, 2), (31, 2),
+    (35, 3), (43, 3), (51, 3), (59, 3),
+    (67, 4), (83, 4), (99, 4), (115, 4),
+    (131, 5), (163, 5), (195, 5), (227, 5),
+    (258, 0),
+];
+
+/// `(base_distance, extra_bits)` for distance codes 0..=29.
+pub const DIST_TABLE: [(u16, u8); 30] = [
+    (1, 0), (2, 0), (3, 0), (4, 0),
+    (5, 1), (7, 1),
+    (9, 2), (13, 2),
+    (17, 3), (25, 3),
+    (33, 4), (49, 4),
+    (65, 5), (97, 5),
+    (129, 6), (193, 6),
+    (257, 7), (385, 7),
+    (513, 8), (769, 8),
+    (1025, 9), (1537, 9),
+    (2049, 10), (3073, 10),
+    (4097, 11), (6145, 11),
+    (8193, 12), (12289, 12),
+    (16385, 13), (24577, 13),
+];
+
+/// Map a match length (3..=258) to `(symbol, extra_bits_value, extra_bits)`.
+pub fn length_symbol(len: u16) -> (u16, u32, u8) {
+    debug_assert!((3..=258).contains(&len));
+    // Binary-search-free scan: table is tiny.
+    for (i, &(base, extra)) in LENGTH_TABLE.iter().enumerate().rev() {
+        if len >= base {
+            return (257 + i as u16, u32::from(len - base), extra);
+        }
+    }
+    unreachable!("length out of range")
+}
+
+/// Map a distance (1..=32768) to `(symbol, extra_bits_value, extra_bits)`.
+pub fn distance_symbol(dist: u16) -> (u16, u32, u8) {
+    debug_assert!(dist >= 1);
+    for (i, &(base, extra)) in DIST_TABLE.iter().enumerate().rev() {
+        if dist >= base {
+            return (i as u16, u32::from(dist - base), extra);
+        }
+    }
+    unreachable!("distance out of range")
+}
+
+/// Fixed-Huffman literal/length code lengths (RFC 1951 §3.2.6).
+pub fn fixed_litlen_lengths() -> Vec<u8> {
+    let mut lengths = vec![0u8; NUM_LITLEN];
+    for (sym, len) in lengths.iter_mut().enumerate() {
+        *len = match sym {
+            0..=143 => 8,
+            144..=255 => 9,
+            256..=279 => 7,
+            _ => 8,
+        };
+    }
+    lengths
+}
+
+/// Fixed-Huffman distance code lengths: all 5 bits (32 symbols).
+pub fn fixed_dist_lengths() -> Vec<u8> {
+    vec![5u8; 32]
+}
+
+/// Compress `data` into a raw DEFLATE stream.
+pub fn deflate(data: &[u8], level: Level) -> Vec<u8> {
+    let mut writer = BitWriter::new();
+    if level.0 == 0 {
+        write_stored(&mut writer, data);
+        return writer.finish();
+    }
+    let tokens = lz77::tokenize(data, level);
+    // Choose between fixed and dynamic Huffman by estimated cost; fall
+    // back to stored if neither beats raw size (incompressible data).
+    let (litlen_freq, dist_freq) = token_frequencies(&tokens);
+    let dynamic_bits = estimate_dynamic_bits(&litlen_freq, &dist_freq, &tokens);
+    let fixed_bits = estimate_fixed_bits(&tokens);
+    let stored_bits = 8 * (data.len() + 5 * (data.len() / 65_535 + 1)) as u64;
+
+    if stored_bits < fixed_bits && stored_bits < dynamic_bits {
+        write_stored(&mut writer, data);
+    } else if fixed_bits <= dynamic_bits {
+        write_fixed_block(&mut writer, &tokens);
+    } else {
+        write_dynamic_block(&mut writer, &tokens, &litlen_freq, &dist_freq);
+    }
+    writer.finish()
+}
+
+fn write_stored(writer: &mut BitWriter, data: &[u8]) {
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        writer.write_bits(1, 1); // BFINAL
+        writer.write_bits(0b00, 2); // stored
+        writer.align_to_byte();
+        writer.write_bytes(&[0, 0, 0xFF, 0xFF]);
+        return;
+    }
+    while let Some(chunk) = chunks.next() {
+        let final_block = chunks.peek().is_none();
+        writer.write_bits(final_block as u32, 1);
+        writer.write_bits(0b00, 2);
+        writer.align_to_byte();
+        let len = chunk.len() as u16;
+        writer.write_bytes(&len.to_le_bytes());
+        writer.write_bytes(&(!len).to_le_bytes());
+        writer.write_bytes(chunk);
+    }
+}
+
+fn token_frequencies(tokens: &[Token]) -> (Vec<u64>, Vec<u64>) {
+    let mut litlen = vec![0u64; NUM_LITLEN];
+    let mut dist = vec![0u64; NUM_DIST];
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => litlen[b as usize] += 1,
+            Token::Match { len, dist: d } => {
+                litlen[length_symbol(len).0 as usize] += 1;
+                dist[distance_symbol(d).0 as usize] += 1;
+            }
+        }
+    }
+    litlen[256] += 1; // end of block
+    (litlen, dist)
+}
+
+fn estimate_fixed_bits(tokens: &[Token]) -> u64 {
+    let litlen = fixed_litlen_lengths();
+    let mut bits = 3 + u64::from(litlen[256]);
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => bits += u64::from(litlen[b as usize]),
+            Token::Match { len, dist } => {
+                let (lsym, _, lextra) = length_symbol(len);
+                let (_, _, dextra) = distance_symbol(dist);
+                bits += u64::from(litlen[lsym as usize]) + u64::from(lextra);
+                bits += 5 + u64::from(dextra);
+            }
+        }
+    }
+    bits
+}
+
+fn estimate_dynamic_bits(litlen_freq: &[u64], dist_freq: &[u64], tokens: &[Token]) -> u64 {
+    let litlen_lengths = code_lengths(litlen_freq, 15);
+    let dist_lengths = code_lengths(dist_freq, 15);
+    // Header: rough upper bound — 3 + 14 + 19*3 + one 7-bit entry per
+    // lit/dist length (ignores RLE gains, so the estimate is pessimistic,
+    // which only makes the fixed-vs-dynamic choice conservative).
+    let mut bits = 3 + 14 + 19 * 3;
+    bits += 7 * (litlen_lengths.iter().filter(|&&l| l > 0).count()
+        + dist_lengths.iter().filter(|&&l| l > 0).count()) as u64;
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => bits += u64::from(litlen_lengths[b as usize]),
+            Token::Match { len, dist } => {
+                let (lsym, _, lextra) = length_symbol(len);
+                let (dsym, _, dextra) = distance_symbol(dist);
+                bits += u64::from(litlen_lengths[lsym as usize]) + u64::from(lextra);
+                bits += u64::from(dist_lengths[dsym as usize]) + u64::from(dextra);
+            }
+        }
+    }
+    bits += u64::from(litlen_lengths[256]);
+    bits
+}
+
+fn write_tokens(
+    writer: &mut BitWriter,
+    tokens: &[Token],
+    litlen_codes: &[(u32, u8)],
+    dist_codes: &[(u32, u8)],
+) {
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => {
+                let (code, len) = litlen_codes[b as usize];
+                writer.write_code(code, u32::from(len));
+            }
+            Token::Match { len, dist } => {
+                let (lsym, lval, lextra) = length_symbol(len);
+                let (code, clen) = litlen_codes[lsym as usize];
+                writer.write_code(code, u32::from(clen));
+                if lextra > 0 {
+                    writer.write_bits(lval, u32::from(lextra));
+                }
+                let (dsym, dval, dextra) = distance_symbol(dist);
+                let (code, clen) = dist_codes[dsym as usize];
+                writer.write_code(code, u32::from(clen));
+                if dextra > 0 {
+                    writer.write_bits(dval, u32::from(dextra));
+                }
+            }
+        }
+    }
+    let (code, len) = litlen_codes[256];
+    writer.write_code(code, u32::from(len)); // end of block
+}
+
+fn write_fixed_block(writer: &mut BitWriter, tokens: &[Token]) {
+    writer.write_bits(1, 1); // BFINAL
+    writer.write_bits(0b01, 2); // fixed
+    let litlen_codes = canonical_codes(&fixed_litlen_lengths());
+    let dist_codes = canonical_codes(&fixed_dist_lengths());
+    write_tokens(writer, tokens, &litlen_codes, &dist_codes);
+}
+
+/// Run-length encode code lengths with symbols 16/17/18 (RFC 1951 §3.2.7).
+fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u8)> {
+    // Output: (symbol, extra_bits_value)
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lengths.len() {
+        let len = lengths[i];
+        let mut run = 1;
+        while i + run < lengths.len() && lengths[i + run] == len {
+            run += 1;
+        }
+        if len == 0 {
+            let mut remaining = run;
+            while remaining >= 11 {
+                let take = remaining.min(138);
+                out.push((18, (take - 11) as u8));
+                remaining -= take;
+            }
+            if remaining >= 3 {
+                out.push((17, (remaining - 3) as u8));
+                remaining = 0;
+            }
+            for _ in 0..remaining {
+                out.push((0, 0));
+            }
+        } else {
+            out.push((len, 0));
+            let mut remaining = run - 1;
+            while remaining >= 3 {
+                let take = remaining.min(6);
+                out.push((16, (take - 3) as u8));
+                remaining -= take;
+            }
+            for _ in 0..remaining {
+                out.push((len, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+fn write_dynamic_block(
+    writer: &mut BitWriter,
+    tokens: &[Token],
+    litlen_freq: &[u64],
+    dist_freq: &[u64],
+) {
+    let litlen_lengths = code_lengths(litlen_freq, 15);
+    let mut dist_lengths = code_lengths(dist_freq, 15);
+    // At least one distance code length must be transmitted.
+    if dist_lengths.iter().all(|&l| l == 0) {
+        dist_lengths = vec![0; NUM_DIST];
+        dist_lengths[0] = 1;
+    }
+
+    let hlit = {
+        let mut n = NUM_LITLEN;
+        while n > 257 && litlen_lengths[n - 1] == 0 {
+            n -= 1;
+        }
+        n
+    };
+    let hdist = {
+        let mut n = NUM_DIST;
+        while n > 1 && dist_lengths[n - 1] == 0 {
+            n -= 1;
+        }
+        n
+    };
+
+    let mut combined = Vec::with_capacity(hlit + hdist);
+    combined.extend_from_slice(&litlen_lengths[..hlit]);
+    combined.extend_from_slice(&dist_lengths[..hdist]);
+    let rle = rle_code_lengths(&combined);
+
+    let mut clen_freq = vec![0u64; NUM_CLEN];
+    for &(sym, _) in &rle {
+        clen_freq[sym as usize] += 1;
+    }
+    let clen_lengths = code_lengths(&clen_freq, 7);
+    let clen_codes = canonical_codes(&clen_lengths);
+
+    let hclen = {
+        let mut n = NUM_CLEN;
+        while n > 4 && clen_lengths[CLEN_ORDER[n - 1]] == 0 {
+            n -= 1;
+        }
+        n
+    };
+
+    writer.write_bits(1, 1); // BFINAL
+    writer.write_bits(0b10, 2); // dynamic
+    writer.write_bits((hlit - 257) as u32, 5);
+    writer.write_bits((hdist - 1) as u32, 5);
+    writer.write_bits((hclen - 4) as u32, 4);
+    for &order in CLEN_ORDER.iter().take(hclen) {
+        writer.write_bits(u32::from(clen_lengths[order]), 3);
+    }
+    for &(sym, extra) in &rle {
+        let (code, len) = clen_codes[sym as usize];
+        writer.write_code(code, u32::from(len));
+        match sym {
+            16 => writer.write_bits(u32::from(extra), 2),
+            17 => writer.write_bits(u32::from(extra), 3),
+            18 => writer.write_bits(u32::from(extra), 7),
+            _ => {}
+        }
+    }
+
+    let litlen_codes = canonical_codes(&litlen_lengths);
+    let dist_codes = canonical_codes(&dist_lengths);
+    write_tokens(writer, tokens, &litlen_codes, &dist_codes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inflate::inflate;
+
+    fn roundtrip(data: &[u8], level: Level) {
+        let compressed = deflate(data, level);
+        let decompressed = inflate(&compressed).unwrap();
+        assert_eq!(decompressed, data);
+    }
+
+    #[test]
+    fn length_symbol_boundaries() {
+        assert_eq!(length_symbol(3), (257, 0, 0));
+        assert_eq!(length_symbol(10), (264, 0, 0));
+        assert_eq!(length_symbol(11), (265, 0, 1));
+        assert_eq!(length_symbol(12), (265, 1, 1));
+        assert_eq!(length_symbol(257), (284, 30, 5));
+        assert_eq!(length_symbol(258), (285, 0, 0));
+    }
+
+    #[test]
+    fn distance_symbol_boundaries() {
+        assert_eq!(distance_symbol(1), (0, 0, 0));
+        assert_eq!(distance_symbol(4), (3, 0, 0));
+        assert_eq!(distance_symbol(5), (4, 0, 1));
+        assert_eq!(distance_symbol(24577), (29, 0, 13));
+        assert_eq!(distance_symbol(32768), (29, 8191, 13));
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(&[], Level::DEFAULT);
+        roundtrip(&[], Level(0));
+    }
+
+    #[test]
+    fn stored_blocks() {
+        let data: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 24) as u8).collect();
+        roundtrip(&data, Level(0));
+    }
+
+    #[test]
+    fn text_roundtrips_all_levels() {
+        let mut data = Vec::new();
+        for i in 0..3000u32 {
+            data.extend_from_slice(format!("line {} of some log output\n", i % 97).as_bytes());
+        }
+        for level in [Level(0), Level::FAST, Level::DEFAULT, Level::BEST] {
+            roundtrip(&data, level);
+        }
+    }
+
+    #[test]
+    fn compresses_redundant_data_well() {
+        let data = vec![0u8; 100_000];
+        let compressed = deflate(&data, Level::DEFAULT);
+        assert!(compressed.len() < data.len() / 50, "got {}", compressed.len());
+        roundtrip(&data, Level::DEFAULT);
+    }
+
+    #[test]
+    fn incompressible_data_stays_near_original_size() {
+        // xorshift noise: deflate should choose stored blocks and add
+        // only framing overhead.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 17;
+                state ^= state << 5;
+                (state >> 16) as u8
+            })
+            .collect();
+        let compressed = deflate(&data, Level::DEFAULT);
+        assert!(compressed.len() <= data.len() + data.len() / 100 + 64);
+        roundtrip(&data, Level::DEFAULT);
+    }
+
+    #[test]
+    fn rle_code_lengths_reconstruct() {
+        let lengths = [0u8, 0, 0, 0, 0, 5, 5, 5, 5, 5, 5, 5, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3];
+        let rle = rle_code_lengths(&lengths);
+        // Reconstruct.
+        let mut rebuilt: Vec<u8> = Vec::new();
+        for &(sym, extra) in &rle {
+            match sym {
+                16 => {
+                    let prev = *rebuilt.last().unwrap();
+                    for _ in 0..(extra + 3) {
+                        rebuilt.push(prev);
+                    }
+                }
+                17 => rebuilt.extend(std::iter::repeat(0).take(extra as usize + 3)),
+                18 => rebuilt.extend(std::iter::repeat(0).take(extra as usize + 11)),
+                l => rebuilt.push(l),
+            }
+        }
+        assert_eq!(rebuilt, lengths);
+    }
+}

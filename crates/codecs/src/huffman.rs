@@ -1,0 +1,320 @@
+//! Canonical Huffman coding: length-limited code construction
+//! (package-merge), canonical code assignment (RFC 1951 §3.2.2) and a
+//! bit-serial canonical decoder.
+
+use crate::bitio::BitReader;
+use crate::CodecError;
+
+/// Maximum code length permitted by DEFLATE.
+pub const MAX_BITS: usize = 15;
+
+/// Compute length-limited Huffman code lengths for `freqs` using the
+/// package-merge algorithm. Symbols with zero frequency get length 0.
+///
+/// Returns one length per symbol, each `<= max_len`.
+pub fn code_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
+    assert!(max_len <= MAX_BITS);
+    let active: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            // A single symbol still needs a 1-bit code so the decoder
+            // has something to read.
+            lengths[active[0]] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        (1usize << max_len) >= active.len(),
+        "cannot fit {} symbols in {}-bit codes",
+        active.len(),
+        max_len
+    );
+
+    // Package-merge: item = (weight, set of leaf symbols). At each of
+    // the `max_len` levels, pair up items and merge with the leaf list.
+    #[derive(Clone)]
+    struct Item {
+        weight: u64,
+        symbols: Vec<usize>,
+    }
+
+    let mut leaves: Vec<Item> = active
+        .iter()
+        .map(|&s| Item { weight: freqs[s], symbols: vec![s] })
+        .collect();
+    leaves.sort_by_key(|item| item.weight);
+
+    let mut level: Vec<Item> = leaves.clone();
+    for _ in 1..max_len {
+        // Package: pair adjacent items.
+        let mut packages: Vec<Item> = Vec::with_capacity(level.len() / 2);
+        let mut iter = level.chunks_exact(2);
+        for pair in &mut iter {
+            let mut symbols = pair[0].symbols.clone();
+            symbols.extend_from_slice(&pair[1].symbols);
+            packages.push(Item { weight: pair[0].weight + pair[1].weight, symbols });
+        }
+        // Merge with the original leaves, keeping sorted order.
+        let mut merged = Vec::with_capacity(packages.len() + leaves.len());
+        let (mut i, mut j) = (0, 0);
+        while i < packages.len() || j < leaves.len() {
+            let take_package = j >= leaves.len()
+                || (i < packages.len() && packages[i].weight <= leaves[j].weight);
+            if take_package {
+                merged.push(packages[i].clone());
+                i += 1;
+            } else {
+                merged.push(leaves[j].clone());
+                j += 1;
+            }
+        }
+        level = merged;
+    }
+
+    // The first 2n-2 items of the final level determine the lengths:
+    // each appearance of a leaf symbol adds one bit to its code length.
+    let take = 2 * active.len() - 2;
+    for item in level.iter().take(take) {
+        for &s in &item.symbols {
+            lengths[s] += 1;
+        }
+    }
+    lengths
+}
+
+/// Assign canonical codes to symbols given their code lengths
+/// (RFC 1951 §3.2.2). Returns `(code, length)` pairs; zero-length
+/// symbols get `(0, 0)`.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<(u32, u8)> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut bl_count = vec![0u32; max + 1];
+    for &len in lengths {
+        if len > 0 {
+            bl_count[len as usize] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; max + 2];
+    let mut code = 0u32;
+    for bits in 1..=max {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&len| {
+            if len == 0 {
+                (0, 0)
+            } else {
+                let c = next_code[len as usize];
+                next_code[len as usize] += 1;
+                (c, len)
+            }
+        })
+        .collect()
+}
+
+/// Validates that the lengths describe a full (or under-full) prefix code.
+/// DEFLATE requires complete codes except for single-code special cases.
+pub fn kraft_sum(lengths: &[u8]) -> f64 {
+    lengths
+        .iter()
+        .filter(|&&l| l > 0)
+        .map(|&l| 1.0 / f64::from(1u32 << l))
+        .sum()
+}
+
+/// Canonical Huffman decoder.
+///
+/// Decodes bit-serially using per-length first-code/first-symbol tables,
+/// which is compact, simple to verify, and fast enough for this crate's
+/// purpose.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// `first_code[len]`: smallest canonical code of length `len`.
+    first_code: [u32; MAX_BITS + 1],
+    /// `first_index[len]`: index into `symbols` of that smallest code.
+    first_index: [u32; MAX_BITS + 1],
+    /// Count of codes per length.
+    count: [u32; MAX_BITS + 1],
+    /// Symbols ordered by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl Decoder {
+    /// Build a decoder from per-symbol code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, CodecError> {
+        let mut count = [0u32; MAX_BITS + 1];
+        for &len in lengths {
+            if len as usize > MAX_BITS {
+                return Err(CodecError::Corrupt("code length exceeds 15 bits"));
+            }
+            if len > 0 {
+                count[len as usize] += 1;
+            }
+        }
+        let total: u32 = count.iter().sum();
+        if total == 0 {
+            return Err(CodecError::Corrupt("empty Huffman code"));
+        }
+        // Over-subscribed codes are invalid bitstreams.
+        let mut left = 1i64;
+        for &n in &count[1..=MAX_BITS] {
+            left <<= 1;
+            left -= i64::from(n);
+            if left < 0 {
+                return Err(CodecError::Corrupt("over-subscribed Huffman code"));
+            }
+        }
+
+        let mut first_code = [0u32; MAX_BITS + 1];
+        let mut first_index = [0u32; MAX_BITS + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_BITS {
+            code = (code + count[len - 1]) << 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            index += count[len];
+        }
+
+        let mut symbols = vec![0u16; total as usize];
+        let mut next = first_index;
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len > 0 {
+                symbols[next[len as usize] as usize] = sym as u16;
+                next[len as usize] += 1;
+            }
+        }
+        Ok(Decoder { first_code, first_index, count, symbols })
+    }
+
+    /// Decode one symbol from `reader`.
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u16, CodecError> {
+        let mut code = 0u32;
+        for len in 1..=MAX_BITS {
+            code = (code << 1) | reader.read_bit()?;
+            let n = self.count[len];
+            if n > 0 {
+                let first = self.first_code[len];
+                if code < first + n {
+                    if code < first {
+                        return Err(CodecError::Corrupt("invalid Huffman code"));
+                    }
+                    let idx = self.first_index[len] + (code - first);
+                    return Ok(self.symbols[idx as usize]);
+                }
+            }
+        }
+        Err(CodecError::Corrupt("Huffman code longer than 15 bits"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+
+    fn roundtrip(freqs: &[u64], max_len: usize) {
+        let lengths = code_lengths(freqs, max_len);
+        for &l in &lengths {
+            assert!(l as usize <= max_len);
+        }
+        let active = freqs.iter().filter(|&&f| f > 0).count();
+        if active >= 2 {
+            assert!((kraft_sum(&lengths) - 1.0).abs() < 1e-9, "code must be complete");
+        }
+        let codes = canonical_codes(&lengths);
+        let decoder = Decoder::from_lengths(&lengths).unwrap();
+        // Encode every active symbol once and decode it back.
+        let mut w = BitWriter::new();
+        let mut expected = Vec::new();
+        for (sym, &(code, len)) in codes.iter().enumerate() {
+            if len > 0 {
+                w.write_code(code, len as u32);
+                expected.push(sym as u16);
+            }
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &sym in &expected {
+            assert_eq!(decoder.decode(&mut r).unwrap(), sym);
+        }
+    }
+
+    #[test]
+    fn basic_code_shapes() {
+        // Textbook example: skewed frequencies produce skewed lengths.
+        let lengths = code_lengths(&[45, 13, 12, 16, 9, 5], 15);
+        assert_eq!(lengths[0], 1);
+        assert!(lengths[5] >= 3);
+        roundtrip(&[45, 13, 12, 16, 9, 5], 15);
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-like frequencies force deep trees without a limit.
+        let freqs: Vec<u64> = {
+            let mut v = vec![1u64, 1];
+            for i in 2..30 {
+                let next = v[i - 1] + v[i - 2];
+                v.push(next);
+            }
+            v
+        };
+        let lengths = code_lengths(&freqs, 15);
+        assert!(lengths.iter().all(|&l| l <= 15 && l > 0));
+        assert!((kraft_sum(&lengths) - 1.0).abs() < 1e-9);
+        roundtrip(&freqs, 15);
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let lengths = code_lengths(&[0, 7, 0], 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        let decoder = Decoder::from_lengths(&lengths).unwrap();
+        let mut w = BitWriter::new();
+        w.write_code(0, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(decoder.decode(&mut r).unwrap(), 1);
+    }
+
+    #[test]
+    fn uniform_frequencies() {
+        roundtrip(&[10; 8], 15);
+        roundtrip(&[10; 7], 15);
+    }
+
+    #[test]
+    fn oversubscribed_code_rejected() {
+        // Three 1-bit codes cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn empty_code_rejected() {
+        assert!(Decoder::from_lengths(&[0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn canonical_codes_match_rfc_example() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4)
+        let codes = canonical_codes(&[3, 3, 3, 3, 3, 2, 4, 4]);
+        let expected = [
+            (0b010, 3),
+            (0b011, 3),
+            (0b100, 3),
+            (0b101, 3),
+            (0b110, 3),
+            (0b00, 2),
+            (0b1110, 4),
+            (0b1111, 4),
+        ];
+        for (got, want) in codes.iter().zip(expected.iter()) {
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! DEFLATE decompressor (RFC 1951): stored, fixed-Huffman and
+//! dynamic-Huffman blocks.
+
+use crate::bitio::BitReader;
+use crate::deflate::{
+    fixed_dist_lengths, fixed_litlen_lengths, CLEN_ORDER, DIST_TABLE, LENGTH_TABLE,
+};
+use crate::huffman::Decoder;
+use crate::CodecError;
+
+/// Decompress a raw DEFLATE stream.
+pub fn inflate(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut reader = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len() * 3);
+    loop {
+        let bfinal = reader.read_bit()?;
+        let btype = reader.read_bits(2)?;
+        match btype {
+            0b00 => inflate_stored(&mut reader, &mut out)?,
+            0b01 => {
+                let litlen = Decoder::from_lengths(&fixed_litlen_lengths())?;
+                let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            0b10 => {
+                let (litlen, dist) = read_dynamic_tables(&mut reader)?;
+                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+            }
+            _ => return Err(CodecError::Corrupt("reserved block type 11")),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), CodecError> {
+    reader.align_to_byte();
+    let header = reader.read_bytes(4)?;
+    let len = u16::from_le_bytes([header[0], header[1]]);
+    let nlen = u16::from_le_bytes([header[2], header[3]]);
+    if len != !nlen {
+        return Err(CodecError::Corrupt("stored block LEN/NLEN mismatch"));
+    }
+    out.extend_from_slice(&reader.read_bytes(len as usize)?);
+    Ok(())
+}
+
+fn read_dynamic_tables(reader: &mut BitReader<'_>) -> Result<(Decoder, Decoder), CodecError> {
+    let hlit = reader.read_bits(5)? as usize + 257;
+    let hdist = reader.read_bits(5)? as usize + 1;
+    let hclen = reader.read_bits(4)? as usize + 4;
+    if hlit > 286 {
+        return Err(CodecError::Corrupt("HLIT too large"));
+    }
+
+    let mut clen_lengths = [0u8; 19];
+    for &order in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[order] = reader.read_bits(3)? as u8;
+    }
+    let clen_decoder = Decoder::from_lengths(&clen_lengths)?;
+
+    let total = hlit + hdist;
+    let mut lengths = Vec::with_capacity(total);
+    while lengths.len() < total {
+        let sym = clen_decoder.decode(reader)?;
+        match sym {
+            0..=15 => lengths.push(sym as u8),
+            16 => {
+                let prev = *lengths
+                    .last()
+                    .ok_or(CodecError::Corrupt("repeat with no previous length"))?;
+                let count = reader.read_bits(2)? + 3;
+                lengths.extend(std::iter::repeat(prev).take(count as usize));
+            }
+            17 => {
+                let count = reader.read_bits(3)? + 3;
+                lengths.extend(std::iter::repeat(0u8).take(count as usize));
+            }
+            18 => {
+                let count = reader.read_bits(7)? + 11;
+                lengths.extend(std::iter::repeat(0u8).take(count as usize));
+            }
+            _ => return Err(CodecError::Corrupt("invalid code-length symbol")),
+        }
+    }
+    if lengths.len() != total {
+        return Err(CodecError::Corrupt("code length repeat overflow"));
+    }
+
+    let litlen = Decoder::from_lengths(&lengths[..hlit])?;
+    // A block with no distance codes transmits a single dummy length;
+    // Decoder handles the 1-symbol case.
+    let dist = Decoder::from_lengths(&lengths[hlit..])?;
+    Ok((litlen, dist))
+}
+
+fn inflate_block(
+    reader: &mut BitReader<'_>,
+    out: &mut Vec<u8>,
+    litlen: &Decoder,
+    dist: &Decoder,
+) -> Result<(), CodecError> {
+    loop {
+        let sym = litlen.decode(reader)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let (base, extra) = LENGTH_TABLE[(sym - 257) as usize];
+                let len = base as usize + reader.read_bits(u32::from(extra))? as usize;
+                let dsym = dist.decode(reader)?;
+                if dsym as usize >= DIST_TABLE.len() {
+                    return Err(CodecError::Corrupt("invalid distance symbol"));
+                }
+                let (dbase, dextra) = DIST_TABLE[dsym as usize];
+                let distance = dbase as usize + reader.read_bits(u32::from(dextra))? as usize;
+                if distance > out.len() {
+                    return Err(CodecError::Corrupt("distance beyond output start"));
+                }
+                let start = out.len() - distance;
+                // Overlapping copies are intentional (RLE idiom).
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err(CodecError::Corrupt("invalid literal/length symbol")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deflate::deflate;
+    use crate::Level;
+
+    #[test]
+    fn rejects_reserved_block_type() {
+        // bits: BFINAL=1, BTYPE=11
+        let data = [0b0000_0111u8];
+        assert!(matches!(inflate(&data), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_len_nlen_mismatch() {
+        // BFINAL=1, BTYPE=00, aligned, LEN=1, NLEN=0 (should be !1)
+        let data = [0b0000_0001u8, 1, 0, 0, 0, 42];
+        assert!(matches!(inflate(&data), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        let compressed = deflate(b"hello hello hello hello", Level::DEFAULT);
+        for cut in 1..compressed.len().saturating_sub(1) {
+            // Truncations must error, never panic. (Some cuts may still
+            // decode if they only remove padding, so only check no-panic
+            // plus wrong-output-or-error.)
+            let result = inflate(&compressed[..cut]);
+            if let Ok(out) = result {
+                assert_ne!(out, b"hello hello hello hello");
+            }
+        }
+    }
+
+    #[test]
+    fn known_fixed_huffman_stream() {
+        // "abc" encoded with fixed Huffman by zlib (raw deflate):
+        // 4b 4c 4a 06 00
+        let data = [0x4B, 0x4C, 0x4A, 0x06, 0x00];
+        assert_eq!(inflate(&data).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn known_stored_stream() {
+        // BFINAL=1 BTYPE=00, LEN=3 NLEN=~3, "abc"
+        let data = [0x01, 0x03, 0x00, 0xFC, 0xFF, b'a', b'b', b'c'];
+        assert_eq!(inflate(&data).unwrap(), b"abc");
+    }
+
+    #[test]
+    fn multi_block_stored_stream() {
+        let data: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        let compressed = deflate(&data, Level(0));
+        assert_eq!(inflate(&compressed).unwrap(), data);
+    }
+}

@@ -1,0 +1,228 @@
+//! LZ77 matching over a 32 KiB sliding window with hash chains,
+//! producing the literal/match token stream consumed by the DEFLATE
+//! encoder.
+
+use crate::Level;
+
+/// DEFLATE window size.
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length encodable by DEFLATE.
+pub const MAX_MATCH: usize = 258;
+
+const HASH_BITS: usize = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// A single LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance, `1..=WINDOW_SIZE`.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let h = u32::from(data[pos])
+        .wrapping_mul(0x9E37)
+        .wrapping_add(u32::from(data[pos + 1]).wrapping_mul(0x79B9))
+        .wrapping_add(u32::from(data[pos + 2]).wrapping_mul(0x1F35));
+    (h as usize) & (HASH_SIZE - 1)
+}
+
+/// Tokenize `data` with greedy matching plus one-step lazy evaluation
+/// (as in zlib): if the match starting at `pos + 1` is strictly longer,
+/// emit a literal and take the later match.
+pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
+    if level.0 == 0 || data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    let max_chain = level.max_chain();
+    let good_enough = level.good_enough();
+    // head[h] = most recent position with hash h (+1, 0 = empty);
+    // prev[pos % WINDOW] = previous position in the chain (+1).
+    let mut head = vec![0u32; HASH_SIZE];
+    let mut prev = vec![0u32; WINDOW_SIZE];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos % WINDOW_SIZE] = head[h];
+            head[h] = pos as u32 + 1;
+        }
+    };
+
+    let find_match = |head: &[u32], prev: &[u32], data: &[u8], pos: usize| -> Option<(usize, usize)> {
+        if pos + MIN_MATCH > data.len() {
+            return None;
+        }
+        let max_len = (data.len() - pos).min(MAX_MATCH);
+        let h = hash3(data, pos);
+        let mut candidate = head[h];
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut chain = 0usize;
+        while candidate != 0 && chain < max_chain {
+            let cand_pos = (candidate - 1) as usize;
+            if cand_pos >= pos || pos - cand_pos > WINDOW_SIZE {
+                break;
+            }
+            // Quick reject: check the byte that would extend the best match.
+            if data[cand_pos + best_len.min(max_len - 1)] == data[pos + best_len.min(max_len - 1)] {
+                let mut len = 0usize;
+                while len < max_len && data[cand_pos + len] == data[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = pos - cand_pos;
+                    if len >= good_enough {
+                        break;
+                    }
+                }
+            }
+            candidate = prev[cand_pos % WINDOW_SIZE];
+            chain += 1;
+        }
+        if best_len >= MIN_MATCH {
+            Some((best_len, best_dist))
+        } else {
+            None
+        }
+    };
+
+    let mut pos = 0usize;
+    let mut pending: Option<(usize, usize)> = None; // match found at pos-1
+    while pos < data.len() {
+        let here = find_match(&head, &prev, data, pos);
+        insert(&mut head, &mut prev, data, pos);
+        match (pending.take(), here) {
+            (Some((plen, _)), Some((len, _))) if len > plen => {
+                // Lazy: the previous position becomes a literal; keep
+                // evaluating the current match against the next one.
+                tokens.push(Token::Literal(data[pos - 1]));
+                pending = here;
+                pos += 1;
+            }
+            (Some((plen, pdist)), _) => {
+                // Previous match wins; it started at pos-1.
+                tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+                // Insert hash entries for the matched span (minus the two
+                // positions already inserted).
+                let end = pos - 1 + plen;
+                pos += 1;
+                while pos < end {
+                    insert(&mut head, &mut prev, data, pos);
+                    pos += 1;
+                }
+            }
+            (None, Some(_)) => {
+                pending = here;
+                pos += 1;
+            }
+            (None, None) => {
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+    }
+    if let Some((plen, pdist)) = pending {
+        tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+    }
+    tokens
+}
+
+/// Expand a token stream back into bytes (used by tests and as the
+/// reference semantics for the inflate copy loop).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for token in tokens {
+        match *token {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(data: &[u8], level: Level) {
+        let tokens = tokenize(data, level);
+        assert_eq!(expand(&tokens), data, "token stream must reproduce input");
+        for t in &tokens {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(*len as usize)));
+                assert!((1..=WINDOW_SIZE).contains(&(*dist as usize)));
+            }
+        }
+    }
+
+    #[test]
+    fn all_literals_on_random_bytes() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        check(&data, Level::DEFAULT);
+    }
+
+    #[test]
+    fn run_of_identical_bytes_compresses_to_matches() {
+        let data = vec![7u8; 1000];
+        let tokens = tokenize(&data, Level::DEFAULT);
+        let matches = tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
+        assert!(matches >= 3, "expected RLE-style matches, got {tokens:?}");
+        check(&data, Level::DEFAULT);
+    }
+
+    #[test]
+    fn repeated_phrase_found() {
+        let data = b"the quick brown fox. the quick brown fox. the quick brown fox."
+            .to_vec();
+        let tokens = tokenize(&data, Level::DEFAULT);
+        assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
+        check(&data, Level::DEFAULT);
+    }
+
+    #[test]
+    fn every_level_roundtrips() {
+        let mut data = Vec::new();
+        for i in 0..2000u32 {
+            data.extend_from_slice(format!("row-{} ", i % 50).as_bytes());
+        }
+        for level in 0..=9u8 {
+            check(&data, Level(level));
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        check(&[], Level::DEFAULT);
+        check(&[1], Level::DEFAULT);
+        check(&[1, 2], Level::DEFAULT);
+        check(&[1, 1, 1], Level::DEFAULT);
+    }
+
+    #[test]
+    fn overlapping_copy_semantics() {
+        // dist < len overlapping copies (classic RLE encoding).
+        let tokens = vec![Token::Literal(9), Token::Match { len: 10, dist: 1 }];
+        assert_eq!(expand(&tokens), vec![9u8; 11]);
+    }
+}

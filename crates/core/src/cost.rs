@@ -1,0 +1,181 @@
+//! Monetary objective functions (the paper's Section 3.1 extension:
+//! "More complex objective functions can feature cloud providers'
+//! processing and storage prices").
+//!
+//! Given cloud prices, the dollar cost of running a strategy for a
+//! training campaign is:
+//!
+//! ```text
+//! cost = prep_vm_hours · vm_price                       (offline, once)
+//!      + stored_gb · storage_price · campaign_months    (materialized set)
+//!      + epoch_vm_hours · epochs · vm_price             (online pipeline)
+//! ```
+//!
+//! which lets PRESTO answer "what is the *cheapest* strategy that still
+//! feeds my accelerator?" instead of only "what is the fastest?".
+
+use crate::analysis::StrategyAnalysis;
+use presto_pipeline::sim::StrategyProfile;
+
+/// Cloud prices (per-hour VM, per-GB-month storage).
+#[derive(Debug, Clone, Copy)]
+pub struct CloudPricing {
+    /// Price of the preprocessing VM, $/hour.
+    pub vm_per_hour: f64,
+    /// Object-storage price, $/GB/month.
+    pub storage_per_gb_month: f64,
+}
+
+impl CloudPricing {
+    /// Ballpark public-cloud prices for an 8-vCPU VM + object storage.
+    pub fn typical() -> Self {
+        CloudPricing { vm_per_hour: 0.40, storage_per_gb_month: 0.023 }
+    }
+}
+
+/// A training campaign to be costed.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    /// Online epochs to run.
+    pub epochs: u32,
+    /// Months the materialized dataset is kept.
+    pub retention_months: f64,
+}
+
+/// Dollar cost breakdown of one strategy for a campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CostBreakdown {
+    /// One-time offline preprocessing compute.
+    pub preprocessing_usd: f64,
+    /// Materialized-dataset storage over the retention period.
+    pub storage_usd: f64,
+    /// Online pipeline compute across all epochs.
+    pub online_usd: f64,
+}
+
+impl CostBreakdown {
+    /// Total campaign cost.
+    pub fn total(&self) -> f64 {
+        self.preprocessing_usd + self.storage_usd + self.online_usd
+    }
+}
+
+/// Cost one strategy profile.
+pub fn cost_of(
+    profile: &StrategyProfile,
+    pricing: &CloudPricing,
+    campaign: &Campaign,
+) -> CostBreakdown {
+    let prep_hours = profile.preprocessing_secs() / 3_600.0;
+    let epoch_hours = profile
+        .epochs
+        .first()
+        .map_or(0.0, |e| e.elapsed_full.as_secs_f64() / 3_600.0);
+    CostBreakdown {
+        preprocessing_usd: prep_hours * pricing.vm_per_hour,
+        storage_usd: profile.storage_bytes as f64 / 1e9
+            * pricing.storage_per_gb_month
+            * campaign.retention_months,
+        online_usd: epoch_hours * f64::from(campaign.epochs) * pricing.vm_per_hour,
+    }
+}
+
+/// The cheapest successful strategy for a campaign, with its cost.
+pub fn cheapest<'a>(
+    analysis: &'a StrategyAnalysis,
+    pricing: &CloudPricing,
+    campaign: &Campaign,
+) -> Option<(&'a StrategyProfile, CostBreakdown)> {
+    analysis
+        .profiles()
+        .iter()
+        .filter(|p| p.error.is_none() && !p.epochs.is_empty())
+        .map(|p| (p, cost_of(p, pricing, campaign)))
+        .min_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap())
+}
+
+/// The cheapest strategy whose throughput still feeds a consumer that
+/// ingests `required_sps` samples/s (e.g. an accelerator's ResNet-50
+/// rate) — the "don't stall my GPU for the least money" query.
+pub fn cheapest_feeding<'a>(
+    analysis: &'a StrategyAnalysis,
+    pricing: &CloudPricing,
+    campaign: &Campaign,
+    required_sps: f64,
+) -> Option<(&'a StrategyProfile, CostBreakdown)> {
+    analysis
+        .profiles()
+        .iter()
+        .filter(|p| p.error.is_none() && p.throughput_sps() >= required_sps)
+        .map(|p| (p, cost_of(p, pricing, campaign)))
+        .min_by(|a, b| a.1.total().partial_cmp(&b.1.total()).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_pipeline::sim::{EpochReport, OfflineReport};
+    use presto_pipeline::Strategy;
+    use presto_storage::{Dstat, Nanos};
+
+    fn profile(label: &str, prep_secs: f64, storage_gb: f64, epoch_secs: f64, sps: f64) -> StrategyProfile {
+        StrategyProfile {
+            strategy: Strategy::at_split(0),
+            label: label.into(),
+            storage_bytes: (storage_gb * 1e9) as u64,
+            stored_sample_bytes: 0.0,
+            sample_bytes: 0.0,
+            offline: (prep_secs > 0.0).then(|| OfflineReport {
+                elapsed_full: Nanos::from_secs_f64(prep_secs),
+                bytes_written: 0,
+                stats: Dstat::new(),
+            }),
+            epochs: vec![EpochReport {
+                epoch: 1,
+                throughput_sps: sps,
+                network_read_mbps: 0.0,
+                elapsed_full: Nanos::from_secs_f64(epoch_secs),
+                stats: Dstat::new(),
+            }],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let p = profile("x", 3_600.0, 100.0, 1_800.0, 500.0);
+        let pricing = CloudPricing { vm_per_hour: 1.0, storage_per_gb_month: 0.02 };
+        let campaign = Campaign { epochs: 10, retention_months: 2.0 };
+        let cost = cost_of(&p, &pricing, &campaign);
+        assert!((cost.preprocessing_usd - 1.0).abs() < 1e-9);
+        assert!((cost.storage_usd - 100.0 * 0.02 * 2.0).abs() < 1e-9);
+        assert!((cost.online_usd - 0.5 * 10.0).abs() < 1e-9);
+        assert!((cost.total() - (1.0 + 4.0 + 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cheapest_prefers_fast_epochs_at_many_epochs() {
+        // Strategy A: no prep, slow epochs. B: prep once, fast epochs.
+        // At 100 epochs, B's amortized prep wins.
+        let a = profile("A", 0.0, 10.0, 10_000.0, 100.0);
+        let b = profile("B", 50_000.0, 50.0, 1_000.0, 1_000.0);
+        let analysis = StrategyAnalysis::new(vec![a, b]);
+        let pricing = CloudPricing::typical();
+        let few = Campaign { epochs: 1, retention_months: 0.1 };
+        let many = Campaign { epochs: 100, retention_months: 0.1 };
+        assert_eq!(cheapest(&analysis, &pricing, &few).unwrap().0.label, "A");
+        assert_eq!(cheapest(&analysis, &pricing, &many).unwrap().0.label, "B");
+    }
+
+    #[test]
+    fn cheapest_feeding_respects_throughput_floor() {
+        let slow_cheap = profile("slow", 0.0, 1.0, 100.0, 200.0);
+        let fast_pricey = profile("fast", 10_000.0, 500.0, 50.0, 2_000.0);
+        let analysis = StrategyAnalysis::new(vec![slow_cheap, fast_pricey]);
+        let pricing = CloudPricing::typical();
+        let campaign = Campaign { epochs: 5, retention_months: 1.0 };
+        let pick = cheapest_feeding(&analysis, &pricing, &campaign, 1_457.0).unwrap();
+        assert_eq!(pick.0.label, "fast");
+        assert!(cheapest_feeding(&analysis, &pricing, &campaign, 99_999.0).is_none());
+    }
+}

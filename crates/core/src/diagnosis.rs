@@ -1,0 +1,198 @@
+//! Bottleneck attribution — the question in the paper's title: *where
+//! is my training bottleneck?*
+//!
+//! Given a strategy profile and the environment it ran under, compute
+//! each shared facility's utilization over the epoch and name the
+//! dominant one:
+//!
+//! - **storage**: bytes moved vs the cluster's aggregate bandwidth,
+//! - **cpu**: single-core work vs `cores × span`,
+//! - **dispatch**: serialized per-sample scheduling vs the span,
+//! - **lock**: GIL-style serialized step time vs the span
+//!   (approximated by worker lock-wait time).
+//!
+//! The paper reads these off dstat/trace logs by hand (Section 4.1:
+//! "if transformation steps are too long, such that the maximum read
+//! cannot be reached, we can assume a CPU bottleneck"); this module
+//! automates the attribution.
+
+use presto_pipeline::sim::{SimEnv, StrategyProfile};
+use std::fmt;
+
+/// The facility limiting a strategy's throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// Storage/network bandwidth or IOPS.
+    Storage,
+    /// CPU cores.
+    Cpu,
+    /// The serialized per-sample dispatcher (small-sample collapse).
+    Dispatch,
+    /// A serialized (GIL-held) step.
+    Lock,
+    /// Nothing saturated (idle/imbalanced run).
+    None,
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Bottleneck::Storage => "storage I/O",
+            Bottleneck::Cpu => "CPU",
+            Bottleneck::Dispatch => "sample dispatch (serialized)",
+            Bottleneck::Lock => "serialized (GIL) step",
+            Bottleneck::None => "none (under-utilized)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Utilization breakdown of one online epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct Diagnosis {
+    /// Storage bandwidth utilization in `[0, 1]`.
+    pub storage_util: f64,
+    /// CPU utilization in `[0, 1]`.
+    pub cpu_util: f64,
+    /// Dispatcher utilization in `[0, 1]` (1 = fully serialized).
+    pub dispatch_util: f64,
+    /// Fraction of total worker time spent waiting on locks.
+    pub lock_wait_fraction: f64,
+    /// The dominant facility.
+    pub bottleneck: Bottleneck,
+}
+
+/// Diagnose the last epoch of `profile` under `env`.
+pub fn diagnose(profile: &StrategyProfile, env: &SimEnv) -> Option<Diagnosis> {
+    let epoch = profile.epochs.last()?;
+    let span = epoch.stats.span.as_secs_f64();
+    if span <= 0.0 {
+        return None;
+    }
+    let moved = (epoch.stats.storage_read_bytes + epoch.stats.storage_write_bytes) as f64;
+    let storage_util = (moved / env.device.aggregate_bw / span).min(1.0);
+    let cpu_util =
+        (epoch.stats.cpu_work.as_secs_f64() / (env.cores as f64 * span)).min(1.0);
+    let dispatch_util =
+        (epoch.stats.dispatches as f64 * env.dispatch_ns / 1e9 / span).min(1.0);
+    let worker_time = span * profile.strategy.threads as f64;
+    let lock_wait_fraction = (epoch.stats.lock_wait.as_secs_f64() / worker_time).min(1.0);
+
+    let candidates = [
+        (Bottleneck::Storage, storage_util),
+        (Bottleneck::Cpu, cpu_util),
+        (Bottleneck::Dispatch, dispatch_util),
+        (Bottleneck::Lock, lock_wait_fraction),
+    ];
+    let (kind, value) = candidates
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    // Below half-utilization on everything, nothing is really binding.
+    let bottleneck = if value < 0.5 { Bottleneck::None } else { kind };
+    Some(Diagnosis { storage_util, cpu_util, dispatch_util, lock_wait_fraction, bottleneck })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Presto;
+    use presto_pipeline::sim::{SimDataset, SourceLayout};
+    use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec, Strategy};
+    use presto_storage::Nanos;
+
+    fn dataset(bytes: f64, count: u64) -> SimDataset {
+        SimDataset {
+            name: "diag".into(),
+            sample_count: count,
+            unprocessed_sample_bytes: bytes,
+            layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+        }
+    }
+
+    fn env() -> SimEnv {
+        SimEnv { subset_samples: 3_000, ..SimEnv::paper_vm() }
+    }
+
+    #[test]
+    fn big_cheap_reads_diagnose_as_storage_bound() {
+        let pipeline = Pipeline::new("io").push_spec(StepSpec::native(
+            "concatenated",
+            CostModel::new(500.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+        ));
+        let presto = Presto::new(pipeline, dataset(5_000_000.0, 3_000), env());
+        let profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        let diagnosis = diagnose(&profile, &env()).unwrap();
+        assert_eq!(diagnosis.bottleneck, Bottleneck::Storage, "{diagnosis:?}");
+        assert!(diagnosis.storage_util > 0.9);
+    }
+
+    #[test]
+    fn heavy_native_compute_diagnoses_as_cpu_bound() {
+        let pipeline = Pipeline::new("cpu")
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::new(500.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::native(
+                "crunch",
+                CostModel::new(8_000_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ));
+        let presto = Presto::new(pipeline, dataset(50_000.0, 3_000), env());
+        let profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        let diagnosis = diagnose(&profile, &env()).unwrap();
+        assert_eq!(diagnosis.bottleneck, Bottleneck::Cpu, "{diagnosis:?}");
+        assert!(diagnosis.cpu_util > 0.9);
+    }
+
+    #[test]
+    fn tiny_samples_diagnose_as_dispatch_bound() {
+        let pipeline = Pipeline::new("tiny").push_spec(StepSpec::native(
+            "concatenated",
+            CostModel::new(200.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+        ));
+        let presto = Presto::new(pipeline, dataset(8_000.0, 3_000), env());
+        let profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        let diagnosis = diagnose(&profile, &env()).unwrap();
+        assert_eq!(diagnosis.bottleneck, Bottleneck::Dispatch, "{diagnosis:?}");
+    }
+
+    #[test]
+    fn gil_steps_diagnose_as_lock_bound() {
+        let pipeline = Pipeline::new("gil")
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::new(200.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::global_locked(
+                "py-step",
+                CostModel::new(3_000_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+                Nanos::from_micros(200),
+            ));
+        let presto = Presto::new(pipeline, dataset(50_000.0, 3_000), env());
+        let profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        let diagnosis = diagnose(&profile, &env()).unwrap();
+        assert_eq!(diagnosis.bottleneck, Bottleneck::Lock, "{diagnosis:?}");
+        assert!(diagnosis.lock_wait_fraction > 0.5);
+    }
+
+    #[test]
+    fn failed_profiles_yield_no_diagnosis() {
+        let pipeline = Pipeline::new("x").push_spec(StepSpec::native(
+            "s",
+            CostModel::FREE,
+            SizeModel::IDENTITY,
+        ));
+        let presto = Presto::new(pipeline, dataset(1_000.0, 10), env());
+        let mut profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        profile.epochs.clear();
+        assert!(diagnose(&profile, &env()).is_none());
+    }
+}

@@ -1,0 +1,148 @@
+//! Subset-profiling fidelity — the paper's Section 2 question: *"It is
+//! also necessary to evaluate whether profiling a small sample of the
+//! entire dataset is sufficient to estimate the total processing time,
+//! storage consumption, and T4 throughput."*
+//!
+//! [`sweep`] profiles the same pipeline at increasing sample counts and
+//! reports, per subset size, how far each metric drifts from the
+//! largest (reference) run and whether the recommended strategy
+//! changes. The paper's caveat — "some bottlenecks only show after
+//! local caches are full" — appears as drift for caching-sensitive
+//! strategies at tiny subsets.
+
+use crate::analysis::{StrategyAnalysis, Weights};
+use crate::profiler::Presto;
+
+/// Fidelity of one subset size relative to the reference run.
+#[derive(Debug, Clone)]
+pub struct FidelityPoint {
+    /// Profiled sample count.
+    pub sample_count: u64,
+    /// Recommended strategy label at this subset size.
+    pub recommendation: String,
+    /// True when it matches the reference recommendation.
+    pub recommendation_stable: bool,
+    /// Maximum relative throughput error across strategies vs the
+    /// reference run (0.1 = 10%).
+    pub max_throughput_drift: f64,
+    /// Maximum relative preprocessing-time error across strategies.
+    pub max_preprocessing_drift: f64,
+}
+
+/// Profile at each of `sample_counts` (ascending; the last is the
+/// reference) and measure drift.
+pub fn sweep(presto: &Presto, sample_counts: &[u64], weights: Weights) -> Vec<FidelityPoint> {
+    assert!(sample_counts.len() >= 2, "need at least a probe and a reference size");
+    let analyses: Vec<StrategyAnalysis> = sample_counts
+        .iter()
+        .map(|&n| presto.clone().with_sample_count(n).profile_all(1))
+        .collect();
+    let reference = analyses.last().unwrap();
+    let reference_best = reference.recommend(weights).label;
+
+    analyses
+        .iter()
+        .zip(sample_counts)
+        .map(|(analysis, &n)| {
+            let best = analysis.recommend(weights).label;
+            let mut t_drift = 0.0f64;
+            let mut p_drift = 0.0f64;
+            for (probe, truth) in analysis.profiles().iter().zip(reference.profiles()) {
+                if probe.error.is_some() || truth.error.is_some() {
+                    continue;
+                }
+                let t_ref = truth.throughput_sps();
+                if t_ref > 0.0 {
+                    t_drift = t_drift.max((probe.throughput_sps() - t_ref).abs() / t_ref);
+                }
+                let p_ref = truth.preprocessing_secs();
+                if p_ref > 0.0 {
+                    p_drift =
+                        p_drift.max((probe.preprocessing_secs() - p_ref).abs() / p_ref);
+                }
+            }
+            FidelityPoint {
+                sample_count: n,
+                recommendation_stable: best == reference_best,
+                recommendation: best,
+                max_throughput_drift: t_drift,
+                max_preprocessing_drift: p_drift,
+            }
+        })
+        .collect()
+}
+
+/// Smallest profiled sample count whose recommendation matches the
+/// reference and whose throughput drift is below `tolerance`.
+pub fn sufficient_sample_count(points: &[FidelityPoint], tolerance: f64) -> Option<u64> {
+    points
+        .iter()
+        .find(|p| p.recommendation_stable && p.max_throughput_drift <= tolerance)
+        .map(|p| p.sample_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_pipeline::sim::{SimDataset, SimEnv, SourceLayout};
+    use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+    use presto_storage::Nanos;
+
+    fn presto() -> Presto {
+        let pipeline = Pipeline::new("fid")
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::new(2_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::native(
+                "decoded",
+                CostModel::new(0.0, 20.0, 0.0),
+                SizeModel::scale(4.0),
+            ))
+            .push_spec(StepSpec::native(
+                "shrunk",
+                CostModel::new(0.0, 1.0, 0.0),
+                SizeModel::scale(0.3),
+            ));
+        let dataset = SimDataset {
+            name: "fid-data".into(),
+            sample_count: 50_000,
+            unprocessed_sample_bytes: 120_000.0,
+            layout: SourceLayout::FilePerSample { penalty: Nanos::from_millis(10) },
+        };
+        Presto::new(pipeline, dataset, SimEnv { subset_samples: 50_000, ..SimEnv::paper_vm() })
+    }
+
+    #[test]
+    fn small_subsets_converge_to_the_reference() {
+        let presto = presto();
+        let points = sweep(&presto, &[200, 1_000, 5_000, 20_000], Weights::MAX_THROUGHPUT);
+        assert_eq!(points.len(), 4);
+        // The reference point has zero drift by construction.
+        let last = points.last().unwrap();
+        assert!(last.recommendation_stable);
+        assert!(last.max_throughput_drift < 1e-9);
+        // Drift shrinks (weakly) as the subset grows.
+        assert!(points[0].max_throughput_drift >= last.max_throughput_drift);
+        // A steady-state simulation converges quickly: 5k is plenty.
+        let sufficient = sufficient_sample_count(&points, 0.10).unwrap();
+        assert!(sufficient <= 5_000, "needed {sufficient} samples");
+    }
+
+    #[test]
+    fn recommendation_stability_is_tracked() {
+        let presto = presto();
+        let points = sweep(&presto, &[500, 20_000], Weights::MAX_THROUGHPUT);
+        for p in &points {
+            assert!(!p.recommendation.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a probe")]
+    fn single_size_rejected() {
+        let presto = presto();
+        let _ = sweep(&presto, &[100], Weights::MAX_THROUGHPUT);
+    }
+}

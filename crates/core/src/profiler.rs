@@ -1,0 +1,155 @@
+//! The high-level PRESTO profiler: the paper's `Strategy` wrapper +
+//! `profile_strategy()` entry points over the simulation engine.
+
+use crate::analysis::StrategyAnalysis;
+use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, StrategyProfile};
+use presto_pipeline::{CacheLevel, Pipeline, Strategy};
+use presto_codecs::{Codec, Level};
+
+/// PRESTO profiler for one pipeline/dataset pair.
+///
+/// Mirrors the paper's library design: wrap a pipeline, profile any
+/// strategy (split position + parallelism + sharding + caching +
+/// compression), summarize with [`StrategyAnalysis`].
+#[derive(Debug, Clone)]
+pub struct Presto {
+    simulator: Simulator,
+}
+
+impl Presto {
+    /// Wrap a pipeline for profiling on `dataset` under `env`.
+    pub fn new(pipeline: Pipeline, dataset: SimDataset, env: SimEnv) -> Self {
+        Presto { simulator: Simulator::new(pipeline, dataset, env) }
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.simulator.pipeline
+    }
+
+    /// The dataset being profiled.
+    pub fn dataset(&self) -> &SimDataset {
+        &self.simulator.dataset
+    }
+
+    /// Limit profiling to a sample subset (the paper's `sample_count`
+    /// parameter). Rates stay steady-state; totals are scaled.
+    pub fn with_sample_count(mut self, sample_count: u64) -> Self {
+        self.simulator.env.subset_samples = sample_count;
+        self
+    }
+
+    /// Profile one strategy over `runs_total` epochs — the paper's
+    /// `profile_strategy(sample_count, runs_total)`.
+    pub fn profile_strategy(&self, strategy: &Strategy, runs_total: usize) -> StrategyProfile {
+        self.simulator.profile(strategy, runs_total.max(1))
+    }
+
+    /// Profile every legal split with default knobs and summarize.
+    pub fn profile_all(&self, runs_total: usize) -> StrategyAnalysis {
+        StrategyAnalysis::new(self.simulator.profile_all(runs_total.max(1)))
+    }
+
+    /// Profile every legal split under every knob combination the paper
+    /// sweeps: codecs {none, GZIP, ZLIB} × caches {none, system,
+    /// application}. Thread count stays at the strategy default (8).
+    pub fn profile_grid(&self, runs_total: usize) -> StrategyAnalysis {
+        let mut profiles = Vec::new();
+        for base in Strategy::enumerate(self.pipeline()) {
+            for codec in [Codec::None, Codec::Gzip(Level::DEFAULT), Codec::Zlib(Level::DEFAULT)] {
+                for cache in [CacheLevel::None, CacheLevel::System, CacheLevel::Application] {
+                    // Compression without materialization is meaningless.
+                    if base.split == 0 && !matches!(codec, Codec::None) {
+                        continue;
+                    }
+                    let strategy =
+                        base.clone().with_compression(codec).with_cache(cache);
+                    profiles.push(self.profile_strategy(&strategy, runs_total));
+                }
+            }
+        }
+        StrategyAnalysis::new(profiles)
+    }
+
+    /// Profile one split across thread counts (the paper's
+    /// scalability sweep: 1, 2, 4, 8).
+    pub fn profile_threads(
+        &self,
+        split: usize,
+        threads: &[usize],
+        cache: CacheLevel,
+        runs_total: usize,
+    ) -> Vec<StrategyProfile> {
+        threads
+            .iter()
+            .map(|&t| {
+                let strategy = Strategy::at_split(split).with_threads(t).with_cache(cache);
+                self.profile_strategy(&strategy, runs_total)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Weights;
+    use presto_pipeline::sim::SourceLayout;
+    use presto_pipeline::{CostModel, SizeModel, StepSpec};
+    use presto_storage::Nanos;
+
+    fn presto() -> Presto {
+        let pipeline = Pipeline::new("t")
+            .push_spec(StepSpec::native("concatenated", CostModel::new(3_000.0, 0.0, 0.0), SizeModel::IDENTITY))
+            .push_spec(
+                StepSpec::native("decoded", CostModel::new(0.0, 12.0, 0.0), SizeModel::scale(4.0))
+                    .with_space_saving(0.5, 0.48),
+            )
+            .push_spec(StepSpec::native("shrunk", CostModel::new(0.0, 1.0, 0.0), SizeModel::scale(0.25)));
+        let dataset = SimDataset {
+            name: "t-data".into(),
+            sample_count: 5_000,
+            unprocessed_sample_bytes: 150_000.0,
+            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+        };
+        Presto::new(pipeline, dataset, SimEnv { subset_samples: 1_500, ..SimEnv::paper_vm() })
+    }
+
+    #[test]
+    fn profile_all_recommends_a_strategy() {
+        let presto = presto();
+        let analysis = presto.profile_all(1);
+        assert_eq!(analysis.profiles().len(), 4);
+        let best = analysis.recommend(Weights::MAX_THROUGHPUT);
+        // Never the unprocessed strategy for this IOPS-bound dataset.
+        assert_ne!(best.label, "unprocessed");
+    }
+
+    #[test]
+    fn grid_includes_compression_and_cache_variants() {
+        let presto = presto();
+        let analysis = presto.profile_grid(1);
+        // splits 1..=3 get 9 combos each; split 0 gets 3 (no codecs).
+        assert_eq!(analysis.profiles().len(), 3 + 3 * 9);
+        assert!(analysis
+            .profiles()
+            .iter()
+            .any(|p| p.label.contains("GZIP") && p.label.contains("sys-cache")));
+    }
+
+    #[test]
+    fn thread_sweep_reports_one_profile_per_count() {
+        let presto = presto();
+        let sweep = presto.profile_threads(1, &[1, 2, 4, 8], CacheLevel::None, 1);
+        assert_eq!(sweep.len(), 4);
+        // Concatenated sequential reads should scale with threads.
+        assert!(sweep[3].throughput_sps() > sweep[0].throughput_sps() * 2.0);
+    }
+
+    #[test]
+    fn sample_count_controls_subset() {
+        let presto = presto().with_sample_count(100);
+        let profile = presto.profile_strategy(&Strategy::at_split(1), 1);
+        assert_eq!(profile.epochs[0].stats.samples, 100);
+    }
+}

@@ -1,0 +1,165 @@
+//! Every quantitative claim the paper makes, in structured form.
+//!
+//! Benches print these next to measured values ("paper vs measured")
+//! and integration tests assert the *shape*: orderings must hold and
+//! magnitudes must land within a tolerance factor (the substrate here
+//! is a simulator, not the authors' cluster).
+
+/// One anchored quantity.
+#[derive(Debug, Clone, Copy)]
+pub struct Anchor {
+    /// Pipeline name ("CV", "NLP", …).
+    pub pipeline: &'static str,
+    /// Strategy label ("unprocessed", "resized", …).
+    pub strategy: &'static str,
+    /// What is measured.
+    pub metric: Metric,
+    /// The paper's value.
+    pub value: f64,
+}
+
+/// The quantity an [`Anchor`] pins down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Samples per second (T4).
+    ThroughputSps,
+    /// Average network read rate, MB/s.
+    NetworkMbps,
+    /// Total materialized dataset size, GB.
+    StorageGb,
+    /// Throughput multiplier of system-level caching (2nd epoch).
+    SysCacheSpeedup,
+    /// Throughput multiplier of application-level caching.
+    AppCacheSpeedup,
+}
+
+/// Table 1: the motivating CV trade-off table.
+pub const TABLE1: &[Anchor] = &[
+    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 107.0 },
+    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::StorageGb, value: 146.0 },
+    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::ThroughputSps, value: 576.0 },
+    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::StorageGb, value: 1_535.0 },
+    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::ThroughputSps, value: 1_789.0 },
+    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::StorageGb, value: 494.0 },
+];
+
+/// Table 4: unprocessed vs concatenated (HDD; SSD variants separate).
+pub const TABLE4_HDD: &[Anchor] = &[
+    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 107.0 },
+    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::ThroughputSps, value: 962.0 },
+    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 12.0 },
+    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::NetworkMbps, value: 111.0 },
+    Anchor { pipeline: "CV2-JPG", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 88.0 },
+    Anchor { pipeline: "CV2-JPG", strategy: "concatenated", metric: Metric::ThroughputSps, value: 288.0 },
+    Anchor { pipeline: "CV2-JPG", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 46.0 },
+    Anchor { pipeline: "CV2-JPG", strategy: "concatenated", metric: Metric::NetworkMbps, value: 110.0 },
+    Anchor { pipeline: "CV2-PNG", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 15.0 },
+    Anchor { pipeline: "CV2-PNG", strategy: "concatenated", metric: Metric::ThroughputSps, value: 21.0 },
+    Anchor { pipeline: "CV2-PNG", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 270.0 },
+    Anchor { pipeline: "CV2-PNG", strategy: "concatenated", metric: Metric::NetworkMbps, value: 390.0 },
+    Anchor { pipeline: "NLP", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 6.0 },
+    Anchor { pipeline: "NLP", strategy: "concatenated", metric: Metric::ThroughputSps, value: 6.0 },
+];
+
+/// Table 4 SSD rows.
+pub const TABLE4_SSD: &[Anchor] = &[
+    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 588.0 },
+    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::ThroughputSps, value: 944.0 },
+    Anchor { pipeline: "NLP", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 3.0 },
+    Anchor { pipeline: "NLP", strategy: "concatenated", metric: Metric::ThroughputSps, value: 3.0 },
+];
+
+/// Section 4.1 call-outs beyond the tables.
+pub const SECTION41: &[Anchor] = &[
+    Anchor { pipeline: "CV", strategy: "decoded", metric: Metric::NetworkMbps, value: 491.0 },
+    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::NetworkMbps, value: 470.0 },
+    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::NetworkMbps, value: 585.0 },
+    Anchor { pipeline: "CV2-JPG", strategy: "decoded", metric: Metric::NetworkMbps, value: 828.0 },
+    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::ThroughputSps, value: 1_726.0 },
+    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::NetworkMbps, value: 6.0 },
+    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::ThroughputSps, value: 131.0 },
+    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::NetworkMbps, value: 315.0 },
+    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::NetworkMbps, value: 96.0 },
+    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::NetworkMbps, value: 317.0 },
+    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::NetworkMbps, value: 564.0 },
+];
+
+/// Table 5: caching speedups of each pipeline's last strategy.
+pub const TABLE5: &[Anchor] = &[
+    Anchor { pipeline: "CV2-JPG", strategy: "pixel-centered", metric: Metric::SysCacheSpeedup, value: 3.3 },
+    Anchor { pipeline: "CV2-JPG", strategy: "pixel-centered", metric: Metric::AppCacheSpeedup, value: 15.2 },
+    Anchor { pipeline: "CV2-PNG", strategy: "pixel-centered", metric: Metric::SysCacheSpeedup, value: 3.5 },
+    Anchor { pipeline: "CV2-PNG", strategy: "pixel-centered", metric: Metric::AppCacheSpeedup, value: 14.5 },
+    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::SysCacheSpeedup, value: 4.2 },
+    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::AppCacheSpeedup, value: 8.0 },
+    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::SysCacheSpeedup, value: 1.6 },
+    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::AppCacheSpeedup, value: 2.2 },
+    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::SysCacheSpeedup, value: 1.1 },
+    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::AppCacheSpeedup, value: 1.4 },
+];
+
+/// Storage totals the text calls out (GB).
+pub const STORAGE_TOTALS: &[Anchor] = &[
+    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::StorageGb, value: 347.0 },
+    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::StorageGb, value: 1_400.0 },
+    Anchor { pipeline: "NLP", strategy: "decoded", metric: Metric::StorageGb, value: 0.594 },
+    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::StorageGb, value: 0.647 },
+    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::StorageGb, value: 490.7 },
+];
+
+/// Section 4.6 (Fig. 14) greyscale case-study call-outs.
+pub const FIG14: &[Anchor] = &[
+    // Setup A (greyscale before pixel centering): best strategy
+    // applied-greyscale reaches 4284 SPS vs resized 1513 in that run.
+    Anchor { pipeline: "CV+grey-before", strategy: "applied-greyscale", metric: Metric::ThroughputSps, value: 4_284.0 },
+    Anchor { pipeline: "CV+grey-before", strategy: "resized", metric: Metric::ThroughputSps, value: 1_513.0 },
+    // Setup B (greyscale after): applied-greyscale 1384 vs
+    // pixel-centered 534.
+    Anchor { pipeline: "CV+grey-after", strategy: "applied-greyscale", metric: Metric::ThroughputSps, value: 1_384.0 },
+    Anchor { pipeline: "CV+grey-after", strategy: "pixel-centered", metric: Metric::ThroughputSps, value: 534.0 },
+];
+
+/// Look up an anchor value.
+pub fn find(anchors: &[Anchor], pipeline: &str, strategy: &str, metric: Metric) -> Option<f64> {
+    anchors
+        .iter()
+        .find(|a| a.pipeline == pipeline && a.strategy == strategy && a.metric == metric)
+        .map(|a| a.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_works() {
+        assert_eq!(
+            find(TABLE4_HDD, "CV", "concatenated", Metric::ThroughputSps),
+            Some(962.0)
+        );
+        assert_eq!(find(TABLE4_HDD, "CV", "nope", Metric::ThroughputSps), None);
+    }
+
+    #[test]
+    fn table1_tells_the_motivating_story() {
+        // resized beats pixel-centered (3×) and unprocessed (16.7×)
+        // while storing less than pixel-centered.
+        let resized = find(TABLE1, "CV", "resized", Metric::ThroughputSps).unwrap();
+        let centered = find(TABLE1, "CV", "pixel-centered", Metric::ThroughputSps).unwrap();
+        let unprocessed = find(TABLE1, "CV", "unprocessed", Metric::ThroughputSps).unwrap();
+        assert!(resized / centered > 3.0);
+        assert!(resized / unprocessed > 16.0);
+        let s_resized = find(TABLE1, "CV", "resized", Metric::StorageGb).unwrap();
+        let s_centered = find(TABLE1, "CV", "pixel-centered", Metric::StorageGb).unwrap();
+        assert!(s_resized < s_centered / 3.0);
+    }
+
+    #[test]
+    fn caching_speedups_scale_with_sample_size() {
+        // Table 5's correlation: bigger samples → bigger caching gains.
+        let nilm = find(TABLE5, "NILM", "aggregated", Metric::AppCacheSpeedup).unwrap();
+        let mp3 = find(TABLE5, "MP3", "spectrogram-encoded", Metric::AppCacheSpeedup).unwrap();
+        let flac = find(TABLE5, "FLAC", "spectrogram-encoded", Metric::AppCacheSpeedup).unwrap();
+        assert!(nilm < mp3 && mp3 < flac);
+    }
+}

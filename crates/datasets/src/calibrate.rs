@@ -1,0 +1,177 @@
+//! Cost-model calibration from real measurements.
+//!
+//! The paper's Section 3.1 proposes probing infrastructure by profiling
+//! on a cheap VM and extrapolating with CPU benchmarks. This module is
+//! that bridge for presto-rs: run a *real* [`Step`] implementation on
+//! synthetic inputs of increasing size, time it, and fit the simulator's
+//! linear [`CostModel`] (`fixed + per_in_byte·bytes`) by least squares —
+//! so a pipeline measured once on real hardware can be explored under
+//! any simulated storage configuration.
+
+use presto_pipeline::{CostModel, Sample, SizeModel, Step};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One calibration measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct CalibrationPoint {
+    /// Input payload bytes.
+    pub in_bytes: f64,
+    /// Output payload bytes.
+    pub out_bytes: f64,
+    /// Measured nanoseconds per application.
+    pub nanos: f64,
+}
+
+/// A fitted cost and size model with fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Fitted execution-cost model.
+    pub cost: CostModel,
+    /// Fitted size model (least-squares linear in input bytes).
+    pub size: SizeModel,
+    /// The measurements behind the fit.
+    pub points: Vec<CalibrationPoint>,
+    /// Coefficient of determination of the cost fit (1 = perfect).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares `y = a + b·x`; returns `(a, b, r²)`.
+fn fit_linear(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let cov: f64 = points.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let var_x: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
+    let slope = if var_x > 0.0 { cov / var_x } else { 0.0 };
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|(_, y)| (y - mean_y).powi(2)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
+        .sum();
+    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    (intercept, slope, r_squared)
+}
+
+/// Calibrate a real step: `inputs` supplies a sample for each probe
+/// size; each probe is applied `repeats` times and the median run is
+/// kept (robust against scheduler noise).
+pub fn calibrate_step<F>(
+    step: &dyn Step,
+    mut inputs: F,
+    probe_sizes: &[usize],
+    repeats: usize,
+) -> Calibration
+where
+    F: FnMut(usize) -> Sample,
+{
+    assert!(probe_sizes.len() >= 2, "need at least two probe sizes to fit a line");
+    assert!(repeats >= 1);
+    let mut rng = SmallRng::seed_from_u64(0xCA11B);
+    let mut points = Vec::with_capacity(probe_sizes.len());
+    for &size in probe_sizes {
+        let sample = inputs(size);
+        let in_bytes = sample.nbytes() as f64;
+        let mut runs = Vec::with_capacity(repeats);
+        let mut out_bytes = 0.0;
+        for _ in 0..repeats {
+            let input = sample.clone();
+            let start = Instant::now();
+            let output = step.apply(input, &mut rng).expect("calibration step failed");
+            runs.push(start.elapsed().as_nanos() as f64);
+            out_bytes = output.nbytes() as f64;
+        }
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        points.push(CalibrationPoint {
+            in_bytes,
+            out_bytes,
+            nanos: runs[runs.len() / 2],
+        });
+    }
+
+    let (fixed, per_byte, r_squared) =
+        fit_linear(&points.iter().map(|p| (p.in_bytes, p.nanos)).collect::<Vec<_>>());
+    let (size_fixed, size_factor, _) =
+        fit_linear(&points.iter().map(|p| (p.in_bytes, p.out_bytes)).collect::<Vec<_>>());
+    Calibration {
+        cost: CostModel::new(fixed.max(0.0), per_byte.max(0.0), 0.0),
+        size: SizeModel { fixed_bytes: size_fixed, factor: size_factor.max(0.0) },
+        points,
+        r_squared,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::steps::{DecodeImage, ImageCodec, PixelCenter};
+    use presto_formats::image::jpg;
+    use presto_pipeline::Payload;
+
+    #[test]
+    fn linear_fit_recovers_known_line() {
+        let points: Vec<(f64, f64)> =
+            (1..20).map(|i| (i as f64, 100.0 + 3.0 * i as f64)).collect();
+        let (a, b, r2) = fit_linear(&points);
+        assert!((a - 100.0).abs() < 1e-6);
+        assert!((b - 3.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_calibration_scales_with_input() {
+        let step = DecodeImage(ImageCodec::Jpg);
+        let calibration = calibrate_step(
+            &step,
+            |size| {
+                // size maps to image edge: bigger probe = bigger image.
+                let edge = 32 + size;
+                let img = generators::natural_image(edge, edge, size as u64);
+                Sample::from_bytes(0, jpg::encode(&img, 85))
+            },
+            &[16, 64, 128, 192],
+            3,
+        );
+        // Bigger inputs must take longer: positive per-byte cost.
+        assert!(
+            calibration.cost.ns_per_in_byte > 0.0,
+            "fit: {:?}",
+            calibration.cost
+        );
+        // Decode inflates: fitted size factor > 1.
+        assert!(calibration.size.factor > 1.0, "size fit {:?}", calibration.size);
+        assert!(calibration.points.len() == 4);
+    }
+
+    #[test]
+    fn pixel_center_size_fit_is_4x() {
+        let step = PixelCenter;
+        let calibration = calibrate_step(
+            &step,
+            |size| {
+                let edge = 16 + size;
+                Sample {
+                    key: 0,
+                    payload: Payload::Image(generators::natural_image(edge, edge, 7)),
+                }
+            },
+            &[8, 32, 64],
+            3,
+        );
+        assert!(
+            (calibration.size.factor - 4.0).abs() < 0.05,
+            "u8→f32 must fit ~4x, got {}",
+            calibration.size.factor
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two probe sizes")]
+    fn single_probe_rejected() {
+        let step = PixelCenter;
+        let _ = calibrate_step(&step, |_| Sample::from_bytes(0, vec![0u8]), &[1], 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! The three computer-vision workloads: CV (ILSVRC2012), CV2-JPG and
+//! CV2-PNG (Cube++), Figure 2 of the paper.
+//!
+//! Pipeline: read → concatenated → decoded → resized → pixel-centered →
+//! random-crop (non-deterministic, always online).
+//!
+//! Calibration notes (all from the paper):
+//! - CV decoded sample ≈ 0.6 MB (Sec 4.1 obs 3), resized total 347 GB →
+//!   0.267 MB/sample, pixel-centered 1.4 TB → ×4 (u8 → f32).
+//! - CV2-JPG decoded sample ≈ 13 MB; both Cube++ last strategies store
+//!   1.18 MB/sample (Table 5) → resize outputs are fixed-size.
+//! - Step CPU costs are solved from the strategy throughputs of
+//!   Table 4 / Section 4.1 (962 SPS concatenated ⇒ ~7 ms of online CPU
+//!   per CV sample, etc.).
+//! - Space savings per materialization point from Section 4.3.
+
+use crate::Workload;
+use presto_pipeline::sim::{SimDataset, SourceLayout};
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+use presto_storage::Nanos;
+
+/// Shared shape of all three CV pipelines.
+struct CvParams {
+    name: &'static str,
+    sample_count: u64,
+    unprocessed_bytes: f64,
+    /// Extra per-open cost on the HDD cluster (metadata pressure).
+    penalty: Nanos,
+    /// Decode cost per input byte (JPG ≈ 25 ns/B, PNG inflate ≈ 13 ns/B).
+    decode_ns_per_byte: f64,
+    /// Decoded-size multiplier.
+    decode_factor: f64,
+    /// Fixed size after resize (model input resolution).
+    resized_bytes: f64,
+    /// Pixel centering size multiplier (u8→f32 = 4, u16→f32 = 2).
+    center_factor: f64,
+    /// (gzip, zlib) space saving at each split, in pipeline order:
+    /// concatenated, decoded, resized, pixel-centered.
+    savings: [(f64, f64); 4],
+}
+
+fn cv_pipeline(p: &CvParams) -> Pipeline {
+    Pipeline::new(p.name)
+        .push_spec(
+            StepSpec::native(
+                "concatenated",
+                CostModel::new(2_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            )
+            .with_space_saving(p.savings[0].0, p.savings[0].1),
+        )
+        .push_spec(
+            StepSpec::native(
+                "decoded",
+                CostModel::new(0.0, p.decode_ns_per_byte, 0.0),
+                SizeModel::scale(p.decode_factor),
+            )
+            .with_space_saving(p.savings[1].0, p.savings[1].1),
+        )
+        .push_spec(
+            StepSpec::native(
+                "resized",
+                // Bilinear resample: cost tracks the output pixels.
+                CostModel::new(0.0, 0.0, 9.0),
+                SizeModel::fixed(p.resized_bytes),
+            )
+            .with_space_saving(p.savings[2].0, p.savings[2].1),
+        )
+        .push_spec(
+            StepSpec::native(
+                "pixel-centered",
+                CostModel::new(0.0, 4.1, 0.0),
+                SizeModel::scale(p.center_factor),
+            )
+            .with_space_saving(p.savings[3].0, p.savings[3].1),
+        )
+        .push_spec(
+            StepSpec::native(
+                "random-crop",
+                CostModel::new(0.0, 0.75, 0.0),
+                // 224² crop of a 256² resize plane.
+                SizeModel::scale(0.766),
+            )
+            .non_deterministic(),
+        )
+}
+
+fn cv_workload(p: &CvParams) -> Workload {
+    Workload {
+        pipeline: cv_pipeline(p),
+        dataset: SimDataset {
+            name: format!("{}-dataset", p.name),
+            sample_count: p.sample_count,
+            unprocessed_sample_bytes: p.unprocessed_bytes,
+            layout: SourceLayout::FilePerSample { penalty: p.penalty },
+        },
+    }
+}
+
+/// CV: ILSVRC2012, 1.3 M low-resolution JPGs (146.9 GB).
+pub fn cv() -> Workload {
+    cv_workload(&CvParams {
+        name: "CV",
+        sample_count: 1_300_000,
+        unprocessed_bytes: 113_000.0,
+        penalty: Nanos::from_millis(37),
+        decode_ns_per_byte: 25.0,
+        decode_factor: 5.31, // → 0.6 MB decoded
+        resized_bytes: 267_000.0,
+        center_factor: 4.0, // u8 → f32
+        savings: [(0.02, 0.02), (0.45, 0.44), (0.30, 0.29), (0.85, 0.84)],
+    })
+}
+
+/// CV2-JPG: Cube++ high-resolution 8-bit JPGs (4890 × 0.52 MB).
+pub fn cv2_jpg() -> Workload {
+    cv_workload(&CvParams {
+        name: "CV2-JPG",
+        sample_count: 4_890,
+        unprocessed_bytes: 520_300.0,
+        penalty: Nanos::from_millis(40),
+        decode_ns_per_byte: 25.0,
+        decode_factor: 25.0, // → 13 MB decoded
+        resized_bytes: 295_000.0,
+        center_factor: 4.0,
+        savings: [(0.02, 0.02), (0.41, 0.40), (0.24, 0.23), (0.74, 0.73)],
+    })
+}
+
+/// CV2-PNG: Cube++ 16-bit PNGs (4890 × 17.4 MB).
+pub fn cv2_png() -> Workload {
+    cv_workload(&CvParams {
+        name: "CV2-PNG",
+        sample_count: 4_890,
+        unprocessed_bytes: 17_417_600.0,
+        penalty: Nanos::ZERO, // large files: transfer dominates opens
+        decode_ns_per_byte: 13.0, // inflate
+        decode_factor: 1.49, // → 26 MB of 16-bit pixels
+        resized_bytes: 590_000.0, // 16-bit resize plane
+        center_factor: 2.0, // u16 → f32
+        savings: [(0.003, 0.003), (0.83, 0.82), (0.81, 0.80), (0.93, 0.92)],
+    })
+}
+
+/// The paper's Section 4.6 case study: insert an `applied-greyscale`
+/// step (3× size decrease, cheap) before or after pixel centering.
+pub fn cv_with_greyscale(before_center: bool) -> Workload {
+    let base = cv();
+    let grey = StepSpec::native(
+        "applied-greyscale",
+        CostModel::new(0.0, 1.2, 0.0),
+        SizeModel::scale(1.0 / 3.0),
+    )
+    .with_space_saving(0.35, 0.34);
+    // Pipeline order: concatenated(0) decoded(1) resized(2)
+    // pixel-centered(3) random-crop(4).
+    let pipeline = if before_center {
+        base.pipeline.insert_spec(3, grey)
+    } else {
+        base.pipeline.insert_spec(4, grey)
+    };
+    Workload { pipeline, dataset: base.dataset }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cv_sizes_match_paper_callouts() {
+        let w = cv();
+        let unprocessed = w.dataset.unprocessed_sample_bytes;
+        // decoded ≈ 0.6 MB
+        let decoded = w.pipeline.size_after(2, unprocessed);
+        assert!((decoded / 1e6 - 0.6).abs() < 0.01, "decoded {decoded}");
+        // resized total ≈ 347 GB
+        let resized_total = w.pipeline.size_after(3, unprocessed) * w.dataset.sample_count as f64;
+        assert!((resized_total / 1e9 - 347.0).abs() < 5.0);
+        // pixel-centered total ≈ 1.4 TB
+        let centered_total = w.pipeline.size_after(4, unprocessed) * w.dataset.sample_count as f64;
+        assert!((centered_total / 1e12 - 1.4).abs() < 0.05);
+    }
+
+    #[test]
+    fn cube_last_strategies_store_1_18_mb() {
+        for w in [cv2_jpg(), cv2_png()] {
+            let centered = w.pipeline.size_after(4, w.dataset.unprocessed_sample_bytes);
+            assert!(
+                (centered / 1e6 - 1.18).abs() < 0.01,
+                "{}: {centered}",
+                w.pipeline.name
+            );
+        }
+    }
+
+    #[test]
+    fn cv2_jpg_decoded_is_13_mb() {
+        let w = cv2_jpg();
+        let decoded = w.pipeline.size_after(2, w.dataset.unprocessed_sample_bytes);
+        assert!((decoded / 1e6 - 13.0).abs() < 0.1, "decoded {decoded}");
+    }
+
+    #[test]
+    fn greyscale_insertion_positions() {
+        let before = cv_with_greyscale(true);
+        assert_eq!(
+            before.pipeline.step_names(),
+            vec!["concatenated", "decoded", "resized", "applied-greyscale", "pixel-centered", "random-crop"]
+        );
+        let after = cv_with_greyscale(false);
+        assert_eq!(
+            after.pipeline.step_names(),
+            vec!["concatenated", "decoded", "resized", "pixel-centered", "applied-greyscale", "random-crop"]
+        );
+        // Greyscale before centering shrinks the final dataset 3×.
+        let base = cv();
+        let unprocessed = base.dataset.unprocessed_sample_bytes;
+        let plain = base.pipeline.size_after(4, unprocessed);
+        let grey = before.pipeline.size_after(5, unprocessed);
+        assert!((plain / grey - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn random_crop_is_the_only_online_only_step() {
+        for w in [cv(), cv2_jpg(), cv2_png()] {
+            assert_eq!(w.pipeline.max_split(), 4);
+            assert_eq!(w.pipeline.split_name(4), "pixel-centered");
+        }
+    }
+}

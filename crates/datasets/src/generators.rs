@@ -1,0 +1,212 @@
+//! Synthetic raw-data generators.
+//!
+//! The paper's datasets cannot be redistributed, so the real-engine
+//! examples and tests generate stand-ins with the right *statistics*:
+//! natural-looking images (smooth gradients + texture, so the lossy
+//! codec compresses like JPEG does on photos), speech-like audio
+//! (tonal bursts with envelopes), HTML documents with realistic
+//! markup/content ratios, and mains-electricity windows (sine voltage,
+//! appliance-event currents).
+
+use presto_dsp::image::ImageBuf;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A natural-looking 8-bit RGB image.
+pub fn natural_image(width: usize, height: usize, seed: u64) -> ImageBuf {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (fx1, fx2) = (rng.gen_range(1.5..4.0), rng.gen_range(0.5..2.0));
+    let (fy1, fy2) = (rng.gen_range(1.5..4.0), rng.gen_range(0.5..2.0));
+    let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    let mut data = Vec::with_capacity(width * height * 3);
+    for y in 0..height {
+        for x in 0..width {
+            let u = x as f32 / width as f32;
+            let v = y as f32 / height as f32;
+            let base = 110.0
+                + 70.0 * (u * fx1 + phase).sin()
+                + 45.0 * (v * fy1).cos()
+                + 20.0 * ((u * fx2 + v * fy2) * 6.0).sin();
+            let noise = rng.gen_range(-6.0..6.0);
+            let r = (base + noise).clamp(0.0, 255.0) as u8;
+            let g = (base * 0.9 + 20.0 + noise).clamp(0.0, 255.0) as u8;
+            let b = (base * 0.8 + 10.0 - noise).clamp(0.0, 255.0) as u8;
+            data.extend_from_slice(&[r, g, b]);
+        }
+    }
+    ImageBuf::from_u8(width, height, 3, data)
+}
+
+/// A 16-bit RGB image (the Cube++-PNG stand-in).
+pub fn natural_image_16bit(width: usize, height: usize, seed: u64) -> ImageBuf {
+    let base = natural_image(width, height, seed);
+    let presto_dsp::image::PixelData::U8(v) = &base.data else { unreachable!() };
+    let data: Vec<u16> = v.iter().map(|&p| u16::from(p) << 8 | u16::from(p)).collect();
+    ImageBuf::from_u16(width, height, 3, data)
+}
+
+/// Speech-like mono PCM: tonal bursts under an amplitude envelope.
+pub fn speech_like(seconds: f64, sample_rate: u32, seed: u64) -> Vec<i16> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = (seconds * sample_rate as f64) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut f0 = rng.gen_range(90.0..220.0f64); // fundamental
+    let mut envelope = 0.0f64;
+    let mut voiced = true;
+    let mut segment_left = 0usize;
+    for i in 0..n {
+        if segment_left == 0 {
+            segment_left = rng.gen_range(800..4800); // 50–300 ms at 16 kHz
+            voiced = rng.gen_bool(0.7);
+            f0 = rng.gen_range(90.0..220.0);
+        }
+        segment_left -= 1;
+        let target = if voiced { 0.55 } else { 0.08 };
+        envelope += (target - envelope) * 0.002;
+        let t = i as f64 / sample_rate as f64;
+        let tone = (2.0 * std::f64::consts::PI * f0 * t).sin()
+            + 0.5 * (2.0 * std::f64::consts::PI * 2.0 * f0 * t).sin()
+            + 0.25 * (2.0 * std::f64::consts::PI * 3.0 * f0 * t).sin();
+        let noise = rng.gen_range(-0.3..0.3);
+        let sample = envelope * (if voiced { tone } else { noise * 3.0 });
+        out.push((sample * 14_000.0).clamp(-32_000.0, 32_000.0) as i16);
+    }
+    out
+}
+
+const WORDS: &[&str] = &[
+    "data", "model", "training", "pipeline", "throughput", "storage", "image", "audio",
+    "network", "learning", "system", "performance", "the", "a", "of", "and", "with",
+    "preprocessing", "strategy", "bottleneck", "analysis", "results", "processing",
+];
+
+/// An HTML document with `paragraphs` paragraphs of filler content —
+/// realistic tag/script/entity density for the HTML-decode step.
+pub fn html_document(paragraphs: usize, seed: u64) -> String {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(paragraphs * 400);
+    out.push_str("<html><head><title>Scraped page</title>");
+    out.push_str("<script>var tracker = 'not-content'; function f(){return 1;}</script>");
+    out.push_str("<style>p { margin: 0; } .x { color: #333; }</style></head><body>");
+    for p in 0..paragraphs {
+        out.push_str("<p class=\"content\">");
+        let words = rng.gen_range(30..90);
+        for w in 0..words {
+            if w > 0 {
+                out.push(' ');
+            }
+            let word = WORDS[rng.gen_range(0..WORDS.len())];
+            if rng.gen_bool(0.08) {
+                out.push_str(&format!("<b>{word}</b>"));
+            } else if rng.gen_bool(0.03) {
+                out.push_str("&amp;");
+            } else {
+                out.push_str(word);
+            }
+        }
+        out.push_str("</p>");
+        if p % 5 == 4 {
+            out.push_str("<!-- injected advert placeholder -->");
+        }
+    }
+    out.push_str("</body></html>");
+    out
+}
+
+/// A mains-electricity window: (voltage, current) at `sample_rate` Hz
+/// for `seconds`, with appliance on/off events in the current.
+pub fn electrical_window(seconds: f64, sample_rate: u32, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = (seconds * sample_rate as f64) as usize;
+    let mains_hz = 50.0;
+    let mut voltage = Vec::with_capacity(n);
+    let mut current = Vec::with_capacity(n);
+    let mut load_amps = rng.gen_range(0.5..2.0f64);
+    let mut phase_shift = rng.gen_range(0.0..0.4f64);
+    let mut event_in = rng.gen_range(sample_rate as usize..n.max(sample_rate as usize + 1));
+    for i in 0..n {
+        if event_in == 0 {
+            // Appliance event: step change in load (what MEED detects).
+            load_amps = (load_amps + rng.gen_range(-1.5..2.5)).clamp(0.2, 8.0);
+            phase_shift = rng.gen_range(0.0..0.5);
+            event_in = rng.gen_range(sample_rate as usize / 2..2 * sample_rate as usize);
+        }
+        event_in -= 1;
+        let t = i as f64 / sample_rate as f64;
+        let omega = 2.0 * std::f64::consts::PI * mains_hz * t;
+        voltage.push(230.0 * 2f64.sqrt() * omega.sin() + rng.gen_range(-0.5..0.5));
+        current.push(
+            load_amps * 2f64.sqrt() * (omega - phase_shift).sin()
+                + 0.02 * rng.gen_range(-1.0..1.0),
+        );
+    }
+    (voltage, current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_codecs::Level;
+
+    #[test]
+    fn images_are_deterministic_per_seed() {
+        assert_eq!(natural_image(32, 32, 7), natural_image(32, 32, 7));
+        assert_ne!(natural_image(32, 32, 7), natural_image(32, 32, 8));
+    }
+
+    #[test]
+    fn natural_images_compress_like_photos() {
+        let img = natural_image(256, 256, 1);
+        let jpg = presto_formats::image::jpg::encode(&img, 80);
+        let png = presto_formats::image::png::encode(&img, Level::DEFAULT);
+        let raw = img.nbytes();
+        // Lossy much smaller than raw; lossless in between.
+        assert!(jpg.len() * 4 < raw, "jpg {} of raw {raw}", jpg.len());
+        assert!(png.len() < raw, "png {} of raw {raw}", png.len());
+        assert!(png.len() > jpg.len());
+    }
+
+    #[test]
+    fn sixteen_bit_variant_doubles_storage() {
+        let img8 = natural_image(64, 64, 3);
+        let img16 = natural_image_16bit(64, 64, 3);
+        assert_eq!(img16.nbytes(), img8.nbytes() * 2);
+        assert_eq!(img16.bit_depth(), 16);
+    }
+
+    #[test]
+    fn speech_has_energy_and_fits_i16() {
+        let audio = speech_like(1.0, 16_000, 5);
+        assert_eq!(audio.len(), 16_000);
+        let rms = (audio.iter().map(|&s| f64::from(s).powi(2)).sum::<f64>()
+            / audio.len() as f64)
+            .sqrt();
+        assert!(rms > 300.0, "rms {rms}");
+    }
+
+    #[test]
+    fn html_extracts_to_substantial_text() {
+        let html = html_document(10, 3);
+        let text = presto_text::html::extract_text(&html);
+        assert!(text.len() > 500);
+        assert!(!text.contains('<'));
+        assert!(!text.contains("tracker"), "script content leaked");
+        // Markup overhead: raw HTML much larger than extracted text.
+        assert!(html.len() > text.len());
+    }
+
+    #[test]
+    fn electrical_window_shapes_and_events() {
+        let (v, i) = electrical_window(2.0, 6_400, 9);
+        assert_eq!(v.len(), 12_800);
+        assert_eq!(i.len(), 12_800);
+        // Voltage RMS near 230 V.
+        let v_rms = (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
+        assert!((v_rms - 230.0).abs() < 5.0, "v_rms {v_rms}");
+        // Current RMS varies over time (appliance events).
+        let rms = presto_dsp::signal::period_rms(&i, 6_400 / 50);
+        let min = rms.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rms.iter().cloned().fold(0.0, f64::max);
+        assert!(max > min * 1.05, "no events: {min}..{max}");
+    }
+}

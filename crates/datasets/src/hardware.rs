@@ -1,0 +1,64 @@
+//! Figure 3's accelerator reference lines: ResNet-50 training-ingestion
+//! rates for the hardware the paper plots, taken from the sources it
+//! cites (NVIDIA's Deep Learning performance pages [64] and Ying et
+//! al.'s TPUv3 study [94]). These are reference constants, not
+//! measurements — the paper uses them the same way.
+
+/// One accelerator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Accelerator {
+    /// Device name as shown in Figure 3.
+    pub name: &'static str,
+    /// ResNet-50 images/second the training process can consume.
+    pub resnet50_sps: f64,
+}
+
+/// The Figure 3 device set, ordered by ingestion rate.
+pub const ACCELERATORS: &[Accelerator] = &[
+    Accelerator { name: "A10", resnet50_sps: 920.0 },
+    Accelerator { name: "A30", resnet50_sps: 1_250.0 },
+    Accelerator { name: "V100", resnet50_sps: 1_457.0 },
+    Accelerator { name: "A100", resnet50_sps: 2_566.0 },
+    Accelerator { name: "TPUv3-8", resnet50_sps: 4_000.0 },
+];
+
+/// Does a preprocessing throughput keep this accelerator busy?
+pub fn keeps_busy(accelerator: &Accelerator, preprocessing_sps: f64) -> bool {
+    preprocessing_sps >= accelerator.resnet50_sps
+}
+
+/// Which accelerators stall at a given preprocessing throughput.
+pub fn stalled_at(preprocessing_sps: f64) -> Vec<&'static str> {
+    ACCELERATORS
+        .iter()
+        .filter(|a| !keeps_busy(a, preprocessing_sps))
+        .map(|a| a.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_monotone() {
+        for pair in ACCELERATORS.windows(2) {
+            assert!(pair[0].resnet50_sps < pair[1].resnet50_sps);
+        }
+    }
+
+    /// The paper's Fig. 3 claim: the optimal CV strategy (1789 SPS)
+    /// prevents stalls on A10/A30/V100, but the untuned strategies
+    /// (107 and 576 SPS) stall everything.
+    #[test]
+    fn fig3_stall_claims() {
+        assert_eq!(stalled_at(107.0).len(), ACCELERATORS.len());
+        assert_eq!(stalled_at(576.0).len(), ACCELERATORS.len());
+        let stalled = stalled_at(1_789.0);
+        assert!(!stalled.contains(&"A10"));
+        assert!(!stalled.contains(&"A30"));
+        assert!(!stalled.contains(&"V100"));
+        assert!(stalled.contains(&"A100"));
+        assert!(stalled.contains(&"TPUv3-8"));
+    }
+}

@@ -1,0 +1,122 @@
+#![warn(missing_docs)]
+
+//! # presto-datasets
+//!
+//! The paper's seven profiled pipelines, their (synthetic) datasets,
+//! and everything the experiment benches consume:
+//!
+//! - [`cv`], [`nlp`], [`audio`], [`nilm`]: simulation definitions of
+//!   the CV / CV2-JPG / CV2-PNG / NLP / NILM / MP3 / FLAC pipelines,
+//!   with step cost and size models calibrated against the paper's
+//!   reported numbers (see `anchors`),
+//! - [`anchors`]: every value the paper states (Tables 1–5, figure
+//!   call-outs), used by benches to print *paper vs measured* rows,
+//! - [`synthetic`]: the synthetic record datasets behind Figures 7, 9,
+//!   11 and 13 (sample-size sweeps, caching levels, scaling, the
+//!   NumPy-vs-native RMS step),
+//! - [`hardware`]: Figure 3's accelerator ingestion-rate reference
+//!   lines (from the NVIDIA/TPU sources the paper cites),
+//! - [`growth`]: Figure 1's dataset-growth-over-time literature table,
+//! - [`steps`] + [`generators`]: *real, executable* step
+//!   implementations and synthetic raw-data generators so the same
+//!   pipelines also run on the real multi-threaded engine.
+//!
+//! ## Calibration policy
+//!
+//! Each step's `CostModel`/`SizeModel` is derived from the paper's own
+//! measurements (per-strategy SPS, network MB/s, per-sample sizes) on
+//! its 8-VCPU VM + HDD-Ceph cluster; where the paper gives no number,
+//! a physically plausible value is chosen that preserves the reported
+//! orderings. Datasets read as one-file-per-sample carry a calibrated
+//! `penalty` (extra per-open cost on the HDD cluster beyond the `fio`
+//! baseline of Table 3 — metadata pressure at large file populations),
+//! consistent with the paper's Table 4 gap between fio bandwidth and
+//! pipeline-visible throughput.
+
+pub mod anchors;
+pub mod calibrate;
+pub mod audio;
+pub mod cv;
+pub mod generators;
+pub mod growth;
+pub mod hardware;
+pub mod nilm;
+pub mod nlp;
+pub mod steps;
+pub mod synthetic;
+
+use presto_pipeline::sim::{SimDataset, SimEnv, Simulator};
+use presto_pipeline::Pipeline;
+
+/// A ready-to-profile pipeline/dataset pair.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The pipeline.
+    pub pipeline: Pipeline,
+    /// The dataset it runs on.
+    pub dataset: SimDataset,
+}
+
+impl Workload {
+    /// Build a simulator with the given environment.
+    pub fn simulator(&self, env: SimEnv) -> Simulator {
+        Simulator::new(self.pipeline.clone(), self.dataset.clone(), env)
+    }
+
+    /// Build a simulator for the paper's HDD VM.
+    pub fn simulator_hdd(&self) -> Simulator {
+        self.simulator(SimEnv::paper_vm())
+    }
+}
+
+/// All seven paper workloads, in Table 2 order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        cv::cv(),
+        cv::cv2_jpg(),
+        cv::cv2_png(),
+        nlp::nlp(),
+        nilm::nilm(),
+        audio::mp3(),
+        audio::flac(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_enumerate_and_validate() {
+        let workloads = all_workloads();
+        assert_eq!(workloads.len(), 7);
+        for w in &workloads {
+            assert!(w.pipeline.max_split() >= 1, "{} has no offline split", w.pipeline.name);
+            assert!(w.dataset.sample_count > 0);
+            assert!(w.dataset.unprocessed_sample_bytes > 0.0);
+        }
+    }
+
+    #[test]
+    fn table2_metadata_matches_paper() {
+        // Sample counts and total sizes from the paper's Table 2.
+        let expect: &[(&str, u64, f64)] = &[
+            ("CV", 1_300_000, 146.90),
+            ("CV2-JPG", 4_890, 2.54),
+            ("CV2-PNG", 4_890, 85.17),
+            ("NLP", 181_000, 7.71),
+            ("NILM", 268_000, 39.56),
+            ("MP3", 13_000, 0.25),
+            ("FLAC", 29_000, 6.61),
+        ];
+        for (workload, (name, count, gb)) in all_workloads().iter().zip(expect) {
+            assert_eq!(&workload.pipeline.name, name);
+            assert_eq!(workload.dataset.sample_count, *count, "{name} sample count");
+            let total_gb = workload.dataset.total_bytes() / 1e9;
+            assert!(
+                (total_gb - gb).abs() / gb < 0.05,
+                "{name}: {total_gb:.2} GB vs paper {gb} GB"
+            );
+        }
+    }
+}

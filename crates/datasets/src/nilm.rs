@@ -1,0 +1,94 @@
+//! The NILM workload: MEED-style event-detection preprocessing of the
+//! CREAM electrical dataset (Figure 5 / Section 3.2.4).
+//!
+//! Pipeline: decoded (extract voltage/current from the hour-chunked
+//! container and slice 10 s windows — NumPy in a `py_function`, so
+//! GIL-serialized) → aggregated (reactive power, current RMS, CUSUM
+//! with period 128 → a 3×500 float64 tensor).
+//!
+//! The raw data is already stored as a few hundred large files (one
+//! per hour), so there is no concatenation step and unprocessed reads
+//! are sequential.
+
+use crate::Workload;
+use presto_pipeline::sim::{SimDataset, SourceLayout};
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+use presto_storage::Nanos;
+
+/// The aggregated model input: 3 × 500 float64 = 12 kB.
+pub const AGGREGATED_BYTES: f64 = 12_000.0;
+
+/// The NILM workload.
+pub fn nilm() -> Workload {
+    let pipeline = Pipeline::new("NILM")
+        .push_spec(
+            // NumPy container decode + window slicing under the GIL
+            // (the paper's Fig. 12i slowdown); 2×64000 float64 ≈ 1 MB.
+            StepSpec::global_locked(
+                "decoded",
+                CostModel::new(0.0, 20.0, 0.0),
+                SizeModel::scale(6.64),
+                Nanos::from_millis(2),
+            )
+            .with_rows(2.0)
+            .with_space_saving(0.35, 0.34),
+        )
+        .push_spec(
+            // Aggregation operators over the 0.98 MB window — also
+            // NumPy under the GIL (the paper's Fig. 12i shows the
+            // decoded strategy failing to scale too).
+            StepSpec::global_locked(
+                "aggregated",
+                CostModel::new(0.0, 2.05, 0.0),
+                SizeModel::fixed(AGGREGATED_BYTES),
+                Nanos::from_micros(500),
+            )
+            .with_rows(3.0)
+            .with_space_saving(0.10, 0.10),
+        );
+    Workload {
+        pipeline,
+        dataset: SimDataset {
+            name: "CREAM-X8".into(),
+            sample_count: 268_000,
+            unprocessed_sample_bytes: 147_600.0,
+            // 744 one-hour files of ~53 MB each.
+            layout: SourceLayout::LargeFiles { file_bytes: 53_200_000 },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_shrinks_12x_from_unprocessed() {
+        // Section 3.2 headline: NILM has a strategy that decreases the
+        // initial storage consumption by 12×.
+        let w = nilm();
+        let unprocessed = w.dataset.unprocessed_sample_bytes;
+        let aggregated = w.pipeline.size_after(2, unprocessed);
+        let factor = unprocessed / aggregated;
+        assert!((factor - 12.3).abs() < 0.5, "shrink {factor:.1}x");
+    }
+
+    #[test]
+    fn decoded_window_is_about_1_mb() {
+        let w = nilm();
+        let decoded = w.pipeline.size_after(1, w.dataset.unprocessed_sample_bytes);
+        assert!((decoded / 1e6 - 0.98).abs() < 0.03, "decoded {decoded}");
+    }
+
+    #[test]
+    fn both_steps_can_run_offline() {
+        let w = nilm();
+        assert_eq!(w.pipeline.max_split(), 2);
+    }
+
+    #[test]
+    fn source_is_large_sequential_files() {
+        let w = nilm();
+        assert!(matches!(w.dataset.layout, SourceLayout::LargeFiles { .. }));
+    }
+}

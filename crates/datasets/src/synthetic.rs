@@ -1,0 +1,180 @@
+//! Synthetic record datasets: the workloads behind Figures 7, 9, 11
+//! and 13.
+//!
+//! The paper profiles a 15 GB dataset at sample sizes from 0.01 MB to
+//! 20.5 MB (doubling), for uint8 and float32, measuring read +
+//! deserialize time under three caching levels and 1–8 threads, and
+//! adds an RMS step implemented "externally" (NumPy under the GIL) vs
+//! natively (TensorFlow ops).
+
+use crate::Workload;
+use presto_pipeline::sim::{SimDataset, SourceLayout};
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+use presto_storage::Nanos;
+
+/// Total bytes of every synthetic dataset (the paper's 15 GB).
+pub const TOTAL_BYTES: f64 = 15e9;
+
+/// The paper's sample-size sweep: 0.01 MB → 20.5 MB, doubling.
+pub fn sample_sizes_mb() -> Vec<f64> {
+    let mut sizes = Vec::new();
+    let mut size = 0.01;
+    while size <= 20.5 {
+        sizes.push(size);
+        size *= 2.0;
+    }
+    sizes
+}
+
+/// Element type of the synthetic tensors (Figure 7 compares the two).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthDType {
+    /// Unsigned 8-bit.
+    U8,
+    /// 32-bit float.
+    F32,
+}
+
+/// A materialized synthetic record dataset of `sample_mb` samples.
+///
+/// The pipeline's single pass-through step lets split 1 model "read the
+/// stored records and deserialize" — exactly the paper's read +
+/// deserialization measurement.
+pub fn records(sample_mb: f64, dtype: SynthDType) -> Workload {
+    let sample_bytes = sample_mb * 1e6;
+    let sample_count = (TOTAL_BYTES / sample_bytes).round() as u64;
+    let name = match dtype {
+        SynthDType::U8 => "synthetic-u8",
+        SynthDType::F32 => "synthetic-f32",
+    };
+    let pipeline = Pipeline::new(name).push_spec(StepSpec::native(
+        "concatenated",
+        CostModel::new(1_000.0, 0.0, 0.0),
+        SizeModel::IDENTITY,
+    ));
+    Workload {
+        pipeline,
+        dataset: SimDataset {
+            name: format!("{name}-{sample_mb}MB"),
+            sample_count,
+            unprocessed_sample_bytes: sample_bytes,
+            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+        },
+    }
+}
+
+/// How the Fig. 13 RMS step is implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmsImpl {
+    /// External library under the interpreter lock: 2.9× faster per
+    /// byte single-threaded, but serialized (the paper's NumPy curve).
+    External,
+    /// Native framework op: slower per byte, scales with threads.
+    Native,
+}
+
+/// The Fig. 13 workload: synthetic records + an RMS(period=500) step.
+///
+/// Calibrated from the paper: NumPy processes the 15 GB / 20.5 MB
+/// dataset in 650 s single-threaded (≈ 43 ns/B); TensorFlow needs
+/// 1905 s *with eight threads* (≈ 760 ns/B single-core with 6×
+/// scaling).
+pub fn rms(sample_mb: f64, implementation: RmsImpl) -> Workload {
+    let base = records(sample_mb, SynthDType::F32);
+    let step = match implementation {
+        RmsImpl::External => StepSpec::global_locked(
+            "rms-external",
+            CostModel::new(0.0, 43.0, 0.0),
+            SizeModel::scale(1.0 / 500.0),
+            Nanos::from_micros(500),
+        ),
+        RmsImpl::Native => StepSpec::native(
+            "rms-native",
+            CostModel::new(0.0, 760.0, 0.0),
+            SizeModel::scale(1.0 / 500.0),
+        ),
+    };
+    Workload { pipeline: base.pipeline.push_spec(step), dataset: base.dataset }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_pipeline::sim::SimEnv;
+    use presto_pipeline::{CacheLevel, Strategy};
+
+    #[test]
+    fn sweep_covers_the_paper_range() {
+        let sizes = sample_sizes_mb();
+        assert_eq!(sizes.len(), 12);
+        assert_eq!(sizes[0], 0.01);
+        assert!((sizes[11] - 20.48).abs() < 0.01);
+    }
+
+    #[test]
+    fn sample_counts_span_732_to_1_5m() {
+        let small = records(0.01, SynthDType::F32);
+        assert_eq!(small.dataset.sample_count, 1_500_000);
+        let large = records(20.48, SynthDType::F32);
+        assert_eq!(large.dataset.sample_count, 732);
+    }
+
+    fn processing_secs(sample_mb: f64, cache: CacheLevel, epochs: usize) -> f64 {
+        let workload = records(sample_mb, SynthDType::F32);
+        let env = SimEnv { subset_samples: 30_000, ..SimEnv::paper_vm() };
+        let sim = workload.simulator(env);
+        let strategy = Strategy::at_split(1).with_cache(cache);
+        let profile = sim.profile(&strategy, epochs);
+        profile.epochs.last().unwrap().elapsed_full.as_secs_f64()
+    }
+
+    /// Fig. 7's headline: 0.01 MB samples take ~11× longer than
+    /// 20.5 MB samples for the same 15 GB.
+    #[test]
+    fn small_samples_process_far_slower() {
+        let small = processing_secs(0.01, CacheLevel::None, 1);
+        let large = processing_secs(20.48, CacheLevel::None, 1);
+        let ratio = small / large;
+        assert!(
+            ratio > 5.0 && ratio < 20.0,
+            "ratio {ratio:.1} (paper: 11x; small {small:.0}s large {large:.0}s)"
+        );
+    }
+
+    /// Fig. 9: at tiny samples, sys-cache ≈ no-cache (caching nullified).
+    #[test]
+    fn caching_nullified_at_tiny_samples() {
+        let no_cache = processing_secs(0.01, CacheLevel::None, 2);
+        let sys_cache = processing_secs(0.01, CacheLevel::System, 2);
+        let gain = no_cache / sys_cache;
+        assert!(gain < 1.5, "gain {gain:.2} should be marginal");
+    }
+
+    /// Fig. 9: at large samples, sys-cache helps a lot.
+    #[test]
+    fn caching_pays_at_large_samples() {
+        let no_cache = processing_secs(20.48, CacheLevel::None, 2);
+        let sys_cache = processing_secs(20.48, CacheLevel::System, 2);
+        let gain = no_cache / sys_cache;
+        assert!(gain > 2.0, "gain {gain:.2}");
+    }
+
+    /// Fig. 13: the external RMS is absolutely faster despite not
+    /// scaling — "it pays off to use the less scalable but more
+    /// efficient implementation".
+    #[test]
+    fn external_rms_beats_native_in_absolute_time() {
+        let env = SimEnv { subset_samples: 800, ..SimEnv::paper_vm() };
+        let strategy = Strategy::at_split(1).with_threads(8);
+        let ext = rms(20.48, RmsImpl::External)
+            .simulator(env.clone())
+            .profile(&strategy, 1);
+        let native = rms(20.48, RmsImpl::Native).simulator(env).profile(&strategy, 1);
+        assert!(
+            ext.throughput_sps() > native.throughput_sps(),
+            "external {:.1} vs native {:.1}",
+            ext.throughput_sps(),
+            native.throughput_sps()
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use std::f64::consts::PI;
+use std::ops::{Add, Mul, Sub};
+
+/// A complex number over f64.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i·theta}`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+/// In-place forward FFT. `data.len()` must be a power of two.
+pub fn fft_inplace(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u32).reverse_bits() >> (32 - bits);
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * PI / len as f64;
+        let wlen = Complex::from_angle(angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w = w * wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Inverse FFT (unnormalized conjugate trick, then scaled by 1/n).
+pub fn ifft_inplace(data: &mut [Complex]) {
+    for value in data.iter_mut() {
+        value.im = -value.im;
+    }
+    fft_inplace(data);
+    let n = data.len() as f64;
+    for value in data.iter_mut() {
+        value.re /= n;
+        value.im = -value.im / n;
+    }
+}
+
+/// FFT of a real signal, zero-padded to the next power of two; returns
+/// the first `n/2 + 1` (non-redundant) bins.
+pub fn rfft(signal: &[f64]) -> Vec<Complex> {
+    let n = signal.len().next_power_of_two().max(2);
+    let mut buf: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    buf.resize(n, Complex::default());
+    fft_inplace(&mut buf);
+    buf.truncate(n / 2 + 1);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_inplace(&mut data);
+        for bin in &data {
+            assert!(approx(bin.re, 1.0) && approx(bin.im, 0.0));
+        }
+    }
+
+    #[test]
+    fn fft_of_dc_is_impulse() {
+        let mut data = vec![Complex::new(1.0, 0.0); 8];
+        fft_inplace(&mut data);
+        assert!(approx(data[0].re, 8.0));
+        for bin in &data[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let freq = 5;
+        let signal: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((2.0 * PI * freq as f64 * i as f64 / n as f64).cos(), 0.0))
+            .collect();
+        let mut data = signal;
+        fft_inplace(&mut data);
+        // Energy splits between bins `freq` and `n - freq`.
+        assert!(approx(data[freq].abs(), n as f64 / 2.0));
+        assert!(approx(data[n - freq].abs(), n as f64 / 2.0));
+        for (i, bin) in data.iter().enumerate() {
+            if i != freq && i != n - freq {
+                assert!(bin.abs() < 1e-6, "bin {i} has magnitude {}", bin.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let original: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let mut data = original.clone();
+        fft_inplace(&mut data);
+        ifft_inplace(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            assert!(approx(a.re, b.re) && approx(a.im, b.im));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let signal: Vec<Complex> =
+            (0..128).map(|i| Complex::new(((i * 37) % 17) as f64 - 8.0, 0.0)).collect();
+        let time_energy: f64 = signal.iter().map(|c| c.norm_sqr()).sum();
+        let mut data = signal;
+        fft_inplace(&mut data);
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rfft_pads_to_power_of_two() {
+        let bins = rfft(&[1.0; 100]);
+        assert_eq!(bins.len(), 128 / 2 + 1);
+        assert!(approx(bins[0].re, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::default(); 12];
+        fft_inplace(&mut data);
+    }
+}

@@ -1,0 +1,294 @@
+//! Image transformations used by the CV pipelines: bilinear resize,
+//! greyscale conversion, pixel centering and cropping.
+//!
+//! Images are interleaved (HWC) buffers with 8- or 16-bit channels —
+//! the two depths in the paper's datasets (ILSVRC2012/Cube++-JPG are
+//! 8-bit, Cube++-PNG is 16-bit).
+
+/// Channel storage for the two bit depths in the paper's datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PixelData {
+    /// 8 bits per channel.
+    U8(Vec<u8>),
+    /// 16 bits per channel.
+    U16(Vec<u16>),
+}
+
+impl PixelData {
+    fn len(&self) -> usize {
+        match self {
+            PixelData::U8(v) => v.len(),
+            PixelData::U16(v) => v.len(),
+        }
+    }
+
+    /// Value of sample `idx` as f32.
+    fn get(&self, idx: usize) -> f32 {
+        match self {
+            PixelData::U8(v) => f32::from(v[idx]),
+            PixelData::U16(v) => f32::from(v[idx]),
+        }
+    }
+
+    /// Maximum representable channel value.
+    fn max_value(&self) -> f32 {
+        match self {
+            PixelData::U8(_) => 255.0,
+            PixelData::U16(_) => 65_535.0,
+        }
+    }
+}
+
+/// An interleaved (height × width × channels) image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageBuf {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Channels per pixel (1 = greyscale, 3 = RGB).
+    pub channels: usize,
+    /// Channel samples, row-major interleaved.
+    pub data: PixelData,
+}
+
+impl ImageBuf {
+    /// Construct from 8-bit samples. Panics on size mismatch.
+    pub fn from_u8(width: usize, height: usize, channels: usize, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), width * height * channels, "pixel buffer size mismatch");
+        ImageBuf { width, height, channels, data: PixelData::U8(data) }
+    }
+
+    /// Construct from 16-bit samples. Panics on size mismatch.
+    pub fn from_u16(width: usize, height: usize, channels: usize, data: Vec<u16>) -> Self {
+        assert_eq!(data.len(), width * height * channels, "pixel buffer size mismatch");
+        ImageBuf { width, height, channels, data: PixelData::U16(data) }
+    }
+
+    /// Bytes of pixel storage.
+    pub fn nbytes(&self) -> usize {
+        match &self.data {
+            PixelData::U8(v) => v.len(),
+            PixelData::U16(v) => v.len() * 2,
+        }
+    }
+
+    /// Bits per channel (8 or 16).
+    pub fn bit_depth(&self) -> u8 {
+        match &self.data {
+            PixelData::U8(_) => 8,
+            PixelData::U16(_) => 16,
+        }
+    }
+
+    fn sample_f32(&self, x: usize, y: usize, c: usize) -> f32 {
+        self.data.get((y * self.width + x) * self.channels + c)
+    }
+
+    /// Bilinear resize to `new_width × new_height`, preserving bit depth.
+    pub fn resize(&self, new_width: usize, new_height: usize) -> ImageBuf {
+        assert!(new_width > 0 && new_height > 0);
+        let scale_x = self.width as f32 / new_width as f32;
+        let scale_y = self.height as f32 / new_height as f32;
+        let mut out = vec![0f32; new_width * new_height * self.channels];
+        for y in 0..new_height {
+            // Sample at pixel centers.
+            let sy = ((y as f32 + 0.5) * scale_y - 0.5).clamp(0.0, (self.height - 1) as f32);
+            let y0 = sy.floor() as usize;
+            let y1 = (y0 + 1).min(self.height - 1);
+            let fy = sy - y0 as f32;
+            for x in 0..new_width {
+                let sx = ((x as f32 + 0.5) * scale_x - 0.5).clamp(0.0, (self.width - 1) as f32);
+                let x0 = sx.floor() as usize;
+                let x1 = (x0 + 1).min(self.width - 1);
+                let fx = sx - x0 as f32;
+                for c in 0..self.channels {
+                    let top = self.sample_f32(x0, y0, c) * (1.0 - fx)
+                        + self.sample_f32(x1, y0, c) * fx;
+                    let bottom = self.sample_f32(x0, y1, c) * (1.0 - fx)
+                        + self.sample_f32(x1, y1, c) * fx;
+                    out[(y * new_width + x) * self.channels + c] =
+                        top * (1.0 - fy) + bottom * fy;
+                }
+            }
+        }
+        match &self.data {
+            PixelData::U8(_) => ImageBuf::from_u8(
+                new_width,
+                new_height,
+                self.channels,
+                out.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect(),
+            ),
+            PixelData::U16(_) => ImageBuf::from_u16(
+                new_width,
+                new_height,
+                self.channels,
+                out.iter().map(|&v| v.round().clamp(0.0, 65_535.0) as u16).collect(),
+            ),
+        }
+    }
+
+    /// Convert to single-channel greyscale with ITU-R BT.601 luma
+    /// weights — the paper's Fig. 14 case-study step (3× size decrease).
+    pub fn greyscale(&self) -> ImageBuf {
+        if self.channels == 1 {
+            return self.clone();
+        }
+        assert_eq!(self.channels, 3, "greyscale expects RGB input");
+        let pixels = self.width * self.height;
+        match &self.data {
+            PixelData::U8(v) => {
+                let data = (0..pixels)
+                    .map(|p| {
+                        let r = f32::from(v[p * 3]);
+                        let g = f32::from(v[p * 3 + 1]);
+                        let b = f32::from(v[p * 3 + 2]);
+                        (0.299 * r + 0.587 * g + 0.114 * b).round().clamp(0.0, 255.0) as u8
+                    })
+                    .collect();
+                ImageBuf::from_u8(self.width, self.height, 1, data)
+            }
+            PixelData::U16(v) => {
+                let data = (0..pixels)
+                    .map(|p| {
+                        let r = f32::from(v[p * 3]);
+                        let g = f32::from(v[p * 3 + 1]);
+                        let b = f32::from(v[p * 3 + 2]);
+                        (0.299 * r + 0.587 * g + 0.114 * b).round().clamp(0.0, 65_535.0) as u16
+                    })
+                    .collect();
+                ImageBuf::from_u16(self.width, self.height, 1, data)
+            }
+        }
+    }
+
+    /// Pixel centering: map channels to `f32` in `[-1, 1]`. This is the
+    /// step that quadruples (u8) storage consumption in the paper's CV
+    /// pipelines.
+    pub fn pixel_center(&self) -> Vec<f32> {
+        let half = self.data.max_value() / 2.0;
+        (0..self.data.len()).map(|i| (self.data.get(i) - half) / half).collect()
+    }
+
+    /// Crop a `crop_width × crop_height` region at offset `(x0, y0)`.
+    /// The caller supplies offsets so the operation stays deterministic;
+    /// random-crop steps draw them from their own RNG.
+    pub fn crop(&self, x0: usize, y0: usize, crop_width: usize, crop_height: usize) -> ImageBuf {
+        assert!(x0 + crop_width <= self.width && y0 + crop_height <= self.height,
+                "crop out of bounds");
+        let c = self.channels;
+        match &self.data {
+            PixelData::U8(v) => {
+                let mut data = Vec::with_capacity(crop_width * crop_height * c);
+                for y in y0..y0 + crop_height {
+                    let start = (y * self.width + x0) * c;
+                    data.extend_from_slice(&v[start..start + crop_width * c]);
+                }
+                ImageBuf::from_u8(crop_width, crop_height, c, data)
+            }
+            PixelData::U16(v) => {
+                let mut data = Vec::with_capacity(crop_width * crop_height * c);
+                for y in y0..y0 + crop_height {
+                    let start = (y * self.width + x0) * c;
+                    data.extend_from_slice(&v[start..start + crop_width * c]);
+                }
+                ImageBuf::from_u16(crop_width, crop_height, c, data)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient_rgb(w: usize, h: usize) -> ImageBuf {
+        let mut data = Vec::with_capacity(w * h * 3);
+        for y in 0..h {
+            for x in 0..w {
+                data.push((x * 255 / w.max(1)) as u8);
+                data.push((y * 255 / h.max(1)) as u8);
+                data.push(128);
+            }
+        }
+        ImageBuf::from_u8(w, h, 3, data)
+    }
+
+    #[test]
+    fn resize_shrinks_storage_as_expected() {
+        let img = gradient_rgb(500, 400);
+        let resized = img.resize(224, 224);
+        assert_eq!(resized.width, 224);
+        assert_eq!(resized.height, 224);
+        assert_eq!(resized.nbytes(), 224 * 224 * 3);
+    }
+
+    #[test]
+    fn resize_of_constant_image_is_constant() {
+        let img = ImageBuf::from_u8(64, 64, 3, vec![100; 64 * 64 * 3]);
+        let resized = img.resize(17, 31);
+        if let PixelData::U8(v) = &resized.data {
+            assert!(v.iter().all(|&p| p == 100));
+        } else {
+            panic!("depth changed");
+        }
+    }
+
+    #[test]
+    fn resize_identity_dimensions_preserves_pixels() {
+        let img = gradient_rgb(32, 32);
+        let same = img.resize(32, 32);
+        assert_eq!(same, img);
+    }
+
+    #[test]
+    fn greyscale_reduces_channels_by_three() {
+        let img = gradient_rgb(100, 50);
+        let grey = img.greyscale();
+        assert_eq!(grey.channels, 1);
+        assert_eq!(grey.nbytes() * 3, img.nbytes());
+    }
+
+    #[test]
+    fn greyscale_of_white_is_white_in_both_depths() {
+        let img8 = ImageBuf::from_u8(2, 2, 3, vec![255; 12]);
+        assert_eq!(img8.greyscale().data, PixelData::U8(vec![255; 4]));
+        let img16 = ImageBuf::from_u16(2, 2, 3, vec![65_535; 12]);
+        assert_eq!(img16.greyscale().data, PixelData::U16(vec![65_535; 4]));
+    }
+
+    #[test]
+    fn pixel_center_quadruples_u8_storage_and_bounds_values() {
+        let img = gradient_rgb(10, 10);
+        let centered = img.pixel_center();
+        assert_eq!(centered.len() * 4, img.nbytes() * 4);
+        assert!(centered.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        // Mid-grey maps near zero.
+        let mid = ImageBuf::from_u8(1, 1, 1, vec![128]).pixel_center();
+        assert!(mid[0].abs() < 0.01);
+    }
+
+    #[test]
+    fn crop_extracts_expected_region() {
+        let img = gradient_rgb(8, 8);
+        let crop = img.crop(2, 3, 4, 2);
+        assert_eq!((crop.width, crop.height), (4, 2));
+        // First pixel of the crop equals (2,3) of the source.
+        assert_eq!(crop.sample_f32(0, 0, 0), img.sample_f32(2, 3, 0));
+        assert_eq!(crop.sample_f32(3, 1, 1), img.sample_f32(5, 4, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "crop out of bounds")]
+    fn crop_out_of_bounds_panics() {
+        gradient_rgb(8, 8).crop(5, 5, 4, 4);
+    }
+
+    #[test]
+    fn sixteen_bit_resize_preserves_depth() {
+        let img = ImageBuf::from_u16(16, 16, 3, vec![40_000; 16 * 16 * 3]);
+        let resized = img.resize(8, 8);
+        assert_eq!(resized.bit_depth(), 16);
+        assert_eq!(resized.nbytes(), 8 * 8 * 3 * 2);
+    }
+}

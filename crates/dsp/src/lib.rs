@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # presto-dsp
+//!
+//! Signal- and image-processing kernels used by the paper's pipelines:
+//!
+//! - [`fft`]: iterative radix-2 complex FFT,
+//! - [`stft`]: short-time Fourier transform with Hann windowing and the
+//!   80-bin mel-scale filter bank of the Deep-Speech-style audio
+//!   pipelines (20 ms windows, 10 ms stride),
+//! - [`signal`]: the NILM aggregation operators — period RMS, reactive
+//!   power, and cumulative sum (MEED-style event-detection features),
+//! - [`image`]: the CV pipeline's transformations — bilinear resize,
+//!   greyscale conversion, pixel centering and random crop.
+//!
+//! All kernels are real computations (not cost stubs); the simulation
+//! layer mirrors them with calibrated cost models so experiments can be
+//! regenerated machine-independently.
+
+pub mod fft;
+pub mod image;
+pub mod signal;
+pub mod stft;
+
+pub use fft::{fft_inplace, Complex};
+pub use image::ImageBuf;

@@ -1,0 +1,222 @@
+//! Short-time Fourier transform and mel-scale filter bank, matching the
+//! paper's audio pipelines: 20 ms Hann windows with 10 ms stride, then
+//! an 80-bin mel filter bank producing a `frames × 80` float tensor.
+
+use crate::fft::{fft_inplace, Complex};
+
+/// STFT parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StftConfig {
+    /// Samples per window (paper: 20 ms at the dataset's sample rate).
+    pub window: usize,
+    /// Samples between consecutive windows (paper: 10 ms).
+    pub stride: usize,
+}
+
+impl StftConfig {
+    /// The paper's configuration for a given sample rate: a 20 ms
+    /// window with a 10 ms stride.
+    pub fn paper_default(sample_rate: u32) -> Self {
+        StftConfig {
+            window: (sample_rate as usize) / 50,
+            stride: (sample_rate as usize) / 100,
+        }
+    }
+
+    /// Number of frames produced for a signal of `len` samples
+    /// (the paper's `(l - 20ms + 10ms) / 10ms`).
+    pub fn frames(&self, len: usize) -> usize {
+        if len < self.window {
+            0
+        } else {
+            (len - self.window) / self.stride + 1
+        }
+    }
+}
+
+/// Hann window coefficients.
+pub fn hann_window(len: usize) -> Vec<f64> {
+    if len <= 1 {
+        return vec![1.0; len];
+    }
+    (0..len)
+        .map(|i| {
+            let x = std::f64::consts::PI * i as f64 / (len - 1) as f64;
+            let s = x.sin();
+            s * s
+        })
+        .collect()
+}
+
+/// Magnitude spectrogram: rows = frames, cols = `fft_len/2 + 1` bins.
+pub fn spectrogram(signal: &[f64], config: StftConfig) -> Vec<Vec<f64>> {
+    let frames = config.frames(signal.len());
+    let fft_len = config.window.next_power_of_two().max(2);
+    let window = hann_window(config.window);
+    let mut out = Vec::with_capacity(frames);
+    let mut buf = vec![Complex::default(); fft_len];
+    for frame in 0..frames {
+        let start = frame * config.stride;
+        for (i, slot) in buf.iter_mut().enumerate() {
+            *slot = if i < config.window {
+                Complex::new(signal[start + i] * window[i], 0.0)
+            } else {
+                Complex::default()
+            };
+        }
+        fft_inplace(&mut buf);
+        out.push(buf[..fft_len / 2 + 1].iter().map(|c| c.abs()).collect());
+    }
+    out
+}
+
+/// Hz → mel (HTK formula).
+pub fn hz_to_mel(hz: f64) -> f64 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// mel → Hz.
+pub fn mel_to_hz(mel: f64) -> f64 {
+    700.0 * (10f64.powf(mel / 2595.0) - 1.0)
+}
+
+/// Triangular mel filter bank: `n_mels` filters over `n_bins` linear
+/// frequency bins spanning `0..=sample_rate/2`.
+pub fn mel_filterbank(n_mels: usize, n_bins: usize, sample_rate: u32) -> Vec<Vec<f64>> {
+    let f_max = sample_rate as f64 / 2.0;
+    let mel_max = hz_to_mel(f_max);
+    // n_mels + 2 equally spaced mel points.
+    let points: Vec<f64> = (0..n_mels + 2)
+        .map(|i| mel_to_hz(mel_max * i as f64 / (n_mels + 1) as f64))
+        .collect();
+    let bin_hz = |bin: usize| bin as f64 * f_max / (n_bins - 1) as f64;
+    let mut bank = Vec::with_capacity(n_mels);
+    for m in 1..=n_mels {
+        let (lo, mid, hi) = (points[m - 1], points[m], points[m + 1]);
+        let mut filter = vec![0.0; n_bins];
+        for (bin, weight) in filter.iter_mut().enumerate() {
+            let f = bin_hz(bin);
+            if f > lo && f < hi {
+                *weight = if f <= mid {
+                    (f - lo) / (mid - lo).max(f64::EPSILON)
+                } else {
+                    (hi - f) / (hi - mid).max(f64::EPSILON)
+                };
+            }
+        }
+        bank.push(filter);
+    }
+    bank
+}
+
+/// Full paper audio featurization: STFT magnitudes projected through an
+/// `n_mels`-bin filter bank, log-compressed. Output: `frames × n_mels`.
+pub fn mel_spectrogram(
+    signal: &[f64],
+    sample_rate: u32,
+    n_mels: usize,
+) -> Vec<Vec<f32>> {
+    let config = StftConfig::paper_default(sample_rate);
+    let spec = spectrogram(signal, config);
+    if spec.is_empty() {
+        return Vec::new();
+    }
+    let n_bins = spec[0].len();
+    let bank = mel_filterbank(n_mels, n_bins, sample_rate);
+    spec.iter()
+        .map(|frame| {
+            bank.iter()
+                .map(|filter| {
+                    let energy: f64 =
+                        filter.iter().zip(frame).map(|(w, m)| w * m * m).sum();
+                    ((energy + 1e-10).ln()) as f32
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_count_matches_paper_formula() {
+        // 16 kHz, 1 second: window 320, stride 160 → (16000-320)/160+1 = 99
+        let config = StftConfig::paper_default(16_000);
+        assert_eq!(config.window, 320);
+        assert_eq!(config.stride, 160);
+        assert_eq!(config.frames(16_000), 99);
+        assert_eq!(config.frames(100), 0);
+    }
+
+    #[test]
+    fn hann_window_endpoints_and_symmetry() {
+        let w = hann_window(64);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[63].abs() < 1e-12);
+        for i in 0..32 {
+            assert!((w[i] - w[63 - i]).abs() < 1e-12);
+        }
+        assert!((w[31] - w[32]).abs() < 0.01); // near-peak plateau
+    }
+
+    #[test]
+    fn tone_concentrates_in_expected_bin() {
+        let sample_rate = 16_000u32;
+        let freq = 1000.0;
+        let signal: Vec<f64> = (0..3200)
+            .map(|i| (2.0 * std::f64::consts::PI * freq * i as f64 / sample_rate as f64).sin())
+            .collect();
+        let spec = spectrogram(&signal, StftConfig::paper_default(sample_rate));
+        assert!(!spec.is_empty());
+        // FFT length = 512 (next pow2 of 320); bin width = 16000/512 = 31.25 Hz
+        let frame = &spec[spec.len() / 2];
+        let peak = frame
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        let peak_hz = peak as f64 * 31.25;
+        assert!((peak_hz - freq).abs() <= 31.25, "peak at {peak_hz} Hz");
+    }
+
+    #[test]
+    fn mel_conversions_invert() {
+        for hz in [0.0, 100.0, 440.0, 4000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn filterbank_shape_and_coverage() {
+        let bank = mel_filterbank(80, 257, 16_000);
+        assert_eq!(bank.len(), 80);
+        assert!(bank.iter().all(|f| f.len() == 257));
+        // Every filter has some mass; mid-range bins are covered.
+        for filter in &bank {
+            assert!(filter.iter().sum::<f64>() > 0.0);
+        }
+        let coverage: Vec<f64> = (0..257)
+            .map(|bin| bank.iter().map(|f| f[bin]).sum())
+            .collect();
+        let covered = coverage[5..250].iter().filter(|&&c| c > 0.0).count();
+        assert!(covered > 230, "only {covered} bins covered");
+    }
+
+    #[test]
+    fn mel_spectrogram_matches_paper_dimensions() {
+        // The paper's model input: (l - 20ms + 10ms)/10ms frames × 80 mels.
+        let sample_rate = 16_000;
+        let signal = vec![0.1f64; 16_000]; // 1 second
+        let features = mel_spectrogram(&signal, sample_rate, 80);
+        assert_eq!(features.len(), 99);
+        assert_eq!(features[0].len(), 80);
+    }
+
+    #[test]
+    fn short_signal_yields_empty_output() {
+        assert!(mel_spectrogram(&[0.0; 10], 16_000, 80).is_empty());
+    }
+}

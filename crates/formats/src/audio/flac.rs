@@ -1,0 +1,280 @@
+//! Lossless predictive audio codec (FLAC stand-in).
+//!
+//! FLAC's core design: per-frame fixed linear predictors of order 0–4,
+//! residuals encoded with Rice/Golomb codes. This module implements
+//! exactly that (for mono 16-bit PCM), giving the same computational
+//! shape (prediction + Rice decode per sample) and similar ~2×
+//! compression on tonal signals.
+//!
+//! Container layout:
+//! `"PFL1" | sample_rate u32 | n_samples u64 | frame_size u32 | frames…`
+//! Each frame: `order u8 | rice_k u8 | warmup i16×order | rice residuals`
+//! followed by bit padding to the next byte.
+
+use crate::FormatError;
+use presto_codecs::bitio::{BitReader, BitWriter};
+
+const MAGIC: &[u8; 4] = b"PFL1";
+/// Default samples per frame (FLAC's common choice).
+pub const DEFAULT_FRAME: usize = 4096;
+const MAX_ORDER: usize = 4;
+
+/// Fixed-predictor residual at `i` for a given order (needs `i >= order`).
+fn residual(samples: &[i16], i: usize, order: usize) -> i64 {
+    let x = |k: usize| i64::from(samples[i - k]);
+    match order {
+        0 => x(0),
+        1 => x(0) - x(1),
+        2 => x(0) - 2 * x(1) + x(2),
+        3 => x(0) - 3 * x(1) + 3 * x(2) - x(3),
+        4 => x(0) - 4 * x(1) + 6 * x(2) - 4 * x(3) + x(4),
+        _ => unreachable!(),
+    }
+}
+
+/// Reconstruct sample `i` from its residual and previous samples.
+fn reconstruct(samples: &[i16], i: usize, order: usize, res: i64) -> i64 {
+    let x = |k: usize| i64::from(samples[i - k]);
+    match order {
+        0 => res,
+        1 => res + x(1),
+        2 => res + 2 * x(1) - x(2),
+        3 => res + 3 * x(1) - 3 * x(2) + x(3),
+        4 => res + 4 * x(1) - 6 * x(2) + 4 * x(3) - x(4),
+        _ => unreachable!(),
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Optimal-ish Rice parameter for a mean absolute residual.
+fn rice_parameter(sum_abs: u64, count: usize) -> u32 {
+    if count == 0 {
+        return 0;
+    }
+    let mean = sum_abs / count as u64;
+    let mut k = 0u32;
+    while (1u64 << k) < mean + 1 && k < 30 {
+        k += 1;
+    }
+    k
+}
+
+fn write_rice(writer: &mut BitWriter, value: u64, k: u32) {
+    let q = value >> k;
+    // Unary quotient: q zero bits then a one bit.
+    for _ in 0..q {
+        writer.write_bits(0, 1);
+    }
+    writer.write_bits(1, 1);
+    if k > 0 {
+        writer.write_bits((value & ((1u64 << k) - 1)) as u32, k);
+    }
+}
+
+fn read_rice(reader: &mut BitReader<'_>, k: u32) -> Result<u64, FormatError> {
+    let mut q = 0u64;
+    loop {
+        let bit = reader.read_bits(1).map_err(|_| FormatError::UnexpectedEof)?;
+        if bit == 1 {
+            break;
+        }
+        q += 1;
+        if q > 1 << 24 {
+            return Err(FormatError::Corrupt("unary run too long"));
+        }
+    }
+    let low = if k > 0 {
+        u64::from(reader.read_bits(k).map_err(|_| FormatError::UnexpectedEof)?)
+    } else {
+        0
+    };
+    Ok((q << k) | low)
+}
+
+/// Encode mono 16-bit PCM.
+pub fn encode(samples: &[i16], sample_rate: u32) -> Vec<u8> {
+    encode_with_frame(samples, sample_rate, DEFAULT_FRAME)
+}
+
+/// Encode with an explicit frame size (must be > MAX_ORDER).
+pub fn encode_with_frame(samples: &[i16], sample_rate: u32, frame_size: usize) -> Vec<u8> {
+    assert!(frame_size > MAX_ORDER, "frame size must exceed max predictor order");
+    let mut out = Vec::with_capacity(samples.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&sample_rate.to_le_bytes());
+    out.extend_from_slice(&(samples.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(frame_size as u32).to_le_bytes());
+
+    for frame in samples.chunks(frame_size) {
+        // Pick the fixed predictor minimizing total |residual|.
+        let usable_order = MAX_ORDER.min(frame.len().saturating_sub(1));
+        let mut best_order = 0usize;
+        let mut best_sum = u64::MAX;
+        for order in 0..=usable_order {
+            let sum: u64 =
+                (order..frame.len()).map(|i| residual(frame, i, order).unsigned_abs()).sum();
+            if sum < best_sum {
+                best_sum = sum;
+                best_order = order;
+            }
+        }
+        let count = frame.len() - best_order;
+        let k = rice_parameter(
+            (best_order..frame.len())
+                .map(|i| zigzag(residual(frame, i, best_order)))
+                .sum::<u64>(),
+            count,
+        );
+
+        let mut writer = BitWriter::new();
+        for &warmup in &frame[..best_order] {
+            writer.write_bits(warmup as u16 as u32, 16);
+        }
+        for i in best_order..frame.len() {
+            write_rice(&mut writer, zigzag(residual(frame, i, best_order)), k);
+        }
+        let body = writer.finish();
+        out.push(best_order as u8);
+        out.push(k as u8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+    }
+    out
+}
+
+/// Decode into `(samples, sample_rate)`.
+pub fn decode(data: &[u8]) -> Result<(Vec<i16>, u32), FormatError> {
+    if data.len() < 20 {
+        return Err(FormatError::UnexpectedEof);
+    }
+    if &data[0..4] != MAGIC {
+        return Err(FormatError::BadHeader("missing PFL1 magic"));
+    }
+    let sample_rate = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    let n_samples = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+    let frame_size = u32::from_le_bytes(data[16..20].try_into().unwrap()) as usize;
+    if frame_size <= MAX_ORDER {
+        return Err(FormatError::BadHeader("invalid frame size"));
+    }
+
+    let mut samples = Vec::with_capacity(n_samples);
+    let mut pos = 20usize;
+    while samples.len() < n_samples {
+        if pos + 6 > data.len() {
+            return Err(FormatError::UnexpectedEof);
+        }
+        let order = data[pos] as usize;
+        let k = u32::from(data[pos + 1]);
+        let body_len =
+            u32::from_le_bytes(data[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        pos += 6;
+        if order > MAX_ORDER || k > 30 {
+            return Err(FormatError::Corrupt("bad frame parameters"));
+        }
+        if pos + body_len > data.len() {
+            return Err(FormatError::UnexpectedEof);
+        }
+        let frame_samples = frame_size.min(n_samples - samples.len());
+        if order >= frame_samples && !(order == 0 && frame_samples == 0) && order > frame_samples {
+            return Err(FormatError::Corrupt("order exceeds frame"));
+        }
+        let mut reader = BitReader::new(&data[pos..pos + body_len]);
+        let mut frame: Vec<i16> = Vec::with_capacity(frame_samples);
+        for _ in 0..order.min(frame_samples) {
+            let raw = reader.read_bits(16).map_err(|_| FormatError::UnexpectedEof)?;
+            frame.push(raw as u16 as i16);
+        }
+        for i in frame.len()..frame_samples {
+            let res = unzigzag(read_rice(&mut reader, k)?);
+            let value = reconstruct(&frame, i, order, res);
+            if !(i64::from(i16::MIN)..=i64::from(i16::MAX)).contains(&value) {
+                return Err(FormatError::Corrupt("reconstructed sample out of range"));
+            }
+            frame.push(value as i16);
+        }
+        samples.extend_from_slice(&frame);
+        pos += body_len;
+    }
+    Ok((samples, sample_rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, freq: f64, rate: f64, amp: f64) -> Vec<i16> {
+        (0..n)
+            .map(|i| (amp * (2.0 * std::f64::consts::PI * freq * i as f64 / rate).sin()) as i16)
+            .collect()
+    }
+
+    #[test]
+    fn lossless_roundtrip_on_tone() {
+        let samples = tone(20_000, 440.0, 16_000.0, 12_000.0);
+        let encoded = encode(&samples, 16_000);
+        let (decoded, rate) = decode(&encoded).unwrap();
+        assert_eq!(rate, 16_000);
+        assert_eq!(decoded, samples);
+    }
+
+    #[test]
+    fn compresses_tonal_audio() {
+        let samples = tone(50_000, 440.0, 16_000.0, 8_000.0);
+        let encoded = encode(&samples, 16_000);
+        let raw = samples.len() * 2;
+        assert!(encoded.len() < raw * 3 / 4, "{} vs {}", encoded.len(), raw);
+    }
+
+    #[test]
+    fn roundtrip_on_noise_and_silence() {
+        let mut state = 99u32;
+        let noise: Vec<i16> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                (state >> 16) as i16
+            })
+            .collect();
+        assert_eq!(decode(&encode(&noise, 44_100)).unwrap().0, noise);
+        let silence = vec![0i16; 12_345];
+        let encoded = encode(&silence, 8_000);
+        assert_eq!(decode(&encoded).unwrap().0, silence);
+        // Silence compresses extremely well (order-1 predictor + k=0).
+        assert!(encoded.len() < silence.len() / 4);
+    }
+
+    #[test]
+    fn roundtrip_non_multiple_of_frame() {
+        let samples = tone(DEFAULT_FRAME + 123, 100.0, 8_000.0, 1_000.0);
+        assert_eq!(decode(&encode(&samples, 8_000)).unwrap().0, samples);
+    }
+
+    #[test]
+    fn roundtrip_extremes() {
+        let samples = vec![i16::MIN, i16::MAX, i16::MIN, i16::MAX, 0, -1, 1];
+        assert_eq!(decode(&encode(&samples, 8_000)).unwrap().0, samples);
+        let empty: Vec<i16> = vec![];
+        assert_eq!(decode(&encode(&empty, 8_000)).unwrap().0, empty);
+    }
+
+    #[test]
+    fn corrupt_input_rejected() {
+        assert!(decode(&[0u8; 8]).is_err());
+        let samples = tone(5_000, 440.0, 16_000.0, 8_000.0);
+        let encoded = encode(&samples, 16_000);
+        assert!(decode(&encoded[..encoded.len() - 10]).is_err());
+    }
+
+    #[test]
+    fn zigzag_is_bijective() {
+        for v in [-5i64, -1, 0, 1, 5, i64::from(i16::MIN), i64::from(i16::MAX)] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+}

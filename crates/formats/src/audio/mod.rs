@@ -1,0 +1,5 @@
+//! Audio storage formats: a lossless predictive codec (FLAC stand-in)
+//! and a lossy ADPCM codec (MP3 stand-in).
+
+pub mod adpcm;
+pub mod flac;

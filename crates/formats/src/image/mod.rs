@@ -1,0 +1,5 @@
+//! Image storage formats: a lossy block-DCT codec (JPG stand-in) and a
+//! lossless filter+DEFLATE codec (PNG stand-in).
+
+pub mod jpg;
+pub mod png;

@@ -1,0 +1,162 @@
+//! Batching: the last hop before the training process.
+//!
+//! The paper's pipelines end with samples being consumed by a model in
+//! mini-batches; `tf.data` exposes this as `.batch(n)`. [`Batcher`]
+//! groups a sample stream into fixed-size batches, and [`stack_batch`]
+//! materializes a batch of equal-shape tensors into one
+//! `[batch, …dims]` tensor (the actual model input).
+
+use crate::error::PipelineError;
+use crate::sample::{Payload, Sample};
+use presto_tensor::Tensor;
+
+/// Groups an iterator of samples into `Vec<Sample>` batches.
+#[derive(Debug)]
+pub struct Batcher<I: Iterator<Item = Sample>> {
+    upstream: I,
+    batch_size: usize,
+    /// Whether a final short batch is emitted (tf.data's
+    /// `drop_remainder=False`) or dropped.
+    keep_remainder: bool,
+}
+
+impl<I: Iterator<Item = Sample>> Batcher<I> {
+    /// Batch `upstream` into groups of `batch_size`.
+    pub fn new(upstream: I, batch_size: usize, keep_remainder: bool) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher { upstream, batch_size, keep_remainder }
+    }
+}
+
+impl<I: Iterator<Item = Sample>> Iterator for Batcher<I> {
+    type Item = Vec<Sample>;
+
+    fn next(&mut self) -> Option<Vec<Sample>> {
+        let mut batch = Vec::with_capacity(self.batch_size);
+        for sample in self.upstream.by_ref() {
+            batch.push(sample);
+            if batch.len() == self.batch_size {
+                return Some(batch);
+            }
+        }
+        if !batch.is_empty() && self.keep_remainder {
+            Some(batch)
+        } else {
+            None
+        }
+    }
+}
+
+/// Stack a batch of single-tensor samples (all the same shape and
+/// dtype) into one `[batch, …dims]` tensor.
+pub fn stack_batch(batch: &[Sample]) -> Result<Tensor, PipelineError> {
+    let first = batch
+        .first()
+        .ok_or_else(|| PipelineError::Other("cannot stack an empty batch".into()))?;
+    let Payload::Tensors(tensors) = &first.payload else {
+        return Err(PipelineError::PayloadMismatch {
+            step: "batch".into(),
+            expected: "tensors",
+        });
+    };
+    let [template] = tensors.as_slice() else {
+        return Err(PipelineError::PayloadMismatch {
+            step: "batch".into(),
+            expected: "single tensor",
+        });
+    };
+    let mut data = Vec::with_capacity(template.nbytes() * batch.len());
+    for sample in batch {
+        let Payload::Tensors(tensors) = &sample.payload else {
+            return Err(PipelineError::PayloadMismatch {
+                step: "batch".into(),
+                expected: "tensors",
+            });
+        };
+        let [tensor] = tensors.as_slice() else {
+            return Err(PipelineError::PayloadMismatch {
+                step: "batch".into(),
+                expected: "single tensor",
+            });
+        };
+        if tensor.shape() != template.shape() || tensor.dtype() != template.dtype() {
+            return Err(PipelineError::Other(format!(
+                "batch shape mismatch: {:?}/{} vs {:?}/{}",
+                tensor.shape(),
+                tensor.dtype(),
+                template.shape(),
+                template.dtype()
+            )));
+        }
+        data.extend_from_slice(tensor.bytes());
+    }
+    let mut shape = Vec::with_capacity(template.shape().len() + 1);
+    shape.push(batch.len());
+    shape.extend_from_slice(template.shape());
+    Tensor::from_raw(template.dtype(), shape, data)
+        .map_err(|e| PipelineError::Other(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(key: u64, value: f32) -> Sample {
+        Sample::from_tensors(
+            key,
+            vec![Tensor::from_vec(vec![2, 2], vec![value; 4]).unwrap()],
+        )
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let samples: Vec<Sample> = (0..10).map(|k| sample(k, k as f32)).collect();
+        let batches: Vec<Vec<Sample>> =
+            Batcher::new(samples.into_iter(), 4, true).collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2); // remainder kept
+    }
+
+    #[test]
+    fn drop_remainder_matches_tf_semantics() {
+        let samples: Vec<Sample> = (0..10).map(|k| sample(k, 0.0)).collect();
+        let batches: Vec<Vec<Sample>> =
+            Batcher::new(samples.into_iter(), 4, false).collect();
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.len() == 4));
+    }
+
+    #[test]
+    fn stack_produces_batched_shape() {
+        let batch: Vec<Sample> = (0..3).map(|k| sample(k, k as f32)).collect();
+        let stacked = stack_batch(&batch).unwrap();
+        assert_eq!(stacked.shape(), &[3, 2, 2]);
+        let values = stacked.to_vec::<f32>().unwrap();
+        assert_eq!(&values[0..4], &[0.0; 4]);
+        assert_eq!(&values[8..12], &[2.0; 4]);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_shapes() {
+        let a = sample(0, 1.0);
+        let b = Sample::from_tensors(
+            1,
+            vec![Tensor::from_vec(vec![4], vec![0f32; 4]).unwrap()],
+        );
+        assert!(stack_batch(&[a, b]).is_err());
+        assert!(stack_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn stack_rejects_non_tensor_payloads() {
+        let bytes = Sample::from_bytes(0, vec![1u8, 2]);
+        assert!(stack_batch(&[bytes]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let _ = Batcher::new(std::iter::empty::<Sample>(), 0, true);
+    }
+}

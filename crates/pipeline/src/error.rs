@@ -1,0 +1,48 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Errors from building or executing pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A step received a payload kind it cannot process.
+    PayloadMismatch {
+        /// The step that rejected the payload.
+        step: String,
+        /// What it expected.
+        expected: &'static str,
+    },
+    /// A strategy is invalid for the pipeline (e.g. the split crosses a
+    /// non-deterministic step, which must stay online).
+    InvalidStrategy(String),
+    /// Decoding stored/compressed data failed.
+    Decode(String),
+    /// An application-level cache could not hold the dataset
+    /// (the paper's CV/NLP app-cache runs "failed to run").
+    CacheOverflow {
+        /// Bytes needed.
+        needed: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::PayloadMismatch { step, expected } => {
+                write!(f, "step '{step}' expected {expected} payload")
+            }
+            PipelineError::InvalidStrategy(why) => write!(f, "invalid strategy: {why}"),
+            PipelineError::Decode(why) => write!(f, "decode failure: {why}"),
+            PipelineError::CacheOverflow { needed, available } => {
+                write!(f, "application cache overflow: need {needed} B, have {available} B")
+            }
+            PipelineError::Other(why) => write!(f, "{why}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}

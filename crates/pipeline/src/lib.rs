@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # presto-pipeline
+//!
+//! The pipeline model at the center of the paper, plus two execution
+//! engines.
+//!
+//! A preprocessing pipeline is an ordered list of steps `S_1..S_n`. A
+//! **strategy** splits it at position *m*: steps up to *m* run once
+//! (**offline**) and their output is materialized to storage as a
+//! record stream (optionally compressed); the remaining steps run
+//! **online** in every training epoch. Strategies further choose thread
+//! count, compression codec, caching level and shard count.
+//!
+//! Two engines execute the same `Pipeline`/`Strategy` types:
+//!
+//! - [`real`]: actual worker threads (crossbeam) applying real step
+//!   implementations to real data, with in-memory or on-disk shard
+//!   storage — a usable data-loading library,
+//! - [`sim`]: a discrete-event simulation on virtual time over
+//!   calibrated per-step cost models and the simulated Ceph cluster of
+//!   [`presto_storage`] — deterministic, machine-independent, used to
+//!   regenerate the paper's experiments.
+
+pub mod batch;
+pub mod distributed;
+pub mod error;
+pub mod pipeline;
+pub mod real;
+pub mod sample;
+pub mod shuffle;
+pub mod sim;
+pub mod step;
+pub mod strategy;
+
+pub use error::PipelineError;
+pub use pipeline::Pipeline;
+pub use sample::{Payload, Sample};
+pub use step::{CostModel, Parallelism, SizeModel, Step, StepSpec};
+pub use strategy::{CacheLevel, Strategy};

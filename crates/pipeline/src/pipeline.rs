@@ -1,0 +1,207 @@
+//! The pipeline: an ordered list of steps.
+
+use crate::step::{Step, StepSpec};
+use std::sync::Arc;
+
+/// One element of a pipeline: always a spec, optionally a real
+/// executable implementation (simulation-only pipelines carry none).
+#[derive(Clone)]
+pub struct PipelineStep {
+    /// Cost/size/parallelism specification.
+    pub spec: StepSpec,
+    /// Executable implementation for the real engine.
+    pub exec: Option<Arc<dyn Step>>,
+}
+
+impl std::fmt::Debug for PipelineStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineStep")
+            .field("spec", &self.spec)
+            .field("exec", &self.exec.is_some())
+            .finish()
+    }
+}
+
+/// An ordered preprocessing pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    /// Pipeline name (e.g. "CV", "NLP").
+    pub name: String,
+    steps: Vec<PipelineStep>,
+}
+
+impl Pipeline {
+    /// An empty pipeline.
+    pub fn new(name: &str) -> Self {
+        Pipeline { name: name.to_string(), steps: Vec::new() }
+    }
+
+    /// Append a simulation-only step.
+    pub fn push_spec(mut self, spec: StepSpec) -> Self {
+        self.steps.push(PipelineStep { spec, exec: None });
+        self
+    }
+
+    /// Append an executable step (its spec is taken from the impl).
+    pub fn push_step(mut self, step: Arc<dyn Step>) -> Self {
+        let spec = step.spec();
+        self.steps.push(PipelineStep { spec, exec: Some(step) });
+        self
+    }
+
+    /// Insert a step at `index` (the paper's Section 4.6 case study
+    /// inserts a greyscale step mid-pipeline).
+    pub fn insert_spec(mut self, index: usize, spec: StepSpec) -> Self {
+        self.steps.insert(index, PipelineStep { spec, exec: None });
+        self
+    }
+
+    /// The steps in order.
+    pub fn steps(&self) -> &[PipelineStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the pipeline has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Step names in order.
+    pub fn step_names(&self) -> Vec<&str> {
+        self.steps.iter().map(|s| s.spec.name.as_str()).collect()
+    }
+
+    /// The largest legal split position: the number of leading
+    /// deterministic steps. Non-deterministic steps (random crop,
+    /// shuffle) and everything after them must stay online.
+    pub fn max_split(&self) -> usize {
+        self.steps
+            .iter()
+            .position(|s| !s.spec.deterministic)
+            .unwrap_or(self.steps.len())
+    }
+
+    /// Per-sample size after running the first `split` steps on an
+    /// input of `unprocessed_bytes` — the strategy's materialized
+    /// sample size.
+    pub fn size_after(&self, split: usize, unprocessed_bytes: f64) -> f64 {
+        self.steps[..split]
+            .iter()
+            .fold(unprocessed_bytes, |bytes, step| step.spec.size.eval(bytes))
+    }
+
+    /// Strategy display name for a split: "unprocessed" for 0, the name
+    /// of the last offline step otherwise.
+    pub fn split_name(&self, split: usize) -> &str {
+        if split == 0 {
+            "unprocessed"
+        } else {
+            &self.steps[split - 1].spec.name
+        }
+    }
+
+    /// True if every step has an executable implementation.
+    pub fn is_executable(&self) -> bool {
+        self.steps.iter().all(|s| s.exec.is_some())
+    }
+
+    /// Structural validation: step names must be unique (strategy
+    /// labels are derived from them) and non-empty.
+    pub fn check(&self) -> Result<(), crate::PipelineError> {
+        let mut seen = std::collections::HashSet::new();
+        for step in &self.steps {
+            let name = step.spec.name.as_str();
+            if name.is_empty() {
+                return Err(crate::PipelineError::Other("step with empty name".into()));
+            }
+            if name == "unprocessed" {
+                return Err(crate::PipelineError::Other(
+                    "'unprocessed' is reserved for the no-split strategy".into(),
+                ));
+            }
+            if !seen.insert(name) {
+                return Err(crate::PipelineError::Other(format!(
+                    "duplicate step name '{name}' makes strategy labels ambiguous"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{CostModel, SizeModel};
+
+    fn spec(name: &str, factor: f64) -> StepSpec {
+        StepSpec::native(name, CostModel::FREE, SizeModel::scale(factor))
+    }
+
+    fn sample_pipeline() -> Pipeline {
+        Pipeline::new("CV")
+            .push_spec(spec("concatenated", 1.0))
+            .push_spec(spec("decoded", 5.0))
+            .push_spec(spec("resized", 0.4))
+            .push_spec(spec("pixel-centered", 4.0))
+            .push_spec(spec("random-crop", 1.0).non_deterministic())
+    }
+
+    #[test]
+    fn max_split_stops_at_non_deterministic() {
+        let p = sample_pipeline();
+        assert_eq!(p.max_split(), 4);
+        let all_det = Pipeline::new("x").push_spec(spec("a", 1.0)).push_spec(spec("b", 1.0));
+        assert_eq!(all_det.max_split(), 2);
+    }
+
+    #[test]
+    fn size_after_composes_factors() {
+        let p = sample_pipeline();
+        assert_eq!(p.size_after(0, 100.0), 100.0);
+        assert_eq!(p.size_after(2, 100.0), 500.0);
+        assert_eq!(p.size_after(3, 100.0), 200.0);
+        assert_eq!(p.size_after(4, 100.0), 800.0);
+    }
+
+    #[test]
+    fn split_names_match_paper_convention() {
+        let p = sample_pipeline();
+        assert_eq!(p.split_name(0), "unprocessed");
+        assert_eq!(p.split_name(1), "concatenated");
+        assert_eq!(p.split_name(4), "pixel-centered");
+    }
+
+    #[test]
+    fn insert_spec_shifts_following_steps() {
+        let p = sample_pipeline().insert_spec(3, spec("applied-greyscale", 1.0 / 3.0));
+        assert_eq!(
+            p.step_names(),
+            vec!["concatenated", "decoded", "resized", "applied-greyscale", "pixel-centered", "random-crop"]
+        );
+        // 100 → concat 100 → decode 500 → resize 200 → grey 66.7 → center 266.7
+        assert!((p.size_after(5, 100.0) - 266.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn sim_only_pipeline_is_not_executable() {
+        assert!(!sample_pipeline().is_executable());
+        assert!(Pipeline::new("empty").is_executable());
+    }
+
+    #[test]
+    fn check_rejects_duplicate_and_reserved_names() {
+        assert!(sample_pipeline().check().is_ok());
+        let dup = Pipeline::new("d").push_spec(spec("a", 1.0)).push_spec(spec("a", 1.0));
+        assert!(dup.check().is_err());
+        let reserved = Pipeline::new("r").push_spec(spec("unprocessed", 1.0));
+        assert!(reserved.check().is_err());
+        let empty_name = Pipeline::new("e").push_spec(spec("", 1.0));
+        assert!(empty_name.check().is_err());
+    }
+}

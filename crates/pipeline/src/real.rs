@@ -1,0 +1,836 @@
+//! The real execution engine: actual worker threads over actual data.
+//!
+//! This is the usable data-loading library: samples are materialized to
+//! sharded, CRC-framed record streams (optionally GZIP/ZLIB-compressed)
+//! in a [`BlobStore`], and online epochs stream them through the
+//! remaining pipeline steps on `threads` workers. An optional
+//! application-level cache keeps decoded samples in memory after the
+//! first epoch, exactly like `tf.data.Dataset.cache`.
+
+use crate::error::PipelineError;
+use crate::pipeline::Pipeline;
+use crate::sample::Sample;
+use crate::strategy::Strategy;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use presto_codecs::Codec;
+use presto_tensor::{RecordReader, RecordWriter};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Named blob storage for materialized shards.
+pub trait BlobStore: Send + Sync {
+    /// Store a blob.
+    fn put(&self, name: &str, data: Vec<u8>);
+    /// Fetch a blob.
+    fn get(&self, name: &str) -> Option<Bytes>;
+    /// Names of all stored blobs.
+    fn list(&self) -> Vec<String>;
+    /// Total stored bytes.
+    fn total_bytes(&self) -> u64;
+}
+
+/// In-memory blob store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: RwLock<HashMap<String, Bytes>>,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BlobStore for MemStore {
+    fn put(&self, name: &str, data: Vec<u8>) {
+        self.blobs.write().insert(name.to_string(), Bytes::from(data));
+    }
+
+    fn get(&self, name: &str) -> Option<Bytes> {
+        self.blobs.read().get(name).cloned()
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.blobs.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.blobs.read().values().map(|b| b.len() as u64).sum()
+    }
+}
+
+/// Filesystem-backed blob store.
+#[derive(Debug)]
+pub struct DirStore {
+    root: std::path::PathBuf,
+}
+
+impl DirStore {
+    /// Store blobs under `root` (created if missing).
+    pub fn new(root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DirStore { root })
+    }
+}
+
+impl BlobStore for DirStore {
+    fn put(&self, name: &str, data: Vec<u8>) {
+        let path = self.root.join(name);
+        std::fs::write(path, data).expect("DirStore write");
+    }
+
+    fn get(&self, name: &str) -> Option<Bytes> {
+        std::fs::read(self.root.join(name)).ok().map(Bytes::from)
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.root)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+
+    fn total_bytes(&self) -> u64 {
+        std::fs::read_dir(&self.root)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| e.metadata().ok())
+                    .map(|m| m.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Handle to a materialized (offline-preprocessed) dataset.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// Shard blob names, in order.
+    pub shards: Vec<String>,
+    /// Codec the shards were compressed with.
+    pub codec: Codec,
+    /// Samples across all shards.
+    pub sample_count: u64,
+    /// Stored bytes across all shards (after compression).
+    pub stored_bytes: u64,
+    /// Pipeline split position the shards were materialized at.
+    pub split: usize,
+}
+
+/// Application-level sample cache (`tf.data.Dataset.cache` equivalent).
+#[derive(Debug)]
+pub struct AppCache {
+    capacity_bytes: u64,
+    used_bytes: AtomicU64,
+    samples: Mutex<Vec<Sample>>,
+    complete: std::sync::atomic::AtomicBool,
+}
+
+impl AppCache {
+    /// A cache bounded at `capacity_bytes` of decoded sample payload.
+    pub fn new(capacity_bytes: u64) -> Self {
+        AppCache {
+            capacity_bytes,
+            used_bytes: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+            complete: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// True once a full epoch has been inserted.
+    pub fn is_complete(&self) -> bool {
+        self.complete.load(Ordering::Acquire)
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes.load(Ordering::Relaxed)
+    }
+
+    fn insert(&self, sample: Sample) -> Result<(), PipelineError> {
+        let bytes = sample.nbytes() as u64;
+        let used = self.used_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if used > self.capacity_bytes {
+            return Err(PipelineError::CacheOverflow {
+                needed: used,
+                available: self.capacity_bytes,
+            });
+        }
+        self.samples.lock().push(sample);
+        Ok(())
+    }
+
+    fn snapshot(&self) -> Vec<Sample> {
+        self.samples.lock().clone()
+    }
+}
+
+/// Counters from one online epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochStats {
+    /// Samples delivered to the consumer.
+    pub samples: u64,
+    /// Compressed bytes read from the store.
+    pub bytes_read: u64,
+    /// Wall-clock time of the epoch.
+    pub elapsed: Duration,
+}
+
+impl EpochStats {
+    /// Samples per second.
+    pub fn samples_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.samples as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// The real multi-threaded executor.
+#[derive(Debug, Clone)]
+pub struct RealExecutor {
+    /// Worker thread count.
+    pub threads: usize,
+}
+
+impl RealExecutor {
+    /// An executor with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0);
+        RealExecutor { threads }
+    }
+
+    /// Offline phase: run steps `[0, strategy.split)` over `source`
+    /// samples and materialize the results as `strategy.shards` record
+    /// shards in `store`. Returns the handle and the preprocessing time.
+    pub fn materialize(
+        &self,
+        pipeline: &Pipeline,
+        strategy: &Strategy,
+        source: &[Sample],
+        store: &dyn BlobStore,
+    ) -> Result<(Materialized, Duration), PipelineError> {
+        pipeline.check()?;
+        strategy.validate(pipeline)?;
+        let split = strategy.split;
+        let steps = &pipeline.steps()[..split];
+        for step in steps {
+            if step.exec.is_none() {
+                return Err(PipelineError::Other(format!(
+                    "step '{}' has no executable implementation",
+                    step.spec.name
+                )));
+            }
+        }
+        let start = Instant::now();
+        let shards = strategy.shards.max(1).min(source.len().max(1));
+        let shard_names: Vec<String> =
+            (0..shards).map(|i| format!("{}-split{}-shard{:04}", pipeline.name, split, i)).collect();
+        let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
+        let stored = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for (shard_idx, shard_name) in shard_names.iter().enumerate() {
+                let errors = &errors;
+                let stored = &stored;
+                scope.spawn(move || {
+                    let mut writer = RecordWriter::new();
+                    let mut rng = SmallRng::seed_from_u64(0xFEED ^ shard_idx as u64);
+                    for sample in source.iter().skip(shard_idx).step_by(shards) {
+                        let mut current = sample.clone();
+                        for step in steps {
+                            let exec = step.exec.as_ref().unwrap();
+                            match exec.apply(current, &mut rng) {
+                                Ok(next) => current = next,
+                                Err(e) => {
+                                    errors.lock().push(e);
+                                    return;
+                                }
+                            }
+                        }
+                        writer.write(&current.encode());
+                    }
+                    let framed = writer.finish();
+                    let compressed = strategy.compression.compress(&framed);
+                    stored.fetch_add(compressed.len() as u64, Ordering::Relaxed);
+                    store.put(shard_name, compressed);
+                });
+            }
+        });
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        Ok((
+            Materialized {
+                shards: shard_names,
+                codec: strategy.compression,
+                sample_count: source.len() as u64,
+                stored_bytes: stored.into_inner(),
+                split,
+            },
+            start.elapsed(),
+        ))
+    }
+
+    /// Online phase: stream one epoch of `dataset` through the steps
+    /// after the split, delivering each finished sample to `consume`.
+    /// With an [`AppCache`], the first epoch fills it and later epochs
+    /// replay from it (skipping read + decode entirely).
+    pub fn epoch<F>(
+        &self,
+        pipeline: &Pipeline,
+        dataset: &Materialized,
+        store: &dyn BlobStore,
+        cache: Option<&AppCache>,
+        epoch_seed: u64,
+        consume: F,
+    ) -> Result<EpochStats, PipelineError>
+    where
+        F: Fn(&Sample) + Send + Sync,
+    {
+        let steps = &pipeline.steps()[dataset.split..];
+        for step in steps {
+            if step.exec.is_none() {
+                return Err(PipelineError::Other(format!(
+                    "step '{}' has no executable implementation",
+                    step.spec.name
+                )));
+            }
+        }
+        let start = Instant::now();
+        let samples_done = AtomicU64::new(0);
+        let bytes_read = AtomicU64::new(0);
+        let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
+
+        if let Some(cache) = cache {
+            if cache.is_complete() {
+                // Replay epoch from the cache: only the online steps
+                // after the cache point (none — we cache final samples).
+                let cached = cache.snapshot();
+                std::thread::scope(|scope| {
+                    for chunk_idx in 0..self.threads {
+                        let cached = &cached;
+                        let samples_done = &samples_done;
+                        let consume = &consume;
+                        scope.spawn(move || {
+                            for sample in cached.iter().skip(chunk_idx).step_by(self.threads) {
+                                consume(sample);
+                                samples_done.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+                return Ok(EpochStats {
+                    samples: samples_done.into_inner(),
+                    bytes_read: 0,
+                    elapsed: start.elapsed(),
+                });
+            }
+        }
+
+        std::thread::scope(|scope| {
+            for worker in 0..self.threads {
+                let errors = &errors;
+                let samples_done = &samples_done;
+                let bytes_read = &bytes_read;
+                let consume = &consume;
+                let shards = &dataset.shards;
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
+                    for shard_name in shards.iter().skip(worker).step_by(self.threads) {
+                        let Some(blob) = store.get(shard_name) else {
+                            errors.lock().push(PipelineError::Other(format!(
+                                "missing shard {shard_name}"
+                            )));
+                            return;
+                        };
+                        bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                        let framed = match dataset.codec.decompress(&blob) {
+                            Ok(f) => f,
+                            Err(e) => {
+                                errors.lock().push(PipelineError::Decode(e.to_string()));
+                                return;
+                            }
+                        };
+                        let mut reader = RecordReader::new(&framed);
+                        while let Some(record) = reader.next() {
+                            let record = match record {
+                                Ok(r) => r,
+                                Err(e) => {
+                                    errors.lock().push(PipelineError::Decode(e.to_string()));
+                                    return;
+                                }
+                            };
+                            let mut sample = match Sample::decode(record) {
+                                Ok(s) => s,
+                                Err(e) => {
+                                    errors.lock().push(e);
+                                    return;
+                                }
+                            };
+                            for step in steps {
+                                match step.exec.as_ref().unwrap().apply(sample, &mut rng) {
+                                    Ok(next) => sample = next,
+                                    Err(e) => {
+                                        errors.lock().push(e);
+                                        return;
+                                    }
+                                }
+                            }
+                            consume(&sample);
+                            samples_done.fetch_add(1, Ordering::Relaxed);
+                            if let Some(cache) = cache {
+                                if let Err(e) = cache.insert(sample) {
+                                    errors.lock().push(e);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = errors.into_inner().into_iter().next() {
+            return Err(e);
+        }
+        if let Some(cache) = cache {
+            cache.complete.store(true, Ordering::Release);
+        }
+        Ok(EpochStats {
+            samples: samples_done.into_inner(),
+            bytes_read: bytes_read.into_inner(),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// A running, prefetching epoch: worker threads decode shards into a
+/// bounded channel (the `tf.data` prefetch buffer) while the caller
+/// consumes at its own pace; back-pressure applies when the buffer
+/// fills. Iterate to receive samples; [`EpochStream::join`] afterwards
+/// for the stats.
+pub struct EpochStream {
+    receiver: crossbeam::channel::Receiver<Result<Sample, PipelineError>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    bytes_read: Arc<AtomicU64>,
+    samples: u64,
+    started: Instant,
+    failed: bool,
+}
+
+use std::sync::Arc;
+
+impl Iterator for EpochStream {
+    type Item = Result<Sample, PipelineError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.receiver.recv() {
+            Ok(Ok(sample)) => {
+                self.samples += 1;
+                Some(Ok(sample))
+            }
+            Ok(Err(e)) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+            Err(_) => None, // all workers done
+        }
+    }
+}
+
+impl EpochStream {
+    /// Wait for the workers and return the epoch stats.
+    pub fn join(self) -> Result<EpochStats, PipelineError> {
+        // Drain remaining items so workers are not blocked on send.
+        drop(self.receiver);
+        for handle in self.handles {
+            handle.join().map_err(|_| PipelineError::Other("worker panicked".into()))?;
+        }
+        if self.failed {
+            return Err(PipelineError::Other("epoch stream produced an error".into()));
+        }
+        Ok(EpochStats {
+            samples: self.samples,
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            elapsed: self.started.elapsed(),
+        })
+    }
+}
+
+impl EpochStream {
+    /// Wrap the stream in a windowed shuffle buffer of `capacity`
+    /// samples (tf.data's `.shuffle(buffer_size)`), propagating errors.
+    pub fn shuffled(
+        self,
+        capacity: usize,
+        seed: u64,
+    ) -> impl Iterator<Item = Result<Sample, PipelineError>> {
+        crate::shuffle::ShuffleBuffer::new(self, capacity, seed)
+    }
+}
+
+impl RealExecutor {
+    /// Start a streaming epoch with a prefetch buffer of `prefetch`
+    /// samples. Unlike [`RealExecutor::epoch`], the caller pulls
+    /// samples (training-loop style) instead of passing a callback.
+    pub fn stream_epoch(
+        &self,
+        pipeline: &Pipeline,
+        dataset: &Materialized,
+        store: Arc<dyn BlobStore>,
+        prefetch: usize,
+        epoch_seed: u64,
+    ) -> Result<EpochStream, PipelineError> {
+        let steps: Vec<std::sync::Arc<dyn crate::step::Step>> = pipeline.steps()
+            [dataset.split..]
+            .iter()
+            .map(|s| {
+                s.exec.clone().ok_or_else(|| {
+                    PipelineError::Other(format!(
+                        "step '{}' has no executable implementation",
+                        s.spec.name
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let (sender, receiver) = crossbeam::channel::bounded(prefetch.max(1));
+        let bytes_read = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::with_capacity(self.threads);
+        for worker in 0..self.threads {
+            let sender = sender.clone();
+            let steps = steps.clone();
+            let store = Arc::clone(&store);
+            let bytes_read = Arc::clone(&bytes_read);
+            let shards: Vec<String> =
+                dataset.shards.iter().skip(worker).step_by(self.threads).cloned().collect();
+            let codec = dataset.codec;
+            handles.push(std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
+                for shard_name in shards {
+                    let Some(blob) = store.get(&shard_name) else {
+                        let _ = sender
+                            .send(Err(PipelineError::Other(format!("missing shard {shard_name}"))));
+                        return;
+                    };
+                    bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
+                    let framed = match codec.decompress(&blob) {
+                        Ok(f) => f,
+                        Err(e) => {
+                            let _ = sender.send(Err(PipelineError::Decode(e.to_string())));
+                            return;
+                        }
+                    };
+                    let mut reader = RecordReader::new(&framed);
+                    while let Some(record) = reader.next() {
+                        let result = record
+                            .map_err(|e| PipelineError::Decode(e.to_string()))
+                            .and_then(Sample::decode)
+                            .and_then(|mut sample| {
+                                for step in &steps {
+                                    sample = step.apply(sample, &mut rng)?;
+                                }
+                                Ok(sample)
+                            });
+                        let failed = result.is_err();
+                        if sender.send(result).is_err() || failed {
+                            return; // consumer hung up, or fatal error
+                        }
+                    }
+                }
+            }));
+        }
+        drop(sender);
+        Ok(EpochStream {
+            receiver,
+            handles,
+            bytes_read,
+            samples: 0,
+            started: Instant::now(),
+            failed: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{CostModel, SizeModel, Step, StepSpec};
+    use presto_tensor::Tensor;
+    use std::sync::Arc;
+
+    /// Doubles every f32 element.
+    struct DoubleStep(&'static str);
+
+    impl Step for DoubleStep {
+        fn spec(&self) -> StepSpec {
+            StepSpec::native(self.0, CostModel::new(100.0, 1.0, 0.0), SizeModel::IDENTITY)
+        }
+
+        fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
+            let crate::sample::Payload::Tensors(tensors) = &sample.payload else {
+                return Err(PipelineError::PayloadMismatch { step: self.0.into(), expected: "tensors" });
+            };
+            let doubled = tensors
+                .iter()
+                .map(|t| {
+                    let values: Vec<f32> =
+                        t.to_vec::<f32>().unwrap().iter().map(|x| x * 2.0).collect();
+                    Tensor::from_vec(t.shape().to_vec(), values).unwrap()
+                })
+                .collect();
+            Ok(Sample::from_tensors(sample.key, doubled))
+        }
+    }
+
+    fn source(n: u64) -> Vec<Sample> {
+        (0..n)
+            .map(|key| {
+                Sample::from_tensors(
+                    key,
+                    vec![Tensor::from_vec(vec![4], vec![key as f32; 4]).unwrap()],
+                )
+            })
+            .collect()
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new("real-test")
+            .push_step(Arc::new(DoubleStep("double-a")))
+            .push_step(Arc::new(DoubleStep("double-b")))
+    }
+
+    #[test]
+    fn materialize_then_epoch_applies_remaining_steps() {
+        let pipeline = pipeline();
+        let store = MemStore::new();
+        let exec = RealExecutor::new(4);
+        // Split after the first step: one doubling offline, one online.
+        let strategy = Strategy::at_split(1).with_threads(4);
+        let (dataset, _) =
+            exec.materialize(&pipeline, &strategy, &source(100), &store).unwrap();
+        assert_eq!(dataset.sample_count, 100);
+        assert!(dataset.stored_bytes > 0);
+
+        let seen = Mutex::new(Vec::new());
+        let stats = exec
+            .epoch(&pipeline, &dataset, &store, None, 1, |s| {
+                let crate::sample::Payload::Tensors(ts) = &s.payload else { panic!() };
+                seen.lock().push((s.key, ts[0].to_vec::<f32>().unwrap()[0]));
+            })
+            .unwrap();
+        assert_eq!(stats.samples, 100);
+        let mut seen = seen.into_inner();
+        seen.sort_by_key(|(k, _)| *k);
+        for (key, value) in seen {
+            assert_eq!(value, key as f32 * 4.0, "both doublings applied");
+        }
+    }
+
+    #[test]
+    fn compression_roundtrips_through_store() {
+        use presto_codecs::Level;
+        let pipeline = pipeline();
+        let store = MemStore::new();
+        let exec = RealExecutor::new(2);
+        let plain = Strategy::at_split(2).with_threads(2);
+        let gz = plain.clone().with_compression(Codec::Gzip(Level::FAST));
+        let (d_plain, _) = exec.materialize(&pipeline, &plain, &source(64), &store).unwrap();
+        let (d_gz, _) = exec.materialize(&pipeline, &gz, &source(64), &store).unwrap();
+        // Constant-ish tensors compress well.
+        assert!(d_gz.stored_bytes < d_plain.stored_bytes);
+        let count = AtomicU64::new(0);
+        exec.epoch(&pipeline, &d_gz, &store, None, 1, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(count.into_inner(), 64);
+    }
+
+    #[test]
+    fn app_cache_replays_second_epoch_without_reads() {
+        let pipeline = pipeline();
+        let store = MemStore::new();
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2);
+        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source(50), &store).unwrap();
+        let cache = AppCache::new(1 << 20);
+        let e1 = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {}).unwrap();
+        assert!(e1.bytes_read > 0);
+        assert!(cache.is_complete());
+        let e2 = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 2, |_| {}).unwrap();
+        assert_eq!(e2.bytes_read, 0, "cached epoch must not read the store");
+        assert_eq!(e2.samples, 50);
+    }
+
+    #[test]
+    fn app_cache_overflow_is_reported() {
+        let pipeline = pipeline();
+        let store = MemStore::new();
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2);
+        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source(50), &store).unwrap();
+        let cache = AppCache::new(64); // far too small
+        let result = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {});
+        assert!(matches!(result, Err(PipelineError::CacheOverflow { .. })));
+    }
+
+    #[test]
+    fn stream_epoch_delivers_all_samples() {
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(3);
+        let strategy = Strategy::at_split(1).with_threads(3);
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(80), store.as_ref())
+            .unwrap();
+        let mut stream = exec
+            .stream_epoch(&pipeline, &dataset, store, 8, 42)
+            .unwrap();
+        let mut keys = Vec::new();
+        for result in &mut stream {
+            keys.push(result.unwrap().key);
+        }
+        keys.sort_unstable();
+        assert_eq!(keys, (0..80).collect::<Vec<u64>>());
+        let stats = stream.join().unwrap();
+        assert_eq!(stats.samples, 80);
+        assert!(stats.bytes_read > 0);
+    }
+
+    #[test]
+    fn stream_epoch_backpressure_does_not_deadlock() {
+        // Tiny prefetch buffer with a slow consumer: workers must block
+        // on send, not drop or deadlock.
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2);
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(30), store.as_ref())
+            .unwrap();
+        let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 1, 1).unwrap();
+        let mut count = 0;
+        for result in &mut stream {
+            result.unwrap();
+            count += 1;
+        }
+        assert_eq!(count, 30);
+        stream.join().unwrap();
+    }
+
+    #[test]
+    fn shuffled_stream_permutes_but_preserves_the_set() {
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(1); // single thread: deterministic base order
+        let strategy = Strategy::at_split(0).with_threads(1);
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(200), store.as_ref())
+            .unwrap();
+        let ordered: Vec<u64> = exec
+            .stream_epoch(&pipeline, &dataset, Arc::clone(&store) as Arc<dyn BlobStore>, 8, 1)
+            .unwrap()
+            .map(|r| r.unwrap().key)
+            .collect();
+        let shuffled: Vec<u64> = exec
+            .stream_epoch(&pipeline, &dataset, store, 8, 1)
+            .unwrap()
+            .shuffled(64, 7)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_ne!(ordered, shuffled);
+        let mut a = ordered;
+        let mut b = shuffled;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_epoch_early_drop_stops_workers() {
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2);
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(100), store.as_ref())
+            .unwrap();
+        let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 4, 1).unwrap();
+        // Consume only a few samples, then drop: join must not hang.
+        for _ in 0..3 {
+            stream.next().unwrap().unwrap();
+        }
+        let _ = stream.join(); // workers unblock when the channel closes
+    }
+
+    #[test]
+    fn stream_epoch_reports_missing_shard() {
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(1);
+        let dataset = Materialized {
+            shards: vec!["gone".into()],
+            codec: Codec::None,
+            sample_count: 1,
+            stored_bytes: 0,
+            split: 0,
+        };
+        let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 2, 1).unwrap();
+        assert!(stream.next().unwrap().is_err());
+        assert!(stream.join().is_err());
+    }
+
+    #[test]
+    fn dir_store_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("presto-dirstore-{}", std::process::id()));
+        let store = DirStore::new(&dir).unwrap();
+        store.put("shard-0", vec![1, 2, 3]);
+        assert_eq!(store.get("shard-0").unwrap().as_ref(), &[1, 2, 3]);
+        assert_eq!(store.list(), vec!["shard-0"]);
+        assert_eq!(store.total_bytes(), 3);
+        assert!(store.get("missing").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_is_an_error() {
+        let pipeline = pipeline();
+        let exec = RealExecutor::new(1);
+        let dataset = Materialized {
+            shards: vec!["nope".into()],
+            codec: Codec::None,
+            sample_count: 1,
+            stored_bytes: 0,
+            split: 0,
+        };
+        let store = MemStore::new();
+        assert!(exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).is_err());
+    }
+
+    #[test]
+    fn sim_only_pipeline_rejected_by_real_engine() {
+        let sim_only = Pipeline::new("sim")
+            .push_spec(StepSpec::native("x", CostModel::FREE, SizeModel::IDENTITY));
+        let exec = RealExecutor::new(1);
+        let store = MemStore::new();
+        let result =
+            exec.materialize(&sim_only, &Strategy::at_split(1), &source(1), &store);
+        assert!(result.is_err());
+    }
+}

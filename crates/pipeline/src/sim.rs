@@ -1,0 +1,1016 @@
+//! The simulation execution engine: profiles a strategy on the
+//! discrete-event machine of [`presto_storage`].
+//!
+//! The engine reproduces the paper's measurement loop on virtual time:
+//! an **offline phase** materializes steps `S_1..S_m` to sharded record
+//! files (optionally compressed), then **online epochs** stream the
+//! materialized dataset through the remaining steps with N worker
+//! threads, a serialized per-sample dispatcher, the page cache, and
+//! optional application-level tensor caching.
+//!
+//! Large datasets are simulated on a representative subset (the paper's
+//! own `sample_count` profiling parameter): rates (SPS, MB/s) are
+//! steady-state and scale-free; totals (elapsed time, bytes) are scaled
+//! back to the full dataset; the page-cache capacity is scaled *down*
+//! by the same ratio so fits-in-memory behaviour is preserved.
+
+use crate::error::PipelineError;
+use crate::pipeline::Pipeline;
+use crate::step::Parallelism;
+use crate::strategy::{CacheLevel, Strategy};
+use presto_codecs::Codec;
+use presto_storage::device::DeviceProfile;
+use presto_storage::dstat::Dstat;
+use presto_storage::machine::{Ctx, MachineConfig, Program, ReadReq, SimMachine, Stage};
+use presto_storage::time::Nanos;
+
+/// Layout of the unprocessed dataset on storage.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceLayout {
+    /// One file per sample (the CV/NLP/Audio datasets). `penalty` is
+    /// the extra per-file cost beyond the device's baseline open
+    /// latency — Ceph metadata pressure at very large file populations,
+    /// calibrated per dataset from the paper's Table 4.
+    FilePerSample {
+        /// Extra per-open cost for this dataset (HDD metadata load).
+        penalty: Nanos,
+    },
+    /// A modest number of large files read sequentially (NILM's
+    /// hour-chunked container files).
+    LargeFiles {
+        /// Bytes per file.
+        file_bytes: u64,
+    },
+}
+
+/// A dataset as the simulator sees it.
+#[derive(Debug, Clone)]
+pub struct SimDataset {
+    /// Dataset name (Table 2).
+    pub name: String,
+    /// Number of samples.
+    pub sample_count: u64,
+    /// Mean unprocessed bytes per sample.
+    pub unprocessed_sample_bytes: f64,
+    /// Unprocessed on-storage layout.
+    pub layout: SourceLayout,
+}
+
+impl SimDataset {
+    /// Total unprocessed bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.sample_count as f64 * self.unprocessed_sample_bytes
+    }
+}
+
+/// Environment constants: the paper's VM plus calibrated framework
+/// overheads (see DESIGN.md §3 for the calibration derivation).
+#[derive(Debug, Clone)]
+pub struct SimEnv {
+    /// Worker cores (the paper's VM: 8 VCPUs).
+    pub cores: usize,
+    /// Storage backend.
+    pub device: DeviceProfile,
+    /// RAM available for caches (80 GB).
+    pub ram_bytes: u64,
+    /// Serialized per-sample scheduling cost (tf.data dispatcher +
+    /// thread wakeup) — the mechanism behind the paper's small-sample
+    /// collapse (Figs. 7/9/11).
+    pub dispatch_ns: f64,
+    /// Record deserialization: fixed per record…
+    pub deser_fixed_ns: f64,
+    /// …plus per byte…
+    pub deser_ns_per_byte: f64,
+    /// …plus per feature row of the stored sample (see
+    /// [`crate::StepSpec::rows_after`]).
+    pub deser_row_ns: f64,
+    /// Inflate cost per (uncompressed) byte.
+    pub decompress_ns_per_byte: f64,
+    /// Deflate cost per input byte (offline).
+    pub compress_ns_per_byte: f64,
+    /// ZLIB speed relative to GZIP (< 1 = slightly faster, as the
+    /// paper observes).
+    pub zlib_speed_factor: f64,
+    /// Simulate at most this many samples, scaling totals back up.
+    pub subset_samples: u64,
+}
+
+impl SimEnv {
+    /// The paper's experimental setup on the HDD cluster.
+    pub fn paper_vm() -> Self {
+        SimEnv {
+            cores: 8,
+            device: DeviceProfile::hdd_ceph(),
+            ram_bytes: 80_000_000_000,
+            dispatch_ns: 100_000.0,
+            deser_fixed_ns: 16_000.0,
+            deser_ns_per_byte: 0.33,
+            deser_row_ns: 800.0,
+            decompress_ns_per_byte: 4.0,
+            compress_ns_per_byte: 25.0,
+            zlib_speed_factor: 0.95,
+            subset_samples: 20_000,
+        }
+    }
+
+    /// Same VM against the SSD-backed cluster.
+    pub fn paper_vm_ssd() -> Self {
+        SimEnv { device: DeviceProfile::ssd_ceph(), ..Self::paper_vm() }
+    }
+}
+
+/// Result of one online epoch (scaled to the full dataset where noted).
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Samples per second (the paper's T4).
+    pub throughput_sps: f64,
+    /// Average storage ("network") read rate, MB/s.
+    pub network_read_mbps: f64,
+    /// Epoch wall time, scaled to the full dataset.
+    pub elapsed_full: Nanos,
+    /// Raw counters from the simulated subset.
+    pub stats: Dstat,
+}
+
+/// Result of the offline materialization phase.
+#[derive(Debug, Clone)]
+pub struct OfflineReport {
+    /// Offline preprocessing time, scaled to the full dataset.
+    pub elapsed_full: Nanos,
+    /// Bytes written (full dataset).
+    pub bytes_written: u64,
+    /// Raw counters from the simulated subset.
+    pub stats: Dstat,
+}
+
+/// The paper's four theoretical throughputs (Figure 4) for one
+/// strategy: `T1` reads into the offline stage, `T2` writes the
+/// materialized set, `T3` reads it back online, and `T4` is the final
+/// preprocessing throughput that bounds training.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughputs {
+    /// Offline read rate, MB/s (0 for split 0 — no offline phase).
+    pub t1_mbps: f64,
+    /// Offline write rate, MB/s.
+    pub t2_mbps: f64,
+    /// Online storage read rate, MB/s.
+    pub t3_mbps: f64,
+    /// Final throughput, samples/s.
+    pub t4_sps: f64,
+}
+
+/// Complete profile of one strategy — what PRESTO's
+/// `profile_strategy()` returns.
+#[derive(Debug, Clone)]
+pub struct StrategyProfile {
+    /// The strategy profiled.
+    pub strategy: Strategy,
+    /// Display label.
+    pub label: String,
+    /// Materialized dataset size in bytes (full dataset, after
+    /// compression if any). For split 0 this is the unprocessed size.
+    pub storage_bytes: u64,
+    /// Stored bytes per sample (after compression).
+    pub stored_sample_bytes: f64,
+    /// Decoded (uncompressed) bytes per sample at the split point.
+    pub sample_bytes: f64,
+    /// Offline phase (absent for split 0).
+    pub offline: Option<OfflineReport>,
+    /// One report per simulated epoch.
+    pub epochs: Vec<EpochReport>,
+    /// Set when the strategy could not run (e.g. app cache overflow).
+    pub error: Option<PipelineError>,
+}
+
+impl StrategyProfile {
+    /// Steady-state throughput: last epoch's SPS (first epoch if only
+    /// one was run).
+    pub fn throughput_sps(&self) -> f64 {
+        self.epochs.last().map_or(0.0, |e| e.throughput_sps)
+    }
+
+    /// First-epoch throughput.
+    pub fn first_epoch_sps(&self) -> f64 {
+        self.epochs.first().map_or(0.0, |e| e.throughput_sps)
+    }
+
+    /// Offline preprocessing time in seconds (0 for split 0).
+    pub fn preprocessing_secs(&self) -> f64 {
+        self.offline.as_ref().map_or(0.0, |o| o.elapsed_full.as_secs_f64())
+    }
+
+    /// The paper's T1–T4 decomposition (Figure 4) for this strategy.
+    pub fn throughputs(&self) -> Throughputs {
+        let (t1, t2) = self.offline.as_ref().map_or((0.0, 0.0), |o| {
+            let secs = o.stats.span.as_secs_f64();
+            if secs > 0.0 {
+                (
+                    o.stats.storage_read_bytes as f64 / 1e6 / secs,
+                    o.stats.storage_write_bytes as f64 / 1e6 / secs,
+                )
+            } else {
+                (0.0, 0.0)
+            }
+        });
+        Throughputs {
+            t1_mbps: t1,
+            t2_mbps: t2,
+            t3_mbps: self.epochs.first().map_or(0.0, |e| e.network_read_mbps),
+            t4_sps: self.throughput_sps(),
+        }
+    }
+}
+
+/// Profiles strategies of one pipeline/dataset pair on the simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// The pipeline being profiled.
+    pub pipeline: Pipeline,
+    /// The dataset it runs on.
+    pub dataset: SimDataset,
+    /// Environment constants.
+    pub env: SimEnv,
+}
+
+/// Internal per-run constants shared by worker programs.
+#[derive(Debug, Clone)]
+struct RunPlan {
+    /// Samples simulated (subset).
+    n: u64,
+    /// subset / full ratio.
+    scale: f64,
+    /// Split position.
+    split: usize,
+    /// Uncompressed stored bytes/sample at the split.
+    sample_bytes: f64,
+    /// On-storage bytes/sample (after compression).
+    stored_sample_bytes: f64,
+    /// Per-step (cost_ns, lock) for the online part, precomputed.
+    online_steps: Vec<(Nanos, Option<Nanos>)>,
+    /// Final sample bytes after all online steps (for app cache).
+    final_sample_bytes: f64,
+    /// Decompression CPU per sample (0 if uncompressed).
+    decompress: Nanos,
+    /// Record deserialization CPU per sample (0 when reading raw files).
+    deser: Nanos,
+    /// Dispatch hold per sample.
+    dispatch: Nanos,
+}
+
+const DISPATCH_LOCK: usize = 0;
+const GIL_LOCK: usize = 1;
+
+impl Simulator {
+    /// Create a simulator.
+    pub fn new(pipeline: Pipeline, dataset: SimDataset, env: SimEnv) -> Self {
+        Simulator { pipeline, dataset, env }
+    }
+
+    /// Profile one strategy over `epochs` online epochs.
+    pub fn profile(&self, strategy: &Strategy, epochs: usize) -> StrategyProfile {
+        let label = strategy.label(&self.pipeline);
+        if let Err(e) = self.pipeline.check() {
+            return self.failed(strategy, label, e);
+        }
+        if let Err(e) = strategy.validate(&self.pipeline) {
+            return self.failed(strategy, label, e);
+        }
+        let plan = self.plan(strategy);
+
+        // Application-level cache feasibility: the decoded dataset (at
+        // the cache point) must fit in RAM — the paper's CV/NLP last
+        // strategies "failed to run with application-level caching".
+        if strategy.cache == CacheLevel::Application {
+            let needed = (plan.final_sample_bytes * self.dataset.sample_count as f64) as u64;
+            if needed > self.env.ram_bytes {
+                return self.failed(
+                    strategy,
+                    label,
+                    PipelineError::CacheOverflow { needed, available: self.env.ram_bytes },
+                );
+            }
+        }
+
+        let offline = (strategy.split > 0).then(|| self.run_offline(strategy, &plan));
+
+        let mut machine = self.build_machine(strategy, &plan);
+        let mut reports = Vec::with_capacity(epochs);
+        for epoch in 1..=epochs {
+            if strategy.cache == CacheLevel::None {
+                machine.cache_mut().clear();
+            }
+            machine.begin_phase();
+            self.spawn_online_workers(&mut machine, strategy, &plan, epoch);
+            let stats = machine.run();
+            let span = stats.span.as_secs_f64();
+            reports.push(EpochReport {
+                epoch,
+                throughput_sps: if span > 0.0 { plan.n as f64 / span } else { 0.0 },
+                network_read_mbps: stats.network_read_mbps(),
+                elapsed_full: Nanos::from_secs_f64(span / plan.scale),
+                stats,
+            });
+        }
+
+        StrategyProfile {
+            strategy: strategy.clone(),
+            label,
+            storage_bytes: (plan.stored_sample_bytes * self.dataset.sample_count as f64) as u64,
+            stored_sample_bytes: plan.stored_sample_bytes,
+            sample_bytes: plan.sample_bytes,
+            offline,
+            epochs: reports,
+            error: None,
+        }
+    }
+
+    /// Profile every legal split with default knobs.
+    pub fn profile_all(&self, epochs: usize) -> Vec<StrategyProfile> {
+        Strategy::enumerate(&self.pipeline)
+            .iter()
+            .map(|s| self.profile(s, epochs))
+            .collect()
+    }
+
+    fn failed(&self, strategy: &Strategy, label: String, e: PipelineError) -> StrategyProfile {
+        StrategyProfile {
+            strategy: strategy.clone(),
+            label,
+            storage_bytes: 0,
+            stored_sample_bytes: 0.0,
+            sample_bytes: 0.0,
+            offline: None,
+            epochs: Vec::new(),
+            error: Some(e),
+        }
+    }
+
+    fn plan(&self, strategy: &Strategy) -> RunPlan {
+        let m = strategy.split;
+        let unprocessed = self.dataset.unprocessed_sample_bytes;
+        let sample_bytes = self.pipeline.size_after(m, unprocessed);
+        let saving = self.space_saving(strategy);
+        let stored_sample_bytes = sample_bytes * (1.0 - saving);
+
+        // Precompute online step costs.
+        let mut online_steps = Vec::new();
+        let mut cur = sample_bytes;
+        for step in &self.pipeline.steps()[m..] {
+            let out = step.spec.size.eval(cur);
+            let cost = step.spec.cost.eval(cur, out);
+            let lock = match step.spec.parallelism {
+                Parallelism::Native => None,
+                Parallelism::GlobalLock { handoff } => {
+                    Some(if strategy.threads > 1 { handoff } else { Nanos::ZERO })
+                }
+            };
+            online_steps.push((cost, lock));
+            cur = out;
+        }
+        let final_sample_bytes = cur;
+
+        let decompress = if m > 0 && !matches!(strategy.compression, Codec::None) {
+            let per_byte = match strategy.compression {
+                Codec::Zlib(_) => self.env.decompress_ns_per_byte * self.env.zlib_speed_factor,
+                _ => self.env.decompress_ns_per_byte,
+            };
+            Nanos::from_secs_f64(per_byte * sample_bytes / 1e9)
+        } else {
+            Nanos::ZERO
+        };
+        let deser = if m > 0 {
+            let rows = self.pipeline.steps()[m - 1].spec.rows_after;
+            Nanos::from_secs_f64(
+                (self.env.deser_fixed_ns
+                    + self.env.deser_ns_per_byte * sample_bytes
+                    + self.env.deser_row_ns * (rows - 1.0).max(0.0))
+                    / 1e9,
+            )
+        } else {
+            Nanos::ZERO
+        };
+
+        let n = self.dataset.sample_count.min(self.env.subset_samples).max(1);
+        RunPlan {
+            n,
+            scale: n as f64 / self.dataset.sample_count as f64,
+            split: m,
+            sample_bytes,
+            stored_sample_bytes,
+            online_steps,
+            final_sample_bytes,
+            decompress,
+            deser,
+            dispatch: Nanos::from_secs_f64(self.env.dispatch_ns / 1e9),
+        }
+    }
+
+    fn space_saving(&self, strategy: &Strategy) -> f64 {
+        if strategy.split == 0 {
+            return 0.0;
+        }
+        let step = &self.pipeline.steps()[strategy.split - 1].spec;
+        match strategy.compression {
+            Codec::None => 0.0,
+            Codec::Gzip(_) => step.space_saving_gzip,
+            Codec::Zlib(_) => step.space_saving_zlib,
+        }
+    }
+
+    fn build_machine(&self, strategy: &Strategy, plan: &RunPlan) -> SimMachine {
+        let mut device = self.env.device.clone();
+        // The unprocessed per-file metadata penalty applies only when
+        // reading the original file-per-sample dataset.
+        if plan.split == 0 {
+            if let SourceLayout::FilePerSample { penalty } = self.dataset.layout {
+                device.open_latency += Nanos::from_secs_f64(
+                    penalty.as_secs_f64() * device.metadata_pressure,
+                );
+            }
+        }
+        let page_cache = match strategy.cache {
+            CacheLevel::None => 0,
+            // Scale the cache with the simulated subset so fits-in-RAM
+            // behaviour matches the full dataset.
+            _ => (self.env.ram_bytes as f64 * plan.scale) as u64,
+        };
+        SimMachine::new(MachineConfig {
+            cores: self.env.cores,
+            device,
+            page_cache_bytes: page_cache,
+            locks: 2,
+        })
+    }
+
+    fn spawn_online_workers(
+        &self,
+        machine: &mut SimMachine,
+        strategy: &Strategy,
+        plan: &RunPlan,
+        epoch: usize,
+    ) {
+        // A materialized dataset is divided into `shards` files and the
+        // paper assigns one file per thread — fewer shards than threads
+        // leaves the extra threads idle (nothing to read in parallel).
+        let threads = if plan.split > 0 {
+            (strategy.threads.min(strategy.shards.max(1))) as u64
+        } else {
+            strategy.threads as u64
+        };
+        let n = plan.n;
+        let app_cached = strategy.cache == CacheLevel::Application && epoch > 1;
+        for w in 0..threads {
+            let start = n * w / threads;
+            let end = n * (w + 1) / threads;
+            if start == end {
+                continue;
+            }
+            machine.add_task(Box::new(OnlineWorker {
+                plan: plan.clone(),
+                layout: self.dataset.layout,
+                app_cached,
+                insert_app_cache: strategy.cache == CacheLevel::Application && epoch == 1,
+                worker: w,
+                next: start,
+                end,
+                phase: Phase::Dispatch,
+                step_idx: 0,
+                shard_offset: 0.0,
+            }));
+        }
+    }
+
+    fn run_offline(&self, strategy: &Strategy, plan: &RunPlan) -> OfflineReport {
+        // Offline reads the unprocessed dataset (file-per-sample layout
+        // penalties apply), runs steps 0..m, compresses, writes shards.
+        let mut device = self.env.device.clone();
+        if let SourceLayout::FilePerSample { penalty } = self.dataset.layout {
+            device.open_latency +=
+                Nanos::from_secs_f64(penalty.as_secs_f64() * device.metadata_pressure);
+        }
+        let mut machine = SimMachine::new(MachineConfig {
+            cores: self.env.cores,
+            device,
+            page_cache_bytes: 0,
+            locks: 2,
+        });
+
+        // Per-sample offline CPU: steps 0..m (+ compression).
+        let mut offline_steps = Vec::new();
+        let mut cur = self.dataset.unprocessed_sample_bytes;
+        for step in &self.pipeline.steps()[..plan.split] {
+            let out = step.spec.size.eval(cur);
+            let cost = step.spec.cost.eval(cur, out);
+            let lock = match step.spec.parallelism {
+                Parallelism::Native => None,
+                Parallelism::GlobalLock { handoff } => {
+                    Some(if strategy.threads > 1 { handoff } else { Nanos::ZERO })
+                }
+            };
+            offline_steps.push((cost, lock));
+            cur = out;
+        }
+        let compress = if matches!(strategy.compression, Codec::None) {
+            Nanos::ZERO
+        } else {
+            let factor = match strategy.compression {
+                Codec::Zlib(_) => self.env.zlib_speed_factor,
+                _ => 1.0,
+            };
+            Nanos::from_secs_f64(self.env.compress_ns_per_byte * factor * cur / 1e9)
+        };
+
+        let threads = strategy.threads as u64;
+        for w in 0..threads {
+            let start = plan.n * w / threads;
+            let end = plan.n * (w + 1) / threads;
+            if start == end {
+                continue;
+            }
+            machine.add_task(Box::new(OfflineWorker {
+                layout: self.dataset.layout,
+                unprocessed_bytes: self.dataset.unprocessed_sample_bytes,
+                stored_bytes: plan.stored_sample_bytes,
+                steps: offline_steps.clone(),
+                compress,
+                dispatch: plan.dispatch,
+                next: start,
+                end,
+                phase: Phase::Dispatch,
+                step_idx: 0,
+                worker: w,
+            }));
+        }
+        let stats = machine.run();
+        OfflineReport {
+            elapsed_full: Nanos::from_secs_f64(stats.span.as_secs_f64() / plan.scale),
+            bytes_written: (plan.stored_sample_bytes * self.dataset.sample_count as f64) as u64,
+            stats,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Dispatch,
+    AppCopy,
+    Read,
+    Decompress,
+    Deser,
+    Step,
+    InsertCache,
+    Write,
+}
+
+/// Online worker: streams its shard of samples through the online part.
+struct OnlineWorker {
+    plan: RunPlan,
+    layout: SourceLayout,
+    app_cached: bool,
+    insert_app_cache: bool,
+    worker: u64,
+    next: u64,
+    end: u64,
+    phase: Phase,
+    step_idx: usize,
+    /// Sequential position within this worker's shard (bytes).
+    shard_offset: f64,
+}
+
+impl OnlineWorker {
+    fn read_request(&mut self) -> ReadReq {
+        if self.plan.split == 0 {
+            match self.layout {
+                SourceLayout::FilePerSample { .. } => {
+                    ReadReq::open_file(self.next, self.plan.sample_bytes.round() as u64)
+                }
+                SourceLayout::LargeFiles { file_bytes } => {
+                    let byte_pos = self.next as f64 * self.plan.sample_bytes;
+                    let file = (byte_pos / file_bytes as f64) as u64;
+                    let offset = byte_pos - file as f64 * file_bytes as f64;
+                    ReadReq {
+                        file,
+                        offset: offset as u64,
+                        bytes: self.plan.sample_bytes.round() as u64,
+                        open: offset < self.plan.sample_bytes, // first touch of the file
+                        random: false,
+                        cacheable: true,
+                        file_len: file_bytes,
+                    }
+                }
+            }
+        } else {
+            // Materialized shard: worker w reads shard w sequentially.
+            let offset = self.shard_offset;
+            self.shard_offset += self.plan.stored_sample_bytes;
+            ReadReq {
+                file: 1_000_000 + self.worker,
+                offset: offset as u64,
+                bytes: self.plan.stored_sample_bytes.round().max(1.0) as u64,
+                open: offset == 0.0,
+                random: false,
+                cacheable: true,
+                // Shard length is not tracked here; the cost is one
+                // uncached trailing partial granule per shard.
+                file_len: u64::MAX,
+            }
+        }
+    }
+}
+
+impl Program for OnlineWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Stage {
+        loop {
+            match self.phase {
+                Phase::Dispatch => {
+                    if self.next >= self.end {
+                        return Stage::Done;
+                    }
+                    ctx.stats.dispatches += 1;
+                    self.phase =
+                        if self.app_cached { Phase::AppCopy } else { Phase::Read };
+                    return Stage::Lock { lock: DISPATCH_LOCK, hold: self.plan.dispatch };
+                }
+                Phase::AppCopy => {
+                    // Tensor served from the application cache: only a
+                    // memory copy remains.
+                    self.finish_sample(ctx);
+                    return Stage::MemCopy {
+                        bytes: self.plan.final_sample_bytes.round() as u64,
+                    };
+                }
+                Phase::Read => {
+                    let req = self.read_request();
+                    self.phase = if self.plan.decompress > Nanos::ZERO {
+                        Phase::Decompress
+                    } else if self.plan.deser > Nanos::ZERO {
+                        Phase::Deser
+                    } else {
+                        self.step_idx = 0;
+                        Phase::Step
+                    };
+                    return Stage::Read(req);
+                }
+                Phase::Decompress => {
+                    self.phase =
+                        if self.plan.deser > Nanos::ZERO { Phase::Deser } else { Phase::Step };
+                    self.step_idx = 0;
+                    return Stage::Cpu { work: self.plan.decompress };
+                }
+                Phase::Deser => {
+                    self.phase = Phase::Step;
+                    self.step_idx = 0;
+                    return Stage::Cpu { work: self.plan.deser };
+                }
+                Phase::Step => {
+                    if self.step_idx >= self.plan.online_steps.len() {
+                        self.phase = Phase::InsertCache;
+                        continue;
+                    }
+                    let (cost, lock) = self.plan.online_steps[self.step_idx];
+                    self.step_idx += 1;
+                    return match lock {
+                        None => Stage::Cpu { work: cost },
+                        Some(handoff) => {
+                            Stage::Lock { lock: GIL_LOCK, hold: cost + handoff }
+                        }
+                    };
+                }
+                Phase::InsertCache => {
+                    self.finish_sample(ctx);
+                    if self.insert_app_cache {
+                        return Stage::MemCopy {
+                            bytes: self.plan.final_sample_bytes.round() as u64,
+                        };
+                    }
+                    continue;
+                }
+                Phase::Write => unreachable!("online worker never writes"),
+            }
+        }
+    }
+}
+
+impl OnlineWorker {
+    fn finish_sample(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.stats.samples += 1;
+        self.next += 1;
+        self.phase = Phase::Dispatch;
+    }
+}
+
+/// Offline worker: reads unprocessed samples, runs the offline steps,
+/// compresses, writes shards.
+struct OfflineWorker {
+    layout: SourceLayout,
+    unprocessed_bytes: f64,
+    stored_bytes: f64,
+    steps: Vec<(Nanos, Option<Nanos>)>,
+    compress: Nanos,
+    dispatch: Nanos,
+    next: u64,
+    end: u64,
+    phase: Phase,
+    step_idx: usize,
+    worker: u64,
+}
+
+impl Program for OfflineWorker {
+    fn step(&mut self, ctx: &mut Ctx<'_>) -> Stage {
+        loop {
+            match self.phase {
+                Phase::Dispatch => {
+                    if self.next >= self.end {
+                        return Stage::Done;
+                    }
+                    ctx.stats.dispatches += 1;
+                    self.phase = Phase::Read;
+                    return Stage::Lock { lock: DISPATCH_LOCK, hold: self.dispatch };
+                }
+                Phase::Read => {
+                    self.phase = Phase::Step;
+                    self.step_idx = 0;
+                    let bytes = self.unprocessed_bytes.round().max(1.0) as u64;
+                    let req = match self.layout {
+                        SourceLayout::FilePerSample { .. } => ReadReq::open_file(self.next, bytes),
+                        SourceLayout::LargeFiles { file_bytes } => {
+                            let byte_pos = self.next as f64 * self.unprocessed_bytes;
+                            let file = (byte_pos / file_bytes as f64) as u64;
+                            let offset = byte_pos - file as f64 * file_bytes as f64;
+                            ReadReq {
+                                file,
+                                offset: offset as u64,
+                                bytes,
+                                open: offset < self.unprocessed_bytes,
+                                random: false,
+                                cacheable: false,
+                                file_len: file_bytes,
+                            }
+                        }
+                    };
+                    return Stage::Read(req);
+                }
+                Phase::Step => {
+                    if self.step_idx >= self.steps.len() {
+                        self.phase = Phase::Decompress; // reused as "compress"
+                        continue;
+                    }
+                    let (cost, lock) = self.steps[self.step_idx];
+                    self.step_idx += 1;
+                    return match lock {
+                        None => Stage::Cpu { work: cost },
+                        Some(handoff) => Stage::Lock { lock: GIL_LOCK, hold: cost + handoff },
+                    };
+                }
+                Phase::Decompress => {
+                    self.phase = Phase::Write;
+                    if self.compress > Nanos::ZERO {
+                        return Stage::Cpu { work: self.compress };
+                    }
+                    continue;
+                }
+                Phase::Write => {
+                    ctx.stats.samples += 1;
+                    self.next += 1;
+                    self.phase = Phase::Dispatch;
+                    let _ = self.worker;
+                    return Stage::Write { bytes: self.stored_bytes.round().max(1.0) as u64 };
+                }
+                _ => unreachable!("offline worker phase"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{CostModel, SizeModel, StepSpec};
+
+    fn tiny_dataset() -> SimDataset {
+        SimDataset {
+            name: "tiny".into(),
+            sample_count: 2_000,
+            unprocessed_sample_bytes: 200_000.0,
+            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+        }
+    }
+
+    fn cv_like_pipeline() -> Pipeline {
+        Pipeline::new("cv-like")
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::new(5_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::native(
+                "decoded",
+                CostModel::new(0.0, 20.0, 0.0),
+                SizeModel::scale(5.0),
+            ))
+            .push_spec(StepSpec::native(
+                "shrunk",
+                CostModel::new(0.0, 1.0, 0.0),
+                SizeModel::scale(0.3),
+            ))
+            .push_spec(
+                StepSpec::native("random-crop", CostModel::new(10_000.0, 0.0, 0.0), SizeModel::IDENTITY)
+                    .non_deterministic(),
+            )
+    }
+
+    fn env() -> SimEnv {
+        SimEnv { subset_samples: 2_000, ..SimEnv::paper_vm() }
+    }
+
+    #[test]
+    fn concatenation_beats_unprocessed_on_small_files() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let unprocessed = sim.profile(&Strategy::at_split(0), 1);
+        let concatenated = sim.profile(&Strategy::at_split(1), 1);
+        assert!(unprocessed.error.is_none() && concatenated.error.is_none());
+        // Small random files are IOPS/open bound; the concatenated
+        // stream is far faster — the paper's Section 4.1 observation 1.
+        assert!(
+            concatenated.throughput_sps() > 3.0 * unprocessed.throughput_sps(),
+            "concat {:.0} vs unprocessed {:.0}",
+            concatenated.throughput_sps(),
+            unprocessed.throughput_sps()
+        );
+    }
+
+    #[test]
+    fn inflating_step_can_hurt_throughput() {
+        // Storing after "decoded" (5× bigger) reads much more data than
+        // storing after "shrunk": Section 4.1 observation 2.
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let decoded = sim.profile(&Strategy::at_split(2), 1);
+        let shrunk = sim.profile(&Strategy::at_split(3), 1);
+        assert!(shrunk.storage_bytes < decoded.storage_bytes);
+        assert!(
+            shrunk.throughput_sps() > decoded.throughput_sps(),
+            "shrunk {:.0} vs decoded {:.0}",
+            shrunk.throughput_sps(),
+            decoded.throughput_sps()
+        );
+    }
+
+    #[test]
+    fn split_enumeration_stops_before_random_crop() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let profiles = sim.profile_all(1);
+        assert_eq!(profiles.len(), 4); // splits 0..=3
+        assert!(profiles.iter().all(|p| p.error.is_none()));
+        let bad = sim.profile(&Strategy::at_split(4), 1);
+        assert!(bad.error.is_some());
+    }
+
+    #[test]
+    fn storage_bytes_follow_size_models() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let profiles = sim.profile_all(1);
+        let total = tiny_dataset().total_bytes();
+        assert_eq!(profiles[0].storage_bytes, total as u64);
+        assert_eq!(profiles[1].storage_bytes, total as u64);
+        assert_eq!(profiles[2].storage_bytes, (total * 5.0) as u64);
+        assert_eq!(profiles[3].storage_bytes, (total * 1.5) as u64);
+    }
+
+    #[test]
+    fn offline_phase_reported_for_materialized_strategies() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let unprocessed = sim.profile(&Strategy::at_split(0), 1);
+        assert!(unprocessed.offline.is_none());
+        let decoded = sim.profile(&Strategy::at_split(2), 1);
+        let offline = decoded.offline.expect("offline report");
+        assert!(offline.elapsed_full > Nanos::ZERO);
+        assert_eq!(offline.bytes_written, decoded.storage_bytes);
+    }
+
+    #[test]
+    fn system_cache_speeds_up_second_epoch_when_dataset_fits() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let strategy = Strategy::at_split(3).with_cache(CacheLevel::System);
+        let profile = sim.profile(&strategy, 2);
+        let e1 = profile.epochs[0].throughput_sps;
+        let e2 = profile.epochs[1].throughput_sps;
+        assert!(e2 > e1 * 1.2, "epoch2 {e2:.0} vs epoch1 {e1:.0}");
+        // And storage reads disappear in epoch 2.
+        assert!(profile.epochs[1].stats.storage_read_bytes < profile.epochs[0].stats.storage_read_bytes / 10);
+    }
+
+    #[test]
+    fn no_cache_strategy_repeats_epoch_one() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let profile = sim.profile(&Strategy::at_split(3), 2);
+        let e1 = profile.epochs[0].throughput_sps;
+        let e2 = profile.epochs[1].throughput_sps;
+        assert!((e1 - e2).abs() / e1 < 0.02, "e1 {e1:.0} e2 {e2:.0}");
+    }
+
+    #[test]
+    fn app_cache_overflow_matches_paper_failures() {
+        // Make the final tensors exceed RAM.
+        let mut env = env();
+        env.ram_bytes = 1_000_000; // 1 MB
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env);
+        let strategy = Strategy::at_split(3).with_cache(CacheLevel::Application);
+        let profile = sim.profile(&strategy, 2);
+        assert!(matches!(profile.error, Some(PipelineError::CacheOverflow { .. })));
+    }
+
+    #[test]
+    fn app_cache_beats_system_cache() {
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let sys = sim.profile(&Strategy::at_split(3).with_cache(CacheLevel::System), 2);
+        let app = sim.profile(&Strategy::at_split(3).with_cache(CacheLevel::Application), 2);
+        assert!(app.error.is_none(), "app cache should fit: {:?}", app.error);
+        assert!(
+            app.epochs[1].throughput_sps >= sys.epochs[1].throughput_sps,
+            "app {:.0} vs sys {:.0}",
+            app.epochs[1].throughput_sps,
+            sys.epochs[1].throughput_sps
+        );
+    }
+
+    #[test]
+    fn global_lock_step_does_not_scale() {
+        // Sequential large-file source so I/O scaling cannot mask the
+        // lock; the 10 ms GIL-held step dominates everything else.
+        // Handoff of 2 ms per contended acquisition (GIL convoying).
+        let locked = Pipeline::new("gil").push_spec(StepSpec::global_locked(
+            "py-step",
+            CostModel::new(10_000_000.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+            Nanos::from_millis(2),
+        ));
+        let dataset = SimDataset {
+            layout: SourceLayout::LargeFiles { file_bytes: 100_000_000 },
+            ..tiny_dataset()
+        };
+        let sim = Simulator::new(locked, dataset, env());
+        let one = sim.profile(&Strategy::at_split(0).with_threads(1), 1);
+        let eight = sim.profile(&Strategy::at_split(0).with_threads(8), 1);
+        let speedup = eight.throughput_sps() / one.throughput_sps();
+        // The paper's Section 4.4 observation 2: speedup < 1 —
+        // contended handoffs make parallel execution a net slowdown.
+        assert!(
+            speedup < 1.0,
+            "GIL-locked step must slow down under contention, got {speedup:.2}x ({:.0} vs {:.0} SPS)",
+            eight.throughput_sps(),
+            one.throughput_sps()
+        );
+    }
+
+    #[test]
+    fn native_step_scales_with_threads() {
+        let native = Pipeline::new("native")
+            .push_spec(StepSpec::native("concatenated", CostModel::FREE, SizeModel::IDENTITY))
+            .push_spec(StepSpec::native(
+            "work",
+            CostModel::new(3_000_000.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+        ));
+        let dataset = SimDataset {
+            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            ..tiny_dataset()
+        };
+        let sim = Simulator::new(native, dataset, env());
+        let one = sim.profile(&Strategy::at_split(1).with_threads(1), 1);
+        let eight = sim.profile(&Strategy::at_split(1).with_threads(8), 1);
+        let speedup = eight.throughput_sps() / one.throughput_sps();
+        assert!(speedup > 5.0, "native CPU step should scale, got {speedup:.2}x");
+    }
+
+    #[test]
+    fn fewer_shards_than_threads_limits_parallel_reads() {
+        // The paper shards "so that every thread has an assigned
+        // individual file to read in parallel" — one shard serializes.
+        let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
+        let sharded = sim.profile(&Strategy::at_split(3).with_threads(8), 1);
+        let single =
+            sim.profile(&Strategy::at_split(3).with_threads(8).with_shards(1), 1);
+        assert!(
+            sharded.throughput_sps() > 2.0 * single.throughput_sps(),
+            "8 shards {:.0} vs 1 shard {:.0}",
+            sharded.throughput_sps(),
+            single.throughput_sps()
+        );
+    }
+
+    #[test]
+    fn compression_reduces_storage_and_adds_offline_time() {
+        use presto_codecs::Level;
+        let pipeline = Pipeline::new("c").push_spec(
+            StepSpec::native("decoded", CostModel::new(0.0, 5.0, 0.0), SizeModel::scale(4.0))
+                .with_space_saving(0.8, 0.78),
+        );
+        let sim = Simulator::new(pipeline, tiny_dataset(), env());
+        let plain = sim.profile(&Strategy::at_split(1), 1);
+        let gz = sim.profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1);
+        assert!((gz.storage_bytes as f64) < plain.storage_bytes as f64 * 0.25);
+        assert!(gz.offline.unwrap().elapsed_full > plain.offline.unwrap().elapsed_full);
+    }
+}

@@ -1,0 +1,215 @@
+//! Step model: real implementations + cost/size specifications.
+//!
+//! Every step carries a [`StepSpec`] describing (a) how its output size
+//! relates to its input size and (b) what it costs to run — the two
+//! characteristics the paper identifies as driving all trade-offs
+//! (Section 3.2: "the steps have two characteristics: the online
+//! processing time and the relative increase or decrease of storage
+//! consumption").
+
+use crate::error::PipelineError;
+use crate::sample::Sample;
+use presto_storage::Nanos;
+use rand::rngs::SmallRng;
+
+/// How a step's execution parallelizes across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Parallelism {
+    /// Scales with threads (native framework op).
+    Native,
+    /// Serialized through a global lock, like a `tf.py_function`
+    /// wrapping NumPy/newspaper — the paper's Section 4.4 observation
+    /// (2). `handoff` is the extra scheduling cost paid per acquisition
+    /// when other threads contend.
+    GlobalLock {
+        /// Extra per-acquisition cost under contention.
+        handoff: Nanos,
+    },
+}
+
+/// Cost of one step on one sample:
+/// `ns = fixed + per_in_byte·in_bytes + per_out_byte·out_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed nanoseconds per sample.
+    pub fixed_ns: f64,
+    /// Nanoseconds per input byte.
+    pub ns_per_in_byte: f64,
+    /// Nanoseconds per output byte.
+    pub ns_per_out_byte: f64,
+}
+
+impl CostModel {
+    /// A free step (e.g. pure relabeling).
+    pub const FREE: CostModel =
+        CostModel { fixed_ns: 0.0, ns_per_in_byte: 0.0, ns_per_out_byte: 0.0 };
+
+    /// Build from a fixed cost and byte rates.
+    pub const fn new(fixed_ns: f64, ns_per_in_byte: f64, ns_per_out_byte: f64) -> Self {
+        CostModel { fixed_ns, ns_per_in_byte, ns_per_out_byte }
+    }
+
+    /// Evaluate for given input/output sizes.
+    pub fn eval(&self, in_bytes: f64, out_bytes: f64) -> Nanos {
+        Nanos::from_secs_f64(
+            (self.fixed_ns + self.ns_per_in_byte * in_bytes + self.ns_per_out_byte * out_bytes)
+                / 1e9,
+        )
+    }
+}
+
+/// Output size as a function of input size:
+/// `out_bytes = fixed + factor·in_bytes`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeModel {
+    /// Constant component.
+    pub fixed_bytes: f64,
+    /// Multiplicative component.
+    pub factor: f64,
+}
+
+impl SizeModel {
+    /// Identity size (step does not change storage consumption).
+    pub const IDENTITY: SizeModel = SizeModel { fixed_bytes: 0.0, factor: 1.0 };
+
+    /// A pure scaling.
+    pub const fn scale(factor: f64) -> Self {
+        SizeModel { fixed_bytes: 0.0, factor }
+    }
+
+    /// A fixed output size regardless of input.
+    pub const fn fixed(bytes: f64) -> Self {
+        SizeModel { fixed_bytes: bytes, factor: 0.0 }
+    }
+
+    /// Evaluate for an input size.
+    pub fn eval(&self, in_bytes: f64) -> f64 {
+        (self.fixed_bytes + self.factor * in_bytes).max(0.0)
+    }
+}
+
+/// Full specification of one step for the simulation engine.
+#[derive(Debug, Clone)]
+pub struct StepSpec {
+    /// Step name as shown in figures (e.g. "decoded", "resized").
+    pub name: String,
+    /// False for data augmentation / shuffling: must stay online.
+    pub deterministic: bool,
+    /// Threading behaviour.
+    pub parallelism: Parallelism,
+    /// Per-sample execution cost.
+    pub cost: CostModel,
+    /// Output-size relation.
+    pub size: SizeModel,
+    /// Space saving (0..1) if the dataset is materialized *after* this
+    /// step with GZIP — data-dependent, so specified per pipeline.
+    pub space_saving_gzip: f64,
+    /// Same for ZLIB.
+    pub space_saving_zlib: f64,
+    /// Feature rows per sample after this step (e.g. spectrogram
+    /// frames, embedded tokens). Deserializing a stored record pays a
+    /// fixed cost *per row*, which is what makes parsing frame-based
+    /// audio tensors expensive in the paper's Table 5.
+    pub rows_after: f64,
+}
+
+impl StepSpec {
+    /// A deterministic, natively-parallel step.
+    pub fn native(name: &str, cost: CostModel, size: SizeModel) -> Self {
+        StepSpec {
+            name: name.to_string(),
+            deterministic: true,
+            parallelism: Parallelism::Native,
+            cost,
+            size,
+            space_saving_gzip: 0.0,
+            space_saving_zlib: 0.0,
+            rows_after: 1.0,
+        }
+    }
+
+    /// A step executed through an external library under a global lock.
+    pub fn global_locked(name: &str, cost: CostModel, size: SizeModel, handoff: Nanos) -> Self {
+        StepSpec { parallelism: Parallelism::GlobalLock { handoff }, ..Self::native(name, cost, size) }
+    }
+
+    /// Mark non-deterministic (random crop, shuffle): cannot be split
+    /// offline.
+    pub fn non_deterministic(mut self) -> Self {
+        self.deterministic = false;
+        self
+    }
+
+    /// Set the per-sample feature-row count after this step.
+    pub fn with_rows(mut self, rows: f64) -> Self {
+        assert!(rows >= 1.0);
+        self.rows_after = rows;
+        self
+    }
+
+    /// Set the compression space savings observed after this step.
+    pub fn with_space_saving(mut self, gzip: f64, zlib: f64) -> Self {
+        assert!((0.0..1.0).contains(&gzip) && (0.0..1.0).contains(&zlib));
+        self.space_saving_gzip = gzip;
+        self.space_saving_zlib = zlib;
+        self
+    }
+}
+
+/// A real, executable step for the [`crate::real`] engine.
+pub trait Step: Send + Sync {
+    /// Specification (name, determinism, costs) of this step.
+    fn spec(&self) -> StepSpec;
+
+    /// Transform one sample. `rng` is provided for non-deterministic
+    /// steps (seeded per sample key by the engine for reproducibility).
+    fn apply(&self, sample: Sample, rng: &mut SmallRng) -> Result<Sample, PipelineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_evaluates_linear_form() {
+        let cost = CostModel::new(1000.0, 2.0, 0.5);
+        let t = cost.eval(100.0, 200.0);
+        assert_eq!(t, Nanos(1300));
+        assert_eq!(CostModel::FREE.eval(1e9, 1e9), Nanos::ZERO);
+    }
+
+    #[test]
+    fn size_model_forms() {
+        assert_eq!(SizeModel::IDENTITY.eval(123.0), 123.0);
+        assert_eq!(SizeModel::scale(4.0).eval(100.0), 400.0);
+        assert_eq!(SizeModel::fixed(12_000.0).eval(1e9), 12_000.0);
+        // Never negative.
+        let shrink = SizeModel { fixed_bytes: -50.0, factor: 0.0 };
+        assert_eq!(shrink.eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn spec_builders() {
+        let spec = StepSpec::native("decoded", CostModel::FREE, SizeModel::scale(5.0))
+            .with_space_saving(0.4, 0.39);
+        assert!(spec.deterministic);
+        assert_eq!(spec.parallelism, Parallelism::Native);
+        assert_eq!(spec.space_saving_gzip, 0.4);
+        let crop = StepSpec::native("random-crop", CostModel::FREE, SizeModel::IDENTITY)
+            .non_deterministic();
+        assert!(!crop.deterministic);
+        let ext = StepSpec::global_locked(
+            "py-decode",
+            CostModel::FREE,
+            SizeModel::IDENTITY,
+            Nanos::from_micros(20),
+        );
+        assert!(matches!(ext.parallelism, Parallelism::GlobalLock { .. }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn space_saving_out_of_range_panics() {
+        StepSpec::native("x", CostModel::FREE, SizeModel::IDENTITY).with_space_saving(1.5, 0.0);
+    }
+}

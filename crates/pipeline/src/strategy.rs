@@ -1,0 +1,194 @@
+//! Preprocessing strategies: the paper's central abstraction.
+
+use crate::pipeline::Pipeline;
+use crate::PipelineError;
+use presto_codecs::Codec;
+
+/// Caching level for online execution (the paper's Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheLevel {
+    /// Page cache dropped after every run (the paper's default).
+    #[default]
+    None,
+    /// OS page cache enabled: raw bytes cached, deserialization still
+    /// paid every epoch.
+    System,
+    /// `tf.data.Dataset.cache`-style tensor cache: read and
+    /// deserialization both skipped after the first epoch. Fails when
+    /// the decoded dataset exceeds memory.
+    Application,
+}
+
+impl CacheLevel {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CacheLevel::None => "no-cache",
+            CacheLevel::System => "sys-cache",
+            CacheLevel::Application => "app-cache",
+        }
+    }
+}
+
+/// A preprocessing strategy: where to split the pipeline plus the
+/// execution knobs profiled by the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Strategy {
+    /// Steps `[0, split)` run offline (materialized); `0` = everything
+    /// online ("unprocessed").
+    pub split: usize,
+    /// Worker threads (the paper sweeps 1, 2, 4, 8, 16).
+    pub threads: usize,
+    /// Compression applied to the materialized dataset.
+    pub compression: Codec,
+    /// Caching level for online epochs.
+    pub cache: CacheLevel,
+    /// Shards of the materialized dataset (one per thread is the
+    /// paper's setup, "so that every thread has an assigned individual
+    /// file to read in parallel").
+    pub shards: usize,
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy { split: 0, threads: 8, compression: Codec::None, cache: CacheLevel::None, shards: 8 }
+    }
+}
+
+impl Strategy {
+    /// A strategy splitting at `split` with the paper's defaults.
+    pub fn at_split(split: usize) -> Self {
+        Strategy { split, ..Strategy::default() }
+    }
+
+    /// Override the thread count (shards follow threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self.shards = self.shards.max(threads);
+        self
+    }
+
+    /// Override the shard count of the materialized dataset. Fewer
+    /// shards than threads leaves threads without a file to read.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0);
+        self.shards = shards;
+        self
+    }
+
+    /// Override the compression codec.
+    pub fn with_compression(mut self, codec: Codec) -> Self {
+        self.compression = codec;
+        self
+    }
+
+    /// Override the caching level.
+    pub fn with_cache(mut self, cache: CacheLevel) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Check this strategy against a pipeline.
+    pub fn validate(&self, pipeline: &Pipeline) -> Result<(), PipelineError> {
+        if self.split > pipeline.len() {
+            return Err(PipelineError::InvalidStrategy(format!(
+                "split {} exceeds pipeline length {}",
+                self.split,
+                pipeline.len()
+            )));
+        }
+        if self.split > pipeline.max_split() {
+            return Err(PipelineError::InvalidStrategy(format!(
+                "split {} crosses non-deterministic step '{}' (must stay online)",
+                self.split,
+                pipeline.steps()[pipeline.max_split()].spec.name
+            )));
+        }
+        if self.threads == 0 {
+            return Err(PipelineError::InvalidStrategy("zero threads".into()));
+        }
+        Ok(())
+    }
+
+    /// Every legal split position of a pipeline (0 ..= max_split), with
+    /// default knobs — the set PRESTO profiles.
+    pub fn enumerate(pipeline: &Pipeline) -> Vec<Strategy> {
+        (0..=pipeline.max_split()).map(Strategy::at_split).collect()
+    }
+
+    /// Short display label: split name + non-default knobs.
+    pub fn label(&self, pipeline: &Pipeline) -> String {
+        let mut label = pipeline.split_name(self.split).to_string();
+        if !matches!(self.compression, Codec::None) {
+            label.push_str(&format!("+{}", self.compression.name()));
+        }
+        if self.cache != CacheLevel::None {
+            label.push_str(&format!("+{}", self.cache.name()));
+        }
+        if self.threads != 8 {
+            label.push_str(&format!("@{}t", self.threads));
+        }
+        label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{CostModel, SizeModel, StepSpec};
+    use presto_codecs::Level;
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new("CV")
+            .push_spec(StepSpec::native("concatenated", CostModel::FREE, SizeModel::IDENTITY))
+            .push_spec(StepSpec::native("decoded", CostModel::FREE, SizeModel::scale(5.0)))
+            .push_spec(
+                StepSpec::native("random-crop", CostModel::FREE, SizeModel::IDENTITY)
+                    .non_deterministic(),
+            )
+    }
+
+    #[test]
+    fn enumerate_covers_legal_splits_only() {
+        let p = pipeline();
+        let strategies = Strategy::enumerate(&p);
+        assert_eq!(strategies.len(), 3); // splits 0, 1, 2
+        for s in &strategies {
+            assert!(s.validate(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn split_crossing_random_step_is_rejected() {
+        let p = pipeline();
+        assert!(Strategy::at_split(3).validate(&p).is_err());
+        assert!(Strategy::at_split(99).validate(&p).is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let p = pipeline();
+        let mut s = Strategy::at_split(1);
+        s.threads = 0;
+        assert!(s.validate(&p).is_err());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        let p = pipeline();
+        assert_eq!(Strategy::at_split(0).label(&p), "unprocessed");
+        assert_eq!(Strategy::at_split(2).label(&p), "decoded");
+        let s = Strategy::at_split(1)
+            .with_compression(Codec::Gzip(Level::DEFAULT))
+            .with_cache(CacheLevel::System)
+            .with_threads(4);
+        assert_eq!(s.label(&p), "concatenated+GZIP+sys-cache@4t");
+    }
+
+    #[test]
+    fn with_threads_keeps_shards_sufficient() {
+        let s = Strategy::at_split(0).with_threads(16);
+        assert!(s.shards >= 16);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests of the pipeline model and the simulation engine:
+//! invariants that must hold for arbitrary pipelines.
+
+use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, SourceLayout};
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+use presto_pipeline::Strategy as SplitStrategy;
+use presto_storage::Nanos;
+use proptest::prelude::*;
+
+fn arb_step(index: usize) -> impl proptest::strategy::Strategy<Value = StepSpec> {
+    (0.1f64..8.0, 0.0f64..100.0, any::<bool>()).prop_map(move |(factor, per_byte, nondet)| {
+        let spec = StepSpec::native(
+            &format!("step{index}"),
+            CostModel::new(1_000.0, per_byte, 0.0),
+            SizeModel::scale(factor),
+        );
+        // Only later steps may be non-deterministic (mirrors real
+        // pipelines: augmentation comes last).
+        if nondet && index >= 3 {
+            spec.non_deterministic()
+        } else {
+            spec
+        }
+    })
+}
+
+fn arb_pipeline() -> impl proptest::strategy::Strategy<Value = Pipeline> {
+    proptest::collection::vec(any::<u8>(), 1..6).prop_flat_map(|shape| {
+        let steps: Vec<_> = (0..shape.len()).map(arb_step).collect();
+        steps.prop_map(|specs| {
+            let mut pipeline = Pipeline::new("prop");
+            for spec in specs {
+                pipeline = pipeline.push_spec(spec);
+            }
+            pipeline
+        })
+    })
+}
+
+fn dataset(sample_bytes: f64) -> SimDataset {
+    SimDataset {
+        name: "prop-data".into(),
+        sample_count: 600,
+        unprocessed_sample_bytes: sample_bytes,
+        layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+    }
+}
+
+fn env() -> SimEnv {
+    SimEnv { subset_samples: 600, ..SimEnv::paper_vm() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every enumerated strategy validates; every split past max_split
+    /// is rejected.
+    #[test]
+    fn enumeration_matches_validation(pipeline in arb_pipeline()) {
+        for strategy in SplitStrategy::enumerate(&pipeline) {
+            prop_assert!(strategy.validate(&pipeline).is_ok());
+        }
+        for split in pipeline.max_split() + 1..=pipeline.len() + 2 {
+            prop_assert!(SplitStrategy::at_split(split).validate(&pipeline).is_err());
+        }
+    }
+
+    /// size_after composes multiplicatively and is always non-negative.
+    #[test]
+    fn size_after_is_composition(pipeline in arb_pipeline(),
+                                 bytes in 1_000.0f64..1e7) {
+        let mut expected = bytes;
+        for (i, step) in pipeline.steps().iter().enumerate() {
+            expected = step.spec.size.eval(expected);
+            let got = pipeline.size_after(i + 1, bytes);
+            prop_assert!((got - expected).abs() < 1e-6 * expected.max(1.0));
+            prop_assert!(got >= 0.0);
+        }
+    }
+
+    /// The simulator is deterministic for any pipeline/strategy.
+    #[test]
+    fn simulation_is_deterministic(pipeline in arb_pipeline(),
+                                   bytes in 10_000.0f64..2e6) {
+        let sim = Simulator::new(pipeline.clone(), dataset(bytes), env());
+        let strategy = SplitStrategy::at_split(pipeline.max_split().min(1));
+        let a = sim.profile(&strategy, 1);
+        let b = sim.profile(&strategy, 1);
+        prop_assert!(a.error.is_none() == b.error.is_none());
+        if a.error.is_none() {
+            prop_assert_eq!(a.epochs[0].stats.span, b.epochs[0].stats.span);
+            prop_assert_eq!(a.storage_bytes, b.storage_bytes);
+        }
+    }
+
+    /// Throughput is finite and positive for every enumerated strategy,
+    /// and storage consumption matches the size model exactly.
+    #[test]
+    fn profiles_are_sane(pipeline in arb_pipeline(), bytes in 10_000.0f64..1e6) {
+        let ds = dataset(bytes);
+        let sim = Simulator::new(pipeline.clone(), ds.clone(), env());
+        for profile in sim.profile_all(1) {
+            prop_assert!(profile.error.is_none());
+            let sps = profile.throughput_sps();
+            prop_assert!(sps.is_finite() && sps > 0.0, "SPS {sps}");
+            let expected =
+                pipeline.size_after(profile.strategy.split, bytes) * ds.sample_count as f64;
+            prop_assert!(
+                (profile.storage_bytes as f64 - expected).abs() <= 1.0,
+                "storage {} vs {expected}",
+                profile.storage_bytes
+            );
+        }
+    }
+
+    /// Making a step strictly more expensive never increases the
+    /// unprocessed (all-online) throughput.
+    #[test]
+    fn costlier_steps_never_speed_up(bytes in 50_000.0f64..1e6,
+                                     base_cost in 0.0f64..50.0,
+                                     extra in 1.0f64..100.0) {
+        let build = |cost: f64| {
+            Pipeline::new("c").push_spec(StepSpec::native(
+                "work",
+                CostModel::new(0.0, cost, 0.0),
+                SizeModel::IDENTITY,
+            ))
+        };
+        let cheap = Simulator::new(build(base_cost), dataset(bytes), env())
+            .profile(&SplitStrategy::at_split(0), 1);
+        let pricey = Simulator::new(build(base_cost + extra), dataset(bytes), env())
+            .profile(&SplitStrategy::at_split(0), 1);
+        prop_assert!(pricey.throughput_sps() <= cheap.throughput_sps() * 1.0001);
+    }
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # presto-storage
+//!
+//! Discrete-event simulated storage and execution substrate.
+//!
+//! The paper measures its pipelines on an 8-VCPU VM reading from an
+//! HDD/SSD-backed Ceph cluster over a 10 Gb/s link. That hardware is not
+//! available here, so this crate models the mechanisms the paper's
+//! analysis isolates:
+//!
+//! - [`resource::PsResource`]: max–min-fair processor sharing — the
+//!   cluster's aggregate bandwidth, the VM's CPU cores and the memory
+//!   bus are all shared this way,
+//! - [`machine::SimMachine`]: a single-threaded discrete-event engine
+//!   driving worker *programs* (state machines) through lock, read,
+//!   compute and write stages on a virtual clock,
+//! - [`device::DeviceProfile`]: per-device parameters (streaming
+//!   bandwidth, open latency, seek cost, IOPS admission), with presets
+//!   calibrated against the paper's Table 3 `fio` profile,
+//! - [`cache::PageCache`]: a granule-level LRU page cache (system-level
+//!   caching) — the mechanism behind the paper's Section 4.2,
+//! - [`fio`]: an `fio`-style workload driver regenerating Table 3,
+//! - [`dstat::Dstat`]: run counters mirroring the paper's `dstat`
+//!   side-channel (bytes from storage vs memory, context switches…).
+//!
+//! Everything runs on virtual time: results are deterministic and
+//! machine-independent, which is what lets the benches regenerate the
+//! paper's tables anywhere.
+
+pub mod cache;
+pub mod device;
+pub mod dstat;
+pub mod fio;
+pub mod machine;
+pub mod resource;
+pub mod time;
+
+pub use cache::PageCache;
+pub use device::DeviceProfile;
+pub use dstat::Dstat;
+pub use machine::{Ctx, Program, ReadReq, SimMachine, Stage, TaskId};
+pub use time::Nanos;

@@ -1,0 +1,121 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point (or span) on the simulation's virtual clock, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero.
+    pub const ZERO: Nanos = Nanos(0);
+    /// Largest representable instant (used as "never").
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (clamped at zero).
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        Nanos((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// From fractional seconds, rounding up. Event schedulers must use
+    /// this for completion times: rounding down would leave a sliver of
+    /// work behind and re-fire the event at the same instant forever.
+    pub fn from_secs_f64_ceil(s: f64) -> Nanos {
+        Nanos((s.max(0.0) * 1e9).ceil() as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        debug_assert!(self.0 >= rhs.0, "negative virtual duration");
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Nanos::from_secs(2).0, 2_000_000_000);
+        assert_eq!(Nanos::from_millis(3).0, 3_000_000);
+        assert_eq!(Nanos::from_micros(5).0, 5_000);
+        assert!((Nanos::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_secs(1);
+        let b = Nanos::from_millis(500);
+        assert_eq!(a + b, Nanos(1_500_000_000));
+        assert_eq!(a - b, Nanos(500_000_000));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(Nanos::MAX + a, Nanos::MAX);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(Nanos(500).to_string(), "500ns");
+        assert_eq!(Nanos::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+    }
+}

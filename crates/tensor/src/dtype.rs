@@ -1,0 +1,158 @@
+//! Element types used by the paper's pipelines.
+
+use std::fmt;
+
+/// The element type of a [`crate::Tensor`].
+///
+/// The set matches what the paper's seven pipelines actually move:
+/// `u8` image pixels, `i16` PCM audio, `i32` BPE token ids, `f32`
+/// embeddings/spectrograms, `f64` electrical measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned 8-bit (decoded image pixels).
+    U8,
+    /// Signed 16-bit (PCM audio waveforms).
+    I16,
+    /// Signed 32-bit (token ids).
+    I32,
+    /// 32-bit float (embeddings, spectrograms, pixel-centered images).
+    F32,
+    /// 64-bit float (NILM electrical signals).
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size_bytes(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I16 => 2,
+            DType::I32 => 4,
+            DType::F32 => 4,
+            DType::F64 => 8,
+        }
+    }
+
+    /// Stable wire tag for serialization.
+    pub const fn tag(self) -> u8 {
+        match self {
+            DType::U8 => 0,
+            DType::I16 => 1,
+            DType::I32 => 2,
+            DType::F32 => 3,
+            DType::F64 => 4,
+        }
+    }
+
+    /// Inverse of [`DType::tag`].
+    pub const fn from_tag(tag: u8) -> Option<DType> {
+        match tag {
+            0 => Some(DType::U8),
+            1 => Some(DType::I16),
+            2 => Some(DType::I32),
+            3 => Some(DType::F32),
+            4 => Some(DType::F64),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::U8 => "uint8",
+            DType::I16 => "int16",
+            DType::I32 => "int32",
+            DType::F32 => "float32",
+            DType::F64 => "float64",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Rust types that can live in a [`crate::Tensor`].
+///
+/// Conversions are explicit little-endian byte encodings so serialized
+/// tensors are platform independent.
+pub trait Element: Copy + Default + PartialOrd + 'static {
+    /// The corresponding [`DType`].
+    const DTYPE: DType;
+
+    /// Encode into little-endian bytes, appending to `out`.
+    fn write_le(self, out: &mut Vec<u8>);
+
+    /// Decode from little-endian bytes; `bytes.len() == size_bytes()`.
+    fn read_le(bytes: &[u8]) -> Self;
+
+    /// Lossy conversion to f64 (for statistics and aggregations).
+    fn to_f64(self) -> f64;
+}
+
+macro_rules! impl_element {
+    ($ty:ty, $dtype:expr) => {
+        impl Element for $ty {
+            const DTYPE: DType = $dtype;
+
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn read_le(bytes: &[u8]) -> Self {
+                <$ty>::from_le_bytes(bytes.try_into().expect("element size mismatch"))
+            }
+
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+        }
+    };
+}
+
+impl_element!(u8, DType::U8);
+impl_element!(i16, DType::I16);
+impl_element!(i32, DType::I32);
+impl_element!(f32, DType::F32);
+impl_element!(f64, DType::F64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_types() {
+        assert_eq!(DType::U8.size_bytes(), std::mem::size_of::<u8>());
+        assert_eq!(DType::I16.size_bytes(), std::mem::size_of::<i16>());
+        assert_eq!(DType::I32.size_bytes(), std::mem::size_of::<i32>());
+        assert_eq!(DType::F32.size_bytes(), std::mem::size_of::<f32>());
+        assert_eq!(DType::F64.size_bytes(), std::mem::size_of::<f64>());
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for dtype in [DType::U8, DType::I16, DType::I32, DType::F32, DType::F64] {
+            assert_eq!(DType::from_tag(dtype.tag()), Some(dtype));
+        }
+        assert_eq!(DType::from_tag(200), None);
+    }
+
+    #[test]
+    fn element_byte_roundtrip() {
+        fn check<T: Element + PartialEq + std::fmt::Debug>(value: T) {
+            let mut buf = Vec::new();
+            value.write_le(&mut buf);
+            assert_eq!(buf.len(), T::DTYPE.size_bytes());
+            assert_eq!(T::read_le(&buf), value);
+        }
+        check(255u8);
+        check(-1234i16);
+        check(-7_654_321i32);
+        check(3.5f32);
+        check(-2.25e-300f64);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::U8.to_string(), "uint8");
+        assert_eq!(DType::F32.to_string(), "float32");
+    }
+}

@@ -1,0 +1,232 @@
+//! `RecordBundle`: a TFRecord-like framed record stream.
+//!
+//! Layout per record (all integers little-endian):
+//!
+//! ```text
+//! [len: u64][len_crc: u32][payload: len bytes][payload_crc: u32]
+//! ```
+//!
+//! This mirrors TFRecord's structure (which uses masked CRC-32C); the
+//! integrity and framing properties — and crucially the *fixed
+//! per-record decode overhead* — are the same. The paper concatenates
+//! datasets into such streams to convert random file access into
+//! sequential reads (its "concatenated" strategy).
+
+use presto_codecs::checksum::Crc32;
+use std::fmt;
+
+/// Framing overhead added to every record, in bytes.
+pub const RECORD_OVERHEAD: usize = 8 + 4 + 4;
+
+/// Errors from reading a record stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// Stream ended mid-record.
+    UnexpectedEof,
+    /// The length header failed its CRC.
+    BadLengthCrc,
+    /// The payload failed its CRC.
+    BadPayloadCrc,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::UnexpectedEof => write!(f, "record stream truncated"),
+            RecordError::BadLengthCrc => write!(f, "record length CRC mismatch"),
+            RecordError::BadPayloadCrc => write!(f, "record payload CRC mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Appends framed records to a byte buffer.
+#[derive(Debug, Default)]
+pub struct RecordWriter {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl RecordWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for an expected total size.
+    pub fn with_capacity(bytes: usize) -> Self {
+        RecordWriter { buf: Vec::with_capacity(bytes), records: 0 }
+    }
+
+    /// Append one record.
+    pub fn write(&mut self, payload: &[u8]) {
+        let len = payload.len() as u64;
+        let len_bytes = len.to_le_bytes();
+        self.buf.extend_from_slice(&len_bytes);
+        self.buf.extend_from_slice(&Crc32::checksum(&len_bytes).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.buf.extend_from_slice(&Crc32::checksum(payload).to_le_bytes());
+        self.records += 1;
+    }
+
+    /// Number of records written.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Total bytes including framing.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consume the writer, returning the framed stream.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Iterates over the records of a framed stream, verifying CRCs.
+#[derive(Debug)]
+pub struct RecordReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Wrap a framed stream.
+    pub fn new(data: &'a [u8]) -> Self {
+        RecordReader { data, pos: 0 }
+    }
+
+    /// Read the next record, or `None` at a clean end of stream.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<&'a [u8], RecordError>> {
+        if self.pos == self.data.len() {
+            return None;
+        }
+        Some(self.read_one())
+    }
+
+    fn read_one(&mut self) -> Result<&'a [u8], RecordError> {
+        let remaining = &self.data[self.pos..];
+        if remaining.len() < 12 {
+            return Err(RecordError::UnexpectedEof);
+        }
+        let len_bytes: [u8; 8] = remaining[0..8].try_into().unwrap();
+        let stored_crc = u32::from_le_bytes(remaining[8..12].try_into().unwrap());
+        if Crc32::checksum(&len_bytes) != stored_crc {
+            return Err(RecordError::BadLengthCrc);
+        }
+        let len = u64::from_le_bytes(len_bytes) as usize;
+        if remaining.len() < 12 + len + 4 {
+            return Err(RecordError::UnexpectedEof);
+        }
+        let payload = &remaining[12..12 + len];
+        let payload_crc =
+            u32::from_le_bytes(remaining[12 + len..12 + len + 4].try_into().unwrap());
+        if Crc32::checksum(payload) != payload_crc {
+            return Err(RecordError::BadPayloadCrc);
+        }
+        self.pos += 12 + len + 4;
+        Ok(payload)
+    }
+
+    /// Collect all remaining records.
+    pub fn read_all(&mut self) -> Result<Vec<&'a [u8]>, RecordError> {
+        let mut out = Vec::new();
+        while let Some(record) = self.next() {
+            out.push(record?);
+        }
+        Ok(out)
+    }
+}
+
+impl<'a> Iterator for RecordReader<'a> {
+    type Item = Result<&'a [u8], RecordError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        RecordReader::next(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_records() {
+        let mut writer = RecordWriter::new();
+        let payloads: Vec<Vec<u8>> =
+            vec![vec![], vec![1], vec![2; 100], (0..255).collect()];
+        for p in &payloads {
+            writer.write(p);
+        }
+        assert_eq!(writer.record_count(), 4);
+        let stream = writer.finish();
+        let mut reader = RecordReader::new(&stream);
+        let records = reader.read_all().unwrap();
+        assert_eq!(records.len(), payloads.len());
+        for (got, want) in records.iter().zip(&payloads) {
+            assert_eq!(got, &want.as_slice());
+        }
+    }
+
+    #[test]
+    fn overhead_constant_matches_layout() {
+        let mut writer = RecordWriter::new();
+        writer.write(&[0u8; 10]);
+        assert_eq!(writer.byte_len(), 10 + RECORD_OVERHEAD);
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let mut reader = RecordReader::new(&[]);
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn corrupt_length_crc_detected() {
+        let mut writer = RecordWriter::new();
+        writer.write(b"payload");
+        let mut stream = writer.finish();
+        stream[9] ^= 0xFF; // inside the length CRC
+        let mut reader = RecordReader::new(&stream);
+        assert_eq!(reader.next().unwrap(), Err(RecordError::BadLengthCrc));
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut writer = RecordWriter::new();
+        writer.write(b"payload");
+        let mut stream = writer.finish();
+        stream[12] ^= 0xFF; // first payload byte
+        let mut reader = RecordReader::new(&stream);
+        assert_eq!(reader.next().unwrap(), Err(RecordError::BadPayloadCrc));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut writer = RecordWriter::new();
+        writer.write(&[7u8; 64]);
+        let stream = writer.finish();
+        for cut in 1..stream.len() {
+            let mut reader = RecordReader::new(&stream[..cut]);
+            let result = reader.next().unwrap();
+            assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn iterator_interface() {
+        let mut writer = RecordWriter::new();
+        for i in 0..10u8 {
+            writer.write(&[i]);
+        }
+        let stream = writer.finish();
+        let sum: u32 = RecordReader::new(&stream)
+            .map(|r| u32::from(r.unwrap()[0]))
+            .sum();
+        assert_eq!(sum, 45);
+    }
+}

@@ -1,0 +1,131 @@
+//! Word2vec-style embedding lookup.
+//!
+//! The paper's NLP pipeline looks each BPE token up in a word2vec table
+//! returning a `1 × 768` float32 vector, stacked into the `n × 768`
+//! model input. Real word2vec weights are not needed to reproduce the
+//! pipeline's performance behaviour — only the lookup and the 64×
+//! storage inflation matter — so the table is filled with a
+//! deterministic pseudo-random distribution (unit-variance, seeded).
+
+/// The paper's embedding width.
+pub const PAPER_DIM: usize = 768;
+
+/// A dense `vocab × dim` embedding table.
+#[derive(Debug, Clone)]
+pub struct EmbeddingTable {
+    dim: usize,
+    vocab: usize,
+    weights: Vec<f32>,
+}
+
+/// SplitMix64: tiny deterministic generator for reproducible weights.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl EmbeddingTable {
+    /// Build a deterministic table for `vocab` tokens of width `dim`.
+    pub fn new(vocab: usize, dim: usize, seed: u64) -> Self {
+        let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+        let mut weights = Vec::with_capacity(vocab * dim);
+        for _ in 0..vocab * dim {
+            // Uniform in [-0.5, 0.5), roughly word2vec's init scale.
+            let raw = splitmix64(&mut state);
+            weights.push((raw >> 40) as f32 / (1u64 << 24) as f32 - 0.5);
+        }
+        EmbeddingTable { dim, vocab, weights }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Look up one token; out-of-vocabulary ids wrap (hashing trick).
+    pub fn lookup(&self, token: i32) -> &[f32] {
+        let idx = (token.unsigned_abs() as usize) % self.vocab;
+        &self.weights[idx * self.dim..(idx + 1) * self.dim]
+    }
+
+    /// Stack the embeddings of a token sequence into a flat
+    /// `tokens.len() × dim` row-major buffer — the NLP pipeline's
+    /// `embedded` step.
+    pub fn embed_sequence(&self, tokens: &[i32]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(tokens.len() * self.dim);
+        for &token in tokens {
+            out.extend_from_slice(self.lookup(token));
+        }
+        out
+    }
+
+    /// Storage inflation of embedding relative to `i32` tokens:
+    /// `dim × 4` bytes out per 4 bytes in.
+    pub fn inflation_factor(&self) -> f64 {
+        self.dim as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = EmbeddingTable::new(100, 16, 42);
+        let b = EmbeddingTable::new(100, 16, 42);
+        assert_eq!(a.lookup(7), b.lookup(7));
+        let c = EmbeddingTable::new(100, 16, 43);
+        assert_ne!(a.lookup(7), c.lookup(7));
+    }
+
+    #[test]
+    fn lookup_dimensions() {
+        let table = EmbeddingTable::new(50, PAPER_DIM, 1);
+        assert_eq!(table.lookup(0).len(), 768);
+        assert_eq!(table.lookup(49).len(), 768);
+    }
+
+    #[test]
+    fn out_of_vocab_wraps() {
+        let table = EmbeddingTable::new(10, 4, 1);
+        assert_eq!(table.lookup(3), table.lookup(13));
+        assert_eq!(table.lookup(-3), table.lookup(3));
+    }
+
+    #[test]
+    fn embed_sequence_stacks_rows() {
+        let table = EmbeddingTable::new(10, 4, 1);
+        let out = table.embed_sequence(&[1, 2, 1]);
+        assert_eq!(out.len(), 12);
+        assert_eq!(&out[0..4], table.lookup(1));
+        assert_eq!(&out[8..12], table.lookup(1));
+    }
+
+    #[test]
+    fn weights_are_bounded_and_centered() {
+        let table = EmbeddingTable::new(200, 64, 9);
+        let all = table.embed_sequence(&(0..200).collect::<Vec<_>>());
+        assert!(all.iter().all(|w| (-0.5..0.5).contains(w)));
+        let mean: f32 = all.iter().sum::<f32>() / all.len() as f32;
+        assert!(mean.abs() < 0.02, "mean {mean} not centered");
+    }
+
+    #[test]
+    fn inflation_matches_paper_64x() {
+        // Paper: bpe-encoded 647 MB → embedded 490.7 GB ≈ 759× of i32
+        // per token? No — per token: 4 B → 768×4 B = 768×. The dataset
+        // inflation is lower because tokens repeat; per-sample the
+        // inflation factor is dim×.
+        let table = EmbeddingTable::new(100, PAPER_DIM, 5);
+        assert_eq!(table.inflation_factor(), 768.0);
+    }
+}

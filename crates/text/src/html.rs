@@ -1,0 +1,183 @@
+//! Readable-text extraction from HTML.
+//!
+//! The paper's NLP pipeline decodes scraped web pages with the
+//! `newspaper` library. This module performs the equivalent
+//! transformation: drop markup, `<script>`/`<style>` bodies and
+//! comments, decode common entities, and collapse whitespace. It is a
+//! genuinely CPU-heavy, byte-at-a-time scan — the property that makes
+//! the NLP `decoded` step a CPU bottleneck in the paper.
+
+/// Extract readable text from an HTML document.
+pub fn extract_text(html: &str) -> String {
+    let bytes = html.as_bytes();
+    let mut out = String::with_capacity(html.len() / 4);
+    let mut i = 0;
+    let mut last_was_space = true;
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if bytes[i..].starts_with(b"<!--") {
+                i = find_sub(bytes, i + 4, b"-->").map_or(bytes.len(), |p| p + 3);
+                continue;
+            }
+            if let Some(rest) = tag_name_at(bytes, i) {
+                if rest.eq_ignore_ascii_case("script") || rest.eq_ignore_ascii_case("style") {
+                    let close = format!("</{rest}");
+                    i = find_sub_ci(bytes, i + 1, close.as_bytes()).map_or(bytes.len(), |p| {
+                        find_byte(bytes, p, b'>').map_or(bytes.len(), |q| q + 1)
+                    });
+                    continue;
+                }
+            }
+            // Block-level tags act as whitespace separators.
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+            i = find_byte(bytes, i, b'>').map_or(bytes.len(), |p| p + 1);
+            continue;
+        }
+        if bytes[i] == b'&' {
+            if let Some((decoded, consumed)) = decode_entity(&html[i..]) {
+                push_collapsed(&mut out, decoded, &mut last_was_space);
+                i += consumed;
+                continue;
+            }
+        }
+        let ch = html[i..].chars().next().unwrap();
+        push_collapsed(&mut out, ch, &mut last_was_space);
+        i += ch.len_utf8();
+    }
+    let trimmed = out.trim();
+    trimmed.to_string()
+}
+
+fn push_collapsed(out: &mut String, ch: char, last_was_space: &mut bool) {
+    if ch.is_whitespace() {
+        if !*last_was_space {
+            out.push(' ');
+            *last_was_space = true;
+        }
+    } else {
+        out.push(ch);
+        *last_was_space = false;
+    }
+}
+
+fn tag_name_at(bytes: &[u8], lt: usize) -> Option<String> {
+    let mut j = lt + 1;
+    if j < bytes.len() && bytes[j] == b'/' {
+        j += 1;
+    }
+    let start = j;
+    while j < bytes.len() && bytes[j].is_ascii_alphanumeric() {
+        j += 1;
+    }
+    if j > start {
+        Some(String::from_utf8_lossy(&bytes[start..j]).into_owned())
+    } else {
+        None
+    }
+}
+
+fn find_byte(bytes: &[u8], from: usize, needle: u8) -> Option<usize> {
+    bytes[from..].iter().position(|&b| b == needle).map(|p| from + p)
+}
+
+fn find_sub(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= bytes.len() {
+        return None;
+    }
+    bytes[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|p| from + p)
+}
+
+fn find_sub_ci(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= bytes.len() || needle.is_empty() {
+        return None;
+    }
+    bytes[from..]
+        .windows(needle.len())
+        .position(|w| w.eq_ignore_ascii_case(needle))
+        .map(|p| from + p)
+}
+
+/// Decode an HTML entity at the start of `s`; returns `(char, bytes_consumed)`.
+fn decode_entity(s: &str) -> Option<(char, usize)> {
+    let end = s[..s.len().min(12)].find(';')?;
+    let body = &s[1..end];
+    let ch = match body {
+        "amp" => '&',
+        "lt" => '<',
+        "gt" => '>',
+        "quot" => '"',
+        "apos" => '\'',
+        "nbsp" => ' ',
+        _ => {
+            let code = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X"));
+            let value = if let Some(hex) = code {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(value)?
+        }
+    };
+    Some((ch, end + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_tags_and_collapses_whitespace() {
+        let html = "<html><body><h1>Title</h1>\n\n  <p>Some   <b>bold</b> text.</p></body></html>";
+        assert_eq!(extract_text(html), "Title Some bold text.");
+    }
+
+    #[test]
+    fn drops_script_and_style_bodies() {
+        let html = "<p>before</p><script>var x = '<p>not text</p>';</script>\
+                    <style>p { color: red; }</style><p>after</p>";
+        assert_eq!(extract_text(html), "before after");
+    }
+
+    #[test]
+    fn drops_comments() {
+        // Comment removal joins the surrounding text (no separator).
+        assert_eq!(extract_text("a<!-- hidden <b>bold</b> -->b"), "ab");
+    }
+
+    #[test]
+    fn decodes_entities() {
+        assert_eq!(extract_text("fish &amp; chips &lt;3 &#65; &#x42;"), "fish & chips <3 A B");
+    }
+
+    #[test]
+    fn unknown_entities_left_verbatim() {
+        assert_eq!(extract_text("&bogus; &toolongtobeanentityatall"),
+                   "&bogus; &toolongtobeanentityatall");
+    }
+
+    #[test]
+    fn unterminated_structures_do_not_panic() {
+        assert_eq!(extract_text("text <unclosed"), "text");
+        assert_eq!(extract_text("<script>never closed"), "");
+        assert_eq!(extract_text("<!-- never closed"), "");
+    }
+
+    #[test]
+    fn empty_and_plain_inputs() {
+        assert_eq!(extract_text(""), "");
+        assert_eq!(extract_text("just plain text"), "just plain text");
+    }
+
+    #[test]
+    fn multibyte_utf8_preserved() {
+        assert_eq!(extract_text("<p>héllo wörld — ünïcode</p>"), "héllo wörld — ünïcode");
+    }
+}

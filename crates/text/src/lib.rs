@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # presto-text
+//!
+//! Text-processing substrate for the NLP pipeline (GPT-2-style):
+//!
+//! - [`html`]: extraction of readable text from HTML documents
+//!   (the paper uses the `newspaper` library; we implement a tag/script
+//!   stripper with entity decoding — the same computational role),
+//! - [`bpe`]: byte-pair encoding — greedy merge training and longest-
+//!   match encoding to `i32` token ids,
+//! - [`embedding`]: a deterministic word2vec-style lookup table mapping
+//!   token ids to `1 × 768` float vectors, stacked per document into the
+//!   `n × 768` model input the paper describes.
+
+pub mod bpe;
+pub mod embedding;
+pub mod html;
+
+pub use bpe::BpeTokenizer;
+pub use embedding::EmbeddingTable;

@@ -1,0 +1,95 @@
+//! The paper's CV case study: profile the ILSVRC2012-style pipeline
+//! across strategies, caching levels and compression — reproducing the
+//! Table 1 story, and showing what the strategy choice means for GPU
+//! utilization (Figure 3).
+//!
+//! ```sh
+//! cargo run --release -p presto-examples --bin cv_imagenet
+//! ```
+
+use presto::report::{format_bytes, TableBuilder};
+use presto::{Presto, Weights};
+use presto_codecs::{Codec, Level};
+use presto_datasets::hardware::{keeps_busy, ACCELERATORS};
+use presto_datasets::cv;
+use presto_pipeline::sim::SimEnv;
+use presto_pipeline::{CacheLevel, Strategy};
+
+fn main() {
+    let workload = cv::cv();
+    let presto = Presto::new(
+        workload.pipeline.clone(),
+        workload.dataset.clone(),
+        SimEnv::paper_vm(),
+    );
+
+    println!("== CV (ILSVRC2012-like, 1.3M JPGs, 146.9 GB) strategy sweep\n");
+    let analysis = presto.profile_all(1);
+    let mut table = TableBuilder::new(&[
+        "strategy",
+        "SPS",
+        "net MB/s",
+        "storage",
+        "prep time",
+    ]);
+    for profile in analysis.profiles() {
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            format!("{:.0}", profile.epochs[0].network_read_mbps),
+            format_bytes(profile.storage_bytes),
+            format!("{:.0}s", profile.preprocessing_secs()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let best = analysis.recommend(Weights::MAX_THROUGHPUT);
+    println!("recommended strategy: {} ({:.0} SPS)\n", best.label, best.throughput_sps);
+
+    println!("== which accelerators does each strategy keep busy?");
+    let mut table = TableBuilder::new(&["strategy", "SPS", "fed accelerators"]);
+    for profile in analysis.profiles() {
+        let fed: Vec<&str> = ACCELERATORS
+            .iter()
+            .filter(|a| keeps_busy(a, profile.throughput_sps()))
+            .map(|a| a.name)
+            .collect();
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            if fed.is_empty() { "none".into() } else { fed.join(", ") },
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("== compression on the recommended strategy");
+    let split = analysis.profiles()[best.index].strategy.split;
+    let mut table = TableBuilder::new(&["codec", "storage", "SPS", "prep time"]);
+    for codec in [Codec::None, Codec::Gzip(Level::DEFAULT), Codec::Zlib(Level::DEFAULT)] {
+        let profile = presto
+            .profile_strategy(&Strategy::at_split(split).with_compression(codec), 1);
+        table.row(&[
+            codec.name().to_string(),
+            format_bytes(profile.storage_bytes),
+            format!("{:.0}", profile.throughput_sps()),
+            format!("{:.0}s", profile.preprocessing_secs()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("== two-epoch caching on the recommended strategy");
+    let mut table = TableBuilder::new(&["cache level", "epoch1 SPS", "epoch2 SPS"]);
+    for cache in [CacheLevel::None, CacheLevel::System, CacheLevel::Application] {
+        let profile =
+            presto.profile_strategy(&Strategy::at_split(split).with_cache(cache), 2);
+        match &profile.error {
+            Some(e) => table.row(&[cache.name().to_string(), format!("{e}"), "-".into()]),
+            None => table.row(&[
+                cache.name().to_string(),
+                format!("{:.0}", profile.epochs[0].throughput_sps),
+                format!("{:.0}", profile.epochs[1].throughput_sps),
+            ]),
+        };
+    }
+    println!("{}", table.render());
+}

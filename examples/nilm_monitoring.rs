@@ -1,0 +1,83 @@
+//! The NILM (non-intrusive load monitoring) case study: MEED-style
+//! event-detection preprocessing over mains-electricity windows, on the
+//! real engine, plus the simulator's strategy analysis and bottleneck
+//! diagnosis for the paper-scale CREAM dataset.
+//!
+//! ```sh
+//! cargo run --release -p presto-examples --bin nilm_monitoring
+//! ```
+
+use presto::report::{format_bytes, TableBuilder};
+use presto::{diagnose, Presto};
+use presto_datasets::generators;
+use presto_datasets::nilm;
+use presto_datasets::steps::executable_nilm_pipeline;
+use presto_formats::container::ContainerWriter;
+use presto_pipeline::real::{MemStore, RealExecutor};
+use presto_pipeline::sim::SimEnv;
+use presto_pipeline::{Payload, Sample, Strategy};
+use presto_tensor::Tensor;
+
+fn main() {
+    let windows: usize =
+        std::env::var("WINDOWS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
+    println!("== real engine: {windows} ten-second 6.4 kHz windows\n");
+    let pipeline = executable_nilm_pipeline(128);
+    let source: Vec<Sample> = (0..windows as u64)
+        .map(|key| {
+            let (v, i) = generators::electrical_window(10.0, 6_400, key);
+            let mut writer = ContainerWriter::new();
+            writer.append_chunk("voltage", &Tensor::from_vec(vec![v.len()], v).unwrap());
+            writer.append_chunk("current", &Tensor::from_vec(vec![i.len()], i).unwrap());
+            Sample::from_bytes(key, writer.finish())
+        })
+        .collect();
+    let raw: usize = source.iter().map(Sample::nbytes).sum();
+    let store = MemStore::new();
+    let exec = RealExecutor::new(4);
+    let mut table = TableBuilder::new(&["strategy", "stored", "vs raw", "epoch SPS"]);
+    for split in 0..=pipeline.max_split() {
+        let strategy = Strategy::at_split(split).with_threads(4);
+        let (dataset, _) =
+            exec.materialize(&pipeline, &strategy, &source, &store).expect("materialize");
+        let stats = exec
+            .epoch(&pipeline, &dataset, &store, None, 3, |sample| {
+                // Feature sanity: the model input is 3×500 float64.
+                if split == pipeline.max_split() {
+                    let Payload::Tensors(ts) = &sample.payload else { return };
+                    debug_assert_eq!(ts[0].shape(), &[3, 500]);
+                }
+            })
+            .expect("epoch");
+        table.row(&[
+            pipeline.split_name(split).to_string(),
+            format_bytes(dataset.stored_bytes),
+            format!("{:.2}x", dataset.stored_bytes as f64 / raw as f64),
+            format!("{:.0}", stats.samples_per_second()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(our container stores raw float64, so aggregation shrinks ~100x here;");
+    println!(" CREAM's compact source encoding makes it 12x in the paper — same story)\n");
+
+    println!("== simulator: paper-scale CREAM (268k windows, 39.6 GB) diagnosis\n");
+    let workload = nilm::nilm();
+    let env = SimEnv::paper_vm();
+    let presto =
+        Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env.clone());
+    let mut table =
+        TableBuilder::new(&["strategy", "SPS", "storage", "bottleneck"]);
+    for strategy in Strategy::enumerate(&workload.pipeline) {
+        let profile = presto.profile_strategy(&strategy, 1);
+        let diagnosis = diagnose(&profile, &env).unwrap();
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            format_bytes(profile.storage_bytes),
+            diagnosis.bottleneck.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("paper: the GIL-held NumPy decode binds early strategies; the fully");
+    println!("aggregated strategy is dispatch-bound (0.012 MB samples) but fastest.");
+}

@@ -1,0 +1,85 @@
+//! Quickstart: profile a small preprocessing pipeline and let PRESTO
+//! pick the best strategy for three different objectives.
+//!
+//! ```sh
+//! cargo run --release -p presto-examples --bin quickstart
+//! ```
+
+use presto::report::{format_bytes, TableBuilder};
+use presto::{Presto, Weights};
+use presto_pipeline::sim::{SimDataset, SimEnv, SourceLayout};
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
+use presto_storage::Nanos;
+
+fn main() {
+    // 1. Describe your pipeline: each step's cost and size behaviour.
+    //    (Steps can also be real `Step` implementations — see the
+    //    real_engine example.)
+    let pipeline = Pipeline::new("quickstart")
+        .push_spec(StepSpec::native(
+            "concatenated",
+            CostModel::new(2_000.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+        ))
+        .push_spec(
+            StepSpec::native(
+                "decoded", // e.g. JPEG decode: CPU-heavy, inflates 5x
+                CostModel::new(0.0, 25.0, 0.0),
+                SizeModel::scale(5.0),
+            )
+            .with_space_saving(0.45, 0.44),
+        )
+        .push_spec(StepSpec::native(
+            "resized", // shrinks to the model input size
+            CostModel::new(0.0, 0.0, 9.0),
+            SizeModel::scale(0.4),
+        ))
+        .push_spec(
+            StepSpec::native(
+                "augmented", // random augmentation: must stay online
+                CostModel::new(50_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            )
+            .non_deterministic(),
+        );
+
+    // 2. Describe the dataset: 200k small files on the storage cluster.
+    let dataset = SimDataset {
+        name: "my-images".into(),
+        sample_count: 200_000,
+        unprocessed_sample_bytes: 150_000.0,
+        layout: SourceLayout::FilePerSample { penalty: Nanos::from_millis(10) },
+    };
+
+    // 3. Profile every legal strategy on the simulated cluster.
+    let presto = Presto::new(pipeline, dataset, SimEnv::paper_vm());
+    let analysis = presto.profile_all(1);
+
+    let mut table =
+        TableBuilder::new(&["strategy", "throughput SPS", "storage", "offline prep"]);
+    for profile in analysis.profiles() {
+        table.row(&[
+            profile.label.clone(),
+            format!("{:.0}", profile.throughput_sps()),
+            format_bytes(profile.storage_bytes),
+            format!("{:.0}s", profile.preprocessing_secs()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // 4. Pick strategies for different objectives.
+    for (goal, weights) in [
+        ("maximize throughput (default)", Weights::MAX_THROUGHPUT),
+        ("deadline: fast start + throughput", Weights::DEADLINE),
+        ("balanced", Weights::BALANCED),
+    ] {
+        let best = analysis.recommend(weights);
+        println!(
+            "{goal:36} -> {:20} ({:.0} SPS, {}, {:.0}s prep)",
+            best.label,
+            best.throughput_sps,
+            format_bytes(best.storage_bytes),
+            best.preprocessing_secs,
+        );
+    }
+}

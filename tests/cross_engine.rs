@@ -1,0 +1,112 @@
+//! Cross-engine consistency: the same `Pipeline`/`Strategy` types feed
+//! both engines, and where their outputs overlap (storage consumption
+//! shape, strategy legality, relative ordering of materialized sizes)
+//! they must agree.
+
+use presto_datasets::generators;
+use presto_datasets::steps;
+use presto_formats::image::jpg;
+use presto_pipeline::real::{MemStore, RealExecutor};
+use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, SourceLayout};
+use presto_pipeline::{Sample, Strategy};
+use presto_storage::Nanos;
+
+/// Build matched real + sim views of the same small CV workload.
+fn matched_cv() -> (presto_pipeline::Pipeline, Vec<Sample>, Simulator) {
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..50u64)
+        .map(|key| {
+            let img = generators::natural_image(128, 96, key);
+            Sample::from_bytes(key, jpg::encode(&img, 85))
+        })
+        .collect();
+    let avg_bytes =
+        source.iter().map(Sample::nbytes).sum::<usize>() as f64 / source.len() as f64;
+    // Derive the sim dataset from the real data, and the sim pipeline
+    // from the executable steps' own specs — one source of truth.
+    let mut sim_pipeline = presto_pipeline::Pipeline::new("CV-real");
+    for step in pipeline.steps() {
+        sim_pipeline = sim_pipeline.push_spec(step.spec.clone());
+    }
+    let dataset = SimDataset {
+        name: "matched-cv".into(),
+        sample_count: source.len() as u64,
+        unprocessed_sample_bytes: avg_bytes,
+        layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+    };
+    let env = SimEnv { subset_samples: 50, ..SimEnv::paper_vm() };
+    (pipeline, source, Simulator::new(sim_pipeline, dataset, env))
+}
+
+#[test]
+fn strategy_legality_agrees_between_engines() {
+    let (pipeline, source, sim) = matched_cv();
+    let exec = RealExecutor::new(2);
+    let store = MemStore::new();
+    for split in 0..=pipeline.len() {
+        let strategy = Strategy::at_split(split).with_threads(2);
+        let real_ok = exec.materialize(&pipeline, &strategy, &source, &store).is_ok();
+        let sim_ok = sim.profile(&strategy, 1).error.is_none();
+        assert_eq!(real_ok, sim_ok, "split {split} legality must agree");
+    }
+}
+
+#[test]
+fn storage_size_ordering_agrees_between_engines() {
+    let (pipeline, source, sim) = matched_cv();
+    let exec = RealExecutor::new(2);
+    let store = MemStore::new();
+    let mut real_sizes = Vec::new();
+    let mut sim_sizes = Vec::new();
+    for split in 0..=pipeline.max_split() {
+        let strategy = Strategy::at_split(split).with_threads(2);
+        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+        real_sizes.push(dataset.stored_bytes as f64);
+        sim_sizes.push(sim.profile(&strategy, 1).storage_bytes as f64);
+    }
+    // Pairwise ordering must agree wherever the real sizes are
+    // decisively apart (>20% — record framing and synthetic-image
+    // compressibility add noise).
+    for i in 0..real_sizes.len() {
+        for j in i + 1..real_sizes.len() {
+            if (real_sizes[i] - real_sizes[j]).abs() / real_sizes[i].max(real_sizes[j]) < 0.2 {
+                continue;
+            }
+            assert_eq!(
+                real_sizes[i] > real_sizes[j],
+                sim_sizes[i] > sim_sizes[j],
+                "size ordering split {i} vs {j}: real {real_sizes:?} sim {sim_sizes:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_size_models_track_real_step_output_sizes() {
+    // For each executable step, applying it to real data must land in
+    // the ballpark of its own SizeModel (the sim's input).
+    use presto_pipeline::Step;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(5);
+    let img = generators::natural_image(128, 96, 3);
+    let encoded = jpg::encode(&img, 85);
+    let sample = Sample::from_bytes(0, encoded);
+    let in_bytes = sample.nbytes() as f64;
+
+    let decode = steps::DecodeImage(steps::ImageCodec::Jpg);
+    let decoded = decode.apply(sample, &mut rng).unwrap();
+    let predicted = decode.spec().size.eval(in_bytes);
+    let actual = decoded.nbytes() as f64;
+    // Synthetic images compress differently from ImageNet photos; only
+    // the direction and rough magnitude are modelled.
+    assert!(
+        actual / predicted > 0.2 && actual / predicted < 5.0,
+        "decode size: predicted {predicted:.0}, actual {actual:.0}"
+    );
+
+    let center = steps::PixelCenter;
+    let centered = center.apply(decoded.clone(), &mut rng).unwrap();
+    let ratio = centered.nbytes() as f64 / decoded.nbytes() as f64;
+    assert!((ratio - 4.0).abs() < 0.01, "pixel centering is exactly 4x for u8");
+}

@@ -1,0 +1,206 @@
+//! The paper's Section 5 "Lessons Learned", as executable assertions.
+//! Each lesson is checked on purpose-built workloads so the mechanism —
+//! not a calibration coincidence — carries the result.
+
+use presto_codecs::{Codec, Level};
+use presto_integration_tests::fast_env;
+use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, SourceLayout};
+use presto_pipeline::{CacheLevel, CostModel, Pipeline, SizeModel, StepSpec, Strategy};
+use presto_storage::Nanos;
+
+fn dataset(sample_bytes: f64, count: u64) -> SimDataset {
+    SimDataset {
+        name: "lesson".into(),
+        sample_count: count,
+        unprocessed_sample_bytes: sample_bytes,
+        layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+    }
+}
+
+/// Lesson 1a: "A small total storage consumption performs best if not
+/// throttled by a CPU bottleneck" — of two materialization points with
+/// identical online CPU, the smaller one wins.
+#[test]
+fn lesson1_smaller_storage_wins_without_cpu_bottleneck() {
+    let pipeline = Pipeline::new("l1")
+        .push_spec(StepSpec::native(
+            "inflate",
+            CostModel::new(1_000.0, 0.0, 0.0),
+            SizeModel::scale(8.0),
+        ))
+        .push_spec(StepSpec::native(
+            "shrink",
+            CostModel::new(1_000.0, 0.0, 0.0),
+            SizeModel::scale(0.125),
+        ));
+    let sim = Simulator::new(pipeline, dataset(400_000.0, 4_000), fast_env());
+    let big = sim.profile(&Strategy::at_split(1), 1); // 3.2 MB/sample stored
+    let small = sim.profile(&Strategy::at_split(2), 1); // 0.4 MB/sample stored
+    assert!(small.storage_bytes < big.storage_bytes / 7);
+    assert!(
+        small.throughput_sps() > 2.0 * big.throughput_sps(),
+        "small {:.0} vs big {:.0}",
+        small.throughput_sps(),
+        big.throughput_sps()
+    );
+}
+
+/// Lesson 1b: "small sample sizes (≤ 0.08 MB) increase the online
+/// processing time dramatically irregardless of reading from storage or
+/// from memory."
+#[test]
+fn lesson1_small_samples_slow_even_from_memory() {
+    let pipeline = |_: &str| {
+        Pipeline::new("l1b").push_spec(StepSpec::native(
+            "concatenated",
+            CostModel::new(500.0, 0.0, 0.0),
+            SizeModel::IDENTITY,
+        ))
+    };
+    // Same 800 MB total, 0.01 MB vs 2 MB samples, second epoch cached.
+    let total = 800e6;
+    let mut per_byte_sps = Vec::new();
+    for sample_bytes in [10_000.0, 2_000_000.0] {
+        let count = (total / sample_bytes) as u64;
+        let sim = Simulator::new(
+            pipeline("x"),
+            dataset(sample_bytes, count),
+            SimEnv { subset_samples: count, ..fast_env() },
+        );
+        let profile =
+            sim.profile(&Strategy::at_split(1).with_cache(CacheLevel::System), 2);
+        let epoch2 = &profile.epochs[1];
+        // Bytes per second of *payload* delivered from memory.
+        per_byte_sps.push(epoch2.throughput_sps * sample_bytes);
+    }
+    assert!(
+        per_byte_sps[1] > 5.0 * per_byte_sps[0],
+        "large samples must move far more bytes/s from memory: {per_byte_sps:?}"
+    );
+}
+
+/// Lesson 2: "even when parallel speedup of a strategy is reasonably
+/// good, a different strategy with a lower data volume may perform much
+/// better" — thread count is not a substitute for the right split.
+#[test]
+fn lesson2_strategy_choice_beats_thread_tuning() {
+    let pipeline = Pipeline::new("l2")
+        .push_spec(StepSpec::native(
+            "inflate",
+            CostModel::new(2_000.0, 5.0, 0.0),
+            SizeModel::scale(10.0),
+        ))
+        .push_spec(StepSpec::native(
+            "reduce",
+            CostModel::new(2_000.0, 0.5, 0.0),
+            SizeModel::scale(0.05),
+        ));
+    let sim = Simulator::new(pipeline, dataset(500_000.0, 4_000), fast_env());
+    // Heavily-tuned wrong split (16 threads) vs default right split.
+    let wrong_tuned = sim.profile(&Strategy::at_split(1).with_threads(16), 1);
+    let right_default = sim.profile(&Strategy::at_split(2).with_threads(8), 1);
+    assert!(
+        right_default.throughput_sps() > 1.5 * wrong_tuned.throughput_sps(),
+        "right split {:.0} vs tuned wrong split {:.0}",
+        right_default.throughput_sps(),
+        wrong_tuned.throughput_sps()
+    );
+}
+
+/// Lesson 3: "application-level caching increased throughput by up to
+/// 15× with a high sample size … and should be preferred" over
+/// system-level caching (which still pays deserialization).
+#[test]
+fn lesson3_app_cache_preferred_over_sys_cache() {
+    // Large samples with expensive deserialization rows.
+    let pipeline = Pipeline::new("l3").push_spec(
+        StepSpec::native(
+            "featurize",
+            CostModel::new(0.0, 3.0, 0.0),
+            SizeModel::scale(1.0),
+        )
+        .with_rows(2_000.0),
+    );
+    let sim = Simulator::new(pipeline, dataset(1_500_000.0, 4_000), fast_env());
+    let none = sim.profile(&Strategy::at_split(1), 1).throughput_sps();
+    let sys = sim
+        .profile(&Strategy::at_split(1).with_cache(CacheLevel::System), 2)
+        .epochs[1]
+        .throughput_sps;
+    let app_profile =
+        sim.profile(&Strategy::at_split(1).with_cache(CacheLevel::Application), 2);
+    assert!(app_profile.error.is_none());
+    let app = app_profile.epochs[1].throughput_sps;
+    assert!(sys > none, "sys-cache should help: {sys:.0} vs {none:.0}");
+    assert!(
+        app > 1.3 * sys,
+        "app-cache must beat sys-cache (paper: 1.3-4.6x): app {app:.0} sys {sys:.0}"
+    );
+}
+
+/// Lesson 4: "compression can increase throughput … under few
+/// conditions: a high enough space saving and the absence of
+/// computationally expensive processing steps"; with a CPU-bound online
+/// part it cannot help.
+#[test]
+fn lesson4_compression_needs_idle_cpu() {
+    let build = |online_cpu_ns: f64| {
+        Pipeline::new("l4")
+            .push_spec(
+                StepSpec::native(
+                    "stored",
+                    CostModel::new(1_000.0, 0.0, 0.0),
+                    SizeModel::scale(4.0),
+                )
+                .with_space_saving(0.85, 0.84),
+            )
+            .push_spec(StepSpec::native(
+                "online-step",
+                CostModel::new(online_cpu_ns, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
+    };
+    let env = fast_env();
+    // I/O-bound online part: compression converts saved bytes to speed.
+    let io_bound = Simulator::new(build(10_000.0), dataset(2_000_000.0, 4_000), env.clone());
+    let plain = io_bound.profile(&Strategy::at_split(1), 1).throughput_sps();
+    let gz = io_bound
+        .profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1)
+        .throughput_sps();
+    assert!(gz > 1.3 * plain, "I/O-bound must gain: {gz:.0} vs {plain:.0}");
+
+    // CPU-bound online part: small reads, 200 ms of compute per sample
+    // (the NLP regime) — the same saving buys (almost) nothing.
+    let cpu_bound = Simulator::new(build(200_000_000.0), dataset(200_000.0, 2_000), env);
+    let plain = cpu_bound.profile(&Strategy::at_split(1), 1).throughput_sps();
+    let gz = cpu_bound
+        .profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1)
+        .throughput_sps();
+    assert!(gz < 1.05 * plain, "CPU-bound must not gain: {gz:.0} vs {plain:.0}");
+}
+
+/// The conclusion's summary claim, on the real paper workloads: an
+/// intermediate strategy beats full preprocessing by ~3× for CV and
+/// ~13× for NLP while storing less.
+#[test]
+fn conclusion_intermediate_strategies_win_cv_and_nlp() {
+    for (workload, min_factor) in
+        [(presto_datasets::cv::cv(), 2.0), (presto_datasets::nlp::nlp(), 3.0)]
+    {
+        let sim = workload.simulator(fast_env());
+        let profiles = sim.profile_all(1);
+        let last = profiles.last().unwrap();
+        let best = profiles
+            .iter()
+            .max_by(|a, b| a.throughput_sps().partial_cmp(&b.throughput_sps()).unwrap())
+            .unwrap();
+        assert!(
+            best.throughput_sps() > min_factor * last.throughput_sps(),
+            "{}: best {:.0} vs full {:.0}",
+            workload.pipeline.name,
+            best.throughput_sps(),
+            last.throughput_sps()
+        );
+        assert!(best.storage_bytes < last.storage_bytes);
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use presto_pipeline::sim::SimEnv;
+
+/// A fast-profiling environment: the paper's VM with a smaller
+/// simulated subset so the full test suite stays quick.
+pub fn fast_env() -> SimEnv {
+    SimEnv { subset_samples: 4_000, ..SimEnv::paper_vm() }
+}
+
+/// Same against the SSD cluster.
+pub fn fast_env_ssd() -> SimEnv {
+    SimEnv { subset_samples: 4_000, ..SimEnv::paper_vm_ssd() }
+}
