@@ -6,9 +6,13 @@ use presto::cost::{cheapest, cheapest_feeding, cost_of, Campaign, CloudPricing};
 use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
-use presto_datasets::{all_workloads, cv, Workload};
+use presto_datasets::{all_workloads, cv, generators, steps, Workload};
+use presto_pipeline::real::{
+    BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
+};
 use presto_pipeline::sim::SimEnv;
-use presto_pipeline::{CacheLevel, Strategy};
+use presto_pipeline::{CacheLevel, FaultPolicy, Resilience, Sample, Strategy};
+use std::sync::Arc;
 use presto_storage::fio::{self, FioWorkload};
 use presto_storage::DeviceProfile;
 
@@ -29,6 +33,11 @@ commands:
   diagnose <pipeline>            bottleneck attribution per strategy
       [--samples N] [--ssd]
   fio [--device hdd|ssd|nvme]    storage microbenchmark (Table 3)
+  realrun <pipeline>             run the real engine over synthetic data
+      [--samples N] [--threads N] [--split N] [--epochs N] [--prefetch N]
+      [--retries N] [--policy failfast|degrade] [--max-skip N] [--max-lost N]
+      [--inject-faults] [--fault-seed S] [--fail-pct P]
+      [--corrupt-shard I] [--lose-shard I]
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -43,6 +52,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "cost" => cmd_cost(&args),
         "diagnose" => cmd_diagnose(&args),
         "fio" => cmd_fio(&args),
+        "realrun" => cmd_realrun(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -309,6 +319,134 @@ fn cmd_fio(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_realrun(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "samples",
+        "threads",
+        "split",
+        "epochs",
+        "prefetch",
+        "retries",
+        "policy",
+        "max-skip",
+        "max-lost",
+        "inject-faults",
+        "fault-seed",
+        "fail-pct",
+        "corrupt-shard",
+        "lose-shard",
+    ])?;
+    let samples = args.get_or("samples", 32usize)?;
+    let threads = args.get_or("threads", 4usize)?;
+    let epochs = args.get_or("epochs", 2usize)?;
+    let prefetch = args.get_or("prefetch", 16usize)?;
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    if !name.eq_ignore_ascii_case("CV") {
+        return Err(format!(
+            "realrun currently supports the CV pipeline only (got '{name}')"
+        ));
+    }
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..samples as u64)
+        .map(|key| {
+            let img = generators::natural_image(96, 80, key);
+            Sample::from_bytes(key, presto_formats::image::jpg::encode(&img, 85))
+        })
+        .collect();
+    let split = args.get_or("split", pipeline.max_split())?;
+    let strategy = Strategy::at_split(split).with_threads(threads);
+
+    let retry = RetryPolicy { max_attempts: args.get_or("retries", 3u32)?, ..RetryPolicy::default() };
+    let policy = match args.get_str("policy").unwrap_or("failfast") {
+        "failfast" => FaultPolicy::FailFast,
+        "degrade" => FaultPolicy::Degrade {
+            max_skipped_samples: args.get_or("max-skip", samples as u64)?,
+            max_lost_shards: args.get_or("max-lost", strategy.shards as u64)?,
+        },
+        other => return Err(format!("unknown policy '{other}' (failfast|degrade)")),
+    };
+    let resilience = Resilience::new(retry, policy);
+
+    let exec = RealExecutor::new(threads);
+    let base = Arc::new(MemStore::new());
+    let (dataset, prep) = exec
+        .materialize(&pipeline, &strategy, &source, base.as_ref())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "materialized {} samples into {} shards ({}) in {:.2?}",
+        dataset.sample_count,
+        dataset.shards.len(),
+        format_bytes(dataset.stored_bytes),
+        prep
+    );
+
+    let fault_store = if args.get_str("inject-faults").is_some() {
+        let mut spec = FaultSpec::new(args.get_or("fault-seed", 47u64)?)
+            .with_get_failures(args.get_or("fail-pct", 20u8)?);
+        if let Some(idx) = args.get_str("corrupt-shard") {
+            let idx: usize = idx.parse().map_err(|_| "invalid --corrupt-shard".to_string())?;
+            let shard = dataset.shards.get(idx).ok_or("--corrupt-shard out of range")?;
+            spec = spec.with_corrupt_blob(shard.clone());
+        }
+        if let Some(idx) = args.get_str("lose-shard") {
+            let idx: usize = idx.parse().map_err(|_| "invalid --lose-shard".to_string())?;
+            let shard = dataset.shards.get(idx).ok_or("--lose-shard out of range")?;
+            spec = spec.with_lost_blob(shard.clone());
+        }
+        Some(Arc::new(FaultStore::new(Arc::clone(&base), spec)))
+    } else {
+        None
+    };
+    let store: Arc<dyn BlobStore> = match &fault_store {
+        Some(faulty) => Arc::clone(faulty) as Arc<dyn BlobStore>,
+        None => base,
+    };
+
+    let mut table = TableBuilder::new(&[
+        "epoch", "samples", "SPS", "read", "retries", "skipped", "lost", "degraded",
+    ]);
+    for epoch in 0..epochs {
+        let mut stream = exec
+            .stream_epoch_with(
+                &pipeline,
+                &dataset,
+                Arc::clone(&store),
+                prefetch,
+                epoch as u64,
+                resilience.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+        for result in &mut stream {
+            if let Err(e) = result {
+                return Err(format!("epoch {epoch} failed: {e}"));
+            }
+        }
+        let stats = stream.join().map_err(|e| format!("epoch {epoch} failed: {e}"))?;
+        table.row(&[
+            epoch.to_string(),
+            stats.samples.to_string(),
+            format!("{:.0}", stats.samples_per_second()),
+            format_bytes(stats.bytes_read),
+            stats.retries.to_string(),
+            stats.skipped_samples.to_string(),
+            stats.lost_shards.to_string(),
+            if stats.degraded { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(faulty) = fault_store {
+        let injected = faulty.injected();
+        println!(
+            "injected faults: {} failed gets, {} failed puts, {} corrupted gets, {} lost gets",
+            injected.get_failures,
+            injected.put_failures,
+            injected.corrupted_gets,
+            injected.lost_gets
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +495,33 @@ mod tests {
     fn diagnose_runs() {
         run(&["diagnose", "MP3", "--samples", "500"]).unwrap();
         assert!(run(&["diagnose", "NOPE"]).is_err());
+    }
+
+    #[test]
+    fn realrun_clean_and_degraded() {
+        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1"]).unwrap();
+        run(&[
+            "realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
+            "--inject-faults", "--fail-pct", "20", "--corrupt-shard", "0",
+            "--policy", "degrade", "--retries", "6",
+        ])
+        .unwrap();
+        assert!(run(&["realrun", "NLP"]).is_err());
+        assert!(run(&["realrun", "CV", "--policy", "sometimes"]).is_err());
+        assert!(run(&["realrun", "CV", "--samples", "4", "--corrupt-shard", "99",
+            "--inject-faults"])
+        .is_err());
+    }
+
+    #[test]
+    fn realrun_failfast_surfaces_the_corrupt_shard() {
+        let err = run(&[
+            "realrun", "CV", "--samples", "8", "--threads", "1", "--epochs", "1",
+            "--inject-faults", "--fail-pct", "0", "--corrupt-shard", "0",
+            "--policy", "failfast",
+        ])
+        .unwrap_err();
+        assert!(err.contains("corrupt"), "unexpected error: {err}");
     }
 
     #[test]

@@ -25,6 +25,41 @@ pub enum PipelineError {
         /// Bytes available.
         available: u64,
     },
+    /// Permanent storage I/O failure (disk full, permission denied, ...).
+    Io(String),
+    /// A transient storage failure that survived every retry attempt.
+    Transient {
+        /// The blob the operation touched.
+        blob: String,
+        /// Attempts performed before giving up.
+        attempts: u32,
+    },
+    /// A shard is missing from the store.
+    LostShard {
+        /// The missing shard.
+        shard: String,
+    },
+    /// A shard's contents failed an integrity check (CRC mismatch,
+    /// undecompressable stream).
+    CorruptShard {
+        /// The damaged shard.
+        shard: String,
+        /// What the integrity check reported.
+        why: String,
+    },
+    /// A worker thread panicked while executing the named step.
+    WorkerPanicked {
+        /// The step whose implementation panicked.
+        step: String,
+    },
+    /// Degraded execution absorbed more faults than the configured
+    /// error budget allows.
+    FaultBudgetExceeded {
+        /// Samples skipped so far.
+        skipped_samples: u64,
+        /// Shards lost so far.
+        lost_shards: u64,
+    },
     /// Anything else.
     Other(String),
 }
@@ -40,9 +75,109 @@ impl fmt::Display for PipelineError {
             PipelineError::CacheOverflow { needed, available } => {
                 write!(f, "application cache overflow: need {needed} B, have {available} B")
             }
+            PipelineError::Io(why) => write!(f, "storage I/O failure: {why}"),
+            PipelineError::Transient { blob, attempts } => {
+                write!(f, "transient storage failure on '{blob}' after {attempts} attempts")
+            }
+            PipelineError::LostShard { shard } => write!(f, "shard '{shard}' is missing"),
+            PipelineError::CorruptShard { shard, why } => {
+                write!(f, "shard '{shard}' is corrupt: {why}")
+            }
+            PipelineError::WorkerPanicked { step } => {
+                write!(f, "worker panicked in step '{step}'")
+            }
+            PipelineError::FaultBudgetExceeded { skipped_samples, lost_shards } => {
+                write!(
+                    f,
+                    "fault budget exceeded: {skipped_samples} skipped samples, \
+                     {lost_shards} lost shards"
+                )
+            }
             PipelineError::Other(why) => write!(f, "{why}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<crate::store::StoreError> for PipelineError {
+    fn from(error: crate::store::StoreError) -> Self {
+        use crate::store::StoreError;
+        match error {
+            StoreError::Io(why) => PipelineError::Io(why),
+            StoreError::NotFound { blob } => PipelineError::LostShard { shard: blob },
+            StoreError::Transient { blob } => PipelineError::Transient { blob, attempts: 1 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_display_names_the_cause() {
+        let err = PipelineError::Io("write /tmp/shard-0001: no space left".into());
+        assert_eq!(
+            err.to_string(),
+            "storage I/O failure: write /tmp/shard-0001: no space left"
+        );
+    }
+
+    #[test]
+    fn transient_display_names_blob_and_attempts() {
+        let err = PipelineError::Transient { blob: "cv-shard-0003".into(), attempts: 5 };
+        assert_eq!(
+            err.to_string(),
+            "transient storage failure on 'cv-shard-0003' after 5 attempts"
+        );
+    }
+
+    #[test]
+    fn lost_and_corrupt_shard_display_name_the_shard() {
+        assert_eq!(
+            PipelineError::LostShard { shard: "s-07".into() }.to_string(),
+            "shard 's-07' is missing"
+        );
+        assert_eq!(
+            PipelineError::CorruptShard {
+                shard: "s-07".into(),
+                why: "record payload CRC mismatch".into()
+            }
+            .to_string(),
+            "shard 's-07' is corrupt: record payload CRC mismatch"
+        );
+    }
+
+    #[test]
+    fn worker_panicked_display_names_the_step() {
+        let err = PipelineError::WorkerPanicked { step: "decode-jpg".into() };
+        assert_eq!(err.to_string(), "worker panicked in step 'decode-jpg'");
+    }
+
+    #[test]
+    fn fault_budget_display_reports_both_counters() {
+        let err = PipelineError::FaultBudgetExceeded { skipped_samples: 9, lost_shards: 2 };
+        assert_eq!(
+            err.to_string(),
+            "fault budget exceeded: 9 skipped samples, 2 lost shards"
+        );
+    }
+
+    #[test]
+    fn store_errors_convert_to_typed_pipeline_errors() {
+        use crate::store::StoreError;
+        assert_eq!(
+            PipelineError::from(StoreError::NotFound { blob: "b".into() }),
+            PipelineError::LostShard { shard: "b".into() }
+        );
+        assert_eq!(
+            PipelineError::from(StoreError::Io("x".into())),
+            PipelineError::Io("x".into())
+        );
+        assert!(matches!(
+            PipelineError::from(StoreError::Transient { blob: "b".into() }),
+            PipelineError::Transient { attempts: 1, .. }
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! Fault-tolerance policies for the real execution engine: retry with
+//! exponential backoff for transient storage failures, and graceful
+//! degradation (skip corrupt records / lost shards within an explicit
+//! error budget) instead of aborting a whole training epoch.
+//!
+//! The paper profiles pipelines against remote Ceph storage, where
+//! transient faults are the norm; production input pipelines (tf.data,
+//! the data-stall literature) absorb them without killing the job.
+//! [`RetryPolicy`] covers the transient class, [`FaultPolicy`] the
+//! permanent one (bit-rot, vanished shards, poisoned samples).
+
+use crate::error::PipelineError;
+use crate::store::StoreError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// How storage operations are retried after transient failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per operation, including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles on every retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff.
+    pub max_backoff: Duration,
+    /// Scale each backoff into [50%, 100%] of nominal, deterministically
+    /// from the operation seed (avoids retry stampedes without
+    /// sacrificing reproducibility).
+    pub jitter: bool,
+    /// Stop retrying once the operation has been in flight this long.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(200),
+            jitter: true,
+            deadline: None,
+        }
+    }
+}
+
+/// A retried operation that still failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryError {
+    /// The error from the final attempt.
+    pub error: StoreError,
+    /// Attempts performed (including the first).
+    pub attempts: u32,
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is final (pre-fault-tolerance behavior).
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// `max_attempts` attempts with millisecond-scale backoff — tuned
+    /// for fault drills and tests, not production links.
+    pub fn quick(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_micros(200),
+            max_backoff: Duration::from_millis(2),
+            jitter: true,
+            deadline: None,
+        }
+    }
+
+    /// The nominal backoff before retry `retry` (1-based), with
+    /// deterministic jitter derived from `seed`.
+    pub fn backoff(&self, retry: u32, seed: u64) -> Duration {
+        let doublings = retry.saturating_sub(1).min(16);
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        if !self.jitter {
+            return nominal;
+        }
+        // Deterministic fraction in [0.5, 1.0).
+        let h = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(u64::from(retry).wrapping_mul(0xBF58476D1CE4E5B9));
+        let fraction = 0.5 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64);
+        nominal.mul_f64(fraction)
+    }
+
+    /// Run `op`, retrying transient failures per the policy. On success
+    /// returns the value and how many retries (attempts beyond the
+    /// first) it took; on failure, the final error and the attempt
+    /// count. Non-transient errors are never retried.
+    pub fn run<T>(
+        &self,
+        seed: u64,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<(T, u32), RetryError> {
+        let started = Instant::now();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match op() {
+                Ok(value) => return Ok((value, attempts - 1)),
+                Err(error) => {
+                    let exhausted = attempts >= self.max_attempts.max(1)
+                        || !error.is_transient()
+                        || self.deadline.is_some_and(|d| started.elapsed() >= d);
+                    if exhausted {
+                        return Err(RetryError { error, attempts });
+                    }
+                    std::thread::sleep(self.backoff(attempts, seed));
+                }
+            }
+        }
+    }
+}
+
+/// What an epoch does with data faults that survive retry.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Abort the epoch on the first fault (the default, and the only
+    /// behavior before fault tolerance existed).
+    #[default]
+    FailFast,
+    /// Absorb faults up to an explicit error budget: corrupt or
+    /// undecodable records are skipped, unreadable shards dropped, and
+    /// the epoch completes with [`degraded`](crate::real::EpochStats::degraded)
+    /// set. Exceeding either budget aborts with
+    /// [`PipelineError::FaultBudgetExceeded`].
+    Degrade {
+        /// Samples that may be skipped before the epoch aborts.
+        max_skipped_samples: u64,
+        /// Shards that may be lost before the epoch aborts.
+        max_lost_shards: u64,
+    },
+}
+
+impl FaultPolicy {
+    /// Degrade with an unlimited error budget.
+    pub fn degrade_unbounded() -> Self {
+        FaultPolicy::Degrade { max_skipped_samples: u64::MAX, max_lost_shards: u64::MAX }
+    }
+}
+
+/// Fault-tolerance configuration for one executor run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Resilience {
+    /// Retry schedule for storage operations.
+    pub retry: RetryPolicy,
+    /// Degradation policy for faults that survive retry.
+    pub policy: FaultPolicy,
+}
+
+impl Resilience {
+    /// Explicit retry + policy.
+    pub fn new(retry: RetryPolicy, policy: FaultPolicy) -> Self {
+        Resilience { retry, policy }
+    }
+
+    /// Default retries with a degrade budget.
+    pub fn degrade(max_skipped_samples: u64, max_lost_shards: u64) -> Self {
+        Resilience {
+            retry: RetryPolicy::default(),
+            policy: FaultPolicy::Degrade { max_skipped_samples, max_lost_shards },
+        }
+    }
+}
+
+/// Shared fault counters for one epoch run.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    retries: AtomicU64,
+    skipped_samples: AtomicU64,
+    lost_shards: AtomicU64,
+}
+
+impl FaultCounters {
+    pub(crate) fn add_retries(&self, n: u64) {
+        if n > 0 {
+            self.retries.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Absorb one bad sample under `policy`: `Ok(())` means skip it and
+    /// continue; `Err` carries either the original fault (fail-fast) or
+    /// the budget violation.
+    pub(crate) fn absorb_sample(
+        &self,
+        policy: &FaultPolicy,
+        fault: PipelineError,
+    ) -> Result<(), PipelineError> {
+        match policy {
+            FaultPolicy::FailFast => Err(fault),
+            FaultPolicy::Degrade { max_skipped_samples, .. } => {
+                let skipped = self.skipped_samples.fetch_add(1, Ordering::Relaxed) + 1;
+                if skipped > *max_skipped_samples {
+                    Err(PipelineError::FaultBudgetExceeded {
+                        skipped_samples: skipped,
+                        lost_shards: self.lost_shards.load(Ordering::Relaxed),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Absorb one lost/unreadable shard under `policy`; same contract
+    /// as [`FaultCounters::absorb_sample`].
+    pub(crate) fn absorb_shard(
+        &self,
+        policy: &FaultPolicy,
+        fault: PipelineError,
+    ) -> Result<(), PipelineError> {
+        match policy {
+            FaultPolicy::FailFast => Err(fault),
+            FaultPolicy::Degrade { max_lost_shards, .. } => {
+                let lost = self.lost_shards.fetch_add(1, Ordering::Relaxed) + 1;
+                if lost > *max_lost_shards {
+                    Err(PipelineError::FaultBudgetExceeded {
+                        skipped_samples: self.skipped_samples.load(Ordering::Relaxed),
+                        lost_shards: lost,
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// (retries, skipped_samples, lost_shards).
+    pub(crate) fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.retries.load(Ordering::Relaxed),
+            self.skipped_samples.load(Ordering::Relaxed),
+            self.lost_shards.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_failures_are_retried_until_success() {
+        let policy = RetryPolicy::quick(5);
+        let mut calls = 0;
+        let (value, retries) = policy
+            .run(1, || {
+                calls += 1;
+                if calls < 3 {
+                    Err(StoreError::Transient { blob: "b".into() })
+                } else {
+                    Ok(42)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 42);
+        assert_eq!(retries, 2);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let policy = RetryPolicy::quick(4);
+        let mut calls = 0;
+        let err = policy
+            .run(1, || -> Result<(), StoreError> {
+                calls += 1;
+                Err(StoreError::Transient { blob: "b".into() })
+            })
+            .unwrap_err();
+        assert_eq!(calls, 4);
+        assert_eq!(err.attempts, 4);
+        assert!(err.error.is_transient());
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let policy = RetryPolicy::quick(10);
+        let mut calls = 0;
+        let err = policy
+            .run(1, || -> Result<(), StoreError> {
+                calls += 1;
+                Err(StoreError::Io("disk on fire".into()))
+            })
+            .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.attempts, 1);
+    }
+
+    #[test]
+    fn deadline_stops_retrying() {
+        let policy = RetryPolicy {
+            max_attempts: 1_000,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(2),
+            jitter: false,
+            deadline: Some(Duration::from_millis(10)),
+        };
+        let started = Instant::now();
+        let err = policy
+            .run(1, || -> Result<(), StoreError> {
+                Err(StoreError::Transient { blob: "b".into() })
+            })
+            .unwrap_err();
+        assert!(err.attempts < 1_000);
+        assert!(started.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(35),
+            jitter: false,
+            deadline: None,
+        };
+        assert_eq!(policy.backoff(1, 0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2, 0), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3, 0), Duration::from_millis(35), "capped");
+        assert_eq!(policy.backoff(60, 0), Duration::from_millis(35), "no overflow");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(1),
+            jitter: true,
+            deadline: None,
+        };
+        let a = policy.backoff(1, 99);
+        let b = policy.backoff(1, 99);
+        assert_eq!(a, b, "same seed, same jitter");
+        assert!(a >= Duration::from_millis(50) && a <= Duration::from_millis(100));
+        assert_ne!(policy.backoff(1, 1), policy.backoff(1, 2), "seeds decorrelate");
+    }
+
+    #[test]
+    fn degrade_budget_is_enforced() {
+        let counters = FaultCounters::default();
+        let policy = FaultPolicy::Degrade { max_skipped_samples: 2, max_lost_shards: 0 };
+        let fault = || PipelineError::Decode("bad".into());
+        assert!(counters.absorb_sample(&policy, fault()).is_ok());
+        assert!(counters.absorb_sample(&policy, fault()).is_ok());
+        let err = counters.absorb_sample(&policy, fault()).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::FaultBudgetExceeded { skipped_samples: 3, lost_shards: 0 }
+        ));
+        let err = counters.absorb_shard(&policy, fault()).unwrap_err();
+        assert!(matches!(err, PipelineError::FaultBudgetExceeded { lost_shards: 1, .. }));
+    }
+
+    #[test]
+    fn fail_fast_returns_the_original_fault() {
+        let counters = FaultCounters::default();
+        let fault = PipelineError::LostShard { shard: "s".into() };
+        let err = counters.absorb_sample(&FaultPolicy::FailFast, fault.clone()).unwrap_err();
+        assert_eq!(err, fault);
+        assert_eq!(counters.snapshot(), (0, 0, 0));
+    }
+}

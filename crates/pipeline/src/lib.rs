@@ -25,16 +25,20 @@
 pub mod batch;
 pub mod distributed;
 pub mod error;
+pub mod fault;
 pub mod pipeline;
 pub mod real;
 pub mod sample;
 pub mod shuffle;
 pub mod sim;
 pub mod step;
+pub mod store;
 pub mod strategy;
 
 pub use error::PipelineError;
+pub use fault::{FaultPolicy, Resilience, RetryPolicy};
 pub use pipeline::Pipeline;
 pub use sample::{Payload, Sample};
 pub use step::{CostModel, Parallelism, SizeModel, Step, StepSpec};
+pub use store::{BlobStore, DirStore, FaultSpec, FaultStore, MemStore, StoreError};
 pub use strategy::{CacheLevel, Strategy};

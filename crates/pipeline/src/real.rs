@@ -6,117 +6,32 @@
 //! remaining pipeline steps on `threads` workers. An optional
 //! application-level cache keeps decoded samples in memory after the
 //! first epoch, exactly like `tf.data.Dataset.cache`.
+//!
+//! Execution is fault-tolerant: storage operations are retried per a
+//! [`RetryPolicy`], and a [`FaultPolicy`] decides whether faults that
+//! survive retry (corrupt records, lost shards, panicking steps) abort
+//! the epoch or are absorbed within an error budget — see
+//! [`crate::fault`] and `docs/robustness.md`.
 
 use crate::error::PipelineError;
+use crate::fault::{FaultCounters, RetryError};
 use crate::pipeline::Pipeline;
 use crate::sample::Sample;
 use crate::strategy::Strategy;
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use presto_codecs::Codec;
 use presto_tensor::{RecordReader, RecordWriter};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Named blob storage for materialized shards.
-pub trait BlobStore: Send + Sync {
-    /// Store a blob.
-    fn put(&self, name: &str, data: Vec<u8>);
-    /// Fetch a blob.
-    fn get(&self, name: &str) -> Option<Bytes>;
-    /// Names of all stored blobs.
-    fn list(&self) -> Vec<String>;
-    /// Total stored bytes.
-    fn total_bytes(&self) -> u64;
-}
-
-/// In-memory blob store.
-#[derive(Debug, Default)]
-pub struct MemStore {
-    blobs: RwLock<HashMap<String, Bytes>>,
-}
-
-impl MemStore {
-    /// Empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-}
-
-impl BlobStore for MemStore {
-    fn put(&self, name: &str, data: Vec<u8>) {
-        self.blobs.write().insert(name.to_string(), Bytes::from(data));
-    }
-
-    fn get(&self, name: &str) -> Option<Bytes> {
-        self.blobs.read().get(name).cloned()
-    }
-
-    fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.blobs.read().keys().cloned().collect();
-        names.sort();
-        names
-    }
-
-    fn total_bytes(&self) -> u64 {
-        self.blobs.read().values().map(|b| b.len() as u64).sum()
-    }
-}
-
-/// Filesystem-backed blob store.
-#[derive(Debug)]
-pub struct DirStore {
-    root: std::path::PathBuf,
-}
-
-impl DirStore {
-    /// Store blobs under `root` (created if missing).
-    pub fn new(root: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
-        let root = root.into();
-        std::fs::create_dir_all(&root)?;
-        Ok(DirStore { root })
-    }
-}
-
-impl BlobStore for DirStore {
-    fn put(&self, name: &str, data: Vec<u8>) {
-        let path = self.root.join(name);
-        std::fs::write(path, data).expect("DirStore write");
-    }
-
-    fn get(&self, name: &str) -> Option<Bytes> {
-        std::fs::read(self.root.join(name)).ok().map(Bytes::from)
-    }
-
-    fn list(&self) -> Vec<String> {
-        let mut names: Vec<String> = std::fs::read_dir(&self.root)
-            .map(|entries| {
-                entries
-                    .filter_map(|e| e.ok())
-                    .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
-                    .filter_map(|e| e.file_name().into_string().ok())
-                    .collect()
-            })
-            .unwrap_or_default();
-        names.sort();
-        names
-    }
-
-    fn total_bytes(&self) -> u64 {
-        std::fs::read_dir(&self.root)
-            .map(|entries| {
-                entries
-                    .filter_map(|e| e.ok())
-                    .filter_map(|e| e.metadata().ok())
-                    .map(|m| m.len())
-                    .sum()
-            })
-            .unwrap_or(0)
-    }
-}
+pub use crate::fault::{FaultPolicy, Resilience, RetryPolicy};
+pub use crate::store::{
+    BlobStore, DirStore, FaultSpec, FaultStore, InjectedFaults, MemStore, StoreError,
+};
 
 /// Handle to a materialized (offline-preprocessed) dataset.
 #[derive(Debug, Clone)]
@@ -182,7 +97,7 @@ impl AppCache {
 }
 
 /// Counters from one online epoch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EpochStats {
     /// Samples delivered to the consumer.
     pub samples: u64,
@@ -190,6 +105,14 @@ pub struct EpochStats {
     pub bytes_read: u64,
     /// Wall-clock time of the epoch.
     pub elapsed: Duration,
+    /// Storage retries performed (attempts beyond each operation's first).
+    pub retries: u64,
+    /// Corrupt or undecodable samples skipped under [`FaultPolicy::Degrade`].
+    pub skipped_samples: u64,
+    /// Shards dropped as unreadable/missing under [`FaultPolicy::Degrade`].
+    pub lost_shards: u64,
+    /// True when any fault was absorbed instead of delivered.
+    pub degraded: bool,
 }
 
 impl EpochStats {
@@ -200,6 +123,67 @@ impl EpochStats {
         }
         self.samples as f64 / self.elapsed.as_secs_f64()
     }
+
+    fn finish(mut self, counters: &FaultCounters, elapsed: Duration) -> Self {
+        let (retries, skipped_samples, lost_shards) = counters.snapshot();
+        self.elapsed = elapsed;
+        self.retries = retries;
+        self.skipped_samples = skipped_samples;
+        self.lost_shards = lost_shards;
+        self.degraded = skipped_samples > 0 || lost_shards > 0;
+        self
+    }
+}
+
+/// Map an exhausted retry loop to a typed pipeline error naming the shard.
+fn retry_failure(error: RetryError) -> PipelineError {
+    match error.error {
+        StoreError::Io(why) => PipelineError::Io(why),
+        StoreError::NotFound { blob } => PipelineError::LostShard { shard: blob },
+        StoreError::Transient { blob } => {
+            PipelineError::Transient { blob, attempts: error.attempts }
+        }
+    }
+}
+
+/// True for shard-level faults [`FaultPolicy::Degrade`] may absorb
+/// (the shard's data is unreachable, but the medium itself works).
+fn shard_fault_is_degradable(error: &PipelineError) -> bool {
+    matches!(error, PipelineError::LostShard { .. } | PipelineError::Transient { .. })
+}
+
+/// Fetch one shard, retrying transient failures per the policy.
+fn fetch_shard(
+    store: &dyn BlobStore,
+    shard: &str,
+    resilience: &Resilience,
+    counters: &FaultCounters,
+) -> Result<Bytes, PipelineError> {
+    let seed = shard.bytes().fold(0xCBF29CE484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
+    });
+    match resilience.retry.run(seed, || store.get(shard)) {
+        Ok((blob, retries)) => {
+            counters.add_retries(u64::from(retries));
+            Ok(blob)
+        }
+        Err(error) => {
+            counters.add_retries(u64::from(error.attempts.saturating_sub(1)));
+            Err(retry_failure(error))
+        }
+    }
+}
+
+/// Apply one step, containing panics: a poisoned sample reports the
+/// failing step by name instead of tearing down the worker pool.
+fn apply_step(
+    step: &dyn crate::step::Step,
+    name: &str,
+    sample: Sample,
+    rng: &mut SmallRng,
+) -> Result<Sample, PipelineError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| step.apply(sample, rng)))
+        .unwrap_or_else(|_| Err(PipelineError::WorkerPanicked { step: name.to_string() }))
 }
 
 /// The real multi-threaded executor.
@@ -216,15 +200,32 @@ impl RealExecutor {
         RealExecutor { threads }
     }
 
-    /// Offline phase: run steps `[0, strategy.split)` over `source`
-    /// samples and materialize the results as `strategy.shards` record
-    /// shards in `store`. Returns the handle and the preprocessing time.
+    /// Offline phase with default [`Resilience`] (retry transient put
+    /// failures, fail fast on everything else).
     pub fn materialize(
         &self,
         pipeline: &Pipeline,
         strategy: &Strategy,
         source: &[Sample],
         store: &dyn BlobStore,
+    ) -> Result<(Materialized, Duration), PipelineError> {
+        self.materialize_with(pipeline, strategy, source, store, &Resilience::default())
+    }
+
+    /// Offline phase: run steps `[0, strategy.split)` over `source`
+    /// samples and materialize the results as `strategy.shards` record
+    /// shards in `store`. Returns the handle and the preprocessing time.
+    ///
+    /// Shard writes are retried per `resilience.retry`; a write that
+    /// still fails aborts the materialization (an incomplete dataset is
+    /// never degraded into silently).
+    pub fn materialize_with(
+        &self,
+        pipeline: &Pipeline,
+        strategy: &Strategy,
+        source: &[Sample],
+        store: &dyn BlobStore,
+        resilience: &Resilience,
     ) -> Result<(Materialized, Duration), PipelineError> {
         pipeline.check()?;
         strategy.validate(pipeline)?;
@@ -244,19 +245,21 @@ impl RealExecutor {
             (0..shards).map(|i| format!("{}-split{}-shard{:04}", pipeline.name, split, i)).collect();
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
         let stored = AtomicU64::new(0);
+        let counters = FaultCounters::default();
 
         std::thread::scope(|scope| {
             for (shard_idx, shard_name) in shard_names.iter().enumerate() {
                 let errors = &errors;
                 let stored = &stored;
+                let counters = &counters;
                 scope.spawn(move || {
                     let mut writer = RecordWriter::new();
                     let mut rng = SmallRng::seed_from_u64(0xFEED ^ shard_idx as u64);
                     for sample in source.iter().skip(shard_idx).step_by(shards) {
                         let mut current = sample.clone();
                         for step in steps {
-                            let exec = step.exec.as_ref().unwrap();
-                            match exec.apply(current, &mut rng) {
+                            let exec = step.exec.as_deref().unwrap();
+                            match apply_step(exec, &step.spec.name, current, &mut rng) {
                                 Ok(next) => current = next,
                                 Err(e) => {
                                     errors.lock().push(e);
@@ -269,7 +272,14 @@ impl RealExecutor {
                     let framed = writer.finish();
                     let compressed = strategy.compression.compress(&framed);
                     stored.fetch_add(compressed.len() as u64, Ordering::Relaxed);
-                    store.put(shard_name, compressed);
+                    let seed = shard_idx as u64 ^ 0x5B07;
+                    match resilience.retry.run(seed, || store.put(shard_name, &compressed)) {
+                        Ok((_, retries)) => counters.add_retries(u64::from(retries)),
+                        Err(error) => {
+                            counters.add_retries(u64::from(error.attempts.saturating_sub(1)));
+                            errors.lock().push(retry_failure(error));
+                        }
+                    }
                 });
             }
         });
@@ -288,10 +298,7 @@ impl RealExecutor {
         ))
     }
 
-    /// Online phase: stream one epoch of `dataset` through the steps
-    /// after the split, delivering each finished sample to `consume`.
-    /// With an [`AppCache`], the first epoch fills it and later epochs
-    /// replay from it (skipping read + decode entirely).
+    /// Online phase with default [`Resilience`] (fail fast).
     pub fn epoch<F>(
         &self,
         pipeline: &Pipeline,
@@ -299,6 +306,31 @@ impl RealExecutor {
         store: &dyn BlobStore,
         cache: Option<&AppCache>,
         epoch_seed: u64,
+        consume: F,
+    ) -> Result<EpochStats, PipelineError>
+    where
+        F: Fn(&Sample) + Send + Sync,
+    {
+        self.epoch_with(pipeline, dataset, store, cache, epoch_seed, &Resilience::default(), consume)
+    }
+
+    /// Online phase: stream one epoch of `dataset` through the steps
+    /// after the split, delivering each finished sample to `consume`.
+    /// With an [`AppCache`], the first epoch fills it and later epochs
+    /// replay from it (skipping read + decode entirely).
+    ///
+    /// Shard fetches are retried per `resilience.retry`; faults that
+    /// survive retry are handled per `resilience.policy` — fail fast,
+    /// or skip within the degrade budget (reported in [`EpochStats`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn epoch_with<F>(
+        &self,
+        pipeline: &Pipeline,
+        dataset: &Materialized,
+        store: &dyn BlobStore,
+        cache: Option<&AppCache>,
+        epoch_seed: u64,
+        resilience: &Resilience,
         consume: F,
     ) -> Result<EpochStats, PipelineError>
     where
@@ -317,6 +349,7 @@ impl RealExecutor {
         let samples_done = AtomicU64::new(0);
         let bytes_read = AtomicU64::new(0);
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
+        let counters = FaultCounters::default();
 
         if let Some(cache) = cache {
             if cache.is_complete() {
@@ -340,6 +373,7 @@ impl RealExecutor {
                     samples: samples_done.into_inner(),
                     bytes_read: 0,
                     elapsed: start.elapsed(),
+                    ..EpochStats::default()
                 });
             }
         }
@@ -351,21 +385,41 @@ impl RealExecutor {
                 let bytes_read = &bytes_read;
                 let consume = &consume;
                 let shards = &dataset.shards;
+                let counters = &counters;
                 scope.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
                     for shard_name in shards.iter().skip(worker).step_by(self.threads) {
-                        let Some(blob) = store.get(shard_name) else {
-                            errors.lock().push(PipelineError::Other(format!(
-                                "missing shard {shard_name}"
-                            )));
-                            return;
+                        let blob = match fetch_shard(store, shard_name, resilience, counters) {
+                            Ok(blob) => blob,
+                            Err(e) if shard_fault_is_degradable(&e) => {
+                                match counters.absorb_shard(&resilience.policy, e) {
+                                    Ok(()) => continue,
+                                    Err(fatal) => {
+                                        errors.lock().push(fatal);
+                                        return;
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                errors.lock().push(e);
+                                return;
+                            }
                         };
                         bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
                         let framed = match dataset.codec.decompress(&blob) {
                             Ok(f) => f,
                             Err(e) => {
-                                errors.lock().push(PipelineError::Decode(e.to_string()));
-                                return;
+                                let fault = PipelineError::CorruptShard {
+                                    shard: shard_name.clone(),
+                                    why: e.to_string(),
+                                };
+                                match counters.absorb_shard(&resilience.policy, fault) {
+                                    Ok(()) => continue,
+                                    Err(fatal) => {
+                                        errors.lock().push(fatal);
+                                        return;
+                                    }
+                                }
                             }
                         };
                         let mut reader = RecordReader::new(&framed);
@@ -373,29 +427,45 @@ impl RealExecutor {
                             let record = match record {
                                 Ok(r) => r,
                                 Err(e) => {
-                                    errors.lock().push(PipelineError::Decode(e.to_string()));
-                                    return;
-                                }
-                            };
-                            let mut sample = match Sample::decode(record) {
-                                Ok(s) => s,
-                                Err(e) => {
-                                    errors.lock().push(e);
-                                    return;
-                                }
-                            };
-                            for step in steps {
-                                match step.exec.as_ref().unwrap().apply(sample, &mut rng) {
-                                    Ok(next) => sample = next,
-                                    Err(e) => {
-                                        errors.lock().push(e);
-                                        return;
+                                    let fault = PipelineError::CorruptShard {
+                                        shard: shard_name.clone(),
+                                        why: e.to_string(),
+                                    };
+                                    match counters.absorb_sample(&resilience.policy, fault) {
+                                        Ok(()) => {
+                                            reader.resync();
+                                            continue;
+                                        }
+                                        Err(fatal) => {
+                                            errors.lock().push(fatal);
+                                            return;
+                                        }
                                     }
                                 }
-                            }
+                            };
+                            let processed = Sample::decode(record).and_then(|mut sample| {
+                                for step in steps {
+                                    let exec = step.exec.as_deref().unwrap();
+                                    sample =
+                                        apply_step(exec, &step.spec.name, sample, &mut rng)?;
+                                }
+                                Ok(sample)
+                            });
+                            let sample = match processed {
+                                Ok(sample) => sample,
+                                Err(e) => match counters.absorb_sample(&resilience.policy, e) {
+                                    Ok(()) => continue,
+                                    Err(fatal) => {
+                                        errors.lock().push(fatal);
+                                        return;
+                                    }
+                                },
+                            };
                             consume(&sample);
                             samples_done.fetch_add(1, Ordering::Relaxed);
                             if let Some(cache) = cache {
+                                // Cache overflow is a capacity bug, never
+                                // a data fault: always fatal.
                                 if let Err(e) = cache.insert(sample) {
                                     errors.lock().push(e);
                                     return;
@@ -409,14 +479,20 @@ impl RealExecutor {
         if let Some(e) = errors.into_inner().into_iter().next() {
             return Err(e);
         }
-        if let Some(cache) = cache {
-            cache.complete.store(true, Ordering::Release);
-        }
-        Ok(EpochStats {
+        let stats = EpochStats {
             samples: samples_done.into_inner(),
             bytes_read: bytes_read.into_inner(),
-            elapsed: start.elapsed(),
-        })
+            ..EpochStats::default()
+        }
+        .finish(&counters, start.elapsed());
+        if let Some(cache) = cache {
+            // A degraded epoch is incomplete; replaying it from the
+            // cache would silently shrink every later epoch.
+            if !stats.degraded {
+                cache.complete.store(true, Ordering::Release);
+            }
+        }
+        Ok(stats)
     }
 }
 
@@ -429,12 +505,11 @@ pub struct EpochStream {
     receiver: crossbeam::channel::Receiver<Result<Sample, PipelineError>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     bytes_read: Arc<AtomicU64>,
+    counters: Arc<FaultCounters>,
     samples: u64,
     started: Instant,
-    failed: bool,
+    failed: Option<PipelineError>,
 }
-
-use std::sync::Arc;
 
 impl Iterator for EpochStream {
     type Item = Result<Sample, PipelineError>;
@@ -446,7 +521,9 @@ impl Iterator for EpochStream {
                 Some(Ok(sample))
             }
             Ok(Err(e)) => {
-                self.failed = true;
+                if self.failed.is_none() {
+                    self.failed = Some(e.clone());
+                }
                 Some(Err(e))
             }
             Err(_) => None, // all workers done
@@ -460,20 +537,21 @@ impl EpochStream {
         // Drain remaining items so workers are not blocked on send.
         drop(self.receiver);
         for handle in self.handles {
-            handle.join().map_err(|_| PipelineError::Other("worker panicked".into()))?;
+            handle.join().map_err(|_| PipelineError::WorkerPanicked {
+                step: "epoch-stream worker".into(),
+            })?;
         }
-        if self.failed {
-            return Err(PipelineError::Other("epoch stream produced an error".into()));
+        if let Some(e) = self.failed {
+            return Err(e);
         }
         Ok(EpochStats {
             samples: self.samples,
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            elapsed: self.started.elapsed(),
-        })
+            ..EpochStats::default()
+        }
+        .finish(&self.counters, self.started.elapsed()))
     }
-}
 
-impl EpochStream {
     /// Wrap the stream in a windowed shuffle buffer of `capacity`
     /// samples (tf.data's `.shuffle(buffer_size)`), propagating errors.
     pub fn shuffled(
@@ -486,9 +564,7 @@ impl EpochStream {
 }
 
 impl RealExecutor {
-    /// Start a streaming epoch with a prefetch buffer of `prefetch`
-    /// samples. Unlike [`RealExecutor::epoch`], the caller pulls
-    /// samples (training-loop style) instead of passing a callback.
+    /// Streaming epoch with default [`Resilience`] (fail fast).
     pub fn stream_epoch(
         &self,
         pipeline: &Pipeline,
@@ -497,59 +573,131 @@ impl RealExecutor {
         prefetch: usize,
         epoch_seed: u64,
     ) -> Result<EpochStream, PipelineError> {
-        let steps: Vec<std::sync::Arc<dyn crate::step::Step>> = pipeline.steps()
+        self.stream_epoch_with(pipeline, dataset, store, prefetch, epoch_seed, Resilience::default())
+    }
+
+    /// Start a streaming epoch with a prefetch buffer of `prefetch`
+    /// samples. Unlike [`RealExecutor::epoch`], the caller pulls
+    /// samples (training-loop style) instead of passing a callback.
+    ///
+    /// Fault handling matches [`RealExecutor::epoch_with`]: absorbed
+    /// faults never surface as stream items, they only show up in the
+    /// [`EpochStats`] returned by [`EpochStream::join`].
+    pub fn stream_epoch_with(
+        &self,
+        pipeline: &Pipeline,
+        dataset: &Materialized,
+        store: Arc<dyn BlobStore>,
+        prefetch: usize,
+        epoch_seed: u64,
+        resilience: Resilience,
+    ) -> Result<EpochStream, PipelineError> {
+        let steps: Vec<(String, Arc<dyn crate::step::Step>)> = pipeline.steps()
             [dataset.split..]
             .iter()
             .map(|s| {
-                s.exec.clone().ok_or_else(|| {
-                    PipelineError::Other(format!(
-                        "step '{}' has no executable implementation",
-                        s.spec.name
-                    ))
-                })
+                s.exec
+                    .clone()
+                    .map(|exec| (s.spec.name.clone(), exec))
+                    .ok_or_else(|| {
+                        PipelineError::Other(format!(
+                            "step '{}' has no executable implementation",
+                            s.spec.name
+                        ))
+                    })
             })
             .collect::<Result<_, _>>()?;
         let (sender, receiver) = crossbeam::channel::bounded(prefetch.max(1));
         let bytes_read = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(FaultCounters::default());
         let mut handles = Vec::with_capacity(self.threads);
         for worker in 0..self.threads {
             let sender = sender.clone();
             let steps = steps.clone();
             let store = Arc::clone(&store);
             let bytes_read = Arc::clone(&bytes_read);
+            let counters = Arc::clone(&counters);
+            let resilience = resilience.clone();
             let shards: Vec<String> =
                 dataset.shards.iter().skip(worker).step_by(self.threads).cloned().collect();
             let codec = dataset.codec;
             handles.push(std::thread::spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
                 for shard_name in shards {
-                    let Some(blob) = store.get(&shard_name) else {
-                        let _ = sender
-                            .send(Err(PipelineError::Other(format!("missing shard {shard_name}"))));
-                        return;
-                    };
+                    let blob =
+                        match fetch_shard(store.as_ref(), &shard_name, &resilience, &counters) {
+                            Ok(blob) => blob,
+                            Err(e) if shard_fault_is_degradable(&e) => {
+                                match counters.absorb_shard(&resilience.policy, e) {
+                                    Ok(()) => continue,
+                                    Err(fatal) => {
+                                        let _ = sender.send(Err(fatal));
+                                        return;
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                let _ = sender.send(Err(e));
+                                return;
+                            }
+                        };
                     bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
                     let framed = match codec.decompress(&blob) {
                         Ok(f) => f,
                         Err(e) => {
-                            let _ = sender.send(Err(PipelineError::Decode(e.to_string())));
-                            return;
+                            let fault = PipelineError::CorruptShard {
+                                shard: shard_name.clone(),
+                                why: e.to_string(),
+                            };
+                            match counters.absorb_shard(&resilience.policy, fault) {
+                                Ok(()) => continue,
+                                Err(fatal) => {
+                                    let _ = sender.send(Err(fatal));
+                                    return;
+                                }
+                            }
                         }
                     };
                     let mut reader = RecordReader::new(&framed);
                     while let Some(record) = reader.next() {
-                        let result = record
-                            .map_err(|e| PipelineError::Decode(e.to_string()))
-                            .and_then(Sample::decode)
-                            .and_then(|mut sample| {
-                                for step in &steps {
-                                    sample = step.apply(sample, &mut rng)?;
+                        let record = match record {
+                            Ok(r) => r,
+                            Err(e) => {
+                                let fault = PipelineError::CorruptShard {
+                                    shard: shard_name.clone(),
+                                    why: e.to_string(),
+                                };
+                                match counters.absorb_sample(&resilience.policy, fault) {
+                                    Ok(()) => {
+                                        reader.resync();
+                                        continue;
+                                    }
+                                    Err(fatal) => {
+                                        let _ = sender.send(Err(fatal));
+                                        return;
+                                    }
                                 }
-                                Ok(sample)
-                            });
-                        let failed = result.is_err();
-                        if sender.send(result).is_err() || failed {
-                            return; // consumer hung up, or fatal error
+                            }
+                        };
+                        let processed = Sample::decode(record).and_then(|mut sample| {
+                            for (name, step) in &steps {
+                                sample = apply_step(step.as_ref(), name, sample, &mut rng)?;
+                            }
+                            Ok(sample)
+                        });
+                        match processed {
+                            Ok(sample) => {
+                                if sender.send(Ok(sample)).is_err() {
+                                    return; // consumer hung up
+                                }
+                            }
+                            Err(e) => match counters.absorb_sample(&resilience.policy, e) {
+                                Ok(()) => continue,
+                                Err(fatal) => {
+                                    let _ = sender.send(Err(fatal));
+                                    return;
+                                }
+                            },
                         }
                     }
                 }
@@ -560,9 +708,10 @@ impl RealExecutor {
             receiver,
             handles,
             bytes_read,
+            counters,
             samples: 0,
             started: Instant::now(),
-            failed: false,
+            failed: None,
         })
     }
 }
@@ -595,6 +744,22 @@ mod tests {
                 })
                 .collect();
             Ok(Sample::from_tensors(sample.key, doubled))
+        }
+    }
+
+    /// Panics on a specific sample key (a poisoned sample).
+    struct PanicStep {
+        poison_key: u64,
+    }
+
+    impl Step for PanicStep {
+        fn spec(&self) -> StepSpec {
+            StepSpec::native("poison", CostModel::new(1.0, 0.0, 0.0), SizeModel::IDENTITY)
+        }
+
+        fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
+            assert_ne!(sample.key, self.poison_key, "poisoned sample");
+            Ok(sample)
         }
     }
 
@@ -635,6 +800,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(stats.samples, 100);
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.skipped_samples, 0);
+        assert!(!stats.degraded);
         let mut seen = seen.into_inner();
         seen.sort_by_key(|(k, _)| *k);
         for (key, value) in seen {
@@ -691,6 +859,28 @@ mod tests {
     }
 
     #[test]
+    fn degraded_epoch_does_not_mark_cache_complete() {
+        let pipeline = pipeline();
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2).with_shards(4);
+        let (dataset, _) =
+            exec.materialize(&pipeline, &strategy, &source(40), &store).unwrap();
+        let faulty: Arc<dyn BlobStore> = Arc::new(FaultStore::new(
+            Arc::clone(&store),
+            FaultSpec::new(5).with_lost_blob(dataset.shards[0].clone()),
+        ));
+        let cache = AppCache::new(1 << 20);
+        let resilience = Resilience::degrade(0, 4);
+        let stats = exec
+            .epoch_with(&pipeline, &dataset, &faulty, Some(&cache), 1, &resilience, |_| {})
+            .unwrap();
+        assert!(stats.degraded);
+        assert_eq!(stats.lost_shards, 1);
+        assert!(!cache.is_complete(), "incomplete epoch must not seal the cache");
+    }
+
+    #[test]
     fn stream_epoch_delivers_all_samples() {
         let pipeline = pipeline();
         let store = Arc::new(MemStore::new());
@@ -711,6 +901,7 @@ mod tests {
         let stats = stream.join().unwrap();
         assert_eq!(stats.samples, 80);
         assert!(stats.bytes_read > 0);
+        assert!(!stats.degraded);
     }
 
     #[test]
@@ -792,7 +983,8 @@ mod tests {
             split: 0,
         };
         let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 2, 1).unwrap();
-        assert!(stream.next().unwrap().is_err());
+        let error = stream.next().unwrap().unwrap_err();
+        assert_eq!(error, PipelineError::LostShard { shard: "gone".into() });
         assert!(stream.join().is_err());
     }
 
@@ -800,11 +992,14 @@ mod tests {
     fn dir_store_roundtrips() {
         let dir = std::env::temp_dir().join(format!("presto-dirstore-{}", std::process::id()));
         let store = DirStore::new(&dir).unwrap();
-        store.put("shard-0", vec![1, 2, 3]);
+        store.put("shard-0", &[1, 2, 3]).unwrap();
         assert_eq!(store.get("shard-0").unwrap().as_ref(), &[1, 2, 3]);
         assert_eq!(store.list(), vec!["shard-0"]);
         assert_eq!(store.total_bytes(), 3);
-        assert!(store.get("missing").is_none());
+        assert!(matches!(
+            store.get("missing"),
+            Err(StoreError::NotFound { .. })
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -820,7 +1015,34 @@ mod tests {
             split: 0,
         };
         let store = MemStore::new();
-        assert!(exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).is_err());
+        let err = exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).unwrap_err();
+        assert_eq!(err, PipelineError::LostShard { shard: "nope".into() });
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_names_the_step() {
+        let pipeline = Pipeline::new("poisoned")
+            .push_step(Arc::new(PanicStep { poison_key: 13 }));
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(2);
+        let strategy = Strategy::at_split(0).with_threads(2).with_shards(4);
+        let (dataset, _) =
+            exec.materialize(&pipeline, &strategy, &source(30), store.as_ref()).unwrap();
+
+        // Fail fast: the panic surfaces as a typed error naming the step.
+        let err = exec
+            .epoch(&pipeline, &dataset, store.as_ref(), None, 1, |_| {})
+            .unwrap_err();
+        assert_eq!(err, PipelineError::WorkerPanicked { step: "poison".into() });
+
+        // Degrade: the poisoned sample is skipped, the epoch completes.
+        let resilience = Resilience::degrade(4, 0);
+        let stats = exec
+            .epoch_with(&pipeline, &dataset, store.as_ref(), None, 1, &resilience, |_| {})
+            .unwrap();
+        assert_eq!(stats.samples, 29);
+        assert_eq!(stats.skipped_samples, 1);
+        assert!(stats.degraded);
     }
 
     #[test]

@@ -132,6 +132,52 @@ impl<'a> RecordReader<'a> {
         Ok(payload)
     }
 
+    /// Resynchronize after an error from [`RecordReader::next`]: skip
+    /// the corrupt record and position the reader at the next intact
+    /// frame boundary. Returns the number of bytes discarded.
+    ///
+    /// When the length header is intact (payload CRC failure) the frame
+    /// boundary is still trustworthy, so exactly one record is skipped.
+    /// When the header itself is damaged, the reader scans forward for
+    /// the next offset that parses as a valid, in-bounds length header.
+    /// Reaching the end of the stream discards the remaining bytes.
+    pub fn resync(&mut self) -> usize {
+        let start = self.pos;
+        if let Some(len) = self.intact_header_at(self.pos) {
+            if self.pos + RECORD_OVERHEAD + len <= self.data.len() {
+                self.pos += RECORD_OVERHEAD + len;
+                return self.pos - start;
+            }
+        }
+        let mut pos = self.pos + 1;
+        while pos < self.data.len() {
+            if let Some(len) = self.intact_header_at(pos) {
+                if pos + RECORD_OVERHEAD + len <= self.data.len() {
+                    self.pos = pos;
+                    return pos - start;
+                }
+            }
+            pos += 1;
+        }
+        self.pos = self.data.len();
+        self.data.len() - start
+    }
+
+    /// The record length at `pos`, when a CRC-valid length header
+    /// starts there.
+    fn intact_header_at(&self, pos: usize) -> Option<usize> {
+        let remaining = self.data.get(pos..)?;
+        if remaining.len() < 12 {
+            return None;
+        }
+        let len_bytes: [u8; 8] = remaining[0..8].try_into().unwrap();
+        let stored_crc = u32::from_le_bytes(remaining[8..12].try_into().unwrap());
+        if Crc32::checksum(&len_bytes) != stored_crc {
+            return None;
+        }
+        Some(u64::from_le_bytes(len_bytes) as usize)
+    }
+
     /// Collect all remaining records.
     pub fn read_all(&mut self) -> Result<Vec<&'a [u8]>, RecordError> {
         let mut out = Vec::new();
@@ -214,6 +260,96 @@ mod tests {
             let mut reader = RecordReader::new(&stream[..cut]);
             let result = reader.next().unwrap();
             assert!(result.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    /// A stream of n records with payloads [0], [1], ...
+    fn stream(n: u8) -> Vec<u8> {
+        let mut writer = RecordWriter::new();
+        for i in 0..n {
+            writer.write(&[i; 24]);
+        }
+        writer.finish()
+    }
+
+    #[test]
+    fn resync_after_payload_corruption_skips_exactly_one_record() {
+        let mut data = stream(5);
+        let record_size = 24 + RECORD_OVERHEAD;
+        data[2 * record_size + 15] ^= 0x10; // payload of record 2
+        let mut reader = RecordReader::new(&data);
+        let mut recovered = Vec::new();
+        let mut skipped = 0;
+        while let Some(record) = reader.next() {
+            match record {
+                Ok(payload) => recovered.push(payload[0]),
+                Err(RecordError::BadPayloadCrc) => {
+                    assert_eq!(reader.resync(), record_size);
+                    skipped += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(skipped, 1);
+        assert_eq!(recovered, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn resync_after_header_corruption_scans_to_next_record() {
+        let mut data = stream(5);
+        let record_size = 24 + RECORD_OVERHEAD;
+        data[record_size + 3] ^= 0xFF; // length field of record 1
+        let mut reader = RecordReader::new(&data);
+        let mut recovered = Vec::new();
+        let mut skipped = 0;
+        while let Some(record) = reader.next() {
+            match record {
+                Ok(payload) => recovered.push(payload[0]),
+                Err(RecordError::BadLengthCrc) => {
+                    assert_eq!(reader.resync(), record_size);
+                    skipped += 1;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(skipped, 1);
+        assert_eq!(recovered, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn resync_on_truncated_tail_consumes_the_rest() {
+        let data = stream(3);
+        let cut = data.len() - 5;
+        let mut reader = RecordReader::new(&data[..cut]);
+        assert!(reader.next().unwrap().is_ok());
+        assert!(reader.next().unwrap().is_ok());
+        assert_eq!(reader.next().unwrap(), Err(RecordError::UnexpectedEof));
+        let discarded = reader.resync();
+        assert!(discarded > 0);
+        assert!(reader.next().is_none(), "reader must reach a clean end");
+    }
+
+    #[test]
+    fn resync_any_single_bit_flip_loses_at_most_one_record() {
+        // Robustness sweep: flip every bit position in a 4-record
+        // stream; recovery must always retain ≥ 3 records.
+        let data = stream(4);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                let mut reader = RecordReader::new(&corrupted);
+                let mut ok = 0;
+                while let Some(record) = reader.next() {
+                    match record {
+                        Ok(_) => ok += 1,
+                        Err(_) => {
+                            reader.resync();
+                        }
+                    }
+                }
+                assert!(ok >= 3, "flip at byte {byte} bit {bit} lost too much: {ok}");
+            }
         }
     }
 

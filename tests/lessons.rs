@@ -6,7 +6,6 @@ use presto_codecs::{Codec, Level};
 use presto_integration_tests::fast_env;
 use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, SourceLayout};
 use presto_pipeline::{CacheLevel, CostModel, Pipeline, SizeModel, StepSpec, Strategy};
-use presto_storage::Nanos;
 
 fn dataset(sample_bytes: f64, count: u64) -> SimDataset {
     SimDataset {
