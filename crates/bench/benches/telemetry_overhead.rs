@@ -1,0 +1,107 @@
+//! Instrumentation-overhead guard: the same real-engine epoch run
+//! three ways — no telemetry, the disabled (no-op) registry, and the
+//! live registry — plus the raw per-call cost of the recorder ops.
+//!
+//! Target (documented in docs/observability.md): the live registry
+//! costs < 5% samples-per-second against the un-instrumented engine
+//! on the CV workload. The no-op registry should be indistinguishable
+//! from no telemetry at all (every call is a single branch).
+
+use presto::report::TableBuilder;
+use presto_bench::banner;
+use presto_datasets::{generators, steps};
+use presto_formats::image::jpg;
+use presto_pipeline::real::{MemStore, RealExecutor};
+use presto_pipeline::telemetry::{Telemetry, PHASE_DECODE};
+use presto_pipeline::{Sample, Strategy};
+use std::time::Instant;
+
+/// Median samples-per-second over `epochs` runs of one executor.
+fn median_sps(
+    exec: &RealExecutor,
+    pipeline: &presto_pipeline::Pipeline,
+    dataset: &presto_pipeline::real::Materialized,
+    store: &MemStore,
+    epochs: u64,
+) -> f64 {
+    let mut runs: Vec<f64> = (0..epochs)
+        .map(|epoch| {
+            exec.epoch(pipeline, dataset, store, None, epoch, |_| {})
+                .expect("epoch")
+                .samples_per_second()
+        })
+        .collect();
+    runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    runs[runs.len() / 2]
+}
+
+fn main() {
+    banner("Telemetry", "Instrumentation overhead: live registry vs none");
+    let samples: usize =
+        std::env::var("PRESTO_REAL_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let threads = 4usize;
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..samples as u64)
+        .map(|key| {
+            let img = generators::natural_image(96, 80, key);
+            Sample::from_bytes(key, jpg::encode(&img, 85))
+        })
+        .collect();
+    let store = MemStore::new();
+    let strategy =
+        Strategy::at_split(pipeline.max_split()).with_threads(threads).with_shards(8);
+    let (dataset, _) = RealExecutor::new(threads)
+        .materialize(&pipeline, &strategy, &source, &store)
+        .expect("materialize");
+
+    // Warm caches, page in the shards, spin up the allocator before
+    // any arm is timed — the first measured arm must not pay cold-start.
+    RealExecutor::new(threads)
+        .epoch(&pipeline, &dataset, &store, None, 0, |_| {})
+        .expect("warm-up epoch");
+
+    let arms = [
+        ("none", RealExecutor::new(threads)),
+        ("no-op registry", RealExecutor::new(threads).with_telemetry(Telemetry::disabled())),
+        ("live registry", RealExecutor::new(threads).with_telemetry(Telemetry::new())),
+    ];
+    let mut sps = Vec::new();
+    let mut table = TableBuilder::new(&["telemetry", "SPS", "overhead"]);
+    for (label, exec) in &arms {
+        let value = median_sps(exec, &pipeline, &dataset, &store, 5);
+        let overhead = if sps.is_empty() { 0.0 } else { (1.0 - value / sps[0]) * 100.0 };
+        table.row(&[
+            label.to_string(),
+            format!("{value:.0}"),
+            if sps.is_empty() { "-".into() } else { format!("{overhead:+.1}%") },
+        ]);
+        sps.push(value);
+    }
+    println!("{}", table.render());
+
+    let live_overhead = (1.0 - sps[2] / sps[0]) * 100.0;
+    println!(
+        "live-registry overhead: {live_overhead:+.1}% (target < 5%) — {}",
+        if live_overhead < 5.0 { "OK" } else { "EXCEEDED" }
+    );
+
+    // Raw recorder-op cost, both arms of the single branch.
+    const OPS: u64 = 1_000_000;
+    let live = Telemetry::new().begin_epoch(&["op".to_string()], 1, 0);
+    let t0 = Instant::now();
+    let started = Instant::now();
+    for _ in 0..OPS {
+        live.phase_done(0, PHASE_DECODE, t0);
+    }
+    let live_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+
+    let noop = Telemetry::disabled().begin_epoch(&[], 1, 0);
+    let started = Instant::now();
+    for _ in 0..OPS {
+        if let Some(t) = noop.begin() {
+            noop.phase_done(0, PHASE_DECODE, t);
+        }
+    }
+    let noop_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
+    println!("recorder op cost: live phase_done {live_ns:.0} ns, disabled begin+branch {noop_ns:.1} ns");
+}

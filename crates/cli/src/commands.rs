@@ -11,7 +11,8 @@ use presto_pipeline::real::{
     BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
 };
 use presto_pipeline::sim::SimEnv;
-use presto_pipeline::{CacheLevel, FaultPolicy, Resilience, Sample, Strategy};
+use presto_pipeline::telemetry::export as telemetry_export;
+use presto_pipeline::{CacheLevel, FaultPolicy, Resilience, Sample, Strategy, Telemetry};
 use std::sync::Arc;
 use presto_storage::fio::{self, FioWorkload};
 use presto_storage::DeviceProfile;
@@ -38,6 +39,7 @@ commands:
       [--retries N] [--policy failfast|degrade] [--max-skip N] [--max-lost N]
       [--inject-faults] [--fault-seed S] [--fail-pct P]
       [--corrupt-shard I] [--lose-shard I]
+      [--metrics table|json|prom] [--trace-out FILE] [--json]
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -335,11 +337,20 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         "fail-pct",
         "corrupt-shard",
         "lose-shard",
+        "metrics",
+        "trace-out",
+        "json",
     ])?;
     let samples = args.get_or("samples", 32usize)?;
     let threads = args.get_or("threads", 4usize)?;
     let epochs = args.get_or("epochs", 2usize)?;
     let prefetch = args.get_or("prefetch", 16usize)?;
+    // --json: one presto.telemetry.v1 document on stdout, nothing else.
+    let json_only = args.get_str("json").is_some();
+    let metrics = match args.get_str("metrics").unwrap_or("table") {
+        m @ ("table" | "json" | "prom") => m,
+        other => return Err(format!("unknown metrics format '{other}' (table|json|prom)")),
+    };
     let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
     if !name.eq_ignore_ascii_case("CV") {
         return Err(format!(
@@ -367,18 +378,21 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     };
     let resilience = Resilience::new(retry, policy);
 
-    let exec = RealExecutor::new(threads);
+    let telemetry = Telemetry::new();
+    let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
     let base = Arc::new(MemStore::new());
     let (dataset, prep) = exec
         .materialize(&pipeline, &strategy, &source, base.as_ref())
         .map_err(|e| e.to_string())?;
-    println!(
-        "materialized {} samples into {} shards ({}) in {:.2?}",
-        dataset.sample_count,
-        dataset.shards.len(),
-        format_bytes(dataset.stored_bytes),
-        prep
-    );
+    if !json_only {
+        println!(
+            "materialized {} samples into {} shards ({}) in {:.2?}",
+            dataset.sample_count,
+            dataset.shards.len(),
+            format_bytes(dataset.stored_bytes),
+            prep
+        );
+    }
 
     let fault_store = if args.get_str("inject-faults").is_some() {
         let mut spec = FaultSpec::new(args.get_or("fault-seed", 47u64)?)
@@ -433,7 +447,32 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
             if stats.degraded { "yes".into() } else { "no".into() },
         ]);
     }
+    let snapshot = telemetry
+        .last_epoch()
+        .ok_or_else(|| "no telemetry recorded (zero epochs?)".to_string())?;
+    if let Some(path) = args.get_str("trace-out") {
+        std::fs::write(path, telemetry_export::chrome_trace(&snapshot))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        if !json_only {
+            println!("wrote Chrome trace ({} spans) to {path}", snapshot.spans.len());
+        }
+    }
+    if json_only {
+        println!("{}", telemetry_export::json(&snapshot));
+        return Ok(());
+    }
     println!("{}", table.render());
+    match metrics {
+        "json" => println!("{}", telemetry_export::json(&snapshot)),
+        "prom" => print!("{}", telemetry_export::prometheus(&snapshot)),
+        _ => {
+            println!("last epoch telemetry:");
+            println!("{}", render::telemetry_table(&snapshot));
+            if let Some(diagnosed) = presto::diagnose_real(&snapshot) {
+                println!("{}", render::real_diagnosis(&diagnosed));
+            }
+        }
+    }
     if let Some(faulty) = fault_store {
         let injected = faulty.injected();
         println!(
@@ -511,6 +550,27 @@ mod tests {
         assert!(run(&["realrun", "CV", "--samples", "4", "--corrupt-shard", "99",
             "--inject-faults"])
         .is_err());
+    }
+
+    #[test]
+    fn realrun_exports_metrics_and_trace() {
+        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1"];
+        let with = |extra: &[&str]| {
+            let mut words = base.to_vec();
+            words.extend_from_slice(extra);
+            run(&words)
+        };
+        with(&["--metrics", "json"]).unwrap();
+        with(&["--metrics", "prom"]).unwrap();
+        with(&["--json"]).unwrap();
+        assert!(with(&["--metrics", "xml"]).is_err());
+
+        let path = std::env::temp_dir().join(format!("presto-trace-{}.json", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        with(&["--trace-out", &path_str]).unwrap();
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(telemetry_export::validate_chrome_trace(&trace).unwrap() > 0);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

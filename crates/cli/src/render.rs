@@ -1,5 +1,9 @@
-//! ASCII rendering of pipelines and strategies (Figure 2 style).
+//! ASCII rendering of pipelines and strategies (Figure 2 style), plus
+//! the human-readable telemetry tables behind `presto realrun`.
 
+use presto::report::TableBuilder;
+use presto::RealDiagnosis;
+use presto_pipeline::telemetry::TelemetrySnapshot;
 use presto_pipeline::Pipeline;
 
 /// Render the pipeline's step chain, marking non-deterministic steps
@@ -47,6 +51,100 @@ pub fn strategy_split(pipeline: &Pipeline, split: usize) -> String {
     out
 }
 
+/// Format a nanosecond duration at a human scale.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render one epoch's telemetry as a per-phase/step latency table plus
+/// worker-utilization and queue-depth summary lines.
+pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
+    let total_busy: u64 = snapshot.steps.iter().map(|s| s.busy_ns).sum();
+    let mut table = TableBuilder::new(&[
+        "phase/step",
+        "kind",
+        "count",
+        "busy",
+        "share",
+        "p50",
+        "p95",
+        "p99",
+        "max",
+    ]);
+    for step in &snapshot.steps {
+        table.row(&[
+            step.name.clone(),
+            step.kind.label().to_string(),
+            step.count.to_string(),
+            fmt_ns(step.busy_ns),
+            format!("{:.0}%", step.busy_ns as f64 * 100.0 / total_busy.max(1) as f64),
+            fmt_ns(step.p50_ns),
+            fmt_ns(step.p95_ns),
+            fmt_ns(step.p99_ns),
+            fmt_ns(step.max_ns),
+        ]);
+    }
+    let mut out = table.render();
+    if snapshot.elapsed_ns > 0 && !snapshot.workers.is_empty() {
+        let busy_pct = |w: &presto_pipeline::telemetry::WorkerSnapshot| {
+            w.busy_ns as f64 * 100.0 / snapshot.elapsed_ns as f64
+        };
+        let min = snapshot.workers.iter().map(busy_pct).fold(f64::INFINITY, f64::min);
+        let max = snapshot.workers.iter().map(busy_pct).fold(0.0, f64::max);
+        let mean = snapshot.workers.iter().map(busy_pct).sum::<f64>()
+            / snapshot.workers.len() as f64;
+        out.push_str(&format!(
+            "\nworkers: {} busy {:.0}-{:.0}% (mean {:.0}%)",
+            snapshot.workers.len(),
+            min,
+            max,
+            mean
+        ));
+    }
+    if snapshot.queue.capacity > 0 {
+        out.push_str(&format!(
+            "\nprefetch queue: capacity {}, mean depth {:.1}, max {}",
+            snapshot.queue.capacity, snapshot.queue.mean_depth, snapshot.queue.max_depth
+        ));
+    }
+    if snapshot.cache_hits > 0 || snapshot.cache_misses > 0 {
+        out.push_str(&format!(
+            "\ncache: {} hits, {} misses",
+            snapshot.cache_hits, snapshot.cache_misses
+        ));
+    }
+    out
+}
+
+/// Render a real-run bottleneck verdict and its straggler step.
+pub fn real_diagnosis(diagnosed: &RealDiagnosis) -> String {
+    let d = &diagnosed.diagnosis;
+    let mut out = format!(
+        "bottleneck: {} (storage {:.0}%, cpu {:.0}%, dispatch {:.0}%)",
+        d.bottleneck,
+        d.storage_util * 100.0,
+        d.cpu_util * 100.0,
+        d.dispatch_util * 100.0
+    );
+    if let Some(straggler) = &diagnosed.straggler {
+        out.push_str(&format!(
+            "\nstraggler step: '{}' ({:.0}% of busy time, p99 {})",
+            straggler.step,
+            straggler.busy_share * 100.0,
+            fmt_ns(straggler.p99_ns)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +163,32 @@ mod tests {
     fn chain_marks_non_deterministic_steps() {
         let chain = pipeline_chain(&pipeline());
         assert_eq!(chain, "read --> decoded ..> random-crop --> train");
+    }
+
+    #[test]
+    fn fmt_ns_picks_a_human_scale() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.5ms");
+        assert_eq!(fmt_ns(3_210_000_000), "3.21s");
+    }
+
+    #[test]
+    fn telemetry_table_lists_phases_steps_and_summaries() {
+        use presto_pipeline::telemetry::{Telemetry, PHASE_READ};
+        let telemetry = Telemetry::new();
+        let rec = telemetry.begin_epoch(&["resize".to_string()], 2, 8);
+        let t0 = rec.begin().unwrap();
+        rec.phase_done(0, PHASE_READ, t0);
+        rec.samples_done(0, 3);
+        rec.queue_depth(5);
+        rec.finish(std::time::Duration::from_millis(10), 3, 100, 0, 0, 0, false);
+        let snapshot = telemetry.last_epoch().unwrap();
+        let table = telemetry_table(&snapshot);
+        assert!(table.contains("read"), "{table}");
+        assert!(table.contains("resize"), "{table}");
+        assert!(table.contains("workers: 2"), "{table}");
+        assert!(table.contains("prefetch queue: capacity 8"), "{table}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! automates the attribution.
 
 use presto_pipeline::sim::{SimEnv, StrategyProfile};
+use presto_pipeline::telemetry::{PhaseKind, TelemetrySnapshot};
 use std::fmt;
 
 /// The facility limiting a strategy's throughput.
@@ -78,20 +79,107 @@ pub fn diagnose(profile: &StrategyProfile, env: &SimEnv) -> Option<Diagnosis> {
     let worker_time = span * profile.strategy.threads as f64;
     let lock_wait_fraction = (epoch.stats.lock_wait.as_secs_f64() / worker_time).min(1.0);
 
-    let candidates = [
+    let bottleneck = dominant(&[
         (Bottleneck::Storage, storage_util),
         (Bottleneck::Cpu, cpu_util),
         (Bottleneck::Dispatch, dispatch_util),
         (Bottleneck::Lock, lock_wait_fraction),
-    ];
+    ]);
+    Some(Diagnosis { storage_util, cpu_util, dispatch_util, lock_wait_fraction, bottleneck })
+}
+
+/// The shared ≥0.5-of-the-maximum rule: below half-utilization on
+/// everything, nothing is really binding. Both engines' diagnoses go
+/// through here so their verdicts stay comparable.
+fn dominant(candidates: &[(Bottleneck, f64)]) -> Bottleneck {
     let (kind, value) = candidates
         .iter()
         .copied()
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .unwrap();
-    // Below half-utilization on everything, nothing is really binding.
-    let bottleneck = if value < 0.5 { Bottleneck::None } else { kind };
-    Some(Diagnosis { storage_util, cpu_util, dispatch_util, lock_wait_fraction, bottleneck })
+    if value < 0.5 {
+        Bottleneck::None
+    } else {
+        kind
+    }
+}
+
+/// The pipeline step dominating a real epoch's measured busy time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Straggler {
+    /// Step name.
+    pub step: String,
+    /// The step's share of all measured busy time (engine phases
+    /// included), in `[0, 1]`.
+    pub busy_share: f64,
+    /// The step's 99th-percentile per-invocation latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// A [`Diagnosis`] measured off a real run instead of simulated, plus
+/// the straggler step the aggregate verdict hides.
+#[derive(Debug, Clone)]
+pub struct RealDiagnosis {
+    /// The utilization breakdown and verdict, comparable with
+    /// [`diagnose`]'s output for the simulated twin of the same run.
+    pub diagnosis: Diagnosis,
+    /// The slowest pipeline step, when any step ran.
+    pub straggler: Option<Straggler>,
+}
+
+/// Diagnose one real epoch from its telemetry.
+///
+/// Where the simulator knows each facility's capacity and computes
+/// utilizations against it, a real run only knows where its workers'
+/// wall time went — so each facility's "utilization" is the fraction
+/// of aggregate worker time (`threads × elapsed`) spent in phases of
+/// that kind:
+///
+/// - **storage**: shard fetches ([`PhaseKind::Io`]),
+/// - **cpu**: decompression, record decoding and the pipeline steps
+///   ([`PhaseKind::Cpu`] + [`PhaseKind::Step`]),
+/// - **dispatch**: handing samples to the consumer — the consume
+///   callback, or blocking on a full prefetch channel
+///   ([`PhaseKind::Deliver`]).
+///
+/// Lock waiting is not a real-engine phase (there is no GIL), so
+/// `lock_wait_fraction` is 0. The verdict uses the same
+/// ≥0.5-of-the-maximum rule as [`diagnose`], which is what makes
+/// sim-vs-real cross-checks meaningful (`tests/cross_engine.rs`).
+pub fn diagnose_real(snapshot: &TelemetrySnapshot) -> Option<RealDiagnosis> {
+    if snapshot.elapsed_ns == 0 || snapshot.steps.is_empty() {
+        return None;
+    }
+    let storage_util = snapshot.fraction_of(PhaseKind::Io);
+    let cpu_util =
+        (snapshot.fraction_of(PhaseKind::Cpu) + snapshot.fraction_of(PhaseKind::Step)).min(1.0);
+    let dispatch_util = snapshot.fraction_of(PhaseKind::Deliver);
+    let bottleneck = dominant(&[
+        (Bottleneck::Storage, storage_util),
+        (Bottleneck::Cpu, cpu_util),
+        (Bottleneck::Dispatch, dispatch_util),
+    ]);
+    let total_busy: u64 = snapshot.steps.iter().map(|s| s.busy_ns).sum();
+    let straggler = snapshot
+        .pipeline_steps()
+        .iter()
+        .max_by_key(|s| s.busy_ns)
+        .filter(|s| s.busy_ns > 0)
+        .map(|s| Straggler {
+            step: s.name.clone(),
+            busy_share: s.busy_ns as f64 / total_busy as f64,
+            p99_ns: s.p99_ns,
+        });
+    Some(RealDiagnosis {
+        diagnosis: Diagnosis {
+            storage_util,
+            cpu_util,
+            dispatch_util,
+            lock_wait_fraction: 0.0,
+            bottleneck,
+        },
+        straggler,
+    })
 }
 
 #[cfg(test)]
@@ -181,6 +269,104 @@ mod tests {
         let diagnosis = diagnose(&profile, &env()).unwrap();
         assert_eq!(diagnosis.bottleneck, Bottleneck::Lock, "{diagnosis:?}");
         assert!(diagnosis.lock_wait_fraction > 0.5);
+    }
+
+    use presto_pipeline::telemetry::{
+        PhaseKind, QueueSnapshot, StepSnapshot, TelemetrySnapshot, BUILTIN_PHASES,
+    };
+
+    /// A synthetic real-run snapshot: 4 engine phases + named steps,
+    /// with the given busy times on 2 workers over `elapsed_ns`.
+    fn real_snapshot(
+        io_ns: u64,
+        deliver_ns: u64,
+        steps: &[(&str, u64)],
+        elapsed_ns: u64,
+    ) -> TelemetrySnapshot {
+        let phase = |name: &str, kind: PhaseKind, busy_ns: u64| StepSnapshot {
+            name: name.into(),
+            kind,
+            count: 10,
+            busy_ns,
+            p50_ns: busy_ns / 10,
+            p95_ns: busy_ns / 10,
+            p99_ns: busy_ns / 10,
+            max_ns: busy_ns / 10,
+        };
+        let mut all = vec![
+            phase("read", PhaseKind::Io, io_ns),
+            phase("decompress", PhaseKind::Cpu, 0),
+            phase("decode", PhaseKind::Cpu, 0),
+            phase("deliver", PhaseKind::Deliver, deliver_ns),
+        ];
+        assert_eq!(all.len(), BUILTIN_PHASES);
+        all.extend(steps.iter().map(|(name, ns)| phase(name, PhaseKind::Step, *ns)));
+        TelemetrySnapshot {
+            elapsed_ns,
+            threads: 2,
+            samples: 10,
+            bytes_read: 1,
+            bytes_decoded: 1,
+            cache_hits: 0,
+            cache_misses: 0,
+            retries: 0,
+            skipped_samples: 0,
+            lost_shards: 0,
+            degraded: false,
+            steps: all,
+            workers: Vec::new(),
+            queue: QueueSnapshot {
+                capacity: 0,
+                observations: 0,
+                max_depth: 0,
+                mean_depth: 0.0,
+            },
+            spans: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+
+    #[test]
+    fn real_run_dominated_by_reads_is_storage_bound() {
+        let snap = real_snapshot(1_800, 50, &[("resize", 100)], 1_000);
+        let real = diagnose_real(&snap).unwrap();
+        assert_eq!(real.diagnosis.bottleneck, Bottleneck::Storage, "{real:?}");
+        assert!(real.diagnosis.storage_util > 0.8);
+    }
+
+    #[test]
+    fn real_run_with_a_skewed_step_is_cpu_bound_and_names_the_straggler() {
+        let snap =
+            real_snapshot(100, 50, &[("resize", 150), ("augment", 1_500)], 1_000);
+        let real = diagnose_real(&snap).unwrap();
+        assert_eq!(real.diagnosis.bottleneck, Bottleneck::Cpu, "{real:?}");
+        let straggler = real.straggler.unwrap();
+        assert_eq!(straggler.step, "augment");
+        assert!(straggler.busy_share > 0.5, "{straggler:?}");
+    }
+
+    #[test]
+    fn idle_real_run_diagnoses_as_none() {
+        let snap = real_snapshot(100, 50, &[("resize", 100)], 1_000_000);
+        let real = diagnose_real(&snap).unwrap();
+        assert_eq!(real.diagnosis.bottleneck, Bottleneck::None, "{real:?}");
+    }
+
+    #[test]
+    fn delivery_blocked_real_run_is_dispatch_bound() {
+        let snap = real_snapshot(100, 1_700, &[("resize", 100)], 1_000);
+        let real = diagnose_real(&snap).unwrap();
+        assert_eq!(real.diagnosis.bottleneck, Bottleneck::Dispatch, "{real:?}");
+    }
+
+    #[test]
+    fn empty_real_snapshots_yield_no_diagnosis() {
+        let mut snap = real_snapshot(1, 1, &[], 1_000);
+        snap.elapsed_ns = 0;
+        assert!(diagnose_real(&snap).is_none());
+        let mut snap = real_snapshot(1, 1, &[], 1_000);
+        snap.steps.clear();
+        assert!(diagnose_real(&snap).is_none());
     }
 
     #[test]

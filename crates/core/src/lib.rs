@@ -50,6 +50,6 @@ pub mod report;
 
 pub use analysis::{ScoredStrategy, StrategyAnalysis, Weights};
 pub use cost::{Campaign, CloudPricing};
-pub use diagnosis::{diagnose, Bottleneck, Diagnosis};
+pub use diagnosis::{diagnose, diagnose_real, Bottleneck, Diagnosis, RealDiagnosis, Straggler};
 pub use profiler::Presto;
 pub use report::{shape_check, Comparison, TableBuilder};

@@ -42,3 +42,10 @@ pub use sample::{Payload, Sample};
 pub use step::{CostModel, Parallelism, SizeModel, Step, StepSpec};
 pub use store::{BlobStore, DirStore, FaultSpec, FaultStore, MemStore, StoreError};
 pub use strategy::{CacheLevel, Strategy};
+
+/// Observability for the real engine, re-exported from
+/// [`presto_telemetry`]: attach a [`telemetry::Telemetry`] handle via
+/// [`real::RealExecutor::with_telemetry`] and read back per-step
+/// latency, per-worker utilization, queue depth and fault counts.
+pub use presto_telemetry as telemetry;
+pub use presto_telemetry::{EpochRecorder, Telemetry, TelemetrySnapshot};

@@ -21,6 +21,10 @@ use crate::strategy::Strategy;
 use bytes::Bytes;
 use parking_lot::Mutex;
 use presto_codecs::Codec;
+use presto_telemetry::{
+    EpochRecorder, Telemetry, BUILTIN_PHASES, PHASE_DECODE, PHASE_DECOMPRESS, PHASE_DELIVER,
+    PHASE_READ,
+};
 use presto_tensor::{RecordReader, RecordWriter};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -153,11 +157,15 @@ fn shard_fault_is_degradable(error: &PipelineError) -> bool {
 }
 
 /// Fetch one shard, retrying transient failures per the policy.
+/// Retries are double-booked: into the epoch's [`FaultCounters`]
+/// (authoritative totals) and into `worker`'s telemetry slot.
 fn fetch_shard(
     store: &dyn BlobStore,
     shard: &str,
     resilience: &Resilience,
     counters: &FaultCounters,
+    rec: &EpochRecorder,
+    worker: usize,
 ) -> Result<Bytes, PipelineError> {
     let seed = shard.bytes().fold(0xCBF29CE484222325u64, |h, b| {
         (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
@@ -165,10 +173,13 @@ fn fetch_shard(
     match resilience.retry.run(seed, || store.get(shard)) {
         Ok((blob, retries)) => {
             counters.add_retries(u64::from(retries));
+            rec.retries(worker, u64::from(retries));
             Ok(blob)
         }
         Err(error) => {
-            counters.add_retries(u64::from(error.attempts.saturating_sub(1)));
+            let retries = u64::from(error.attempts.saturating_sub(1));
+            counters.add_retries(retries);
+            rec.retries(worker, retries);
             Err(retry_failure(error))
         }
     }
@@ -191,13 +202,46 @@ fn apply_step(
 pub struct RealExecutor {
     /// Worker thread count.
     pub threads: usize,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl RealExecutor {
-    /// An executor with `threads` workers.
+    /// An executor with `threads` workers and no telemetry.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0);
-        RealExecutor { threads }
+        RealExecutor { threads, telemetry: None }
+    }
+
+    /// Attach a [`Telemetry`] handle: every subsequent epoch records
+    /// per-step latency, per-worker busy time, queue depth and fault
+    /// counts into it (readable via [`Telemetry::last_epoch`]).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The attached telemetry handle, if any.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
+    }
+
+    /// A recorder for one epoch over the online steps of `pipeline`
+    /// past `split` — the real recorder when telemetry is attached, the
+    /// single-branch no-op otherwise.
+    fn epoch_recorder(
+        &self,
+        pipeline: &Pipeline,
+        split: usize,
+        queue_capacity: usize,
+    ) -> Arc<EpochRecorder> {
+        match &self.telemetry {
+            Some(telemetry) => {
+                let names: Vec<String> =
+                    pipeline.steps()[split..].iter().map(|s| s.spec.name.clone()).collect();
+                telemetry.begin_epoch(&names, self.threads, queue_capacity)
+            }
+            None => EpochRecorder::noop(),
+        }
     }
 
     /// Offline phase with default [`Resilience`] (retry transient put
@@ -346,6 +390,7 @@ impl RealExecutor {
             }
         }
         let start = Instant::now();
+        let rec = self.epoch_recorder(pipeline, dataset.split, 0);
         let samples_done = AtomicU64::new(0);
         let bytes_read = AtomicU64::new(0);
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
@@ -361,18 +406,28 @@ impl RealExecutor {
                         let cached = &cached;
                         let samples_done = &samples_done;
                         let consume = &consume;
+                        let rec = &rec;
                         scope.spawn(move || {
                             for sample in cached.iter().skip(chunk_idx).step_by(self.threads) {
+                                let t0 = rec.begin();
                                 consume(sample);
+                                if let Some(t0) = t0 {
+                                    rec.phase_done(chunk_idx, PHASE_DELIVER, t0);
+                                }
+                                rec.samples_done(chunk_idx, 1);
                                 samples_done.fetch_add(1, Ordering::Relaxed);
                             }
                         });
                     }
                 });
+                let samples = samples_done.into_inner();
+                rec.cache_hits(samples);
+                let elapsed = start.elapsed();
+                rec.finish(elapsed, samples, 0, 0, 0, 0, false);
                 return Ok(EpochStats {
-                    samples: samples_done.into_inner(),
+                    samples,
                     bytes_read: 0,
-                    elapsed: start.elapsed(),
+                    elapsed,
                     ..EpochStats::default()
                 });
             }
@@ -386,10 +441,17 @@ impl RealExecutor {
                 let consume = &consume;
                 let shards = &dataset.shards;
                 let counters = &counters;
+                let rec = &rec;
                 scope.spawn(move || {
                     let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
                     for shard_name in shards.iter().skip(worker).step_by(self.threads) {
-                        let blob = match fetch_shard(store, shard_name, resilience, counters) {
+                        let t_read = rec.begin();
+                        let fetched =
+                            fetch_shard(store, shard_name, resilience, counters, rec, worker);
+                        if let Some(t0) = t_read {
+                            rec.phase_done(worker, PHASE_READ, t0);
+                        }
+                        let blob = match fetched {
                             Ok(blob) => blob,
                             Err(e) if shard_fault_is_degradable(&e) => {
                                 match counters.absorb_shard(&resilience.policy, e) {
@@ -406,7 +468,13 @@ impl RealExecutor {
                             }
                         };
                         bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                        let framed = match dataset.codec.decompress(&blob) {
+                        rec.bytes_read(worker, blob.len() as u64);
+                        let t_decompress = rec.begin();
+                        let decompressed = dataset.codec.decompress(&blob);
+                        if let Some(t0) = t_decompress {
+                            rec.phase_done(worker, PHASE_DECOMPRESS, t0);
+                        }
+                        let framed = match decompressed {
                             Ok(f) => f,
                             Err(e) => {
                                 let fault = PipelineError::CorruptShard {
@@ -422,6 +490,7 @@ impl RealExecutor {
                                 }
                             }
                         };
+                        rec.bytes_decoded(framed.len() as u64);
                         let mut reader = RecordReader::new(&framed);
                         while let Some(record) = reader.next() {
                             let record = match record {
@@ -443,11 +512,20 @@ impl RealExecutor {
                                     }
                                 }
                             };
-                            let processed = Sample::decode(record).and_then(|mut sample| {
-                                for step in steps {
+                            let t_decode = rec.begin();
+                            let decoded = Sample::decode(record);
+                            if let Some(t0) = t_decode {
+                                rec.phase_done(worker, PHASE_DECODE, t0);
+                            }
+                            let processed = decoded.and_then(|mut sample| {
+                                for (idx, step) in steps.iter().enumerate() {
                                     let exec = step.exec.as_deref().unwrap();
+                                    let t_step = rec.begin();
                                     sample =
                                         apply_step(exec, &step.spec.name, sample, &mut rng)?;
+                                    if let Some(t0) = t_step {
+                                        rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
+                                    }
                                 }
                                 Ok(sample)
                             });
@@ -461,9 +539,15 @@ impl RealExecutor {
                                     }
                                 },
                             };
+                            let t_deliver = rec.begin();
                             consume(&sample);
+                            if let Some(t0) = t_deliver {
+                                rec.phase_done(worker, PHASE_DELIVER, t0);
+                            }
+                            rec.samples_done(worker, 1);
                             samples_done.fetch_add(1, Ordering::Relaxed);
                             if let Some(cache) = cache {
+                                rec.cache_misses(1);
                                 // Cache overflow is a capacity bug, never
                                 // a data fault: always fatal.
                                 if let Err(e) = cache.insert(sample) {
@@ -485,6 +569,15 @@ impl RealExecutor {
             ..EpochStats::default()
         }
         .finish(&counters, start.elapsed());
+        rec.finish(
+            stats.elapsed,
+            stats.samples,
+            stats.bytes_read,
+            stats.retries,
+            stats.skipped_samples,
+            stats.lost_shards,
+            stats.degraded,
+        );
         if let Some(cache) = cache {
             // A degraded epoch is incomplete; replaying it from the
             // cache would silently shrink every later epoch.
@@ -509,6 +602,11 @@ pub struct EpochStream {
     samples: u64,
     started: Instant,
     failed: Option<PipelineError>,
+    recorder: Arc<EpochRecorder>,
+    /// Samples sent but not yet received — the observed prefetch-queue
+    /// depth. Tracked here (not via the channel) so the gauge works
+    /// with any channel implementation.
+    in_flight: Arc<AtomicU64>,
 }
 
 impl Iterator for EpochStream {
@@ -518,6 +616,7 @@ impl Iterator for EpochStream {
         match self.receiver.recv() {
             Ok(Ok(sample)) => {
                 self.samples += 1;
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
                 Some(Ok(sample))
             }
             Ok(Err(e)) => {
@@ -544,12 +643,22 @@ impl EpochStream {
         if let Some(e) = self.failed {
             return Err(e);
         }
-        Ok(EpochStats {
+        let stats = EpochStats {
             samples: self.samples,
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             ..EpochStats::default()
         }
-        .finish(&self.counters, self.started.elapsed()))
+        .finish(&self.counters, self.started.elapsed());
+        self.recorder.finish(
+            stats.elapsed,
+            stats.samples,
+            stats.bytes_read,
+            stats.retries,
+            stats.skipped_samples,
+            stats.lost_shards,
+            stats.degraded,
+        );
+        Ok(stats)
     }
 
     /// Wrap the stream in a windowed shuffle buffer of `capacity`
@@ -610,6 +719,8 @@ impl RealExecutor {
         let (sender, receiver) = crossbeam::channel::bounded(prefetch.max(1));
         let bytes_read = Arc::new(AtomicU64::new(0));
         let counters = Arc::new(FaultCounters::default());
+        let rec = self.epoch_recorder(pipeline, dataset.split, prefetch.max(1));
+        let in_flight = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(self.threads);
         for worker in 0..self.threads {
             let sender = sender.clone();
@@ -618,14 +729,22 @@ impl RealExecutor {
             let bytes_read = Arc::clone(&bytes_read);
             let counters = Arc::clone(&counters);
             let resilience = resilience.clone();
+            let rec = Arc::clone(&rec);
+            let in_flight = Arc::clone(&in_flight);
             let shards: Vec<String> =
                 dataset.shards.iter().skip(worker).step_by(self.threads).cloned().collect();
             let codec = dataset.codec;
             handles.push(std::thread::spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
                 for shard_name in shards {
+                    let t_read = rec.begin();
+                    let fetched =
+                        fetch_shard(store.as_ref(), &shard_name, &resilience, &counters, &rec, worker);
+                    if let Some(t0) = t_read {
+                        rec.phase_done(worker, PHASE_READ, t0);
+                    }
                     let blob =
-                        match fetch_shard(store.as_ref(), &shard_name, &resilience, &counters) {
+                        match fetched {
                             Ok(blob) => blob,
                             Err(e) if shard_fault_is_degradable(&e) => {
                                 match counters.absorb_shard(&resilience.policy, e) {
@@ -642,7 +761,13 @@ impl RealExecutor {
                             }
                         };
                     bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                    let framed = match codec.decompress(&blob) {
+                    rec.bytes_read(worker, blob.len() as u64);
+                    let t_decompress = rec.begin();
+                    let decompressed = codec.decompress(&blob);
+                    if let Some(t0) = t_decompress {
+                        rec.phase_done(worker, PHASE_DECOMPRESS, t0);
+                    }
+                    let framed = match decompressed {
                         Ok(f) => f,
                         Err(e) => {
                             let fault = PipelineError::CorruptShard {
@@ -658,6 +783,7 @@ impl RealExecutor {
                             }
                         }
                     };
+                    rec.bytes_decoded(framed.len() as u64);
                     let mut reader = RecordReader::new(&framed);
                     while let Some(record) = reader.next() {
                         let record = match record {
@@ -679,17 +805,39 @@ impl RealExecutor {
                                 }
                             }
                         };
-                        let processed = Sample::decode(record).and_then(|mut sample| {
-                            for (name, step) in &steps {
+                        let t_decode = rec.begin();
+                        let decoded = Sample::decode(record);
+                        if let Some(t0) = t_decode {
+                            rec.phase_done(worker, PHASE_DECODE, t0);
+                        }
+                        let processed = decoded.and_then(|mut sample| {
+                            for (idx, (name, step)) in steps.iter().enumerate() {
+                                let t_step = rec.begin();
                                 sample = apply_step(step.as_ref(), name, sample, &mut rng)?;
+                                if let Some(t0) = t_step {
+                                    rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
+                                }
                             }
                             Ok(sample)
                         });
                         match processed {
                             Ok(sample) => {
+                                // Count before sending so the consumer's
+                                // decrement can never observe a counted
+                                // sample it has not been charged for. The
+                                // gauge therefore includes samples blocked
+                                // in `send` — backpressure shows up as
+                                // depth at (or just above) capacity.
+                                let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                                rec.queue_depth(depth as usize);
+                                let t_deliver = rec.begin();
                                 if sender.send(Ok(sample)).is_err() {
                                     return; // consumer hung up
                                 }
+                                if let Some(t0) = t_deliver {
+                                    rec.phase_done(worker, PHASE_DELIVER, t0);
+                                }
+                                rec.samples_done(worker, 1);
                             }
                             Err(e) => match counters.absorb_sample(&resilience.policy, e) {
                                 Ok(()) => continue,
@@ -712,6 +860,8 @@ impl RealExecutor {
             samples: 0,
             started: Instant::now(),
             failed: None,
+            recorder: rec,
+            in_flight,
         })
     }
 }

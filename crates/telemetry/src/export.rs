@@ -1,0 +1,703 @@
+//! Exporters for a [`TelemetrySnapshot`]: Prometheus text exposition,
+//! the stable `presto.telemetry.v1` JSON schema, and Chrome
+//! `trace_event` JSON loadable in `chrome://tracing` / Perfetto.
+//!
+//! The schemas are documented in `docs/observability.md`; the JSON
+//! validator here ([`validate_json`]) is the same check CI runs with
+//! `jq` and exists so tests (and downstream tools without `jq`) can
+//! assert the contract without a JSON dependency.
+
+use crate::TelemetrySnapshot;
+use std::fmt::Write as _;
+
+/// Current JSON schema identifier.
+pub const JSON_SCHEMA: &str = "presto.telemetry.v1";
+
+fn secs(ns: u64) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Escape a string for inclusion in a JSON string literal (also valid
+/// for Prometheus label values, which use the same escapes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `snapshot` in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges with `# TYPE` headers, and
+/// per-step latency quantiles as summary-style series.
+pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter("presto_epoch_samples_total", "Samples delivered this epoch.", snapshot.samples);
+    counter("presto_epoch_bytes_read_total", "Compressed bytes read from the store.", snapshot.bytes_read);
+    counter("presto_epoch_bytes_decoded_total", "Decompressed bytes produced.", snapshot.bytes_decoded);
+    counter("presto_epoch_cache_hits_total", "Samples served from the application cache.", snapshot.cache_hits);
+    counter("presto_epoch_cache_misses_total", "Samples produced while filling the cache.", snapshot.cache_misses);
+    counter("presto_epoch_retries_total", "Storage retries performed.", snapshot.retries);
+    counter("presto_epoch_skipped_samples_total", "Samples skipped under a degrade policy.", snapshot.skipped_samples);
+    counter("presto_epoch_lost_shards_total", "Shards lost under a degrade policy.", snapshot.lost_shards);
+    counter("presto_epoch_dropped_spans_total", "Span events dropped past the budget.", snapshot.dropped_spans);
+
+    let _ = writeln!(out, "# HELP presto_epoch_duration_seconds Epoch wall time.");
+    let _ = writeln!(out, "# TYPE presto_epoch_duration_seconds gauge");
+    let _ = writeln!(out, "presto_epoch_duration_seconds {}", secs(snapshot.elapsed_ns));
+    let _ = writeln!(out, "# HELP presto_epoch_degraded Whether any fault was absorbed (0/1).");
+    let _ = writeln!(out, "# TYPE presto_epoch_degraded gauge");
+    let _ = writeln!(out, "presto_epoch_degraded {}", u8::from(snapshot.degraded));
+
+    let _ = writeln!(out, "# HELP presto_step_invocations_total Invocations per phase/step.");
+    let _ = writeln!(out, "# TYPE presto_step_invocations_total counter");
+    for step in &snapshot.steps {
+        let name = json_escape(&step.name);
+        let _ = writeln!(
+            out,
+            "presto_step_invocations_total{{step=\"{name}\",kind=\"{}\"}} {}",
+            step.kind.label(),
+            step.count
+        );
+    }
+    let _ = writeln!(out, "# HELP presto_step_busy_seconds_total Wall time per phase/step across workers.");
+    let _ = writeln!(out, "# TYPE presto_step_busy_seconds_total counter");
+    for step in &snapshot.steps {
+        let _ = writeln!(
+            out,
+            "presto_step_busy_seconds_total{{step=\"{}\",kind=\"{}\"}} {}",
+            json_escape(&step.name),
+            step.kind.label(),
+            secs(step.busy_ns)
+        );
+    }
+    let _ = writeln!(out, "# HELP presto_step_latency_seconds Per-invocation latency quantiles.");
+    let _ = writeln!(out, "# TYPE presto_step_latency_seconds summary");
+    for step in &snapshot.steps {
+        let name = json_escape(&step.name);
+        for (q, v) in [("0.5", step.p50_ns), ("0.95", step.p95_ns), ("0.99", step.p99_ns)] {
+            let _ = writeln!(
+                out,
+                "presto_step_latency_seconds{{step=\"{name}\",quantile=\"{q}\"}} {}",
+                secs(v)
+            );
+        }
+        let _ = writeln!(out, "presto_step_latency_seconds_count{{step=\"{name}\"}} {}", step.count);
+        let _ = writeln!(out, "presto_step_latency_seconds_sum{{step=\"{name}\"}} {}", secs(step.busy_ns));
+    }
+
+    let _ = writeln!(out, "# HELP presto_worker_busy_seconds_total Measured busy time per worker.");
+    let _ = writeln!(out, "# TYPE presto_worker_busy_seconds_total counter");
+    for w in &snapshot.workers {
+        let _ = writeln!(out, "presto_worker_busy_seconds_total{{worker=\"{}\"}} {}", w.worker, secs(w.busy_ns));
+    }
+    let _ = writeln!(out, "# HELP presto_worker_idle_seconds_total Unmeasured (idle) time per worker.");
+    let _ = writeln!(out, "# TYPE presto_worker_idle_seconds_total counter");
+    for w in &snapshot.workers {
+        let _ = writeln!(out, "presto_worker_idle_seconds_total{{worker=\"{}\"}} {}", w.worker, secs(w.idle_ns));
+    }
+    let _ = writeln!(out, "# HELP presto_worker_samples_total Samples delivered per worker.");
+    let _ = writeln!(out, "# TYPE presto_worker_samples_total counter");
+    for w in &snapshot.workers {
+        let _ = writeln!(out, "presto_worker_samples_total{{worker=\"{}\"}} {}", w.worker, w.samples);
+    }
+
+    let _ = writeln!(out, "# HELP presto_queue_depth_max Deepest observed prefetch queue.");
+    let _ = writeln!(out, "# TYPE presto_queue_depth_max gauge");
+    let _ = writeln!(out, "presto_queue_depth_max {}", snapshot.queue.max_depth);
+    let _ = writeln!(out, "# HELP presto_queue_depth_mean Mean observed prefetch-queue depth.");
+    let _ = writeln!(out, "# TYPE presto_queue_depth_mean gauge");
+    let _ = writeln!(out, "presto_queue_depth_mean {}", snapshot.queue.mean_depth);
+    let _ = writeln!(out, "# HELP presto_queue_capacity Prefetch channel capacity.");
+    let _ = writeln!(out, "# TYPE presto_queue_capacity gauge");
+    let _ = writeln!(out, "presto_queue_capacity {}", snapshot.queue.capacity);
+    out
+}
+
+/// Render `snapshot` as the stable `presto.telemetry.v1` JSON object.
+/// The shape is documented in `docs/observability.md` and enforced by
+/// [`validate_json`]; spans are *not* included (use [`chrome_trace`]).
+pub fn json(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!("{{\n  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    let _ = writeln!(
+        out,
+        "  \"epoch\": {{\"elapsed_ns\": {}, \"threads\": {}, \"samples\": {}, \"samples_per_second\": {:.3}, \"bytes_read\": {}, \"bytes_decoded\": {}}},",
+        snapshot.elapsed_ns,
+        snapshot.threads,
+        snapshot.samples,
+        snapshot.samples_per_second(),
+        snapshot.bytes_read,
+        snapshot.bytes_decoded
+    );
+    let _ = writeln!(
+        out,
+        "  \"faults\": {{\"retries\": {}, \"skipped_samples\": {}, \"lost_shards\": {}, \"degraded\": {}}},",
+        snapshot.retries, snapshot.skipped_samples, snapshot.lost_shards, snapshot.degraded
+    );
+    let _ = writeln!(
+        out,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}}},",
+        snapshot.cache_hits, snapshot.cache_misses
+    );
+    out.push_str("  \"steps\": [\n");
+    for (i, step) in snapshot.steps.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"count\": {}, \"busy_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}",
+            json_escape(&step.name),
+            step.kind.label(),
+            step.count,
+            step.busy_ns,
+            step.p50_ns,
+            step.p95_ns,
+            step.p99_ns,
+            step.max_ns,
+            if i + 1 < snapshot.steps.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"workers\": [\n");
+    for (i, w) in snapshot.workers.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"worker\": {}, \"busy_ns\": {}, \"deliver_ns\": {}, \"idle_ns\": {}, \"samples\": {}, \"bytes_read\": {}, \"retries\": {}}}{}",
+            w.worker,
+            w.busy_ns,
+            w.deliver_ns,
+            w.idle_ns,
+            w.samples,
+            w.bytes_read,
+            w.retries,
+            if i + 1 < snapshot.workers.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        out,
+        "  ],\n  \"queue\": {{\"capacity\": {}, \"observations\": {}, \"max_depth\": {}, \"mean_depth\": {:.3}}},\n",
+        snapshot.queue.capacity,
+        snapshot.queue.observations,
+        snapshot.queue.max_depth,
+        snapshot.queue.mean_depth
+    );
+    let _ = write!(out, "  \"dropped_spans\": {}\n}}\n", snapshot.dropped_spans);
+    out
+}
+
+/// Render the span timeline as Chrome `trace_event` JSON (the
+/// "JSON array format"): complete events (`ph: "X"`) with microsecond
+/// `ts`/`dur`, one `tid` per worker, plus `M` metadata events naming
+/// the process and threads. Load in `chrome://tracing` or
+/// <https://ui.perfetto.dev>.
+pub fn chrome_trace(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::with_capacity(64 + snapshot.spans.len() * 96);
+    out.push_str("[\n");
+    let _ = write!(
+        out,
+        "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"args\": {{\"name\": \"presto realrun\"}}}}"
+    );
+    for w in &snapshot.workers {
+        let _ = write!(
+            out,
+            ",\n{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"args\": {{\"name\": \"worker-{}\"}}}}",
+            w.worker, w.worker
+        );
+    }
+    for span in &snapshot.spans {
+        let name = snapshot
+            .steps
+            .get(span.phase as usize)
+            .map(|s| json_escape(&s.name))
+            .unwrap_or_else(|| format!("phase-{}", span.phase));
+        let cat = snapshot
+            .steps
+            .get(span.phase as usize)
+            .map(|s| s.kind.label())
+            .unwrap_or("step");
+        let _ = write!(
+            out,
+            ",\n{{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 1, \"tid\": {}}}",
+            span.start_ns as f64 / 1e3,
+            span.dur_ns as f64 / 1e3,
+            span.worker
+        );
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader — just enough to validate exporter output without
+// pulling a JSON dependency into the workspace.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (minimal model: numbers are `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek()? == c {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(JsonValue::String(self.string()?)),
+            b't' => self.literal("true", JsonValue::Bool(true)),
+            b'f' => self.literal("false", JsonValue::Bool(false)),
+            b'n' => self.literal("null", JsonValue::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(JsonValue::Number)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| "invalid \\u escape".to_string())?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("invalid escape '\\{}'", other as char)),
+                    }
+                }
+                c => out.push(c as char),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                c => return Err(format!("expected ',' or ']' got '{}'", c as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                c => return Err(format!("expected ',' or '}}' got '{}'", c as char)),
+            }
+        }
+    }
+}
+
+/// Parse a JSON document.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+fn require<'v>(value: &'v JsonValue, path: &[&str]) -> Result<&'v JsonValue, String> {
+    let mut current = value;
+    for key in path {
+        current = current
+            .get(key)
+            .ok_or_else(|| format!("missing required field '{}'", path.join(".")))?;
+    }
+    Ok(current)
+}
+
+/// Validate a document against the `presto.telemetry.v1` schema: it
+/// must parse, carry the schema tag, and contain every required field
+/// with the right shape. Returns the parsed document on success.
+pub fn validate_json(input: &str) -> Result<JsonValue, String> {
+    let doc = parse_json(input)?;
+    match require(&doc, &["schema"])?.as_str() {
+        Some(JSON_SCHEMA) => {}
+        Some(other) => return Err(format!("wrong schema '{other}', expected '{JSON_SCHEMA}'")),
+        None => return Err("'schema' must be a string".into()),
+    }
+    for path in [
+        ["epoch", "elapsed_ns"],
+        ["epoch", "threads"],
+        ["epoch", "samples"],
+        ["epoch", "samples_per_second"],
+        ["epoch", "bytes_read"],
+        ["epoch", "bytes_decoded"],
+        ["faults", "retries"],
+        ["faults", "skipped_samples"],
+        ["faults", "lost_shards"],
+        ["cache", "hits"],
+        ["cache", "misses"],
+        ["queue", "capacity"],
+        ["queue", "max_depth"],
+        ["queue", "mean_depth"],
+    ] {
+        if require(&doc, &path)?.as_f64().is_none() {
+            return Err(format!("'{}' must be a number", path.join(".")));
+        }
+    }
+    if !matches!(require(&doc, &["faults", "degraded"])?, JsonValue::Bool(_)) {
+        return Err("'faults.degraded' must be a boolean".into());
+    }
+    let steps = require(&doc, &["steps"])?
+        .as_array()
+        .ok_or_else(|| "'steps' must be an array".to_string())?;
+    for step in steps {
+        if step.get("name").and_then(JsonValue::as_str).is_none() {
+            return Err("every step needs a string 'name'".into());
+        }
+        for field in ["count", "busy_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"] {
+            if step.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("every step needs numeric '{field}'"));
+            }
+        }
+    }
+    let workers = require(&doc, &["workers"])?
+        .as_array()
+        .ok_or_else(|| "'workers' must be an array".to_string())?;
+    for worker in workers {
+        for field in ["worker", "busy_ns", "idle_ns", "samples", "bytes_read", "retries"] {
+            if worker.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("every worker needs numeric '{field}'"));
+            }
+        }
+    }
+    Ok(doc)
+}
+
+/// Validate a Chrome trace document: a JSON array whose `ph: "X"`
+/// events all carry `name`/`ts`/`dur`/`pid`/`tid`. Returns the number
+/// of complete (`X`) events.
+pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
+    let doc = parse_json(input)?;
+    let events = doc.as_array().ok_or_else(|| "trace must be a JSON array".to_string())?;
+    let mut complete = 0;
+    for event in events {
+        let ph = event
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| "every event needs a string 'ph'".to_string())?;
+        if event.get("name").and_then(JsonValue::as_str).is_none() {
+            return Err("every event needs a string 'name'".into());
+        }
+        for field in ["pid", "tid"] {
+            if event.get(field).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("every event needs numeric '{field}'"));
+            }
+        }
+        if ph == "X" {
+            for field in ["ts", "dur"] {
+                if event.get(field).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("complete events need numeric '{field}'"));
+                }
+            }
+            complete += 1;
+        }
+    }
+    Ok(complete)
+}
+
+/// Parse Prometheus text exposition: returns `(name{labels}, value)`
+/// pairs for every sample line, or an error on malformed lines. Used
+/// by tests to round-trip [`prometheus`] output.
+pub fn parse_prometheus(input: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value: '{line}'", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: bad value '{value}'", lineno + 1))?;
+        let series = series.trim();
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("line {}: invalid metric name '{name}'", lineno + 1));
+        }
+        if name_end < series.len() && !series.ends_with('}') {
+            return Err(format!("line {}: unterminated labels", lineno + 1));
+        }
+        out.push((series.to_string(), value));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, PHASE_READ};
+    use std::time::Duration;
+
+    fn sample_snapshot() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        let rec = t.begin_epoch(&["resize\"odd".into(), "crop".into()], 2, 8);
+        for worker in 0..2 {
+            for _ in 0..5 {
+                let t0 = rec.begin().unwrap();
+                rec.phase_done(worker, PHASE_READ, t0);
+                let t1 = rec.begin().unwrap();
+                rec.phase_done(worker, crate::BUILTIN_PHASES, t1);
+                rec.samples_done(worker, 1);
+                rec.bytes_read(worker, 128);
+                rec.queue_depth(worker + 1);
+            }
+        }
+        rec.retries(0, 2);
+        rec.cache_hits(1);
+        rec.cache_misses(9);
+        rec.finish(Duration::from_millis(100), 10, 1280, 2, 0, 0, false);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrips_and_validates() {
+        let snap = sample_snapshot();
+        let doc = validate_json(&json(&snap)).expect("schema-valid JSON");
+        assert_eq!(
+            doc.get("epoch").unwrap().get("samples").unwrap().as_f64(),
+            Some(10.0)
+        );
+        assert_eq!(
+            doc.get("faults").unwrap().get("retries").unwrap().as_f64(),
+            Some(2.0)
+        );
+        let steps = doc.get("steps").unwrap().as_array().unwrap();
+        assert_eq!(steps.len(), snap.steps.len());
+        // The escaped step name survives the round trip.
+        assert!(steps
+            .iter()
+            .any(|s| s.get("name").and_then(JsonValue::as_str) == Some("resize\"odd")));
+    }
+
+    #[test]
+    fn prometheus_parses_and_carries_totals() {
+        let snap = sample_snapshot();
+        let series = parse_prometheus(&prometheus(&snap)).expect("well-formed exposition");
+        let find = |name: &str| {
+            series
+                .iter()
+                .find(|(s, _)| s == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing series {name}"))
+        };
+        assert_eq!(find("presto_epoch_samples_total"), 10.0);
+        assert_eq!(find("presto_epoch_bytes_read_total"), 1280.0);
+        assert_eq!(find("presto_epoch_retries_total"), 2.0);
+        assert_eq!(find("presto_queue_depth_max"), 2.0);
+        assert!(series.iter().any(|(s, _)| s.starts_with("presto_step_latency_seconds{")));
+        assert!(series.iter().any(|(s, _)| s == "presto_worker_busy_seconds_total{worker=\"1\"}"));
+    }
+
+    #[test]
+    fn chrome_trace_loads_as_trace_event_array() {
+        let snap = sample_snapshot();
+        let trace = chrome_trace(&snap);
+        let complete = validate_chrome_trace(&trace).expect("valid trace_event JSON");
+        assert_eq!(complete, snap.spans.len());
+        let doc = parse_json(&trace).unwrap();
+        let events = doc.as_array().unwrap();
+        // Metadata events name the process and both workers.
+        assert!(events
+            .iter()
+            .any(|e| e.get("ph").and_then(JsonValue::as_str) == Some("M")));
+        // Spans are sorted by ts.
+        let ts: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{}").is_err());
+        assert!(validate_json("{\"schema\": \"presto.telemetry.v2\"}").is_err());
+        let mut good = json(&sample_snapshot());
+        good = good.replace("\"faults\"", "\"falts\"");
+        assert!(validate_json(&good).is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("[{\"ph\": \"X\"}]").is_err());
+        assert!(parse_prometheus("presto bad value").is_err());
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        let round = parse_json(&format!("\"{}\"", json_escape("a\"b\\c\nd\t\u{1}"))).unwrap();
+        assert_eq!(round.as_str(), Some("a\"b\\c\nd\t\u{1}"));
+    }
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Write the real-engine telemetry baseline to BENCH_realrun.json: one
+# presto.telemetry.v1 document (SPS, per-step p50/p99 latencies, queue
+# depth, per-worker utilization) for the CV workload's last epoch.
+# Compare against a committed baseline to catch engine regressions.
+#
+# Usage: scripts/bench_realrun.sh [samples] [threads]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+samples="${1:-64}"
+threads="${2:-4}"
+out=BENCH_realrun.json
+
+cargo run --release -q -p presto-cli -- realrun CV \
+    --samples "$samples" --threads "$threads" --epochs 3 --prefetch 16 \
+    --json > "$out"
+
+echo "wrote $out"
+grep -o '"samples_per_second": [0-9.]*' "$out"
+grep -o '"queue": {[^}]*}' "$out"

@@ -81,6 +81,88 @@ fn storage_size_ordering_agrees_between_engines() {
     }
 }
 
+/// A step that busy-waits `ns` nanoseconds per sample — CPU time its
+/// own [`presto_pipeline::CostModel`] expresses exactly, so the same
+/// definition drives both engines.
+struct BusyStep {
+    name: &'static str,
+    ns: u64,
+}
+
+impl presto_pipeline::Step for BusyStep {
+    fn spec(&self) -> presto_pipeline::StepSpec {
+        presto_pipeline::StepSpec::native(
+            self.name,
+            presto_pipeline::CostModel::new(self.ns as f64, 0.0, 0.0),
+            presto_pipeline::SizeModel::IDENTITY,
+        )
+    }
+
+    fn apply(
+        &self,
+        sample: Sample,
+        _rng: &mut rand::rngs::SmallRng,
+    ) -> Result<Sample, presto_pipeline::PipelineError> {
+        let start = std::time::Instant::now();
+        while (start.elapsed().as_nanos() as u64) < self.ns {
+            std::hint::spin_loop();
+        }
+        Ok(sample)
+    }
+}
+
+#[test]
+fn skewed_step_diagnosis_agrees_between_engines() {
+    // One online step 10× slower than the other: the real engine's
+    // telemetry-driven diagnosis must name that step as the straggler
+    // and reach the same verdict as the simulator fed the same specs.
+    use presto::{diagnose, diagnose_real, Bottleneck};
+    use presto_pipeline::Telemetry;
+    use std::sync::Arc;
+
+    let pipeline = presto_pipeline::Pipeline::new("skewed")
+        .push_step(Arc::new(BusyStep { name: "light-aug", ns: 400_000 }))
+        .push_step(Arc::new(BusyStep { name: "heavy-aug", ns: 4_000_000 }));
+    let source: Vec<Sample> =
+        (0..64u64).map(|key| Sample::from_bytes(key, vec![7u8; 2048])).collect();
+    let strategy = Strategy::at_split(0).with_threads(8);
+
+    let telemetry = Telemetry::new();
+    let exec = RealExecutor::new(8).with_telemetry(Arc::clone(&telemetry));
+    let store = MemStore::new();
+    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+    exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).unwrap();
+    let snapshot = telemetry.last_epoch().unwrap();
+    let real = diagnose_real(&snapshot).unwrap();
+    assert_eq!(real.diagnosis.bottleneck, Bottleneck::Cpu, "{real:?}");
+    let straggler = real.straggler.as_ref().unwrap();
+    assert_eq!(straggler.step, "heavy-aug", "{real:?}");
+    assert!(straggler.busy_share > 0.5, "{straggler:?}");
+
+    // The simulated twin: same step specs, same strategy shape.
+    let mut sim_pipeline = presto_pipeline::Pipeline::new("skewed-sim");
+    for step in pipeline.steps() {
+        sim_pipeline = sim_pipeline.push_spec(step.spec.clone());
+    }
+    // Shards are large record files, not a file per sample — match
+    // that in the sim's source layout so per-file seek latency does
+    // not drown the CPU signal.
+    let sim_dataset = SimDataset {
+        name: "skewed".into(),
+        sample_count: source.len() as u64,
+        unprocessed_sample_bytes: 2_100.0,
+        layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+    };
+    let env = SimEnv { subset_samples: 64, ..SimEnv::paper_vm() };
+    let sim = Simulator::new(sim_pipeline, sim_dataset, env.clone());
+    let profile = sim.profile(&strategy, 1);
+    let simulated = diagnose(&profile, &env).unwrap();
+    assert_eq!(
+        simulated.bottleneck, real.diagnosis.bottleneck,
+        "verdicts must agree: sim {simulated:?}, real {real:?}"
+    );
+}
+
 #[test]
 fn sim_size_models_track_real_step_output_sizes() {
     // For each executable step, applying it to real data must land in
