@@ -8,12 +8,16 @@ use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
 use presto_datasets::{all_workloads, cv, generators, steps, Workload};
 use presto_pipeline::real::{
-    BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
+    AppCache, BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
 };
 use presto_pipeline::sim::SimEnv;
 use presto_pipeline::telemetry::export as telemetry_export;
-use presto_pipeline::{CacheLevel, FaultPolicy, Resilience, Sample, Strategy, Telemetry};
+use presto_pipeline::telemetry::history::{self, RunStore};
+use presto_pipeline::telemetry::http::MetricsServer;
+use presto_pipeline::telemetry::timeseries::{self, Sampler};
+use presto_pipeline::{CacheLevel, FaultPolicy, Pipeline, Resilience, Sample, Strategy, Telemetry};
 use std::sync::Arc;
+use std::time::Duration;
 use presto_storage::fio::{self, FioWorkload};
 use presto_storage::DeviceProfile;
 
@@ -40,6 +44,16 @@ commands:
       [--inject-faults] [--fault-seed S] [--fail-pct P]
       [--corrupt-shard I] [--lose-shard I]
       [--metrics table|json|prom] [--trace-out FILE] [--json]
+      [--serve ADDR] [--sample-ms MS] [--history-dir DIR] [--no-history]
+  watch <pipeline>               live dashboard over a real-engine run
+      [--samples N] [--threads N] [--split N] [--epochs N] [--cache]
+      [--refresh-ms MS] [--sample-ms MS] [--plain]
+  history                        list runs stored in the history dir
+      [--history-dir DIR]
+  compare <run-a> <run-b>        per-metric deltas + regression verdict
+      [--noise F] [--fail F] [--fail-on-regression] [--history-dir DIR]
+  validate <file>                check a document with presto's own parsers
+      --format json|prom|trace|timeseries
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -55,6 +69,10 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "diagnose" => cmd_diagnose(&args),
         "fio" => cmd_fio(&args),
         "realrun" => cmd_realrun(&args),
+        "watch" => cmd_watch(&args),
+        "history" => cmd_history(&args),
+        "compare" => cmd_compare(&args),
+        "validate" => cmd_validate(&args),
         "help" | "--help" => {
             println!("{USAGE}");
             Ok(())
@@ -321,6 +339,30 @@ fn cmd_fio(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Build the executable CV workload used by `realrun` and `watch`:
+/// the pipeline plus `samples` synthetic JPEG-encoded natural images.
+fn cv_workload(name: &str, samples: usize) -> Result<(Pipeline, Vec<Sample>), String> {
+    if !name.eq_ignore_ascii_case("CV") {
+        return Err(format!(
+            "the real engine currently supports the CV pipeline only (got '{name}')"
+        ));
+    }
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..samples as u64)
+        .map(|key| {
+            let img = generators::natural_image(96, 80, key);
+            Sample::from_bytes(key, presto_formats::image::jpg::encode(&img, 85))
+        })
+        .collect();
+    Ok((pipeline, source))
+}
+
+/// The history store selected by `--history-dir` (default
+/// `.presto/runs/`).
+fn run_store(args: &Args) -> RunStore {
+    RunStore::new(args.get_str("history-dir").unwrap_or(history::DEFAULT_DIR))
+}
+
 fn cmd_realrun(args: &Args) -> Result<(), String> {
     args.expect_known(&[
         "samples",
@@ -340,6 +382,10 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         "metrics",
         "trace-out",
         "json",
+        "serve",
+        "sample-ms",
+        "history-dir",
+        "no-history",
     ])?;
     let samples = args.get_or("samples", 32usize)?;
     let threads = args.get_or("threads", 4usize)?;
@@ -352,18 +398,7 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown metrics format '{other}' (table|json|prom)")),
     };
     let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
-    if !name.eq_ignore_ascii_case("CV") {
-        return Err(format!(
-            "realrun currently supports the CV pipeline only (got '{name}')"
-        ));
-    }
-    let pipeline = steps::executable_cv_pipeline(64, 56);
-    let source: Vec<Sample> = (0..samples as u64)
-        .map(|key| {
-            let img = generators::natural_image(96, 80, key);
-            Sample::from_bytes(key, presto_formats::image::jpg::encode(&img, 85))
-        })
-        .collect();
+    let (pipeline, source) = cv_workload(name, samples)?;
     let split = args.get_or("split", pipeline.max_split())?;
     let strategy = Strategy::at_split(split).with_threads(threads);
 
@@ -380,6 +415,30 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
 
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
+    // Continuous observability: `--serve` starts a sampler thread over
+    // the live registry plus the embedded HTTP endpoint. Both shut
+    // down (via Drop) when the run ends.
+    let sample_ms = args.get_or("sample-ms", 200u64)?;
+    let _observability = match args.get_str("serve") {
+        Some(addr) => {
+            let sampler = Sampler::spawn(
+                Arc::clone(&telemetry),
+                Duration::from_millis(sample_ms.max(1)),
+                timeseries::DEFAULT_RING_CAPACITY,
+            );
+            let server = MetricsServer::serve(addr, Arc::clone(&telemetry), sampler.series())
+                .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+            let bound = server.addr();
+            // Keep --json stdout a pure telemetry document.
+            if json_only {
+                eprintln!("serving http://{bound}/metrics (also /timeseries.json, /healthz)");
+            } else {
+                println!("serving http://{bound}/metrics (also /timeseries.json, /healthz)");
+            }
+            Some((sampler, server))
+        }
+        None => None,
+    };
     let base = Arc::new(MemStore::new());
     let (dataset, prep) = exec
         .materialize(&pipeline, &strategy, &source, base.as_ref())
@@ -450,6 +509,18 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     let snapshot = telemetry
         .last_epoch()
         .ok_or_else(|| "no telemetry recorded (zero epochs?)".to_string())?;
+    if args.get_str("no-history").is_none() {
+        match run_store(args).append_snapshot(&snapshot) {
+            Ok((id, path)) => {
+                if json_only {
+                    eprintln!("recorded {id} -> {}", path.display());
+                } else {
+                    println!("recorded {id} -> {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: run not recorded: {e}"),
+        }
+    }
     if let Some(path) = args.get_str("trace-out") {
         std::fs::write(path, telemetry_export::chrome_trace(&snapshot))
             .map_err(|e| format!("writing {path}: {e}"))?;
@@ -482,6 +553,164 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
             injected.corrupted_gets,
             injected.lost_gets
         );
+    }
+    Ok(())
+}
+
+fn cmd_watch(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "samples",
+        "threads",
+        "split",
+        "epochs",
+        "cache",
+        "refresh-ms",
+        "sample-ms",
+        "plain",
+    ])?;
+    let samples = args.get_or("samples", 64usize)?;
+    let threads = args.get_or("threads", 4usize)?;
+    let epochs = args.get_or("epochs", 3usize)?;
+    let refresh = Duration::from_millis(args.get_or("refresh-ms", 250u64)?.max(10));
+    let sample_ms = args.get_or("sample-ms", 100u64)?.max(1);
+    // --plain: append frames instead of redrawing in place (tests, CI,
+    // non-ANSI terminals).
+    let plain = args.get_str("plain").is_some();
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let (pipeline, source) = cv_workload(name, samples)?;
+    // Default to split 0 (everything online) so the dashboard has the
+    // full step chain to show; with --cache the verdict visibly moves
+    // once epoch 2 serves from the warm cache.
+    let split = args.get_or("split", 0usize)?;
+    let strategy = Strategy::at_split(split).with_threads(threads);
+    let cache = args.get_str("cache").map(|_| AppCache::new(1 << 28));
+
+    let telemetry = Telemetry::new();
+    let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
+    let store = MemStore::new();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .map_err(|e| e.to_string())?;
+    let sampler = Sampler::spawn(
+        Arc::clone(&telemetry),
+        Duration::from_millis(sample_ms),
+        timeseries::DEFAULT_RING_CAPACITY,
+    );
+    let series = sampler.series();
+
+    let result = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| -> Result<(), String> {
+            for epoch in 0..epochs {
+                exec.epoch_with(
+                    &pipeline,
+                    &dataset,
+                    &store,
+                    cache.as_ref(),
+                    epoch as u64,
+                    &Resilience::default(),
+                    |_| {},
+                )
+                .map_err(|e| format!("epoch {epoch} failed: {e}"))?;
+            }
+            Ok(())
+        });
+        while !worker.is_finished() {
+            std::thread::sleep(refresh);
+            let points = series.points();
+            let trend = presto::diagnose_window(&points);
+            if !plain {
+                // Clear screen + home, then draw the frame in place.
+                print!("\x1b[2J\x1b[H");
+            }
+            println!("{}", render::watch_frame(&points, trend.as_ref()));
+        }
+        worker.join().map_err(|_| "watch worker panicked".to_string())?
+    });
+    let series = sampler.stop();
+    result?;
+
+    // Final frame over the full window, then the sealed verdict.
+    let points = series.points();
+    let trend = presto::diagnose_window(&points);
+    println!("{}", render::watch_frame(&points, trend.as_ref()));
+    if let Some(snapshot) = telemetry.last_epoch() {
+        if let Some(diagnosed) = presto::diagnose_real(&snapshot) {
+            println!("{}", render::real_diagnosis(&diagnosed));
+        }
+    }
+    println!("watched {epochs} epochs ({} samples each)", dataset.sample_count);
+    Ok(())
+}
+
+fn cmd_history(args: &Args) -> Result<(), String> {
+    args.expect_known(&["history-dir"])?;
+    let store = run_store(args);
+    let runs = store.runs()?;
+    if runs.is_empty() {
+        println!(
+            "no runs recorded in {} (run `presto realrun` to record one)",
+            store.dir().display()
+        );
+        return Ok(());
+    }
+    println!("{}", render::history_table(&runs));
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    args.expect_known(&["noise", "fail", "fail-on-regression", "history-dir"])?;
+    let (Some(spec_a), Some(spec_b)) = (args.positional.get(1), args.positional.get(2)) else {
+        return Err("usage: presto compare <run-a> <run-b> (run ids or snapshot paths)".into());
+    };
+    let noise = args.get_or("noise", 0.05f64)?;
+    let fail = args.get_or("fail", 0.20f64)?;
+    let store = run_store(args);
+    let before = store.resolve(spec_a)?;
+    let after = store.resolve(spec_b)?;
+    let comparison = presto::compare_runs(&before.metrics, &after.metrics, noise, fail);
+    println!("comparing {} -> {} (noise {:.0}%, fail bar {:.0}%)", before.id, after.id, noise * 100.0, fail * 100.0);
+    println!("{}", render::compare_table(&comparison));
+    if args.get_str("fail-on-regression").is_some()
+        && comparison.worst == presto::Verdict::Regression
+    {
+        return Err(format!(
+            "regression past the {:.0}% bar: {}",
+            fail * 100.0,
+            comparison.regressions().join(", ")
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    args.expect_known(&["format"])?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "usage: presto validate <file> --format json|prom|trace|timeseries".to_string())?;
+    let input =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match args.get_str("format").unwrap_or("json") {
+        "json" => {
+            telemetry_export::validate_json(&input)?;
+            println!("{path}: valid {}", telemetry_export::JSON_SCHEMA);
+        }
+        "prom" => {
+            let series = telemetry_export::parse_prometheus(&input)?;
+            if series.is_empty() {
+                return Err(format!("{path}: no metric samples in exposition"));
+            }
+            println!("{path}: valid Prometheus exposition ({} series)", series.len());
+        }
+        "trace" => {
+            let complete = telemetry_export::validate_chrome_trace(&input)?;
+            println!("{path}: valid Chrome trace ({complete} complete events)");
+        }
+        "timeseries" => {
+            let points = timeseries::validate_json(&input)?;
+            println!("{path}: valid {} ({points} points)", timeseries::TIMESERIES_SCHEMA);
+        }
+        other => return Err(format!("unknown format '{other}' (json|prom|trace|timeseries)")),
     }
     Ok(())
 }
@@ -538,11 +767,13 @@ mod tests {
 
     #[test]
     fn realrun_clean_and_degraded() {
-        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1"]).unwrap();
+        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
+            "--no-history"])
+        .unwrap();
         run(&[
             "realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
             "--inject-faults", "--fail-pct", "20", "--corrupt-shard", "0",
-            "--policy", "degrade", "--retries", "6",
+            "--policy", "degrade", "--retries", "6", "--no-history",
         ])
         .unwrap();
         assert!(run(&["realrun", "NLP"]).is_err());
@@ -554,7 +785,8 @@ mod tests {
 
     #[test]
     fn realrun_exports_metrics_and_trace() {
-        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1"];
+        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
+            "--no-history"];
         let with = |extra: &[&str]| {
             let mut words = base.to_vec();
             words.extend_from_slice(extra);
@@ -582,6 +814,89 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("corrupt"), "unexpected error: {err}");
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("presto-cli-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn realrun_records_history_and_compare_reads_it() {
+        let dir = scratch_dir("hist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
+            "--history-dir", &dir_str];
+        run(&base).unwrap();
+        run(&base).unwrap();
+        assert!(dir.join("run-0001.json").is_file());
+        assert!(dir.join("run-0002.json").is_file());
+        run(&["history", "--history-dir", &dir_str]).unwrap();
+        // Same workload twice: never a regression past a generous bar.
+        run(&["compare", "1", "2", "--history-dir", &dir_str, "--fail", "0.95",
+            "--fail-on-regression"])
+        .unwrap();
+        assert!(run(&["compare", "1", "--history-dir", &dir_str]).is_err());
+        assert!(run(&["compare", "1", "99", "--history-dir", &dir_str]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn history_on_empty_store_is_fine() {
+        let dir = scratch_dir("empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&["history", "--history-dir", dir.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn realrun_serves_metrics_while_running() {
+        let dir = scratch_dir("serve");
+        let _ = std::fs::remove_dir_all(&dir);
+        // --serve with port 0 binds an ephemeral port; the run itself
+        // must stay healthy with the sampler + endpoint attached.
+        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "2",
+            "--serve", "127.0.0.1:0", "--sample-ms", "5", "--history-dir",
+            dir.to_str().unwrap()])
+        .unwrap();
+        assert!(run(&["realrun", "CV", "--samples", "4", "--epochs", "1", "--no-history",
+            "--serve", "256.0.0.1:bad"])
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_runs_in_plain_mode() {
+        run(&["watch", "CV", "--samples", "8", "--threads", "2", "--epochs", "2",
+            "--cache", "--plain", "--refresh-ms", "20", "--sample-ms", "5"])
+        .unwrap();
+        assert!(run(&["watch", "NLP"]).is_err());
+        assert!(run(&["watch", "CV", "--refreshms", "10"]).is_err());
+    }
+
+    #[test]
+    fn validate_checks_documents_with_own_parsers() {
+        let dir = scratch_dir("validate");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("run.json");
+        let json_str = json_path.to_str().unwrap().to_string();
+        // A real run in --json mode emits a schema-valid document.
+        run(&["realrun", "CV", "--samples", "8", "--epochs", "1", "--json", "--no-history"])
+            .unwrap();
+        // Build one directly for the validator (stdout isn't captured here).
+        let telemetry = Telemetry::new();
+        let rec = telemetry.begin_epoch(&["s".into()], 1, 0);
+        rec.finish(Duration::from_millis(1), 1, 1, 0, 0, 0, false);
+        std::fs::write(&json_path, telemetry_export::json(&rec.snapshot())).unwrap();
+        run(&["validate", &json_str, "--format", "json"]).unwrap();
+        let prom_path = dir.join("metrics.prom");
+        std::fs::write(&prom_path, telemetry_export::prometheus(&rec.snapshot())).unwrap();
+        run(&["validate", prom_path.to_str().unwrap(), "--format", "prom"]).unwrap();
+        // Wrong format for the file content fails.
+        assert!(run(&["validate", &json_str, "--format", "prom"]).is_err());
+        assert!(run(&["validate", &json_str, "--format", "nope"]).is_err());
+        assert!(run(&["validate", "/definitely/missing.json", "--format", "json"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

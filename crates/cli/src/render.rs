@@ -2,7 +2,9 @@
 //! the human-readable telemetry tables behind `presto realrun`.
 
 use presto::report::TableBuilder;
-use presto::RealDiagnosis;
+use presto::{RealDiagnosis, RunComparison, TrendDiagnosis, Verdict};
+use presto_pipeline::telemetry::history::RunRecord;
+use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::TelemetrySnapshot;
 use presto_pipeline::Pipeline;
 
@@ -145,6 +147,119 @@ pub fn real_diagnosis(diagnosed: &RealDiagnosis) -> String {
     out
 }
 
+/// Unicode block sparkline of `values`, scaled from 0 to their max
+/// (so a flat-but-busy series renders high, not mid).
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let idx = (v / max * (BLOCKS.len() - 1) as f64).round() as usize;
+                BLOCKS[idx.min(BLOCKS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+/// One `presto watch` dashboard frame: headline gauges, an SPS
+/// sparkline, a per-step activity table with sparklines, and the
+/// current bottleneck verdict with any shifts seen in the window.
+pub fn watch_frame(points: &[TimePoint], trend: Option<&TrendDiagnosis>) -> String {
+    let Some(last) = points.last() else {
+        return String::from("waiting for samples…");
+    };
+    let window = 48.min(points.len());
+    let tail = &points[points.len() - window..];
+    let mut out = format!(
+        "epoch seed {} · {:.0} samples/s · queue depth {:.1} · cache hit {:.0}% · retries {}\n",
+        last.epoch_seed,
+        last.sps,
+        last.queue_depth,
+        last.cache_hit_rate * 100.0,
+        last.retries
+    );
+    let sps: Vec<f64> = tail.iter().map(|p| p.sps).collect();
+    out.push_str(&format!("SPS {}\n", sparkline(&sps)));
+    let mut table = TableBuilder::new(&["phase/step", "kind", "busy", "activity", "calls"]);
+    for (i, step) in last.steps.iter().enumerate() {
+        let shares: Vec<f64> = tail
+            .iter()
+            .filter_map(|p| p.steps.get(i).map(|s| s.busy_share))
+            .collect();
+        table.row(&[
+            step.name.clone(),
+            step.kind.label().to_string(),
+            format!("{:.0}%", step.busy_share * 100.0),
+            sparkline(&shares),
+            step.invocations.to_string(),
+        ]);
+    }
+    out.push_str(&table.render());
+    if let Some(trend) = trend {
+        out.push_str(&format!("\nbottleneck now: {}", trend.current));
+        for (t_ns, from, to) in &trend.shifts {
+            out.push_str(&format!("\n  shifted {from} -> {to} at t+{}", fmt_ns(*t_ns)));
+        }
+    }
+    out
+}
+
+/// Render the run-history store as a table, oldest first.
+pub fn history_table(runs: &[RunRecord]) -> String {
+    let mut table = TableBuilder::new(&[
+        "run", "samples", "SPS", "elapsed", "threads", "retries", "cache hit", "degraded",
+    ]);
+    for run in runs {
+        let m = &run.metrics;
+        table.row(&[
+            run.id.clone(),
+            m.samples.to_string(),
+            format!("{:.0}", m.sps),
+            fmt_ns(m.elapsed_ns),
+            m.threads.to_string(),
+            m.retries.to_string(),
+            format!("{:.0}%", m.cache_hit_rate() * 100.0),
+            if m.degraded { "yes".into() } else { "no".into() },
+        ]);
+    }
+    table.render()
+}
+
+fn fmt_metric(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render a run comparison: per-metric before/after/oriented-change
+/// rows plus the overall verdict line.
+pub fn compare_table(comparison: &RunComparison) -> String {
+    let mut table = TableBuilder::new(&["metric", "before", "after", "change", "verdict"]);
+    for delta in &comparison.deltas {
+        table.row(&[
+            delta.name.clone(),
+            fmt_metric(delta.before),
+            fmt_metric(delta.after),
+            format!("{:+.1}%", delta.goodness_delta * 100.0),
+            delta.verdict.to_string(),
+        ]);
+    }
+    let mut out = table.render();
+    out.push_str(&format!("\noverall: {}", comparison.worst));
+    if comparison.worst == Verdict::Regression {
+        out.push_str(&format!(" ({})", comparison.regressions().join(", ")));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +304,92 @@ mod tests {
         assert!(table.contains("resize"), "{table}");
         assert!(table.contains("workers: 2"), "{table}");
         assert!(table.contains("prefetch queue: capacity 8"), "{table}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_window_max() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'), "{line}");
+        // Flat non-zero series renders at the top, not the middle.
+        assert_eq!(sparkline(&[3.0, 3.0]), "██");
+    }
+
+    #[test]
+    fn watch_frame_shows_gauges_steps_and_verdict() {
+        use presto_pipeline::telemetry::timeseries::{point_between, TimePoint};
+        use presto_pipeline::telemetry::{Telemetry, PHASE_READ};
+        let telemetry = Telemetry::new();
+        let rec = telemetry.begin_epoch(&["resize".to_string()], 1, 4);
+        rec.set_epoch_seed(2);
+        let t0 = rec.begin().unwrap();
+        rec.phase_done(0, PHASE_READ, t0);
+        rec.samples_done(0, 5);
+        let points: Vec<TimePoint> =
+            vec![point_between(None, &rec.light_snapshot(), 1_000_000, 1_000_000)];
+        let trend = presto::diagnose_window(&points).unwrap();
+        let frame = watch_frame(&points, Some(&trend));
+        assert!(frame.contains("epoch seed 2"), "{frame}");
+        assert!(frame.contains("resize"), "{frame}");
+        assert!(frame.contains("bottleneck now:"), "{frame}");
+        assert_eq!(watch_frame(&[], None), "waiting for samples…");
+    }
+
+    #[test]
+    fn compare_table_flags_the_regressed_metric() {
+        use presto_pipeline::telemetry::history::RunMetrics;
+        let run = |sps: f64| RunMetrics {
+            samples: 100,
+            sps,
+            elapsed_ns: 1_000_000,
+            threads: 2,
+            bytes_read: 0,
+            retries: 0,
+            skipped_samples: 0,
+            lost_shards: 0,
+            degraded: false,
+            cache_hits: 0,
+            cache_misses: 0,
+            seed: 0,
+            steps: Vec::new(),
+        };
+        let cmp = presto::compare_runs(&run(1000.0), &run(600.0), 0.05, 0.2);
+        let rendered = compare_table(&cmp);
+        assert!(rendered.contains("samples_per_second"), "{rendered}");
+        assert!(rendered.contains("REGRESSION"), "{rendered}");
+        assert!(rendered.contains("overall: REGRESSION (samples_per_second)"), "{rendered}");
+        let clean = compare_table(&presto::compare_runs(&run(1000.0), &run(1010.0), 0.05, 0.2));
+        assert!(clean.contains("overall: unchanged"), "{clean}");
+    }
+
+    #[test]
+    fn history_table_lists_runs() {
+        use presto_pipeline::telemetry::history::{RunMetrics, RunRecord};
+        let record = RunRecord {
+            id: "run-0001".into(),
+            path: "x.json".into(),
+            metrics: RunMetrics {
+                samples: 64,
+                sps: 5000.0,
+                elapsed_ns: 12_800_000,
+                threads: 4,
+                bytes_read: 1 << 20,
+                retries: 1,
+                skipped_samples: 0,
+                lost_shards: 0,
+                degraded: false,
+                cache_hits: 32,
+                cache_misses: 32,
+                seed: 0,
+                steps: Vec::new(),
+            },
+        };
+        let rendered = history_table(&[record]);
+        assert!(rendered.contains("run-0001"), "{rendered}");
+        assert!(rendered.contains("5000"), "{rendered}");
+        assert!(rendered.contains("50%"), "{rendered}");
     }
 
     #[test]

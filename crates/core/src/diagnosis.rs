@@ -17,6 +17,7 @@
 //! automates the attribution.
 
 use presto_pipeline::sim::{SimEnv, StrategyProfile};
+use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::{PhaseKind, TelemetrySnapshot};
 use std::fmt;
 
@@ -182,6 +183,59 @@ pub fn diagnose_real(snapshot: &TelemetrySnapshot) -> Option<RealDiagnosis> {
     })
 }
 
+/// One time-series sample's verdict within a [`TrendDiagnosis`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Sample time, nanoseconds from the sampler's start.
+    pub t_ns: u64,
+    /// The interval's dominant facility.
+    pub bottleneck: Bottleneck,
+    /// The interval's samples/s.
+    pub sps: f64,
+}
+
+/// Bottleneck attribution over a window of mid-epoch samples: the
+/// per-interval verdicts, the current one, and every shift — the
+/// "bottlenecks move as caches warm" effect the paper's post-hoc
+/// analysis can't see.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendDiagnosis {
+    /// Per-interval verdicts, oldest first.
+    pub points: Vec<TrendPoint>,
+    /// The newest interval's verdict.
+    pub current: Bottleneck,
+    /// `(t_ns, from, to)` for every change of verdict in the window.
+    pub shifts: Vec<(u64, Bottleneck, Bottleneck)>,
+}
+
+/// Diagnose a single sampling interval: [`diagnose_real`]'s phase-kind
+/// attribution applied to one interval's worker-time shares instead of
+/// a whole sealed epoch.
+pub fn diagnose_point(point: &TimePoint) -> Bottleneck {
+    dominant(&[
+        (Bottleneck::Storage, point.io_share),
+        (Bottleneck::Cpu, point.cpu_share),
+        (Bottleneck::Dispatch, point.deliver_share),
+    ])
+}
+
+/// Diagnose a window of time-series samples (e.g. the sampler ring
+/// from `presto watch`), tracking how the verdict moves over time.
+/// Returns `None` on an empty window.
+pub fn diagnose_window(window: &[TimePoint]) -> Option<TrendDiagnosis> {
+    let points: Vec<TrendPoint> = window
+        .iter()
+        .map(|p| TrendPoint { t_ns: p.t_ns, bottleneck: diagnose_point(p), sps: p.sps })
+        .collect();
+    let current = points.last()?.bottleneck;
+    let shifts = points
+        .windows(2)
+        .filter(|w| w[0].bottleneck != w[1].bottleneck)
+        .map(|w| (w[1].t_ns, w[0].bottleneck, w[1].bottleneck))
+        .collect();
+    Some(TrendDiagnosis { points, current, shifts })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +357,7 @@ mod tests {
         all.extend(steps.iter().map(|(name, ns)| phase(name, PhaseKind::Step, *ns)));
         TelemetrySnapshot {
             elapsed_ns,
+            epoch_seed: 0,
             threads: 2,
             samples: 10,
             bytes_read: 1,
@@ -367,6 +422,48 @@ mod tests {
         let mut snap = real_snapshot(1, 1, &[], 1_000);
         snap.steps.clear();
         assert!(diagnose_real(&snap).is_none());
+    }
+
+    fn time_point(t_ns: u64, io: f64, cpu: f64, deliver: f64) -> TimePoint {
+        TimePoint {
+            t_ns,
+            interval_ns: 1_000_000,
+            epoch_seed: 0,
+            samples: 10,
+            sps: 100.0,
+            queue_depth: 1.0,
+            cache_hit_rate: 0.0,
+            retries: 0,
+            skipped_samples: 0,
+            lost_shards: 0,
+            steps: Vec::new(),
+            io_share: io,
+            cpu_share: cpu,
+            deliver_share: deliver,
+        }
+    }
+
+    #[test]
+    fn trend_diagnosis_tracks_the_bottleneck_shifting() {
+        // Cold cache: storage-bound; cache warms: CPU takes over.
+        let window = [
+            time_point(1_000, 0.9, 0.2, 0.0),
+            time_point(2_000, 0.8, 0.3, 0.0),
+            time_point(3_000, 0.2, 0.9, 0.0),
+            time_point(4_000, 0.1, 0.9, 0.1),
+        ];
+        let trend = diagnose_window(&window).unwrap();
+        assert_eq!(trend.current, Bottleneck::Cpu);
+        assert_eq!(trend.points.len(), 4);
+        assert_eq!(trend.shifts, vec![(3_000, Bottleneck::Storage, Bottleneck::Cpu)]);
+    }
+
+    #[test]
+    fn idle_intervals_diagnose_as_none_and_empty_windows_as_nothing() {
+        assert!(diagnose_window(&[]).is_none());
+        let trend = diagnose_window(&[time_point(1, 0.1, 0.2, 0.1)]).unwrap();
+        assert_eq!(trend.current, Bottleneck::None);
+        assert!(trend.shifts.is_empty());
     }
 
     #[test]

@@ -48,8 +48,14 @@ pub mod fidelity;
 pub mod profiler;
 pub mod report;
 
-pub use analysis::{ScoredStrategy, StrategyAnalysis, Weights};
+pub use analysis::{
+    compare_metric, compare_runs, Direction, MetricDelta, RunComparison, ScoredStrategy,
+    StrategyAnalysis, Verdict, Weights,
+};
 pub use cost::{Campaign, CloudPricing};
-pub use diagnosis::{diagnose, diagnose_real, Bottleneck, Diagnosis, RealDiagnosis, Straggler};
+pub use diagnosis::{
+    diagnose, diagnose_point, diagnose_real, diagnose_window, Bottleneck, Diagnosis,
+    RealDiagnosis, Straggler, TrendDiagnosis, TrendPoint,
+};
 pub use profiler::Presto;
 pub use report::{shape_check, Comparison, TableBuilder};

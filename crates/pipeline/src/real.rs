@@ -391,6 +391,7 @@ impl RealExecutor {
         }
         let start = Instant::now();
         let rec = self.epoch_recorder(pipeline, dataset.split, 0);
+        rec.set_epoch_seed(epoch_seed);
         let samples_done = AtomicU64::new(0);
         let bytes_read = AtomicU64::new(0);
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
@@ -720,6 +721,7 @@ impl RealExecutor {
         let bytes_read = Arc::new(AtomicU64::new(0));
         let counters = Arc::new(FaultCounters::default());
         let rec = self.epoch_recorder(pipeline, dataset.split, prefetch.max(1));
+        rec.set_epoch_seed(epoch_seed);
         let in_flight = Arc::new(AtomicU64::new(0));
         let mut handles = Vec::with_capacity(self.threads);
         for worker in 0..self.threads {

@@ -137,13 +137,14 @@ pub fn json(snapshot: &TelemetrySnapshot) -> String {
     out.push_str(&format!("{{\n  \"schema\": \"{JSON_SCHEMA}\",\n"));
     let _ = writeln!(
         out,
-        "  \"epoch\": {{\"elapsed_ns\": {}, \"threads\": {}, \"samples\": {}, \"samples_per_second\": {:.3}, \"bytes_read\": {}, \"bytes_decoded\": {}}},",
+        "  \"epoch\": {{\"elapsed_ns\": {}, \"threads\": {}, \"samples\": {}, \"samples_per_second\": {:.3}, \"bytes_read\": {}, \"bytes_decoded\": {}, \"seed\": {}}},",
         snapshot.elapsed_ns,
         snapshot.threads,
         snapshot.samples,
         snapshot.samples_per_second(),
         snapshot.bytes_read,
-        snapshot.bytes_decoded
+        snapshot.bytes_decoded,
+        snapshot.epoch_seed
     );
     let _ = writeln!(
         out,
@@ -296,6 +297,38 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// Member of an object by key, or an error naming the missing
+    /// field. Prefer this over `get(..).unwrap()` anywhere a malformed
+    /// document must produce a diagnosable message instead of a panic.
+    pub fn require(&self, key: &str) -> Result<&JsonValue, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required field '{key}'"))
+    }
+
+    /// Required numeric member by key.
+    pub fn require_f64(&self, key: &str) -> Result<f64, String> {
+        self.require(key)?
+            .as_f64()
+            .ok_or_else(|| format!("field '{key}' must be a number"))
+    }
+
+    /// Required string member by key.
+    pub fn require_str(&self, key: &str) -> Result<&str, String> {
+        self.require(key)?
+            .as_str()
+            .ok_or_else(|| format!("field '{key}' must be a string"))
+    }
+}
+
+/// Look up a series by exact name in [`parse_prometheus`] output, or
+/// an error naming the missing series.
+pub fn series_value(series: &[(String, f64)], name: &str) -> Result<f64, String> {
+    series
+        .iter()
+        .find(|(s, _)| s == name)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| format!("missing series '{name}'"))
 }
 
 struct Parser<'a> {
@@ -501,6 +534,13 @@ pub fn validate_json(input: &str) -> Result<JsonValue, String> {
     if !matches!(require(&doc, &["faults", "degraded"])?, JsonValue::Bool(_)) {
         return Err("'faults.degraded' must be a boolean".into());
     }
+    // `epoch.seed` is optional (pre-PR-3 documents lack it) but must
+    // be numeric when present.
+    if let Some(seed) = require(&doc, &["epoch"])?.get("seed") {
+        if seed.as_f64().is_none() {
+            return Err("'epoch.seed' must be a number when present".into());
+        }
+    }
     let steps = require(&doc, &["steps"])?
         .as_array()
         .ok_or_else(|| "'steps' must be an array".to_string())?;
@@ -621,42 +661,36 @@ mod tests {
     }
 
     #[test]
-    fn json_roundtrips_and_validates() {
+    fn json_roundtrips_and_validates() -> Result<(), String> {
         let snap = sample_snapshot();
-        let doc = validate_json(&json(&snap)).expect("schema-valid JSON");
-        assert_eq!(
-            doc.get("epoch").unwrap().get("samples").unwrap().as_f64(),
-            Some(10.0)
-        );
-        assert_eq!(
-            doc.get("faults").unwrap().get("retries").unwrap().as_f64(),
-            Some(2.0)
-        );
-        let steps = doc.get("steps").unwrap().as_array().unwrap();
+        let doc = validate_json(&json(&snap))?;
+        assert_eq!(doc.require("epoch")?.require_f64("samples")?, 10.0);
+        assert_eq!(doc.require("faults")?.require_f64("retries")?, 2.0);
+        // The new optional seed field round-trips too.
+        assert_eq!(doc.require("epoch")?.require_f64("seed")?, 0.0);
+        let steps = doc
+            .require("steps")?
+            .as_array()
+            .ok_or("'steps' must be an array")?;
         assert_eq!(steps.len(), snap.steps.len());
         // The escaped step name survives the round trip.
         assert!(steps
             .iter()
             .any(|s| s.get("name").and_then(JsonValue::as_str) == Some("resize\"odd")));
+        Ok(())
     }
 
     #[test]
-    fn prometheus_parses_and_carries_totals() {
+    fn prometheus_parses_and_carries_totals() -> Result<(), String> {
         let snap = sample_snapshot();
-        let series = parse_prometheus(&prometheus(&snap)).expect("well-formed exposition");
-        let find = |name: &str| {
-            series
-                .iter()
-                .find(|(s, _)| s == name)
-                .map(|(_, v)| *v)
-                .unwrap_or_else(|| panic!("missing series {name}"))
-        };
-        assert_eq!(find("presto_epoch_samples_total"), 10.0);
-        assert_eq!(find("presto_epoch_bytes_read_total"), 1280.0);
-        assert_eq!(find("presto_epoch_retries_total"), 2.0);
-        assert_eq!(find("presto_queue_depth_max"), 2.0);
+        let series = parse_prometheus(&prometheus(&snap))?;
+        assert_eq!(series_value(&series, "presto_epoch_samples_total")?, 10.0);
+        assert_eq!(series_value(&series, "presto_epoch_bytes_read_total")?, 1280.0);
+        assert_eq!(series_value(&series, "presto_epoch_retries_total")?, 2.0);
+        assert_eq!(series_value(&series, "presto_queue_depth_max")?, 2.0);
         assert!(series.iter().any(|(s, _)| s.starts_with("presto_step_latency_seconds{")));
-        assert!(series.iter().any(|(s, _)| s == "presto_worker_busy_seconds_total{worker=\"1\"}"));
+        series_value(&series, "presto_worker_busy_seconds_total{worker=\"1\"}")?;
+        Ok(())
     }
 
     #[test]
@@ -665,8 +699,8 @@ mod tests {
         let trace = chrome_trace(&snap);
         let complete = validate_chrome_trace(&trace).expect("valid trace_event JSON");
         assert_eq!(complete, snap.spans.len());
-        let doc = parse_json(&trace).unwrap();
-        let events = doc.as_array().unwrap();
+        let doc = parse_json(&trace).expect("trace parses");
+        let events = doc.as_array().expect("trace is an array");
         // Metadata events name the process and both workers.
         assert!(events
             .iter()
@@ -675,7 +709,7 @@ mod tests {
         let ts: Vec<f64> = events
             .iter()
             .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
-            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .map(|e| e.require_f64("ts").expect("X events carry ts"))
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));
     }
@@ -691,6 +725,29 @@ mod tests {
         assert!(validate_chrome_trace("{}").is_err());
         assert!(validate_chrome_trace("[{\"ph\": \"X\"}]").is_err());
         assert!(parse_prometheus("presto bad value").is_err());
+        // Non-numeric optional seed is still rejected.
+        let seeded = json(&sample_snapshot()).replace("\"seed\": 0", "\"seed\": \"x\"");
+        assert!(validate_json(&seeded).unwrap_err().contains("epoch.seed"));
+    }
+
+    #[test]
+    fn require_helpers_name_the_missing_field() {
+        let doc = parse_json("{\"epoch\": {\"samples\": 3, \"label\": \"cv\"}}").expect("parses");
+        let err = doc.require("steps").unwrap_err();
+        assert!(err.contains("steps"), "error should name the field: {err}");
+        let epoch = doc.require("epoch").expect("present");
+        assert_eq!(epoch.require_f64("samples"), Ok(3.0));
+        assert_eq!(epoch.require_str("label"), Ok("cv"));
+        // Wrong-type errors name the field and the expected type.
+        let err = epoch.require_f64("label").unwrap_err();
+        assert!(err.contains("label") && err.contains("number"), "{err}");
+        let err = epoch.require_str("samples").unwrap_err();
+        assert!(err.contains("samples") && err.contains("string"), "{err}");
+        // Series lookup on parsed Prometheus text names the series.
+        let series = parse_prometheus("a_total 1\nb_total 2\n").expect("parses");
+        assert_eq!(series_value(&series, "b_total"), Ok(2.0));
+        let err = series_value(&series, "c_total").unwrap_err();
+        assert!(err.contains("c_total"), "{err}");
     }
 
     #[test]

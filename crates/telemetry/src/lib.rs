@@ -19,11 +19,20 @@
 //!   worker × step activity ([`SpanEvent`]), exportable as Chrome
 //!   `trace_event` JSON for `chrome://tracing` / Perfetto,
 //! - **exporters** ([`export`]): Prometheus text exposition, a stable
-//!   JSON schema (`presto.telemetry.v1`), and the Chrome trace.
+//!   JSON schema (`presto.telemetry.v1`), and the Chrome trace,
+//! - a **continuous layer**: a [`timeseries`] sampler thread turning
+//!   the registry into a ring buffer of mid-epoch observations, an
+//!   embedded dependency-free [`http`] server exposing `/metrics`,
+//!   `/timeseries.json` and `/healthz`, and a [`history`] store that
+//!   appends sealed run snapshots under `.presto/runs/` for
+//!   cross-run regression tracking.
 //!
 //! See `docs/observability.md` for the schemas and how to read traces.
 
 pub mod export;
+pub mod history;
+pub mod http;
+pub mod timeseries;
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -225,6 +234,7 @@ pub struct EpochRecorder {
     lost_shards: AtomicU64,
     degraded: AtomicBool,
     elapsed_ns: AtomicU64,
+    epoch_seed: AtomicU64,
 }
 
 impl EpochRecorder {
@@ -260,6 +270,7 @@ impl EpochRecorder {
             lost_shards: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
             elapsed_ns: AtomicU64::new(0),
+            epoch_seed: AtomicU64::new(0),
         }
     }
 
@@ -405,8 +416,36 @@ impl EpochRecorder {
         self.degraded.store(degraded, Ordering::Relaxed);
     }
 
+    /// Label this epoch with the engine's epoch seed, so mid-run
+    /// observers ([`timeseries::Sampler`], `presto watch`) can tell
+    /// which epoch a sample belongs to.
+    #[inline]
+    pub fn set_epoch_seed(&self, seed: u64) {
+        if self.enabled {
+            self.epoch_seed.store(seed, Ordering::Relaxed);
+        }
+    }
+
+    /// The epoch seed set via [`EpochRecorder::set_epoch_seed`].
+    pub fn epoch_seed(&self) -> u64 {
+        self.epoch_seed.load(Ordering::Relaxed)
+    }
+
     /// Materialize everything recorded so far into a plain snapshot.
     pub fn snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot_inner(true)
+    }
+
+    /// A metrics-only snapshot: identical to [`EpochRecorder::snapshot`]
+    /// but without cloning the span timeline, so it never touches a
+    /// worker's span mutex. This is what the [`timeseries::Sampler`]
+    /// thread and the [`http`] endpoints read mid-epoch — the hot path
+    /// only ever sees relaxed atomic loads from another core.
+    pub fn light_snapshot(&self) -> TelemetrySnapshot {
+        self.snapshot_inner(false)
+    }
+
+    fn snapshot_inner(&self, with_spans: bool) -> TelemetrySnapshot {
         let elapsed_ns = {
             let sealed = self.elapsed_ns.load(Ordering::Relaxed);
             if sealed > 0 {
@@ -448,11 +487,11 @@ impl EpochRecorder {
                 }
             })
             .collect();
-        let mut spans: Vec<SpanEvent> = self
-            .workers
-            .iter()
-            .flat_map(|slot| slot.spans.lock().clone())
-            .collect();
+        let mut spans: Vec<SpanEvent> = if with_spans {
+            self.workers.iter().flat_map(|slot| slot.spans.lock().clone()).collect()
+        } else {
+            Vec::new()
+        };
         spans.sort_by_key(|s| (s.start_ns, s.worker));
         let observations = self.queue_observations.load(Ordering::Relaxed);
         let queue = QueueSnapshot {
@@ -467,6 +506,7 @@ impl EpochRecorder {
         };
         TelemetrySnapshot {
             elapsed_ns,
+            epoch_seed: self.epoch_seed.load(Ordering::Relaxed),
             threads: self.workers.len(),
             samples: self.samples.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
@@ -545,6 +585,15 @@ impl Telemetry {
     pub fn last_epoch(&self) -> Option<TelemetrySnapshot> {
         self.last.lock().as_ref().map(|r| r.snapshot())
     }
+
+    /// The recorder of the epoch currently (or most recently)
+    /// recording — the handle a [`timeseries::Sampler`] or [`http`]
+    /// endpoint polls mid-run. `Arc` identity changes at every
+    /// [`Telemetry::begin_epoch`], which is how observers detect epoch
+    /// boundaries.
+    pub fn current_recorder(&self) -> Option<Arc<EpochRecorder>> {
+        self.last.lock().clone()
+    }
 }
 
 /// Aggregated latency of one phase or pipeline step over an epoch.
@@ -608,6 +657,8 @@ pub struct QueueSnapshot {
 pub struct TelemetrySnapshot {
     /// Epoch wall time, nanoseconds.
     pub elapsed_ns: u64,
+    /// Epoch seed the engine labelled this epoch with (0 when unset).
+    pub epoch_seed: u64,
     /// Worker threads.
     pub threads: usize,
     /// Samples delivered.
@@ -707,6 +758,61 @@ mod tests {
     }
 
     #[test]
+    fn histogram_empty_quantiles_are_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+    }
+
+    #[test]
+    fn histogram_zero_only_records_stay_in_bucket_zero() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn histogram_saturating_bucket_64_does_not_panic_or_overshoot() {
+        // u64::MAX has bit length 64 — the last bucket. bucket_mid(64)
+        // must not overflow and the quantile must stay <= max.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max_ns(), u64::MAX);
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= 1 << 62, "p50 = {p50} fell out of the top buckets");
+        assert!(p50 <= h.max_ns());
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        assert!(Histogram::bucket_mid(BUCKETS - 1) >= 1 << 62);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let h = Histogram::new();
+        // Mixed magnitudes, including 0 and a huge outlier.
+        h.record(0);
+        for v in [100u64, 1_000, 1_000, 50_000, 50_000, 50_000, 1_000_000, u64::MAX >> 1] {
+            h.record(v);
+        }
+        let quantiles: Vec<u64> =
+            [0.1, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        for pair in quantiles.windows(2) {
+            assert!(pair[0] <= pair[1], "non-monotone quantiles: {quantiles:?}");
+        }
+        assert!(h.quantile(0.5) <= h.quantile(0.95));
+        assert!(h.quantile(0.95) <= h.quantile(0.99));
+    }
+
+    #[test]
     fn recorder_aggregates_per_worker_and_per_phase() {
         let t = Telemetry::new();
         let rec = t.begin_epoch(&["resize".into()], 2, 8);
@@ -765,6 +871,25 @@ mod tests {
         assert_eq!(snap.spans.len(), 4);
         assert_eq!(snap.dropped_spans, 6);
         assert_eq!(snap.steps[PHASE_READ].count, 10, "metrics keep counting past the span budget");
+    }
+
+    #[test]
+    fn light_snapshot_skips_spans_but_keeps_metrics() {
+        let t = Telemetry::new();
+        let rec = t.begin_epoch(&[], 1, 0);
+        rec.set_epoch_seed(7);
+        let t0 = rec.begin().unwrap();
+        rec.phase_done(0, PHASE_READ, t0);
+        rec.samples_done(0, 3);
+        let light = rec.light_snapshot();
+        assert!(light.spans.is_empty());
+        assert_eq!(light.samples, 3);
+        assert_eq!(light.epoch_seed, 7);
+        assert_eq!(light.steps[PHASE_READ].count, 1);
+        let full = rec.snapshot();
+        assert_eq!(full.spans.len(), 1);
+        assert!(t.current_recorder().is_some());
+        assert!(Arc::ptr_eq(&t.current_recorder().unwrap(), &rec));
     }
 
     #[test]

@@ -2,7 +2,12 @@
 # Write the real-engine telemetry baseline to BENCH_realrun.json: one
 # presto.telemetry.v1 document (SPS, per-step p50/p99 latencies, queue
 # depth, per-worker utilization) for the CV workload's last epoch.
-# Compare against a committed baseline to catch engine regressions.
+# The same document is appended to the run-history store under
+# .presto/runs/, so `presto history` and `presto compare` can track
+# the trend across invocations. Compare against a committed baseline
+# to catch engine regressions:
+#
+#   presto compare BENCH_realrun.json .presto/runs/run-0001.json
 #
 # Usage: scripts/bench_realrun.sh [samples] [threads]
 set -euo pipefail
@@ -12,10 +17,16 @@ samples="${1:-64}"
 threads="${2:-4}"
 out=BENCH_realrun.json
 
+# --json keeps stdout pure (the document only); the "recorded run-NNNN"
+# notice from the history store arrives on stderr.
 cargo run --release -q -p presto-cli -- realrun CV \
     --samples "$samples" --threads "$threads" --epochs 3 --prefetch 16 \
     --json > "$out"
 
 echo "wrote $out"
+latest="$(ls .presto/runs/run-*.json 2>/dev/null | sort | tail -1 || true)"
+if [ -n "$latest" ]; then
+    echo "recorded $latest"
+fi
 grep -o '"samples_per_second": [0-9.]*' "$out"
 grep -o '"queue": {[^}]*}' "$out"
