@@ -13,7 +13,10 @@ use presto_pipeline::distributed::{fan_out, offline_scaling};
 use presto_pipeline::Strategy;
 
 fn main() {
-    banner("Discussion §7", "Distributed preprocessing & concurrent training");
+    banner(
+        "Discussion §7",
+        "Distributed preprocessing & concurrent training",
+    );
     let workload = cv::cv();
     let sim = workload.simulator(bench_env());
 
@@ -46,10 +49,10 @@ fn main() {
         let split = split_for(&workload, label);
         let profile = sim.profile(&Strategy::at_split(split), 1);
         let t4 = profile.throughput_sps();
-        let final_bytes = workload
-            .pipeline
-            .size_after(workload.pipeline.len().min(5), workload.dataset.unprocessed_sample_bytes)
-            * 0.766; // after the online random crop
+        let final_bytes = workload.pipeline.size_after(
+            workload.pipeline.len().min(5),
+            workload.dataset.unprocessed_sample_bytes,
+        ) * 0.766; // after the online random crop
         let link = 1.25e9;
         let mut first_bound = 0usize;
         for jobs in 1..=64 {
@@ -63,8 +66,16 @@ fn main() {
             label.to_string(),
             format!("{t4:.0}"),
             format!("{:.2}", final_bytes / 1e6),
-            if first_bound == 0 { ">64".into() } else { first_bound.to_string() },
-            format!("{:.0}{}", at8.per_job_sps, if at8.link_bound { " (link-bound)" } else { "" }),
+            if first_bound == 0 {
+                ">64".into()
+            } else {
+                first_bound.to_string()
+            },
+            format!(
+                "{:.0}{}",
+                at8.per_job_sps,
+                if at8.link_bound { " (link-bound)" } else { "" }
+            ),
         ]);
     }
     println!("{}", table.render());

@@ -9,7 +9,10 @@ use presto_datasets::all_workloads;
 use presto_pipeline::Strategy;
 
 fn main() {
-    banner("Figure 10", "Compression: space saving vs throughput vs offline time");
+    banner(
+        "Figure 10",
+        "Compression: space saving vs throughput vs offline time",
+    );
     for workload in all_workloads() {
         let name = workload.pipeline.name.clone();
         let sim = workload.simulator(bench_env());
@@ -27,12 +30,13 @@ fn main() {
             let plain = sim.profile(&base, 1);
             let plain_sps = plain.throughput_sps();
             let plain_offline = plain.preprocessing_secs();
-            for codec in
-                [Codec::None, Codec::Gzip(Level::DEFAULT), Codec::Zlib(Level::DEFAULT)]
-            {
+            for codec in [
+                Codec::None,
+                Codec::Gzip(Level::DEFAULT),
+                Codec::Zlib(Level::DEFAULT),
+            ] {
                 let profile = sim.profile(&base.clone().with_compression(codec), 1);
-                let saving =
-                    1.0 - profile.storage_bytes as f64 / plain.storage_bytes as f64;
+                let saving = 1.0 - profile.storage_bytes as f64 / plain.storage_bytes as f64;
                 table.row(&[
                     plain.label.clone(),
                     codec.name().to_string(),
@@ -40,7 +44,10 @@ fn main() {
                     format!("{:.0}%", saving * 100.0),
                     format!("{:.0}", profile.throughput_sps()),
                     format!("{:.2}x", profile.throughput_sps() / plain_sps),
-                    format!("{:.2}x", profile.preprocessing_secs() / plain_offline.max(1e-9)),
+                    format!(
+                        "{:.2}x",
+                        profile.preprocessing_secs() / plain_offline.max(1e-9)
+                    ),
                 ]);
             }
         }

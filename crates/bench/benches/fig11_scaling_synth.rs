@@ -20,19 +20,19 @@ fn speedups(size_mb: f64, env: SimEnv) -> (f64, f64, Vec<f64>) {
         let profile = sim.profile(&Strategy::at_split(1).with_threads(8), 1);
         profile.epochs[0].stats.dispatches_per_second()
     };
-    (sps[0], dispatch_rate, sps.iter().map(|s| s / sps[0]).collect())
+    (
+        sps[0],
+        dispatch_rate,
+        sps.iter().map(|s| s / sps[0]).collect(),
+    )
 }
 
 fn main() {
-    banner("Figure 11", "Multi-threaded speedup vs sample size (15 GB f32)");
-    let mut table = TableBuilder::new(&[
-        "sample MB",
-        "1t",
-        "2t",
-        "4t",
-        "8t",
-        "dispatch/s @8t",
-    ]);
+    banner(
+        "Figure 11",
+        "Multi-threaded speedup vs sample size (15 GB f32)",
+    );
+    let mut table = TableBuilder::new(&["sample MB", "1t", "2t", "4t", "8t", "dispatch/s @8t"]);
     for &size_mb in &sample_sizes_mb() {
         let (_, dispatches, speedup) = speedups(size_mb, bench_env());
         table.row(&[

@@ -9,7 +9,10 @@ use presto_datasets::all_workloads;
 use presto_pipeline::{CacheLevel, Strategy};
 
 fn main() {
-    banner("Figure 12", "Thread-scaling per strategy (no-cache vs sys-cache)");
+    banner(
+        "Figure 12",
+        "Thread-scaling per strategy (no-cache vs sys-cache)",
+    );
     for workload in all_workloads() {
         let name = workload.pipeline.name.clone();
         let mut env = bench_env();

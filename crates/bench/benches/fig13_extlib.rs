@@ -8,7 +8,10 @@ use presto_datasets::synthetic::{rms, sample_sizes_mb, RmsImpl};
 use presto_pipeline::Strategy;
 
 fn main() {
-    banner("Figure 13", "RMS step: external (GIL) vs native implementation");
+    banner(
+        "Figure 13",
+        "RMS step: external (GIL) vs native implementation",
+    );
     let mut table = TableBuilder::new(&[
         "sample MB",
         "ext 1t SPS",
@@ -26,8 +29,12 @@ fn main() {
         for (slot, implementation) in [RmsImpl::External, RmsImpl::Native].iter().enumerate() {
             let workload = rms(size_mb, *implementation);
             let sim = workload.simulator(bench_env());
-            let one = sim.profile(&Strategy::at_split(1).with_threads(1), 1).throughput_sps();
-            let eight = sim.profile(&Strategy::at_split(1).with_threads(8), 1).throughput_sps();
+            let one = sim
+                .profile(&Strategy::at_split(1).with_threads(1), 1)
+                .throughput_sps();
+            let eight = sim
+                .profile(&Strategy::at_split(1).with_threads(8), 1)
+                .throughput_sps();
             row.push(format!("{one:.1}"));
             row.push(format!("{:.1}x", eight / one));
             at8[slot] = eight;

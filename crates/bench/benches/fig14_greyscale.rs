@@ -6,15 +6,23 @@ use presto_bench::{banner, bench_env, summarize_shape};
 use presto_datasets::{anchors, cv};
 
 fn main() {
-    banner("Figure 14", "Adding a greyscale step before/after pixel centering");
-    for (setup, before) in [("greyscale BEFORE pixel-centering", true), ("greyscale AFTER", false)]
-    {
+    banner(
+        "Figure 14",
+        "Adding a greyscale step before/after pixel centering",
+    );
+    for (setup, before) in [
+        ("greyscale BEFORE pixel-centering", true),
+        ("greyscale AFTER", false),
+    ] {
         let workload = cv::cv_with_greyscale(before);
         let sim = workload.simulator(bench_env());
         let profiles = sim.profile_all(1);
-        let mut table =
-            TableBuilder::new(&["strategy", "storage GB", "SPS", "paper SPS"]);
-        let anchor_name = if before { "CV+grey-before" } else { "CV+grey-after" };
+        let mut table = TableBuilder::new(&["strategy", "storage GB", "SPS", "paper SPS"]);
+        let anchor_name = if before {
+            "CV+grey-before"
+        } else {
+            "CV+grey-after"
+        };
         let mut comparisons = Vec::new();
         for profile in &profiles {
             let paper = anchors::find(

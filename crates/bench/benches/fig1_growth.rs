@@ -22,7 +22,10 @@ fn main() {
     println!("{}", table.render());
     let cv = log_growth_per_year(Domain::Cv);
     let nlp = log_growth_per_year(Domain::Nlp);
-    println!("log10(GB)/year growth: CV {cv:.3} (~{:.1}x/decade), NLP {nlp:.3} (~{:.1}x/decade)",
-        10f64.powf(cv * 10.0), 10f64.powf(nlp * 10.0));
+    println!(
+        "log10(GB)/year growth: CV {cv:.3} (~{:.1}x/decade), NLP {nlp:.3} (~{:.1}x/decade)",
+        10f64.powf(cv * 10.0),
+        10f64.powf(nlp * 10.0)
+    );
     println!("paper's claim: exponential storage growth in both domains.");
 }

@@ -4,11 +4,14 @@
 
 use presto::report::TableBuilder;
 use presto_bench::{banner, bench_env, profile_label};
-use presto_datasets::hardware::{keeps_busy, ACCELERATORS};
 use presto_datasets::cv;
+use presto_datasets::hardware::{keeps_busy, ACCELERATORS};
 
 fn main() {
-    banner("Figure 3", "Accelerator ingestion vs preprocessing throughput");
+    banner(
+        "Figure 3",
+        "Accelerator ingestion vs preprocessing throughput",
+    );
     let workload = cv::cv();
     let strategies = [
         ("all steps at every iteration", "unprocessed"),

@@ -6,7 +6,10 @@ use presto_bench::{banner, bench_env};
 use presto_datasets::{all_workloads, anchors};
 
 fn main() {
-    banner("Figure 6", "Throughput and storage per strategy, all pipelines");
+    banner(
+        "Figure 6",
+        "Throughput and storage per strategy, all pipelines",
+    );
     for workload in all_workloads() {
         let name = workload.pipeline.name.clone();
         let sim = workload.simulator(bench_env());
@@ -36,7 +39,12 @@ fn main() {
                 )
             })
             .or_else(|| {
-                anchors::find(anchors::TABLE1, &name, &profile.label, anchors::Metric::ThroughputSps)
+                anchors::find(
+                    anchors::TABLE1,
+                    &name,
+                    &profile.label,
+                    anchors::Metric::ThroughputSps,
+                )
             });
             let paper_net = anchors::find(
                 anchors::SECTION41,
@@ -68,7 +76,11 @@ fn main() {
             .iter()
             .max_by(|a, b| a.throughput_sps().partial_cmp(&b.throughput_sps()).unwrap())
             .unwrap();
-        println!("best strategy: {} at {:.0} SPS\n", best.label, best.throughput_sps());
+        println!(
+            "best strategy: {} at {:.0} SPS\n",
+            best.label,
+            best.throughput_sps()
+        );
     }
     println!("paper's qualitative claims: CV-family + NLP best at an intermediate");
     println!("strategy; NILM/MP3/FLAC best fully preprocessed.");

@@ -26,8 +26,9 @@ fn main() {
             if dtype == SynthDType::U8 {
                 row.push(workload.dataset.sample_count.to_string());
             }
-            let profile =
-                workload.simulator(bench_env()).profile(&Strategy::at_split(1), 1);
+            let profile = workload
+                .simulator(bench_env())
+                .profile(&Strategy::at_split(1), 1);
             let secs = profile.epochs[0].elapsed_full.as_secs_f64();
             row.push(format!("{secs:.1}"));
             if dtype == SynthDType::F32 {

@@ -17,7 +17,10 @@ fn epoch2_secs(size_mb: f64, cache: CacheLevel) -> f64 {
 }
 
 fn main() {
-    banner("Figure 9", "Online time per caching level vs sample size (15 GB f32)");
+    banner(
+        "Figure 9",
+        "Online time per caching level vs sample size (15 GB f32)",
+    );
     let mut table = TableBuilder::new(&[
         "sample MB",
         "no-cache (s)",

@@ -23,14 +23,17 @@ fn per_sample_nanos(count: usize, capacity: usize) -> f64 {
 
 fn main() {
     banner("Section 4.5", "Shuffle-buffer cost is constant per sample");
-    let mut table =
-        TableBuilder::new(&["samples", "buffer", "ns/sample (shuffle overhead)"]);
+    let mut table = TableBuilder::new(&["samples", "buffer", "ns/sample (shuffle overhead)"]);
     for &count in &[10_000usize, 50_000, 250_000, 1_000_000] {
         let capacity = 4_096;
         // Warm up + take the median of 3 runs for stability.
         let mut runs: Vec<f64> = (0..3).map(|_| per_sample_nanos(count, capacity)).collect();
         runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        table.row(&[count.to_string(), capacity.to_string(), format!("{:.0}", runs[1])]);
+        table.row(&[
+            count.to_string(),
+            capacity.to_string(),
+            format!("{:.0}", runs[1]),
+        ]);
     }
     println!("{}", table.render());
     println!("paper: constant ~9.6 ms/sample at tf.data scale; the invariant");

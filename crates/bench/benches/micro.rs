@@ -27,15 +27,15 @@ fn corpus(bytes: usize) -> Vec<u8> {
 
 fn bench_deflate(c: &mut Criterion) {
     let mut group = c.benchmark_group("deflate");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let data = corpus(256 * 1024);
     group.throughput(Throughput::Bytes(data.len() as u64));
     for level in [Level::FAST, Level::DEFAULT] {
-        group.bench_with_input(
-            BenchmarkId::new("compress", level.0),
-            &data,
-            |b, data| b.iter(|| deflate(data, level)),
-        );
+        group.bench_with_input(BenchmarkId::new("compress", level.0), &data, |b, data| {
+            b.iter(|| deflate(data, level))
+        });
     }
     let compressed = deflate(&data, Level::DEFAULT);
     group.throughput(Throughput::Bytes(data.len() as u64));
@@ -45,7 +45,9 @@ fn bench_deflate(c: &mut Criterion) {
 
 fn bench_records(c: &mut Criterion) {
     let mut group = c.benchmark_group("records");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let tensor = Tensor::zeros(presto_tensor::DType::F32, vec![64, 1024]);
     let payload = tensor.encode();
     group.throughput(Throughput::Bytes(payload.len() as u64 * 16));
@@ -81,9 +83,12 @@ fn bench_records(c: &mut Criterion) {
 
 fn bench_dsp(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsp");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
-    let mut buf: Vec<Complex> =
-        (0..4096).map(|i| Complex::new((i as f64).sin(), 0.0)).collect();
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    let mut buf: Vec<Complex> = (0..4096)
+        .map(|i| Complex::new((i as f64).sin(), 0.0))
+        .collect();
     group.bench_function("fft-4096", |b| {
         b.iter(|| {
             fft_inplace(&mut buf);
@@ -101,12 +106,16 @@ fn bench_dsp(c: &mut Criterion) {
 
 fn bench_image(c: &mut Criterion) {
     let mut group = c.benchmark_group("image");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let img = generators::natural_image(256, 256, 1);
     group.throughput(Throughput::Bytes(img.nbytes() as u64));
     group.bench_function("jpg-encode-256", |b| b.iter(|| jpg::encode(&img, 80)));
     let encoded = jpg::encode(&img, 80);
-    group.bench_function("jpg-decode-256", |b| b.iter(|| jpg::decode(&encoded).unwrap()));
+    group.bench_function("jpg-decode-256", |b| {
+        b.iter(|| jpg::decode(&encoded).unwrap())
+    });
     group.bench_function("resize-256-to-224", |b| b.iter(|| img.resize(224, 224)));
     group.bench_function("pixel-center-256", |b| b.iter(|| img.pixel_center()));
     group.finish();
@@ -114,7 +123,9 @@ fn bench_image(c: &mut Criterion) {
 
 fn bench_text(c: &mut Criterion) {
     let mut group = c.benchmark_group("text");
-    group.measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     let html = generators::html_document(20, 2);
     group.throughput(Throughput::Bytes(html.len() as u64));
     group.bench_function("html-extract", |b| {
@@ -126,5 +137,12 @@ fn bench_text(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_deflate, bench_records, bench_dsp, bench_image, bench_text);
+criterion_group!(
+    benches,
+    bench_deflate,
+    bench_records,
+    bench_dsp,
+    bench_image,
+    bench_text
+);
 criterion_main!(benches);

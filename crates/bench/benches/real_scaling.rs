@@ -13,9 +13,14 @@ use presto_pipeline::{Sample, Strategy};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
-    banner("Real engine", "Thread scaling on this machine (actual threads)");
-    let samples: usize =
-        std::env::var("PRESTO_REAL_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(160);
+    banner(
+        "Real engine",
+        "Thread scaling on this machine (actual threads)",
+    );
+    let samples: usize = std::env::var("PRESTO_REAL_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(160);
     let pipeline = steps::executable_cv_pipeline(96, 80);
     let source: Vec<Sample> = (0..samples as u64)
         .map(|key| {
@@ -31,9 +36,12 @@ fn main() {
         let mut sps = Vec::new();
         for threads in [1usize, 2, 4] {
             let exec = RealExecutor::new(threads);
-            let strategy = Strategy::at_split(split).with_threads(threads).with_shards(8);
-            let (dataset, _) =
-                exec.materialize(&pipeline, &strategy, &source, &store).expect("materialize");
+            let strategy = Strategy::at_split(split)
+                .with_threads(threads)
+                .with_shards(8);
+            let (dataset, _) = exec
+                .materialize(&pipeline, &strategy, &source, &store)
+                .expect("materialize");
             // Median of 3 epochs for stability.
             let mut runs: Vec<f64> = (0..3)
                 .map(|epoch| {

@@ -36,10 +36,7 @@ fn main() {
                 p.max_throughput_drift * 100.0
             ));
         }
-        cells.push(
-            sufficient_sample_count(&points, 0.10)
-                .map_or("-".into(), |n| n.to_string()),
-        );
+        cells.push(sufficient_sample_count(&points, 0.10).map_or("-".into(), |n| n.to_string()));
         table.row(&cells);
     }
     println!("{}", table.render());

@@ -42,7 +42,10 @@ fn main() {
         ));
     }
     println!("{}", table.render());
-    println!("{}", comparison_table("throughput detail", &sps_comparisons));
+    println!(
+        "{}",
+        comparison_table("throughput detail", &sps_comparisons)
+    );
 
     let resized = &sps_comparisons[2];
     let centered = &sps_comparisons[1];

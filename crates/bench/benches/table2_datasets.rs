@@ -26,9 +26,7 @@ fn main() {
         "ours MB/sample",
         "format",
     ]);
-    for ((workload, (count, gb, mb)), format) in
-        all_workloads().iter().zip(paper).zip(formats)
-    {
+    for ((workload, (count, gb, mb)), format) in all_workloads().iter().zip(paper).zip(formats) {
         assert_eq!(workload.dataset.sample_count, *count);
         table.row(&[
             workload.pipeline.name.clone(),

@@ -16,8 +16,7 @@ fn main() {
         "ours MB/s",
     ]);
     let mut sps = Vec::new();
-    let workloads =
-        [cv::cv(), cv::cv2_jpg(), cv::cv2_png(), nlp::nlp()];
+    let workloads = [cv::cv(), cv::cv2_jpg(), cv::cv2_png(), nlp::nlp()];
     for workload in &workloads {
         let name = workload.pipeline.name.clone();
         for strategy in ["unprocessed", "concatenated"] {
@@ -28,8 +27,12 @@ fn main() {
                 anchors::Metric::ThroughputSps,
             )
             .unwrap();
-            let paper_net =
-                anchors::find(anchors::TABLE4_HDD, &name, strategy, anchors::Metric::NetworkMbps);
+            let paper_net = anchors::find(
+                anchors::TABLE4_HDD,
+                &name,
+                strategy,
+                anchors::Metric::NetworkMbps,
+            );
             let profile = profile_label(workload, strategy, bench_env(), 1);
             table.row(&[
                 name.clone(),
@@ -49,9 +52,13 @@ fn main() {
     // SSD rows.
     for (name, workload) in [("CV", cv::cv()), ("NLP", nlp::nlp())] {
         for strategy in ["unprocessed", "concatenated"] {
-            let paper_sps =
-                anchors::find(anchors::TABLE4_SSD, name, strategy, anchors::Metric::ThroughputSps)
-                    .unwrap();
+            let paper_sps = anchors::find(
+                anchors::TABLE4_SSD,
+                name,
+                strategy,
+                anchors::Metric::ThroughputSps,
+            )
+            .unwrap();
             let profile = profile_label(&workload, strategy, bench_env_ssd(), 1);
             table.row(&[
                 format!("{name} (SSD)"),

@@ -7,7 +7,10 @@ use presto_datasets::{all_workloads, anchors};
 use presto_pipeline::{CacheLevel, Strategy};
 
 fn main() {
-    banner("Table 5", "Caching-level speedups of each pipeline's last strategy");
+    banner(
+        "Table 5",
+        "Caching-level speedups of each pipeline's last strategy",
+    );
     let mut table = TableBuilder::new(&[
         "pipeline",
         "sample MB",
@@ -24,28 +27,46 @@ fn main() {
         let sim = workload.simulator(bench_env());
         let base = sim.profile(&Strategy::at_split(last), 1);
         let sys = sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::System), 2);
-        let app =
-            sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::Application), 2);
-        let sys_speedup = sys.epochs.get(1).map_or(0.0, |e| e.throughput_sps)
-            / base.throughput_sps();
+        let app = sim.profile(
+            &Strategy::at_split(last).with_cache(CacheLevel::Application),
+            2,
+        );
+        let sys_speedup =
+            sys.epochs.get(1).map_or(0.0, |e| e.throughput_sps) / base.throughput_sps();
         let app_speedup = match &app.error {
             Some(_) => f64::NAN, // failed to run (paper: CV, NLP)
             None => app.epochs[1].throughput_sps / base.throughput_sps(),
         };
-        let paper_sys =
-            anchors::find(anchors::TABLE5, &name, &label, anchors::Metric::SysCacheSpeedup);
-        let paper_app =
-            anchors::find(anchors::TABLE5, &name, &label, anchors::Metric::AppCacheSpeedup);
+        let paper_sys = anchors::find(
+            anchors::TABLE5,
+            &name,
+            &label,
+            anchors::Metric::SysCacheSpeedup,
+        );
+        let paper_app = anchors::find(
+            anchors::TABLE5,
+            &name,
+            &label,
+            anchors::Metric::AppCacheSpeedup,
+        );
         table.row(&[
             name.clone(),
             format!("{:.3}", base.stored_sample_bytes / 1e6),
             paper_sys.map_or("-".into(), |v| format!("{v:.1}x")),
             format!("{sys_speedup:.1}x"),
             paper_app.map_or("failed".into(), |v| format!("{v:.1}x")),
-            if app_speedup.is_nan() { "failed".into() } else { format!("{app_speedup:.1}x") },
+            if app_speedup.is_nan() {
+                "failed".into()
+            } else {
+                format!("{app_speedup:.1}x")
+            },
         ]);
         if let Some(paper) = paper_sys {
-            sys_rows.push(Comparison::new(&format!("{name} sys speedup"), paper, sys_speedup));
+            sys_rows.push(Comparison::new(
+                &format!("{name} sys speedup"),
+                paper,
+                sys_speedup,
+            ));
         }
     }
     println!("{}", table.render());

@@ -41,9 +41,14 @@ fn median_sps(
 }
 
 fn main() {
-    banner("Telemetry", "Instrumentation overhead: live registry vs none");
-    let samples: usize =
-        std::env::var("PRESTO_REAL_SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(96);
+    banner(
+        "Telemetry",
+        "Instrumentation overhead: live registry vs none",
+    );
+    let samples: usize = std::env::var("PRESTO_REAL_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(96);
     let threads = 4usize;
     let pipeline = steps::executable_cv_pipeline(64, 56);
     let source: Vec<Sample> = (0..samples as u64)
@@ -53,8 +58,9 @@ fn main() {
         })
         .collect();
     let store = MemStore::new();
-    let strategy =
-        Strategy::at_split(pipeline.max_split()).with_threads(threads).with_shards(8);
+    let strategy = Strategy::at_split(pipeline.max_split())
+        .with_threads(threads)
+        .with_shards(8);
     let (dataset, _) = RealExecutor::new(threads)
         .materialize(&pipeline, &strategy, &source, &store)
         .expect("materialize");
@@ -69,22 +75,43 @@ fn main() {
     // production cadence — so any hot-path perturbation is amplified,
     // and the short bench epochs still collect several points.
     let sampled_telemetry = Telemetry::new();
-    let sampler = Sampler::spawn(Arc::clone(&sampled_telemetry), Duration::from_millis(20), 4096);
+    let sampler = Sampler::spawn(
+        Arc::clone(&sampled_telemetry),
+        Duration::from_millis(20),
+        4096,
+    );
     let arms = [
         ("none", RealExecutor::new(threads)),
-        ("no-op registry", RealExecutor::new(threads).with_telemetry(Telemetry::disabled())),
-        ("live registry", RealExecutor::new(threads).with_telemetry(Telemetry::new())),
-        ("live + sampler (20ms)", RealExecutor::new(threads).with_telemetry(sampled_telemetry)),
+        (
+            "no-op registry",
+            RealExecutor::new(threads).with_telemetry(Telemetry::disabled()),
+        ),
+        (
+            "live registry",
+            RealExecutor::new(threads).with_telemetry(Telemetry::new()),
+        ),
+        (
+            "live + sampler (20ms)",
+            RealExecutor::new(threads).with_telemetry(sampled_telemetry),
+        ),
     ];
     let mut sps = Vec::new();
     let mut table = TableBuilder::new(&["telemetry", "SPS", "overhead"]);
     for (label, exec) in &arms {
         let value = median_sps(exec, &pipeline, &dataset, &store, 5);
-        let overhead = if sps.is_empty() { 0.0 } else { (1.0 - value / sps[0]) * 100.0 };
+        let overhead = if sps.is_empty() {
+            0.0
+        } else {
+            (1.0 - value / sps[0]) * 100.0
+        };
         table.row(&[
             label.to_string(),
             format!("{value:.0}"),
-            if sps.is_empty() { "-".into() } else { format!("{overhead:+.1}%") },
+            if sps.is_empty() {
+                "-".into()
+            } else {
+                format!("{overhead:+.1}%")
+            },
         ]);
         sps.push(value);
     }
@@ -94,7 +121,11 @@ fn main() {
     let live_overhead = (1.0 - sps[2] / sps[0]) * 100.0;
     println!(
         "live-registry overhead: {live_overhead:+.1}% (target < 5%) — {}",
-        if live_overhead < 5.0 { "OK" } else { "EXCEEDED" }
+        if live_overhead < 5.0 {
+            "OK"
+        } else {
+            "EXCEEDED"
+        }
     );
     let sampler_overhead = (1.0 - sps[3] / sps[2]) * 100.0;
     println!(
@@ -121,5 +152,7 @@ fn main() {
         }
     }
     let noop_ns = started.elapsed().as_nanos() as f64 / OPS as f64;
-    println!("recorder op cost: live phase_done {live_ns:.0} ns, disabled begin+branch {noop_ns:.1} ns");
+    println!(
+        "recorder op cost: live phase_done {live_ns:.0} ns, disabled begin+branch {noop_ns:.1} ns"
+    );
 }

@@ -22,12 +22,18 @@ pub fn bench_env() -> SimEnv {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(8_000);
-    SimEnv { subset_samples: subset, ..SimEnv::paper_vm() }
+    SimEnv {
+        subset_samples: subset,
+        ..SimEnv::paper_vm()
+    }
 }
 
 /// Same against the SSD cluster.
 pub fn bench_env_ssd() -> SimEnv {
-    SimEnv { device: presto_storage::DeviceProfile::ssd_ceph(), ..bench_env() }
+    SimEnv {
+        device: presto_storage::DeviceProfile::ssd_ceph(),
+        ..bench_env()
+    }
 }
 
 /// Split index for a strategy label ("unprocessed" = 0, else after the
@@ -53,7 +59,9 @@ pub fn profile_label(
     epochs: usize,
 ) -> StrategyProfile {
     let split = split_for(workload, label);
-    workload.simulator(env).profile(&Strategy::at_split(split), epochs)
+    workload
+        .simulator(env)
+        .profile(&Strategy::at_split(split), epochs)
 }
 
 /// Print a footer summarizing pass/fail of shape checks.

@@ -16,10 +16,10 @@ use presto_pipeline::telemetry::history::{self, RunStore};
 use presto_pipeline::telemetry::http::MetricsServer;
 use presto_pipeline::telemetry::timeseries::{self, Sampler};
 use presto_pipeline::{CacheLevel, FaultPolicy, Pipeline, Resilience, Sample, Strategy, Telemetry};
-use std::sync::Arc;
-use std::time::Duration;
 use presto_storage::fio::{self, FioWorkload};
 use presto_storage::DeviceProfile;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -31,8 +31,10 @@ commands:
   profile <pipeline>             profile every strategy
       [--ssd] [--epochs N] [--samples N] [--codec gzip|zlib]
       [--cache sys|app] [--threads N] [--csv]
-  recommend <pipeline>           rank strategies by weighted objective
-      [--wp W] [--ws W] [--wt W] [--samples N]
+  recommend <pipeline>           search the full strategy grid and rank
+      [--wp W] [--ws W] [--wt W] [--samples N] [--ssd]
+      [--jobs N] [--prune] [--probe-samples N] [--keep F]
+      [--no-memo] [--top N] [--json]
   cost <pipeline>                cheapest strategy for a campaign
       [--epochs N] [--months M] [--vm $/h] [--gb-month $] [--feed SPS]
   diagnose <pipeline>            bottleneck attribution per strategy
@@ -48,6 +50,9 @@ commands:
   watch <pipeline>               live dashboard over a real-engine run
       [--samples N] [--threads N] [--split N] [--epochs N] [--cache]
       [--refresh-ms MS] [--sample-ms MS] [--plain]
+      [--search] live strategy-search progress (any pipeline), plus
+      [--jobs N] [--prune] [--probe-samples N] [--keep F] [--serve ADDR]
+      [--wp W] [--ws W] [--wt W] [--ssd]
   history                        list runs stored in the history dir
       [--history-dir DIR]
   compare <run-a> <run-b>        per-metric deltas + regression verdict
@@ -59,7 +64,11 @@ commands:
 /// Dispatch a CLI invocation.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let args = parse(argv)?;
-    let command = args.positional.first().map(String::as_str).unwrap_or("help");
+    let command = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("help");
     match command {
         "pipelines" => cmd_pipelines(),
         "steps" => cmd_steps(&args),
@@ -106,8 +115,7 @@ fn env_from(args: &Args) -> Result<SimEnv, String> {
 }
 
 fn cmd_pipelines() -> Result<(), String> {
-    let mut table =
-        TableBuilder::new(&["pipeline", "dataset", "samples", "size", "steps"]);
+    let mut table = TableBuilder::new(&["pipeline", "dataset", "samples", "size", "steps"]);
     for workload in all_workloads() {
         table.row(&[
             workload.pipeline.name.clone(),
@@ -140,7 +148,9 @@ fn cmd_steps(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
-    args.expect_known(&["ssd", "epochs", "samples", "codec", "cache", "threads", "csv"])?;
+    args.expect_known(&[
+        "ssd", "epochs", "samples", "codec", "cache", "threads", "csv",
+    ])?;
     let workload = find_workload(args)?;
     let env = env_from(args)?;
     let epochs: usize = args.get_or("epochs", 1)?;
@@ -170,15 +180,28 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         "T1/T2/T3 MB/s",
     ]);
     for base in Strategy::enumerate(&workload.pipeline) {
-        let step_codec = if base_split_allows_codec(&base) { codec } else { Codec::None };
-        let strategy =
-            base.with_threads(threads).with_compression(step_codec).with_cache(cache);
+        let step_codec = if base_split_allows_codec(&base) {
+            codec
+        } else {
+            Codec::None
+        };
+        let strategy = base
+            .with_threads(threads)
+            .with_compression(step_codec)
+            .with_cache(cache);
         let profile = presto.profile_strategy(&strategy, epochs);
         if want_csv {
             profiles.push(profile.clone());
         }
         if let Some(error) = &profile.error {
-            table.row(&[profile.label, format!("{error}"), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(&[
+                profile.label,
+                format!("{error}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let t = profile.throughputs();
@@ -203,8 +226,56 @@ fn base_split_allows_codec(strategy: &Strategy) -> bool {
     strategy.split > 0
 }
 
+fn search_options(args: &Args) -> Result<presto::SearchOptions, String> {
+    Ok(presto::SearchOptions {
+        jobs: args.get_or("jobs", 0usize)?,
+        epochs: 1,
+        no_memo: args.get_str("no-memo").is_some(),
+        progress: None,
+    })
+}
+
+fn prune_options(args: &Args) -> Result<presto::PruneOptions, String> {
+    let defaults = presto::PruneOptions::default();
+    Ok(presto::PruneOptions {
+        probe_samples: args.get_or("probe-samples", defaults.probe_samples)?,
+        keep: args.get_or("keep", defaults.keep)?,
+    })
+}
+
+fn run_search(
+    presto: &Presto,
+    weights: Weights,
+    opts: &presto::SearchOptions,
+    args: &Args,
+) -> Result<presto::SearchReport, String> {
+    if args.get_str("prune").is_some() {
+        Ok(presto::profile_grid_pruned(
+            presto,
+            weights,
+            opts,
+            &prune_options(args)?,
+        ))
+    } else {
+        Ok(presto::profile_grid_parallel(presto, opts))
+    }
+}
+
 fn cmd_recommend(args: &Args) -> Result<(), String> {
-    args.expect_known(&["wp", "ws", "wt", "samples", "ssd"])?;
+    args.expect_known(&[
+        "wp",
+        "ws",
+        "wt",
+        "samples",
+        "ssd",
+        "jobs",
+        "prune",
+        "probe-samples",
+        "keep",
+        "no-memo",
+        "top",
+        "json",
+    ])?;
     let workload = find_workload(args)?;
     let env = env_from(args)?;
     let weights = Weights::new(
@@ -213,10 +284,28 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
         args.get_or("wt", 1.0)?,
     );
     let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env);
-    let analysis = presto.profile_all(1);
-    let mut table =
-        TableBuilder::new(&["rank", "strategy", "score", "SPS", "storage", "prep"]);
-    for (rank, scored) in analysis.rank(weights).iter().enumerate() {
+    let opts = search_options(args)?;
+    let report = run_search(&presto, weights, &opts, args)?;
+
+    if args.get_str("json").is_some() {
+        // Stable `presto.search.v1` document: identical bytes for any
+        // --jobs value (CI's search-parity gate diffs them).
+        print!(
+            "{}",
+            presto::search::report_json(&workload.pipeline.name, weights, &report)
+        );
+        return Ok(());
+    }
+
+    println!(
+        "weights: w_p={} w_s={} w_t={}",
+        weights.preprocessing, weights.storage, weights.throughput
+    );
+    println!("{}", render::search_summary(&report.stats));
+    let top: usize = args.get_or("top", 15)?;
+    let ranked = report.analysis.rank(weights);
+    let mut table = TableBuilder::new(&["rank", "strategy", "score", "SPS", "storage", "prep"]);
+    for (rank, scored) in ranked.iter().take(top.max(1)).enumerate() {
         table.row(&[
             (rank + 1).to_string(),
             scored.label.clone(),
@@ -226,13 +315,20 @@ fn cmd_recommend(args: &Args) -> Result<(), String> {
             format!("{:.0}s", scored.preprocessing_secs),
         ]);
     }
-    println!("weights: w_p={} w_s={} w_t={}", weights.preprocessing, weights.storage, weights.throughput);
     println!("{}", table.render());
+    if ranked.len() > top.max(1) {
+        println!(
+            "({} more; raise --top to see them)",
+            ranked.len() - top.max(1)
+        );
+    }
     Ok(())
 }
 
 fn cmd_cost(args: &Args) -> Result<(), String> {
-    args.expect_known(&["epochs", "months", "vm", "gb-month", "feed", "samples", "ssd"])?;
+    args.expect_known(&[
+        "epochs", "months", "vm", "gb-month", "feed", "samples", "ssd",
+    ])?;
     let workload = find_workload(args)?;
     let env = env_from(args)?;
     let campaign = Campaign {
@@ -263,7 +359,10 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
     }
     println!(
         "campaign: {} epochs, {:.1} months retention, VM ${}/h, storage ${}/GB-month",
-        campaign.epochs, campaign.retention_months, pricing.vm_per_hour, pricing.storage_per_gb_month
+        campaign.epochs,
+        campaign.retention_months,
+        pricing.vm_per_hour,
+        pricing.storage_per_gb_month
     );
     println!("{}", table.render());
     match args.get_or::<f64>("feed", 0.0)? {
@@ -277,7 +376,11 @@ fn cmd_cost(args: &Args) -> Result<(), String> {
         },
         _ => {
             if let Some((profile, cost)) = cheapest(&analysis, &pricing, &campaign) {
-                println!("cheapest strategy: {} (${:.2})", profile.label, cost.total());
+                println!(
+                    "cheapest strategy: {} (${:.2})",
+                    profile.label,
+                    cost.total()
+                );
             }
         }
     }
@@ -288,7 +391,11 @@ fn cmd_diagnose(args: &Args) -> Result<(), String> {
     args.expect_known(&["samples", "ssd"])?;
     let workload = find_workload(args)?;
     let env = env_from(args)?;
-    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env.clone());
+    let presto = Presto::new(
+        workload.pipeline.clone(),
+        workload.dataset.clone(),
+        env.clone(),
+    );
     let mut table = TableBuilder::new(&[
         "strategy",
         "SPS",
@@ -300,7 +407,9 @@ fn cmd_diagnose(args: &Args) -> Result<(), String> {
     ]);
     for strategy in Strategy::enumerate(&workload.pipeline) {
         let profile = presto.profile_strategy(&strategy, 1);
-        let Some(diagnosis) = presto::diagnose(&profile, &env) else { continue };
+        let Some(diagnosis) = presto::diagnose(&profile, &env) else {
+            continue;
+        };
         table.row(&[
             profile.label.clone(),
             format!("{:.0}", profile.throughput_sps()),
@@ -324,8 +433,7 @@ fn cmd_fio(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown device '{other}'")),
     };
     println!("device: {}", device.name);
-    let mut table =
-        TableBuilder::new(&["threads", "files/thread", "MB/s", "requests/s"]);
+    let mut table = TableBuilder::new(&["threads", "files/thread", "MB/s", "requests/s"]);
     for workload in FioWorkload::table3() {
         let result = fio::run(&device, workload);
         table.row(&[
@@ -395,14 +503,21 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     let json_only = args.get_str("json").is_some();
     let metrics = match args.get_str("metrics").unwrap_or("table") {
         m @ ("table" | "json" | "prom") => m,
-        other => return Err(format!("unknown metrics format '{other}' (table|json|prom)")),
+        other => {
+            return Err(format!(
+                "unknown metrics format '{other}' (table|json|prom)"
+            ))
+        }
     };
     let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
     let (pipeline, source) = cv_workload(name, samples)?;
     let split = args.get_or("split", pipeline.max_split())?;
     let strategy = Strategy::at_split(split).with_threads(threads);
 
-    let retry = RetryPolicy { max_attempts: args.get_or("retries", 3u32)?, ..RetryPolicy::default() };
+    let retry = RetryPolicy {
+        max_attempts: args.get_or("retries", 3u32)?,
+        ..RetryPolicy::default()
+    };
     let policy = match args.get_str("policy").unwrap_or("failfast") {
         "failfast" => FaultPolicy::FailFast,
         "degrade" => FaultPolicy::Degrade {
@@ -457,12 +572,19 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         let mut spec = FaultSpec::new(args.get_or("fault-seed", 47u64)?)
             .with_get_failures(args.get_or("fail-pct", 20u8)?);
         if let Some(idx) = args.get_str("corrupt-shard") {
-            let idx: usize = idx.parse().map_err(|_| "invalid --corrupt-shard".to_string())?;
-            let shard = dataset.shards.get(idx).ok_or("--corrupt-shard out of range")?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| "invalid --corrupt-shard".to_string())?;
+            let shard = dataset
+                .shards
+                .get(idx)
+                .ok_or("--corrupt-shard out of range")?;
             spec = spec.with_corrupt_blob(shard.clone());
         }
         if let Some(idx) = args.get_str("lose-shard") {
-            let idx: usize = idx.parse().map_err(|_| "invalid --lose-shard".to_string())?;
+            let idx: usize = idx
+                .parse()
+                .map_err(|_| "invalid --lose-shard".to_string())?;
             let shard = dataset.shards.get(idx).ok_or("--lose-shard out of range")?;
             spec = spec.with_lost_blob(shard.clone());
         }
@@ -494,7 +616,9 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
                 return Err(format!("epoch {epoch} failed: {e}"));
             }
         }
-        let stats = stream.join().map_err(|e| format!("epoch {epoch} failed: {e}"))?;
+        let stats = stream
+            .join()
+            .map_err(|e| format!("epoch {epoch} failed: {e}"))?;
         table.row(&[
             epoch.to_string(),
             stats.samples.to_string(),
@@ -503,7 +627,11 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
             stats.retries.to_string(),
             stats.skipped_samples.to_string(),
             stats.lost_shards.to_string(),
-            if stats.degraded { "yes".into() } else { "no".into() },
+            if stats.degraded {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     let snapshot = telemetry
@@ -525,7 +653,10 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         std::fs::write(path, telemetry_export::chrome_trace(&snapshot))
             .map_err(|e| format!("writing {path}: {e}"))?;
         if !json_only {
-            println!("wrote Chrome trace ({} spans) to {path}", snapshot.spans.len());
+            println!(
+                "wrote Chrome trace ({} spans) to {path}",
+                snapshot.spans.len()
+            );
         }
     }
     if json_only {
@@ -558,6 +689,9 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_watch(args: &Args) -> Result<(), String> {
+    if args.get_str("search").is_some() {
+        return watch_search(args);
+    }
     args.expect_known(&[
         "samples",
         "threads",
@@ -624,7 +758,9 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
             }
             println!("{}", render::watch_frame(&points, trend.as_ref()));
         }
-        worker.join().map_err(|_| "watch worker panicked".to_string())?
+        worker
+            .join()
+            .map_err(|_| "watch worker panicked".to_string())?
     });
     let series = sampler.stop();
     result?;
@@ -638,7 +774,104 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
             println!("{}", render::real_diagnosis(&diagnosed));
         }
     }
-    println!("watched {epochs} epochs ({} samples each)", dataset.sample_count);
+    println!(
+        "watched {epochs} epochs ({} samples each)",
+        dataset.sample_count
+    );
+    Ok(())
+}
+
+/// `watch --search`: live dashboard over a simulated strategy search.
+/// Unlike the real-engine dashboard this works for every built-in
+/// pipeline — the search runs on a worker thread and the frame renders
+/// the [`presto_pipeline::SearchProgress`] gauges the pool updates.
+/// With `--serve ADDR` the same gauges are scrapeable at `/metrics`
+/// while the search runs.
+fn watch_search(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "search",
+        "samples",
+        "ssd",
+        "jobs",
+        "prune",
+        "probe-samples",
+        "keep",
+        "no-memo",
+        "wp",
+        "ws",
+        "wt",
+        "refresh-ms",
+        "plain",
+        "serve",
+        "top",
+    ])?;
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let workload = if name == "CV+grey" {
+        cv::cv_with_greyscale(true)
+    } else {
+        all_workloads()
+            .into_iter()
+            .find(|w| w.pipeline.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| format!("unknown pipeline '{name}' (try `presto pipelines`)"))?
+    };
+    let env = env_from(args)?;
+    let weights = Weights::new(
+        args.get_or("wp", 0.0)?,
+        args.get_or("ws", 0.0)?,
+        args.get_or("wt", 1.0)?,
+    );
+    let refresh = Duration::from_millis(args.get_or("refresh-ms", 250u64)?.max(10));
+    let plain = args.get_str("plain").is_some();
+    let presto = Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env);
+
+    // Progress lives in the telemetry registry so `/metrics` can serve
+    // it live when --serve is given.
+    let telemetry = Telemetry::new();
+    let progress = telemetry.search();
+    let _server = match args.get_str("serve") {
+        Some(addr) => {
+            let series = timeseries::TimeSeries::new(timeseries::DEFAULT_RING_CAPACITY);
+            let server = MetricsServer::serve(addr, Arc::clone(&telemetry), series)
+                .map_err(|e| format!("--serve {addr}: {e}"))?;
+            println!("serving /metrics on http://{}", server.addr());
+            Some(server)
+        }
+        None => None,
+    };
+    let mut opts = search_options(args)?;
+    opts.progress = Some(Arc::clone(&progress));
+
+    let report = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| run_search(&presto, weights, &opts, args));
+        while !worker.is_finished() {
+            std::thread::sleep(refresh);
+            if !plain {
+                print!("\x1b[2J\x1b[H");
+            }
+            println!(
+                "{}",
+                render::search_frame(&workload.pipeline.name, &progress.snapshot())
+            );
+        }
+        worker
+            .join()
+            .map_err(|_| "search worker panicked".to_string())?
+    })?;
+
+    println!(
+        "{}",
+        render::search_frame(&workload.pipeline.name, &progress.snapshot())
+    );
+    println!("{}", render::search_summary(&report.stats));
+    if let Some(best) = report.analysis.try_recommend(weights) {
+        println!(
+            "recommendation: {} ({:.0} SPS, {} stored, {:.0}s preprocessing)",
+            best.label,
+            best.throughput_sps,
+            format_bytes(best.storage_bytes),
+            best.preprocessing_secs
+        );
+    }
     Ok(())
 }
 
@@ -668,7 +901,13 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let before = store.resolve(spec_a)?;
     let after = store.resolve(spec_b)?;
     let comparison = presto::compare_runs(&before.metrics, &after.metrics, noise, fail);
-    println!("comparing {} -> {} (noise {:.0}%, fail bar {:.0}%)", before.id, after.id, noise * 100.0, fail * 100.0);
+    println!(
+        "comparing {} -> {} (noise {:.0}%, fail bar {:.0}%)",
+        before.id,
+        after.id,
+        noise * 100.0,
+        fail * 100.0
+    );
     println!("{}", render::compare_table(&comparison));
     if args.get_str("fail-on-regression").is_some()
         && comparison.worst == presto::Verdict::Regression
@@ -684,12 +923,10 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 
 fn cmd_validate(args: &Args) -> Result<(), String> {
     args.expect_known(&["format"])?;
-    let path = args
-        .positional
-        .get(1)
-        .ok_or_else(|| "usage: presto validate <file> --format json|prom|trace|timeseries".to_string())?;
-    let input =
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let path = args.positional.get(1).ok_or_else(|| {
+        "usage: presto validate <file> --format json|prom|trace|timeseries".to_string()
+    })?;
+    let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     match args.get_str("format").unwrap_or("json") {
         "json" => {
             telemetry_export::validate_json(&input)?;
@@ -700,7 +937,10 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
             if series.is_empty() {
                 return Err(format!("{path}: no metric samples in exposition"));
             }
-            println!("{path}: valid Prometheus exposition ({} series)", series.len());
+            println!(
+                "{path}: valid Prometheus exposition ({} series)",
+                series.len()
+            );
         }
         "trace" => {
             let complete = telemetry_export::validate_chrome_trace(&input)?;
@@ -708,9 +948,16 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
         }
         "timeseries" => {
             let points = timeseries::validate_json(&input)?;
-            println!("{path}: valid {} ({points} points)", timeseries::TIMESERIES_SCHEMA);
+            println!(
+                "{path}: valid {} ({points} points)",
+                timeseries::TIMESERIES_SCHEMA
+            );
         }
-        other => return Err(format!("unknown format '{other}' (json|prom|trace|timeseries)")),
+        other => {
+            return Err(format!(
+                "unknown format '{other}' (json|prom|trace|timeseries)"
+            ))
+        }
     }
     Ok(())
 }
@@ -760,6 +1007,78 @@ mod tests {
     }
 
     #[test]
+    fn recommend_search_modes_run() {
+        run(&["recommend", "FLAC", "--samples", "500", "--jobs", "2"]).unwrap();
+        run(&[
+            "recommend",
+            "FLAC",
+            "--samples",
+            "500",
+            "--jobs",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        run(&[
+            "recommend",
+            "FLAC",
+            "--samples",
+            "500",
+            "--no-memo",
+            "--top",
+            "3",
+        ])
+        .unwrap();
+        run(&[
+            "recommend",
+            "FLAC",
+            "--samples",
+            "500",
+            "--prune",
+            "--probe-samples",
+            "200",
+            "--keep",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(run(&["recommend", "FLAC", "--jobs", "two"]).is_err());
+    }
+
+    #[test]
+    fn watch_search_runs_for_any_pipeline() {
+        run(&[
+            "watch",
+            "NLP",
+            "--search",
+            "--samples",
+            "500",
+            "--jobs",
+            "2",
+            "--plain",
+            "--refresh-ms",
+            "20",
+        ])
+        .unwrap();
+        run(&[
+            "watch",
+            "CV",
+            "--search",
+            "--samples",
+            "300",
+            "--prune",
+            "--probe-samples",
+            "100",
+            "--plain",
+            "--refresh-ms",
+            "20",
+            "--serve",
+            "127.0.0.1:0",
+        ])
+        .unwrap();
+        assert!(run(&["watch", "NOPE", "--search"]).is_err());
+    }
+
+    #[test]
     fn diagnose_runs() {
         run(&["diagnose", "MP3", "--samples", "500"]).unwrap();
         assert!(run(&["diagnose", "NOPE"]).is_err());
@@ -767,26 +1086,66 @@ mod tests {
 
     #[test]
     fn realrun_clean_and_degraded() {
-        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
-            "--no-history"])
+        run(&[
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--no-history",
+        ])
         .unwrap();
         run(&[
-            "realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
-            "--inject-faults", "--fail-pct", "20", "--corrupt-shard", "0",
-            "--policy", "degrade", "--retries", "6", "--no-history",
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--inject-faults",
+            "--fail-pct",
+            "20",
+            "--corrupt-shard",
+            "0",
+            "--policy",
+            "degrade",
+            "--retries",
+            "6",
+            "--no-history",
         ])
         .unwrap();
         assert!(run(&["realrun", "NLP"]).is_err());
         assert!(run(&["realrun", "CV", "--policy", "sometimes"]).is_err());
-        assert!(run(&["realrun", "CV", "--samples", "4", "--corrupt-shard", "99",
-            "--inject-faults"])
+        assert!(run(&[
+            "realrun",
+            "CV",
+            "--samples",
+            "4",
+            "--corrupt-shard",
+            "99",
+            "--inject-faults"
+        ])
         .is_err());
     }
 
     #[test]
     fn realrun_exports_metrics_and_trace() {
-        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
-            "--no-history"];
+        let base = [
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--no-history",
+        ];
         let with = |extra: &[&str]| {
             let mut words = base.to_vec();
             words.extend_from_slice(extra);
@@ -808,9 +1167,21 @@ mod tests {
     #[test]
     fn realrun_failfast_surfaces_the_corrupt_shard() {
         let err = run(&[
-            "realrun", "CV", "--samples", "8", "--threads", "1", "--epochs", "1",
-            "--inject-faults", "--fail-pct", "0", "--corrupt-shard", "0",
-            "--policy", "failfast",
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "1",
+            "--epochs",
+            "1",
+            "--inject-faults",
+            "--fail-pct",
+            "0",
+            "--corrupt-shard",
+            "0",
+            "--policy",
+            "failfast",
         ])
         .unwrap_err();
         assert!(err.contains("corrupt"), "unexpected error: {err}");
@@ -825,16 +1196,34 @@ mod tests {
         let dir = scratch_dir("hist");
         let _ = std::fs::remove_dir_all(&dir);
         let dir_str = dir.to_str().unwrap().to_string();
-        let base = ["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "1",
-            "--history-dir", &dir_str];
+        let base = [
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--history-dir",
+            &dir_str,
+        ];
         run(&base).unwrap();
         run(&base).unwrap();
         assert!(dir.join("run-0001.json").is_file());
         assert!(dir.join("run-0002.json").is_file());
         run(&["history", "--history-dir", &dir_str]).unwrap();
         // Same workload twice: never a regression past a generous bar.
-        run(&["compare", "1", "2", "--history-dir", &dir_str, "--fail", "0.95",
-            "--fail-on-regression"])
+        run(&[
+            "compare",
+            "1",
+            "2",
+            "--history-dir",
+            &dir_str,
+            "--fail",
+            "0.95",
+            "--fail-on-regression",
+        ])
         .unwrap();
         assert!(run(&["compare", "1", "--history-dir", &dir_str]).is_err());
         assert!(run(&["compare", "1", "99", "--history-dir", &dir_str]).is_err());
@@ -854,20 +1243,56 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         // --serve with port 0 binds an ephemeral port; the run itself
         // must stay healthy with the sampler + endpoint attached.
-        run(&["realrun", "CV", "--samples", "8", "--threads", "2", "--epochs", "2",
-            "--serve", "127.0.0.1:0", "--sample-ms", "5", "--history-dir",
-            dir.to_str().unwrap()])
+        run(&[
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "2",
+            "--serve",
+            "127.0.0.1:0",
+            "--sample-ms",
+            "5",
+            "--history-dir",
+            dir.to_str().unwrap(),
+        ])
         .unwrap();
-        assert!(run(&["realrun", "CV", "--samples", "4", "--epochs", "1", "--no-history",
-            "--serve", "256.0.0.1:bad"])
+        assert!(run(&[
+            "realrun",
+            "CV",
+            "--samples",
+            "4",
+            "--epochs",
+            "1",
+            "--no-history",
+            "--serve",
+            "256.0.0.1:bad"
+        ])
         .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn watch_runs_in_plain_mode() {
-        run(&["watch", "CV", "--samples", "8", "--threads", "2", "--epochs", "2",
-            "--cache", "--plain", "--refresh-ms", "20", "--sample-ms", "5"])
+        run(&[
+            "watch",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "2",
+            "--cache",
+            "--plain",
+            "--refresh-ms",
+            "20",
+            "--sample-ms",
+            "5",
+        ])
         .unwrap();
         assert!(run(&["watch", "NLP"]).is_err());
         assert!(run(&["watch", "CV", "--refreshms", "10"]).is_err());
@@ -881,8 +1306,17 @@ mod tests {
         let json_path = dir.join("run.json");
         let json_str = json_path.to_str().unwrap().to_string();
         // A real run in --json mode emits a schema-valid document.
-        run(&["realrun", "CV", "--samples", "8", "--epochs", "1", "--json", "--no-history"])
-            .unwrap();
+        run(&[
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--epochs",
+            "1",
+            "--json",
+            "--no-history",
+        ])
+        .unwrap();
         // Build one directly for the validator (stdout isn't captured here).
         let telemetry = Telemetry::new();
         let rec = telemetry.begin_epoch(&["s".into()], 1, 0);

@@ -2,11 +2,12 @@
 //! the human-readable telemetry tables behind `presto realrun`.
 
 use presto::report::TableBuilder;
+use presto::search::SearchStats;
 use presto::{RealDiagnosis, RunComparison, TrendDiagnosis, Verdict};
 use presto_pipeline::telemetry::history::RunRecord;
 use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::TelemetrySnapshot;
-use presto_pipeline::Pipeline;
+use presto_pipeline::{Pipeline, SearchSnapshot};
 
 /// Render the pipeline's step chain, marking non-deterministic steps
 /// (which must stay online) with a dotted arrow, like the paper's
@@ -87,7 +88,10 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
             step.kind.label().to_string(),
             step.count.to_string(),
             fmt_ns(step.busy_ns),
-            format!("{:.0}%", step.busy_ns as f64 * 100.0 / total_busy.max(1) as f64),
+            format!(
+                "{:.0}%",
+                step.busy_ns as f64 * 100.0 / total_busy.max(1) as f64
+            ),
             fmt_ns(step.p50_ns),
             fmt_ns(step.p95_ns),
             fmt_ns(step.p99_ns),
@@ -99,10 +103,14 @@ pub fn telemetry_table(snapshot: &TelemetrySnapshot) -> String {
         let busy_pct = |w: &presto_pipeline::telemetry::WorkerSnapshot| {
             w.busy_ns as f64 * 100.0 / snapshot.elapsed_ns as f64
         };
-        let min = snapshot.workers.iter().map(busy_pct).fold(f64::INFINITY, f64::min);
+        let min = snapshot
+            .workers
+            .iter()
+            .map(busy_pct)
+            .fold(f64::INFINITY, f64::min);
         let max = snapshot.workers.iter().map(busy_pct).fold(0.0, f64::max);
-        let mean = snapshot.workers.iter().map(busy_pct).sum::<f64>()
-            / snapshot.workers.len() as f64;
+        let mean =
+            snapshot.workers.iter().map(busy_pct).sum::<f64>() / snapshot.workers.len() as f64;
         out.push_str(&format!(
             "\nworkers: {} busy {:.0}-{:.0}% (mean {:.0}%)",
             snapshot.workers.len(),
@@ -202,16 +210,67 @@ pub fn watch_frame(points: &[TimePoint], trend: Option<&TrendDiagnosis>) -> Stri
     if let Some(trend) = trend {
         out.push_str(&format!("\nbottleneck now: {}", trend.current));
         for (t_ns, from, to) in &trend.shifts {
-            out.push_str(&format!("\n  shifted {from} -> {to} at t+{}", fmt_ns(*t_ns)));
+            out.push_str(&format!(
+                "\n  shifted {from} -> {to} at t+{}",
+                fmt_ns(*t_ns)
+            ));
         }
     }
+    out
+}
+
+/// One `presto watch --search` frame: a progress bar over the grid
+/// plus the memo and pruning gauges the profiling pool maintains.
+pub fn search_frame(pipeline: &str, snap: &SearchSnapshot) -> String {
+    const WIDTH: usize = 32;
+    let filled = if snap.total > 0 {
+        (snap.completed as usize * WIDTH / snap.total as usize).min(WIDTH)
+    } else {
+        0
+    };
+    let bar: String = std::iter::repeat('#')
+        .take(filled)
+        .chain(std::iter::repeat('.').take(WIDTH - filled))
+        .collect();
+    let state = if snap.done { "done" } else { "searching" };
+    format!(
+        "strategy search · {pipeline} · {state}\n\
+         [{bar}] {}/{} strategies · {} jobs\n\
+         pruned {} · offline memo: {} hits / {} misses",
+        snap.completed, snap.total, snap.jobs, snap.pruned, snap.memo_hits, snap.memo_misses
+    )
+}
+
+/// One-line summary of what a finished search did.
+pub fn search_summary(stats: &SearchStats) -> String {
+    let mut out = format!(
+        "searched {} of {} grid points (memo: {} hits / {} misses",
+        stats.profiled, stats.grid_size, stats.memo_hits, stats.memo_misses
+    );
+    if stats.probe_samples > 0 {
+        out.push_str(&format!(
+            "; pruned {} at {}-sample probe, agreement {}, drift {:.1}%",
+            stats.pruned.len(),
+            stats.probe_samples,
+            if stats.probe_agreement { "yes" } else { "NO" },
+            stats.probe_throughput_drift * 100.0
+        ));
+    }
+    out.push(')');
     out
 }
 
 /// Render the run-history store as a table, oldest first.
 pub fn history_table(runs: &[RunRecord]) -> String {
     let mut table = TableBuilder::new(&[
-        "run", "samples", "SPS", "elapsed", "threads", "retries", "cache hit", "degraded",
+        "run",
+        "samples",
+        "SPS",
+        "elapsed",
+        "threads",
+        "retries",
+        "cache hit",
+        "degraded",
     ]);
     for run in runs {
         let m = &run.metrics;
@@ -223,7 +282,11 @@ pub fn history_table(runs: &[RunRecord]) -> String {
             m.threads.to_string(),
             m.retries.to_string(),
             format!("{:.0}%", m.cache_hit_rate() * 100.0),
-            if m.degraded { "yes".into() } else { "no".into() },
+            if m.degraded {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     table.render()
@@ -267,7 +330,11 @@ mod tests {
 
     fn pipeline() -> Pipeline {
         Pipeline::new("t")
-            .push_spec(StepSpec::native("decoded", CostModel::FREE, SizeModel::IDENTITY))
+            .push_spec(StepSpec::native(
+                "decoded",
+                CostModel::FREE,
+                SizeModel::IDENTITY,
+            ))
             .push_spec(
                 StepSpec::native("random-crop", CostModel::FREE, SizeModel::IDENTITY)
                     .non_deterministic(),
@@ -327,8 +394,12 @@ mod tests {
         let t0 = rec.begin().unwrap();
         rec.phase_done(0, PHASE_READ, t0);
         rec.samples_done(0, 5);
-        let points: Vec<TimePoint> =
-            vec![point_between(None, &rec.light_snapshot(), 1_000_000, 1_000_000)];
+        let points: Vec<TimePoint> = vec![point_between(
+            None,
+            &rec.light_snapshot(),
+            1_000_000,
+            1_000_000,
+        )];
         let trend = presto::diagnose_window(&points).unwrap();
         let frame = watch_frame(&points, Some(&trend));
         assert!(frame.contains("epoch seed 2"), "{frame}");
@@ -359,7 +430,10 @@ mod tests {
         let rendered = compare_table(&cmp);
         assert!(rendered.contains("samples_per_second"), "{rendered}");
         assert!(rendered.contains("REGRESSION"), "{rendered}");
-        assert!(rendered.contains("overall: REGRESSION (samples_per_second)"), "{rendered}");
+        assert!(
+            rendered.contains("overall: REGRESSION (samples_per_second)"),
+            "{rendered}"
+        );
         let clean = compare_table(&presto::compare_runs(&run(1000.0), &run(1010.0), 0.05, 0.2));
         assert!(clean.contains("overall: unchanged"), "{clean}");
     }

@@ -78,7 +78,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Wrap a byte slice.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     fn refill(&mut self) {
@@ -98,7 +103,11 @@ impl<'a> BitReader<'a> {
                 return Err(CodecError::UnexpectedEof);
             }
         }
-        let mask = if count == 32 { u64::MAX >> 32 } else { (1u64 << count) - 1 };
+        let mask = if count == 32 {
+            u64::MAX >> 32
+        } else {
+            (1u64 << count) - 1
+        };
         let value = (self.bit_buf & mask) as u32;
         self.bit_buf >>= count;
         self.bit_count -= count;

@@ -18,8 +18,14 @@ pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
     out.push(GZIP_METHOD_DEFLATE);
     out.push(0); // FLG: no extra fields
     out.extend_from_slice(&[0, 0, 0, 0]); // MTIME: unset
-    // XFL: 2 = max compression, 4 = fastest; approximate from level.
-    out.push(if level >= Level::BEST { 2 } else if level <= Level::FAST { 4 } else { 0 });
+                                          // XFL: 2 = max compression, 4 = fastest; approximate from level.
+    out.push(if level >= Level::BEST {
+        2
+    } else if level <= Level::FAST {
+        4
+    } else {
+        0
+    });
     out.push(255); // OS: unknown
     out.extend_from_slice(&payload);
     out.extend_from_slice(&Crc32::checksum(data).to_le_bytes());
@@ -40,7 +46,9 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     }
     let flg = data[3];
     if flg != 0 {
-        return Err(CodecError::BadHeader("optional gzip header fields unsupported"));
+        return Err(CodecError::BadHeader(
+            "optional gzip header fields unsupported",
+        ));
     }
     let payload = &data[10..data.len() - 8];
     let out = inflate(payload)?;
@@ -49,7 +57,10 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     let expected_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
     let actual_crc = Crc32::checksum(&out);
     if actual_crc != expected_crc {
-        return Err(CodecError::ChecksumMismatch { expected: expected_crc, actual: actual_crc });
+        return Err(CodecError::ChecksumMismatch {
+            expected: expected_crc,
+            actual: actual_crc,
+        });
     }
     if out.len() as u32 != expected_len {
         return Err(CodecError::Corrupt("ISIZE mismatch"));
@@ -198,7 +209,13 @@ mod tests {
 
     #[test]
     fn empty_payload_roundtrips() {
-        assert_eq!(gzip_decompress(&gzip_compress(&[], Level::DEFAULT)).unwrap(), Vec::<u8>::new());
-        assert_eq!(zlib_decompress(&zlib_compress(&[], Level::DEFAULT)).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            gzip_decompress(&gzip_compress(&[], Level::DEFAULT)).unwrap(),
+            Vec::<u8>::new()
+        );
+        assert_eq!(
+            zlib_decompress(&zlib_compress(&[], Level::DEFAULT)).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 }

@@ -14,36 +14,75 @@ pub const NUM_DIST: usize = 30;
 pub const NUM_CLEN: usize = 19;
 
 /// Order in which code-length code lengths are transmitted (RFC 1951 §3.2.7).
-pub const CLEN_ORDER: [usize; NUM_CLEN] =
-    [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+pub const CLEN_ORDER: [usize; NUM_CLEN] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
 
 /// `(base_length, extra_bits)` for length codes 257..=285.
 pub const LENGTH_TABLE: [(u16, u8); 29] = [
-    (3, 0), (4, 0), (5, 0), (6, 0), (7, 0), (8, 0), (9, 0), (10, 0),
-    (11, 1), (13, 1), (15, 1), (17, 1),
-    (19, 2), (23, 2), (27, 2), (31, 2),
-    (35, 3), (43, 3), (51, 3), (59, 3),
-    (67, 4), (83, 4), (99, 4), (115, 4),
-    (131, 5), (163, 5), (195, 5), (227, 5),
+    (3, 0),
+    (4, 0),
+    (5, 0),
+    (6, 0),
+    (7, 0),
+    (8, 0),
+    (9, 0),
+    (10, 0),
+    (11, 1),
+    (13, 1),
+    (15, 1),
+    (17, 1),
+    (19, 2),
+    (23, 2),
+    (27, 2),
+    (31, 2),
+    (35, 3),
+    (43, 3),
+    (51, 3),
+    (59, 3),
+    (67, 4),
+    (83, 4),
+    (99, 4),
+    (115, 4),
+    (131, 5),
+    (163, 5),
+    (195, 5),
+    (227, 5),
     (258, 0),
 ];
 
 /// `(base_distance, extra_bits)` for distance codes 0..=29.
 pub const DIST_TABLE: [(u16, u8); 30] = [
-    (1, 0), (2, 0), (3, 0), (4, 0),
-    (5, 1), (7, 1),
-    (9, 2), (13, 2),
-    (17, 3), (25, 3),
-    (33, 4), (49, 4),
-    (65, 5), (97, 5),
-    (129, 6), (193, 6),
-    (257, 7), (385, 7),
-    (513, 8), (769, 8),
-    (1025, 9), (1537, 9),
-    (2049, 10), (3073, 10),
-    (4097, 11), (6145, 11),
-    (8193, 12), (12289, 12),
-    (16385, 13), (24577, 13),
+    (1, 0),
+    (2, 0),
+    (3, 0),
+    (4, 0),
+    (5, 1),
+    (7, 1),
+    (9, 2),
+    (13, 2),
+    (17, 3),
+    (25, 3),
+    (33, 4),
+    (49, 4),
+    (65, 5),
+    (97, 5),
+    (129, 6),
+    (193, 6),
+    (257, 7),
+    (385, 7),
+    (513, 8),
+    (769, 8),
+    (1025, 9),
+    (1537, 9),
+    (2049, 10),
+    (3073, 10),
+    (4097, 11),
+    (6145, 11),
+    (8193, 12),
+    (12289, 12),
+    (16385, 13),
+    (24577, 13),
 ];
 
 /// Map a match length (3..=258) to `(symbol, extra_bits_value, extra_bits)`.
@@ -174,8 +213,9 @@ fn estimate_dynamic_bits(litlen_freq: &[u64], dist_freq: &[u64], tokens: &[Token
     // lit/dist length (ignores RLE gains, so the estimate is pessimistic,
     // which only makes the fixed-vs-dynamic choice conservative).
     let mut bits = 3 + 14 + 19 * 3;
-    bits += 7 * (litlen_lengths.iter().filter(|&&l| l > 0).count()
-        + dist_lengths.iter().filter(|&&l| l > 0).count()) as u64;
+    bits += 7
+        * (litlen_lengths.iter().filter(|&&l| l > 0).count()
+            + dist_lengths.iter().filter(|&&l| l > 0).count()) as u64;
     for token in tokens {
         match *token {
             Token::Literal(b) => bits += u64::from(litlen_lengths[b as usize]),
@@ -384,7 +424,9 @@ mod tests {
 
     #[test]
     fn stored_blocks() {
-        let data: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(0x9E3779B9) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 24) as u8)
+            .collect();
         roundtrip(&data, Level(0));
     }
 
@@ -403,7 +445,11 @@ mod tests {
     fn compresses_redundant_data_well() {
         let data = vec![0u8; 100_000];
         let compressed = deflate(&data, Level::DEFAULT);
-        assert!(compressed.len() < data.len() / 50, "got {}", compressed.len());
+        assert!(
+            compressed.len() < data.len() / 50,
+            "got {}",
+            compressed.len()
+        );
         roundtrip(&data, Level::DEFAULT);
     }
 
@@ -427,7 +473,9 @@ mod tests {
 
     #[test]
     fn rle_code_lengths_reconstruct() {
-        let lengths = [0u8, 0, 0, 0, 0, 5, 5, 5, 5, 5, 5, 5, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3];
+        let lengths = [
+            0u8, 0, 0, 0, 0, 5, 5, 5, 5, 5, 5, 5, 7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3,
+        ];
         let rle = rle_code_lengths(&lengths);
         // Reconstruct.
         let mut rebuilt: Vec<u8> = Vec::new();

@@ -43,7 +43,10 @@ pub fn code_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
 
     let mut leaves: Vec<Item> = active
         .iter()
-        .map(|&s| Item { weight: freqs[s], symbols: vec![s] })
+        .map(|&s| Item {
+            weight: freqs[s],
+            symbols: vec![s],
+        })
         .collect();
     leaves.sort_by_key(|item| item.weight);
 
@@ -55,14 +58,17 @@ pub fn code_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
         for pair in &mut iter {
             let mut symbols = pair[0].symbols.clone();
             symbols.extend_from_slice(&pair[1].symbols);
-            packages.push(Item { weight: pair[0].weight + pair[1].weight, symbols });
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                symbols,
+            });
         }
         // Merge with the original leaves, keeping sorted order.
         let mut merged = Vec::with_capacity(packages.len() + leaves.len());
         let (mut i, mut j) = (0, 0);
         while i < packages.len() || j < leaves.len() {
-            let take_package = j >= leaves.len()
-                || (i < packages.len() && packages[i].weight <= leaves[j].weight);
+            let take_package =
+                j >= leaves.len() || (i < packages.len() && packages[i].weight <= leaves[j].weight);
             if take_package {
                 merged.push(packages[i].clone());
                 i += 1;
@@ -188,7 +194,12 @@ impl Decoder {
                 next[len as usize] += 1;
             }
         }
-        Ok(Decoder { first_code, first_index, count, symbols })
+        Ok(Decoder {
+            first_code,
+            first_index,
+            count,
+            symbols,
+        })
     }
 
     /// Decode one symbol from `reader`.
@@ -224,7 +235,10 @@ mod tests {
         }
         let active = freqs.iter().filter(|&&f| f > 0).count();
         if active >= 2 {
-            assert!((kraft_sum(&lengths) - 1.0).abs() < 1e-9, "code must be complete");
+            assert!(
+                (kraft_sum(&lengths) - 1.0).abs() < 1e-9,
+                "code must be complete"
+            );
         }
         let codes = canonical_codes(&lengths);
         let decoder = Decoder::from_lengths(&lengths).unwrap();

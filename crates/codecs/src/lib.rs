@@ -55,7 +55,10 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of compressed input"),
             CodecError::Corrupt(what) => write!(f, "corrupt stream: {what}"),
             CodecError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected {expected:#010x}, got {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: expected {expected:#010x}, got {actual:#010x}"
+                )
             }
             CodecError::BadHeader(what) => write!(f, "bad container header: {what}"),
         }

@@ -62,44 +62,47 @@ pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
         }
     };
 
-    let find_match = |head: &[u32], prev: &[u32], data: &[u8], pos: usize| -> Option<(usize, usize)> {
-        if pos + MIN_MATCH > data.len() {
-            return None;
-        }
-        let max_len = (data.len() - pos).min(MAX_MATCH);
-        let h = hash3(data, pos);
-        let mut candidate = head[h];
-        let mut best_len = MIN_MATCH - 1;
-        let mut best_dist = 0usize;
-        let mut chain = 0usize;
-        while candidate != 0 && chain < max_chain {
-            let cand_pos = (candidate - 1) as usize;
-            if cand_pos >= pos || pos - cand_pos > WINDOW_SIZE {
-                break;
+    let find_match =
+        |head: &[u32], prev: &[u32], data: &[u8], pos: usize| -> Option<(usize, usize)> {
+            if pos + MIN_MATCH > data.len() {
+                return None;
             }
-            // Quick reject: check the byte that would extend the best match.
-            if data[cand_pos + best_len.min(max_len - 1)] == data[pos + best_len.min(max_len - 1)] {
-                let mut len = 0usize;
-                while len < max_len && data[cand_pos + len] == data[pos + len] {
-                    len += 1;
+            let max_len = (data.len() - pos).min(MAX_MATCH);
+            let h = hash3(data, pos);
+            let mut candidate = head[h];
+            let mut best_len = MIN_MATCH - 1;
+            let mut best_dist = 0usize;
+            let mut chain = 0usize;
+            while candidate != 0 && chain < max_chain {
+                let cand_pos = (candidate - 1) as usize;
+                if cand_pos >= pos || pos - cand_pos > WINDOW_SIZE {
+                    break;
                 }
-                if len > best_len {
-                    best_len = len;
-                    best_dist = pos - cand_pos;
-                    if len >= good_enough {
-                        break;
+                // Quick reject: check the byte that would extend the best match.
+                if data[cand_pos + best_len.min(max_len - 1)]
+                    == data[pos + best_len.min(max_len - 1)]
+                {
+                    let mut len = 0usize;
+                    while len < max_len && data[cand_pos + len] == data[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_dist = pos - cand_pos;
+                        if len >= good_enough {
+                            break;
+                        }
                     }
                 }
+                candidate = prev[cand_pos % WINDOW_SIZE];
+                chain += 1;
             }
-            candidate = prev[cand_pos % WINDOW_SIZE];
-            chain += 1;
-        }
-        if best_len >= MIN_MATCH {
-            Some((best_len, best_dist))
-        } else {
-            None
-        }
-    };
+            if best_len >= MIN_MATCH {
+                Some((best_len, best_dist))
+            } else {
+                None
+            }
+        };
 
     let mut pos = 0usize;
     let mut pending: Option<(usize, usize)> = None; // match found at pos-1
@@ -116,7 +119,10 @@ pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
             }
             (Some((plen, pdist)), _) => {
                 // Previous match wins; it started at pos-1.
-                tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+                tokens.push(Token::Match {
+                    len: plen as u16,
+                    dist: pdist as u16,
+                });
                 // Insert hash entries for the matched span (minus the two
                 // positions already inserted).
                 let end = pos - 1 + plen;
@@ -137,7 +143,10 @@ pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
         }
     }
     if let Some((plen, pdist)) = pending {
-        tokens.push(Token::Match { len: plen as u16, dist: pdist as u16 });
+        tokens.push(Token::Match {
+            len: plen as u16,
+            dist: pdist as u16,
+        });
     }
     tokens
 }
@@ -178,7 +187,9 @@ mod tests {
 
     #[test]
     fn all_literals_on_random_bytes() {
-        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
         check(&data, Level::DEFAULT);
     }
 
@@ -186,15 +197,17 @@ mod tests {
     fn run_of_identical_bytes_compresses_to_matches() {
         let data = vec![7u8; 1000];
         let tokens = tokenize(&data, Level::DEFAULT);
-        let matches = tokens.iter().filter(|t| matches!(t, Token::Match { .. })).count();
+        let matches = tokens
+            .iter()
+            .filter(|t| matches!(t, Token::Match { .. }))
+            .count();
         assert!(matches >= 3, "expected RLE-style matches, got {tokens:?}");
         check(&data, Level::DEFAULT);
     }
 
     #[test]
     fn repeated_phrase_found() {
-        let data = b"the quick brown fox. the quick brown fox. the quick brown fox."
-            .to_vec();
+        let data = b"the quick brown fox. the quick brown fox. the quick brown fox.".to_vec();
         let tokens = tokenize(&data, Level::DEFAULT);
         assert!(tokens.iter().any(|t| matches!(t, Token::Match { .. })));
         check(&data, Level::DEFAULT);

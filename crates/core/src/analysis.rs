@@ -26,21 +26,34 @@ pub struct Weights {
 
 impl Weights {
     /// The paper's recommended default: throughput only.
-    pub const MAX_THROUGHPUT: Weights =
-        Weights { preprocessing: 0.0, storage: 0.0, throughput: 1.0 };
+    pub const MAX_THROUGHPUT: Weights = Weights {
+        preprocessing: 0.0,
+        storage: 0.0,
+        throughput: 1.0,
+    };
 
     /// The paper's hyperparameter-tuning-before-a-deadline example:
     /// low preprocessing time + high throughput, storage irrelevant.
-    pub const DEADLINE: Weights =
-        Weights { preprocessing: 1.0, storage: 0.0, throughput: 1.0 };
+    pub const DEADLINE: Weights = Weights {
+        preprocessing: 1.0,
+        storage: 0.0,
+        throughput: 1.0,
+    };
 
     /// Equal weight on all three metrics.
-    pub const BALANCED: Weights =
-        Weights { preprocessing: 1.0, storage: 1.0, throughput: 1.0 };
+    pub const BALANCED: Weights = Weights {
+        preprocessing: 1.0,
+        storage: 1.0,
+        throughput: 1.0,
+    };
 
     /// Custom weights.
     pub const fn new(preprocessing: f64, storage: f64, throughput: f64) -> Self {
-        Weights { preprocessing, storage, throughput }
+        Weights {
+            preprocessing,
+            storage,
+            throughput,
+        }
     }
 }
 
@@ -158,7 +171,8 @@ impl StrategyAnalysis {
     /// The best strategy under `weights`. Panics if no strategy ran —
     /// use [`StrategyAnalysis::try_recommend`] to handle that case.
     pub fn recommend(&self, weights: Weights) -> ScoredStrategy {
-        self.try_recommend(weights).expect("no usable strategy to recommend")
+        self.try_recommend(weights)
+            .expect("no usable strategy to recommend")
     }
 
     /// The best strategy under `weights`, if any ran successfully.
@@ -183,9 +197,7 @@ impl StrategyAnalysis {
         };
         usable
             .iter()
-            .filter(|(_, candidate)| {
-                !usable.iter().any(|(_, other)| dominates(other, candidate))
-            })
+            .filter(|(_, candidate)| !usable.iter().any(|(_, other)| dominates(other, candidate)))
             .map(|(_, profile)| *profile)
             .collect()
     }
@@ -263,7 +275,11 @@ pub fn compare_metric(
     fail: Option<f64>,
 ) -> MetricDelta {
     let scale = before.abs().max(after.abs());
-    let raw = if scale > 0.0 { (after - before) / scale } else { 0.0 };
+    let raw = if scale > 0.0 {
+        (after - before) / scale
+    } else {
+        0.0
+    };
     let goodness_delta = match direction {
         Direction::HigherIsBetter => raw,
         Direction::LowerIsBetter => -raw,
@@ -289,7 +305,14 @@ pub fn compare_metric(
     } else {
         Verdict::Warning
     };
-    MetricDelta { name: name.to_string(), before, after, goodness_delta, normalized, verdict }
+    MetricDelta {
+        name: name.to_string(),
+        before,
+        after,
+        goodness_delta,
+        normalized,
+        verdict,
+    }
 }
 
 /// A full run-over-run comparison.
@@ -376,9 +399,7 @@ pub fn compare_runs(
     ];
     // Steps present in both runs, matched by name.
     for (name, busy_ns, p95_ns) in &before.steps {
-        if let Some((_, after_busy, after_p95)) =
-            after.steps.iter().find(|(n, _, _)| n == name)
-        {
+        if let Some((_, after_busy, after_p95)) = after.steps.iter().find(|(n, _, _)| n == name) {
             deltas.push(compare_metric(
                 &format!("step:{name} busy_ns"),
                 *busy_ns,
@@ -397,7 +418,11 @@ pub fn compare_runs(
             ));
         }
     }
-    let worst = deltas.iter().map(|d| d.verdict).max().unwrap_or(Verdict::Unchanged);
+    let worst = deltas
+        .iter()
+        .map(|d| d.verdict)
+        .max()
+        .unwrap_or(Verdict::Unchanged);
     RunComparison { deltas, worst }
 }
 
@@ -516,14 +541,21 @@ mod tests {
             profile("fastest", 500.0, 900, 1800.0),
             profile("cheapest", 0.0, 100, 100.0),
         ]);
-        let front: Vec<&str> =
-            analysis.pareto_front().iter().map(|p| p.label.as_str()).collect();
+        let front: Vec<&str> = analysis
+            .pareto_front()
+            .iter()
+            .map(|p| p.label.as_str())
+            .collect();
         assert!(front.contains(&"balanced"));
         assert!(front.contains(&"fastest"));
         assert!(front.contains(&"cheapest"));
         assert!(!front.contains(&"dominated"));
         // Every weighted recommendation lies on the front.
-        for weights in [Weights::MAX_THROUGHPUT, Weights::DEADLINE, Weights::BALANCED] {
+        for weights in [
+            Weights::MAX_THROUGHPUT,
+            Weights::DEADLINE,
+            Weights::BALANCED,
+        ] {
             let best = analysis.recommend(weights);
             assert!(front.contains(&best.label.as_str()), "{:?}", weights);
         }
@@ -543,28 +575,66 @@ mod tests {
             cache_hits: 0,
             cache_misses: 1_000,
             seed: 1,
-            steps: steps.iter().map(|(n, b, p)| (n.to_string(), *b, *p)).collect(),
+            steps: steps
+                .iter()
+                .map(|(n, b, p)| (n.to_string(), *b, *p))
+                .collect(),
         }
     }
 
     #[test]
     fn compare_metric_verdict_boundaries() {
-        let d = compare_metric("sps", 1000.0, 1000.0, Direction::HigherIsBetter, 0.05, Some(0.2));
+        let d = compare_metric(
+            "sps",
+            1000.0,
+            1000.0,
+            Direction::HigherIsBetter,
+            0.05,
+            Some(0.2),
+        );
         assert_eq!(d.verdict, Verdict::Unchanged);
         assert_eq!(d.goodness_delta, 0.0);
         assert_eq!(d.normalized, (1.0, 1.0), "degenerate pair is equally good");
         // -10%: past noise, under the 20% bar → warning.
-        let d = compare_metric("sps", 1000.0, 900.0, Direction::HigherIsBetter, 0.05, Some(0.2));
+        let d = compare_metric(
+            "sps",
+            1000.0,
+            900.0,
+            Direction::HigherIsBetter,
+            0.05,
+            Some(0.2),
+        );
         assert_eq!(d.verdict, Verdict::Warning);
         // -30%: past the bar → regression, and bounded in [-1, 1].
-        let d = compare_metric("sps", 1000.0, 700.0, Direction::HigherIsBetter, 0.05, Some(0.2));
+        let d = compare_metric(
+            "sps",
+            1000.0,
+            700.0,
+            Direction::HigherIsBetter,
+            0.05,
+            Some(0.2),
+        );
         assert_eq!(d.verdict, Verdict::Regression);
         assert!((-1.0..=0.0).contains(&d.goodness_delta));
         assert_eq!(d.normalized, (1.0, 0.0), "before was best, after worst");
         // +30%: improved; same magnitude without a bar only warns.
-        let d = compare_metric("sps", 1000.0, 1300.0, Direction::HigherIsBetter, 0.05, Some(0.2));
+        let d = compare_metric(
+            "sps",
+            1000.0,
+            1300.0,
+            Direction::HigherIsBetter,
+            0.05,
+            Some(0.2),
+        );
         assert_eq!(d.verdict, Verdict::Improved);
-        let d = compare_metric("elapsed", 1000.0, 1300.0, Direction::LowerIsBetter, 0.05, None);
+        let d = compare_metric(
+            "elapsed",
+            1000.0,
+            1300.0,
+            Direction::LowerIsBetter,
+            0.05,
+            None,
+        );
         assert_eq!(d.verdict, Verdict::Warning);
         // Zero-to-zero metrics are unchanged, not NaN.
         let d = compare_metric("retries", 0.0, 0.0, Direction::LowerIsBetter, 0.05, None);

@@ -29,7 +29,10 @@ pub struct CloudPricing {
 impl CloudPricing {
     /// Ballpark public-cloud prices for an 8-vCPU VM + object storage.
     pub fn typical() -> Self {
-        CloudPricing { vm_per_hour: 0.40, storage_per_gb_month: 0.023 }
+        CloudPricing {
+            vm_per_hour: 0.40,
+            storage_per_gb_month: 0.023,
+        }
     }
 }
 
@@ -118,7 +121,13 @@ mod tests {
     use presto_pipeline::Strategy;
     use presto_storage::{Dstat, Nanos};
 
-    fn profile(label: &str, prep_secs: f64, storage_gb: f64, epoch_secs: f64, sps: f64) -> StrategyProfile {
+    fn profile(
+        label: &str,
+        prep_secs: f64,
+        storage_gb: f64,
+        epoch_secs: f64,
+        sps: f64,
+    ) -> StrategyProfile {
         StrategyProfile {
             strategy: Strategy::at_split(0),
             label: label.into(),
@@ -144,8 +153,14 @@ mod tests {
     #[test]
     fn breakdown_arithmetic() {
         let p = profile("x", 3_600.0, 100.0, 1_800.0, 500.0);
-        let pricing = CloudPricing { vm_per_hour: 1.0, storage_per_gb_month: 0.02 };
-        let campaign = Campaign { epochs: 10, retention_months: 2.0 };
+        let pricing = CloudPricing {
+            vm_per_hour: 1.0,
+            storage_per_gb_month: 0.02,
+        };
+        let campaign = Campaign {
+            epochs: 10,
+            retention_months: 2.0,
+        };
         let cost = cost_of(&p, &pricing, &campaign);
         assert!((cost.preprocessing_usd - 1.0).abs() < 1e-9);
         assert!((cost.storage_usd - 100.0 * 0.02 * 2.0).abs() < 1e-9);
@@ -161,8 +176,14 @@ mod tests {
         let b = profile("B", 50_000.0, 50.0, 1_000.0, 1_000.0);
         let analysis = StrategyAnalysis::new(vec![a, b]);
         let pricing = CloudPricing::typical();
-        let few = Campaign { epochs: 1, retention_months: 0.1 };
-        let many = Campaign { epochs: 100, retention_months: 0.1 };
+        let few = Campaign {
+            epochs: 1,
+            retention_months: 0.1,
+        };
+        let many = Campaign {
+            epochs: 100,
+            retention_months: 0.1,
+        };
         assert_eq!(cheapest(&analysis, &pricing, &few).unwrap().0.label, "A");
         assert_eq!(cheapest(&analysis, &pricing, &many).unwrap().0.label, "B");
     }
@@ -173,7 +194,10 @@ mod tests {
         let fast_pricey = profile("fast", 10_000.0, 500.0, 50.0, 2_000.0);
         let analysis = StrategyAnalysis::new(vec![slow_cheap, fast_pricey]);
         let pricing = CloudPricing::typical();
-        let campaign = Campaign { epochs: 5, retention_months: 1.0 };
+        let campaign = Campaign {
+            epochs: 5,
+            retention_months: 1.0,
+        };
         let pick = cheapest_feeding(&analysis, &pricing, &campaign, 1_457.0).unwrap();
         assert_eq!(pick.0.label, "fast");
         assert!(cheapest_feeding(&analysis, &pricing, &campaign, 99_999.0).is_none());

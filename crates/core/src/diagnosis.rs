@@ -73,10 +73,8 @@ pub fn diagnose(profile: &StrategyProfile, env: &SimEnv) -> Option<Diagnosis> {
     }
     let moved = (epoch.stats.storage_read_bytes + epoch.stats.storage_write_bytes) as f64;
     let storage_util = (moved / env.device.aggregate_bw / span).min(1.0);
-    let cpu_util =
-        (epoch.stats.cpu_work.as_secs_f64() / (env.cores as f64 * span)).min(1.0);
-    let dispatch_util =
-        (epoch.stats.dispatches as f64 * env.dispatch_ns / 1e9 / span).min(1.0);
+    let cpu_util = (epoch.stats.cpu_work.as_secs_f64() / (env.cores as f64 * span)).min(1.0);
+    let dispatch_util = (epoch.stats.dispatches as f64 * env.dispatch_ns / 1e9 / span).min(1.0);
     let worker_time = span * profile.strategy.threads as f64;
     let lock_wait_fraction = (epoch.stats.lock_wait.as_secs_f64() / worker_time).min(1.0);
 
@@ -86,7 +84,13 @@ pub fn diagnose(profile: &StrategyProfile, env: &SimEnv) -> Option<Diagnosis> {
         (Bottleneck::Dispatch, dispatch_util),
         (Bottleneck::Lock, lock_wait_fraction),
     ]);
-    Some(Diagnosis { storage_util, cpu_util, dispatch_util, lock_wait_fraction, bottleneck })
+    Some(Diagnosis {
+        storage_util,
+        cpu_util,
+        dispatch_util,
+        lock_wait_fraction,
+        bottleneck,
+    })
 }
 
 /// The shared ≥0.5-of-the-maximum rule: below half-utilization on
@@ -225,7 +229,11 @@ pub fn diagnose_point(point: &TimePoint) -> Bottleneck {
 pub fn diagnose_window(window: &[TimePoint]) -> Option<TrendDiagnosis> {
     let points: Vec<TrendPoint> = window
         .iter()
-        .map(|p| TrendPoint { t_ns: p.t_ns, bottleneck: diagnose_point(p), sps: p.sps })
+        .map(|p| TrendPoint {
+            t_ns: p.t_ns,
+            bottleneck: diagnose_point(p),
+            sps: p.sps,
+        })
         .collect();
     let current = points.last()?.bottleneck;
     let shifts = points
@@ -233,7 +241,11 @@ pub fn diagnose_window(window: &[TimePoint]) -> Option<TrendDiagnosis> {
         .filter(|w| w[0].bottleneck != w[1].bottleneck)
         .map(|w| (w[1].t_ns, w[0].bottleneck, w[1].bottleneck))
         .collect();
-    Some(TrendDiagnosis { points, current, shifts })
+    Some(TrendDiagnosis {
+        points,
+        current,
+        shifts,
+    })
 }
 
 #[cfg(test)]
@@ -249,12 +261,17 @@ mod tests {
             name: "diag".into(),
             sample_count: count,
             unprocessed_sample_bytes: bytes,
-            layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+            layout: SourceLayout::LargeFiles {
+                file_bytes: 1 << 30,
+            },
         }
     }
 
     fn env() -> SimEnv {
-        SimEnv { subset_samples: 3_000, ..SimEnv::paper_vm() }
+        SimEnv {
+            subset_samples: 3_000,
+            ..SimEnv::paper_vm()
+        }
     }
 
     #[test]
@@ -354,7 +371,11 @@ mod tests {
             phase("deliver", PhaseKind::Deliver, deliver_ns),
         ];
         assert_eq!(all.len(), BUILTIN_PHASES);
-        all.extend(steps.iter().map(|(name, ns)| phase(name, PhaseKind::Step, *ns)));
+        all.extend(
+            steps
+                .iter()
+                .map(|(name, ns)| phase(name, PhaseKind::Step, *ns)),
+        );
         TelemetrySnapshot {
             elapsed_ns,
             epoch_seed: 0,
@@ -391,8 +412,7 @@ mod tests {
 
     #[test]
     fn real_run_with_a_skewed_step_is_cpu_bound_and_names_the_straggler() {
-        let snap =
-            real_snapshot(100, 50, &[("resize", 150), ("augment", 1_500)], 1_000);
+        let snap = real_snapshot(100, 50, &[("resize", 150), ("augment", 1_500)], 1_000);
         let real = diagnose_real(&snap).unwrap();
         assert_eq!(real.diagnosis.bottleneck, Bottleneck::Cpu, "{real:?}");
         let straggler = real.straggler.unwrap();
@@ -455,7 +475,10 @@ mod tests {
         let trend = diagnose_window(&window).unwrap();
         assert_eq!(trend.current, Bottleneck::Cpu);
         assert_eq!(trend.points.len(), 4);
-        assert_eq!(trend.shifts, vec![(3_000, Bottleneck::Storage, Bottleneck::Cpu)]);
+        assert_eq!(
+            trend.shifts,
+            vec![(3_000, Bottleneck::Storage, Bottleneck::Cpu)]
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 
 use crate::analysis::{StrategyAnalysis, Weights};
 use crate::profiler::Presto;
+use presto_pipeline::sim::StrategyProfile;
 
 /// Fidelity of one subset size relative to the reference run.
 #[derive(Debug, Clone)]
@@ -32,7 +33,10 @@ pub struct FidelityPoint {
 /// Profile at each of `sample_counts` (ascending; the last is the
 /// reference) and measure drift.
 pub fn sweep(presto: &Presto, sample_counts: &[u64], weights: Weights) -> Vec<FidelityPoint> {
-    assert!(sample_counts.len() >= 2, "need at least a probe and a reference size");
+    assert!(
+        sample_counts.len() >= 2,
+        "need at least a probe and a reference size"
+    );
     let analyses: Vec<StrategyAnalysis> = sample_counts
         .iter()
         .map(|&n| presto.clone().with_sample_count(n).profile_all(1))
@@ -45,22 +49,7 @@ pub fn sweep(presto: &Presto, sample_counts: &[u64], weights: Weights) -> Vec<Fi
         .zip(sample_counts)
         .map(|(analysis, &n)| {
             let best = analysis.recommend(weights).label;
-            let mut t_drift = 0.0f64;
-            let mut p_drift = 0.0f64;
-            for (probe, truth) in analysis.profiles().iter().zip(reference.profiles()) {
-                if probe.error.is_some() || truth.error.is_some() {
-                    continue;
-                }
-                let t_ref = truth.throughput_sps();
-                if t_ref > 0.0 {
-                    t_drift = t_drift.max((probe.throughput_sps() - t_ref).abs() / t_ref);
-                }
-                let p_ref = truth.preprocessing_secs();
-                if p_ref > 0.0 {
-                    p_drift =
-                        p_drift.max((probe.preprocessing_secs() - p_ref).abs() / p_ref);
-                }
-            }
+            let (t_drift, p_drift) = profile_drift(analysis.profiles(), reference.profiles());
             FidelityPoint {
                 sample_count: n,
                 recommendation_stable: best == reference_best,
@@ -70,6 +59,34 @@ pub fn sweep(presto: &Presto, sample_counts: &[u64], weights: Weights) -> Vec<Fi
             }
         })
         .collect()
+}
+
+/// Maximum relative drift of throughput and preprocessing time between
+/// two profile sets, matched by strategy label: `(throughput_drift,
+/// preprocessing_drift)`, where 0.1 means 10%. Labels absent from
+/// `reference` and profiles that failed on either side are skipped.
+/// Shared by [`sweep`] and the pruned search's probe-vs-full agreement
+/// report ([`crate::search`]).
+pub fn profile_drift(probe: &[StrategyProfile], reference: &[StrategyProfile]) -> (f64, f64) {
+    let mut t_drift = 0.0f64;
+    let mut p_drift = 0.0f64;
+    for probe in probe {
+        let Some(truth) = reference.iter().find(|r| r.label == probe.label) else {
+            continue;
+        };
+        if probe.error.is_some() || truth.error.is_some() {
+            continue;
+        }
+        let t_ref = truth.throughput_sps();
+        if t_ref > 0.0 {
+            t_drift = t_drift.max((probe.throughput_sps() - t_ref).abs() / t_ref);
+        }
+        let p_ref = truth.preprocessing_secs();
+        if p_ref > 0.0 {
+            p_drift = p_drift.max((probe.preprocessing_secs() - p_ref).abs() / p_ref);
+        }
+    }
+    (t_drift, p_drift)
 }
 
 /// Smallest profiled sample count whose recommendation matches the
@@ -109,15 +126,28 @@ mod tests {
             name: "fid-data".into(),
             sample_count: 50_000,
             unprocessed_sample_bytes: 120_000.0,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::from_millis(10) },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::from_millis(10),
+            },
         };
-        Presto::new(pipeline, dataset, SimEnv { subset_samples: 50_000, ..SimEnv::paper_vm() })
+        Presto::new(
+            pipeline,
+            dataset,
+            SimEnv {
+                subset_samples: 50_000,
+                ..SimEnv::paper_vm()
+            },
+        )
     }
 
     #[test]
     fn small_subsets_converge_to_the_reference() {
         let presto = presto();
-        let points = sweep(&presto, &[200, 1_000, 5_000, 20_000], Weights::MAX_THROUGHPUT);
+        let points = sweep(
+            &presto,
+            &[200, 1_000, 5_000, 20_000],
+            Weights::MAX_THROUGHPUT,
+        );
         assert_eq!(points.len(), 4);
         // The reference point has zero drift by construction.
         let last = points.last().unwrap();

@@ -47,6 +47,7 @@ pub mod diagnosis;
 pub mod fidelity;
 pub mod profiler;
 pub mod report;
+pub mod search;
 
 pub use analysis::{
     compare_metric, compare_runs, Direction, MetricDelta, RunComparison, ScoredStrategy,
@@ -54,8 +55,12 @@ pub use analysis::{
 };
 pub use cost::{Campaign, CloudPricing};
 pub use diagnosis::{
-    diagnose, diagnose_point, diagnose_real, diagnose_window, Bottleneck, Diagnosis,
-    RealDiagnosis, Straggler, TrendDiagnosis, TrendPoint,
+    diagnose, diagnose_point, diagnose_real, diagnose_window, Bottleneck, Diagnosis, RealDiagnosis,
+    Straggler, TrendDiagnosis, TrendPoint,
 };
 pub use profiler::Presto;
 pub use report::{shape_check, Comparison, TableBuilder};
+pub use search::{
+    profile_grid_parallel, profile_grid_pruned, PruneOptions, SearchOptions, SearchReport,
+    SearchStats,
+};

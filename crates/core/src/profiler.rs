@@ -2,9 +2,8 @@
 //! `profile_strategy()` entry points over the simulation engine.
 
 use crate::analysis::StrategyAnalysis;
-use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, StrategyProfile};
+use presto_pipeline::sim::{OfflineMemo, SimDataset, SimEnv, Simulator, StrategyProfile};
 use presto_pipeline::{CacheLevel, Pipeline, Strategy};
-use presto_codecs::{Codec, Level};
 
 /// PRESTO profiler for one pipeline/dataset pair.
 ///
@@ -19,7 +18,9 @@ pub struct Presto {
 impl Presto {
     /// Wrap a pipeline for profiling on `dataset` under `env`.
     pub fn new(pipeline: Pipeline, dataset: SimDataset, env: SimEnv) -> Self {
-        Presto { simulator: Simulator::new(pipeline, dataset, env) }
+        Presto {
+            simulator: Simulator::new(pipeline, dataset, env),
+        }
     }
 
     /// The wrapped pipeline.
@@ -45,6 +46,20 @@ impl Presto {
         self.simulator.profile(strategy, runs_total.max(1))
     }
 
+    /// Like [`Presto::profile_strategy`], sharing offline-phase
+    /// simulations through `memo` when one is supplied (see
+    /// [`OfflineMemo`]). Used by the parallel search
+    /// ([`crate::search`]); results are bit-identical to cold profiles.
+    pub fn profile_strategy_memo(
+        &self,
+        strategy: &Strategy,
+        runs_total: usize,
+        memo: Option<&OfflineMemo>,
+    ) -> StrategyProfile {
+        self.simulator
+            .profile_with_memo(strategy, runs_total.max(1), memo)
+    }
+
     /// Profile every legal split with default knobs and summarize.
     pub fn profile_all(&self, runs_total: usize) -> StrategyAnalysis {
         StrategyAnalysis::new(self.simulator.profile_all(runs_total.max(1)))
@@ -53,21 +68,13 @@ impl Presto {
     /// Profile every legal split under every knob combination the paper
     /// sweeps: codecs {none, GZIP, ZLIB} × caches {none, system,
     /// application}. Thread count stays at the strategy default (8).
+    /// For the thread-sweeping, parallel, memoized variant see
+    /// [`crate::search::profile_grid_parallel`].
     pub fn profile_grid(&self, runs_total: usize) -> StrategyAnalysis {
-        let mut profiles = Vec::new();
-        for base in Strategy::enumerate(self.pipeline()) {
-            for codec in [Codec::None, Codec::Gzip(Level::DEFAULT), Codec::Zlib(Level::DEFAULT)] {
-                for cache in [CacheLevel::None, CacheLevel::System, CacheLevel::Application] {
-                    // Compression without materialization is meaningless.
-                    if base.split == 0 && !matches!(codec, Codec::None) {
-                        continue;
-                    }
-                    let strategy =
-                        base.clone().with_compression(codec).with_cache(cache);
-                    profiles.push(self.profile_strategy(&strategy, runs_total));
-                }
-            }
-        }
+        let profiles = crate::search::strategy_grid(self.pipeline(), &[8])
+            .iter()
+            .map(|strategy| self.profile_strategy(strategy, runs_total))
+            .collect();
         StrategyAnalysis::new(profiles)
     }
 
@@ -100,19 +107,40 @@ mod tests {
 
     fn presto() -> Presto {
         let pipeline = Pipeline::new("t")
-            .push_spec(StepSpec::native("concatenated", CostModel::new(3_000.0, 0.0, 0.0), SizeModel::IDENTITY))
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::new(3_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ))
             .push_spec(
-                StepSpec::native("decoded", CostModel::new(0.0, 12.0, 0.0), SizeModel::scale(4.0))
-                    .with_space_saving(0.5, 0.48),
+                StepSpec::native(
+                    "decoded",
+                    CostModel::new(0.0, 12.0, 0.0),
+                    SizeModel::scale(4.0),
+                )
+                .with_space_saving(0.5, 0.48),
             )
-            .push_spec(StepSpec::native("shrunk", CostModel::new(0.0, 1.0, 0.0), SizeModel::scale(0.25)));
+            .push_spec(StepSpec::native(
+                "shrunk",
+                CostModel::new(0.0, 1.0, 0.0),
+                SizeModel::scale(0.25),
+            ));
         let dataset = SimDataset {
             name: "t-data".into(),
             sample_count: 5_000,
             unprocessed_sample_bytes: 150_000.0,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::ZERO,
+            },
         };
-        Presto::new(pipeline, dataset, SimEnv { subset_samples: 1_500, ..SimEnv::paper_vm() })
+        Presto::new(
+            pipeline,
+            dataset,
+            SimEnv {
+                subset_samples: 1_500,
+                ..SimEnv::paper_vm()
+            },
+        )
     }
 
     #[test]

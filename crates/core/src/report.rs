@@ -13,7 +13,10 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Start a table with column headers.
     pub fn new(header: &[&str]) -> Self {
-        TableBuilder { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        TableBuilder {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header length).
@@ -66,7 +69,11 @@ pub struct Comparison {
 impl Comparison {
     /// Build a comparison.
     pub fn new(what: &str, paper: f64, measured: f64) -> Self {
-        Comparison { what: what.to_string(), paper, measured }
+        Comparison {
+            what: what.to_string(),
+            paper,
+            measured,
+        }
     }
 
     /// Measured/paper ratio (∞ when the paper value is 0).
@@ -155,7 +162,10 @@ pub fn profiles_to_csv(profiles: &[presto_pipeline::sim::StrategyProfile]) -> St
             profile.storage_bytes,
             profile.stored_sample_bytes,
             profile.preprocessing_secs(),
-            profile.error.as_ref().map_or(String::new(), |e| csv_escape(&e.to_string())),
+            profile
+                .error
+                .as_ref()
+                .map_or(String::new(), |e| csv_escape(&e.to_string())),
         );
     }
     out

@@ -35,88 +35,358 @@ pub enum Metric {
 
 /// Table 1: the motivating CV trade-off table.
 pub const TABLE1: &[Anchor] = &[
-    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 107.0 },
-    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::StorageGb, value: 146.0 },
-    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::ThroughputSps, value: 576.0 },
-    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::StorageGb, value: 1_535.0 },
-    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::ThroughputSps, value: 1_789.0 },
-    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::StorageGb, value: 494.0 },
+    Anchor {
+        pipeline: "CV",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 107.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "unprocessed",
+        metric: Metric::StorageGb,
+        value: 146.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "pixel-centered",
+        metric: Metric::ThroughputSps,
+        value: 576.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "pixel-centered",
+        metric: Metric::StorageGb,
+        value: 1_535.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "resized",
+        metric: Metric::ThroughputSps,
+        value: 1_789.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "resized",
+        metric: Metric::StorageGb,
+        value: 494.0,
+    },
 ];
 
 /// Table 4: unprocessed vs concatenated (HDD; SSD variants separate).
 pub const TABLE4_HDD: &[Anchor] = &[
-    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 107.0 },
-    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::ThroughputSps, value: 962.0 },
-    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 12.0 },
-    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::NetworkMbps, value: 111.0 },
-    Anchor { pipeline: "CV2-JPG", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 88.0 },
-    Anchor { pipeline: "CV2-JPG", strategy: "concatenated", metric: Metric::ThroughputSps, value: 288.0 },
-    Anchor { pipeline: "CV2-JPG", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 46.0 },
-    Anchor { pipeline: "CV2-JPG", strategy: "concatenated", metric: Metric::NetworkMbps, value: 110.0 },
-    Anchor { pipeline: "CV2-PNG", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 15.0 },
-    Anchor { pipeline: "CV2-PNG", strategy: "concatenated", metric: Metric::ThroughputSps, value: 21.0 },
-    Anchor { pipeline: "CV2-PNG", strategy: "unprocessed", metric: Metric::NetworkMbps, value: 270.0 },
-    Anchor { pipeline: "CV2-PNG", strategy: "concatenated", metric: Metric::NetworkMbps, value: 390.0 },
-    Anchor { pipeline: "NLP", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 6.0 },
-    Anchor { pipeline: "NLP", strategy: "concatenated", metric: Metric::ThroughputSps, value: 6.0 },
+    Anchor {
+        pipeline: "CV",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 107.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 962.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "unprocessed",
+        metric: Metric::NetworkMbps,
+        value: 12.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "concatenated",
+        metric: Metric::NetworkMbps,
+        value: 111.0,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 88.0,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 288.0,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "unprocessed",
+        metric: Metric::NetworkMbps,
+        value: 46.0,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "concatenated",
+        metric: Metric::NetworkMbps,
+        value: 110.0,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 15.0,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 21.0,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "unprocessed",
+        metric: Metric::NetworkMbps,
+        value: 270.0,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "concatenated",
+        metric: Metric::NetworkMbps,
+        value: 390.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 6.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 6.0,
+    },
 ];
 
 /// Table 4 SSD rows.
 pub const TABLE4_SSD: &[Anchor] = &[
-    Anchor { pipeline: "CV", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 588.0 },
-    Anchor { pipeline: "CV", strategy: "concatenated", metric: Metric::ThroughputSps, value: 944.0 },
-    Anchor { pipeline: "NLP", strategy: "unprocessed", metric: Metric::ThroughputSps, value: 3.0 },
-    Anchor { pipeline: "NLP", strategy: "concatenated", metric: Metric::ThroughputSps, value: 3.0 },
+    Anchor {
+        pipeline: "CV",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 588.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 944.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "unprocessed",
+        metric: Metric::ThroughputSps,
+        value: 3.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "concatenated",
+        metric: Metric::ThroughputSps,
+        value: 3.0,
+    },
 ];
 
 /// Section 4.1 call-outs beyond the tables.
 pub const SECTION41: &[Anchor] = &[
-    Anchor { pipeline: "CV", strategy: "decoded", metric: Metric::NetworkMbps, value: 491.0 },
-    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::NetworkMbps, value: 470.0 },
-    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::NetworkMbps, value: 585.0 },
-    Anchor { pipeline: "CV2-JPG", strategy: "decoded", metric: Metric::NetworkMbps, value: 828.0 },
-    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::ThroughputSps, value: 1_726.0 },
-    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::NetworkMbps, value: 6.0 },
-    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::ThroughputSps, value: 131.0 },
-    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::NetworkMbps, value: 315.0 },
-    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::NetworkMbps, value: 96.0 },
-    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::NetworkMbps, value: 317.0 },
-    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::NetworkMbps, value: 564.0 },
+    Anchor {
+        pipeline: "CV",
+        strategy: "decoded",
+        metric: Metric::NetworkMbps,
+        value: 491.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "resized",
+        metric: Metric::NetworkMbps,
+        value: 470.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "pixel-centered",
+        metric: Metric::NetworkMbps,
+        value: 585.0,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "decoded",
+        metric: Metric::NetworkMbps,
+        value: 828.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "bpe-encoded",
+        metric: Metric::ThroughputSps,
+        value: 1_726.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "bpe-encoded",
+        metric: Metric::NetworkMbps,
+        value: 6.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "embedded",
+        metric: Metric::ThroughputSps,
+        value: 131.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "embedded",
+        metric: Metric::NetworkMbps,
+        value: 315.0,
+    },
+    Anchor {
+        pipeline: "NILM",
+        strategy: "aggregated",
+        metric: Metric::NetworkMbps,
+        value: 96.0,
+    },
+    Anchor {
+        pipeline: "MP3",
+        strategy: "spectrogram-encoded",
+        metric: Metric::NetworkMbps,
+        value: 317.0,
+    },
+    Anchor {
+        pipeline: "FLAC",
+        strategy: "spectrogram-encoded",
+        metric: Metric::NetworkMbps,
+        value: 564.0,
+    },
 ];
 
 /// Table 5: caching speedups of each pipeline's last strategy.
 pub const TABLE5: &[Anchor] = &[
-    Anchor { pipeline: "CV2-JPG", strategy: "pixel-centered", metric: Metric::SysCacheSpeedup, value: 3.3 },
-    Anchor { pipeline: "CV2-JPG", strategy: "pixel-centered", metric: Metric::AppCacheSpeedup, value: 15.2 },
-    Anchor { pipeline: "CV2-PNG", strategy: "pixel-centered", metric: Metric::SysCacheSpeedup, value: 3.5 },
-    Anchor { pipeline: "CV2-PNG", strategy: "pixel-centered", metric: Metric::AppCacheSpeedup, value: 14.5 },
-    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::SysCacheSpeedup, value: 4.2 },
-    Anchor { pipeline: "FLAC", strategy: "spectrogram-encoded", metric: Metric::AppCacheSpeedup, value: 8.0 },
-    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::SysCacheSpeedup, value: 1.6 },
-    Anchor { pipeline: "MP3", strategy: "spectrogram-encoded", metric: Metric::AppCacheSpeedup, value: 2.2 },
-    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::SysCacheSpeedup, value: 1.1 },
-    Anchor { pipeline: "NILM", strategy: "aggregated", metric: Metric::AppCacheSpeedup, value: 1.4 },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "pixel-centered",
+        metric: Metric::SysCacheSpeedup,
+        value: 3.3,
+    },
+    Anchor {
+        pipeline: "CV2-JPG",
+        strategy: "pixel-centered",
+        metric: Metric::AppCacheSpeedup,
+        value: 15.2,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "pixel-centered",
+        metric: Metric::SysCacheSpeedup,
+        value: 3.5,
+    },
+    Anchor {
+        pipeline: "CV2-PNG",
+        strategy: "pixel-centered",
+        metric: Metric::AppCacheSpeedup,
+        value: 14.5,
+    },
+    Anchor {
+        pipeline: "FLAC",
+        strategy: "spectrogram-encoded",
+        metric: Metric::SysCacheSpeedup,
+        value: 4.2,
+    },
+    Anchor {
+        pipeline: "FLAC",
+        strategy: "spectrogram-encoded",
+        metric: Metric::AppCacheSpeedup,
+        value: 8.0,
+    },
+    Anchor {
+        pipeline: "MP3",
+        strategy: "spectrogram-encoded",
+        metric: Metric::SysCacheSpeedup,
+        value: 1.6,
+    },
+    Anchor {
+        pipeline: "MP3",
+        strategy: "spectrogram-encoded",
+        metric: Metric::AppCacheSpeedup,
+        value: 2.2,
+    },
+    Anchor {
+        pipeline: "NILM",
+        strategy: "aggregated",
+        metric: Metric::SysCacheSpeedup,
+        value: 1.1,
+    },
+    Anchor {
+        pipeline: "NILM",
+        strategy: "aggregated",
+        metric: Metric::AppCacheSpeedup,
+        value: 1.4,
+    },
 ];
 
 /// Storage totals the text calls out (GB).
 pub const STORAGE_TOTALS: &[Anchor] = &[
-    Anchor { pipeline: "CV", strategy: "resized", metric: Metric::StorageGb, value: 347.0 },
-    Anchor { pipeline: "CV", strategy: "pixel-centered", metric: Metric::StorageGb, value: 1_400.0 },
-    Anchor { pipeline: "NLP", strategy: "decoded", metric: Metric::StorageGb, value: 0.594 },
-    Anchor { pipeline: "NLP", strategy: "bpe-encoded", metric: Metric::StorageGb, value: 0.647 },
-    Anchor { pipeline: "NLP", strategy: "embedded", metric: Metric::StorageGb, value: 490.7 },
+    Anchor {
+        pipeline: "CV",
+        strategy: "resized",
+        metric: Metric::StorageGb,
+        value: 347.0,
+    },
+    Anchor {
+        pipeline: "CV",
+        strategy: "pixel-centered",
+        metric: Metric::StorageGb,
+        value: 1_400.0,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "decoded",
+        metric: Metric::StorageGb,
+        value: 0.594,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "bpe-encoded",
+        metric: Metric::StorageGb,
+        value: 0.647,
+    },
+    Anchor {
+        pipeline: "NLP",
+        strategy: "embedded",
+        metric: Metric::StorageGb,
+        value: 490.7,
+    },
 ];
 
 /// Section 4.6 (Fig. 14) greyscale case-study call-outs.
 pub const FIG14: &[Anchor] = &[
     // Setup A (greyscale before pixel centering): best strategy
     // applied-greyscale reaches 4284 SPS vs resized 1513 in that run.
-    Anchor { pipeline: "CV+grey-before", strategy: "applied-greyscale", metric: Metric::ThroughputSps, value: 4_284.0 },
-    Anchor { pipeline: "CV+grey-before", strategy: "resized", metric: Metric::ThroughputSps, value: 1_513.0 },
+    Anchor {
+        pipeline: "CV+grey-before",
+        strategy: "applied-greyscale",
+        metric: Metric::ThroughputSps,
+        value: 4_284.0,
+    },
+    Anchor {
+        pipeline: "CV+grey-before",
+        strategy: "resized",
+        metric: Metric::ThroughputSps,
+        value: 1_513.0,
+    },
     // Setup B (greyscale after): applied-greyscale 1384 vs
     // pixel-centered 534.
-    Anchor { pipeline: "CV+grey-after", strategy: "applied-greyscale", metric: Metric::ThroughputSps, value: 1_384.0 },
-    Anchor { pipeline: "CV+grey-after", strategy: "pixel-centered", metric: Metric::ThroughputSps, value: 534.0 },
+    Anchor {
+        pipeline: "CV+grey-after",
+        strategy: "applied-greyscale",
+        metric: Metric::ThroughputSps,
+        value: 1_384.0,
+    },
+    Anchor {
+        pipeline: "CV+grey-after",
+        strategy: "pixel-centered",
+        metric: Metric::ThroughputSps,
+        value: 534.0,
+    },
 ];
 
 /// Look up an anchor value.
@@ -158,8 +428,20 @@ mod tests {
     fn caching_speedups_scale_with_sample_size() {
         // Table 5's correlation: bigger samples → bigger caching gains.
         let nilm = find(TABLE5, "NILM", "aggregated", Metric::AppCacheSpeedup).unwrap();
-        let mp3 = find(TABLE5, "MP3", "spectrogram-encoded", Metric::AppCacheSpeedup).unwrap();
-        let flac = find(TABLE5, "FLAC", "spectrogram-encoded", Metric::AppCacheSpeedup).unwrap();
+        let mp3 = find(
+            TABLE5,
+            "MP3",
+            "spectrogram-encoded",
+            Metric::AppCacheSpeedup,
+        )
+        .unwrap();
+        let flac = find(
+            TABLE5,
+            "FLAC",
+            "spectrogram-encoded",
+            Metric::AppCacheSpeedup,
+        )
+        .unwrap();
         assert!(nilm < mp3 && mp3 < flac);
     }
 }

@@ -60,7 +60,9 @@ fn audio_workload(p: &AudioParams) -> Workload {
             name: format!("{}-corpus", p.name),
             sample_count: p.sample_count,
             unprocessed_sample_bytes: p.unprocessed_bytes,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::ZERO,
+            },
         },
     }
 }
@@ -100,9 +102,15 @@ mod tests {
     #[test]
     fn spectrogram_sizes_match_table5() {
         let m = mp3();
-        assert_eq!(m.pipeline.size_after(2, m.dataset.unprocessed_sample_bytes), 80_000.0);
+        assert_eq!(
+            m.pipeline.size_after(2, m.dataset.unprocessed_sample_bytes),
+            80_000.0
+        );
         let f = flac();
-        assert_eq!(f.pipeline.size_after(2, f.dataset.unprocessed_sample_bytes), 410_000.0);
+        assert_eq!(
+            f.pipeline.size_after(2, f.dataset.unprocessed_sample_bytes),
+            410_000.0
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ fn fit_linear(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let n = points.len() as f64;
     let mean_x = points.iter().map(|(x, _)| x).sum::<f64>() / n;
     let mean_y = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-    let cov: f64 = points.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let cov: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let var_x: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     let slope = if var_x > 0.0 { cov / var_x } else { 0.0 };
     let intercept = mean_y - slope * mean_x;
@@ -51,7 +54,11 @@ fn fit_linear(points: &[(f64, f64)]) -> (f64, f64, f64) {
         .iter()
         .map(|(x, y)| (y - (intercept + slope * x)).powi(2))
         .sum();
-    let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r_squared = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     (intercept, slope, r_squared)
 }
 
@@ -67,7 +74,10 @@ pub fn calibrate_step<F>(
 where
     F: FnMut(usize) -> Sample,
 {
-    assert!(probe_sizes.len() >= 2, "need at least two probe sizes to fit a line");
+    assert!(
+        probe_sizes.len() >= 2,
+        "need at least two probe sizes to fit a line"
+    );
     assert!(repeats >= 1);
     let mut rng = SmallRng::seed_from_u64(0xCA11B);
     let mut points = Vec::with_capacity(probe_sizes.len());
@@ -79,7 +89,9 @@ where
         for _ in 0..repeats {
             let input = sample.clone();
             let start = Instant::now();
-            let output = step.apply(input, &mut rng).expect("calibration step failed");
+            let output = step
+                .apply(input, &mut rng)
+                .expect("calibration step failed");
             runs.push(start.elapsed().as_nanos() as f64);
             out_bytes = output.nbytes() as f64;
         }
@@ -91,13 +103,24 @@ where
         });
     }
 
-    let (fixed, per_byte, r_squared) =
-        fit_linear(&points.iter().map(|p| (p.in_bytes, p.nanos)).collect::<Vec<_>>());
-    let (size_fixed, size_factor, _) =
-        fit_linear(&points.iter().map(|p| (p.in_bytes, p.out_bytes)).collect::<Vec<_>>());
+    let (fixed, per_byte, r_squared) = fit_linear(
+        &points
+            .iter()
+            .map(|p| (p.in_bytes, p.nanos))
+            .collect::<Vec<_>>(),
+    );
+    let (size_fixed, size_factor, _) = fit_linear(
+        &points
+            .iter()
+            .map(|p| (p.in_bytes, p.out_bytes))
+            .collect::<Vec<_>>(),
+    );
     Calibration {
         cost: CostModel::new(fixed.max(0.0), per_byte.max(0.0), 0.0),
-        size: SizeModel { fixed_bytes: size_fixed, factor: size_factor.max(0.0) },
+        size: SizeModel {
+            fixed_bytes: size_fixed,
+            factor: size_factor.max(0.0),
+        },
         points,
         r_squared,
     }
@@ -113,8 +136,9 @@ mod tests {
 
     #[test]
     fn linear_fit_recovers_known_line() {
-        let points: Vec<(f64, f64)> =
-            (1..20).map(|i| (i as f64, 100.0 + 3.0 * i as f64)).collect();
+        let points: Vec<(f64, f64)> = (1..20)
+            .map(|i| (i as f64, 100.0 + 3.0 * i as f64))
+            .collect();
         let (a, b, r2) = fit_linear(&points);
         assert!((a - 100.0).abs() < 1e-6);
         assert!((b - 3.0).abs() < 1e-9);
@@ -142,7 +166,11 @@ mod tests {
             calibration.cost
         );
         // Decode inflates: fitted size factor > 1.
-        assert!(calibration.size.factor > 1.0, "size fit {:?}", calibration.size);
+        assert!(
+            calibration.size.factor > 1.0,
+            "size fit {:?}",
+            calibration.size
+        );
         assert!(calibration.points.len() == 4);
     }
 

@@ -133,11 +133,11 @@ pub fn cv2_png() -> Workload {
         name: "CV2-PNG",
         sample_count: 4_890,
         unprocessed_bytes: 17_417_600.0,
-        penalty: Nanos::ZERO, // large files: transfer dominates opens
+        penalty: Nanos::ZERO,     // large files: transfer dominates opens
         decode_ns_per_byte: 13.0, // inflate
-        decode_factor: 1.49, // → 26 MB of 16-bit pixels
+        decode_factor: 1.49,      // → 26 MB of 16-bit pixels
         resized_bytes: 590_000.0, // 16-bit resize plane
-        center_factor: 2.0, // u16 → f32
+        center_factor: 2.0,       // u16 → f32
         savings: [(0.003, 0.003), (0.83, 0.82), (0.81, 0.80), (0.93, 0.92)],
     })
 }
@@ -159,7 +159,10 @@ pub fn cv_with_greyscale(before_center: bool) -> Workload {
     } else {
         base.pipeline.insert_spec(4, grey)
     };
-    Workload { pipeline, dataset: base.dataset }
+    Workload {
+        pipeline,
+        dataset: base.dataset,
+    }
 }
 
 #[cfg(test)]
@@ -205,12 +208,26 @@ mod tests {
         let before = cv_with_greyscale(true);
         assert_eq!(
             before.pipeline.step_names(),
-            vec!["concatenated", "decoded", "resized", "applied-greyscale", "pixel-centered", "random-crop"]
+            vec![
+                "concatenated",
+                "decoded",
+                "resized",
+                "applied-greyscale",
+                "pixel-centered",
+                "random-crop"
+            ]
         );
         let after = cv_with_greyscale(false);
         assert_eq!(
             after.pipeline.step_names(),
-            vec!["concatenated", "decoded", "resized", "pixel-centered", "applied-greyscale", "random-crop"]
+            vec![
+                "concatenated",
+                "decoded",
+                "resized",
+                "pixel-centered",
+                "applied-greyscale",
+                "random-crop"
+            ]
         );
         // Greyscale before centering shrinks the final dataset 3×.
         let base = cv();

@@ -40,8 +40,13 @@ pub fn natural_image(width: usize, height: usize, seed: u64) -> ImageBuf {
 /// A 16-bit RGB image (the Cube++-PNG stand-in).
 pub fn natural_image_16bit(width: usize, height: usize, seed: u64) -> ImageBuf {
     let base = natural_image(width, height, seed);
-    let presto_dsp::image::PixelData::U8(v) = &base.data else { unreachable!() };
-    let data: Vec<u16> = v.iter().map(|&p| u16::from(p) << 8 | u16::from(p)).collect();
+    let presto_dsp::image::PixelData::U8(v) = &base.data else {
+        unreachable!()
+    };
+    let data: Vec<u16> = v
+        .iter()
+        .map(|&p| u16::from(p) << 8 | u16::from(p))
+        .collect();
     ImageBuf::from_u16(width, height, 3, data)
 }
 
@@ -75,9 +80,29 @@ pub fn speech_like(seconds: f64, sample_rate: u32, seed: u64) -> Vec<i16> {
 }
 
 const WORDS: &[&str] = &[
-    "data", "model", "training", "pipeline", "throughput", "storage", "image", "audio",
-    "network", "learning", "system", "performance", "the", "a", "of", "and", "with",
-    "preprocessing", "strategy", "bottleneck", "analysis", "results", "processing",
+    "data",
+    "model",
+    "training",
+    "pipeline",
+    "throughput",
+    "storage",
+    "image",
+    "audio",
+    "network",
+    "learning",
+    "system",
+    "performance",
+    "the",
+    "a",
+    "of",
+    "and",
+    "with",
+    "preprocessing",
+    "strategy",
+    "bottleneck",
+    "analysis",
+    "results",
+    "processing",
 ];
 
 /// An HTML document with `paragraphs` paragraphs of filler content —
@@ -136,8 +161,7 @@ pub fn electrical_window(seconds: f64, sample_rate: u32, seed: u64) -> (Vec<f64>
         let omega = 2.0 * std::f64::consts::PI * mains_hz * t;
         voltage.push(230.0 * 2f64.sqrt() * omega.sin() + rng.gen_range(-0.5..0.5));
         current.push(
-            load_amps * 2f64.sqrt() * (omega - phase_shift).sin()
-                + 0.02 * rng.gen_range(-1.0..1.0),
+            load_amps * 2f64.sqrt() * (omega - phase_shift).sin() + 0.02 * rng.gen_range(-1.0..1.0),
         );
     }
     (voltage, current)
@@ -178,9 +202,8 @@ mod tests {
     fn speech_has_energy_and_fits_i16() {
         let audio = speech_like(1.0, 16_000, 5);
         assert_eq!(audio.len(), 16_000);
-        let rms = (audio.iter().map(|&s| f64::from(s).powi(2)).sum::<f64>()
-            / audio.len() as f64)
-            .sqrt();
+        let rms =
+            (audio.iter().map(|&s| f64::from(s).powi(2)).sum::<f64>() / audio.len() as f64).sqrt();
         assert!(rms > 300.0, "rms {rms}");
     }
 

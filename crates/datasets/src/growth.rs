@@ -27,26 +27,111 @@ pub struct DatasetPoint {
 /// The Figure 1 point set.
 pub const GROWTH: &[DatasetPoint] = &[
     // CV series [16, 22–24, 29, 45, 47, 54, 84]
-    DatasetPoint { name: "Caltech-101", year: 2004, size_gb: 0.13, domain: Domain::Cv },
-    DatasetPoint { name: "Caltech-256", year: 2007, size_gb: 1.2, domain: Domain::Cv },
-    DatasetPoint { name: "Tiny Images", year: 2008, size_gb: 240.0, domain: Domain::Cv },
-    DatasetPoint { name: "PASCAL VOC09", year: 2009, size_gb: 0.9, domain: Domain::Cv },
-    DatasetPoint { name: "CIFAR-10/100", year: 2012, size_gb: 0.3, domain: Domain::Cv },
-    DatasetPoint { name: "ImageNet (full)", year: 2009, size_gb: 1_300.0, domain: Domain::Cv },
-    DatasetPoint { name: "ILSVRC2012", year: 2012, size_gb: 147.0, domain: Domain::Cv },
-    DatasetPoint { name: "MS-COCO", year: 2014, size_gb: 25.0, domain: Domain::Cv },
-    DatasetPoint { name: "OpenImages", year: 2017, size_gb: 561.0, domain: Domain::Cv },
+    DatasetPoint {
+        name: "Caltech-101",
+        year: 2004,
+        size_gb: 0.13,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "Caltech-256",
+        year: 2007,
+        size_gb: 1.2,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "Tiny Images",
+        year: 2008,
+        size_gb: 240.0,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "PASCAL VOC09",
+        year: 2009,
+        size_gb: 0.9,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "CIFAR-10/100",
+        year: 2012,
+        size_gb: 0.3,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "ImageNet (full)",
+        year: 2009,
+        size_gb: 1_300.0,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "ILSVRC2012",
+        year: 2012,
+        size_gb: 147.0,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "MS-COCO",
+        year: 2014,
+        size_gb: 25.0,
+        domain: Domain::Cv,
+    },
+    DatasetPoint {
+        name: "OpenImages",
+        year: 2017,
+        size_gb: 561.0,
+        domain: Domain::Cv,
+    },
     // NLP series [1, 11, 12, 14, 68, 93, 99]. Years are first-release
     // years of the cited corpora; the web-scale crawls anchor the right
     // edge of the figure's rising curve.
-    DatasetPoint { name: "Gigaword (1st ed.)", year: 2003, size_gb: 12.0, domain: Domain::Nlp },
-    DatasetPoint { name: "Gigaword 5", year: 2011, size_gb: 27.0, domain: Domain::Nlp },
-    DatasetPoint { name: "1B Word LM", year: 2013, size_gb: 4.0, domain: Domain::Nlp },
-    DatasetPoint { name: "English Wikipedia", year: 2014, size_gb: 10.0, domain: Domain::Nlp },
-    DatasetPoint { name: "BooksCorpus", year: 2015, size_gb: 5.0, domain: Domain::Nlp },
-    DatasetPoint { name: "OpenWebText", year: 2019, size_gb: 12.0, domain: Domain::Nlp },
-    DatasetPoint { name: "ClueWeb09", year: 2009, size_gb: 25_000.0, domain: Domain::Nlp },
-    DatasetPoint { name: "CommonCrawl (2019 crawl)", year: 2019, size_gb: 220_000.0, domain: Domain::Nlp },
+    DatasetPoint {
+        name: "Gigaword (1st ed.)",
+        year: 2003,
+        size_gb: 12.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "Gigaword 5",
+        year: 2011,
+        size_gb: 27.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "1B Word LM",
+        year: 2013,
+        size_gb: 4.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "English Wikipedia",
+        year: 2014,
+        size_gb: 10.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "BooksCorpus",
+        year: 2015,
+        size_gb: 5.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "OpenWebText",
+        year: 2019,
+        size_gb: 12.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "ClueWeb09",
+        year: 2009,
+        size_gb: 25_000.0,
+        domain: Domain::Nlp,
+    },
+    DatasetPoint {
+        name: "CommonCrawl (2019 crawl)",
+        year: 2019,
+        size_gb: 220_000.0,
+        domain: Domain::Nlp,
+    },
 ];
 
 /// Least-squares slope of log10(size) over years for a domain — the
@@ -60,7 +145,10 @@ pub fn log_growth_per_year(domain: Domain) -> f64 {
     let n = points.len() as f64;
     let mean_x: f64 = points.iter().map(|(x, _)| x).sum::<f64>() / n;
     let mean_y: f64 = points.iter().map(|(_, y)| y).sum::<f64>() / n;
-    let cov: f64 = points.iter().map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let cov: f64 = points
+        .iter()
+        .map(|(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     let var: f64 = points.iter().map(|(x, _)| (x - mean_x).powi(2)).sum();
     cov / var
 }

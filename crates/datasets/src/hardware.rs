@@ -15,11 +15,26 @@ pub struct Accelerator {
 
 /// The Figure 3 device set, ordered by ingestion rate.
 pub const ACCELERATORS: &[Accelerator] = &[
-    Accelerator { name: "A10", resnet50_sps: 920.0 },
-    Accelerator { name: "A30", resnet50_sps: 1_250.0 },
-    Accelerator { name: "V100", resnet50_sps: 1_457.0 },
-    Accelerator { name: "A100", resnet50_sps: 2_566.0 },
-    Accelerator { name: "TPUv3-8", resnet50_sps: 4_000.0 },
+    Accelerator {
+        name: "A10",
+        resnet50_sps: 920.0,
+    },
+    Accelerator {
+        name: "A30",
+        resnet50_sps: 1_250.0,
+    },
+    Accelerator {
+        name: "V100",
+        resnet50_sps: 1_457.0,
+    },
+    Accelerator {
+        name: "A100",
+        resnet50_sps: 2_566.0,
+    },
+    Accelerator {
+        name: "TPUv3-8",
+        resnet50_sps: 4_000.0,
+    },
 ];
 
 /// Does a preprocessing throughput keep this accelerator busy?

@@ -34,8 +34,8 @@
 //! pipeline-visible throughput.
 
 pub mod anchors;
-pub mod calibrate;
 pub mod audio;
+pub mod calibrate;
 pub mod cv;
 pub mod generators;
 pub mod growth;
@@ -91,7 +91,11 @@ mod tests {
         let workloads = all_workloads();
         assert_eq!(workloads.len(), 7);
         for w in &workloads {
-            assert!(w.pipeline.max_split() >= 1, "{} has no offline split", w.pipeline.name);
+            assert!(
+                w.pipeline.max_split() >= 1,
+                "{} has no offline split",
+                w.pipeline.name
+            );
             assert!(w.dataset.sample_count > 0);
             assert!(w.dataset.unprocessed_sample_bytes > 0.0);
         }

@@ -53,7 +53,9 @@ pub fn nilm() -> Workload {
             sample_count: 268_000,
             unprocessed_sample_bytes: 147_600.0,
             // 744 one-hour files of ~53 MB each.
-            layout: SourceLayout::LargeFiles { file_bytes: 53_200_000 },
+            layout: SourceLayout::LargeFiles {
+                file_bytes: 53_200_000,
+            },
         },
     }
 }

@@ -73,7 +73,9 @@ pub fn nlp() -> Workload {
             name: "OpenWebText".into(),
             sample_count: 181_000,
             unprocessed_sample_bytes: 42_600.0,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::from_millis(20) },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::from_millis(20),
+            },
         },
     }
 }
@@ -110,8 +112,14 @@ mod tests {
         let w = nlp();
         let steps = w.pipeline.steps();
         use presto_pipeline::Parallelism;
-        assert!(matches!(steps[1].spec.parallelism, Parallelism::GlobalLock { .. }));
-        assert!(matches!(steps[2].spec.parallelism, Parallelism::GlobalLock { .. }));
+        assert!(matches!(
+            steps[1].spec.parallelism,
+            Parallelism::GlobalLock { .. }
+        ));
+        assert!(matches!(
+            steps[2].spec.parallelism,
+            Parallelism::GlobalLock { .. }
+        ));
         assert!(matches!(steps[3].spec.parallelism, Parallelism::Native));
     }
 }

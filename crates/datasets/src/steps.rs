@@ -11,9 +11,7 @@ use presto_dsp::stft::mel_spectrogram;
 use presto_formats::audio::{adpcm, flac};
 use presto_formats::container::ContainerReader;
 use presto_formats::image::{jpg, png};
-use presto_pipeline::{
-    CostModel, Payload, PipelineError, Sample, SizeModel, Step, StepSpec,
-};
+use presto_pipeline::{CostModel, Payload, PipelineError, Sample, SizeModel, Step, StepSpec};
 use presto_storage::Nanos;
 use presto_tensor::Tensor;
 use presto_text::{BpeTokenizer, EmbeddingTable};
@@ -22,7 +20,10 @@ use rand::Rng;
 use std::sync::Arc;
 
 fn mismatch(step: &str, expected: &'static str) -> PipelineError {
-    PipelineError::PayloadMismatch { step: step.to_string(), expected }
+    PipelineError::PayloadMismatch {
+        step: step.to_string(),
+        expected,
+    }
 }
 
 /// Which image codec a [`DecodeImage`] step expects.
@@ -44,7 +45,11 @@ impl Step for DecodeImage {
             ImageCodec::Jpg => (25.0, 5.31),
             ImageCodec::Png => (13.0, 1.49),
         };
-        StepSpec::native("decoded", CostModel::new(0.0, per_byte, 0.0), SizeModel::scale(factor))
+        StepSpec::native(
+            "decoded",
+            CostModel::new(0.0, per_byte, 0.0),
+            SizeModel::scale(factor),
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -56,7 +61,10 @@ impl Step for DecodeImage {
             ImageCodec::Png => png::decode(bytes),
         }
         .map_err(|e| PipelineError::Decode(e.to_string()))?;
-        Ok(Sample { key: sample.key, payload: Payload::Image(image) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Image(image),
+        })
     }
 }
 
@@ -72,7 +80,11 @@ pub struct Resize {
 impl Step for Resize {
     fn spec(&self) -> StepSpec {
         let out = (self.width * self.height * 3) as f64;
-        StepSpec::native("resized", CostModel::new(0.0, 0.0, 9.0), SizeModel::fixed(out))
+        StepSpec::native(
+            "resized",
+            CostModel::new(0.0, 0.0, 9.0),
+            SizeModel::fixed(out),
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -103,7 +115,10 @@ impl Step for Greyscale {
         let Payload::Image(image) = &sample.payload else {
             return Err(mismatch("applied-greyscale", "image"));
         };
-        Ok(Sample { key: sample.key, payload: Payload::Image(image.greyscale()) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Image(image.greyscale()),
+        })
     }
 }
 
@@ -113,7 +128,11 @@ pub struct PixelCenter;
 
 impl Step for PixelCenter {
     fn spec(&self) -> StepSpec {
-        StepSpec::native("pixel-centered", CostModel::new(0.0, 4.1, 0.0), SizeModel::scale(4.0))
+        StepSpec::native(
+            "pixel-centered",
+            CostModel::new(0.0, 4.1, 0.0),
+            SizeModel::scale(4.0),
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -121,9 +140,8 @@ impl Step for PixelCenter {
             return Err(mismatch("pixel-centered", "image"));
         };
         let centered = image.pixel_center();
-        let tensor =
-            Tensor::from_vec(vec![image.height, image.width, image.channels], centered)
-                .map_err(|e| PipelineError::Other(e.to_string()))?;
+        let tensor = Tensor::from_vec(vec![image.height, image.width, image.channels], centered)
+            .map_err(|e| PipelineError::Other(e.to_string()))?;
         Ok(Sample::from_tensors(sample.key, vec![tensor]))
     }
 }
@@ -140,8 +158,12 @@ pub struct RandomCrop {
 
 impl Step for RandomCrop {
     fn spec(&self) -> StepSpec {
-        StepSpec::native("random-crop", CostModel::new(0.0, 0.75, 0.0), SizeModel::scale(0.766))
-            .non_deterministic()
+        StepSpec::native(
+            "random-crop",
+            CostModel::new(0.0, 0.75, 0.0),
+            SizeModel::scale(0.766),
+        )
+        .non_deterministic()
     }
 
     fn apply(&self, sample: Sample, rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -162,7 +184,9 @@ impl Step for RandomCrop {
         }
         let y0 = rng.gen_range(0..=h - self.height);
         let x0 = rng.gen_range(0..=w - self.width);
-        let values = tensor.to_vec::<f32>().map_err(|e| PipelineError::Other(e.to_string()))?;
+        let values = tensor
+            .to_vec::<f32>()
+            .map_err(|e| PipelineError::Other(e.to_string()))?;
         let mut out = Vec::with_capacity(self.width * self.height * c);
         for y in y0..y0 + self.height {
             let row = (y * w + x0) * c;
@@ -194,7 +218,10 @@ impl Step for HtmlDecode {
         };
         let html = std::str::from_utf8(bytes)
             .map_err(|_| PipelineError::Decode("document is not UTF-8".into()))?;
-        Ok(Sample { key: sample.key, payload: Payload::Text(presto_text::html::extract_text(html)) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Text(presto_text::html::extract_text(html)),
+        })
     }
 }
 
@@ -219,7 +246,10 @@ impl Step for BpeEncode {
         let Payload::Text(text) = &sample.payload else {
             return Err(mismatch("bpe-encoded", "text"));
         };
-        Ok(Sample { key: sample.key, payload: Payload::Tokens(self.tokenizer.encode(text)) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Tokens(self.tokenizer.encode(text)),
+        })
     }
 }
 
@@ -232,7 +262,11 @@ pub struct Embed {
 
 impl Step for Embed {
     fn spec(&self) -> StepSpec {
-        StepSpec::native("embedded", CostModel::new(0.0, 0.0, 1.62), SizeModel::scale(758.6))
+        StepSpec::native(
+            "embedded",
+            CostModel::new(0.0, 0.0, 1.62),
+            SizeModel::scale(758.6),
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -265,7 +299,11 @@ impl Step for DecodeAudio {
             AudioCodec::Adpcm => (406.0, 8.0),
             AudioCodec::Flac => (30.0, 2.0),
         };
-        StepSpec::native("decoded", CostModel::new(0.0, per_byte, 0.0), SizeModel::scale(factor))
+        StepSpec::native(
+            "decoded",
+            CostModel::new(0.0, per_byte, 0.0),
+            SizeModel::scale(factor),
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -277,7 +315,10 @@ impl Step for DecodeAudio {
             AudioCodec::Flac => flac::decode(bytes),
         }
         .map_err(|e| PipelineError::Decode(e.to_string()))?;
-        Ok(Sample { key: sample.key, payload: Payload::Audio(samples, rate) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Audio(samples, rate),
+        })
     }
 }
 
@@ -305,7 +346,10 @@ impl Step for Resample {
             return Err(mismatch("resampled", "audio"));
         };
         let resampled = presto_dsp::signal::resample_linear(samples, *rate, self.to_rate);
-        Ok(Sample { key: sample.key, payload: Payload::Audio(resampled, self.to_rate) })
+        Ok(Sample {
+            key: sample.key,
+            payload: Payload::Audio(resampled, self.to_rate),
+        })
     }
 }
 
@@ -360,18 +404,22 @@ impl Step for NilmDecode {
         };
         let reader =
             ContainerReader::open(bytes).map_err(|e| PipelineError::Decode(e.to_string()))?;
-        let voltage =
-            reader.read_all_f64("voltage").map_err(|e| PipelineError::Decode(e.to_string()))?;
-        let current =
-            reader.read_all_f64("current").map_err(|e| PipelineError::Decode(e.to_string()))?;
+        let voltage = reader
+            .read_all_f64("voltage")
+            .map_err(|e| PipelineError::Decode(e.to_string()))?;
+        let current = reader
+            .read_all_f64("current")
+            .map_err(|e| PipelineError::Decode(e.to_string()))?;
         let n = voltage.len();
         if current.len() != n {
-            return Err(PipelineError::Decode("voltage/current length mismatch".into()));
+            return Err(PipelineError::Decode(
+                "voltage/current length mismatch".into(),
+            ));
         }
-        let v = Tensor::from_vec(vec![n], voltage)
-            .map_err(|e| PipelineError::Other(e.to_string()))?;
-        let i = Tensor::from_vec(vec![n], current)
-            .map_err(|e| PipelineError::Other(e.to_string()))?;
+        let v =
+            Tensor::from_vec(vec![n], voltage).map_err(|e| PipelineError::Other(e.to_string()))?;
+        let i =
+            Tensor::from_vec(vec![n], current).map_err(|e| PipelineError::Other(e.to_string()))?;
         Ok(Sample::from_tensors(sample.key, vec![v, i]))
     }
 }
@@ -410,8 +458,8 @@ impl Step for NilmAggregate {
         flat.extend(reactive);
         flat.extend(rms);
         flat.extend(cusum);
-        let tensor = Tensor::from_vec(vec![3, m], flat)
-            .map_err(|e| PipelineError::Other(e.to_string()))?;
+        let tensor =
+            Tensor::from_vec(vec![3, m], flat).map_err(|e| PipelineError::Other(e.to_string()))?;
         Ok(Sample::from_tensors(sample.key, vec![tensor]))
     }
 }
@@ -420,9 +468,15 @@ impl Step for NilmAggregate {
 pub fn executable_cv_pipeline(resize_to: usize, crop_to: usize) -> presto_pipeline::Pipeline {
     presto_pipeline::Pipeline::new("CV-real")
         .push_step(Arc::new(DecodeImage(ImageCodec::Jpg)))
-        .push_step(Arc::new(Resize { width: resize_to, height: resize_to }))
+        .push_step(Arc::new(Resize {
+            width: resize_to,
+            height: resize_to,
+        }))
         .push_step(Arc::new(PixelCenter))
-        .push_step(Arc::new(RandomCrop { width: crop_to, height: crop_to }))
+        .push_step(Arc::new(RandomCrop {
+            width: crop_to,
+            height: crop_to,
+        }))
 }
 
 /// Build the fully-executable NLP pipeline.
@@ -473,24 +527,37 @@ mod tests {
         let mut rng = rng();
         for step in [
             &DecodeImage(ImageCodec::Jpg) as &dyn Step,
-            &Resize { width: 256, height: 256 },
+            &Resize {
+                width: 256,
+                height: 256,
+            },
             &PixelCenter,
-            &RandomCrop { width: 224, height: 224 },
+            &RandomCrop {
+                width: 224,
+                height: 224,
+            },
         ] {
             sample = step.apply(sample, &mut rng).unwrap();
         }
-        let Payload::Tensors(ts) = &sample.payload else { panic!() };
+        let Payload::Tensors(ts) = &sample.payload else {
+            panic!()
+        };
         assert_eq!(ts[0].shape(), &[224, 224, 3]);
     }
 
     #[test]
     fn greyscale_between_resize_and_center() {
         let img = generators::natural_image(128, 128, 2);
-        let sample = Sample { key: 0, payload: Payload::Image(img) };
+        let sample = Sample {
+            key: 0,
+            payload: Payload::Image(img),
+        };
         let mut rng = rng();
         let grey = Greyscale.apply(sample, &mut rng).unwrap();
         let centered = PixelCenter.apply(grey, &mut rng).unwrap();
-        let Payload::Tensors(ts) = &centered.payload else { panic!() };
+        let Payload::Tensors(ts) = &centered.payload else {
+            panic!()
+        };
         assert_eq!(ts[0].shape(), &[128, 128, 1]);
     }
 
@@ -507,7 +574,9 @@ mod tests {
         sample = HtmlDecode.apply(sample, &mut rng).unwrap();
         sample = BpeEncode { tokenizer }.apply(sample, &mut rng).unwrap();
         sample = Embed { table }.apply(sample, &mut rng).unwrap();
-        let Payload::Tensors(ts) = &sample.payload else { panic!() };
+        let Payload::Tensors(ts) = &sample.payload else {
+            panic!()
+        };
         assert_eq!(ts[0].shape()[1], 32);
         assert!(ts[0].shape()[0] > 10, "should embed many tokens");
     }
@@ -523,7 +592,9 @@ mod tests {
             let sample = Sample::from_bytes(0, bytes);
             let decoded = DecodeAudio(codec).apply(sample, &mut rng).unwrap();
             let spec = Spectrogram { n_mels: 80 }.apply(decoded, &mut rng).unwrap();
-            let Payload::Tensors(ts) = &spec.payload else { panic!() };
+            let Payload::Tensors(ts) = &spec.payload else {
+                panic!()
+            };
             assert_eq!(ts[0].shape()[1], 80);
             // 1.2 s at 16 kHz → (19200-320)/160+1 = 119 frames.
             assert_eq!(ts[0].shape()[0], 119);
@@ -533,14 +604,25 @@ mod tests {
     #[test]
     fn resample_step_normalizes_rate_before_spectrogram() {
         let pcm48 = generators::speech_like(0.5, 48_000, 11);
-        let sample = Sample { key: 0, payload: Payload::Audio(pcm48, 48_000) };
+        let sample = Sample {
+            key: 0,
+            payload: Payload::Audio(pcm48, 48_000),
+        };
         let mut rng = rng();
-        let resampled = Resample { to_rate: 16_000 }.apply(sample, &mut rng).unwrap();
-        let Payload::Audio(samples, rate) = &resampled.payload else { panic!() };
+        let resampled = Resample { to_rate: 16_000 }
+            .apply(sample, &mut rng)
+            .unwrap();
+        let Payload::Audio(samples, rate) = &resampled.payload else {
+            panic!()
+        };
         assert_eq!(*rate, 16_000);
         assert_eq!(samples.len(), 8_000);
-        let spec = Spectrogram { n_mels: 40 }.apply(resampled, &mut rng).unwrap();
-        let Payload::Tensors(ts) = &spec.payload else { panic!() };
+        let spec = Spectrogram { n_mels: 40 }
+            .apply(resampled, &mut rng)
+            .unwrap();
+        let Payload::Tensors(ts) = &spec.payload else {
+            panic!()
+        };
         // 0.5 s at 16 kHz → (8000-320)/160+1 = 49 frames.
         assert_eq!(ts[0].shape(), &[49, 40]);
     }
@@ -555,8 +637,12 @@ mod tests {
         let mut rng = rng();
         let sample = Sample::from_bytes(0, bytes);
         let decoded = NilmDecode.apply(sample, &mut rng).unwrap();
-        let aggregated = NilmAggregate { period: 128 }.apply(decoded, &mut rng).unwrap();
-        let Payload::Tensors(ts) = &aggregated.payload else { panic!() };
+        let aggregated = NilmAggregate { period: 128 }
+            .apply(decoded, &mut rng)
+            .unwrap();
+        let Payload::Tensors(ts) = &aggregated.payload else {
+            panic!()
+        };
         assert_eq!(ts[0].shape(), &[3, 500]);
     }
 
@@ -564,9 +650,18 @@ mod tests {
     fn random_crop_varies_with_rng_but_is_seed_stable() {
         let img = generators::natural_image(64, 64, 7);
         let sample = PixelCenter
-            .apply(Sample { key: 0, payload: Payload::Image(img) }, &mut rng())
+            .apply(
+                Sample {
+                    key: 0,
+                    payload: Payload::Image(img),
+                },
+                &mut rng(),
+            )
             .unwrap();
-        let crop = RandomCrop { width: 32, height: 32 };
+        let crop = RandomCrop {
+            width: 32,
+            height: 32,
+        };
         let mut r1 = SmallRng::seed_from_u64(11);
         let mut r2 = SmallRng::seed_from_u64(11);
         let mut r3 = SmallRng::seed_from_u64(12);
@@ -580,10 +675,22 @@ mod tests {
     #[test]
     fn payload_mismatches_are_reported() {
         let mut rng = rng();
-        let text_sample = Sample { key: 0, payload: Payload::Text("x".into()) };
-        assert!(DecodeImage(ImageCodec::Jpg).apply(text_sample.clone(), &mut rng).is_err());
-        assert!(Resize { width: 8, height: 8 }.apply(text_sample.clone(), &mut rng).is_err());
-        assert!(DecodeAudio(AudioCodec::Flac).apply(text_sample.clone(), &mut rng).is_err());
+        let text_sample = Sample {
+            key: 0,
+            payload: Payload::Text("x".into()),
+        };
+        assert!(DecodeImage(ImageCodec::Jpg)
+            .apply(text_sample.clone(), &mut rng)
+            .is_err());
+        assert!(Resize {
+            width: 8,
+            height: 8
+        }
+        .apply(text_sample.clone(), &mut rng)
+        .is_err());
+        assert!(DecodeAudio(AudioCodec::Flac)
+            .apply(text_sample.clone(), &mut rng)
+            .is_err());
         assert!(NilmDecode.apply(text_sample, &mut rng).is_err());
     }
 }

@@ -58,7 +58,9 @@ pub fn records(sample_mb: f64, dtype: SynthDType) -> Workload {
             name: format!("{name}-{sample_mb}MB"),
             sample_count,
             unprocessed_sample_bytes: sample_bytes,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::ZERO,
+            },
         },
     }
 }
@@ -94,7 +96,10 @@ pub fn rms(sample_mb: f64, implementation: RmsImpl) -> Workload {
             SizeModel::scale(1.0 / 500.0),
         ),
     };
-    Workload { pipeline: base.pipeline.push_spec(step), dataset: base.dataset }
+    Workload {
+        pipeline: base.pipeline.push_spec(step),
+        dataset: base.dataset,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +126,10 @@ mod tests {
 
     fn processing_secs(sample_mb: f64, cache: CacheLevel, epochs: usize) -> f64 {
         let workload = records(sample_mb, SynthDType::F32);
-        let env = SimEnv { subset_samples: 30_000, ..SimEnv::paper_vm() };
+        let env = SimEnv {
+            subset_samples: 30_000,
+            ..SimEnv::paper_vm()
+        };
         let sim = workload.simulator(env);
         let strategy = Strategy::at_split(1).with_cache(cache);
         let profile = sim.profile(&strategy, epochs);
@@ -164,12 +172,17 @@ mod tests {
     /// efficient implementation".
     #[test]
     fn external_rms_beats_native_in_absolute_time() {
-        let env = SimEnv { subset_samples: 800, ..SimEnv::paper_vm() };
+        let env = SimEnv {
+            subset_samples: 800,
+            ..SimEnv::paper_vm()
+        };
         let strategy = Strategy::at_split(1).with_threads(8);
         let ext = rms(20.48, RmsImpl::External)
             .simulator(env.clone())
             .profile(&strategy, 1);
-        let native = rms(20.48, RmsImpl::Native).simulator(env).profile(&strategy, 1);
+        let native = rms(20.48, RmsImpl::Native)
+            .simulator(env)
+            .profile(&strategy, 1);
         assert!(
             ext.throughput_sps() > native.throughput_sps(),
             "external {:.1} vs native {:.1}",

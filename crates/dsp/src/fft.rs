@@ -20,7 +20,10 @@ impl Complex {
 
     /// `e^{i·theta}`.
     pub fn from_angle(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Squared magnitude.
@@ -61,7 +64,10 @@ impl Mul for Complex {
 /// In-place forward FFT. `data.len()` must be a power of two.
 pub fn fft_inplace(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -166,8 +172,9 @@ mod tests {
 
     #[test]
     fn ifft_inverts_fft() {
-        let original: Vec<Complex> =
-            (0..32).map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos())).collect();
+        let original: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.7).cos()))
+            .collect();
         let mut data = original.clone();
         fft_inplace(&mut data);
         ifft_inplace(&mut data);
@@ -178,8 +185,9 @@ mod tests {
 
     #[test]
     fn parseval_energy_preserved() {
-        let signal: Vec<Complex> =
-            (0..128).map(|i| Complex::new(((i * 37) % 17) as f64 - 8.0, 0.0)).collect();
+        let signal: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(((i * 37) % 17) as f64 - 8.0, 0.0))
+            .collect();
         let time_energy: f64 = signal.iter().map(|c| c.norm_sqr()).sum();
         let mut data = signal;
         fft_inplace(&mut data);

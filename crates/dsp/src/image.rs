@@ -55,14 +55,32 @@ pub struct ImageBuf {
 impl ImageBuf {
     /// Construct from 8-bit samples. Panics on size mismatch.
     pub fn from_u8(width: usize, height: usize, channels: usize, data: Vec<u8>) -> Self {
-        assert_eq!(data.len(), width * height * channels, "pixel buffer size mismatch");
-        ImageBuf { width, height, channels, data: PixelData::U8(data) }
+        assert_eq!(
+            data.len(),
+            width * height * channels,
+            "pixel buffer size mismatch"
+        );
+        ImageBuf {
+            width,
+            height,
+            channels,
+            data: PixelData::U8(data),
+        }
     }
 
     /// Construct from 16-bit samples. Panics on size mismatch.
     pub fn from_u16(width: usize, height: usize, channels: usize, data: Vec<u16>) -> Self {
-        assert_eq!(data.len(), width * height * channels, "pixel buffer size mismatch");
-        ImageBuf { width, height, channels, data: PixelData::U16(data) }
+        assert_eq!(
+            data.len(),
+            width * height * channels,
+            "pixel buffer size mismatch"
+        );
+        ImageBuf {
+            width,
+            height,
+            channels,
+            data: PixelData::U16(data),
+        }
     }
 
     /// Bytes of pixel storage.
@@ -103,12 +121,11 @@ impl ImageBuf {
                 let x1 = (x0 + 1).min(self.width - 1);
                 let fx = sx - x0 as f32;
                 for c in 0..self.channels {
-                    let top = self.sample_f32(x0, y0, c) * (1.0 - fx)
-                        + self.sample_f32(x1, y0, c) * fx;
-                    let bottom = self.sample_f32(x0, y1, c) * (1.0 - fx)
-                        + self.sample_f32(x1, y1, c) * fx;
-                    out[(y * new_width + x) * self.channels + c] =
-                        top * (1.0 - fy) + bottom * fy;
+                    let top =
+                        self.sample_f32(x0, y0, c) * (1.0 - fx) + self.sample_f32(x1, y0, c) * fx;
+                    let bottom =
+                        self.sample_f32(x0, y1, c) * (1.0 - fx) + self.sample_f32(x1, y1, c) * fx;
+                    out[(y * new_width + x) * self.channels + c] = top * (1.0 - fy) + bottom * fy;
                 }
             }
         }
@@ -117,13 +134,17 @@ impl ImageBuf {
                 new_width,
                 new_height,
                 self.channels,
-                out.iter().map(|&v| v.round().clamp(0.0, 255.0) as u8).collect(),
+                out.iter()
+                    .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+                    .collect(),
             ),
             PixelData::U16(_) => ImageBuf::from_u16(
                 new_width,
                 new_height,
                 self.channels,
-                out.iter().map(|&v| v.round().clamp(0.0, 65_535.0) as u16).collect(),
+                out.iter()
+                    .map(|&v| v.round().clamp(0.0, 65_535.0) as u16)
+                    .collect(),
             ),
         }
     }
@@ -143,7 +164,9 @@ impl ImageBuf {
                         let r = f32::from(v[p * 3]);
                         let g = f32::from(v[p * 3 + 1]);
                         let b = f32::from(v[p * 3 + 2]);
-                        (0.299 * r + 0.587 * g + 0.114 * b).round().clamp(0.0, 255.0) as u8
+                        (0.299 * r + 0.587 * g + 0.114 * b)
+                            .round()
+                            .clamp(0.0, 255.0) as u8
                     })
                     .collect();
                 ImageBuf::from_u8(self.width, self.height, 1, data)
@@ -154,7 +177,9 @@ impl ImageBuf {
                         let r = f32::from(v[p * 3]);
                         let g = f32::from(v[p * 3 + 1]);
                         let b = f32::from(v[p * 3 + 2]);
-                        (0.299 * r + 0.587 * g + 0.114 * b).round().clamp(0.0, 65_535.0) as u16
+                        (0.299 * r + 0.587 * g + 0.114 * b)
+                            .round()
+                            .clamp(0.0, 65_535.0) as u16
                     })
                     .collect();
                 ImageBuf::from_u16(self.width, self.height, 1, data)
@@ -167,15 +192,19 @@ impl ImageBuf {
     /// pipelines.
     pub fn pixel_center(&self) -> Vec<f32> {
         let half = self.data.max_value() / 2.0;
-        (0..self.data.len()).map(|i| (self.data.get(i) - half) / half).collect()
+        (0..self.data.len())
+            .map(|i| (self.data.get(i) - half) / half)
+            .collect()
     }
 
     /// Crop a `crop_width × crop_height` region at offset `(x0, y0)`.
     /// The caller supplies offsets so the operation stays deterministic;
     /// random-crop steps draw them from their own RNG.
     pub fn crop(&self, x0: usize, y0: usize, crop_width: usize, crop_height: usize) -> ImageBuf {
-        assert!(x0 + crop_width <= self.width && y0 + crop_height <= self.height,
-                "crop out of bounds");
+        assert!(
+            x0 + crop_width <= self.width && y0 + crop_height <= self.height,
+            "crop out of bounds"
+        );
         let c = self.channels;
         match &self.data {
             PixelData::U8(v) => {

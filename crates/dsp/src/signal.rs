@@ -84,8 +84,7 @@ pub fn resample_linear(samples: &[i16], from_rate: u32, to_rate: u32) -> Vec<i16
     if from_rate == to_rate || samples.len() < 2 {
         return samples.to_vec();
     }
-    let out_len =
-        ((samples.len() as u64) * to_rate as u64 / from_rate as u64).max(1) as usize;
+    let out_len = ((samples.len() as u64) * to_rate as u64 / from_rate as u64).max(1) as usize;
     let step = from_rate as f64 / to_rate as f64;
     (0..out_len)
         .map(|i| {
@@ -116,8 +115,9 @@ mod tests {
     #[test]
     fn rms_of_sine_is_amplitude_over_sqrt2() {
         let period = 128;
-        let signal: Vec<f64> =
-            (0..period * 4).map(|i| (2.0 * PI * i as f64 / period as f64).sin() * 5.0).collect();
+        let signal: Vec<f64> = (0..period * 4)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin() * 5.0)
+            .collect();
         for value in period_rms(&signal, period) {
             assert!((value - 5.0 / 2f64.sqrt()).abs() < 1e-9);
         }
@@ -131,8 +131,9 @@ mod tests {
     #[test]
     fn reactive_power_zero_for_in_phase_signals() {
         let period = 128;
-        let v: Vec<f64> =
-            (0..period).map(|i| (2.0 * PI * i as f64 / period as f64).sin()).collect();
+        let v: Vec<f64> = (0..period)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
         let q = period_reactive_power(&v, &v, period);
         // sqrt amplifies float error near zero: |Q| = sqrt(eps) scale.
         assert!(q[0].abs() < 1e-6, "in-phase Q should be ~0, got {}", q[0]);
@@ -141,10 +142,12 @@ mod tests {
     #[test]
     fn reactive_power_max_for_quadrature_signals() {
         let period = 128;
-        let v: Vec<f64> =
-            (0..period).map(|i| (2.0 * PI * i as f64 / period as f64).sin()).collect();
-        let i: Vec<f64> =
-            (0..period).map(|i| (2.0 * PI * i as f64 / period as f64).cos()).collect();
+        let v: Vec<f64> = (0..period)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let i: Vec<f64> = (0..period)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).cos())
+            .collect();
         let q = period_reactive_power(&v, &i, period);
         // 90° phase shift: all apparent power is reactive: Q = S = 0.5.
         assert!((q[0] - 0.5).abs() < 1e-9, "got {}", q[0]);
@@ -195,7 +198,10 @@ mod tests {
         let rms_out = (resampled.iter().map(|&s| f64::from(s).powi(2)).sum::<f64>()
             / resampled.len() as f64)
             .sqrt();
-        assert!((rms_in - rms_out).abs() / rms_in < 0.03, "{rms_in} vs {rms_out}");
+        assert!(
+            (rms_in - rms_out).abs() / rms_in < 0.03,
+            "{rms_in} vs {rms_out}"
+        );
     }
 
     #[test]

@@ -111,11 +111,7 @@ pub fn mel_filterbank(n_mels: usize, n_bins: usize, sample_rate: u32) -> Vec<Vec
 
 /// Full paper audio featurization: STFT magnitudes projected through an
 /// `n_mels`-bin filter bank, log-compressed. Output: `frames × n_mels`.
-pub fn mel_spectrogram(
-    signal: &[f64],
-    sample_rate: u32,
-    n_mels: usize,
-) -> Vec<Vec<f32>> {
+pub fn mel_spectrogram(signal: &[f64], sample_rate: u32, n_mels: usize) -> Vec<Vec<f32>> {
     let config = StftConfig::paper_default(sample_rate);
     let spec = spectrogram(signal, config);
     if spec.is_empty() {
@@ -127,8 +123,7 @@ pub fn mel_spectrogram(
         .map(|frame| {
             bank.iter()
                 .map(|filter| {
-                    let energy: f64 =
-                        filter.iter().zip(frame).map(|(w, m)| w * m * m).sum();
+                    let energy: f64 = filter.iter().zip(frame).map(|(w, m)| w * m * m).sum();
                     ((energy + 1e-10).ln()) as f32
                 })
                 .collect()

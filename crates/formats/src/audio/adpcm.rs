@@ -29,8 +29,7 @@ const STEP_TABLE: [i32; 89] = [
 ];
 
 /// Index adjustment per 4-bit code.
-const INDEX_TABLE: [i32; 16] =
-    [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
+const INDEX_TABLE: [i32; 16] = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8];
 
 struct State {
     predictor: i32,
@@ -83,7 +82,9 @@ impl State {
         } else {
             self.predictor += diff;
         }
-        self.predictor = self.predictor.clamp(i32::from(i16::MIN), i32::from(i16::MAX));
+        self.predictor = self
+            .predictor
+            .clamp(i32::from(i16::MIN), i32::from(i16::MAX));
         self.index = (self.index + INDEX_TABLE[code as usize]).clamp(0, 88);
         self.predictor as i16
     }
@@ -99,7 +100,10 @@ pub fn encode(samples: &[i16], sample_rate: u32) -> Vec<u8> {
     out.extend_from_slice(&initial.to_le_bytes());
     out.push(0); // initial index
 
-    let mut state = State { predictor: i32::from(initial), index: 0 };
+    let mut state = State {
+        predictor: i32::from(initial),
+        index: 0,
+    };
     let mut nibble_buf = 0u8;
     let mut have_low = false;
     for &sample in samples {
@@ -138,7 +142,10 @@ pub fn decode(data: &[u8]) -> Result<(Vec<i16>, u32), FormatError> {
         return Err(FormatError::UnexpectedEof);
     }
 
-    let mut state = State { predictor: i32::from(predictor), index };
+    let mut state = State {
+        predictor: i32::from(predictor),
+        index,
+    };
     let mut samples = Vec::with_capacity(n_samples);
     for i in 0..n_samples {
         let byte = data[19 + i / 2];

@@ -81,7 +81,9 @@ fn write_rice(writer: &mut BitWriter, value: u64, k: u32) {
 fn read_rice(reader: &mut BitReader<'_>, k: u32) -> Result<u64, FormatError> {
     let mut q = 0u64;
     loop {
-        let bit = reader.read_bits(1).map_err(|_| FormatError::UnexpectedEof)?;
+        let bit = reader
+            .read_bits(1)
+            .map_err(|_| FormatError::UnexpectedEof)?;
         if bit == 1 {
             break;
         }
@@ -91,7 +93,11 @@ fn read_rice(reader: &mut BitReader<'_>, k: u32) -> Result<u64, FormatError> {
         }
     }
     let low = if k > 0 {
-        u64::from(reader.read_bits(k).map_err(|_| FormatError::UnexpectedEof)?)
+        u64::from(
+            reader
+                .read_bits(k)
+                .map_err(|_| FormatError::UnexpectedEof)?,
+        )
     } else {
         0
     };
@@ -105,7 +111,10 @@ pub fn encode(samples: &[i16], sample_rate: u32) -> Vec<u8> {
 
 /// Encode with an explicit frame size (must be > MAX_ORDER).
 pub fn encode_with_frame(samples: &[i16], sample_rate: u32, frame_size: usize) -> Vec<u8> {
-    assert!(frame_size > MAX_ORDER, "frame size must exceed max predictor order");
+    assert!(
+        frame_size > MAX_ORDER,
+        "frame size must exceed max predictor order"
+    );
     let mut out = Vec::with_capacity(samples.len());
     out.extend_from_slice(MAGIC);
     out.extend_from_slice(&sample_rate.to_le_bytes());
@@ -118,8 +127,9 @@ pub fn encode_with_frame(samples: &[i16], sample_rate: u32, frame_size: usize) -
         let mut best_order = 0usize;
         let mut best_sum = u64::MAX;
         for order in 0..=usable_order {
-            let sum: u64 =
-                (order..frame.len()).map(|i| residual(frame, i, order).unsigned_abs()).sum();
+            let sum: u64 = (order..frame.len())
+                .map(|i| residual(frame, i, order).unsigned_abs())
+                .sum();
             if sum < best_sum {
                 best_sum = sum;
                 best_order = order;
@@ -172,8 +182,7 @@ pub fn decode(data: &[u8]) -> Result<(Vec<i16>, u32), FormatError> {
         }
         let order = data[pos] as usize;
         let k = u32::from(data[pos + 1]);
-        let body_len =
-            u32::from_le_bytes(data[pos + 2..pos + 6].try_into().unwrap()) as usize;
+        let body_len = u32::from_le_bytes(data[pos + 2..pos + 6].try_into().unwrap()) as usize;
         pos += 6;
         if order > MAX_ORDER || k > 30 {
             return Err(FormatError::Corrupt("bad frame parameters"));
@@ -188,7 +197,9 @@ pub fn decode(data: &[u8]) -> Result<(Vec<i16>, u32), FormatError> {
         let mut reader = BitReader::new(&data[pos..pos + body_len]);
         let mut frame: Vec<i16> = Vec::with_capacity(frame_samples);
         for _ in 0..order.min(frame_samples) {
-            let raw = reader.read_bits(16).map_err(|_| FormatError::UnexpectedEof)?;
+            let raw = reader
+                .read_bits(16)
+                .map_err(|_| FormatError::UnexpectedEof)?;
             frame.push(raw as u16 as i16);
         }
         for i in frame.len()..frame_samples {

@@ -42,7 +42,10 @@ pub struct ContainerWriter {
 impl ContainerWriter {
     /// Start a new container.
     pub fn new() -> Self {
-        ContainerWriter { data: MAGIC.to_vec(), index: BTreeMap::new() }
+        ContainerWriter {
+            data: MAGIC.to_vec(),
+            index: BTreeMap::new(),
+        }
     }
 
     /// Append one raw (uncompressed) chunk to the named dataset.
@@ -73,11 +76,14 @@ impl ContainerWriter {
     /// Finish: write the index and trailer, returning the container bytes.
     pub fn finish(mut self) -> Vec<u8> {
         let index_offset = self.data.len() as u64;
-        self.data.extend_from_slice(&(self.index.len() as u32).to_le_bytes());
+        self.data
+            .extend_from_slice(&(self.index.len() as u32).to_le_bytes());
         for (name, chunks) in &self.index {
-            self.data.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            self.data
+                .extend_from_slice(&(name.len() as u16).to_le_bytes());
             self.data.extend_from_slice(name.as_bytes());
-            self.data.extend_from_slice(&(chunks.len() as u32).to_le_bytes());
+            self.data
+                .extend_from_slice(&(chunks.len() as u32).to_le_bytes());
             for &(offset, len) in chunks {
                 self.data.extend_from_slice(&offset.to_le_bytes());
                 self.data.extend_from_slice(&len.to_le_bytes());
@@ -104,8 +110,7 @@ impl<'a> ContainerReader<'a> {
         if &data[0..4] != MAGIC {
             return Err(FormatError::BadHeader("missing PH5F magic"));
         }
-        let index_offset =
-            u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap()) as usize;
+        let index_offset = u64::from_le_bytes(data[data.len() - 8..].try_into().unwrap()) as usize;
         if index_offset < 4 || index_offset >= data.len() - 8 {
             return Err(FormatError::Corrupt("index offset out of range"));
         }
@@ -155,10 +160,13 @@ impl<'a> ContainerReader<'a> {
             .index
             .get(dataset)
             .ok_or(FormatError::Corrupt("no such dataset"))?;
-        let &(offset, len) = chunks.get(chunk).ok_or(FormatError::Corrupt("no such chunk"))?;
+        let &(offset, len) = chunks
+            .get(chunk)
+            .ok_or(FormatError::Corrupt("no such chunk"))?;
         let bytes = &self.data[offset as usize..(offset + len) as usize];
-        let (&flag, body) =
-            bytes.split_first().ok_or(FormatError::Corrupt("empty chunk"))?;
+        let (&flag, body) = bytes
+            .split_first()
+            .ok_or(FormatError::Corrupt("empty chunk"))?;
         let decoded_storage;
         let tensor_bytes: &[u8] = match flag {
             CHUNK_RAW => body,
@@ -196,9 +204,11 @@ mod tests {
     fn build_sample() -> Vec<u8> {
         let mut writer = ContainerWriter::new();
         for i in 0..4 {
-            let chunk =
-                Tensor::from_vec(vec![100], (0..100).map(|x| f64::from(x + i * 100)).collect())
-                    .unwrap();
+            let chunk = Tensor::from_vec(
+                vec![100],
+                (0..100).map(|x| f64::from(x + i * 100)).collect(),
+            )
+            .unwrap();
             writer.append_chunk("voltage", &chunk);
         }
         let current = Tensor::from_vec(vec![50], vec![1.5f64; 50]).unwrap();
@@ -210,7 +220,10 @@ mod tests {
     fn roundtrip_datasets_and_chunks() {
         let bytes = build_sample();
         let reader = ContainerReader::open(&bytes).unwrap();
-        assert_eq!(reader.datasets().collect::<Vec<_>>(), vec!["current", "voltage"]);
+        assert_eq!(
+            reader.datasets().collect::<Vec<_>>(),
+            vec!["current", "voltage"]
+        );
         assert_eq!(reader.chunk_count("voltage"), 4);
         assert_eq!(reader.chunk_count("current"), 1);
         assert_eq!(reader.chunk_count("absent"), 0);
@@ -260,7 +273,12 @@ mod tests {
         let mut z_writer = ContainerWriter::new();
         z_writer.append_chunk_compressed("v", &tensor, presto_codecs::Level::DEFAULT);
         let compressed = z_writer.finish();
-        assert!(compressed.len() < raw.len() * 3 / 4, "{} vs {}", compressed.len(), raw.len());
+        assert!(
+            compressed.len() < raw.len() * 3 / 4,
+            "{} vs {}",
+            compressed.len(),
+            raw.len()
+        );
         let reader = ContainerReader::open(&compressed).unwrap();
         assert_eq!(reader.read_all_f64("v").unwrap(), signal);
     }
@@ -274,7 +292,10 @@ mod tests {
         writer.append_chunk_compressed("x", &b, presto_codecs::Level::FAST);
         let bytes = writer.finish();
         let reader = ContainerReader::open(&bytes).unwrap();
-        assert_eq!(reader.read_all_f64("x").unwrap(), vec![1.0, 2.0, 3.0, 4.0, 9.0, 9.0]);
+        assert_eq!(
+            reader.read_all_f64("x").unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 9.0, 9.0]
+        );
     }
 
     #[test]

@@ -147,8 +147,7 @@ pub fn encode(image: &ImageBuf, quality: u8) -> Vec<u8> {
                     let sy = (by * 8 + y).min(h - 1);
                     for x in 0..8 {
                         let sx = (bx * 8 + x).min(w - 1);
-                        block[y * 8 + x] =
-                            f32::from(pixels[(sy * w + sx) * c + channel]) - 128.0;
+                        block[y * 8 + x] = f32::from(pixels[(sy * w + sx) * c + channel]) - 128.0;
                     }
                 }
                 let freq = fdct(&block, &cos);
@@ -220,8 +219,7 @@ pub fn decode(data: &[u8]) -> Result<ImageBuf, FormatError> {
             for bx in 0..blocks_x {
                 let mut freq = [0f32; 64];
                 for (i, &z) in ZIGZAG.iter().enumerate() {
-                    let raw =
-                        i16::from_le_bytes([payload[offset], payload[offset + 1]]);
+                    let raw = i16::from_le_bytes([payload[offset], payload[offset + 1]]);
                     offset += 2;
                     let value = if i == 0 {
                         prev_dc = prev_dc.wrapping_add(raw);
@@ -288,7 +286,12 @@ mod tests {
         let (PixelData::U8(a), PixelData::U8(b)) = (&img.data, &decoded.data) else {
             panic!("depth changed")
         };
-        let max_err = a.iter().zip(b).map(|(x, y)| (i16::from(*x) - i16::from(*y)).abs()).max().unwrap();
+        let max_err = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (i16::from(*x) - i16::from(*y)).abs())
+            .max()
+            .unwrap();
         assert!(max_err <= 12, "max error {max_err}");
     }
 

@@ -28,17 +28,15 @@ fn paeth(a: i32, b: i32, c: i32) -> i32 {
     }
 }
 
-fn filter_row(
-    filter: u8,
-    row: &[u8],
-    prev: &[u8],
-    bpp: usize,
-    out: &mut Vec<u8>,
-) {
+fn filter_row(filter: u8, row: &[u8], prev: &[u8], bpp: usize, out: &mut Vec<u8>) {
     for (i, &x) in row.iter().enumerate() {
         let a = if i >= bpp { row[i - bpp] } else { 0 };
         let b = prev.get(i).copied().unwrap_or(0);
-        let c = if i >= bpp { prev.get(i - bpp).copied().unwrap_or(0) } else { 0 };
+        let c = if i >= bpp {
+            prev.get(i - bpp).copied().unwrap_or(0)
+        } else {
+            0
+        };
         let predicted = match filter {
             0 => 0,
             1 => i32::from(a),
@@ -58,7 +56,11 @@ fn unfilter_row(filter: u8, row: &mut [u8], prev: &[u8], bpp: usize) -> Result<(
     for i in 0..row.len() {
         let a = if i >= bpp { row[i - bpp] } else { 0 };
         let b = prev.get(i).copied().unwrap_or(0);
-        let c = if i >= bpp { prev.get(i - bpp).copied().unwrap_or(0) } else { 0 };
+        let c = if i >= bpp {
+            prev.get(i - bpp).copied().unwrap_or(0)
+        } else {
+            0
+        };
         let predicted = match filter {
             0 => 0,
             1 => i32::from(a),
@@ -97,8 +99,11 @@ pub fn encode(image: &ImageBuf, level: Level) -> Vec<u8> {
     let empty = vec![0u8; 0];
     for y in 0..image.height {
         let row = &raw[y * row_bytes..(y + 1) * row_bytes];
-        let prev: &[u8] =
-            if y == 0 { &empty } else { &raw[(y - 1) * row_bytes..y * row_bytes] };
+        let prev: &[u8] = if y == 0 {
+            &empty
+        } else {
+            &raw[(y - 1) * row_bytes..y * row_bytes]
+        };
         // Pick the filter minimizing the sum of absolute (signed) residuals.
         let mut best_filter = 0u8;
         let mut best_cost = u64::MAX;
@@ -106,8 +111,10 @@ pub fn encode(image: &ImageBuf, level: Level) -> Vec<u8> {
         for filter in 0..=4u8 {
             scratch.clear();
             filter_row(filter, row, prev, bpp, &mut scratch);
-            let cost: u64 =
-                scratch.iter().map(|&b| u64::from((b as i8).unsigned_abs())).sum();
+            let cost: u64 = scratch
+                .iter()
+                .map(|&b| u64::from((b as i8).unsigned_abs()))
+                .sum();
             if cost < best_cost {
                 best_cost = cost;
                 best_filter = filter;
@@ -164,8 +171,11 @@ pub fn decode(data: &[u8]) -> Result<ImageBuf, FormatError> {
         let (done, rest) = raw.split_at_mut(y * row_bytes);
         let row = &mut rest[..row_bytes];
         row.copy_from_slice(&src[1..]);
-        let prev: &[u8] =
-            if y == 0 { &[] } else { &done[(y - 1) * row_bytes..y * row_bytes] };
+        let prev: &[u8] = if y == 0 {
+            &[]
+        } else {
+            &done[(y - 1) * row_bytes..y * row_bytes]
+        };
         unfilter_row(filter, row, prev, bpp)?;
     }
 
@@ -244,14 +254,20 @@ mod tests {
                 let v = (128.0
                     + 60.0 * ((x as f32) * 0.1).sin()
                     + 40.0 * ((y as f32) * 0.07).cos()
-                    + 10.0 * (((x * 31 + y * 17) % 13) as f32 / 13.0)) as u8;
+                    + 10.0 * (((x * 31 + y * 17) % 13) as f32 / 13.0))
+                    as u8;
                 data.extend_from_slice(&[v, v.wrapping_add(10), v.wrapping_sub(10)]);
             }
         }
         let img = ImageBuf::from_u8(128, 128, 3, data);
         let png = encode(&img, Level::DEFAULT);
         let jpg = super::super::jpg::encode(&img, 75);
-        assert!(png.len() > jpg.len(), "png {} <= jpg {}", png.len(), jpg.len());
+        assert!(
+            png.len() > jpg.len(),
+            "png {} <= jpg {}",
+            png.len(),
+            jpg.len()
+        );
     }
 
     #[test]
@@ -276,6 +292,9 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert!(matches!(decode(&[0xAAu8; 64]), Err(FormatError::BadHeader(_))));
+        assert!(matches!(
+            decode(&[0xAAu8; 64]),
+            Err(FormatError::BadHeader(_))
+        ));
     }
 }

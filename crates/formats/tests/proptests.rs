@@ -9,21 +9,27 @@ use presto_tensor::Tensor;
 use proptest::prelude::*;
 
 fn arb_image8() -> impl Strategy<Value = ImageBuf> {
-    (1usize..40, 1usize..40, prop_oneof![Just(1usize), Just(3usize)]).prop_flat_map(
-        |(w, h, c)| {
+    (
+        1usize..40,
+        1usize..40,
+        prop_oneof![Just(1usize), Just(3usize)],
+    )
+        .prop_flat_map(|(w, h, c)| {
             proptest::collection::vec(any::<u8>(), w * h * c)
                 .prop_map(move |data| ImageBuf::from_u8(w, h, c, data))
-        },
-    )
+        })
 }
 
 fn arb_image16() -> impl Strategy<Value = ImageBuf> {
-    (1usize..24, 1usize..24, prop_oneof![Just(1usize), Just(3usize)]).prop_flat_map(
-        |(w, h, c)| {
+    (
+        1usize..24,
+        1usize..24,
+        prop_oneof![Just(1usize), Just(3usize)],
+    )
+        .prop_flat_map(|(w, h, c)| {
             proptest::collection::vec(any::<u16>(), w * h * c)
                 .prop_map(move |data| ImageBuf::from_u16(w, h, c, data))
-        },
-    )
+        })
 }
 
 proptest! {

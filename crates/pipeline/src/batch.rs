@@ -24,7 +24,11 @@ impl<I: Iterator<Item = Sample>> Batcher<I> {
     /// Batch `upstream` into groups of `batch_size`.
     pub fn new(upstream: I, batch_size: usize, keep_remainder: bool) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Batcher { upstream, batch_size, keep_remainder }
+        Batcher {
+            upstream,
+            batch_size,
+            keep_remainder,
+        }
     }
 }
 
@@ -93,8 +97,7 @@ pub fn stack_batch(batch: &[Sample]) -> Result<Tensor, PipelineError> {
     let mut shape = Vec::with_capacity(template.shape().len() + 1);
     shape.push(batch.len());
     shape.extend_from_slice(template.shape());
-    Tensor::from_raw(template.dtype(), shape, data)
-        .map_err(|e| PipelineError::Other(e.to_string()))
+    Tensor::from_raw(template.dtype(), shape, data).map_err(|e| PipelineError::Other(e.to_string()))
 }
 
 #[cfg(test)]
@@ -111,8 +114,7 @@ mod tests {
     #[test]
     fn batches_have_requested_size() {
         let samples: Vec<Sample> = (0..10).map(|k| sample(k, k as f32)).collect();
-        let batches: Vec<Vec<Sample>> =
-            Batcher::new(samples.into_iter(), 4, true).collect();
+        let batches: Vec<Vec<Sample>> = Batcher::new(samples.into_iter(), 4, true).collect();
         assert_eq!(batches.len(), 3);
         assert_eq!(batches[0].len(), 4);
         assert_eq!(batches[2].len(), 2); // remainder kept
@@ -121,8 +123,7 @@ mod tests {
     #[test]
     fn drop_remainder_matches_tf_semantics() {
         let samples: Vec<Sample> = (0..10).map(|k| sample(k, 0.0)).collect();
-        let batches: Vec<Vec<Sample>> =
-            Batcher::new(samples.into_iter(), 4, false).collect();
+        let batches: Vec<Vec<Sample>> = Batcher::new(samples.into_iter(), 4, false).collect();
         assert_eq!(batches.len(), 2);
         assert!(batches.iter().all(|b| b.len() == 4));
     }
@@ -140,10 +141,7 @@ mod tests {
     #[test]
     fn stack_rejects_mismatched_shapes() {
         let a = sample(0, 1.0);
-        let b = Sample::from_tensors(
-            1,
-            vec![Tensor::from_vec(vec![4], vec![0f32; 4]).unwrap()],
-        );
+        let b = Sample::from_tensors(1, vec![Tensor::from_vec(vec![4], vec![0f32; 4]).unwrap()]);
         assert!(stack_batch(&[a, b]).is_err());
         assert!(stack_batch(&[]).is_err());
     }

@@ -93,12 +93,7 @@ pub struct FanOut {
 /// Fan a pipeline's T4 throughput out to `jobs` concurrent trainers
 /// over a link of `link_bw` bytes/s (the paper's concurrent-training
 /// discussion: the duplicated load can become the new bottleneck).
-pub fn fan_out(
-    t4_sps: f64,
-    final_sample_bytes: f64,
-    link_bw: f64,
-    jobs: usize,
-) -> FanOut {
+pub fn fan_out(t4_sps: f64, final_sample_bytes: f64, link_bw: f64, jobs: usize) -> FanOut {
     assert!(jobs > 0);
     let demand = t4_sps * final_sample_bytes * jobs as f64;
     let (per_job, link_bound) = if demand <= link_bw {
@@ -117,21 +112,14 @@ pub fn fan_out(
 /// A minimal multi-reader scaling probe against one shared cluster —
 /// used to show where adding preprocessing VMs stops helping: `workers`
 /// sequential readers streaming `bytes_per_worker` each.
-pub fn shared_cluster_read_secs(
-    env: &SimEnv,
-    workers: usize,
-    bytes_per_worker: u64,
-) -> f64 {
+pub fn shared_cluster_read_secs(env: &SimEnv, workers: usize, bytes_per_worker: u64) -> f64 {
     struct Reader {
         id: u64,
         bytes: u64,
         done: bool,
     }
     impl presto_storage::machine::Program for Reader {
-        fn step(
-            &mut self,
-            _ctx: &mut presto_storage::machine::Ctx<'_>,
-        ) -> Stage {
+        fn step(&mut self, _ctx: &mut presto_storage::machine::Ctx<'_>) -> Stage {
             if self.done {
                 return Stage::Done;
             }
@@ -146,7 +134,11 @@ pub fn shared_cluster_read_secs(
         locks: 1,
     });
     for id in 0..workers as u64 {
-        machine.add_task(Box::new(Reader { id, bytes: bytes_per_worker, done: false }));
+        machine.add_task(Box::new(Reader {
+            id,
+            bytes: bytes_per_worker,
+            done: false,
+        }));
     }
     machine.run().span.as_secs_f64()
 }
@@ -154,7 +146,9 @@ pub fn shared_cluster_read_secs(
 /// Convenience: a simulator whose dataset layout is irrelevant (used by
 /// tests and benches probing only the shared-cluster behaviour).
 pub fn probe_layout() -> SourceLayout {
-    SourceLayout::LargeFiles { file_bytes: 1 << 30 }
+    SourceLayout::LargeFiles {
+        file_bytes: 1 << 30,
+    }
 }
 
 #[cfg(test)]
@@ -179,7 +173,10 @@ mod tests {
             unprocessed_sample_bytes: 10_000.0,
             layout: probe_layout(),
         };
-        let env = SimEnv { subset_samples: 4_000, ..SimEnv::paper_vm() };
+        let env = SimEnv {
+            subset_samples: 4_000,
+            ..SimEnv::paper_vm()
+        };
         Simulator::new(pipeline, dataset, env)
     }
 
@@ -188,8 +185,16 @@ mod tests {
         let sim = cpu_heavy_workload();
         let results = offline_scaling(&sim, &Strategy::at_split(1), &[1, 2, 4]);
         assert_eq!(results.len(), 3);
-        assert!(results[1].speedup > 1.7, "2 workers: {:.2}x", results[1].speedup);
-        assert!(results[2].speedup > 3.2, "4 workers: {:.2}x", results[2].speedup);
+        assert!(
+            results[1].speedup > 1.7,
+            "2 workers: {:.2}x",
+            results[1].speedup
+        );
+        assert!(
+            results[2].speedup > 3.2,
+            "4 workers: {:.2}x",
+            results[2].speedup
+        );
     }
 
     #[test]
@@ -206,7 +211,10 @@ mod tests {
             unprocessed_sample_bytes: 5_000_000.0,
             layout: probe_layout(),
         };
-        let env = SimEnv { subset_samples: 2_000, ..SimEnv::paper_vm() };
+        let env = SimEnv {
+            subset_samples: 2_000,
+            ..SimEnv::paper_vm()
+        };
         let sim = Simulator::new(pipeline, dataset, env);
         let results = offline_scaling(&sim, &Strategy::at_split(1), &[1, 4, 16]);
         // 1 worker: 8 streams already near the 910 MB/s aggregate —
@@ -225,7 +233,10 @@ mod tests {
         let eight = shared_cluster_read_secs(&env, 8, 5_000_000_000);
         // 8 workers move 8x the data in (8*219/910) ≈ 1.9x the time.
         let efficiency = one * 8.0 / eight;
-        assert!((efficiency - 910.0 / 219.0).abs() < 0.3, "efficiency {efficiency:.2}");
+        assert!(
+            (efficiency - 910.0 / 219.0).abs() < 0.3,
+            "efficiency {efficiency:.2}"
+        );
     }
 
     #[test]

@@ -73,11 +73,17 @@ impl fmt::Display for PipelineError {
             PipelineError::InvalidStrategy(why) => write!(f, "invalid strategy: {why}"),
             PipelineError::Decode(why) => write!(f, "decode failure: {why}"),
             PipelineError::CacheOverflow { needed, available } => {
-                write!(f, "application cache overflow: need {needed} B, have {available} B")
+                write!(
+                    f,
+                    "application cache overflow: need {needed} B, have {available} B"
+                )
             }
             PipelineError::Io(why) => write!(f, "storage I/O failure: {why}"),
             PipelineError::Transient { blob, attempts } => {
-                write!(f, "transient storage failure on '{blob}' after {attempts} attempts")
+                write!(
+                    f,
+                    "transient storage failure on '{blob}' after {attempts} attempts"
+                )
             }
             PipelineError::LostShard { shard } => write!(f, "shard '{shard}' is missing"),
             PipelineError::CorruptShard { shard, why } => {
@@ -86,7 +92,10 @@ impl fmt::Display for PipelineError {
             PipelineError::WorkerPanicked { step } => {
                 write!(f, "worker panicked in step '{step}'")
             }
-            PipelineError::FaultBudgetExceeded { skipped_samples, lost_shards } => {
+            PipelineError::FaultBudgetExceeded {
+                skipped_samples,
+                lost_shards,
+            } => {
                 write!(
                     f,
                     "fault budget exceeded: {skipped_samples} skipped samples, \
@@ -126,7 +135,10 @@ mod tests {
 
     #[test]
     fn transient_display_names_blob_and_attempts() {
-        let err = PipelineError::Transient { blob: "cv-shard-0003".into(), attempts: 5 };
+        let err = PipelineError::Transient {
+            blob: "cv-shard-0003".into(),
+            attempts: 5,
+        };
         assert_eq!(
             err.to_string(),
             "transient storage failure on 'cv-shard-0003' after 5 attempts"
@@ -136,7 +148,10 @@ mod tests {
     #[test]
     fn lost_and_corrupt_shard_display_name_the_shard() {
         assert_eq!(
-            PipelineError::LostShard { shard: "s-07".into() }.to_string(),
+            PipelineError::LostShard {
+                shard: "s-07".into()
+            }
+            .to_string(),
             "shard 's-07' is missing"
         );
         assert_eq!(
@@ -151,13 +166,18 @@ mod tests {
 
     #[test]
     fn worker_panicked_display_names_the_step() {
-        let err = PipelineError::WorkerPanicked { step: "decode-jpg".into() };
+        let err = PipelineError::WorkerPanicked {
+            step: "decode-jpg".into(),
+        };
         assert_eq!(err.to_string(), "worker panicked in step 'decode-jpg'");
     }
 
     #[test]
     fn fault_budget_display_reports_both_counters() {
-        let err = PipelineError::FaultBudgetExceeded { skipped_samples: 9, lost_shards: 2 };
+        let err = PipelineError::FaultBudgetExceeded {
+            skipped_samples: 9,
+            lost_shards: 2,
+        };
         assert_eq!(
             err.to_string(),
             "fault budget exceeded: 9 skipped samples, 2 lost shards"

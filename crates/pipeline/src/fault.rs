@@ -55,7 +55,10 @@ pub struct RetryError {
 impl RetryPolicy {
     /// No retries: every failure is final (pre-fault-tolerance behavior).
     pub fn none() -> Self {
-        RetryPolicy { max_attempts: 1, ..Default::default() }
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
     }
 
     /// `max_attempts` attempts with millisecond-scale backoff — tuned
@@ -141,7 +144,10 @@ pub enum FaultPolicy {
 impl FaultPolicy {
     /// Degrade with an unlimited error budget.
     pub fn degrade_unbounded() -> Self {
-        FaultPolicy::Degrade { max_skipped_samples: u64::MAX, max_lost_shards: u64::MAX }
+        FaultPolicy::Degrade {
+            max_skipped_samples: u64::MAX,
+            max_lost_shards: u64::MAX,
+        }
     }
 }
 
@@ -164,7 +170,10 @@ impl Resilience {
     pub fn degrade(max_skipped_samples: u64, max_lost_shards: u64) -> Self {
         Resilience {
             retry: RetryPolicy::default(),
-            policy: FaultPolicy::Degrade { max_skipped_samples, max_lost_shards },
+            policy: FaultPolicy::Degrade {
+                max_skipped_samples,
+                max_lost_shards,
+            },
         }
     }
 }
@@ -194,7 +203,10 @@ impl FaultCounters {
     ) -> Result<(), PipelineError> {
         match policy {
             FaultPolicy::FailFast => Err(fault),
-            FaultPolicy::Degrade { max_skipped_samples, .. } => {
+            FaultPolicy::Degrade {
+                max_skipped_samples,
+                ..
+            } => {
                 let skipped = self.skipped_samples.fetch_add(1, Ordering::Relaxed) + 1;
                 if skipped > *max_skipped_samples {
                     Err(PipelineError::FaultBudgetExceeded {
@@ -217,7 +229,9 @@ impl FaultCounters {
     ) -> Result<(), PipelineError> {
         match policy {
             FaultPolicy::FailFast => Err(fault),
-            FaultPolicy::Degrade { max_lost_shards, .. } => {
+            FaultPolicy::Degrade {
+                max_lost_shards, ..
+            } => {
                 let lost = self.lost_shards.fetch_add(1, Ordering::Relaxed) + 1;
                 if lost > *max_lost_shards {
                     Err(PipelineError::FaultBudgetExceeded {
@@ -324,7 +338,11 @@ mod tests {
         assert_eq!(policy.backoff(1, 0), Duration::from_millis(10));
         assert_eq!(policy.backoff(2, 0), Duration::from_millis(20));
         assert_eq!(policy.backoff(3, 0), Duration::from_millis(35), "capped");
-        assert_eq!(policy.backoff(60, 0), Duration::from_millis(35), "no overflow");
+        assert_eq!(
+            policy.backoff(60, 0),
+            Duration::from_millis(35),
+            "no overflow"
+        );
     }
 
     #[test]
@@ -340,30 +358,45 @@ mod tests {
         let b = policy.backoff(1, 99);
         assert_eq!(a, b, "same seed, same jitter");
         assert!(a >= Duration::from_millis(50) && a <= Duration::from_millis(100));
-        assert_ne!(policy.backoff(1, 1), policy.backoff(1, 2), "seeds decorrelate");
+        assert_ne!(
+            policy.backoff(1, 1),
+            policy.backoff(1, 2),
+            "seeds decorrelate"
+        );
     }
 
     #[test]
     fn degrade_budget_is_enforced() {
         let counters = FaultCounters::default();
-        let policy = FaultPolicy::Degrade { max_skipped_samples: 2, max_lost_shards: 0 };
+        let policy = FaultPolicy::Degrade {
+            max_skipped_samples: 2,
+            max_lost_shards: 0,
+        };
         let fault = || PipelineError::Decode("bad".into());
         assert!(counters.absorb_sample(&policy, fault()).is_ok());
         assert!(counters.absorb_sample(&policy, fault()).is_ok());
         let err = counters.absorb_sample(&policy, fault()).unwrap_err();
         assert!(matches!(
             err,
-            PipelineError::FaultBudgetExceeded { skipped_samples: 3, lost_shards: 0 }
+            PipelineError::FaultBudgetExceeded {
+                skipped_samples: 3,
+                lost_shards: 0
+            }
         ));
         let err = counters.absorb_shard(&policy, fault()).unwrap_err();
-        assert!(matches!(err, PipelineError::FaultBudgetExceeded { lost_shards: 1, .. }));
+        assert!(matches!(
+            err,
+            PipelineError::FaultBudgetExceeded { lost_shards: 1, .. }
+        ));
     }
 
     #[test]
     fn fail_fast_returns_the_original_fault() {
         let counters = FaultCounters::default();
         let fault = PipelineError::LostShard { shard: "s".into() };
-        let err = counters.absorb_sample(&FaultPolicy::FailFast, fault.clone()).unwrap_err();
+        let err = counters
+            .absorb_sample(&FaultPolicy::FailFast, fault.clone())
+            .unwrap_err();
         assert_eq!(err, fault);
         assert_eq!(counters.snapshot(), (0, 0, 0));
     }

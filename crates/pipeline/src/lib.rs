@@ -48,4 +48,6 @@ pub use strategy::{CacheLevel, Strategy};
 /// [`real::RealExecutor::with_telemetry`] and read back per-step
 /// latency, per-worker utilization, queue depth and fault counts.
 pub use presto_telemetry as telemetry;
-pub use presto_telemetry::{EpochRecorder, Telemetry, TelemetrySnapshot};
+pub use presto_telemetry::{
+    EpochRecorder, SearchProgress, SearchSnapshot, Telemetry, TelemetrySnapshot,
+};

@@ -33,7 +33,10 @@ pub struct Pipeline {
 impl Pipeline {
     /// An empty pipeline.
     pub fn new(name: &str) -> Self {
-        Pipeline { name: name.to_string(), steps: Vec::new() }
+        Pipeline {
+            name: name.to_string(),
+            steps: Vec::new(),
+        }
     }
 
     /// Append a simulation-only step.
@@ -45,7 +48,10 @@ impl Pipeline {
     /// Append an executable step (its spec is taken from the impl).
     pub fn push_step(mut self, step: Arc<dyn Step>) -> Self {
         let spec = step.spec();
-        self.steps.push(PipelineStep { spec, exec: Some(step) });
+        self.steps.push(PipelineStep {
+            spec,
+            exec: Some(step),
+        });
         self
     }
 
@@ -156,7 +162,9 @@ mod tests {
     fn max_split_stops_at_non_deterministic() {
         let p = sample_pipeline();
         assert_eq!(p.max_split(), 4);
-        let all_det = Pipeline::new("x").push_spec(spec("a", 1.0)).push_spec(spec("b", 1.0));
+        let all_det = Pipeline::new("x")
+            .push_spec(spec("a", 1.0))
+            .push_spec(spec("b", 1.0));
         assert_eq!(all_det.max_split(), 2);
     }
 
@@ -182,7 +190,14 @@ mod tests {
         let p = sample_pipeline().insert_spec(3, spec("applied-greyscale", 1.0 / 3.0));
         assert_eq!(
             p.step_names(),
-            vec!["concatenated", "decoded", "resized", "applied-greyscale", "pixel-centered", "random-crop"]
+            vec![
+                "concatenated",
+                "decoded",
+                "resized",
+                "applied-greyscale",
+                "pixel-centered",
+                "random-crop"
+            ]
         );
         // 100 → concat 100 → decode 500 → resize 200 → grey 66.7 → center 266.7
         assert!((p.size_after(5, 100.0) - 266.666).abs() < 0.01);
@@ -197,7 +212,9 @@ mod tests {
     #[test]
     fn check_rejects_duplicate_and_reserved_names() {
         assert!(sample_pipeline().check().is_ok());
-        let dup = Pipeline::new("d").push_spec(spec("a", 1.0)).push_spec(spec("a", 1.0));
+        let dup = Pipeline::new("d")
+            .push_spec(spec("a", 1.0))
+            .push_spec(spec("a", 1.0));
         assert!(dup.check().is_err());
         let reserved = Pipeline::new("r").push_spec(spec("unprocessed", 1.0));
         assert!(reserved.check().is_err());

@@ -144,16 +144,20 @@ fn retry_failure(error: RetryError) -> PipelineError {
     match error.error {
         StoreError::Io(why) => PipelineError::Io(why),
         StoreError::NotFound { blob } => PipelineError::LostShard { shard: blob },
-        StoreError::Transient { blob } => {
-            PipelineError::Transient { blob, attempts: error.attempts }
-        }
+        StoreError::Transient { blob } => PipelineError::Transient {
+            blob,
+            attempts: error.attempts,
+        },
     }
 }
 
 /// True for shard-level faults [`FaultPolicy::Degrade`] may absorb
 /// (the shard's data is unreachable, but the medium itself works).
 fn shard_fault_is_degradable(error: &PipelineError) -> bool {
-    matches!(error, PipelineError::LostShard { .. } | PipelineError::Transient { .. })
+    matches!(
+        error,
+        PipelineError::LostShard { .. } | PipelineError::Transient { .. }
+    )
 }
 
 /// Fetch one shard, retrying transient failures per the policy.
@@ -194,7 +198,11 @@ fn apply_step(
     rng: &mut SmallRng,
 ) -> Result<Sample, PipelineError> {
     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| step.apply(sample, rng)))
-        .unwrap_or_else(|_| Err(PipelineError::WorkerPanicked { step: name.to_string() }))
+        .unwrap_or_else(|_| {
+            Err(PipelineError::WorkerPanicked {
+                step: name.to_string(),
+            })
+        })
 }
 
 /// The real multi-threaded executor.
@@ -209,7 +217,10 @@ impl RealExecutor {
     /// An executor with `threads` workers and no telemetry.
     pub fn new(threads: usize) -> Self {
         assert!(threads > 0);
-        RealExecutor { threads, telemetry: None }
+        RealExecutor {
+            threads,
+            telemetry: None,
+        }
     }
 
     /// Attach a [`Telemetry`] handle: every subsequent epoch records
@@ -236,8 +247,10 @@ impl RealExecutor {
     ) -> Arc<EpochRecorder> {
         match &self.telemetry {
             Some(telemetry) => {
-                let names: Vec<String> =
-                    pipeline.steps()[split..].iter().map(|s| s.spec.name.clone()).collect();
+                let names: Vec<String> = pipeline.steps()[split..]
+                    .iter()
+                    .map(|s| s.spec.name.clone())
+                    .collect();
                 telemetry.begin_epoch(&names, self.threads, queue_capacity)
             }
             None => EpochRecorder::noop(),
@@ -285,8 +298,9 @@ impl RealExecutor {
         }
         let start = Instant::now();
         let shards = strategy.shards.max(1).min(source.len().max(1));
-        let shard_names: Vec<String> =
-            (0..shards).map(|i| format!("{}-split{}-shard{:04}", pipeline.name, split, i)).collect();
+        let shard_names: Vec<String> = (0..shards)
+            .map(|i| format!("{}-split{}-shard{:04}", pipeline.name, split, i))
+            .collect();
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
         let stored = AtomicU64::new(0);
         let counters = FaultCounters::default();
@@ -317,7 +331,10 @@ impl RealExecutor {
                     let compressed = strategy.compression.compress(&framed);
                     stored.fetch_add(compressed.len() as u64, Ordering::Relaxed);
                     let seed = shard_idx as u64 ^ 0x5B07;
-                    match resilience.retry.run(seed, || store.put(shard_name, &compressed)) {
+                    match resilience
+                        .retry
+                        .run(seed, || store.put(shard_name, &compressed))
+                    {
                         Ok((_, retries)) => counters.add_retries(u64::from(retries)),
                         Err(error) => {
                             counters.add_retries(u64::from(error.attempts.saturating_sub(1)));
@@ -355,7 +372,15 @@ impl RealExecutor {
     where
         F: Fn(&Sample) + Send + Sync,
     {
-        self.epoch_with(pipeline, dataset, store, cache, epoch_seed, &Resilience::default(), consume)
+        self.epoch_with(
+            pipeline,
+            dataset,
+            store,
+            cache,
+            epoch_seed,
+            &Resilience::default(),
+            consume,
+        )
     }
 
     /// Online phase: stream one epoch of `dataset` through the steps
@@ -522,8 +547,7 @@ impl RealExecutor {
                                 for (idx, step) in steps.iter().enumerate() {
                                     let exec = step.exec.as_deref().unwrap();
                                     let t_step = rec.begin();
-                                    sample =
-                                        apply_step(exec, &step.spec.name, sample, &mut rng)?;
+                                    sample = apply_step(exec, &step.spec.name, sample, &mut rng)?;
                                     if let Some(t0) = t_step {
                                         rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
                                     }
@@ -683,7 +707,14 @@ impl RealExecutor {
         prefetch: usize,
         epoch_seed: u64,
     ) -> Result<EpochStream, PipelineError> {
-        self.stream_epoch_with(pipeline, dataset, store, prefetch, epoch_seed, Resilience::default())
+        self.stream_epoch_with(
+            pipeline,
+            dataset,
+            store,
+            prefetch,
+            epoch_seed,
+            Resilience::default(),
+        )
     }
 
     /// Start a streaming epoch with a prefetch buffer of `prefetch`
@@ -702,8 +733,7 @@ impl RealExecutor {
         epoch_seed: u64,
         resilience: Resilience,
     ) -> Result<EpochStream, PipelineError> {
-        let steps: Vec<(String, Arc<dyn crate::step::Step>)> = pipeline.steps()
-            [dataset.split..]
+        let steps: Vec<(String, Arc<dyn crate::step::Step>)> = pipeline.steps()[dataset.split..]
             .iter()
             .map(|s| {
                 s.exec
@@ -733,35 +763,45 @@ impl RealExecutor {
             let resilience = resilience.clone();
             let rec = Arc::clone(&rec);
             let in_flight = Arc::clone(&in_flight);
-            let shards: Vec<String> =
-                dataset.shards.iter().skip(worker).step_by(self.threads).cloned().collect();
+            let shards: Vec<String> = dataset
+                .shards
+                .iter()
+                .skip(worker)
+                .step_by(self.threads)
+                .cloned()
+                .collect();
             let codec = dataset.codec;
             handles.push(std::thread::spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
                 for shard_name in shards {
                     let t_read = rec.begin();
-                    let fetched =
-                        fetch_shard(store.as_ref(), &shard_name, &resilience, &counters, &rec, worker);
+                    let fetched = fetch_shard(
+                        store.as_ref(),
+                        &shard_name,
+                        &resilience,
+                        &counters,
+                        &rec,
+                        worker,
+                    );
                     if let Some(t0) = t_read {
                         rec.phase_done(worker, PHASE_READ, t0);
                     }
-                    let blob =
-                        match fetched {
-                            Ok(blob) => blob,
-                            Err(e) if shard_fault_is_degradable(&e) => {
-                                match counters.absorb_shard(&resilience.policy, e) {
-                                    Ok(()) => continue,
-                                    Err(fatal) => {
-                                        let _ = sender.send(Err(fatal));
-                                        return;
-                                    }
+                    let blob = match fetched {
+                        Ok(blob) => blob,
+                        Err(e) if shard_fault_is_degradable(&e) => {
+                            match counters.absorb_shard(&resilience.policy, e) {
+                                Ok(()) => continue,
+                                Err(fatal) => {
+                                    let _ = sender.send(Err(fatal));
+                                    return;
                                 }
                             }
-                            Err(e) => {
-                                let _ = sender.send(Err(e));
-                                return;
-                            }
-                        };
+                        }
+                        Err(e) => {
+                            let _ = sender.send(Err(e));
+                            return;
+                        }
+                    };
                     bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
                     rec.bytes_read(worker, blob.len() as u64);
                     let t_decompress = rec.begin();
@@ -885,7 +925,10 @@ mod tests {
 
         fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
             let crate::sample::Payload::Tensors(tensors) = &sample.payload else {
-                return Err(PipelineError::PayloadMismatch { step: self.0.into(), expected: "tensors" });
+                return Err(PipelineError::PayloadMismatch {
+                    step: self.0.into(),
+                    expected: "tensors",
+                });
             };
             let doubled = tensors
                 .iter()
@@ -939,15 +982,18 @@ mod tests {
         let exec = RealExecutor::new(4);
         // Split after the first step: one doubling offline, one online.
         let strategy = Strategy::at_split(1).with_threads(4);
-        let (dataset, _) =
-            exec.materialize(&pipeline, &strategy, &source(100), &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(100), &store)
+            .unwrap();
         assert_eq!(dataset.sample_count, 100);
         assert!(dataset.stored_bytes > 0);
 
         let seen = Mutex::new(Vec::new());
         let stats = exec
             .epoch(&pipeline, &dataset, &store, None, 1, |s| {
-                let crate::sample::Payload::Tensors(ts) = &s.payload else { panic!() };
+                let crate::sample::Payload::Tensors(ts) = &s.payload else {
+                    panic!()
+                };
                 seen.lock().push((s.key, ts[0].to_vec::<f32>().unwrap()[0]));
             })
             .unwrap();
@@ -970,8 +1016,12 @@ mod tests {
         let exec = RealExecutor::new(2);
         let plain = Strategy::at_split(2).with_threads(2);
         let gz = plain.clone().with_compression(Codec::Gzip(Level::FAST));
-        let (d_plain, _) = exec.materialize(&pipeline, &plain, &source(64), &store).unwrap();
-        let (d_gz, _) = exec.materialize(&pipeline, &gz, &source(64), &store).unwrap();
+        let (d_plain, _) = exec
+            .materialize(&pipeline, &plain, &source(64), &store)
+            .unwrap();
+        let (d_gz, _) = exec
+            .materialize(&pipeline, &gz, &source(64), &store)
+            .unwrap();
         // Constant-ish tensors compress well.
         assert!(d_gz.stored_bytes < d_plain.stored_bytes);
         let count = AtomicU64::new(0);
@@ -988,12 +1038,18 @@ mod tests {
         let store = MemStore::new();
         let exec = RealExecutor::new(2);
         let strategy = Strategy::at_split(0).with_threads(2);
-        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source(50), &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(50), &store)
+            .unwrap();
         let cache = AppCache::new(1 << 20);
-        let e1 = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {}).unwrap();
+        let e1 = exec
+            .epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {})
+            .unwrap();
         assert!(e1.bytes_read > 0);
         assert!(cache.is_complete());
-        let e2 = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 2, |_| {}).unwrap();
+        let e2 = exec
+            .epoch(&pipeline, &dataset, &store, Some(&cache), 2, |_| {})
+            .unwrap();
         assert_eq!(e2.bytes_read, 0, "cached epoch must not read the store");
         assert_eq!(e2.samples, 50);
     }
@@ -1004,7 +1060,9 @@ mod tests {
         let store = MemStore::new();
         let exec = RealExecutor::new(2);
         let strategy = Strategy::at_split(0).with_threads(2);
-        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source(50), &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(50), &store)
+            .unwrap();
         let cache = AppCache::new(64); // far too small
         let result = exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {});
         assert!(matches!(result, Err(PipelineError::CacheOverflow { .. })));
@@ -1016,8 +1074,9 @@ mod tests {
         let store = Arc::new(MemStore::new());
         let exec = RealExecutor::new(2);
         let strategy = Strategy::at_split(0).with_threads(2).with_shards(4);
-        let (dataset, _) =
-            exec.materialize(&pipeline, &strategy, &source(40), &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(40), &store)
+            .unwrap();
         let faulty: Arc<dyn BlobStore> = Arc::new(FaultStore::new(
             Arc::clone(&store),
             FaultSpec::new(5).with_lost_blob(dataset.shards[0].clone()),
@@ -1025,11 +1084,22 @@ mod tests {
         let cache = AppCache::new(1 << 20);
         let resilience = Resilience::degrade(0, 4);
         let stats = exec
-            .epoch_with(&pipeline, &dataset, &faulty, Some(&cache), 1, &resilience, |_| {})
+            .epoch_with(
+                &pipeline,
+                &dataset,
+                &faulty,
+                Some(&cache),
+                1,
+                &resilience,
+                |_| {},
+            )
             .unwrap();
         assert!(stats.degraded);
         assert_eq!(stats.lost_shards, 1);
-        assert!(!cache.is_complete(), "incomplete epoch must not seal the cache");
+        assert!(
+            !cache.is_complete(),
+            "incomplete epoch must not seal the cache"
+        );
     }
 
     #[test]
@@ -1087,7 +1157,13 @@ mod tests {
             .materialize(&pipeline, &strategy, &source(200), store.as_ref())
             .unwrap();
         let ordered: Vec<u64> = exec
-            .stream_epoch(&pipeline, &dataset, Arc::clone(&store) as Arc<dyn BlobStore>, 8, 1)
+            .stream_epoch(
+                &pipeline,
+                &dataset,
+                Arc::clone(&store) as Arc<dyn BlobStore>,
+                8,
+                1,
+            )
             .unwrap()
             .map(|r| r.unwrap().key)
             .collect();
@@ -1136,7 +1212,12 @@ mod tests {
         };
         let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 2, 1).unwrap();
         let error = stream.next().unwrap().unwrap_err();
-        assert_eq!(error, PipelineError::LostShard { shard: "gone".into() });
+        assert_eq!(
+            error,
+            PipelineError::LostShard {
+                shard: "gone".into()
+            }
+        );
         assert!(stream.join().is_err());
     }
 
@@ -1167,30 +1248,50 @@ mod tests {
             split: 0,
         };
         let store = MemStore::new();
-        let err = exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).unwrap_err();
-        assert_eq!(err, PipelineError::LostShard { shard: "nope".into() });
+        let err = exec
+            .epoch(&pipeline, &dataset, &store, None, 1, |_| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::LostShard {
+                shard: "nope".into()
+            }
+        );
     }
 
     #[test]
     fn worker_panic_is_contained_and_names_the_step() {
-        let pipeline = Pipeline::new("poisoned")
-            .push_step(Arc::new(PanicStep { poison_key: 13 }));
+        let pipeline = Pipeline::new("poisoned").push_step(Arc::new(PanicStep { poison_key: 13 }));
         let store = Arc::new(MemStore::new());
         let exec = RealExecutor::new(2);
         let strategy = Strategy::at_split(0).with_threads(2).with_shards(4);
-        let (dataset, _) =
-            exec.materialize(&pipeline, &strategy, &source(30), store.as_ref()).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source(30), store.as_ref())
+            .unwrap();
 
         // Fail fast: the panic surfaces as a typed error naming the step.
         let err = exec
             .epoch(&pipeline, &dataset, store.as_ref(), None, 1, |_| {})
             .unwrap_err();
-        assert_eq!(err, PipelineError::WorkerPanicked { step: "poison".into() });
+        assert_eq!(
+            err,
+            PipelineError::WorkerPanicked {
+                step: "poison".into()
+            }
+        );
 
         // Degrade: the poisoned sample is skipped, the epoch completes.
         let resilience = Resilience::degrade(4, 0);
         let stats = exec
-            .epoch_with(&pipeline, &dataset, store.as_ref(), None, 1, &resilience, |_| {})
+            .epoch_with(
+                &pipeline,
+                &dataset,
+                store.as_ref(),
+                None,
+                1,
+                &resilience,
+                |_| {},
+            )
             .unwrap();
         assert_eq!(stats.samples, 29);
         assert_eq!(stats.skipped_samples, 1);
@@ -1199,12 +1300,14 @@ mod tests {
 
     #[test]
     fn sim_only_pipeline_rejected_by_real_engine() {
-        let sim_only = Pipeline::new("sim")
-            .push_spec(StepSpec::native("x", CostModel::FREE, SizeModel::IDENTITY));
+        let sim_only = Pipeline::new("sim").push_spec(StepSpec::native(
+            "x",
+            CostModel::FREE,
+            SizeModel::IDENTITY,
+        ));
         let exec = RealExecutor::new(1);
         let store = MemStore::new();
-        let result =
-            exec.materialize(&sim_only, &Strategy::at_split(1), &source(1), &store);
+        let result = exec.materialize(&sim_only, &Strategy::at_split(1), &source(1), &store);
         assert!(result.is_err());
     }
 }

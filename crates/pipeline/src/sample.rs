@@ -60,12 +60,18 @@ pub struct Sample {
 impl Sample {
     /// Construct from raw bytes.
     pub fn from_bytes(key: u64, bytes: impl Into<Bytes>) -> Self {
-        Sample { key, payload: Payload::Bytes(bytes.into()) }
+        Sample {
+            key,
+            payload: Payload::Bytes(bytes.into()),
+        }
     }
 
     /// Construct from tensors.
     pub fn from_tensors(key: u64, tensors: Vec<Tensor>) -> Self {
-        Sample { key, payload: Payload::Tensors(tensors) }
+        Sample {
+            key,
+            payload: Payload::Tensors(tensors),
+        }
     }
 
     /// Storage footprint in bytes.
@@ -148,8 +154,8 @@ impl Sample {
                 let mut tensors = Vec::with_capacity(count);
                 let mut pos = 1;
                 for _ in 0..count {
-                    let (tensor, used) = Tensor::decode(&body[pos..])
-                        .map_err(|e| E::Decode(e.to_string()))?;
+                    let (tensor, used) =
+                        Tensor::decode(&body[pos..]).map_err(|e| E::Decode(e.to_string()))?;
                     tensors.push(tensor);
                     pos += used;
                 }
@@ -224,11 +230,19 @@ mod tests {
     fn nbytes_per_payload_kind() {
         assert_eq!(Sample::from_bytes(0, vec![0u8; 10]).nbytes(), 10);
         assert_eq!(
-            Sample { key: 0, payload: Payload::Tokens(vec![1, 2, 3]) }.nbytes(),
+            Sample {
+                key: 0,
+                payload: Payload::Tokens(vec![1, 2, 3])
+            }
+            .nbytes(),
             12
         );
         assert_eq!(
-            Sample { key: 0, payload: Payload::Audio(vec![0i16; 5], 8000) }.nbytes(),
+            Sample {
+                key: 0,
+                payload: Payload::Audio(vec![0i16; 5], 8000)
+            }
+            .nbytes(),
             10
         );
         let t = Tensor::zeros(DType::F64, vec![3, 500]);
@@ -248,11 +262,26 @@ mod tests {
                     Tensor::from_vec(vec![3], vec![1u8, 2, 3]).unwrap(),
                 ],
             ),
-            Sample { key: 3, payload: Payload::Text("héllo".into()) },
-            Sample { key: 4, payload: Payload::Tokens(vec![-1, 0, 65_536]) },
-            Sample { key: 5, payload: Payload::Audio(vec![-100i16, 200], 16_000) },
-            Sample { key: 6, payload: Payload::Image(img) },
-            Sample { key: 7, payload: Payload::Image(img16) },
+            Sample {
+                key: 3,
+                payload: Payload::Text("héllo".into()),
+            },
+            Sample {
+                key: 4,
+                payload: Payload::Tokens(vec![-1, 0, 65_536]),
+            },
+            Sample {
+                key: 5,
+                payload: Payload::Audio(vec![-100i16, 200], 16_000),
+            },
+            Sample {
+                key: 6,
+                payload: Payload::Image(img),
+            },
+            Sample {
+                key: 7,
+                payload: Payload::Image(img16),
+            },
         ];
         for sample in samples {
             let encoded = sample.encode();

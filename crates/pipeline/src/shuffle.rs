@@ -70,8 +70,7 @@ mod tests {
     #[test]
     fn emits_every_item_exactly_once() {
         let items: Vec<u32> = (0..1000).collect();
-        let shuffled: Vec<u32> =
-            ShuffleBuffer::new(items.clone().into_iter(), 64, 7).collect();
+        let shuffled: Vec<u32> = ShuffleBuffer::new(items.clone().into_iter(), 64, 7).collect();
         assert_eq!(shuffled.len(), items.len());
         let set: HashSet<u32> = shuffled.iter().copied().collect();
         assert_eq!(set.len(), items.len());
@@ -85,7 +84,11 @@ mod tests {
         // Displacement should be bounded-ish by buffer size for a
         // windowed shuffle: early items cannot appear arbitrarily late…
         // but every position must move on average.
-        let moved = shuffled.iter().enumerate().filter(|(i, &v)| *i as u32 != v).count();
+        let moved = shuffled
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| *i as u32 != v)
+            .count();
         assert!(moved > 900, "only {moved} items moved");
     }
 

@@ -18,11 +18,15 @@ use crate::error::PipelineError;
 use crate::pipeline::Pipeline;
 use crate::step::Parallelism;
 use crate::strategy::{CacheLevel, Strategy};
+use parking_lot::Mutex;
 use presto_codecs::Codec;
 use presto_storage::device::DeviceProfile;
 use presto_storage::dstat::Dstat;
 use presto_storage::machine::{Ctx, MachineConfig, Program, ReadReq, SimMachine, Stage};
 use presto_storage::time::Nanos;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Layout of the unprocessed dataset on storage.
 #[derive(Debug, Clone, Copy)]
@@ -115,7 +119,10 @@ impl SimEnv {
 
     /// Same VM against the SSD-backed cluster.
     pub fn paper_vm_ssd() -> Self {
-        SimEnv { device: DeviceProfile::ssd_ceph(), ..Self::paper_vm() }
+        SimEnv {
+            device: DeviceProfile::ssd_ceph(),
+            ..Self::paper_vm()
+        }
     }
 }
 
@@ -143,6 +150,91 @@ pub struct OfflineReport {
     pub bytes_written: u64,
     /// Raw counters from the simulated subset.
     pub stats: Dstat,
+}
+
+/// Identity of one offline materialization run. Two grid points with
+/// equal keys are guaranteed to produce identical [`OfflineReport`]s:
+/// the offline phase depends only on the pipeline prefix up to the
+/// split, the storage format (compression, shards), the dataset and the
+/// environment — never on online knobs like `threads` or `cache`.
+///
+/// Float-valued inputs are captured as their `Debug` rendering, which
+/// round-trips `f64` exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OfflineKey {
+    /// Pipeline name plus the spec of every step before the split.
+    pub pipeline_prefix: String,
+    /// Split position.
+    pub split: usize,
+    /// Compression codec (including level).
+    pub compression: String,
+    /// Output shard count (bounds offline writer parallelism).
+    pub shards: usize,
+    /// Dataset identity: name, sample count, sample bytes, layout.
+    pub dataset: String,
+    /// Environment constants the offline phase reads.
+    pub env: String,
+}
+
+/// Concurrent memo of offline-phase simulations, keyed by
+/// [`OfflineKey`]. Each distinct key is simulated exactly once — even
+/// under a parallel search, concurrent requests for the same key block
+/// on one `OnceLock` initialization — so `misses()` equals the number
+/// of unique keys seen and hit/miss counts are deterministic for a
+/// given grid regardless of thread schedule.
+#[derive(Debug, Default)]
+pub struct OfflineMemo {
+    entries: Mutex<HashMap<OfflineKey, Arc<OnceLock<OfflineReport>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl OfflineMemo {
+    /// Create an empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the memoized report for `key`, running `run` to produce
+    /// it if this is the first request for the key.
+    pub fn get_or_run(
+        &self,
+        key: OfflineKey,
+        run: impl FnOnce() -> OfflineReport,
+    ) -> OfflineReport {
+        let cell = Arc::clone(self.entries.lock().entry(key).or_default());
+        let mut ran = false;
+        let report = cell.get_or_init(|| {
+            ran = true;
+            run()
+        });
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        report.clone()
+    }
+
+    /// Requests served from the memo without simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that had to simulate (== unique keys seen).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct offline phases stored.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when no offline phase has been simulated yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The paper's four theoretical throughputs (Figure 4) for one
@@ -198,7 +290,9 @@ impl StrategyProfile {
 
     /// Offline preprocessing time in seconds (0 for split 0).
     pub fn preprocessing_secs(&self) -> f64 {
-        self.offline.as_ref().map_or(0.0, |o| o.elapsed_full.as_secs_f64())
+        self.offline
+            .as_ref()
+            .map_or(0.0, |o| o.elapsed_full.as_secs_f64())
     }
 
     /// The paper's T1–T4 decomposition (Figure 4) for this strategy.
@@ -265,11 +359,29 @@ const GIL_LOCK: usize = 1;
 impl Simulator {
     /// Create a simulator.
     pub fn new(pipeline: Pipeline, dataset: SimDataset, env: SimEnv) -> Self {
-        Simulator { pipeline, dataset, env }
+        Simulator {
+            pipeline,
+            dataset,
+            env,
+        }
     }
 
     /// Profile one strategy over `epochs` online epochs.
     pub fn profile(&self, strategy: &Strategy, epochs: usize) -> StrategyProfile {
+        self.profile_with_memo(strategy, epochs, None)
+    }
+
+    /// Like [`Simulator::profile`], but reuses offline-phase results
+    /// through `memo` when one is supplied. Grid points that share
+    /// (pipeline prefix, split, compression, shards, dataset, env) get
+    /// the identical `OfflineReport` without re-simulating it, so the
+    /// resulting profiles are bit-identical to cold runs.
+    pub fn profile_with_memo(
+        &self,
+        strategy: &Strategy,
+        epochs: usize,
+        memo: Option<&OfflineMemo>,
+    ) -> StrategyProfile {
         let label = strategy.label(&self.pipeline);
         if let Err(e) = self.pipeline.check() {
             return self.failed(strategy, label, e);
@@ -288,12 +400,20 @@ impl Simulator {
                 return self.failed(
                     strategy,
                     label,
-                    PipelineError::CacheOverflow { needed, available: self.env.ram_bytes },
+                    PipelineError::CacheOverflow {
+                        needed,
+                        available: self.env.ram_bytes,
+                    },
                 );
             }
         }
 
-        let offline = (strategy.split > 0).then(|| self.run_offline(strategy, &plan));
+        let offline = (strategy.split > 0).then(|| match memo {
+            Some(memo) => memo.get_or_run(self.offline_key(strategy), || {
+                self.run_offline(strategy, &plan)
+            }),
+            None => self.run_offline(strategy, &plan),
+        });
 
         let mut machine = self.build_machine(strategy, &plan);
         let mut reports = Vec::with_capacity(epochs);
@@ -307,7 +427,11 @@ impl Simulator {
             let span = stats.span.as_secs_f64();
             reports.push(EpochReport {
                 epoch,
-                throughput_sps: if span > 0.0 { plan.n as f64 / span } else { 0.0 },
+                throughput_sps: if span > 0.0 {
+                    plan.n as f64 / span
+                } else {
+                    0.0
+                },
                 network_read_mbps: stats.network_read_mbps(),
                 elapsed_full: Nanos::from_secs_f64(span / plan.scale),
                 stats,
@@ -362,9 +486,11 @@ impl Simulator {
             let cost = step.spec.cost.eval(cur, out);
             let lock = match step.spec.parallelism {
                 Parallelism::Native => None,
-                Parallelism::GlobalLock { handoff } => {
-                    Some(if strategy.threads > 1 { handoff } else { Nanos::ZERO })
-                }
+                Parallelism::GlobalLock { handoff } => Some(if strategy.threads > 1 {
+                    handoff
+                } else {
+                    Nanos::ZERO
+                }),
             };
             online_steps.push((cost, lock));
             cur = out;
@@ -392,7 +518,11 @@ impl Simulator {
             Nanos::ZERO
         };
 
-        let n = self.dataset.sample_count.min(self.env.subset_samples).max(1);
+        let n = self
+            .dataset
+            .sample_count
+            .min(self.env.subset_samples)
+            .max(1);
         RunPlan {
             n,
             scale: n as f64 / self.dataset.sample_count as f64,
@@ -425,9 +555,8 @@ impl Simulator {
         // reading the original file-per-sample dataset.
         if plan.split == 0 {
             if let SourceLayout::FilePerSample { penalty } = self.dataset.layout {
-                device.open_latency += Nanos::from_secs_f64(
-                    penalty.as_secs_f64() * device.metadata_pressure,
-                );
+                device.open_latency +=
+                    Nanos::from_secs_f64(penalty.as_secs_f64() * device.metadata_pressure);
             }
         }
         let page_cache = match strategy.cache {
@@ -482,9 +611,42 @@ impl Simulator {
         }
     }
 
+    /// The [`OfflineKey`] identifying this simulator's offline phase for
+    /// `strategy`. Everything `run_offline` reads is folded in: the
+    /// pipeline prefix up to the split, the codec, the shard count, the
+    /// dataset and the environment constants. `threads` and `cache` are
+    /// deliberately absent — they only shape the online phase.
+    pub fn offline_key(&self, strategy: &Strategy) -> OfflineKey {
+        OfflineKey {
+            pipeline_prefix: format!(
+                "{}:{:?}",
+                self.pipeline.name,
+                &self.pipeline.steps()[..strategy.split]
+            ),
+            split: strategy.split,
+            compression: format!("{:?}", strategy.compression),
+            shards: strategy.shards,
+            dataset: format!(
+                "{}:{}:{:?}:{:?}",
+                self.dataset.name,
+                self.dataset.sample_count,
+                self.dataset.unprocessed_sample_bytes,
+                self.dataset.layout
+            ),
+            env: format!("{:?}", self.env),
+        }
+    }
+
     fn run_offline(&self, strategy: &Strategy, plan: &RunPlan) -> OfflineReport {
         // Offline reads the unprocessed dataset (file-per-sample layout
         // penalties apply), runs steps 0..m, compresses, writes shards.
+        //
+        // Worker count: the materialization job writes `shards` output
+        // files, one writer each, bounded by the machine's cores. The
+        // online `threads` knob does not reach this phase — that is what
+        // lets every grid point sharing (split, compression, shards)
+        // reuse one offline simulation via `OfflineMemo`.
+        let workers = self.env.cores.min(strategy.shards.max(1)) as u64;
         let mut device = self.env.device.clone();
         if let SourceLayout::FilePerSample { penalty } = self.dataset.layout {
             device.open_latency +=
@@ -506,7 +668,7 @@ impl Simulator {
             let lock = match step.spec.parallelism {
                 Parallelism::Native => None,
                 Parallelism::GlobalLock { handoff } => {
-                    Some(if strategy.threads > 1 { handoff } else { Nanos::ZERO })
+                    Some(if workers > 1 { handoff } else { Nanos::ZERO })
                 }
             };
             offline_steps.push((cost, lock));
@@ -522,10 +684,9 @@ impl Simulator {
             Nanos::from_secs_f64(self.env.compress_ns_per_byte * factor * cur / 1e9)
         };
 
-        let threads = strategy.threads as u64;
-        for w in 0..threads {
-            let start = plan.n * w / threads;
-            let end = plan.n * (w + 1) / threads;
+        for w in 0..workers {
+            let start = plan.n * w / workers;
+            let end = plan.n * (w + 1) / workers;
             if start == end {
                 continue;
             }
@@ -629,9 +790,15 @@ impl Program for OnlineWorker {
                         return Stage::Done;
                     }
                     ctx.stats.dispatches += 1;
-                    self.phase =
-                        if self.app_cached { Phase::AppCopy } else { Phase::Read };
-                    return Stage::Lock { lock: DISPATCH_LOCK, hold: self.plan.dispatch };
+                    self.phase = if self.app_cached {
+                        Phase::AppCopy
+                    } else {
+                        Phase::Read
+                    };
+                    return Stage::Lock {
+                        lock: DISPATCH_LOCK,
+                        hold: self.plan.dispatch,
+                    };
                 }
                 Phase::AppCopy => {
                     // Tensor served from the application cache: only a
@@ -654,15 +821,22 @@ impl Program for OnlineWorker {
                     return Stage::Read(req);
                 }
                 Phase::Decompress => {
-                    self.phase =
-                        if self.plan.deser > Nanos::ZERO { Phase::Deser } else { Phase::Step };
+                    self.phase = if self.plan.deser > Nanos::ZERO {
+                        Phase::Deser
+                    } else {
+                        Phase::Step
+                    };
                     self.step_idx = 0;
-                    return Stage::Cpu { work: self.plan.decompress };
+                    return Stage::Cpu {
+                        work: self.plan.decompress,
+                    };
                 }
                 Phase::Deser => {
                     self.phase = Phase::Step;
                     self.step_idx = 0;
-                    return Stage::Cpu { work: self.plan.deser };
+                    return Stage::Cpu {
+                        work: self.plan.deser,
+                    };
                 }
                 Phase::Step => {
                     if self.step_idx >= self.plan.online_steps.len() {
@@ -673,9 +847,10 @@ impl Program for OnlineWorker {
                     self.step_idx += 1;
                     return match lock {
                         None => Stage::Cpu { work: cost },
-                        Some(handoff) => {
-                            Stage::Lock { lock: GIL_LOCK, hold: cost + handoff }
-                        }
+                        Some(handoff) => Stage::Lock {
+                            lock: GIL_LOCK,
+                            hold: cost + handoff,
+                        },
                     };
                 }
                 Phase::InsertCache => {
@@ -727,7 +902,10 @@ impl Program for OfflineWorker {
                     }
                     ctx.stats.dispatches += 1;
                     self.phase = Phase::Read;
-                    return Stage::Lock { lock: DISPATCH_LOCK, hold: self.dispatch };
+                    return Stage::Lock {
+                        lock: DISPATCH_LOCK,
+                        hold: self.dispatch,
+                    };
                 }
                 Phase::Read => {
                     self.phase = Phase::Step;
@@ -761,13 +939,18 @@ impl Program for OfflineWorker {
                     self.step_idx += 1;
                     return match lock {
                         None => Stage::Cpu { work: cost },
-                        Some(handoff) => Stage::Lock { lock: GIL_LOCK, hold: cost + handoff },
+                        Some(handoff) => Stage::Lock {
+                            lock: GIL_LOCK,
+                            hold: cost + handoff,
+                        },
                     };
                 }
                 Phase::Decompress => {
                     self.phase = Phase::Write;
                     if self.compress > Nanos::ZERO {
-                        return Stage::Cpu { work: self.compress };
+                        return Stage::Cpu {
+                            work: self.compress,
+                        };
                     }
                     continue;
                 }
@@ -776,7 +959,9 @@ impl Program for OfflineWorker {
                     self.next += 1;
                     self.phase = Phase::Dispatch;
                     let _ = self.worker;
-                    return Stage::Write { bytes: self.stored_bytes.round().max(1.0) as u64 };
+                    return Stage::Write {
+                        bytes: self.stored_bytes.round().max(1.0) as u64,
+                    };
                 }
                 _ => unreachable!("offline worker phase"),
             }
@@ -794,7 +979,9 @@ mod tests {
             name: "tiny".into(),
             sample_count: 2_000,
             unprocessed_sample_bytes: 200_000.0,
-            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::ZERO,
+            },
         }
     }
 
@@ -816,13 +1003,20 @@ mod tests {
                 SizeModel::scale(0.3),
             ))
             .push_spec(
-                StepSpec::native("random-crop", CostModel::new(10_000.0, 0.0, 0.0), SizeModel::IDENTITY)
-                    .non_deterministic(),
+                StepSpec::native(
+                    "random-crop",
+                    CostModel::new(10_000.0, 0.0, 0.0),
+                    SizeModel::IDENTITY,
+                )
+                .non_deterministic(),
             )
     }
 
     fn env() -> SimEnv {
-        SimEnv { subset_samples: 2_000, ..SimEnv::paper_vm() }
+        SimEnv {
+            subset_samples: 2_000,
+            ..SimEnv::paper_vm()
+        }
     }
 
     #[test]
@@ -898,7 +1092,10 @@ mod tests {
         let e2 = profile.epochs[1].throughput_sps;
         assert!(e2 > e1 * 1.2, "epoch2 {e2:.0} vs epoch1 {e1:.0}");
         // And storage reads disappear in epoch 2.
-        assert!(profile.epochs[1].stats.storage_read_bytes < profile.epochs[0].stats.storage_read_bytes / 10);
+        assert!(
+            profile.epochs[1].stats.storage_read_bytes
+                < profile.epochs[0].stats.storage_read_bytes / 10
+        );
     }
 
     #[test]
@@ -918,14 +1115,20 @@ mod tests {
         let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env);
         let strategy = Strategy::at_split(3).with_cache(CacheLevel::Application);
         let profile = sim.profile(&strategy, 2);
-        assert!(matches!(profile.error, Some(PipelineError::CacheOverflow { .. })));
+        assert!(matches!(
+            profile.error,
+            Some(PipelineError::CacheOverflow { .. })
+        ));
     }
 
     #[test]
     fn app_cache_beats_system_cache() {
         let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
         let sys = sim.profile(&Strategy::at_split(3).with_cache(CacheLevel::System), 2);
-        let app = sim.profile(&Strategy::at_split(3).with_cache(CacheLevel::Application), 2);
+        let app = sim.profile(
+            &Strategy::at_split(3).with_cache(CacheLevel::Application),
+            2,
+        );
         assert!(app.error.is_none(), "app cache should fit: {:?}", app.error);
         assert!(
             app.epochs[1].throughput_sps >= sys.epochs[1].throughput_sps,
@@ -947,7 +1150,9 @@ mod tests {
             Nanos::from_millis(2),
         ));
         let dataset = SimDataset {
-            layout: SourceLayout::LargeFiles { file_bytes: 100_000_000 },
+            layout: SourceLayout::LargeFiles {
+                file_bytes: 100_000_000,
+            },
             ..tiny_dataset()
         };
         let sim = Simulator::new(locked, dataset, env());
@@ -967,21 +1172,30 @@ mod tests {
     #[test]
     fn native_step_scales_with_threads() {
         let native = Pipeline::new("native")
-            .push_spec(StepSpec::native("concatenated", CostModel::FREE, SizeModel::IDENTITY))
             .push_spec(StepSpec::native(
-            "work",
-            CostModel::new(3_000_000.0, 0.0, 0.0),
-            SizeModel::IDENTITY,
-        ));
+                "concatenated",
+                CostModel::FREE,
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::native(
+                "work",
+                CostModel::new(3_000_000.0, 0.0, 0.0),
+                SizeModel::IDENTITY,
+            ));
         let dataset = SimDataset {
-            layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+            layout: SourceLayout::FilePerSample {
+                penalty: Nanos::ZERO,
+            },
             ..tiny_dataset()
         };
         let sim = Simulator::new(native, dataset, env());
         let one = sim.profile(&Strategy::at_split(1).with_threads(1), 1);
         let eight = sim.profile(&Strategy::at_split(1).with_threads(8), 1);
         let speedup = eight.throughput_sps() / one.throughput_sps();
-        assert!(speedup > 5.0, "native CPU step should scale, got {speedup:.2}x");
+        assert!(
+            speedup > 5.0,
+            "native CPU step should scale, got {speedup:.2}x"
+        );
     }
 
     #[test]
@@ -990,8 +1204,7 @@ mod tests {
         // individual file to read in parallel" — one shard serializes.
         let sim = Simulator::new(cv_like_pipeline(), tiny_dataset(), env());
         let sharded = sim.profile(&Strategy::at_split(3).with_threads(8), 1);
-        let single =
-            sim.profile(&Strategy::at_split(3).with_threads(8).with_shards(1), 1);
+        let single = sim.profile(&Strategy::at_split(3).with_threads(8).with_shards(1), 1);
         assert!(
             sharded.throughput_sps() > 2.0 * single.throughput_sps(),
             "8 shards {:.0} vs 1 shard {:.0}",
@@ -1004,12 +1217,19 @@ mod tests {
     fn compression_reduces_storage_and_adds_offline_time() {
         use presto_codecs::Level;
         let pipeline = Pipeline::new("c").push_spec(
-            StepSpec::native("decoded", CostModel::new(0.0, 5.0, 0.0), SizeModel::scale(4.0))
-                .with_space_saving(0.8, 0.78),
+            StepSpec::native(
+                "decoded",
+                CostModel::new(0.0, 5.0, 0.0),
+                SizeModel::scale(4.0),
+            )
+            .with_space_saving(0.8, 0.78),
         );
         let sim = Simulator::new(pipeline, tiny_dataset(), env());
         let plain = sim.profile(&Strategy::at_split(1), 1);
-        let gz = sim.profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1);
+        let gz = sim.profile(
+            &Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)),
+            1,
+        );
         assert!((gz.storage_bytes as f64) < plain.storage_bytes as f64 * 0.25);
         assert!(gz.offline.unwrap().elapsed_full > plain.offline.unwrap().elapsed_full);
     }

@@ -41,12 +41,19 @@ pub struct CostModel {
 
 impl CostModel {
     /// A free step (e.g. pure relabeling).
-    pub const FREE: CostModel =
-        CostModel { fixed_ns: 0.0, ns_per_in_byte: 0.0, ns_per_out_byte: 0.0 };
+    pub const FREE: CostModel = CostModel {
+        fixed_ns: 0.0,
+        ns_per_in_byte: 0.0,
+        ns_per_out_byte: 0.0,
+    };
 
     /// Build from a fixed cost and byte rates.
     pub const fn new(fixed_ns: f64, ns_per_in_byte: f64, ns_per_out_byte: f64) -> Self {
-        CostModel { fixed_ns, ns_per_in_byte, ns_per_out_byte }
+        CostModel {
+            fixed_ns,
+            ns_per_in_byte,
+            ns_per_out_byte,
+        }
     }
 
     /// Evaluate for given input/output sizes.
@@ -70,16 +77,25 @@ pub struct SizeModel {
 
 impl SizeModel {
     /// Identity size (step does not change storage consumption).
-    pub const IDENTITY: SizeModel = SizeModel { fixed_bytes: 0.0, factor: 1.0 };
+    pub const IDENTITY: SizeModel = SizeModel {
+        fixed_bytes: 0.0,
+        factor: 1.0,
+    };
 
     /// A pure scaling.
     pub const fn scale(factor: f64) -> Self {
-        SizeModel { fixed_bytes: 0.0, factor }
+        SizeModel {
+            fixed_bytes: 0.0,
+            factor,
+        }
     }
 
     /// A fixed output size regardless of input.
     pub const fn fixed(bytes: f64) -> Self {
-        SizeModel { fixed_bytes: bytes, factor: 0.0 }
+        SizeModel {
+            fixed_bytes: bytes,
+            factor: 0.0,
+        }
     }
 
     /// Evaluate for an input size.
@@ -130,7 +146,10 @@ impl StepSpec {
 
     /// A step executed through an external library under a global lock.
     pub fn global_locked(name: &str, cost: CostModel, size: SizeModel, handoff: Nanos) -> Self {
-        StepSpec { parallelism: Parallelism::GlobalLock { handoff }, ..Self::native(name, cost, size) }
+        StepSpec {
+            parallelism: Parallelism::GlobalLock { handoff },
+            ..Self::native(name, cost, size)
+        }
     }
 
     /// Mark non-deterministic (random crop, shuffle): cannot be split
@@ -184,7 +203,10 @@ mod tests {
         assert_eq!(SizeModel::scale(4.0).eval(100.0), 400.0);
         assert_eq!(SizeModel::fixed(12_000.0).eval(1e9), 12_000.0);
         // Never negative.
-        let shrink = SizeModel { fixed_bytes: -50.0, factor: 0.0 };
+        let shrink = SizeModel {
+            fixed_bytes: -50.0,
+            factor: 0.0,
+        };
         assert_eq!(shrink.eval(10.0), 0.0);
     }
 

@@ -107,7 +107,9 @@ impl MemStore {
 
 impl BlobStore for MemStore {
     fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
-        self.blobs.write().insert(name.to_string(), Bytes::copy_from_slice(data));
+        self.blobs
+            .write()
+            .insert(name.to_string(), Bytes::copy_from_slice(data));
         Ok(())
     }
 
@@ -116,7 +118,9 @@ impl BlobStore for MemStore {
             .read()
             .get(name)
             .cloned()
-            .ok_or_else(|| StoreError::NotFound { blob: name.to_string() })
+            .ok_or_else(|| StoreError::NotFound {
+                blob: name.to_string(),
+            })
     }
 
     fn list(&self) -> Vec<String> {
@@ -156,9 +160,9 @@ impl BlobStore for DirStore {
         let path = self.root.join(name);
         match std::fs::read(&path) {
             Ok(data) => Ok(Bytes::from(data)),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                Err(StoreError::NotFound { blob: name.to_string() })
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Err(StoreError::NotFound {
+                blob: name.to_string(),
+            }),
             Err(e) => Err(StoreError::Io(format!("read {}: {e}", path.display()))),
         }
     }
@@ -218,7 +222,10 @@ pub struct FaultSpec {
 impl FaultSpec {
     /// A spec that injects nothing (decorator becomes a pass-through).
     pub fn new(seed: u64) -> Self {
-        FaultSpec { seed, ..Default::default() }
+        FaultSpec {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Fail `pct`% of get attempts transiently.
@@ -340,7 +347,9 @@ impl<S: BlobStore> FaultStore<S> {
             *counter
         };
         let op_tag: u64 = if is_get { 0x6765 } else { 0x7075 };
-        let h = mix(self.spec.seed ^ fnv(name) ^ op_tag.wrapping_add(attempt.wrapping_mul(0x5851F42D4C957F2D)));
+        let h = mix(self.spec.seed
+            ^ fnv(name)
+            ^ op_tag.wrapping_add(attempt.wrapping_mul(0x5851F42D4C957F2D)));
         (h % 100) < u64::from(pct)
     }
 
@@ -355,7 +364,9 @@ impl<S: BlobStore> BlobStore for FaultStore<S> {
     fn put(&self, name: &str, data: &[u8]) -> Result<(), StoreError> {
         if self.should_fail(name, false, self.spec.put_fail_pct) {
             self.put_failures.fetch_add(1, Ordering::Relaxed);
-            return Err(StoreError::Transient { blob: name.to_string() });
+            return Err(StoreError::Transient {
+                blob: name.to_string(),
+            });
         }
         self.add_latency();
         self.inner.put(name, data)
@@ -364,11 +375,15 @@ impl<S: BlobStore> BlobStore for FaultStore<S> {
     fn get(&self, name: &str) -> Result<Bytes, StoreError> {
         if self.spec.lost.iter().any(|lost| lost == name) {
             self.lost_gets.fetch_add(1, Ordering::Relaxed);
-            return Err(StoreError::NotFound { blob: name.to_string() });
+            return Err(StoreError::NotFound {
+                blob: name.to_string(),
+            });
         }
         if self.should_fail(name, true, self.spec.get_fail_pct) {
             self.get_failures.fetch_add(1, Ordering::Relaxed);
-            return Err(StoreError::Transient { blob: name.to_string() });
+            return Err(StoreError::Transient {
+                blob: name.to_string(),
+            });
         }
         self.add_latency();
         let blob = self.inner.get(name)?;
@@ -474,15 +489,14 @@ mod tests {
 
     #[test]
     fn lost_blob_is_not_found_forever() {
-        let store = FaultStore::new(
-            MemStore::new(),
-            FaultSpec::new(3).with_lost_blob("gone"),
-        );
+        let store = FaultStore::new(MemStore::new(), FaultSpec::new(3).with_lost_blob("gone"));
         store.put("gone", &[1]).unwrap();
         for _ in 0..3 {
             assert_eq!(
                 store.get("gone"),
-                Err(StoreError::NotFound { blob: "gone".into() })
+                Err(StoreError::NotFound {
+                    blob: "gone".into()
+                })
             );
         }
         assert_eq!(store.injected().lost_gets, 3);

@@ -51,14 +51,23 @@ pub struct Strategy {
 
 impl Default for Strategy {
     fn default() -> Self {
-        Strategy { split: 0, threads: 8, compression: Codec::None, cache: CacheLevel::None, shards: 8 }
+        Strategy {
+            split: 0,
+            threads: 8,
+            compression: Codec::None,
+            cache: CacheLevel::None,
+            shards: 8,
+        }
     }
 }
 
 impl Strategy {
     /// A strategy splitting at `split` with the paper's defaults.
     pub fn at_split(split: usize) -> Self {
-        Strategy { split, ..Strategy::default() }
+        Strategy {
+            split,
+            ..Strategy::default()
+        }
     }
 
     /// Override the thread count (shards follow threads).
@@ -117,6 +126,12 @@ impl Strategy {
         (0..=pipeline.max_split()).map(Strategy::at_split).collect()
     }
 
+    /// The paper's thread sweep (§4.4 scalability study), used as the
+    /// online-parallelism axis of the full search grid. Capped at the
+    /// default shard count so the shard layout — and therefore the
+    /// offline phase — is identical across the sweep.
+    pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
     /// Short display label: split name + non-default knobs.
     pub fn label(&self, pipeline: &Pipeline) -> String {
         let mut label = pipeline.split_name(self.split).to_string();
@@ -141,8 +156,16 @@ mod tests {
 
     fn pipeline() -> Pipeline {
         Pipeline::new("CV")
-            .push_spec(StepSpec::native("concatenated", CostModel::FREE, SizeModel::IDENTITY))
-            .push_spec(StepSpec::native("decoded", CostModel::FREE, SizeModel::scale(5.0)))
+            .push_spec(StepSpec::native(
+                "concatenated",
+                CostModel::FREE,
+                SizeModel::IDENTITY,
+            ))
+            .push_spec(StepSpec::native(
+                "decoded",
+                CostModel::FREE,
+                SizeModel::scale(5.0),
+            ))
             .push_spec(
                 StepSpec::native("random-crop", CostModel::FREE, SizeModel::IDENTITY)
                     .non_deterministic(),

@@ -2,8 +2,8 @@
 //! invariants that must hold for arbitrary pipelines.
 
 use presto_pipeline::sim::{SimDataset, SimEnv, Simulator, SourceLayout};
-use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
 use presto_pipeline::Strategy as SplitStrategy;
+use presto_pipeline::{CostModel, Pipeline, SizeModel, StepSpec};
 use presto_storage::Nanos;
 use proptest::prelude::*;
 
@@ -42,12 +42,17 @@ fn dataset(sample_bytes: f64) -> SimDataset {
         name: "prop-data".into(),
         sample_count: 600,
         unprocessed_sample_bytes: sample_bytes,
-        layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+        layout: SourceLayout::FilePerSample {
+            penalty: Nanos::ZERO,
+        },
     }
 }
 
 fn env() -> SimEnv {
-    SimEnv { subset_samples: 600, ..SimEnv::paper_vm() }
+    SimEnv {
+        subset_samples: 600,
+        ..SimEnv::paper_vm()
+    }
 }
 
 proptest! {

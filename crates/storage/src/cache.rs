@@ -131,7 +131,9 @@ impl PageCache {
 
     fn insert(&mut self, file: u64, granule: u64) {
         while self.entries.len() as u64 >= self.capacity_granules() {
-            let Some((&oldest, &key)) = self.order.iter().next() else { break };
+            let Some((&oldest, &key)) = self.order.iter().next() else {
+                break;
+            };
             self.order.remove(&oldest);
             self.entries.remove(&key);
         }
@@ -171,7 +173,13 @@ mod tests {
         let mut cache = PageCache::with_granule(10 * 1024, 1024);
         cache.access(1, 0, 1024, true, u64::MAX); // granule 0 resident
         let split = cache.access(1, 512, 1024, true, u64::MAX); // spans granules 0..=1
-        assert_eq!(split, CacheSplit { hit: 512, miss: 512 });
+        assert_eq!(
+            split,
+            CacheSplit {
+                hit: 512,
+                miss: 512
+            }
+        );
     }
 
     #[test]
@@ -241,6 +249,9 @@ mod tests {
     #[test]
     fn zero_length_access_is_noop() {
         let mut cache = PageCache::new(1 << 20);
-        assert_eq!(cache.access(0, 100, 0, true, u64::MAX), CacheSplit::default());
+        assert_eq!(
+            cache.access(0, 100, 0, true, u64::MAX),
+            CacheSplit::default()
+        );
     }
 }

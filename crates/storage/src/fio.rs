@@ -28,10 +28,30 @@ impl FioWorkload {
     /// The four rows of the paper's Table 3.
     pub fn table3() -> [FioWorkload; 4] {
         [
-            FioWorkload { threads: 1, files_per_thread: 1, file_bytes: 5_000_000_000, sequential: true },
-            FioWorkload { threads: 8, files_per_thread: 1, file_bytes: 5_000_000_000, sequential: true },
-            FioWorkload { threads: 1, files_per_thread: 5000, file_bytes: 200_000, sequential: false },
-            FioWorkload { threads: 8, files_per_thread: 5000, file_bytes: 200_000, sequential: false },
+            FioWorkload {
+                threads: 1,
+                files_per_thread: 1,
+                file_bytes: 5_000_000_000,
+                sequential: true,
+            },
+            FioWorkload {
+                threads: 8,
+                files_per_thread: 1,
+                file_bytes: 5_000_000_000,
+                sequential: true,
+            },
+            FioWorkload {
+                threads: 1,
+                files_per_thread: 5000,
+                file_bytes: 200_000,
+                sequential: false,
+            },
+            FioWorkload {
+                threads: 8,
+                files_per_thread: 5000,
+                file_bytes: 200_000,
+                sequential: false,
+            },
         ]
     }
 
@@ -70,10 +90,10 @@ impl Program for FioReader {
         self.next_file += 1;
         let mut req = ReadReq::open_file(file_id, self.file_bytes);
         req.cacheable = false; // fio drops caches; isolate the device
-        // Opening a file already positions the head, so `random` (an
-        // intra-file jump) stays false. The random workload's cost is
-        // the per-file open + IOPS admission; the sequential workload
-        // amortizes its single open over 5 GB.
+                               // Opening a file already positions the head, so `random` (an
+                               // intra-file jump) stays false. The random workload's cost is
+                               // the per-file open + IOPS admission; the sequential workload
+                               // amortizes its single open over 5 GB.
         Stage::Read(req)
     }
 }
@@ -97,10 +117,18 @@ pub fn run(device: &DeviceProfile, workload: FioWorkload) -> FioResult {
     let stats = machine.run();
     let secs = stats.span.as_secs_f64();
     FioResult {
-        bandwidth_mbps: if secs > 0.0 { workload.total_bytes() as f64 / 1e6 / secs } else { 0.0 },
+        bandwidth_mbps: if secs > 0.0 {
+            workload.total_bytes() as f64 / 1e6 / secs
+        } else {
+            0.0
+        },
         elapsed: stats.span,
         requests: stats.io_requests,
-        iops: if secs > 0.0 { stats.io_requests as f64 / secs } else { 0.0 },
+        iops: if secs > 0.0 {
+            stats.io_requests as f64 / secs
+        } else {
+            0.0
+        },
     }
 }
 

@@ -49,12 +49,28 @@ pub struct ReadReq {
 impl ReadReq {
     /// A sequential continuation read (no open, no seek).
     pub fn sequential(file: u64, offset: u64, bytes: u64) -> Self {
-        ReadReq { file, offset, bytes, open: false, random: false, cacheable: true, file_len: u64::MAX }
+        ReadReq {
+            file,
+            offset,
+            bytes,
+            open: false,
+            random: false,
+            cacheable: true,
+            file_len: u64::MAX,
+        }
     }
 
     /// A fresh whole-file read.
     pub fn open_file(file: u64, bytes: u64) -> Self {
-        ReadReq { file, offset: 0, bytes, open: true, random: false, cacheable: true, file_len: bytes }
+        ReadReq {
+            file,
+            offset: 0,
+            bytes,
+            open: true,
+            random: false,
+            cacheable: true,
+            file_len: bytes,
+        }
     }
 }
 
@@ -207,8 +223,7 @@ pub fn trace_summary(trace: &[TraceEvent]) -> std::collections::BTreeMap<&'stati
         std::collections::BTreeMap::new();
     for event in trace {
         if let Some((started, stage)) = last_event.remove(&event.task) {
-            *totals.entry(stage).or_insert(Nanos::ZERO) +=
-                event.at.saturating_sub(started);
+            *totals.entry(stage).or_insert(Nanos::ZERO) += event.at.saturating_sub(started);
         }
         if let TraceKind::StageStart { stage } = event.kind {
             last_event.insert(event.task, (event.at, stage));
@@ -281,7 +296,11 @@ impl SimMachine {
     fn record(&mut self, task: TaskId, kind: TraceKind) {
         if let Some(trace) = &mut self.trace {
             if trace.len() < self.trace_cap {
-                trace.push(TraceEvent { at: self.now, task, kind });
+                trace.push(TraceEvent {
+                    at: self.now,
+                    task,
+                    kind,
+                });
             }
         }
     }
@@ -300,7 +319,11 @@ impl SimMachine {
     /// Register a worker program; it is stepped when `run` starts.
     pub fn add_task(&mut self, program: Box<dyn Program>) -> TaskId {
         let id = self.tasks.len();
-        self.tasks.push(TaskSlot { program, parts_left: 0, done: false });
+        self.tasks.push(TaskSlot {
+            program,
+            parts_left: 0,
+            done: false,
+        });
         self.ready.push_back(id);
         self.live += 1;
         id
@@ -326,7 +349,10 @@ impl SimMachine {
                 break;
             }
             let Some(next) = self.next_event_time() else {
-                panic!("simulation deadlock: {} tasks live but no pending events", self.live);
+                panic!(
+                    "simulation deadlock: {} tasks live but no pending events",
+                    self.live
+                );
             };
             self.advance_to(next);
         }
@@ -382,7 +408,8 @@ impl SimMachine {
                 match event {
                     TimerEvent::StorageStart { task, bytes } => {
                         let job =
-                            self.storage.add(self.now, bytes as f64, self.device.per_stream_bw);
+                            self.storage
+                                .add(self.now, bytes as f64, self.device.per_stream_bw);
                         self.jobs.insert((Res::Storage, job), task);
                     }
                 }
@@ -414,11 +441,19 @@ impl SimMachine {
             return;
         }
         let stage = {
-            let mut ctx = Ctx { now: self.now, stats: &mut self.stats };
+            let mut ctx = Ctx {
+                now: self.now,
+                stats: &mut self.stats,
+            };
             self.tasks[task].program.step(&mut ctx)
         };
         if self.trace.is_some() {
-            self.record(task, TraceKind::StageStart { stage: stage.kind_name() });
+            self.record(
+                task,
+                TraceKind::StageStart {
+                    stage: stage.kind_name(),
+                },
+            );
         }
         match stage {
             Stage::Done => {
@@ -448,8 +483,11 @@ impl SimMachine {
                 }
                 self.stats.memcpy_bytes += bytes;
                 self.tasks[task].parts_left = 1;
-                let job =
-                    self.membus.add(self.now, bytes as f64, DeviceProfile::memory_bus().per_stream_bw);
+                let job = self.membus.add(
+                    self.now,
+                    bytes as f64,
+                    DeviceProfile::memory_bus().per_stream_bw,
+                );
                 self.jobs.insert((Res::Membus, job), task);
             }
             Stage::Write { bytes } => {
@@ -475,8 +513,9 @@ impl SimMachine {
     }
 
     fn start_read(&mut self, task: TaskId, req: ReadReq) {
-        let split =
-            self.cache.access(req.file, req.offset, req.bytes, req.cacheable, req.file_len);
+        let split = self
+            .cache
+            .access(req.file, req.offset, req.bytes, req.cacheable, req.file_len);
         self.stats.storage_read_bytes += split.miss;
         self.stats.cache_read_bytes += split.hit;
         let mut parts = 0u8;
@@ -492,9 +531,11 @@ impl SimMachine {
         }
         self.tasks[task].parts_left = parts;
         if split.hit > 0 {
-            let job = self
-                .membus
-                .add(self.now, split.hit as f64, DeviceProfile::memory_bus().per_stream_bw);
+            let job = self.membus.add(
+                self.now,
+                split.hit as f64,
+                DeviceProfile::memory_bus().per_stream_bw,
+            );
             self.jobs.insert((Res::Membus, job), task);
         }
         if split.miss > 0 {
@@ -518,14 +559,22 @@ impl SimMachine {
                 }
             }
             if start <= self.now {
-                let job = self.storage.add(self.now, split.miss as f64, self.device.per_stream_bw);
+                let job = self
+                    .storage
+                    .add(self.now, split.miss as f64, self.device.per_stream_bw);
                 self.jobs.insert((Res::Storage, job), task);
             } else {
                 let key = self.timer_seq as usize;
-                self.timers.push(std::cmp::Reverse((start, self.timer_seq, key)));
+                self.timers
+                    .push(std::cmp::Reverse((start, self.timer_seq, key)));
                 self.timer_seq += 1;
-                self.timer_events
-                    .insert(key, TimerEvent::StorageStart { task, bytes: split.miss });
+                self.timer_events.insert(
+                    key,
+                    TimerEvent::StorageStart {
+                        task,
+                        bytes: split.miss,
+                    },
+                );
             }
         }
     }
@@ -582,7 +631,9 @@ mod tests {
     #[test]
     fn cpu_work_takes_expected_time() {
         let mut m = machine(4, 0);
-        m.add_task(Script::new(vec![Stage::Cpu { work: Nanos::from_secs(2) }]));
+        m.add_task(Script::new(vec![Stage::Cpu {
+            work: Nanos::from_secs(2),
+        }]));
         let stats = m.run();
         assert_eq!(stats.span, Nanos::from_secs(2));
         assert_eq!(stats.cpu_work, Nanos::from_secs(2));
@@ -593,7 +644,9 @@ mod tests {
         // 4 jobs of 1s on 2 cores: span = 2s.
         let mut m = machine(2, 0);
         for _ in 0..4 {
-            m.add_task(Script::new(vec![Stage::Cpu { work: Nanos::from_secs(1) }]));
+            m.add_task(Script::new(vec![Stage::Cpu {
+                work: Nanos::from_secs(1),
+            }]));
         }
         let stats = m.run();
         assert_eq!(stats.span, Nanos::from_secs(2));
@@ -603,7 +656,9 @@ mod tests {
     fn parallel_cpu_within_core_count_overlaps() {
         let mut m = machine(8, 0);
         for _ in 0..8 {
-            m.add_task(Script::new(vec![Stage::Cpu { work: Nanos::from_secs(1) }]));
+            m.add_task(Script::new(vec![Stage::Cpu {
+                work: Nanos::from_secs(1),
+            }]));
         }
         assert_eq!(m.run().span, Nanos::from_secs(1));
     }
@@ -612,7 +667,10 @@ mod tests {
     fn single_stream_read_time_is_open_plus_transfer() {
         let mut m = machine(1, 0);
         // 100 MB at 100 MB/s + 10 ms open.
-        m.add_task(Script::new(vec![Stage::Read(ReadReq::open_file(0, 100_000_000))]));
+        m.add_task(Script::new(vec![Stage::Read(ReadReq::open_file(
+            0,
+            100_000_000,
+        ))]));
         let stats = m.run();
         assert_eq!(stats.span, Nanos::from_millis(1010));
         assert_eq!(stats.storage_read_bytes, 100_000_000);
@@ -624,7 +682,10 @@ mod tests {
         // total 800 MB at 400 MB/s = 2 s (+ 10 ms open, concurrent).
         let mut m = machine(8, 0);
         for i in 0..8 {
-            m.add_task(Script::new(vec![Stage::Read(ReadReq::open_file(i, 100_000_000))]));
+            m.add_task(Script::new(vec![Stage::Read(ReadReq::open_file(
+                i,
+                100_000_000,
+            ))]));
         }
         let stats = m.run();
         let secs = stats.span.as_secs_f64();
@@ -647,7 +708,10 @@ mod tests {
     fn lock_serializes_holders() {
         let mut m = machine(8, 0);
         for _ in 0..4 {
-            m.add_task(Script::new(vec![Stage::Lock { lock: 0, hold: Nanos::from_millis(10) }]));
+            m.add_task(Script::new(vec![Stage::Lock {
+                lock: 0,
+                hold: Nanos::from_millis(10),
+            }]));
         }
         let stats = m.run();
         assert_eq!(stats.span, Nanos::from_millis(40));
@@ -693,7 +757,10 @@ mod tests {
             Stage::Yield,
             Stage::Cpu { work: Nanos::ZERO },
             Stage::MemCopy { bytes: 0 },
-            Stage::Read(ReadReq { bytes: 0, ..ReadReq::sequential(0, 0, 0) }),
+            Stage::Read(ReadReq {
+                bytes: 0,
+                ..ReadReq::sequential(0, 0, 0)
+            }),
         ]));
         let stats = m.run();
         assert_eq!(stats.span, Nanos::ZERO);
@@ -704,7 +771,9 @@ mod tests {
         let mut m = machine(2, 0);
         m.enable_trace(100);
         m.add_task(Script::new(vec![
-            Stage::Cpu { work: Nanos::from_millis(1) },
+            Stage::Cpu {
+                work: Nanos::from_millis(1),
+            },
             Stage::Read(ReadReq::open_file(0, 1_000_000)),
         ]));
         m.run();
@@ -730,7 +799,9 @@ mod tests {
         let mut m = machine(2, 0);
         m.enable_trace(100);
         m.add_task(Script::new(vec![
-            Stage::Cpu { work: Nanos::from_millis(10) },
+            Stage::Cpu {
+                work: Nanos::from_millis(10),
+            },
             Stage::Read(ReadReq::open_file(0, 10_000_000)),
         ]));
         m.run();
@@ -745,8 +816,11 @@ mod tests {
     fn trace_capacity_is_respected() {
         let mut m = machine(1, 0);
         m.enable_trace(3);
-        let stages: Vec<Stage> =
-            (0..10).map(|_| Stage::Cpu { work: Nanos::from_micros(1) }).collect();
+        let stages: Vec<Stage> = (0..10)
+            .map(|_| Stage::Cpu {
+                work: Nanos::from_micros(1),
+            })
+            .collect();
         m.add_task(Script::new(stages));
         m.run();
         assert_eq!(m.take_trace().len(), 3);
@@ -760,7 +834,9 @@ mod tests {
         for i in 0..2 {
             m.add_task(Script::new(vec![
                 Stage::Read(ReadReq::open_file(i, 100_000_000)),
-                Stage::Cpu { work: Nanos::from_secs(1) },
+                Stage::Cpu {
+                    work: Nanos::from_secs(1),
+                },
             ]));
         }
         let stats = m.run();

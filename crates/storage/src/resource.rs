@@ -11,7 +11,7 @@
 //! - memory bus: per-stream cap well below the 166 GB/s aggregate.
 
 use crate::time::Nanos;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Identifier of a job inside one resource.
 pub type JobId = u64;
@@ -29,7 +29,12 @@ struct Job {
 pub struct PsResource {
     /// Total capacity, units per second.
     capacity: f64,
-    jobs: HashMap<JobId, Job>,
+    /// Active jobs, ordered by id. A `BTreeMap` (not `HashMap`) on
+    /// purpose: [`PsResource::advance`] reports completions in
+    /// iteration order, which feeds task wakeup order in the machine —
+    /// hash-seed-dependent iteration would make simulation results vary
+    /// across threads and processes.
+    jobs: BTreeMap<JobId, Job>,
     next_id: JobId,
     last_update: Nanos,
     /// Cached per-job rates, recomputed on membership change.
@@ -47,7 +52,7 @@ impl PsResource {
         assert!(capacity > 0.0);
         PsResource {
             capacity,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             next_id: 0,
             last_update: Nanos::ZERO,
             rates: HashMap::new(),
@@ -72,14 +77,20 @@ impl PsResource {
         self.advance_internal(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.jobs.insert(id, Job { remaining: work.max(0.0), cap: per_stream_cap.max(0.0) });
+        self.jobs.insert(
+            id,
+            Job {
+                remaining: work.max(0.0),
+                cap: per_stream_cap.max(0.0),
+            },
+        );
         self.recompute_rates();
         id
     }
 
     /// Advance virtual time to `now`, returning the ids of jobs that
-    /// completed (in completion order is not guaranteed; all complete
-    /// at or before `now`).
+    /// completed at or before `now`, in ascending id order (so the
+    /// caller's wakeup order is deterministic).
     pub fn advance(&mut self, now: Nanos) -> Vec<JobId> {
         self.advance_internal(now);
         let done: Vec<JobId> = self

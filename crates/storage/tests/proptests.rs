@@ -29,8 +29,10 @@ fn arb_stage() -> impl Strategy<Value = Stage> {
             .prop_map(|(file, bytes)| Stage::Read(ReadReq::open_file(file, bytes))),
         (1u64..2_000_000).prop_map(|bytes| Stage::Write { bytes }),
         (1u64..2_000_000).prop_map(|bytes| Stage::MemCopy { bytes }),
-        (0usize..2, 1u64..1_000_000)
-            .prop_map(|(lock, ns)| Stage::Lock { lock, hold: Nanos(ns) }),
+        (0usize..2, 1u64..1_000_000).prop_map(|(lock, ns)| Stage::Lock {
+            lock,
+            hold: Nanos(ns)
+        }),
     ]
 }
 
@@ -42,7 +44,10 @@ fn run_machine(tasks: &[Vec<Stage>], cache_bytes: u64) -> presto_storage::Dstat 
         locks: 2,
     });
     for stages in tasks {
-        machine.add_task(Box::new(Script { stages: stages.clone(), next: 0 }));
+        machine.add_task(Box::new(Script {
+            stages: stages.clone(),
+            next: 0,
+        }));
     }
     machine.run()
 }

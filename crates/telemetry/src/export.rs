@@ -7,7 +7,7 @@
 //! `jq` and exists so tests (and downstream tools without `jq`) can
 //! assert the contract without a JSON dependency.
 
-use crate::TelemetrySnapshot;
+use crate::{SearchSnapshot, TelemetrySnapshot};
 use std::fmt::Write as _;
 
 /// Current JSON schema identifier.
@@ -47,24 +47,70 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "{name} {value}");
     };
-    counter("presto_epoch_samples_total", "Samples delivered this epoch.", snapshot.samples);
-    counter("presto_epoch_bytes_read_total", "Compressed bytes read from the store.", snapshot.bytes_read);
-    counter("presto_epoch_bytes_decoded_total", "Decompressed bytes produced.", snapshot.bytes_decoded);
-    counter("presto_epoch_cache_hits_total", "Samples served from the application cache.", snapshot.cache_hits);
-    counter("presto_epoch_cache_misses_total", "Samples produced while filling the cache.", snapshot.cache_misses);
-    counter("presto_epoch_retries_total", "Storage retries performed.", snapshot.retries);
-    counter("presto_epoch_skipped_samples_total", "Samples skipped under a degrade policy.", snapshot.skipped_samples);
-    counter("presto_epoch_lost_shards_total", "Shards lost under a degrade policy.", snapshot.lost_shards);
-    counter("presto_epoch_dropped_spans_total", "Span events dropped past the budget.", snapshot.dropped_spans);
+    counter(
+        "presto_epoch_samples_total",
+        "Samples delivered this epoch.",
+        snapshot.samples,
+    );
+    counter(
+        "presto_epoch_bytes_read_total",
+        "Compressed bytes read from the store.",
+        snapshot.bytes_read,
+    );
+    counter(
+        "presto_epoch_bytes_decoded_total",
+        "Decompressed bytes produced.",
+        snapshot.bytes_decoded,
+    );
+    counter(
+        "presto_epoch_cache_hits_total",
+        "Samples served from the application cache.",
+        snapshot.cache_hits,
+    );
+    counter(
+        "presto_epoch_cache_misses_total",
+        "Samples produced while filling the cache.",
+        snapshot.cache_misses,
+    );
+    counter(
+        "presto_epoch_retries_total",
+        "Storage retries performed.",
+        snapshot.retries,
+    );
+    counter(
+        "presto_epoch_skipped_samples_total",
+        "Samples skipped under a degrade policy.",
+        snapshot.skipped_samples,
+    );
+    counter(
+        "presto_epoch_lost_shards_total",
+        "Shards lost under a degrade policy.",
+        snapshot.lost_shards,
+    );
+    counter(
+        "presto_epoch_dropped_spans_total",
+        "Span events dropped past the budget.",
+        snapshot.dropped_spans,
+    );
 
     let _ = writeln!(out, "# HELP presto_epoch_duration_seconds Epoch wall time.");
     let _ = writeln!(out, "# TYPE presto_epoch_duration_seconds gauge");
-    let _ = writeln!(out, "presto_epoch_duration_seconds {}", secs(snapshot.elapsed_ns));
-    let _ = writeln!(out, "# HELP presto_epoch_degraded Whether any fault was absorbed (0/1).");
+    let _ = writeln!(
+        out,
+        "presto_epoch_duration_seconds {}",
+        secs(snapshot.elapsed_ns)
+    );
+    let _ = writeln!(
+        out,
+        "# HELP presto_epoch_degraded Whether any fault was absorbed (0/1)."
+    );
     let _ = writeln!(out, "# TYPE presto_epoch_degraded gauge");
     let _ = writeln!(out, "presto_epoch_degraded {}", u8::from(snapshot.degraded));
 
-    let _ = writeln!(out, "# HELP presto_step_invocations_total Invocations per phase/step.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_step_invocations_total Invocations per phase/step."
+    );
     let _ = writeln!(out, "# TYPE presto_step_invocations_total counter");
     for step in &snapshot.steps {
         let name = json_escape(&step.name);
@@ -75,7 +121,10 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
             step.count
         );
     }
-    let _ = writeln!(out, "# HELP presto_step_busy_seconds_total Wall time per phase/step across workers.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_step_busy_seconds_total Wall time per phase/step across workers."
+    );
     let _ = writeln!(out, "# TYPE presto_step_busy_seconds_total counter");
     for step in &snapshot.steps {
         let _ = writeln!(
@@ -86,46 +135,141 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
             secs(step.busy_ns)
         );
     }
-    let _ = writeln!(out, "# HELP presto_step_latency_seconds Per-invocation latency quantiles.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_step_latency_seconds Per-invocation latency quantiles."
+    );
     let _ = writeln!(out, "# TYPE presto_step_latency_seconds summary");
     for step in &snapshot.steps {
         let name = json_escape(&step.name);
-        for (q, v) in [("0.5", step.p50_ns), ("0.95", step.p95_ns), ("0.99", step.p99_ns)] {
+        for (q, v) in [
+            ("0.5", step.p50_ns),
+            ("0.95", step.p95_ns),
+            ("0.99", step.p99_ns),
+        ] {
             let _ = writeln!(
                 out,
                 "presto_step_latency_seconds{{step=\"{name}\",quantile=\"{q}\"}} {}",
                 secs(v)
             );
         }
-        let _ = writeln!(out, "presto_step_latency_seconds_count{{step=\"{name}\"}} {}", step.count);
-        let _ = writeln!(out, "presto_step_latency_seconds_sum{{step=\"{name}\"}} {}", secs(step.busy_ns));
+        let _ = writeln!(
+            out,
+            "presto_step_latency_seconds_count{{step=\"{name}\"}} {}",
+            step.count
+        );
+        let _ = writeln!(
+            out,
+            "presto_step_latency_seconds_sum{{step=\"{name}\"}} {}",
+            secs(step.busy_ns)
+        );
     }
 
-    let _ = writeln!(out, "# HELP presto_worker_busy_seconds_total Measured busy time per worker.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_worker_busy_seconds_total Measured busy time per worker."
+    );
     let _ = writeln!(out, "# TYPE presto_worker_busy_seconds_total counter");
     for w in &snapshot.workers {
-        let _ = writeln!(out, "presto_worker_busy_seconds_total{{worker=\"{}\"}} {}", w.worker, secs(w.busy_ns));
+        let _ = writeln!(
+            out,
+            "presto_worker_busy_seconds_total{{worker=\"{}\"}} {}",
+            w.worker,
+            secs(w.busy_ns)
+        );
     }
-    let _ = writeln!(out, "# HELP presto_worker_idle_seconds_total Unmeasured (idle) time per worker.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_worker_idle_seconds_total Unmeasured (idle) time per worker."
+    );
     let _ = writeln!(out, "# TYPE presto_worker_idle_seconds_total counter");
     for w in &snapshot.workers {
-        let _ = writeln!(out, "presto_worker_idle_seconds_total{{worker=\"{}\"}} {}", w.worker, secs(w.idle_ns));
+        let _ = writeln!(
+            out,
+            "presto_worker_idle_seconds_total{{worker=\"{}\"}} {}",
+            w.worker,
+            secs(w.idle_ns)
+        );
     }
-    let _ = writeln!(out, "# HELP presto_worker_samples_total Samples delivered per worker.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_worker_samples_total Samples delivered per worker."
+    );
     let _ = writeln!(out, "# TYPE presto_worker_samples_total counter");
     for w in &snapshot.workers {
-        let _ = writeln!(out, "presto_worker_samples_total{{worker=\"{}\"}} {}", w.worker, w.samples);
+        let _ = writeln!(
+            out,
+            "presto_worker_samples_total{{worker=\"{}\"}} {}",
+            w.worker, w.samples
+        );
     }
 
-    let _ = writeln!(out, "# HELP presto_queue_depth_max Deepest observed prefetch queue.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_queue_depth_max Deepest observed prefetch queue."
+    );
     let _ = writeln!(out, "# TYPE presto_queue_depth_max gauge");
     let _ = writeln!(out, "presto_queue_depth_max {}", snapshot.queue.max_depth);
-    let _ = writeln!(out, "# HELP presto_queue_depth_mean Mean observed prefetch-queue depth.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_queue_depth_mean Mean observed prefetch-queue depth."
+    );
     let _ = writeln!(out, "# TYPE presto_queue_depth_mean gauge");
     let _ = writeln!(out, "presto_queue_depth_mean {}", snapshot.queue.mean_depth);
-    let _ = writeln!(out, "# HELP presto_queue_capacity Prefetch channel capacity.");
+    let _ = writeln!(
+        out,
+        "# HELP presto_queue_capacity Prefetch channel capacity."
+    );
     let _ = writeln!(out, "# TYPE presto_queue_capacity gauge");
     let _ = writeln!(out, "presto_queue_capacity {}", snapshot.queue.capacity);
+    out
+}
+
+/// Render a strategy-search progress snapshot in the Prometheus text
+/// exposition format. Emitted by `/metrics` alongside the epoch series
+/// whenever a search has started (`total > 0`).
+pub fn prometheus_search(search: &SearchSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        "presto_search_strategies_total",
+        "Grid points the search will profile.",
+        search.total,
+    );
+    gauge(
+        "presto_search_strategies_completed",
+        "Strategies fully profiled so far.",
+        search.completed,
+    );
+    gauge(
+        "presto_search_strategies_pruned",
+        "Strategies eliminated by the pruned mode.",
+        search.pruned,
+    );
+    gauge(
+        "presto_search_memo_hits",
+        "Offline simulations served from the shared memo.",
+        search.memo_hits,
+    );
+    gauge(
+        "presto_search_memo_misses",
+        "Offline simulations actually run (unique offline phases).",
+        search.memo_misses,
+    );
+    gauge(
+        "presto_search_jobs",
+        "Worker threads in the profiling pool.",
+        search.jobs,
+    );
+    gauge(
+        "presto_search_done",
+        "Whether the search has finished (0/1).",
+        u64::from(search.done),
+    );
     out
 }
 
@@ -267,9 +411,7 @@ impl JsonValue {
     /// Member of an object by key.
     pub fn get(&self, key: &str) -> Option<&JsonValue> {
         match self {
-            JsonValue::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -345,7 +487,10 @@ impl<'a> Parser<'a> {
 
     fn peek(&mut self) -> Result<u8, String> {
         self.skip_ws();
-        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".into())
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
     }
 
     fn expect(&mut self, c: u8) -> Result<(), String> {
@@ -381,7 +526,10 @@ impl<'a> Parser<'a> {
     fn number(&mut self) -> Result<JsonValue, String> {
         let start = self.pos;
         while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
         {
             self.pos += 1;
         }
@@ -482,7 +630,10 @@ impl<'a> Parser<'a> {
 
 /// Parse a JSON document.
 pub fn parse_json(input: &str) -> Result<JsonValue, String> {
-    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     let value = parser.value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
@@ -558,7 +709,14 @@ pub fn validate_json(input: &str) -> Result<JsonValue, String> {
         .as_array()
         .ok_or_else(|| "'workers' must be an array".to_string())?;
     for worker in workers {
-        for field in ["worker", "busy_ns", "idle_ns", "samples", "bytes_read", "retries"] {
+        for field in [
+            "worker",
+            "busy_ns",
+            "idle_ns",
+            "samples",
+            "bytes_read",
+            "retries",
+        ] {
             if worker.get(field).and_then(JsonValue::as_f64).is_none() {
                 return Err(format!("every worker needs numeric '{field}'"));
             }
@@ -572,7 +730,9 @@ pub fn validate_json(input: &str) -> Result<JsonValue, String> {
 /// of complete (`X`) events.
 pub fn validate_chrome_trace(input: &str) -> Result<usize, String> {
     let doc = parse_json(input)?;
-    let events = doc.as_array().ok_or_else(|| "trace must be a JSON array".to_string())?;
+    let events = doc
+        .as_array()
+        .ok_or_else(|| "trace must be a JSON array".to_string())?;
     let mut complete = 0;
     for event in events {
         let ph = event
@@ -685,10 +845,15 @@ mod tests {
         let snap = sample_snapshot();
         let series = parse_prometheus(&prometheus(&snap))?;
         assert_eq!(series_value(&series, "presto_epoch_samples_total")?, 10.0);
-        assert_eq!(series_value(&series, "presto_epoch_bytes_read_total")?, 1280.0);
+        assert_eq!(
+            series_value(&series, "presto_epoch_bytes_read_total")?,
+            1280.0
+        );
         assert_eq!(series_value(&series, "presto_epoch_retries_total")?, 2.0);
         assert_eq!(series_value(&series, "presto_queue_depth_max")?, 2.0);
-        assert!(series.iter().any(|(s, _)| s.starts_with("presto_step_latency_seconds{")));
+        assert!(series
+            .iter()
+            .any(|(s, _)| s.starts_with("presto_step_latency_seconds{")));
         series_value(&series, "presto_worker_busy_seconds_total{worker=\"1\"}")?;
         Ok(())
     }

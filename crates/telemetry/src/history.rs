@@ -128,16 +128,19 @@ impl RunStore {
     }
 
     /// Append a sealed snapshot; returns `(run_id, path)`.
-    pub fn append_snapshot(&self, snapshot: &TelemetrySnapshot) -> Result<(String, PathBuf), String> {
+    pub fn append_snapshot(
+        &self,
+        snapshot: &TelemetrySnapshot,
+    ) -> Result<(String, PathBuf), String> {
         self.append_document(&export::json(snapshot))
     }
 
     /// Append a raw `presto.telemetry.v1` document after validating
     /// it; returns `(run_id, path)`.
     pub fn append_document(&self, document: &str) -> Result<(String, PathBuf), String> {
-        export::validate_json(document).map_err(|e| format!("refusing to store invalid run: {e}"))?;
-        fs::create_dir_all(&self.dir)
-            .map_err(|e| format!("create {}: {e}", self.dir.display()))?;
+        export::validate_json(document)
+            .map_err(|e| format!("refusing to store invalid run: {e}"))?;
+        fs::create_dir_all(&self.dir).map_err(|e| format!("create {}: {e}", self.dir.display()))?;
         let next = self
             .run_files()?
             .iter()
@@ -199,19 +202,25 @@ impl RunStore {
 
 fn run_number(path: &Path) -> Option<u64> {
     let name = path.file_name()?.to_str()?;
-    name.strip_prefix("run-")?.strip_suffix(".json")?.parse().ok()
+    name.strip_prefix("run-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
 }
 
 fn load_record(path: &Path) -> Result<RunRecord, String> {
     let raw = fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
-    let metrics =
-        parse_run_document(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+    let metrics = parse_run_document(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
     let id = path
         .file_stem()
         .and_then(|s| s.to_str())
         .unwrap_or("run")
         .to_string();
-    Ok(RunRecord { id, path: path.to_path_buf(), metrics })
+    Ok(RunRecord {
+        id,
+        path: path.to_path_buf(),
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -239,7 +248,15 @@ mod tests {
         let t0 = rec.begin().unwrap();
         rec.phase_done(0, crate::BUILTIN_PHASES, t0);
         rec.samples_done(0, samples);
-        rec.finish(Duration::from_millis(50), samples, samples * 100, 0, 0, 0, false);
+        rec.finish(
+            Duration::from_millis(50),
+            samples,
+            samples * 100,
+            0,
+            0,
+            0,
+            false,
+        );
         rec.snapshot()
     }
 
@@ -248,8 +265,12 @@ mod tests {
         let dir = scratch_dir();
         let store = RunStore::new(&dir);
         assert!(store.runs().expect("empty store lists").is_empty());
-        let (id1, _) = store.append_snapshot(&sealed_snapshot(10)).expect("append 1");
-        let (id2, path2) = store.append_snapshot(&sealed_snapshot(20)).expect("append 2");
+        let (id1, _) = store
+            .append_snapshot(&sealed_snapshot(10))
+            .expect("append 1");
+        let (id2, path2) = store
+            .append_snapshot(&sealed_snapshot(20))
+            .expect("append 2");
         assert_eq!((id1.as_str(), id2.as_str()), ("run-0001", "run-0002"));
         let runs = store.runs().expect("list");
         assert_eq!(runs.len(), 2);
@@ -265,8 +286,16 @@ mod tests {
         let dir = scratch_dir();
         let store = RunStore::new(&dir);
         let (_, path) = store.append_snapshot(&sealed_snapshot(7)).expect("append");
-        for spec in ["run-0001", "0001", "1", "run-0001.json", path.to_str().unwrap()] {
-            let rec = store.resolve(spec).unwrap_or_else(|e| panic!("resolve '{spec}': {e}"));
+        for spec in [
+            "run-0001",
+            "0001",
+            "1",
+            "run-0001.json",
+            path.to_str().unwrap(),
+        ] {
+            let rec = store
+                .resolve(spec)
+                .unwrap_or_else(|e| panic!("resolve '{spec}': {e}"));
             assert_eq!(rec.metrics.samples, 7, "spec '{spec}'");
         }
         let err = store.resolve("run-0099").unwrap_err();
@@ -278,7 +307,9 @@ mod tests {
     fn invalid_documents_are_refused_with_field_names() {
         let dir = scratch_dir();
         let store = RunStore::new(&dir);
-        let err = store.append_document("{\"schema\": \"presto.telemetry.v1\"}").unwrap_err();
+        let err = store
+            .append_document("{\"schema\": \"presto.telemetry.v1\"}")
+            .unwrap_err();
         assert!(err.contains("epoch"), "error should name the field: {err}");
         assert!(store.runs().expect("still listable").is_empty());
         let err = parse_run_document("{not json").unwrap_err();

@@ -61,7 +61,11 @@ impl MetricsServer {
                     }
                 }
             })?;
-        Ok(MetricsServer { addr, stop, handle: Some(handle) })
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
     }
 
     /// The bound address (resolves port `0` to the real port).
@@ -106,12 +110,22 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
         _ => {
-            let _ = respond(&mut stream, 400, "text/plain; charset=utf-8", "bad request\n");
+            let _ = respond(
+                &mut stream,
+                400,
+                "text/plain; charset=utf-8",
+                "bad request\n",
+            );
             return;
         }
     };
     if method != "GET" {
-        let _ = respond(&mut stream, 405, "text/plain; charset=utf-8", "method not allowed\n");
+        let _ = respond(
+            &mut stream,
+            405,
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
         return;
     }
     // Ignore any query string.
@@ -119,11 +133,20 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
     let result = match path {
         "/healthz" => respond(&mut stream, 200, "text/plain; charset=utf-8", "ok\n"),
         "/metrics" => {
-            let body = match telemetry.current_recorder() {
+            let mut body = match telemetry.current_recorder() {
                 Some(rec) => export::prometheus(&rec.light_snapshot()),
                 None => String::from("# no epoch recorded yet\n"),
             };
-            respond(&mut stream, 200, "text/plain; version=0.0.4; charset=utf-8", &body)
+            let search = telemetry.search().snapshot();
+            if search.total > 0 {
+                body.push_str(&export::prometheus_search(&search));
+            }
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
         }
         "/timeseries.json" => {
             let body = timeseries::json(&series.points(), series.evicted());
@@ -159,7 +182,10 @@ pub fn get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut stream = stream;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
@@ -188,12 +214,9 @@ mod tests {
     fn served() -> (MetricsServer, Arc<Telemetry>, Arc<TimeSeries>) {
         let telemetry = Telemetry::new();
         let series = TimeSeries::new(16);
-        let server = MetricsServer::serve(
-            "127.0.0.1:0",
-            Arc::clone(&telemetry),
-            Arc::clone(&series),
-        )
-        .expect("bind ephemeral port");
+        let server =
+            MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry), Arc::clone(&series))
+                .expect("bind ephemeral port");
         (server, telemetry, series)
     }
 

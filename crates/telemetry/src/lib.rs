@@ -238,7 +238,12 @@ pub struct EpochRecorder {
 }
 
 impl EpochRecorder {
-    fn new(step_names: &[String], workers: usize, queue_capacity: usize, span_capacity: usize) -> Self {
+    fn new(
+        step_names: &[String],
+        workers: usize,
+        queue_capacity: usize,
+        span_capacity: usize,
+    ) -> Self {
         let mut names = vec![
             "read".to_string(),
             "decompress".to_string(),
@@ -277,7 +282,10 @@ impl EpochRecorder {
     /// A recorder whose every method is a single-branch no-op — the
     /// "no-op registry" an un-instrumented run pays for.
     pub fn noop() -> Arc<Self> {
-        Arc::new(EpochRecorder { enabled: false, ..EpochRecorder::new(&[], 0, 0, 0) })
+        Arc::new(EpochRecorder {
+            enabled: false,
+            ..EpochRecorder::new(&[], 0, 0, 0)
+        })
     }
 
     /// True when this recorder actually records.
@@ -339,7 +347,9 @@ impl EpochRecorder {
         if !self.enabled {
             return;
         }
-        self.workers[worker].bytes_read.fetch_add(n, Ordering::Relaxed);
+        self.workers[worker]
+            .bytes_read
+            .fetch_add(n, Ordering::Relaxed);
         self.bytes_read.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -386,8 +396,10 @@ impl EpochRecorder {
             return;
         }
         self.queue_observations.fetch_add(1, Ordering::Relaxed);
-        self.queue_depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
-        self.queue_depth_max.fetch_max(depth as u64, Ordering::Relaxed);
+        self.queue_depth_sum
+            .fetch_add(depth as u64, Ordering::Relaxed);
+        self.queue_depth_max
+            .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
     /// Seal the epoch: store the authoritative end-of-epoch totals
@@ -407,11 +419,13 @@ impl EpochRecorder {
         if !self.enabled {
             return;
         }
-        self.elapsed_ns.store(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.elapsed_ns
+            .store(elapsed.as_nanos() as u64, Ordering::Relaxed);
         self.samples.store(samples, Ordering::Relaxed);
         self.bytes_read.store(bytes_read, Ordering::Relaxed);
         self.retries.store(retries, Ordering::Relaxed);
-        self.skipped_samples.store(skipped_samples, Ordering::Relaxed);
+        self.skipped_samples
+            .store(skipped_samples, Ordering::Relaxed);
         self.lost_shards.store(lost_shards, Ordering::Relaxed);
         self.degraded.store(degraded, Ordering::Relaxed);
     }
@@ -488,7 +502,10 @@ impl EpochRecorder {
             })
             .collect();
         let mut spans: Vec<SpanEvent> = if with_spans {
-            self.workers.iter().flat_map(|slot| slot.spans.lock().clone()).collect()
+            self.workers
+                .iter()
+                .flat_map(|slot| slot.spans.lock().clone())
+                .collect()
         } else {
             Vec::new()
         };
@@ -534,6 +551,7 @@ pub struct Telemetry {
     enabled: bool,
     span_capacity: usize,
     last: Mutex<Option<Arc<EpochRecorder>>>,
+    search: Arc<SearchProgress>,
 }
 
 impl Telemetry {
@@ -543,19 +561,30 @@ impl Telemetry {
             enabled: true,
             span_capacity: DEFAULT_SPAN_CAPACITY,
             last: Mutex::new(None),
+            search: Arc::new(SearchProgress::default()),
         })
     }
 
     /// A no-op handle: every recorder it hands out is disabled. Used
     /// by the instrumentation-overhead benchmark as the control arm.
     pub fn disabled() -> Arc<Self> {
-        Arc::new(Telemetry { enabled: false, span_capacity: 0, last: Mutex::new(None) })
+        Arc::new(Telemetry {
+            enabled: false,
+            span_capacity: 0,
+            last: Mutex::new(None),
+            search: Arc::new(SearchProgress::default()),
+        })
     }
 
     /// An enabled handle with a custom span-event budget per epoch
     /// (0 disables the timeline but keeps the metrics).
     pub fn with_span_capacity(span_capacity: usize) -> Arc<Self> {
-        Arc::new(Telemetry { enabled: true, span_capacity, last: Mutex::new(None) })
+        Arc::new(Telemetry {
+            enabled: true,
+            span_capacity,
+            last: Mutex::new(None),
+            search: Arc::new(SearchProgress::default()),
+        })
     }
 
     /// True when recorders from this handle record.
@@ -573,7 +602,12 @@ impl Telemetry {
         queue_capacity: usize,
     ) -> Arc<EpochRecorder> {
         let recorder = if self.enabled {
-            Arc::new(EpochRecorder::new(step_names, workers, queue_capacity, self.span_capacity))
+            Arc::new(EpochRecorder::new(
+                step_names,
+                workers,
+                queue_capacity,
+                self.span_capacity,
+            ))
         } else {
             EpochRecorder::noop()
         };
@@ -594,6 +628,100 @@ impl Telemetry {
     pub fn current_recorder(&self) -> Option<Arc<EpochRecorder>> {
         self.last.lock().clone()
     }
+
+    /// The strategy-search progress gauge set attached to this handle.
+    /// A search engine writes to it; `/metrics` and `presto watch
+    /// --search` read it.
+    pub fn search(&self) -> Arc<SearchProgress> {
+        Arc::clone(&self.search)
+    }
+}
+
+/// Live progress of a strategy search: monotonic gauges written with
+/// relaxed atomics by the profiling pool and read lock-free by
+/// exporters. All counts reset on [`SearchProgress::begin`].
+#[derive(Debug, Default)]
+pub struct SearchProgress {
+    total: AtomicU64,
+    completed: AtomicU64,
+    pruned: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    jobs: AtomicU64,
+    done: AtomicU64,
+}
+
+impl SearchProgress {
+    /// Start (or restart) a search over `total` grid points on `jobs`
+    /// worker threads. Resets every counter.
+    pub fn begin(&self, total: u64, jobs: u64) {
+        self.total.store(total, Ordering::Relaxed);
+        self.jobs.store(jobs, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.pruned.store(0, Ordering::Relaxed);
+        self.memo_hits.store(0, Ordering::Relaxed);
+        self.memo_misses.store(0, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+    }
+
+    /// Grow the grid mid-search (the pruned mode adds the full-fidelity
+    /// re-profiling rung once survivors are known).
+    pub fn add_total(&self, n: u64) {
+        self.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one finished strategy profile.
+    pub fn strategy_done(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` strategies eliminated by pruning.
+    pub fn record_pruned(&self, n: u64) {
+        self.pruned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publish the offline-memo hit/miss counters.
+    pub fn set_memo(&self, hits: u64, misses: u64) {
+        self.memo_hits.store(hits, Ordering::Relaxed);
+        self.memo_misses.store(misses, Ordering::Relaxed);
+    }
+
+    /// Mark the search finished.
+    pub fn finish(&self) {
+        self.done.store(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy for rendering/export.
+    pub fn snapshot(&self) -> SearchSnapshot {
+        SearchSnapshot {
+            total: self.total.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            jobs: self.jobs.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed) != 0,
+        }
+    }
+}
+
+/// Point-in-time copy of [`SearchProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchSnapshot {
+    /// Grid points the search will profile in total.
+    pub total: u64,
+    /// Strategies fully profiled so far.
+    pub completed: u64,
+    /// Strategies eliminated by the pruned mode.
+    pub pruned: u64,
+    /// Offline simulations served from the memo.
+    pub memo_hits: u64,
+    /// Offline simulations actually run (== unique offline phases).
+    pub memo_misses: u64,
+    /// Worker threads in the profiling pool.
+    pub jobs: u64,
+    /// True once the search has finished.
+    pub done: bool,
 }
 
 /// Aggregated latency of one phase or pipeline step over an epoch.
@@ -714,7 +842,11 @@ impl TelemetrySnapshot {
 
     /// Total busy nanoseconds across workers attributable to `kind`.
     pub fn busy_ns_of(&self, kind: PhaseKind) -> u64 {
-        self.steps.iter().filter(|s| s.kind == kind).map(|s| s.busy_ns).sum()
+        self.steps
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.busy_ns)
+            .sum()
     }
 
     /// Fraction of aggregate worker wall time (`threads × elapsed`)
@@ -800,11 +932,22 @@ mod tests {
         let h = Histogram::new();
         // Mixed magnitudes, including 0 and a huge outlier.
         h.record(0);
-        for v in [100u64, 1_000, 1_000, 50_000, 50_000, 50_000, 1_000_000, u64::MAX >> 1] {
+        for v in [
+            100u64,
+            1_000,
+            1_000,
+            50_000,
+            50_000,
+            50_000,
+            1_000_000,
+            u64::MAX >> 1,
+        ] {
             h.record(v);
         }
-        let quantiles: Vec<u64> =
-            [0.1, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0].iter().map(|&q| h.quantile(q)).collect();
+        let quantiles: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
         for pair in quantiles.windows(2) {
             assert!(pair[0] <= pair[1], "non-monotone quantiles: {quantiles:?}");
         }
@@ -870,7 +1013,10 @@ mod tests {
         let snap = rec.snapshot();
         assert_eq!(snap.spans.len(), 4);
         assert_eq!(snap.dropped_spans, 6);
-        assert_eq!(snap.steps[PHASE_READ].count, 10, "metrics keep counting past the span budget");
+        assert_eq!(
+            snap.steps[PHASE_READ].count, 10,
+            "metrics keep counting past the span budget"
+        );
     }
 
     #[test]

@@ -93,9 +93,8 @@ pub fn point_between(
 ) -> TimePoint {
     let interval = interval_ns.max(1);
     let worker_time = (interval as u128 * curr.threads.max(1) as u128) as f64;
-    let share = |now: u64, before: u64| {
-        ((now.saturating_sub(before)) as f64 / worker_time).clamp(0.0, 1.0)
-    };
+    let share =
+        |now: u64, before: u64| ((now.saturating_sub(before)) as f64 / worker_time).clamp(0.0, 1.0);
     let prev_step = |i: usize| prev.and_then(|p| p.steps.get(i));
     let steps: Vec<StepActivity> = curr
         .steps
@@ -119,7 +118,10 @@ pub fn point_between(
     let prev_samples = prev.map_or(0, |p| p.samples);
     let sample_delta = curr.samples.saturating_sub(prev_samples);
     let queue_sum = |s: &TelemetrySnapshot| s.queue.mean_depth * s.queue.observations as f64;
-    let obs_delta = curr.queue.observations.saturating_sub(prev.map_or(0, |p| p.queue.observations));
+    let obs_delta = curr
+        .queue
+        .observations
+        .saturating_sub(prev.map_or(0, |p| p.queue.observations));
     let queue_depth = if obs_delta > 0 {
         ((queue_sum(curr) - prev.map_or(0.0, queue_sum)) / obs_delta as f64).max(0.0)
     } else {
@@ -260,7 +262,9 @@ pub fn validate_json(input: &str) -> Result<usize, String> {
     match doc.require("schema")?.as_str() {
         Some(TIMESERIES_SCHEMA) => {}
         Some(other) => {
-            return Err(format!("wrong schema '{other}', expected '{TIMESERIES_SCHEMA}'"))
+            return Err(format!(
+                "wrong schema '{other}', expected '{TIMESERIES_SCHEMA}'"
+            ))
         }
         None => return Err("'schema' must be a string".into()),
     }
@@ -281,7 +285,9 @@ pub fn validate_json(input: &str) -> Result<usize, String> {
             "cpu_share",
             "deliver_share",
         ] {
-            point.require_f64(field).map_err(|e| format!("point: {e}"))?;
+            point
+                .require_f64(field)
+                .map_err(|e| format!("point: {e}"))?;
         }
         let steps = point
             .require("steps")?
@@ -289,7 +295,8 @@ pub fn validate_json(input: &str) -> Result<usize, String> {
             .ok_or_else(|| "point 'steps' must be an array".to_string())?;
         for step in steps {
             step.require_str("name").map_err(|e| format!("step: {e}"))?;
-            step.require_f64("busy_share").map_err(|e| format!("step: {e}"))?;
+            step.require_f64("busy_share")
+                .map_err(|e| format!("step: {e}"))?;
         }
     }
     Ok(points.len())
@@ -318,7 +325,11 @@ impl Sampler {
             .name("presto-sampler".into())
             .spawn(move || run_sampler(&telemetry, &ring, period, &stopped))
             .expect("spawn sampler thread");
-        Sampler { series, stop, handle: Some(handle) }
+        Sampler {
+            series,
+            stop,
+            handle: Some(handle),
+        }
     }
 
     /// The ring this sampler fills.
@@ -346,12 +357,7 @@ impl Drop for Sampler {
     }
 }
 
-fn run_sampler(
-    telemetry: &Telemetry,
-    ring: &TimeSeries,
-    period: Duration,
-    stop: &AtomicBool,
-) {
+fn run_sampler(telemetry: &Telemetry, ring: &TimeSeries, period: Duration, stop: &AtomicBool) {
     let started = Instant::now();
     // Previous tick's recorder identity + light snapshot + time, used
     // to compute interval deltas and detect epoch boundaries.
@@ -368,7 +374,9 @@ fn run_sampler(
         if stop.load(Ordering::Acquire) {
             break;
         }
-        let Some(rec) = telemetry.current_recorder() else { continue };
+        let Some(rec) = telemetry.current_recorder() else {
+            continue;
+        };
         if !rec.is_enabled() {
             continue;
         }
@@ -447,7 +455,10 @@ mod tests {
         assert!((p.io_share - 0.2).abs() < 1e-9);
         assert_eq!(p.cpu_share, 0.0);
         assert_eq!(p.epoch_seed, 3);
-        assert!((p.queue_depth - 2.0).abs() < 1e-9, "constant mean depth survives the delta");
+        assert!(
+            (p.queue_depth - 2.0).abs() < 1e-9,
+            "constant mean depth survives the delta"
+        );
         assert!((p.cache_hit_rate - 0.5).abs() < 1e-9);
     }
 
@@ -489,14 +500,18 @@ mod tests {
         let ring = TimeSeries::new(8);
         for i in 0..3u64 {
             let prev = snapshot(i * 10, &[("read", PhaseKind::Io, i, i * 1_000)]);
-            let curr =
-                snapshot((i + 1) * 10, &[("read", PhaseKind::Io, i + 1, (i + 1) * 1_000)]);
+            let curr = snapshot(
+                (i + 1) * 10,
+                &[("read", PhaseKind::Io, i + 1, (i + 1) * 1_000)],
+            );
             ring.push(point_between(Some(&prev), &curr, i * 1_000_000, 1_000_000));
         }
         let doc = json(&ring.points(), ring.evicted());
         assert_eq!(validate_json(&doc).expect("valid timeseries doc"), 3);
         assert!(validate_json("{\"schema\": \"presto.timeseries.v2\", \"points\": []}").is_err());
-        assert!(validate_json("{\"points\": []}").unwrap_err().contains("schema"));
+        assert!(validate_json("{\"points\": []}")
+            .unwrap_err()
+            .contains("schema"));
     }
 
     #[test]
@@ -504,8 +519,7 @@ mod tests {
         let telemetry = Telemetry::new();
         let rec = telemetry.begin_epoch(&["step".into()], 1, 0);
         rec.set_epoch_seed(11);
-        let sampler =
-            Sampler::spawn(Arc::clone(&telemetry), Duration::from_millis(5), 64);
+        let sampler = Sampler::spawn(Arc::clone(&telemetry), Duration::from_millis(5), 64);
         for _ in 0..20 {
             let t0 = rec.begin().unwrap();
             std::thread::sleep(Duration::from_millis(1));

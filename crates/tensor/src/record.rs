@@ -56,7 +56,10 @@ impl RecordWriter {
 
     /// Pre-allocate for an expected total size.
     pub fn with_capacity(bytes: usize) -> Self {
-        RecordWriter { buf: Vec::with_capacity(bytes), records: 0 }
+        RecordWriter {
+            buf: Vec::with_capacity(bytes),
+            records: 0,
+        }
     }
 
     /// Append one record.
@@ -64,9 +67,11 @@ impl RecordWriter {
         let len = payload.len() as u64;
         let len_bytes = len.to_le_bytes();
         self.buf.extend_from_slice(&len_bytes);
-        self.buf.extend_from_slice(&Crc32::checksum(&len_bytes).to_le_bytes());
+        self.buf
+            .extend_from_slice(&Crc32::checksum(&len_bytes).to_le_bytes());
         self.buf.extend_from_slice(payload);
-        self.buf.extend_from_slice(&Crc32::checksum(payload).to_le_bytes());
+        self.buf
+            .extend_from_slice(&Crc32::checksum(payload).to_le_bytes());
         self.records += 1;
     }
 
@@ -123,8 +128,7 @@ impl<'a> RecordReader<'a> {
             return Err(RecordError::UnexpectedEof);
         }
         let payload = &remaining[12..12 + len];
-        let payload_crc =
-            u32::from_le_bytes(remaining[12 + len..12 + len + 4].try_into().unwrap());
+        let payload_crc = u32::from_le_bytes(remaining[12 + len..12 + len + 4].try_into().unwrap());
         if Crc32::checksum(payload) != payload_crc {
             return Err(RecordError::BadPayloadCrc);
         }
@@ -203,8 +207,7 @@ mod tests {
     #[test]
     fn roundtrip_multiple_records() {
         let mut writer = RecordWriter::new();
-        let payloads: Vec<Vec<u8>> =
-            vec![vec![], vec![1], vec![2; 100], (0..255).collect()];
+        let payloads: Vec<Vec<u8>> = vec![vec![], vec![1], vec![2; 100], (0..255).collect()];
         for p in &payloads {
             writer.write(p);
         }

@@ -54,7 +54,13 @@ pub struct Tensor {
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor<{}>{:?} ({} B)", self.dtype, self.shape, self.data.len())
+        write!(
+            f,
+            "Tensor<{}>{:?} ({} B)",
+            self.dtype,
+            self.shape,
+            self.data.len()
+        )
     }
 }
 
@@ -63,28 +69,46 @@ impl Tensor {
     pub fn from_vec<T: Element>(shape: Vec<usize>, values: Vec<T>) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product();
         if values.len() != expected {
-            return Err(TensorError::ShapeMismatch { expected, actual: values.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: values.len(),
+            });
         }
         let mut data = Vec::with_capacity(values.len() * T::DTYPE.size_bytes());
         for value in values {
             value.write_le(&mut data);
         }
-        Ok(Tensor { dtype: T::DTYPE, shape, data: Bytes::from(data) })
+        Ok(Tensor {
+            dtype: T::DTYPE,
+            shape,
+            data: Bytes::from(data),
+        })
     }
 
     /// Build a tensor directly from raw little-endian bytes.
     pub fn from_raw(dtype: DType, shape: Vec<usize>, data: Vec<u8>) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product::<usize>() * dtype.size_bytes();
         if data.len() != expected {
-            return Err(TensorError::ShapeMismatch { expected, actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { dtype, shape, data: Bytes::from(data) })
+        Ok(Tensor {
+            dtype,
+            shape,
+            data: Bytes::from(data),
+        })
     }
 
     /// A zero-filled tensor.
     pub fn zeros(dtype: DType, shape: Vec<usize>) -> Self {
         let len: usize = shape.iter().product::<usize>() * dtype.size_bytes();
-        Tensor { dtype, shape, data: Bytes::from(vec![0u8; len]) }
+        Tensor {
+            dtype,
+            shape,
+            data: Bytes::from(vec![0u8; len]),
+        }
     }
 
     /// Element type.
@@ -121,7 +145,10 @@ impl Tensor {
     /// Decode the storage into typed elements.
     pub fn to_vec<T: Element>(&self) -> Result<Vec<T>, TensorError> {
         if T::DTYPE != self.dtype {
-            return Err(TensorError::DTypeMismatch { expected: T::DTYPE, actual: self.dtype });
+            return Err(TensorError::DTypeMismatch {
+                expected: T::DTYPE,
+                actual: self.dtype,
+            });
         }
         let size = self.dtype.size_bytes();
         Ok(self.data.chunks_exact(size).map(T::read_le).collect())
@@ -144,9 +171,16 @@ impl Tensor {
     pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, TensorError> {
         let expected: usize = shape.iter().product();
         if expected != self.len() {
-            return Err(TensorError::ShapeMismatch { expected, actual: self.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: self.len(),
+            });
         }
-        Ok(Tensor { dtype: self.dtype, shape, data: self.data.clone() })
+        Ok(Tensor {
+            dtype: self.dtype,
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Serialize into a self-describing byte message:
@@ -192,7 +226,11 @@ impl Tensor {
         }
         let data = bytes[header..header + data_len].to_vec();
         Ok((
-            Tensor { dtype, shape, data: Bytes::from(data) },
+            Tensor {
+                dtype,
+                shape,
+                data: Bytes::from(data),
+            },
             header + data_len,
         ))
     }
@@ -207,7 +245,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![2, 3], vec![1.0f32; 6]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![2, 3], vec![1.0f32; 5]),
-            Err(TensorError::ShapeMismatch { expected: 6, actual: 5 })
+            Err(TensorError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            })
         ));
     }
 
@@ -267,11 +308,20 @@ mod tests {
     #[test]
     fn iter_f64_covers_all_dtypes() {
         let cases: Vec<(Tensor, Vec<f64>)> = vec![
-            (Tensor::from_vec(vec![2], vec![1u8, 255]).unwrap(), vec![1.0, 255.0]),
-            (Tensor::from_vec(vec![2], vec![-5i16, 7]).unwrap(), vec![-5.0, 7.0]),
+            (
+                Tensor::from_vec(vec![2], vec![1u8, 255]).unwrap(),
+                vec![1.0, 255.0],
+            ),
+            (
+                Tensor::from_vec(vec![2], vec![-5i16, 7]).unwrap(),
+                vec![-5.0, 7.0],
+            ),
             (Tensor::from_vec(vec![1], vec![-9i32]).unwrap(), vec![-9.0]),
             (Tensor::from_vec(vec![1], vec![0.5f32]).unwrap(), vec![0.5]),
-            (Tensor::from_vec(vec![1], vec![-0.25f64]).unwrap(), vec![-0.25]),
+            (
+                Tensor::from_vec(vec![1], vec![-0.25f64]).unwrap(),
+                vec![-0.25],
+            ),
         ];
         for (tensor, expected) in cases {
             assert_eq!(tensor.iter_f64().collect::<Vec<_>>(), expected);

@@ -29,8 +29,7 @@ impl BpeTokenizer {
         // single characters plus the end-of-word marker.
         let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
         for word in corpus.split_whitespace() {
-            let mut symbols: Vec<String> =
-                word.chars().map(|c| c.to_string()).collect();
+            let mut symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
             symbols.push(EOW.to_string());
             *word_freq.entry(symbols).or_insert(0) += 1;
         }
@@ -50,7 +49,9 @@ impl BpeTokenizer {
             let best = pair_freq
                 .into_iter()
                 .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)));
-            let Some(((left, right), freq)) = best else { break };
+            let Some(((left, right), freq)) = best else {
+                break;
+            };
             if freq < 2 {
                 break; // nothing left worth merging
             }
@@ -96,9 +97,17 @@ impl BpeTokenizer {
             add(&format!("{l}{r}"), &mut vocab);
         }
 
-        let merge_rank =
-            merges.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
-        BpeTokenizer { merges, merge_rank, vocab }
+        let merge_rank = merges
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        BpeTokenizer {
+            merges,
+            merge_rank,
+            vocab,
+        }
     }
 
     /// Number of distinct token ids.

@@ -37,7 +37,11 @@ impl EmbeddingTable {
             let raw = splitmix64(&mut state);
             weights.push((raw >> 40) as f32 / (1u64 << 24) as f32 - 0.5);
         }
-        EmbeddingTable { dim, vocab, weights }
+        EmbeddingTable {
+            dim,
+            vocab,
+            weights,
+        }
     }
 
     /// Embedding width.

@@ -80,7 +80,10 @@ fn tag_name_at(bytes: &[u8], lt: usize) -> Option<String> {
 }
 
 fn find_byte(bytes: &[u8], from: usize, needle: u8) -> Option<usize> {
-    bytes[from..].iter().position(|&b| b == needle).map(|p| from + p)
+    bytes[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| from + p)
 }
 
 fn find_sub(bytes: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
@@ -154,13 +157,18 @@ mod tests {
 
     #[test]
     fn decodes_entities() {
-        assert_eq!(extract_text("fish &amp; chips &lt;3 &#65; &#x42;"), "fish & chips <3 A B");
+        assert_eq!(
+            extract_text("fish &amp; chips &lt;3 &#65; &#x42;"),
+            "fish & chips <3 A B"
+        );
     }
 
     #[test]
     fn unknown_entities_left_verbatim() {
-        assert_eq!(extract_text("&bogus; &toolongtobeanentityatall"),
-                   "&bogus; &toolongtobeanentityatall");
+        assert_eq!(
+            extract_text("&bogus; &toolongtobeanentityatall"),
+            "&bogus; &toolongtobeanentityatall"
+        );
     }
 
     #[test]
@@ -178,6 +186,9 @@ mod tests {
 
     #[test]
     fn multibyte_utf8_preserved() {
-        assert_eq!(extract_text("<p>héllo wörld — ünïcode</p>"), "héllo wörld — ünïcode");
+        assert_eq!(
+            extract_text("<p>héllo wörld — ünïcode</p>"),
+            "héllo wörld — ünïcode"
+        );
     }
 }

@@ -19,8 +19,10 @@ use presto_pipeline::{Sample, Strategy};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
-    let clips: usize =
-        std::env::var("CLIPS").ok().and_then(|s| s.parse().ok()).unwrap_or(48);
+    let clips: usize = std::env::var("CLIPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(48);
     println!("== real engine: {clips} speech-like clips through both codecs\n");
     for codec in [AudioCodec::Flac, AudioCodec::Adpcm] {
         let pipeline = executable_audio_pipeline(codec, 80);
@@ -36,12 +38,12 @@ fn main() {
             .collect();
         let store = MemStore::new();
         let exec = RealExecutor::new(4);
-        let mut table =
-            TableBuilder::new(&["strategy", "stored", "prep (ms)", "epoch SPS"]);
+        let mut table = TableBuilder::new(&["strategy", "stored", "prep (ms)", "epoch SPS"]);
         for split in 0..=pipeline.max_split() {
             let strategy = Strategy::at_split(split).with_threads(4);
-            let (dataset, prep) =
-                exec.materialize(&pipeline, &strategy, &source, &store).expect("materialize");
+            let (dataset, prep) = exec
+                .materialize(&pipeline, &strategy, &source, &store)
+                .expect("materialize");
             let count = AtomicU64::new(0);
             let stats = exec
                 .epoch(&pipeline, &dataset, &store, None, 5, |_| {

@@ -35,15 +35,25 @@ fn sweep(title: &str, workload: &presto_datasets::Workload) -> (String, f64) {
 
 fn main() {
     let (_, plain) = sweep("original CV pipeline", &cv::cv());
-    let (_, before) =
-        sweep("greyscale inserted BEFORE pixel centering", &cv::cv_with_greyscale(true));
-    let (_, after) =
-        sweep("greyscale inserted AFTER pixel centering", &cv::cv_with_greyscale(false));
+    let (_, before) = sweep(
+        "greyscale inserted BEFORE pixel centering",
+        &cv::cv_with_greyscale(true),
+    );
+    let (_, after) = sweep(
+        "greyscale inserted AFTER pixel centering",
+        &cv::cv_with_greyscale(false),
+    );
 
     println!("== summary");
     println!("max throughput: original {plain:.0} SPS");
-    println!("               grey-before {before:.0} SPS ({:.1}x, paper: 2.8x)", before / plain);
-    println!("               grey-after  {after:.0} SPS ({:.1}x)", after / plain);
+    println!(
+        "               grey-before {before:.0} SPS ({:.1}x, paper: 2.8x)",
+        before / plain
+    );
+    println!(
+        "               grey-after  {after:.0} SPS ({:.1}x)",
+        after / plain
+    );
     println!();
     println!("the paper's lesson: steps that reduce storage consumption should be");
     println!("applied as early as possible and investigated with priority when");

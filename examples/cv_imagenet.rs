@@ -10,8 +10,8 @@
 use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
-use presto_datasets::hardware::{keeps_busy, ACCELERATORS};
 use presto_datasets::cv;
+use presto_datasets::hardware::{keeps_busy, ACCELERATORS};
 use presto_pipeline::sim::SimEnv;
 use presto_pipeline::{CacheLevel, Strategy};
 
@@ -25,13 +25,7 @@ fn main() {
 
     println!("== CV (ILSVRC2012-like, 1.3M JPGs, 146.9 GB) strategy sweep\n");
     let analysis = presto.profile_all(1);
-    let mut table = TableBuilder::new(&[
-        "strategy",
-        "SPS",
-        "net MB/s",
-        "storage",
-        "prep time",
-    ]);
+    let mut table = TableBuilder::new(&["strategy", "SPS", "net MB/s", "storage", "prep time"]);
     for profile in analysis.profiles() {
         table.row(&[
             profile.label.clone(),
@@ -44,7 +38,10 @@ fn main() {
     println!("{}", table.render());
 
     let best = analysis.recommend(Weights::MAX_THROUGHPUT);
-    println!("recommended strategy: {} ({:.0} SPS)\n", best.label, best.throughput_sps);
+    println!(
+        "recommended strategy: {} ({:.0} SPS)\n",
+        best.label, best.throughput_sps
+    );
 
     println!("== which accelerators does each strategy keep busy?");
     let mut table = TableBuilder::new(&["strategy", "SPS", "fed accelerators"]);
@@ -57,7 +54,11 @@ fn main() {
         table.row(&[
             profile.label.clone(),
             format!("{:.0}", profile.throughput_sps()),
-            if fed.is_empty() { "none".into() } else { fed.join(", ") },
+            if fed.is_empty() {
+                "none".into()
+            } else {
+                fed.join(", ")
+            },
         ]);
     }
     println!("{}", table.render());
@@ -65,9 +66,13 @@ fn main() {
     println!("== compression on the recommended strategy");
     let split = analysis.profiles()[best.index].strategy.split;
     let mut table = TableBuilder::new(&["codec", "storage", "SPS", "prep time"]);
-    for codec in [Codec::None, Codec::Gzip(Level::DEFAULT), Codec::Zlib(Level::DEFAULT)] {
-        let profile = presto
-            .profile_strategy(&Strategy::at_split(split).with_compression(codec), 1);
+    for codec in [
+        Codec::None,
+        Codec::Gzip(Level::DEFAULT),
+        Codec::Zlib(Level::DEFAULT),
+    ] {
+        let profile =
+            presto.profile_strategy(&Strategy::at_split(split).with_compression(codec), 1);
         table.row(&[
             codec.name().to_string(),
             format_bytes(profile.storage_bytes),
@@ -79,9 +84,12 @@ fn main() {
 
     println!("== two-epoch caching on the recommended strategy");
     let mut table = TableBuilder::new(&["cache level", "epoch1 SPS", "epoch2 SPS"]);
-    for cache in [CacheLevel::None, CacheLevel::System, CacheLevel::Application] {
-        let profile =
-            presto.profile_strategy(&Strategy::at_split(split).with_cache(cache), 2);
+    for cache in [
+        CacheLevel::None,
+        CacheLevel::System,
+        CacheLevel::Application,
+    ] {
+        let profile = presto.profile_strategy(&Strategy::at_split(split).with_cache(cache), 2);
         match &profile.error {
             Some(e) => table.row(&[cache.name().to_string(), format!("{e}"), "-".into()]),
             None => table.row(&[

@@ -19,8 +19,10 @@ use presto_pipeline::{Payload, Sample, Strategy};
 use presto_tensor::Tensor;
 
 fn main() {
-    let windows: usize =
-        std::env::var("WINDOWS").ok().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let windows: usize = std::env::var("WINDOWS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
     println!("== real engine: {windows} ten-second 6.4 kHz windows\n");
     let pipeline = executable_nilm_pipeline(128);
     let source: Vec<Sample> = (0..windows as u64)
@@ -38,13 +40,16 @@ fn main() {
     let mut table = TableBuilder::new(&["strategy", "stored", "vs raw", "epoch SPS"]);
     for split in 0..=pipeline.max_split() {
         let strategy = Strategy::at_split(split).with_threads(4);
-        let (dataset, _) =
-            exec.materialize(&pipeline, &strategy, &source, &store).expect("materialize");
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .expect("materialize");
         let stats = exec
             .epoch(&pipeline, &dataset, &store, None, 3, |sample| {
                 // Feature sanity: the model input is 3×500 float64.
                 if split == pipeline.max_split() {
-                    let Payload::Tensors(ts) = &sample.payload else { return };
+                    let Payload::Tensors(ts) = &sample.payload else {
+                        return;
+                    };
                     debug_assert_eq!(ts[0].shape(), &[3, 500]);
                 }
             })
@@ -63,10 +68,12 @@ fn main() {
     println!("== simulator: paper-scale CREAM (268k windows, 39.6 GB) diagnosis\n");
     let workload = nilm::nilm();
     let env = SimEnv::paper_vm();
-    let presto =
-        Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env.clone());
-    let mut table =
-        TableBuilder::new(&["strategy", "SPS", "storage", "bottleneck"]);
+    let presto = Presto::new(
+        workload.pipeline.clone(),
+        workload.dataset.clone(),
+        env.clone(),
+    );
+    let mut table = TableBuilder::new(&["strategy", "SPS", "storage", "bottleneck"]);
     for strategy in Strategy::enumerate(&workload.pipeline) {
         let profile = presto.profile_strategy(&strategy, 1);
         let diagnosis = diagnose(&profile, &env).unwrap();

@@ -48,15 +48,16 @@ fn main() {
         name: "my-images".into(),
         sample_count: 200_000,
         unprocessed_sample_bytes: 150_000.0,
-        layout: SourceLayout::FilePerSample { penalty: Nanos::from_millis(10) },
+        layout: SourceLayout::FilePerSample {
+            penalty: Nanos::from_millis(10),
+        },
     };
 
     // 3. Profile every legal strategy on the simulated cluster.
     let presto = Presto::new(pipeline, dataset, SimEnv::paper_vm());
     let analysis = presto.profile_all(1);
 
-    let mut table =
-        TableBuilder::new(&["strategy", "throughput SPS", "storage", "offline prep"]);
+    let mut table = TableBuilder::new(&["strategy", "throughput SPS", "storage", "offline prep"]);
     for profile in analysis.profiles() {
         table.row(&[
             profile.label.clone(),

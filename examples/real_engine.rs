@@ -16,8 +16,14 @@ use presto_pipeline::{Sample, Strategy};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 fn main() {
-    let samples: usize = std::env::var("SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(300);
-    let threads: usize = std::env::var("THREADS").ok().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let samples: usize = std::env::var("SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let threads: usize = std::env::var("THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
 
     println!("generating {samples} synthetic 160x120 images (JPG-like encoded)...");
     let source: Vec<Sample> = (0..samples as u64)
@@ -43,8 +49,9 @@ fn main() {
     ]);
     for split in 0..=pipeline.max_split() {
         let strategy = Strategy::at_split(split).with_threads(threads);
-        let (dataset, prep) =
-            exec.materialize(&pipeline, &strategy, &source, &store).expect("materialize");
+        let (dataset, prep) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .expect("materialize");
         let count = AtomicU64::new(0);
         let stats = exec
             .epoch(&pipeline, &dataset, &store, None, 1, |_| {
@@ -61,11 +68,17 @@ fn main() {
             format_bytes(dataset.stored_bytes),
             format!("{:.0}", prep.as_secs_f64() * 1e3),
             format!("{:.0}", stats.samples_per_second()),
-            epoch2.map_or("failed".into(), |e| format!("{:.0}", e.samples_per_second())),
+            epoch2.map_or("failed".into(), |e| {
+                format!("{:.0}", e.samples_per_second())
+            }),
         ]);
     }
     println!("{}", table.render());
-    println!("store on disk: {} across {} shards", format_bytes(store.total_bytes()), store.list().len());
+    println!(
+        "store on disk: {} across {} shards",
+        format_bytes(store.total_bytes()),
+        store.list().len()
+    );
     println!("(local NVMe + small dataset: absolute numbers differ from the paper's");
     println!(" Ceph cluster — the size trade-off shape is what carries over.)");
     std::fs::remove_dir_all(&dir).ok();

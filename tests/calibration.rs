@@ -12,8 +12,14 @@ use presto_pipeline::sim::StrategyProfile;
 use presto_pipeline::{CacheLevel, Strategy};
 
 /// Measured (SPS, MB/s) of one split under an env.
-fn measure(workload: &presto_datasets::Workload, split: usize, env: presto_pipeline::sim::SimEnv) -> StrategyProfile {
-    workload.simulator(env).profile(&Strategy::at_split(split), 1)
+fn measure(
+    workload: &presto_datasets::Workload,
+    split: usize,
+    env: presto_pipeline::sim::SimEnv,
+) -> StrategyProfile {
+    workload
+        .simulator(env)
+        .profile(&Strategy::at_split(split), 1)
 }
 
 fn split_index(workload: &presto_datasets::Workload, label: &str) -> usize {
@@ -35,9 +41,12 @@ fn table4_throughputs_reproduce() {
     for workload in all_workloads() {
         let name = workload.pipeline.name.clone();
         for strategy in ["unprocessed", "concatenated"] {
-            let Some(paper) =
-                anchors::find(anchors::TABLE4_HDD, &name, strategy, anchors::Metric::ThroughputSps)
-            else {
+            let Some(paper) = anchors::find(
+                anchors::TABLE4_HDD,
+                &name,
+                strategy,
+                anchors::Metric::ThroughputSps,
+            ) else {
                 continue;
             };
             let split = split_index(&workload, strategy);
@@ -62,9 +71,13 @@ fn table4_ssd_rows_reproduce() {
     let mut comparisons = Vec::new();
     for (name, workload) in [("CV", cv::cv()), ("NLP", nlp::nlp())] {
         for strategy in ["unprocessed", "concatenated"] {
-            let paper =
-                anchors::find(anchors::TABLE4_SSD, name, strategy, anchors::Metric::ThroughputSps)
-                    .unwrap();
+            let paper = anchors::find(
+                anchors::TABLE4_SSD,
+                name,
+                strategy,
+                anchors::Metric::ThroughputSps,
+            )
+            .unwrap();
             let split = split_index(&workload, strategy);
             let profile = measure(&workload, split, fast_env_ssd());
             comparisons.push(Comparison::new(
@@ -80,7 +93,12 @@ fn table4_ssd_rows_reproduce() {
     // (CPU-bound ⇒ storage-independent).
     for c in &comparisons {
         let factor = if c.what.starts_with("CV") { 2.0 } else { 3.0 };
-        assert!(c.within_factor(factor), "{} off by {:.2}x", c.what, c.ratio());
+        assert!(
+            c.within_factor(factor),
+            "{} off by {:.2}x",
+            c.what,
+            c.ratio()
+        );
     }
 }
 
@@ -95,19 +113,34 @@ fn table1_cv_tradeoffs_reproduce() {
     ] {
         let split = split_index(&workload, label);
         let profile = measure(&workload, split, fast_env());
-        comparisons.push(Comparison::new(&format!("CV {label} SPS"), paper_sps, profile.throughput_sps()));
+        comparisons.push(Comparison::new(
+            &format!("CV {label} SPS"),
+            paper_sps,
+            profile.throughput_sps(),
+        ));
         // Tab. 1 storage for "all steps once" includes the decode
         // blow-up; our figure tracks the materialized set (text values).
         let measured_gb = profile.storage_bytes as f64 / 1e9;
-        comparisons.push(Comparison::new(&format!("CV {label} storage GB"), paper_gb, measured_gb));
+        comparisons.push(Comparison::new(
+            &format!("CV {label} storage GB"),
+            paper_gb,
+            measured_gb,
+        ));
     }
     println!("{}", comparison_table("Table 1", &comparisons));
     for c in comparisons.iter().filter(|c| c.what.ends_with("SPS")) {
         assert!(c.within_factor(2.0), "{} off by {:.2}x", c.what, c.ratio());
     }
     // The headline: resized beats both alternatives decisively.
-    let sps: Vec<f64> = comparisons.iter().filter(|c| c.what.ends_with("SPS")).map(|c| c.measured).collect();
-    assert!(sps[2] > 2.0 * sps[1], "resized must beat pixel-centered ~3x");
+    let sps: Vec<f64> = comparisons
+        .iter()
+        .filter(|c| c.what.ends_with("SPS"))
+        .map(|c| c.measured)
+        .collect();
+    assert!(
+        sps[2] > 2.0 * sps[1],
+        "resized must beat pixel-centered ~3x"
+    );
     assert!(sps[2] > 8.0 * sps[0], "resized must beat unprocessed >>");
 }
 
@@ -135,7 +168,10 @@ fn fig6_best_strategies_match_paper() {
             "{name}: best = {} at {:.0} SPS ({:?})",
             best.label,
             best.throughput_sps(),
-            profiles.iter().map(|p| format!("{}={:.0}", p.label, p.throughput_sps())).collect::<Vec<_>>()
+            profiles
+                .iter()
+                .map(|p| format!("{}={:.0}", p.label, p.throughput_sps()))
+                .collect::<Vec<_>>()
         );
         assert_eq!(&best.label, best_label, "{name} best strategy");
     }
@@ -150,8 +186,10 @@ fn fully_preprocessing_is_not_best_for_cv_family_and_nlp() {
         let sim = workload.simulator(fast_env());
         let profiles = sim.profile_all(1);
         let last = profiles.last().unwrap();
-        let best_sps =
-            profiles.iter().map(StrategyProfile::throughput_sps).fold(0.0, f64::max);
+        let best_sps = profiles
+            .iter()
+            .map(StrategyProfile::throughput_sps)
+            .fold(0.0, f64::max);
         let full_is_best = last.throughput_sps() >= best_sps * 0.999;
         match name.as_str() {
             "CV" | "CV2-JPG" | "CV2-PNG" | "NLP" => {
@@ -172,8 +210,10 @@ fn unprocessed_is_never_the_best_strategy() {
         let sim = workload.simulator(fast_env());
         let profiles = sim.profile_all(1);
         let unprocessed = profiles.first().unwrap().throughput_sps();
-        let best =
-            profiles.iter().map(StrategyProfile::throughput_sps).fold(0.0, f64::max);
+        let best = profiles
+            .iter()
+            .map(StrategyProfile::throughput_sps)
+            .fold(0.0, f64::max);
         assert!(
             best > unprocessed * 1.01,
             "{}: unprocessed ({unprocessed:.0}) must not be best ({best:.0})",
@@ -189,37 +229,62 @@ fn table5_caching_speedups_reproduce() {
         let name = workload.pipeline.name.clone();
         let last = workload.pipeline.max_split();
         let last_label = workload.pipeline.split_name(last).to_string();
-        let Some(paper_sys) =
-            anchors::find(anchors::TABLE5, &name, &last_label, anchors::Metric::SysCacheSpeedup)
-        else {
+        let Some(paper_sys) = anchors::find(
+            anchors::TABLE5,
+            &name,
+            &last_label,
+            anchors::Metric::SysCacheSpeedup,
+        ) else {
             continue;
         };
-        let paper_app =
-            anchors::find(anchors::TABLE5, &name, &last_label, anchors::Metric::AppCacheSpeedup)
-                .unwrap();
+        let paper_app = anchors::find(
+            anchors::TABLE5,
+            &name,
+            &last_label,
+            anchors::Metric::AppCacheSpeedup,
+        )
+        .unwrap();
         let sim = workload.simulator(fast_env());
         let base = sim.profile(&Strategy::at_split(last), 1).throughput_sps();
         let sys = sim
             .profile(&Strategy::at_split(last).with_cache(CacheLevel::System), 2)
             .epochs[1]
             .throughput_sps;
-        let app_profile =
-            sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::Application), 2);
+        let app_profile = sim.profile(
+            &Strategy::at_split(last).with_cache(CacheLevel::Application),
+            2,
+        );
         let app = app_profile.epochs.get(1).map_or(0.0, |e| e.throughput_sps);
         rows.push((
             Comparison::new(&format!("{name} sys-cache speedup"), paper_sys, sys / base),
             Comparison::new(&format!("{name} app-cache speedup"), paper_app, app / base),
         ));
     }
-    let flat: Vec<Comparison> =
-        rows.iter().flat_map(|(a, b)| [a.clone(), b.clone()]).collect();
+    let flat: Vec<Comparison> = rows
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect();
     println!("{}", comparison_table("Table 5 caching speedups", &flat));
     for (sys, app) in &rows {
         // Shape: caching never hurts, app ≥ sys, magnitudes loose.
         assert!(sys.measured >= 0.95, "{}: cache made it slower", sys.what);
-        assert!(app.measured >= sys.measured * 0.9, "{}: app < sys", app.what);
-        assert!(sys.within_factor(3.0), "{} off {:.2}x", sys.what, sys.ratio());
-        assert!(app.within_factor(3.0), "{} off {:.2}x", app.what, app.ratio());
+        assert!(
+            app.measured >= sys.measured * 0.9,
+            "{}: app < sys",
+            app.what
+        );
+        assert!(
+            sys.within_factor(3.0),
+            "{} off {:.2}x",
+            sys.what,
+            sys.ratio()
+        );
+        assert!(
+            app.within_factor(3.0),
+            "{} off {:.2}x",
+            app.what,
+            app.ratio()
+        );
     }
 }
 
@@ -230,10 +295,15 @@ fn app_cache_fails_for_cv_and_nlp_last_strategies() {
     for workload in [cv::cv(), nlp::nlp()] {
         let last = workload.pipeline.max_split();
         let sim = workload.simulator(fast_env());
-        let profile =
-            sim.profile(&Strategy::at_split(last).with_cache(CacheLevel::Application), 2);
+        let profile = sim.profile(
+            &Strategy::at_split(last).with_cache(CacheLevel::Application),
+            2,
+        );
         assert!(
-            matches!(profile.error, Some(presto_pipeline::PipelineError::CacheOverflow { .. })),
+            matches!(
+                profile.error,
+                Some(presto_pipeline::PipelineError::CacheOverflow { .. })
+            ),
             "{} should overflow the app cache",
             workload.pipeline.name
         );
@@ -284,13 +354,20 @@ fn bottleneck_attribution_matches_paper_analysis() {
     use presto::{diagnose, Bottleneck, Presto};
     let cases: &[(&presto_datasets::Workload, &str, Bottleneck)] = &[
         (&nlp::nlp(), "unprocessed", Bottleneck::Lock),
-        (&presto_datasets::nilm::nilm(), "aggregated", Bottleneck::Dispatch),
+        (
+            &presto_datasets::nilm::nilm(),
+            "aggregated",
+            Bottleneck::Dispatch,
+        ),
         (&cv::cv(), "resized", Bottleneck::Storage),
     ];
     for (workload, label, expected) in cases {
         let env = fast_env();
-        let presto =
-            Presto::new(workload.pipeline.clone(), workload.dataset.clone(), env.clone());
+        let presto = Presto::new(
+            workload.pipeline.clone(),
+            workload.dataset.clone(),
+            env.clone(),
+        );
         let split = split_index(workload, label);
         let profile = presto.profile_strategy(&Strategy::at_split(split), 1);
         let diagnosis = diagnose(&profile, &env).unwrap();
@@ -331,7 +408,10 @@ fn fig3_stall_analysis_matches() {
         .profile(&Strategy::at_split(split_index(&workload, "resized")), 1)
         .throughput_sps();
     let stalled = presto_datasets::hardware::stalled_at(resized);
-    assert!(!stalled.contains(&"V100"), "optimal strategy must feed a V100 (got {resized:.0} SPS)");
+    assert!(
+        !stalled.contains(&"V100"),
+        "optimal strategy must feed a V100 (got {resized:.0} SPS)"
+    );
     let unprocessed = sim.profile(&Strategy::at_split(0), 1).throughput_sps();
     assert_eq!(
         presto_datasets::hardware::stalled_at(unprocessed).len(),

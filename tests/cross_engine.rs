@@ -20,8 +20,7 @@ fn matched_cv() -> (presto_pipeline::Pipeline, Vec<Sample>, Simulator) {
             Sample::from_bytes(key, jpg::encode(&img, 85))
         })
         .collect();
-    let avg_bytes =
-        source.iter().map(Sample::nbytes).sum::<usize>() as f64 / source.len() as f64;
+    let avg_bytes = source.iter().map(Sample::nbytes).sum::<usize>() as f64 / source.len() as f64;
     // Derive the sim dataset from the real data, and the sim pipeline
     // from the executable steps' own specs — one source of truth.
     let mut sim_pipeline = presto_pipeline::Pipeline::new("CV-real");
@@ -32,9 +31,14 @@ fn matched_cv() -> (presto_pipeline::Pipeline, Vec<Sample>, Simulator) {
         name: "matched-cv".into(),
         sample_count: source.len() as u64,
         unprocessed_sample_bytes: avg_bytes,
-        layout: SourceLayout::FilePerSample { penalty: Nanos::ZERO },
+        layout: SourceLayout::FilePerSample {
+            penalty: Nanos::ZERO,
+        },
     };
-    let env = SimEnv { subset_samples: 50, ..SimEnv::paper_vm() };
+    let env = SimEnv {
+        subset_samples: 50,
+        ..SimEnv::paper_vm()
+    };
     (pipeline, source, Simulator::new(sim_pipeline, dataset, env))
 }
 
@@ -45,7 +49,9 @@ fn strategy_legality_agrees_between_engines() {
     let store = MemStore::new();
     for split in 0..=pipeline.len() {
         let strategy = Strategy::at_split(split).with_threads(2);
-        let real_ok = exec.materialize(&pipeline, &strategy, &source, &store).is_ok();
+        let real_ok = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .is_ok();
         let sim_ok = sim.profile(&strategy, 1).error.is_none();
         assert_eq!(real_ok, sim_ok, "split {split} legality must agree");
     }
@@ -60,7 +66,9 @@ fn storage_size_ordering_agrees_between_engines() {
     let mut sim_sizes = Vec::new();
     for split in 0..=pipeline.max_split() {
         let strategy = Strategy::at_split(split).with_threads(2);
-        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .unwrap();
         real_sizes.push(dataset.stored_bytes as f64);
         sim_sizes.push(sim.profile(&strategy, 1).storage_bytes as f64);
     }
@@ -121,17 +129,27 @@ fn skewed_step_diagnosis_agrees_between_engines() {
     use std::sync::Arc;
 
     let pipeline = presto_pipeline::Pipeline::new("skewed")
-        .push_step(Arc::new(BusyStep { name: "light-aug", ns: 400_000 }))
-        .push_step(Arc::new(BusyStep { name: "heavy-aug", ns: 4_000_000 }));
-    let source: Vec<Sample> =
-        (0..64u64).map(|key| Sample::from_bytes(key, vec![7u8; 2048])).collect();
+        .push_step(Arc::new(BusyStep {
+            name: "light-aug",
+            ns: 400_000,
+        }))
+        .push_step(Arc::new(BusyStep {
+            name: "heavy-aug",
+            ns: 4_000_000,
+        }));
+    let source: Vec<Sample> = (0..64u64)
+        .map(|key| Sample::from_bytes(key, vec![7u8; 2048]))
+        .collect();
     let strategy = Strategy::at_split(0).with_threads(8);
 
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(8).with_telemetry(Arc::clone(&telemetry));
     let store = MemStore::new();
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
-    exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
+    exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {})
+        .unwrap();
     let snapshot = telemetry.last_epoch().unwrap();
     let real = diagnose_real(&snapshot).unwrap();
     assert_eq!(real.diagnosis.bottleneck, Bottleneck::Cpu, "{real:?}");
@@ -151,9 +169,14 @@ fn skewed_step_diagnosis_agrees_between_engines() {
         name: "skewed".into(),
         sample_count: source.len() as u64,
         unprocessed_sample_bytes: 2_100.0,
-        layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+        layout: SourceLayout::LargeFiles {
+            file_bytes: 1 << 30,
+        },
     };
-    let env = SimEnv { subset_samples: 64, ..SimEnv::paper_vm() };
+    let env = SimEnv {
+        subset_samples: 64,
+        ..SimEnv::paper_vm()
+    };
     let sim = Simulator::new(sim_pipeline, sim_dataset, env.clone());
     let profile = sim.profile(&strategy, 1);
     let simulated = diagnose(&profile, &env).unwrap();
@@ -190,5 +213,8 @@ fn sim_size_models_track_real_step_output_sizes() {
     let center = steps::PixelCenter;
     let centered = center.apply(decoded.clone(), &mut rng).unwrap();
     let ratio = centered.nbytes() as f64 / decoded.nbytes() as f64;
-    assert!((ratio - 4.0).abs() < 0.01, "pixel centering is exactly 4x for u8");
+    assert!(
+        (ratio - 4.0).abs() < 0.01,
+        "pixel centering is exactly 4x for u8"
+    );
 }

@@ -42,11 +42,19 @@ fn cv_pipeline_end_to_end_over_all_strategies() {
     assert_eq!(pipeline.max_split(), 3);
     for split in 0..=pipeline.max_split() {
         let strategy = Strategy::at_split(split).with_threads(4);
-        let (dataset, _prep) =
-            exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+        let (dataset, _prep) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .unwrap();
         let delivered = AtomicU64::new(0);
         let stats = exec
-            .epoch(&pipeline, &dataset, &store, None, 7, consume_count(&delivered))
+            .epoch(
+                &pipeline,
+                &dataset,
+                &store,
+                None,
+                7,
+                consume_count(&delivered),
+            )
             .unwrap();
         assert_eq!(stats.samples, 40, "split {split}");
         assert_eq!(delivered.into_inner(), 40);
@@ -69,7 +77,9 @@ fn cv_storage_consumption_tradeoff_is_real() {
     let mut sizes = Vec::new();
     for split in 0..=3 {
         let strategy = Strategy::at_split(split).with_threads(2);
-        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .unwrap();
         sizes.push(dataset.stored_bytes);
     }
     // decoded (split 1) > unprocessed (split 0): decode inflates JPG.
@@ -83,8 +93,10 @@ fn cv_storage_consumption_tradeoff_is_real() {
 
 #[test]
 fn nlp_pipeline_end_to_end_with_compression() {
-    let corpus: String =
-        (0..40).map(|i| generators::html_document(3, i)).collect::<Vec<_>>().join(" ");
+    let corpus: String = (0..40)
+        .map(|i| generators::html_document(3, i))
+        .collect::<Vec<_>>()
+        .join(" ");
     let text = presto_text::html::extract_text(&corpus);
     let tokenizer = Arc::new(BpeTokenizer::train(&text, 300));
     let table = Arc::new(EmbeddingTable::new(tokenizer.vocab_size(), 64, 42));
@@ -98,13 +110,27 @@ fn nlp_pipeline_end_to_end_with_compression() {
     // bpe-encoded materialization with ZLIB: token streams compress.
     let plain = Strategy::at_split(2).with_threads(3);
     let compressed = plain.clone().with_compression(Codec::Zlib(Level::DEFAULT));
-    let (d_plain, _) = exec.materialize(&pipeline, &plain, &source, &store).unwrap();
-    let (d_zlib, _) = exec.materialize(&pipeline, &compressed, &source, &store).unwrap();
-    assert!(d_zlib.stored_bytes < d_plain.stored_bytes, "tokens must compress");
+    let (d_plain, _) = exec
+        .materialize(&pipeline, &plain, &source, &store)
+        .unwrap();
+    let (d_zlib, _) = exec
+        .materialize(&pipeline, &compressed, &source, &store)
+        .unwrap();
+    assert!(
+        d_zlib.stored_bytes < d_plain.stored_bytes,
+        "tokens must compress"
+    );
 
     let delivered = AtomicU64::new(0);
     let stats = exec
-        .epoch(&pipeline, &d_zlib, &store, None, 3, consume_count(&delivered))
+        .epoch(
+            &pipeline,
+            &d_zlib,
+            &store,
+            None,
+            3,
+            consume_count(&delivered),
+        )
         .unwrap();
     assert_eq!(stats.samples, 24);
     // Embedded output inflates enormously vs stored tokens (the 64×
@@ -134,10 +160,14 @@ fn audio_pipelines_end_to_end_both_codecs() {
         let exec = RealExecutor::new(2);
         let store = MemStore::new();
         let strategy = Strategy::at_split(2).with_threads(2); // spectrogram offline
-        let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source, &store)
+            .unwrap();
         let shapes = std::sync::Mutex::new(Vec::new());
         exec.epoch(&pipeline, &dataset, &store, None, 5, |s| {
-            let Payload::Tensors(ts) = &s.payload else { panic!() };
+            let Payload::Tensors(ts) = &s.payload else {
+                panic!()
+            };
             shapes.lock().unwrap().push(ts[0].shape().to_vec());
         })
         .unwrap();
@@ -165,12 +195,22 @@ fn nilm_pipeline_end_to_end() {
     let exec = RealExecutor::new(2);
     let store = MemStore::new();
     let strategy = Strategy::at_split(2).with_threads(2);
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
     // The aggregated dataset shrinks dramatically (paper: 12×).
     let raw_bytes: usize = source.iter().map(Sample::nbytes).sum();
     assert!(dataset.stored_bytes < raw_bytes as u64 / 5);
     let delivered = AtomicU64::new(0);
-    exec.epoch(&pipeline, &dataset, &store, None, 2, consume_count(&delivered)).unwrap();
+    exec.epoch(
+        &pipeline,
+        &dataset,
+        &store,
+        None,
+        2,
+        consume_count(&delivered),
+    )
+    .unwrap();
     assert_eq!(delivered.into_inner(), 10);
 }
 
@@ -187,10 +227,15 @@ fn app_cache_second_epoch_reads_nothing_and_matches() {
     // Crop-free pipeline so cached tensors are deterministic.
     let pipeline = presto_pipeline::Pipeline::new("CV-nocrop")
         .push_step(Arc::new(steps::DecodeImage(ImageCodec::Jpg)))
-        .push_step(Arc::new(steps::Resize { width: 48, height: 48 }))
+        .push_step(Arc::new(steps::Resize {
+            width: 48,
+            height: 48,
+        }))
         .push_step(Arc::new(steps::PixelCenter));
     let strategy = Strategy::at_split(1).with_threads(4);
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
     let cache = AppCache::new(256 << 20);
     let keys1 = std::sync::Mutex::new(Vec::new());
     exec.epoch(&pipeline, &dataset, &store, Some(&cache), 9, |s| {

@@ -20,7 +20,10 @@ use std::sync::Arc;
 
 /// Fault seed under test; CI sweeps this via `FAULT_SEED`.
 fn fault_seed() -> u64 {
-    std::env::var("FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(5)
+    std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
 }
 
 /// Doubles every f32 element — a cheap, verifiable online step.
@@ -28,7 +31,11 @@ struct DoubleStep;
 
 impl Step for DoubleStep {
     fn spec(&self) -> StepSpec {
-        StepSpec::native("double", CostModel::new(100.0, 1.0, 0.0), SizeModel::IDENTITY)
+        StepSpec::native(
+            "double",
+            CostModel::new(100.0, 1.0, 0.0),
+            SizeModel::IDENTITY,
+        )
     }
 
     fn apply(&self, sample: Sample, _rng: &mut SmallRng) -> Result<Sample, PipelineError> {
@@ -41,8 +48,7 @@ impl Step for DoubleStep {
         let doubled = tensors
             .iter()
             .map(|t| {
-                let values: Vec<f32> =
-                    t.to_vec::<f32>().unwrap().iter().map(|x| x * 2.0).collect();
+                let values: Vec<f32> = t.to_vec::<f32>().unwrap().iter().map(|x| x * 2.0).collect();
                 Tensor::from_vec(t.shape().to_vec(), values).unwrap()
             })
             .collect();
@@ -87,13 +93,21 @@ fn materialized(
     samples: u64,
     shards: usize,
     threads: usize,
-) -> (Pipeline, presto_pipeline::real::Materialized, Arc<MemStore>, RealExecutor) {
+) -> (
+    Pipeline,
+    presto_pipeline::real::Materialized,
+    Arc<MemStore>,
+    RealExecutor,
+) {
     let pipeline = pipeline();
     let store = Arc::new(MemStore::new());
     let exec = RealExecutor::new(threads);
-    let strategy = Strategy::at_split(0).with_threads(threads).with_shards(shards);
-    let (dataset, _) =
-        exec.materialize(&pipeline, &strategy, &source(samples), store.as_ref()).unwrap();
+    let strategy = Strategy::at_split(0)
+        .with_threads(threads)
+        .with_shards(shards);
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source(samples), store.as_ref())
+        .unwrap();
     assert_eq!(dataset.shards.len(), shards);
     (pipeline, dataset, store, exec)
 }
@@ -120,7 +134,10 @@ fn degraded_stream_epoch_survives_transient_faults_and_corruption() {
         .with_corrupt_blob(dataset.shards[0].clone());
     let resilience = Resilience::new(
         RetryPolicy::quick(8),
-        FaultPolicy::Degrade { max_skipped_samples: 4, max_lost_shards: 0 },
+        FaultPolicy::Degrade {
+            max_skipped_samples: 4,
+            max_lost_shards: 0,
+        },
     );
 
     let mut runs = Vec::new();
@@ -140,8 +157,14 @@ fn degraded_stream_epoch_survives_transient_faults_and_corruption() {
             .unwrap();
         let keys = drain_keys(&mut stream);
         let stats = stream.join().unwrap();
-        assert!(stats.retries > 0, "20% failures must force retries (seed {seed})");
-        assert_eq!(stats.skipped_samples, 1, "one bit flip costs exactly one record");
+        assert!(
+            stats.retries > 0,
+            "20% failures must force retries (seed {seed})"
+        );
+        assert_eq!(
+            stats.skipped_samples, 1,
+            "one bit flip costs exactly one record"
+        );
         assert_eq!(stats.lost_shards, 0);
         assert_eq!(stats.samples, 47);
         assert!(stats.degraded);
@@ -150,7 +173,13 @@ fn degraded_stream_epoch_survives_transient_faults_and_corruption() {
         let injected = faulty.injected();
         assert!(injected.get_failures > 0);
         assert_eq!(injected.corrupted_gets, 1);
-        runs.push((stats.samples, stats.retries, stats.skipped_samples, stats.lost_shards, keys));
+        runs.push((
+            stats.samples,
+            stats.retries,
+            stats.skipped_samples,
+            stats.lost_shards,
+            keys,
+        ));
     }
     assert_eq!(runs[0], runs[1], "stats must be seed-reproducible");
 }
@@ -180,7 +209,11 @@ fn failfast_stream_epoch_names_the_corrupt_shard() {
         PipelineError::CorruptShard { shard, .. } => assert_eq!(shard, &dataset.shards[0]),
         other => panic!("expected CorruptShard, got {other}"),
     }
-    assert_eq!(stream.join().unwrap_err(), error, "join reports the same failure");
+    assert_eq!(
+        stream.join().unwrap_err(),
+        error,
+        "join reports the same failure"
+    );
 }
 
 /// Satellite (d): flip one bit mid-shard directly in the MemStore blob;
@@ -199,9 +232,17 @@ fn manual_bit_flip_recovery_and_failfast() {
     let consumed = std::sync::Mutex::new(Vec::new());
     let resilience = Resilience::degrade(1, 0);
     let stats = exec
-        .epoch_with(&pipeline, &dataset, store.as_ref(), None, 1, &resilience, |s| {
-            consumed.lock().unwrap().push(s.key);
-        })
+        .epoch_with(
+            &pipeline,
+            &dataset,
+            store.as_ref(),
+            None,
+            1,
+            &resilience,
+            |s| {
+                consumed.lock().unwrap().push(s.key);
+            },
+        )
         .unwrap();
     assert_eq!(stats.skipped_samples, 1);
     assert_eq!(stats.samples, 31);
@@ -209,7 +250,10 @@ fn manual_bit_flip_recovery_and_failfast() {
     let mut keys = consumed.into_inner().unwrap();
     keys.sort_unstable();
     let expected: Vec<u64> = (0..32).filter(|k| *k != 1).collect();
-    assert_eq!(keys, expected, "all uncorrupted samples exactly once, key 1 lost");
+    assert_eq!(
+        keys, expected,
+        "all uncorrupted samples exactly once, key 1 lost"
+    );
 
     let error = exec
         .epoch(&pipeline, &dataset, store.as_ref(), None, 1, |_| {})
@@ -265,7 +309,12 @@ fn lost_shard_fails_fast_by_default_and_exceeds_zero_budget() {
             |_| {},
         )
         .unwrap_err();
-    assert_eq!(error, PipelineError::LostShard { shard: dataset.shards[2].clone() });
+    assert_eq!(
+        error,
+        PipelineError::LostShard {
+            shard: dataset.shards[2].clone()
+        }
+    );
 
     let error = exec
         .epoch_with(
@@ -279,7 +328,10 @@ fn lost_shard_fails_fast_by_default_and_exceeds_zero_budget() {
         )
         .unwrap_err();
     assert!(
-        matches!(error, PipelineError::FaultBudgetExceeded { lost_shards: 1, .. }),
+        matches!(
+            error,
+            PipelineError::FaultBudgetExceeded { lost_shards: 1, .. }
+        ),
         "got {error}"
     );
 }
@@ -292,8 +344,9 @@ fn worker_panic_is_contained_in_streaming_epochs() {
     let store = Arc::new(MemStore::new());
     let exec = RealExecutor::new(2);
     let strategy = Strategy::at_split(0).with_threads(2).with_shards(4);
-    let (dataset, _) =
-        exec.materialize(&pipeline, &strategy, &source(24), store.as_ref()).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source(24), store.as_ref())
+        .unwrap();
 
     let mut stream = exec
         .stream_epoch_with(
@@ -306,7 +359,12 @@ fn worker_panic_is_contained_in_streaming_epochs() {
         )
         .unwrap();
     let error = stream.find_map(|r| r.err()).expect("panic must surface");
-    assert_eq!(error, PipelineError::WorkerPanicked { step: "boom".into() });
+    assert_eq!(
+        error,
+        PipelineError::WorkerPanicked {
+            step: "boom".into()
+        }
+    );
     assert!(stream.join().is_err());
 
     let mut stream = exec
@@ -333,13 +391,15 @@ fn materialize_retries_transient_put_failures() {
     let strategy = Strategy::at_split(0).with_threads(2).with_shards(8);
     let spec = FaultSpec::new(fault_seed()).with_put_failures(50);
     let faulty = FaultStore::new(MemStore::new(), spec);
-    let resilience =
-        Resilience::new(RetryPolicy::quick(8), FaultPolicy::FailFast);
+    let resilience = Resilience::new(RetryPolicy::quick(8), FaultPolicy::FailFast);
     let (dataset, _) = exec
         .materialize_with(&pipeline, &strategy, &source(48), &faulty, &resilience)
         .unwrap();
     assert_eq!(dataset.sample_count, 48);
-    assert!(faulty.injected().put_failures > 0, "50% put failures must fire");
+    assert!(
+        faulty.injected().put_failures > 0,
+        "50% put failures must fire"
+    );
     // The materialized dataset must be fully readable afterwards.
     let stats = exec
         .epoch(&pipeline, &dataset, &faulty.into_inner(), None, 1, |_| {})

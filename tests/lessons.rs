@@ -12,7 +12,9 @@ fn dataset(sample_bytes: f64, count: u64) -> SimDataset {
         name: "lesson".into(),
         sample_count: count,
         unprocessed_sample_bytes: sample_bytes,
-        layout: SourceLayout::LargeFiles { file_bytes: 1 << 30 },
+        layout: SourceLayout::LargeFiles {
+            file_bytes: 1 << 30,
+        },
     }
 }
 
@@ -64,10 +66,12 @@ fn lesson1_small_samples_slow_even_from_memory() {
         let sim = Simulator::new(
             pipeline("x"),
             dataset(sample_bytes, count),
-            SimEnv { subset_samples: count, ..fast_env() },
+            SimEnv {
+                subset_samples: count,
+                ..fast_env()
+            },
         );
-        let profile =
-            sim.profile(&Strategy::at_split(1).with_cache(CacheLevel::System), 2);
+        let profile = sim.profile(&Strategy::at_split(1).with_cache(CacheLevel::System), 2);
         let epoch2 = &profile.epochs[1];
         // Bytes per second of *payload* delivered from memory.
         per_byte_sps.push(epoch2.throughput_sps * sample_bytes);
@@ -126,8 +130,10 @@ fn lesson3_app_cache_preferred_over_sys_cache() {
         .profile(&Strategy::at_split(1).with_cache(CacheLevel::System), 2)
         .epochs[1]
         .throughput_sps;
-    let app_profile =
-        sim.profile(&Strategy::at_split(1).with_cache(CacheLevel::Application), 2);
+    let app_profile = sim.profile(
+        &Strategy::at_split(1).with_cache(CacheLevel::Application),
+        2,
+    );
     assert!(app_profile.error.is_none());
     let app = app_profile.epochs[1].throughput_sps;
     assert!(sys > none, "sys-cache should help: {sys:.0} vs {none:.0}");
@@ -164,18 +170,32 @@ fn lesson4_compression_needs_idle_cpu() {
     let io_bound = Simulator::new(build(10_000.0), dataset(2_000_000.0, 4_000), env.clone());
     let plain = io_bound.profile(&Strategy::at_split(1), 1).throughput_sps();
     let gz = io_bound
-        .profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1)
+        .profile(
+            &Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)),
+            1,
+        )
         .throughput_sps();
-    assert!(gz > 1.3 * plain, "I/O-bound must gain: {gz:.0} vs {plain:.0}");
+    assert!(
+        gz > 1.3 * plain,
+        "I/O-bound must gain: {gz:.0} vs {plain:.0}"
+    );
 
     // CPU-bound online part: small reads, 200 ms of compute per sample
     // (the NLP regime) — the same saving buys (almost) nothing.
     let cpu_bound = Simulator::new(build(200_000_000.0), dataset(200_000.0, 2_000), env);
-    let plain = cpu_bound.profile(&Strategy::at_split(1), 1).throughput_sps();
-    let gz = cpu_bound
-        .profile(&Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)), 1)
+    let plain = cpu_bound
+        .profile(&Strategy::at_split(1), 1)
         .throughput_sps();
-    assert!(gz < 1.05 * plain, "CPU-bound must not gain: {gz:.0} vs {plain:.0}");
+    let gz = cpu_bound
+        .profile(
+            &Strategy::at_split(1).with_compression(Codec::Gzip(Level::DEFAULT)),
+            1,
+        )
+        .throughput_sps();
+    assert!(
+        gz < 1.05 * plain,
+        "CPU-bound must not gain: {gz:.0} vs {plain:.0}"
+    );
 }
 
 /// The conclusion's summary claim, on the real paper workloads: an
@@ -183,9 +203,10 @@ fn lesson4_compression_needs_idle_cpu() {
 /// ~13× for NLP while storing less.
 #[test]
 fn conclusion_intermediate_strategies_win_cv_and_nlp() {
-    for (workload, min_factor) in
-        [(presto_datasets::cv::cv(), 2.0), (presto_datasets::nlp::nlp(), 3.0)]
-    {
+    for (workload, min_factor) in [
+        (presto_datasets::cv::cv(), 2.0),
+        (presto_datasets::nlp::nlp(), 3.0),
+    ] {
         let sim = workload.simulator(fast_env());
         let profiles = sim.profile_all(1);
         let last = profiles.last().unwrap();

@@ -45,19 +45,23 @@ fn metrics_endpoint_and_sampler_observe_a_live_run() {
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(2).with_telemetry(Arc::clone(&telemetry));
     let store = MemStore::new();
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
 
     let sampler =
         timeseries::Sampler::spawn(Arc::clone(&telemetry), Duration::from_millis(1), 1024);
-    let server = http::MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry), sampler.series())
-        .expect("bind an ephemeral port");
+    let server =
+        http::MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry), sampler.series())
+            .expect("bind an ephemeral port");
     let addr = server.addr();
 
     let mut live_scrape = None;
     std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
             for epoch in 0..50u64 {
-                exec.epoch(&pipeline, &dataset, &store, None, epoch, |_| {}).unwrap();
+                exec.epoch(&pipeline, &dataset, &store, None, epoch, |_| {})
+                    .unwrap();
             }
         });
         // Scrape while the epochs are in flight; the first body with a
@@ -83,7 +87,10 @@ fn metrics_endpoint_and_sampler_observe_a_live_run() {
 
     // /healthz is always up; /timeseries.json validates with the
     // crate's own parser; unknown routes 404.
-    assert_eq!(http::get(addr, "/healthz").unwrap(), (200, "ok\n".to_string()));
+    assert_eq!(
+        http::get(addr, "/healthz").unwrap(),
+        (200, "ok\n".to_string())
+    );
     let (status, body) = http::get(addr, "/timeseries.json").unwrap();
     assert_eq!(status, 200);
     let served_points = timeseries::validate_json(&body).expect("valid timeseries document");
@@ -100,7 +107,11 @@ fn metrics_endpoint_and_sampler_observe_a_live_run() {
         assert!(point.interval_ns > 0);
         assert!(point.sps >= 0.0);
         for step in &point.steps {
-            assert!((0.0..=1.0).contains(&step.busy_share), "{}", step.busy_share);
+            assert!(
+                (0.0..=1.0).contains(&step.busy_share),
+                "{}",
+                step.busy_share
+            );
         }
     }
     let doc = timeseries::json(&points, ring.evicted());
@@ -114,16 +125,21 @@ fn metrics_endpoint_and_sampler_observe_a_live_run() {
 fn history_store_feeds_the_regression_comparison() {
     let pipeline = steps::executable_cv_pipeline(64, 56);
     let source = cv_source(16);
-    let strategy = Strategy::at_split(pipeline.max_split()).with_threads(2).with_shards(4);
+    let strategy = Strategy::at_split(pipeline.max_split())
+        .with_threads(2)
+        .with_shards(4);
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(2).with_telemetry(Arc::clone(&telemetry));
     let mem = MemStore::new();
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &mem).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &mem)
+        .unwrap();
 
     let dir = scratch_dir("history");
     let store = RunStore::new(&dir);
     for epoch in 1..=2u64 {
-        exec.epoch(&pipeline, &dataset, &mem, None, epoch, |_| {}).unwrap();
+        exec.epoch(&pipeline, &dataset, &mem, None, epoch, |_| {})
+            .unwrap();
         let snapshot = telemetry.last_epoch().unwrap();
         let (id, path) = store.append_snapshot(&snapshot).expect("append");
         assert_eq!(id, format!("run-{epoch:04}"));
@@ -140,7 +156,12 @@ fn history_store_feeds_the_regression_comparison() {
     let a = store.resolve("1").expect("resolve by number");
     let b = store.resolve("run-0002").expect("resolve by id");
     let comparison = compare_runs(&a.metrics, &b.metrics, 10.0, 20.0);
-    assert_eq!(comparison.worst, Verdict::Unchanged, "{:?}", comparison.deltas);
+    assert_eq!(
+        comparison.worst,
+        Verdict::Unchanged,
+        "{:?}",
+        comparison.deltas
+    );
     assert!(comparison.regressions().is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -157,7 +178,11 @@ fn committed_fixtures_pin_the_regression_verdict() {
 
     let comparison = compare_runs(&a, &b, 0.05, 0.20);
     assert_eq!(comparison.worst, Verdict::Regression);
-    assert_eq!(comparison.regressions(), ["samples_per_second"], "only SPS carries the fail bar");
+    assert_eq!(
+        comparison.regressions(),
+        ["samples_per_second"],
+        "only SPS carries the fail bar"
+    );
     // The slower decode step surfaces as a warning, not a gate.
     assert!(comparison
         .deltas
@@ -180,8 +205,12 @@ fn fixtures_survive_the_store_and_the_exporter_contract() {
     // documents end to end: storable, listable, resolvable.
     let dir = scratch_dir("fixtures");
     let store = RunStore::new(&dir);
-    store.append_document(include_str!("fixtures/run-a.json")).expect("store fixture A");
-    store.append_document(include_str!("fixtures/run-b.json")).expect("store fixture B");
+    store
+        .append_document(include_str!("fixtures/run-a.json"))
+        .expect("store fixture A");
+    store
+        .append_document(include_str!("fixtures/run-b.json"))
+        .expect("store fixture B");
     let runs = store.runs().expect("list");
     assert_eq!(runs.len(), 2);
     assert_eq!(runs[0].metrics.sps, 1000.0);

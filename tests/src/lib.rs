@@ -5,10 +5,16 @@ use presto_pipeline::sim::SimEnv;
 /// A fast-profiling environment: the paper's VM with a smaller
 /// simulated subset so the full test suite stays quick.
 pub fn fast_env() -> SimEnv {
-    SimEnv { subset_samples: 4_000, ..SimEnv::paper_vm() }
+    SimEnv {
+        subset_samples: 4_000,
+        ..SimEnv::paper_vm()
+    }
 }
 
 /// Same against the SSD cluster.
 pub fn fast_env_ssd() -> SimEnv {
-    SimEnv { subset_samples: 4_000, ..SimEnv::paper_vm_ssd() }
+    SimEnv {
+        subset_samples: 4_000,
+        ..SimEnv::paper_vm_ssd()
+    }
 }

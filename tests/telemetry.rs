@@ -5,7 +5,7 @@
 use presto_datasets::{generators, steps};
 use presto_formats::image::jpg;
 use presto_pipeline::real::{
-    AppCache, BlobStore, EpochStats, FaultSpec, FaultStore, MemStore, Materialized, RealExecutor,
+    AppCache, BlobStore, EpochStats, FaultSpec, FaultStore, Materialized, MemStore, RealExecutor,
 };
 use presto_pipeline::telemetry::{export, TelemetrySnapshot};
 use presto_pipeline::{Resilience, Sample, Strategy, Telemetry};
@@ -29,14 +29,26 @@ fn run_epoch(
 ) -> (TelemetrySnapshot, EpochStats) {
     let pipeline = steps::executable_cv_pipeline(64, 56);
     let source = cv_source(24);
-    let strategy = Strategy::at_split(pipeline.max_split()).with_threads(threads).with_shards(8);
+    let strategy = Strategy::at_split(pipeline.max_split())
+        .with_threads(threads)
+        .with_shards(8);
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
     let base = Arc::new(MemStore::new());
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, base.as_ref()).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, base.as_ref())
+        .unwrap();
     let store = store_of(base, &dataset);
     let stats = exec
-        .epoch_with(&pipeline, &dataset, store.as_ref(), None, 1, resilience, |_| {})
+        .epoch_with(
+            &pipeline,
+            &dataset,
+            store.as_ref(),
+            None,
+            1,
+            resilience,
+            |_| {},
+        )
         .unwrap();
     (telemetry.last_epoch().unwrap(), stats)
 }
@@ -48,7 +60,10 @@ fn snapshot_totals_match_engine_stats_and_worker_sums() {
     assert_eq!(snapshot.bytes_read, stats.bytes_read);
     assert_eq!(snapshot.retries, stats.retries);
     assert!(!snapshot.degraded);
-    assert!(snapshot.bytes_decoded >= snapshot.bytes_read, "decompression never shrinks here");
+    assert!(
+        snapshot.bytes_decoded >= snapshot.bytes_read,
+        "decompression never shrinks here"
+    );
 
     // Per-worker accounting must sum *exactly* to the epoch totals.
     let worker_samples: u64 = snapshot.workers.iter().map(|w| w.samples).sum();
@@ -57,11 +72,23 @@ fn snapshot_totals_match_engine_stats_and_worker_sums() {
     assert_eq!(worker_bytes, snapshot.bytes_read);
 
     // The online steps appear by name after the four engine phases.
-    let names: Vec<&str> = snapshot.pipeline_steps().iter().map(|s| s.name.as_str()).collect();
+    let names: Vec<&str> = snapshot
+        .pipeline_steps()
+        .iter()
+        .map(|s| s.name.as_str())
+        .collect();
     assert!(!names.is_empty());
     assert!(snapshot.steps.len() == names.len() + 4);
-    let delivered: u64 = snapshot.pipeline_steps().iter().map(|s| s.count).min().unwrap();
-    assert_eq!(delivered, stats.samples, "every sample passes every online step");
+    let delivered: u64 = snapshot
+        .pipeline_steps()
+        .iter()
+        .map(|s| s.count)
+        .min()
+        .unwrap();
+    assert_eq!(
+        delivered, stats.samples,
+        "every sample passes every online step"
+    );
 }
 
 #[test]
@@ -71,12 +98,20 @@ fn concurrent_and_single_threaded_runs_account_identically() {
     // 1-worker epoch does — and both engines' telemetry must agree
     // with their own EpochStats down to the last byte and retry.
     let resilience = Resilience::new(
-        presto_pipeline::RetryPolicy { max_attempts: 6, ..Default::default() },
-        presto_pipeline::FaultPolicy::Degrade { max_skipped_samples: 24, max_lost_shards: 8 },
+        presto_pipeline::RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        },
+        presto_pipeline::FaultPolicy::Degrade {
+            max_skipped_samples: 24,
+            max_lost_shards: 8,
+        },
     );
     let faulty = |base: Arc<MemStore>, _dataset: &Materialized| {
-        Arc::new(FaultStore::new(base, FaultSpec::new(47).with_get_failures(25)))
-            as Arc<dyn BlobStore>
+        Arc::new(FaultStore::new(
+            base,
+            FaultSpec::new(47).with_get_failures(25),
+        )) as Arc<dyn BlobStore>
     };
     let (snap_multi, stats_multi) = run_epoch(4, &resilience, faulty);
     let (snap_single, stats_single) = run_epoch(1, &resilience, faulty);
@@ -86,12 +121,18 @@ fn concurrent_and_single_threaded_runs_account_identically() {
     assert_eq!(stats_multi.retries, stats_single.retries);
     assert_eq!(stats_multi.skipped_samples, stats_single.skipped_samples);
     assert_eq!(stats_multi.lost_shards, stats_single.lost_shards);
-    assert!(stats_multi.retries > 0, "the 25% fault rate must trigger retries");
+    assert!(
+        stats_multi.retries > 0,
+        "the 25% fault rate must trigger retries"
+    );
 
     for (snapshot, stats) in [(&snap_multi, &stats_multi), (&snap_single, &stats_single)] {
         assert_eq!(snapshot.retries, stats.retries);
         let worker_retries: u64 = snapshot.workers.iter().map(|w| w.retries).sum();
-        assert_eq!(worker_retries, stats.retries, "per-worker retries must sum exactly");
+        assert_eq!(
+            worker_retries, stats.retries,
+            "per-worker retries must sum exactly"
+        );
         let worker_bytes: u64 = snapshot.workers.iter().map(|w| w.bytes_read).sum();
         assert_eq!(worker_bytes, stats.bytes_read);
     }
@@ -128,12 +169,18 @@ fn exporters_round_trip() {
             .1
     };
     assert_eq!(get("presto_epoch_samples_total") as u64, stats.samples);
-    assert_eq!(get("presto_epoch_bytes_read_total") as u64, stats.bytes_read);
+    assert_eq!(
+        get("presto_epoch_bytes_read_total") as u64,
+        stats.bytes_read
+    );
 
     let doc = export::json(&snapshot);
     let parsed = export::validate_json(&doc).unwrap();
     assert_eq!(
-        parsed.get("epoch").and_then(|e| e.get("samples")).and_then(|v| v.as_f64()),
+        parsed
+            .get("epoch")
+            .and_then(|e| e.get("samples"))
+            .and_then(|v| v.as_f64()),
         Some(stats.samples as f64),
         "{doc}"
     );
@@ -144,7 +191,11 @@ fn exporters_round_trip() {
 
     let trace = export::chrome_trace(&snapshot);
     let events = export::validate_chrome_trace(&trace).unwrap();
-    assert_eq!(events, snapshot.spans.len(), "one X event per recorded span");
+    assert_eq!(
+        events,
+        snapshot.spans.len(),
+        "one X event per recorded span"
+    );
     assert!(events > 0);
 }
 
@@ -152,11 +203,15 @@ fn exporters_round_trip() {
 fn streaming_epoch_records_queue_depth_and_spans() {
     let pipeline = steps::executable_cv_pipeline(64, 56);
     let source = cv_source(24);
-    let strategy = Strategy::at_split(pipeline.max_split()).with_threads(3).with_shards(6);
+    let strategy = Strategy::at_split(pipeline.max_split())
+        .with_threads(3)
+        .with_shards(6);
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(3).with_telemetry(Arc::clone(&telemetry));
     let store = Arc::new(MemStore::new());
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, store.as_ref()).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .unwrap();
     let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 4, 9).unwrap();
     for result in &mut stream {
         result.unwrap();
@@ -166,13 +221,22 @@ fn streaming_epoch_records_queue_depth_and_spans() {
 
     assert_eq!(snapshot.samples, stats.samples);
     assert_eq!(snapshot.queue.capacity, 4);
-    assert_eq!(snapshot.queue.observations, stats.samples, "one observation per send");
+    assert_eq!(
+        snapshot.queue.observations, stats.samples,
+        "one observation per send"
+    );
     assert!(snapshot.queue.max_depth >= 1);
     assert!(snapshot.queue.mean_depth > 0.0);
 
     assert!(!snapshot.spans.is_empty());
     assert_eq!(snapshot.dropped_spans, 0);
-    assert!(snapshot.spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns), "sorted");
+    assert!(
+        snapshot
+            .spans
+            .windows(2)
+            .all(|w| w[0].start_ns <= w[1].start_ns),
+        "sorted"
+    );
     for span in &snapshot.spans {
         assert!((span.worker as usize) < 3);
         assert!((span.phase as usize) < snapshot.steps.len());
@@ -187,17 +251,24 @@ fn cached_epochs_report_hits_and_misses() {
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(2).with_telemetry(Arc::clone(&telemetry));
     let store = MemStore::new();
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
     let cache = AppCache::new(1 << 24);
 
-    exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {}).unwrap();
+    exec.epoch(&pipeline, &dataset, &store, Some(&cache), 1, |_| {})
+        .unwrap();
     let fill = telemetry.last_epoch().unwrap();
     assert_eq!(fill.cache_misses, 12, "fill epoch produces every sample");
     assert_eq!(fill.cache_hits, 0);
 
-    exec.epoch(&pipeline, &dataset, &store, Some(&cache), 2, |_| {}).unwrap();
+    exec.epoch(&pipeline, &dataset, &store, Some(&cache), 2, |_| {})
+        .unwrap();
     let replay = telemetry.last_epoch().unwrap();
-    assert_eq!(replay.cache_hits, 12, "replay epoch serves everything from cache");
+    assert_eq!(
+        replay.cache_hits, 12,
+        "replay epoch serves everything from cache"
+    );
     assert_eq!(replay.cache_misses, 0);
     assert_eq!(replay.bytes_read, 0);
     let read_phase = &replay.steps[presto_pipeline::telemetry::PHASE_READ];
@@ -212,7 +283,11 @@ fn untelemetered_executor_records_nothing_and_still_works() {
     let exec = RealExecutor::new(2);
     assert!(exec.telemetry().is_none());
     let store = MemStore::new();
-    let (dataset, _) = exec.materialize(&pipeline, &strategy, &source, &store).unwrap();
-    let stats = exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {}).unwrap();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, &store)
+        .unwrap();
+    let stats = exec
+        .epoch(&pipeline, &dataset, &store, None, 1, |_| {})
+        .unwrap();
     assert_eq!(stats.samples, 8);
 }
