@@ -7,17 +7,21 @@ use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
 use presto_datasets::{all_workloads, cv, generators, steps, Workload};
+use presto_pipeline::distributed;
 use presto_pipeline::real::{
     AppCache, BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
 };
-use presto_pipeline::sim::SimEnv;
+use presto_pipeline::serve::{
+    serve_epoch, ServeClientConfig, ServeReport, ServeWorker, ServeWorkerConfig,
+};
+use presto_pipeline::sim::{EpochReport, SimEnv, Simulator, StrategyProfile};
 use presto_pipeline::telemetry::export as telemetry_export;
 use presto_pipeline::telemetry::history::{self, RunStore};
 use presto_pipeline::telemetry::http::MetricsServer;
 use presto_pipeline::telemetry::timeseries::{self, Sampler};
 use presto_pipeline::{CacheLevel, FaultPolicy, Pipeline, Resilience, Sample, Strategy, Telemetry};
 use presto_storage::fio::{self, FioWorkload};
-use presto_storage::DeviceProfile;
+use presto_storage::{DeviceProfile, Dstat, Nanos};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,6 +51,19 @@ commands:
       [--corrupt-shard I] [--lose-shard I]
       [--metrics table|json|prom] [--trace-out FILE] [--json]
       [--serve ADDR] [--sample-ms MS] [--history-dir DIR] [--no-history]
+  serve-worker <pipeline>        serve preprocessed sample batches over TCP
+      --bind ADDR (127.0.0.1:0 picks an ephemeral port; the bound
+      address is printed on stdout) [--samples N] [--split N] [--shards N]
+      [--batch N] [--wire-codec none|gzip|zlib] [--retries N]
+      [--policy failfast|degrade] [--max-skip N] [--max-lost N]
+      [--kill-after-batches N] [--metrics ADDR] [--sample-ms MS]
+      [--run-secs S]
+  train-client <pipeline>        consume one epoch from serve-workers
+      --workers A,B,... [--samples N] [--split N] [--shards N] [--seed S]
+      [--credits N] [--policy failfast|degrade] [--max-lost N]
+      [--timeout-ms MS] [--json] [--history-dir DIR] [--no-history]
+  sim-vs-real <pipeline>         fan-out model vs the real TCP service
+      [--samples N] [--split N] [--shards N] [--jobs J] [--sim-samples N]
   watch <pipeline>               live dashboard over a real-engine run
       [--samples N] [--threads N] [--split N] [--epochs N] [--cache]
       [--refresh-ms MS] [--sample-ms MS] [--plain]
@@ -78,6 +95,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "diagnose" => cmd_diagnose(&args),
         "fio" => cmd_fio(&args),
         "realrun" => cmd_realrun(&args),
+        "serve-worker" => cmd_serve_worker(&args),
+        "train-client" => cmd_train_client(&args),
+        "sim-vs-real" => cmd_sim_vs_real(&args),
         "watch" => cmd_watch(&args),
         "history" => cmd_history(&args),
         "compare" => cmd_compare(&args),
@@ -514,19 +534,7 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     let split = args.get_or("split", pipeline.max_split())?;
     let strategy = Strategy::at_split(split).with_threads(threads);
 
-    let retry = RetryPolicy {
-        max_attempts: args.get_or("retries", 3u32)?,
-        ..RetryPolicy::default()
-    };
-    let policy = match args.get_str("policy").unwrap_or("failfast") {
-        "failfast" => FaultPolicy::FailFast,
-        "degrade" => FaultPolicy::Degrade {
-            max_skipped_samples: args.get_or("max-skip", samples as u64)?,
-            max_lost_shards: args.get_or("max-lost", strategy.shards as u64)?,
-        },
-        other => return Err(format!("unknown policy '{other}' (failfast|degrade)")),
-    };
-    let resilience = Resilience::new(retry, policy);
+    let resilience = parse_resilience(args, samples as u64, strategy.shards as u64)?;
 
     let telemetry = Telemetry::new();
     let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
@@ -686,6 +694,445 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// Fault handling shared by the engine-backed commands (`realrun`,
+/// `serve-worker`, `train-client`): `--retries`, `--policy`,
+/// `--max-skip`, `--max-lost`.
+fn parse_resilience(
+    args: &Args,
+    default_skip: u64,
+    default_lost: u64,
+) -> Result<Resilience, String> {
+    let retry = RetryPolicy {
+        max_attempts: args.get_or("retries", 3u32)?,
+        ..RetryPolicy::default()
+    };
+    let policy = match args.get_str("policy").unwrap_or("failfast") {
+        "failfast" => FaultPolicy::FailFast,
+        "degrade" => FaultPolicy::Degrade {
+            max_skipped_samples: args.get_or("max-skip", default_skip)?,
+            max_lost_shards: args.get_or("max-lost", default_lost)?,
+        },
+        other => return Err(format!("unknown policy '{other}' (failfast|degrade)")),
+    };
+    Ok(Resilience::new(retry, policy))
+}
+
+fn parse_wire_codec(args: &Args) -> Result<Codec, String> {
+    Ok(match args.get_str("wire-codec").unwrap_or("none") {
+        "none" => Codec::None,
+        "gzip" => Codec::Gzip(Level::FAST),
+        "zlib" => Codec::Zlib(Level::FAST),
+        other => return Err(format!("unknown wire codec '{other}' (none|gzip|zlib)")),
+    })
+}
+
+fn cmd_serve_worker(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "bind",
+        "samples",
+        "split",
+        "shards",
+        "batch",
+        "wire-codec",
+        "retries",
+        "policy",
+        "max-skip",
+        "max-lost",
+        "kill-after-batches",
+        "metrics",
+        "sample-ms",
+        "run-secs",
+    ])?;
+    let bind = args
+        .get_str("bind")
+        .ok_or("missing --bind ADDR (use 127.0.0.1:0 for an ephemeral port)")?;
+    let samples = args.get_or("samples", 32usize)?;
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let (pipeline, source) = cv_workload(name, samples)?;
+    let split = args.get_or("split", pipeline.max_split())?;
+    let strategy = Strategy::at_split(split).with_shards(args.get_or("shards", 4usize)?);
+    let resilience = parse_resilience(args, samples as u64, strategy.shards as u64)?;
+    let config = ServeWorkerConfig {
+        batch_samples: args.get_or("batch", 16usize)?,
+        wire_codec: parse_wire_codec(args)?,
+        fail_after_batches: match args.get_str("kill-after-batches") {
+            Some(_) => Some(args.get_or("kill-after-batches", u64::MAX)?),
+            None => None,
+        },
+    };
+
+    let store = Arc::new(MemStore::new());
+    let exec = RealExecutor::new(2);
+    let (dataset, prep) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "materialized {} samples into {} shards ({}) in {:.2?}",
+        dataset.sample_count,
+        dataset.shards.len(),
+        format_bytes(dataset.stored_bytes),
+        prep
+    );
+
+    let telemetry = Telemetry::new();
+    let sample_ms = args.get_or("sample-ms", 200u64)?;
+    let _observability = match args.get_str("metrics") {
+        Some(addr) => {
+            let sampler = Sampler::spawn(
+                Arc::clone(&telemetry),
+                Duration::from_millis(sample_ms.max(1)),
+                timeseries::DEFAULT_RING_CAPACITY,
+            );
+            let server = MetricsServer::serve(addr, Arc::clone(&telemetry), sampler.series())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            println!("metrics on http://{}/metrics", server.addr());
+            Some((sampler, server))
+        }
+        None => None,
+    };
+
+    let worker = ServeWorker::spawn(
+        bind,
+        &pipeline,
+        &dataset,
+        store as Arc<dyn BlobStore>,
+        resilience,
+        Some(Arc::clone(&telemetry)),
+        config,
+    )
+    .map_err(|e| e.to_string())?;
+    // The line scripts and CI parse: with --bind 127.0.0.1:0 this is
+    // the only way to learn the kernel-assigned port. Rust's stdout is
+    // line-buffered, so the address is visible before the first client
+    // connects.
+    println!("worker listening on {}", worker.addr());
+
+    let started = std::time::Instant::now();
+    let deadline = match args.get_str("run-secs") {
+        Some(_) => Some(Duration::from_secs(args.get_or("run-secs", 0u64)?)),
+        None => None,
+    };
+    loop {
+        if worker.is_stopped() {
+            println!("worker stopped (kill switch or fatal error)");
+            break;
+        }
+        if let Some(limit) = deadline {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let snapshot = telemetry.serve().snapshot();
+    println!(
+        "served {} batches ({}) with {} credit stalls",
+        worker.batches_sent(),
+        format_bytes(snapshot.bytes_sent),
+        snapshot.credit_stalls
+    );
+    Ok(())
+}
+
+fn cmd_train_client(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "workers",
+        "samples",
+        "split",
+        "shards",
+        "seed",
+        "credits",
+        "policy",
+        "max-skip",
+        "max-lost",
+        "timeout-ms",
+        "json",
+        "history-dir",
+        "no-history",
+    ])?;
+    let workers: Vec<String> = args
+        .get_str("workers")
+        .ok_or("missing --workers A,B,... (serve-worker addresses)")?
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if workers.is_empty() {
+        return Err("--workers lists no addresses".into());
+    }
+    let samples = args.get_or("samples", 32usize)?;
+    let json_only = args.get_str("json").is_some();
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let (pipeline, _source) = cv_workload(name, samples.min(1))?;
+    let split = args.get_or("split", pipeline.max_split())?;
+    let shards = args.get_or("shards", 4usize)?;
+    // Must mirror the worker's materialization exactly: same count
+    // clamp, same naming scheme.
+    let shard_count = shards.max(1).min(samples.max(1));
+    let shard_names: Vec<String> = (0..shard_count)
+        .map(|i| format!("{}-split{}-shard{:04}", pipeline.name, split, i))
+        .collect();
+    let seed = args.get_or("seed", 0u64)?;
+    let resilience = parse_resilience(args, samples as u64, shard_count as u64)?;
+    let config = ServeClientConfig {
+        credits: args.get_or("credits", 8u32)?,
+        policy: resilience.policy,
+        read_timeout: Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?),
+    };
+
+    let telemetry = Telemetry::new();
+    let rec = telemetry.begin_epoch(&["serve".to_string()], workers.len(), 0);
+    rec.set_epoch_seed(seed);
+    let report = serve_epoch(
+        &workers,
+        &shard_names,
+        seed,
+        &config,
+        Some(&telemetry),
+        |_| {},
+    )
+    .map_err(|e| e.to_string())?;
+    rec.finish(
+        report.elapsed,
+        report.samples,
+        report.bytes_received,
+        0,
+        0,
+        report.lost_shards,
+        report.degraded,
+    );
+    let snapshot = telemetry
+        .last_epoch()
+        .ok_or_else(|| "no telemetry recorded".to_string())?;
+    let document = telemetry_export::json_with_mode(&snapshot, Some("serve"));
+    if args.get_str("no-history").is_none() {
+        match run_store(args).append_document(&document) {
+            Ok((id, path)) => {
+                if json_only {
+                    eprintln!("recorded {id} -> {}", path.display());
+                } else {
+                    println!("recorded {id} -> {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: run not recorded: {e}"),
+        }
+    }
+    if json_only {
+        println!("{document}");
+        return Ok(());
+    }
+    println!(
+        "epoch complete: {} samples in {:.2?} ({:.0} SPS) from {} worker(s)",
+        report.samples,
+        report.elapsed,
+        report.samples_per_second(),
+        report.workers
+    );
+    println!(
+        "{} batches, {} on the wire, {} reassignment(s) over {} round(s)",
+        report.batches,
+        format_bytes(report.bytes_received),
+        report.reassignments,
+        report.rounds
+    );
+    if report.degraded {
+        println!(
+            "DEGRADED: {} shard(s) lost (allowed by --policy degrade)",
+            report.lost_shards
+        );
+    }
+    println!("multiset checksum: 0x{:016x}", report.checksum.digest());
+    Ok(())
+}
+
+/// A minimal [`StrategyProfile`] wrapping one fan-out throughput
+/// number, so the sim-vs-real comparison reports drift through the same
+/// [`fidelity::profile_drift`] used by the simulator fidelity suite.
+/// Profiles pair by the `fanout@J` label.
+fn fan_out_profile(strategy: &Strategy, jobs: usize, sps: f64) -> StrategyProfile {
+    StrategyProfile {
+        strategy: strategy.clone(),
+        label: format!("fanout@{jobs}"),
+        storage_bytes: 0,
+        stored_sample_bytes: 0.0,
+        sample_bytes: 0.0,
+        offline: None,
+        epochs: vec![EpochReport {
+            epoch: 1,
+            throughput_sps: sps,
+            network_read_mbps: 0.0,
+            elapsed_full: Nanos::ZERO,
+            stats: Dstat::default(),
+        }],
+        error: None,
+    }
+}
+
+fn cmd_sim_vs_real(args: &Args) -> Result<(), String> {
+    args.expect_known(&["samples", "split", "shards", "jobs", "sim-samples"])?;
+    let samples = args.get_or("samples", 32usize)?;
+    let jobs = args.get_or("jobs", 3usize)?.max(1);
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let (pipeline, source) = cv_workload(name, samples)?;
+    // Default to a mid split: enough online work (JPEG decode + crop)
+    // that serving time dominates connection overhead.
+    let split = args.get_or("split", 2usize.min(pipeline.max_split()))?;
+    let strategy = Strategy::at_split(split).with_shards(args.get_or("shards", 4usize)?);
+
+    // One fixed-capacity preprocessing node shared by every training
+    // job: the paper's concurrent-training fan-out, run for real.
+    let store = Arc::new(MemStore::new());
+    let exec = RealExecutor::new(2);
+    let (dataset, _prep) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .map_err(|e| e.to_string())?;
+    let worker = ServeWorker::spawn(
+        "127.0.0.1:0",
+        &pipeline,
+        &dataset,
+        Arc::clone(&store) as Arc<dyn BlobStore>,
+        Resilience::default(),
+        None,
+        ServeWorkerConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = worker.addr().to_string();
+    let client_config = ServeClientConfig::default();
+
+    let run_clients = |n: usize| -> Result<Vec<ServeReport>, String> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .map(|_| {
+                    scope.spawn(|| {
+                        serve_epoch(
+                            std::slice::from_ref(&addr),
+                            &dataset.shards,
+                            7,
+                            &client_config,
+                            None,
+                            |_| {},
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| "client panicked".to_string())?
+                        .map_err(|e| e.to_string())
+                })
+                .collect()
+        })
+    };
+
+    // Warm up (allocators, code paths), then calibrate on one client:
+    // its throughput and wire volume define the link the fan-out model
+    // reasons about, so the model and the measurement agree at j=1 by
+    // construction and are compared at every j > 1.
+    run_clients(1)?;
+    let single = run_clients(1)?.remove(0);
+    let sps1 = single.samples_per_second();
+    if sps1 <= 0.0 {
+        return Err("calibration run measured zero throughput".into());
+    }
+    let wire_sample_bytes = single.bytes_received as f64 / single.samples.max(1) as f64;
+    let link_bw = sps1 * wire_sample_bytes;
+    let reference_digest = single.checksum.digest();
+    println!(
+        "calibration: {sps1:.0} SPS per client, {} per sample on the wire",
+        format_bytes(wire_sample_bytes as u64)
+    );
+
+    let mut table = TableBuilder::new(&["jobs", "sim SPS/job", "link-bound", "real SPS/job"]);
+    let mut sim_profiles = Vec::new();
+    let mut real_profiles = Vec::new();
+    let mut sim_sat = None;
+    let mut real_sat = None;
+    for j in 1..=jobs {
+        let predicted = distributed::fan_out(sps1, wire_sample_bytes, link_bw, j);
+        let reports = if j == 1 {
+            vec![single.clone()]
+        } else {
+            run_clients(j)?
+        };
+        for report in &reports {
+            if report.checksum.digest() != reference_digest {
+                return Err(format!(
+                    "a job at fan-out {j} delivered a different sample multiset"
+                ));
+            }
+        }
+        // The straggler bounds the fleet — exactly what the link-bound
+        // model predicts per job.
+        let real_sps = reports
+            .iter()
+            .map(|r| r.samples_per_second())
+            .fold(f64::INFINITY, f64::min);
+        if predicted.link_bound && sim_sat.is_none() {
+            sim_sat = Some(j);
+        }
+        if real_sps < 0.7 * sps1 && real_sat.is_none() {
+            real_sat = Some(j);
+        }
+        sim_profiles.push(fan_out_profile(&strategy, j, predicted.per_job_sps));
+        real_profiles.push(fan_out_profile(&strategy, j, real_sps));
+        table.row(&[
+            j.to_string(),
+            format!("{:.0}", predicted.per_job_sps),
+            if predicted.link_bound { "yes" } else { "no" }.into(),
+            format!("{real_sps:.0}"),
+        ]);
+    }
+    worker.stop();
+    println!("{}", table.render());
+    let (t_drift, _) = presto::fidelity::profile_drift(&real_profiles, &sim_profiles);
+    println!(
+        "max per-job throughput drift vs the fan-out model: {:.0}%",
+        t_drift * 100.0
+    );
+
+    // Context: the simulator's distributed offline-phase scaling for
+    // the same pipeline and split.
+    if let Some(workload) = all_workloads()
+        .into_iter()
+        .find(|w| w.pipeline.name.eq_ignore_ascii_case(name))
+    {
+        let mut env = SimEnv::paper_vm();
+        env.subset_samples = args.get_or("sim-samples", 256)?;
+        let sim = Simulator::new(workload.pipeline.clone(), workload.dataset.clone(), env);
+        let sim_strategy = Strategy::at_split(split.min(workload.pipeline.max_split()).max(1));
+        let mut scaling = TableBuilder::new(&["workers", "offline", "speedup"]);
+        for row in distributed::offline_scaling(&sim, &sim_strategy, &[1, 2, 4]) {
+            scaling.row(&[
+                row.workers.to_string(),
+                format!("{:.0}s", row.elapsed.as_secs_f64()),
+                format!("{:.2}x", row.speedup),
+            ]);
+        }
+        println!("simulated offline scaling at split {}:", sim_strategy.split);
+        println!("{}", scaling.render());
+    }
+
+    match (sim_sat, real_sat) {
+        (Some(s), Some(r)) if s == r => {
+            println!(
+                "verdict: fan-out saturates at {s} jobs in both the model and the measurement"
+            );
+            Ok(())
+        }
+        (None, None) => {
+            println!(
+                "verdict: no saturation within {jobs} jobs in either the model or the measurement"
+            );
+            Ok(())
+        }
+        (sim, real) => Err(format!(
+            "fan-out verdicts disagree: model saturates at {sim:?} jobs, measurement at {real:?}"
+        )),
+    }
 }
 
 fn cmd_watch(args: &Args) -> Result<(), String> {
@@ -1331,6 +1778,118 @@ mod tests {
         assert!(run(&["validate", &json_str, "--format", "nope"]).is_err());
         assert!(run(&["validate", "/definitely/missing.json", "--format", "json"]).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_worker_binds_an_ephemeral_port_and_exits() {
+        // --run-secs 0: print the bound address, serve nobody, exit.
+        run(&[
+            "serve-worker",
+            "CV",
+            "--samples",
+            "8",
+            "--bind",
+            "127.0.0.1:0",
+            "--run-secs",
+            "0",
+        ])
+        .unwrap();
+        assert!(run(&["serve-worker", "CV"]).is_err()); // missing --bind
+        assert!(run(&[
+            "serve-worker",
+            "CV",
+            "--bind",
+            "127.0.0.1:0",
+            "--wire-codec",
+            "lz77"
+        ])
+        .is_err());
+        assert!(run(&[
+            "serve-worker",
+            "CV",
+            "--bind",
+            "127.0.0.1:0",
+            "--policy",
+            "sometimes"
+        ])
+        .is_err());
+    }
+
+    /// A library-level worker matching `train-client`'s defaults for
+    /// `--samples 8`: same pipeline, split, shard count and naming.
+    fn spawn_cli_compatible_worker(samples: usize) -> (ServeWorker, String) {
+        let (pipeline, source) = cv_workload("CV", samples).unwrap();
+        let strategy = Strategy::at_split(pipeline.max_split()).with_shards(4);
+        let store = Arc::new(MemStore::new());
+        let exec = RealExecutor::new(2);
+        let (dataset, _) = exec
+            .materialize(&pipeline, &strategy, &source, store.as_ref())
+            .unwrap();
+        let worker = ServeWorker::spawn(
+            "127.0.0.1:0",
+            &pipeline,
+            &dataset,
+            store as Arc<dyn BlobStore>,
+            Resilience::default(),
+            None,
+            ServeWorkerConfig::default(),
+        )
+        .unwrap();
+        let addr = worker.addr().to_string();
+        (worker, addr)
+    }
+
+    #[test]
+    fn train_client_consumes_an_epoch_and_records_serve_history() {
+        let dir = scratch_dir("serve-hist");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (worker, addr) = spawn_cli_compatible_worker(8);
+        run(&[
+            "train-client",
+            "CV",
+            "--samples",
+            "8",
+            "--workers",
+            &addr,
+            "--history-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let recorded = std::fs::read_to_string(dir.join("run-0001.json")).unwrap();
+        assert!(recorded.contains("\"mode\": \"serve\""), "{recorded}");
+        run(&["history", "--history-dir", dir.to_str().unwrap()]).unwrap();
+        worker.stop();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn train_client_fault_policy_gates_dead_workers() {
+        // Nothing listens on the reserved discard port: every shard
+        // fails over, and the policy decides the exit.
+        let dead = ["train-client", "CV", "--samples", "8", "--no-history"];
+        let with = |extra: &[&str]| {
+            let mut words = dead.to_vec();
+            words.extend_from_slice(extra);
+            run(&words)
+        };
+        assert!(with(&["--workers", "127.0.0.1:9", "--timeout-ms", "500"]).is_err());
+        with(&[
+            "--workers",
+            "127.0.0.1:9",
+            "--timeout-ms",
+            "500",
+            "--policy",
+            "degrade",
+        ])
+        .unwrap();
+        assert!(with(&[]).is_err()); // missing --workers
+        assert!(with(&["--workers", "not-an-addr"]).is_err());
+    }
+
+    #[test]
+    fn sim_vs_real_verdicts_agree_on_fanout_saturation() {
+        run(&["sim-vs-real", "CV", "--samples", "24", "--jobs", "2"]).unwrap();
+        assert!(run(&["sim-vs-real", "NLP"]).is_err());
     }
 
     #[test]

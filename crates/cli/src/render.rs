@@ -264,6 +264,7 @@ pub fn search_summary(stats: &SearchStats) -> String {
 pub fn history_table(runs: &[RunRecord]) -> String {
     let mut table = TableBuilder::new(&[
         "run",
+        "mode",
         "samples",
         "SPS",
         "elapsed",
@@ -276,6 +277,7 @@ pub fn history_table(runs: &[RunRecord]) -> String {
         let m = &run.metrics;
         table.row(&[
             run.id.clone(),
+            m.mode.clone(),
             m.samples.to_string(),
             format!("{:.0}", m.sps),
             fmt_ns(m.elapsed_ns),
@@ -424,6 +426,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             seed: 0,
+            mode: "real".into(),
             steps: Vec::new(),
         };
         let cmp = presto::compare_runs(&run(1000.0), &run(600.0), 0.05, 0.2);
@@ -457,11 +460,13 @@ mod tests {
                 cache_hits: 32,
                 cache_misses: 32,
                 seed: 0,
+                mode: "serve".into(),
                 steps: Vec::new(),
             },
         };
         let rendered = history_table(&[record]);
         assert!(rendered.contains("run-0001"), "{rendered}");
+        assert!(rendered.contains("serve"), "{rendered}");
         assert!(rendered.contains("5000"), "{rendered}");
         assert!(rendered.contains("50%"), "{rendered}");
     }

@@ -575,6 +575,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 1_000,
             seed: 1,
+            mode: "real".into(),
             steps: steps
                 .iter()
                 .map(|(n, b, p)| (n.to_string(), *b, *p))

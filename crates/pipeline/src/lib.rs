@@ -29,6 +29,7 @@ pub mod fault;
 pub mod pipeline;
 pub mod real;
 pub mod sample;
+pub mod serve;
 pub mod shuffle;
 pub mod sim;
 pub mod step;
@@ -49,5 +50,6 @@ pub use strategy::{CacheLevel, Strategy};
 /// latency, per-worker utilization, queue depth and fault counts.
 pub use presto_telemetry as telemetry;
 pub use presto_telemetry::{
-    EpochRecorder, SearchProgress, SearchSnapshot, Telemetry, TelemetrySnapshot,
+    EpochRecorder, SearchProgress, SearchSnapshot, ServeProgress, ServeSnapshot, Telemetry,
+    TelemetrySnapshot,
 };

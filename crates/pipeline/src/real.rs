@@ -171,9 +171,7 @@ fn fetch_shard(
     rec: &EpochRecorder,
     worker: usize,
 ) -> Result<Bytes, PipelineError> {
-    let seed = shard.bytes().fold(0xCBF29CE484222325u64, |h, b| {
-        (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
-    });
+    let seed = fnv64(shard);
     match resilience.retry.run(seed, || store.get(shard)) {
         Ok((blob, retries)) => {
             counters.add_retries(u64::from(retries));
@@ -203,6 +201,169 @@ fn apply_step(
                 step: name.to_string(),
             })
         })
+}
+
+/// FNV-1a over a shard name: the deterministic per-shard seed basis
+/// shared by retry jitter and online-step RNG streams.
+pub(crate) fn fnv64(name: &str) -> u64 {
+    name.bytes().fold(0xCBF29CE484222325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
+    })
+}
+
+/// RNG seed for the online steps of one shard: a pure function of the
+/// epoch seed and the shard *name*, never of the worker that happens to
+/// process it. Any thread count — or any remote serve worker, including
+/// one picking up a shard after a failover reassignment — therefore
+/// produces bit-identical samples for the same epoch seed. This is what
+/// makes the multiset checksum of a distributed epoch comparable to a
+/// single-process run (see [`crate::serve`]), and it mirrors the
+/// offline phase's per-shard seeding.
+pub(crate) fn shard_rng_seed(epoch_seed: u64, shard_name: &str) -> u64 {
+    epoch_seed ^ fnv64(shard_name)
+}
+
+/// The online step chain: `(step name, executable implementation)`.
+pub(crate) type ExecutableSteps = Vec<(String, Arc<dyn crate::step::Step>)>;
+
+/// Collect the online steps after `split` as `(name, exec)` pairs,
+/// failing up front if any step has no executable implementation.
+pub(crate) fn executable_steps(
+    pipeline: &Pipeline,
+    split: usize,
+) -> Result<ExecutableSteps, PipelineError> {
+    pipeline.steps()[split..]
+        .iter()
+        .map(|s| {
+            s.exec
+                .clone()
+                .map(|exec| (s.spec.name.clone(), exec))
+                .ok_or_else(|| {
+                    PipelineError::Other(format!(
+                        "step '{}' has no executable implementation",
+                        s.spec.name
+                    ))
+                })
+        })
+        .collect()
+}
+
+/// What a [`process_shard`] delivery callback wants next.
+pub(crate) enum Deliver {
+    /// Sample accepted; keep going.
+    Delivered,
+    /// Stop silently (the consumer hung up).
+    Stop,
+    /// Abort the epoch with this error.
+    Fail(PipelineError),
+}
+
+/// Run one shard through the online phase: fetch (with retries),
+/// decompress, iterate records, decode samples, apply the online steps,
+/// and hand each finished sample to `deliver`. This is the single
+/// engine body behind [`RealExecutor::epoch_with`],
+/// [`RealExecutor::stream_epoch_with`] and the TCP serve worker
+/// ([`crate::serve`]); all of them share its fault-absorption semantics.
+///
+/// Returns `Ok(true)` when the shard completed (possibly degraded),
+/// `Ok(false)` when `deliver` asked to stop, and `Err` on a fault the
+/// policy would not absorb.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_shard(
+    store: &dyn BlobStore,
+    shard_name: &str,
+    codec: Codec,
+    steps: &[(String, Arc<dyn crate::step::Step>)],
+    resilience: &Resilience,
+    counters: &FaultCounters,
+    rec: &EpochRecorder,
+    worker: usize,
+    epoch_seed: u64,
+    bytes_read: &AtomicU64,
+    deliver: &mut dyn FnMut(Sample) -> Deliver,
+) -> Result<bool, PipelineError> {
+    let mut rng = SmallRng::seed_from_u64(shard_rng_seed(epoch_seed, shard_name));
+    let t_read = rec.begin();
+    let fetched = fetch_shard(store, shard_name, resilience, counters, rec, worker);
+    if let Some(t0) = t_read {
+        rec.phase_done(worker, PHASE_READ, t0);
+    }
+    let blob = match fetched {
+        Ok(blob) => blob,
+        Err(e) if shard_fault_is_degradable(&e) => {
+            counters.absorb_shard(&resilience.policy, e)?;
+            return Ok(true);
+        }
+        Err(e) => return Err(e),
+    };
+    bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
+    rec.bytes_read(worker, blob.len() as u64);
+    let t_decompress = rec.begin();
+    let decompressed = codec.decompress(&blob);
+    if let Some(t0) = t_decompress {
+        rec.phase_done(worker, PHASE_DECOMPRESS, t0);
+    }
+    let framed = match decompressed {
+        Ok(f) => f,
+        Err(e) => {
+            let fault = PipelineError::CorruptShard {
+                shard: shard_name.to_string(),
+                why: e.to_string(),
+            };
+            counters.absorb_shard(&resilience.policy, fault)?;
+            return Ok(true);
+        }
+    };
+    rec.bytes_decoded(framed.len() as u64);
+    let mut reader = RecordReader::new(&framed);
+    while let Some(record) = reader.next() {
+        let record = match record {
+            Ok(r) => r,
+            Err(e) => {
+                let fault = PipelineError::CorruptShard {
+                    shard: shard_name.to_string(),
+                    why: e.to_string(),
+                };
+                counters.absorb_sample(&resilience.policy, fault)?;
+                reader.resync();
+                continue;
+            }
+        };
+        let t_decode = rec.begin();
+        let decoded = Sample::decode(record);
+        if let Some(t0) = t_decode {
+            rec.phase_done(worker, PHASE_DECODE, t0);
+        }
+        let processed = decoded.and_then(|mut sample| {
+            for (idx, (name, step)) in steps.iter().enumerate() {
+                let t_step = rec.begin();
+                sample = apply_step(step.as_ref(), name, sample, &mut rng)?;
+                if let Some(t0) = t_step {
+                    rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
+                }
+            }
+            Ok(sample)
+        });
+        let sample = match processed {
+            Ok(sample) => sample,
+            Err(e) => {
+                counters.absorb_sample(&resilience.policy, e)?;
+                continue;
+            }
+        };
+        let t_deliver = rec.begin();
+        match deliver(sample) {
+            Deliver::Delivered => {
+                if let Some(t0) = t_deliver {
+                    rec.phase_done(worker, PHASE_DELIVER, t0);
+                }
+                rec.samples_done(worker, 1);
+            }
+            Deliver::Stop => return Ok(false),
+            Deliver::Fail(e) => return Err(e),
+        }
+    }
+    Ok(true)
 }
 
 /// The real multi-threaded executor.
@@ -405,15 +566,7 @@ impl RealExecutor {
     where
         F: Fn(&Sample) + Send + Sync,
     {
-        let steps = &pipeline.steps()[dataset.split..];
-        for step in steps {
-            if step.exec.is_none() {
-                return Err(PipelineError::Other(format!(
-                    "step '{}' has no executable implementation",
-                    step.spec.name
-                )));
-            }
-        }
+        let steps = executable_steps(pipeline, dataset.split)?;
         let start = Instant::now();
         let rec = self.epoch_recorder(pipeline, dataset.split, 0);
         rec.set_epoch_seed(epoch_seed);
@@ -468,117 +621,40 @@ impl RealExecutor {
                 let shards = &dataset.shards;
                 let counters = &counters;
                 let rec = &rec;
+                let steps = &steps;
                 scope.spawn(move || {
-                    let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
-                    for shard_name in shards.iter().skip(worker).step_by(self.threads) {
-                        let t_read = rec.begin();
-                        let fetched =
-                            fetch_shard(store, shard_name, resilience, counters, rec, worker);
-                        if let Some(t0) = t_read {
-                            rec.phase_done(worker, PHASE_READ, t0);
-                        }
-                        let blob = match fetched {
-                            Ok(blob) => blob,
-                            Err(e) if shard_fault_is_degradable(&e) => {
-                                match counters.absorb_shard(&resilience.policy, e) {
-                                    Ok(()) => continue,
-                                    Err(fatal) => {
-                                        errors.lock().push(fatal);
-                                        return;
-                                    }
-                                }
+                    let mut deliver = |sample: Sample| {
+                        consume(&sample);
+                        samples_done.fetch_add(1, Ordering::Relaxed);
+                        if let Some(cache) = cache {
+                            rec.cache_misses(1);
+                            // Cache overflow is a capacity bug, never
+                            // a data fault: always fatal.
+                            if let Err(e) = cache.insert(sample) {
+                                return Deliver::Fail(e);
                             }
+                        }
+                        Deliver::Delivered
+                    };
+                    for shard_name in shards.iter().skip(worker).step_by(self.threads) {
+                        match process_shard(
+                            store,
+                            shard_name,
+                            dataset.codec,
+                            steps,
+                            resilience,
+                            counters,
+                            rec,
+                            worker,
+                            epoch_seed,
+                            bytes_read,
+                            &mut deliver,
+                        ) {
+                            Ok(true) => {}
+                            Ok(false) => return,
                             Err(e) => {
                                 errors.lock().push(e);
                                 return;
-                            }
-                        };
-                        bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                        rec.bytes_read(worker, blob.len() as u64);
-                        let t_decompress = rec.begin();
-                        let decompressed = dataset.codec.decompress(&blob);
-                        if let Some(t0) = t_decompress {
-                            rec.phase_done(worker, PHASE_DECOMPRESS, t0);
-                        }
-                        let framed = match decompressed {
-                            Ok(f) => f,
-                            Err(e) => {
-                                let fault = PipelineError::CorruptShard {
-                                    shard: shard_name.clone(),
-                                    why: e.to_string(),
-                                };
-                                match counters.absorb_shard(&resilience.policy, fault) {
-                                    Ok(()) => continue,
-                                    Err(fatal) => {
-                                        errors.lock().push(fatal);
-                                        return;
-                                    }
-                                }
-                            }
-                        };
-                        rec.bytes_decoded(framed.len() as u64);
-                        let mut reader = RecordReader::new(&framed);
-                        while let Some(record) = reader.next() {
-                            let record = match record {
-                                Ok(r) => r,
-                                Err(e) => {
-                                    let fault = PipelineError::CorruptShard {
-                                        shard: shard_name.clone(),
-                                        why: e.to_string(),
-                                    };
-                                    match counters.absorb_sample(&resilience.policy, fault) {
-                                        Ok(()) => {
-                                            reader.resync();
-                                            continue;
-                                        }
-                                        Err(fatal) => {
-                                            errors.lock().push(fatal);
-                                            return;
-                                        }
-                                    }
-                                }
-                            };
-                            let t_decode = rec.begin();
-                            let decoded = Sample::decode(record);
-                            if let Some(t0) = t_decode {
-                                rec.phase_done(worker, PHASE_DECODE, t0);
-                            }
-                            let processed = decoded.and_then(|mut sample| {
-                                for (idx, step) in steps.iter().enumerate() {
-                                    let exec = step.exec.as_deref().unwrap();
-                                    let t_step = rec.begin();
-                                    sample = apply_step(exec, &step.spec.name, sample, &mut rng)?;
-                                    if let Some(t0) = t_step {
-                                        rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
-                                    }
-                                }
-                                Ok(sample)
-                            });
-                            let sample = match processed {
-                                Ok(sample) => sample,
-                                Err(e) => match counters.absorb_sample(&resilience.policy, e) {
-                                    Ok(()) => continue,
-                                    Err(fatal) => {
-                                        errors.lock().push(fatal);
-                                        return;
-                                    }
-                                },
-                            };
-                            let t_deliver = rec.begin();
-                            consume(&sample);
-                            if let Some(t0) = t_deliver {
-                                rec.phase_done(worker, PHASE_DELIVER, t0);
-                            }
-                            rec.samples_done(worker, 1);
-                            samples_done.fetch_add(1, Ordering::Relaxed);
-                            if let Some(cache) = cache {
-                                rec.cache_misses(1);
-                                // Cache overflow is a capacity bug, never
-                                // a data fault: always fatal.
-                                if let Err(e) = cache.insert(sample) {
-                                    errors.lock().push(e);
-                                    return;
-                                }
                             }
                         }
                     }
@@ -733,20 +809,7 @@ impl RealExecutor {
         epoch_seed: u64,
         resilience: Resilience,
     ) -> Result<EpochStream, PipelineError> {
-        let steps: Vec<(String, Arc<dyn crate::step::Step>)> = pipeline.steps()[dataset.split..]
-            .iter()
-            .map(|s| {
-                s.exec
-                    .clone()
-                    .map(|exec| (s.spec.name.clone(), exec))
-                    .ok_or_else(|| {
-                        PipelineError::Other(format!(
-                            "step '{}' has no executable implementation",
-                            s.spec.name
-                        ))
-                    })
-            })
-            .collect::<Result<_, _>>()?;
+        let steps = executable_steps(pipeline, dataset.split)?;
         let (sender, receiver) = crossbeam::channel::bounded(prefetch.max(1));
         let bytes_read = Arc::new(AtomicU64::new(0));
         let counters = Arc::new(FaultCounters::default());
@@ -772,122 +835,38 @@ impl RealExecutor {
                 .collect();
             let codec = dataset.codec;
             handles.push(std::thread::spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(epoch_seed ^ worker as u64);
+                let mut deliver = |sample: Sample| {
+                    // Count before sending so the consumer's decrement
+                    // can never observe a counted sample it has not
+                    // been charged for. The gauge therefore includes
+                    // samples blocked in `send` — backpressure shows up
+                    // as depth at (or just above) capacity.
+                    let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                    rec.queue_depth(depth as usize);
+                    if sender.send(Ok(sample)).is_err() {
+                        return Deliver::Stop; // consumer hung up
+                    }
+                    Deliver::Delivered
+                };
                 for shard_name in shards {
-                    let t_read = rec.begin();
-                    let fetched = fetch_shard(
+                    match process_shard(
                         store.as_ref(),
                         &shard_name,
+                        codec,
+                        &steps,
                         &resilience,
                         &counters,
                         &rec,
                         worker,
-                    );
-                    if let Some(t0) = t_read {
-                        rec.phase_done(worker, PHASE_READ, t0);
-                    }
-                    let blob = match fetched {
-                        Ok(blob) => blob,
-                        Err(e) if shard_fault_is_degradable(&e) => {
-                            match counters.absorb_shard(&resilience.policy, e) {
-                                Ok(()) => continue,
-                                Err(fatal) => {
-                                    let _ = sender.send(Err(fatal));
-                                    return;
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            let _ = sender.send(Err(e));
+                        epoch_seed,
+                        &bytes_read,
+                        &mut deliver,
+                    ) {
+                        Ok(true) => {}
+                        Ok(false) => return,
+                        Err(fatal) => {
+                            let _ = sender.send(Err(fatal));
                             return;
-                        }
-                    };
-                    bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
-                    rec.bytes_read(worker, blob.len() as u64);
-                    let t_decompress = rec.begin();
-                    let decompressed = codec.decompress(&blob);
-                    if let Some(t0) = t_decompress {
-                        rec.phase_done(worker, PHASE_DECOMPRESS, t0);
-                    }
-                    let framed = match decompressed {
-                        Ok(f) => f,
-                        Err(e) => {
-                            let fault = PipelineError::CorruptShard {
-                                shard: shard_name.clone(),
-                                why: e.to_string(),
-                            };
-                            match counters.absorb_shard(&resilience.policy, fault) {
-                                Ok(()) => continue,
-                                Err(fatal) => {
-                                    let _ = sender.send(Err(fatal));
-                                    return;
-                                }
-                            }
-                        }
-                    };
-                    rec.bytes_decoded(framed.len() as u64);
-                    let mut reader = RecordReader::new(&framed);
-                    while let Some(record) = reader.next() {
-                        let record = match record {
-                            Ok(r) => r,
-                            Err(e) => {
-                                let fault = PipelineError::CorruptShard {
-                                    shard: shard_name.clone(),
-                                    why: e.to_string(),
-                                };
-                                match counters.absorb_sample(&resilience.policy, fault) {
-                                    Ok(()) => {
-                                        reader.resync();
-                                        continue;
-                                    }
-                                    Err(fatal) => {
-                                        let _ = sender.send(Err(fatal));
-                                        return;
-                                    }
-                                }
-                            }
-                        };
-                        let t_decode = rec.begin();
-                        let decoded = Sample::decode(record);
-                        if let Some(t0) = t_decode {
-                            rec.phase_done(worker, PHASE_DECODE, t0);
-                        }
-                        let processed = decoded.and_then(|mut sample| {
-                            for (idx, (name, step)) in steps.iter().enumerate() {
-                                let t_step = rec.begin();
-                                sample = apply_step(step.as_ref(), name, sample, &mut rng)?;
-                                if let Some(t0) = t_step {
-                                    rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
-                                }
-                            }
-                            Ok(sample)
-                        });
-                        match processed {
-                            Ok(sample) => {
-                                // Count before sending so the consumer's
-                                // decrement can never observe a counted
-                                // sample it has not been charged for. The
-                                // gauge therefore includes samples blocked
-                                // in `send` — backpressure shows up as
-                                // depth at (or just above) capacity.
-                                let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-                                rec.queue_depth(depth as usize);
-                                let t_deliver = rec.begin();
-                                if sender.send(Ok(sample)).is_err() {
-                                    return; // consumer hung up
-                                }
-                                if let Some(t0) = t_deliver {
-                                    rec.phase_done(worker, PHASE_DELIVER, t0);
-                                }
-                                rec.samples_done(worker, 1);
-                            }
-                            Err(e) => match counters.absorb_sample(&resilience.policy, e) {
-                                Ok(()) => continue,
-                                Err(fatal) => {
-                                    let _ = sender.send(Err(fatal));
-                                    return;
-                                }
-                            },
                         }
                     }
                 }

@@ -1,0 +1,1228 @@
+//! Disaggregated preprocessing over TCP: a **worker** process runs the
+//! online phase of a strategy and streams encoded sample batches; a
+//! **client** consumes from one or more workers and feeds a training
+//! loop — the paper's "preprocessing as a service" deployment, made
+//! real with actual sockets instead of the simulator's fan-out model
+//! ([`crate::distributed`]).
+//!
+//! The protocol is a dependency-free length-prefixed binary framing
+//! layered on [`std::net`], reusing the CRC record framing from
+//! [`presto_tensor::record`] for every frame and the sample wire
+//! encoding from [`crate::sample`] for payloads:
+//!
+//! | frame  | direction       | body                                            |
+//! |--------|-----------------|-------------------------------------------------|
+//! | HELLO  | both, once      | `version: u32`                                  |
+//! | ASSIGN | client → worker | `epoch_seed: u64`, `credits: u32`, shard names  |
+//! | BATCH  | worker → client | `shard: u32`, `count: u32`, `codec: u8`, block  |
+//! | CREDIT | client → worker | `n: u32`                                        |
+//! | EOF    | worker → client | `shard: u32` (shard complete, commit it)        |
+//! | ERR    | worker → client | UTF-8 message (fatal, fail the epoch)           |
+//!
+//! Flow control is credit-based: a worker may only send a BATCH after
+//! taking one credit; the client grants `credits` up front in ASSIGN
+//! and one more per BATCH it drains, bounding worker-side in-flight
+//! data the same way the in-process prefetch channel bounds
+//! [`crate::real::EpochStream`]. Stall time waiting for credits is a
+//! [`presto_telemetry::ServeProgress`] gauge on `/metrics`.
+//!
+//! Failover: the client buffers each shard's samples and commits them
+//! only on that shard's EOF. When a connection dies mid-shard (worker
+//! killed, timeout), every uncommitted shard is reassigned to the
+//! surviving workers on the next round. Because online-step RNG is
+//! seeded per *shard* ([`crate::real::shard_rng_seed`]), a reassigned
+//! shard reproduces bit-identical samples on any worker, so a degraded
+//! epoch still delivers the exact same sample multiset — which
+//! [`MultisetChecksum`] proves, order-insensitively.
+
+use crate::error::PipelineError;
+use crate::fault::{FaultCounters, FaultPolicy, Resilience};
+use crate::pipeline::Pipeline;
+use crate::real::{executable_steps, process_shard, Deliver, Materialized};
+use crate::sample::Sample;
+use crate::store::BlobStore;
+use presto_codecs::checksum::Crc32;
+use presto_codecs::{Codec, Level};
+use presto_telemetry::{EpochRecorder, ServeProgress, Telemetry};
+use presto_tensor::{RecordReader, RecordWriter};
+use std::collections::HashSet;
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Protocol version exchanged in HELLO; mismatches are fatal.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload — a desynced or hostile peer
+/// cannot make us allocate more than this.
+pub const MAX_FRAME_LEN: u64 = 64 << 20;
+
+/// Wire-protocol failure: framing, CRC, or semantic violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Connection closed mid-frame.
+    Truncated,
+    /// Length header failed its CRC — a garbage or desynced stream.
+    BadHeader,
+    /// Frame payload failed its CRC.
+    BadPayload,
+    /// Declared frame length exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u64),
+    /// Well-framed but semantically invalid message.
+    Protocol(String),
+    /// Socket-level failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Truncated => write!(f, "stream truncated mid-frame"),
+            ServeError::BadHeader => write!(f, "frame length header failed CRC"),
+            ServeError::BadPayload => write!(f, "frame payload failed CRC"),
+            ServeError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds cap of {MAX_FRAME_LEN}")
+            }
+            ServeError::Protocol(why) => write!(f, "protocol violation: {why}"),
+            ServeError::Io(why) => write!(f, "socket error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::UnexpectedEof => ServeError::Truncated,
+            _ => ServeError::Io(e.to_string()),
+        }
+    }
+}
+
+impl From<ServeError> for PipelineError {
+    fn from(e: ServeError) -> Self {
+        PipelineError::Other(format!("serve: {e}"))
+    }
+}
+
+/// One protocol message. See the module docs for the frame table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Version handshake; first frame in each direction.
+    Hello {
+        /// Speaker's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// Client asks the worker to serve these shards of an epoch.
+    Assign {
+        /// Epoch seed for online-step RNG (per-shard derived).
+        epoch_seed: u64,
+        /// Initial BATCH credits granted.
+        credits: u32,
+        /// Shard blob names; BATCH/EOF reference them by index.
+        shards: Vec<String>,
+    },
+    /// One batch of encoded samples from one shard.
+    Batch {
+        /// Index into the ASSIGN shard list.
+        shard: u32,
+        /// Samples in the block.
+        count: u32,
+        /// Wire compression tag (see [`wire_codec`]).
+        codec: u8,
+        /// Record-framed [`Sample::encode`] payloads, compressed.
+        block: Vec<u8>,
+    },
+    /// Client grants `n` more BATCH credits.
+    Credit {
+        /// Credits granted.
+        n: u32,
+    },
+    /// All batches of `shard` sent; the client may commit it.
+    Eof {
+        /// Index into the ASSIGN shard list.
+        shard: u32,
+    },
+    /// Fatal worker-side error; the connection is dead after this.
+    Err {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+const FRAME_HELLO: u8 = 1;
+const FRAME_ASSIGN: u8 = 2;
+const FRAME_BATCH: u8 = 3;
+const FRAME_CREDIT: u8 = 4;
+const FRAME_EOF: u8 = 5;
+const FRAME_ERR: u8 = 6;
+
+/// Map a BATCH wire-codec tag to the codec used to unpack the block.
+pub fn wire_codec(tag: u8) -> Result<Codec, ServeError> {
+    match tag {
+        0 => Ok(Codec::None),
+        1 => Ok(Codec::Gzip(Level::FAST)),
+        2 => Ok(Codec::Zlib(Level::FAST)),
+        other => Err(ServeError::Protocol(format!(
+            "unknown wire codec tag {other}"
+        ))),
+    }
+}
+
+/// The wire tag for a codec (levels are not part of the wire format —
+/// decompression does not need them).
+pub fn wire_codec_tag(codec: Codec) -> u8 {
+    match codec {
+        Codec::None => 0,
+        Codec::Gzip(_) => 1,
+        Codec::Zlib(_) => 2,
+    }
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Result<u32, ServeError> {
+    buf.get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or_else(|| ServeError::Protocol("frame body too short".into()))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> Result<u64, ServeError> {
+    buf.get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .ok_or_else(|| ServeError::Protocol("frame body too short".into()))
+}
+
+impl Frame {
+    /// Serialize to a frame payload (type byte + body, no framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { version } => {
+                out.push(FRAME_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+            }
+            Frame::Assign {
+                epoch_seed,
+                credits,
+                shards,
+            } => {
+                out.push(FRAME_ASSIGN);
+                out.extend_from_slice(&epoch_seed.to_le_bytes());
+                out.extend_from_slice(&credits.to_le_bytes());
+                out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+                for shard in shards {
+                    out.extend_from_slice(&(shard.len() as u32).to_le_bytes());
+                    out.extend_from_slice(shard.as_bytes());
+                }
+            }
+            Frame::Batch {
+                shard,
+                count,
+                codec,
+                block,
+            } => {
+                out.push(FRAME_BATCH);
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+                out.push(*codec);
+                out.extend_from_slice(block);
+            }
+            Frame::Credit { n } => {
+                out.push(FRAME_CREDIT);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Frame::Eof { shard } => {
+                out.push(FRAME_EOF);
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            Frame::Err { message } => {
+                out.push(FRAME_ERR);
+                out.extend_from_slice(message.as_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a frame payload produced by [`Frame::encode_payload`].
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, ServeError> {
+        let (&kind, body) = payload
+            .split_first()
+            .ok_or_else(|| ServeError::Protocol("empty frame payload".into()))?;
+        match kind {
+            FRAME_HELLO => Ok(Frame::Hello {
+                version: read_u32(body, 0)?,
+            }),
+            FRAME_ASSIGN => {
+                let epoch_seed = read_u64(body, 0)?;
+                let credits = read_u32(body, 8)?;
+                let count = read_u32(body, 12)? as usize;
+                let mut shards = Vec::with_capacity(count.min(1024));
+                let mut at = 16;
+                for _ in 0..count {
+                    let len = read_u32(body, at)? as usize;
+                    at += 4;
+                    let bytes = body
+                        .get(at..at + len)
+                        .ok_or_else(|| ServeError::Protocol("shard name overruns frame".into()))?;
+                    at += len;
+                    let name = std::str::from_utf8(bytes)
+                        .map_err(|_| ServeError::Protocol("shard name is not UTF-8".into()))?;
+                    shards.push(name.to_string());
+                }
+                Ok(Frame::Assign {
+                    epoch_seed,
+                    credits,
+                    shards,
+                })
+            }
+            FRAME_BATCH => {
+                let shard = read_u32(body, 0)?;
+                let count = read_u32(body, 4)?;
+                let codec = *body
+                    .get(8)
+                    .ok_or_else(|| ServeError::Protocol("frame body too short".into()))?;
+                Ok(Frame::Batch {
+                    shard,
+                    count,
+                    codec,
+                    block: body[9..].to_vec(),
+                })
+            }
+            FRAME_CREDIT => Ok(Frame::Credit {
+                n: read_u32(body, 0)?,
+            }),
+            FRAME_EOF => Ok(Frame::Eof {
+                shard: read_u32(body, 0)?,
+            }),
+            FRAME_ERR => Ok(Frame::Err {
+                message: String::from_utf8_lossy(body).into_owned(),
+            }),
+            other => Err(ServeError::Protocol(format!("unknown frame type {other}"))),
+        }
+    }
+}
+
+/// Write one frame in record framing; returns the bytes put on the wire.
+pub fn write_frame(writer: &mut impl Write, frame: &Frame) -> Result<u64, ServeError> {
+    let mut rec = RecordWriter::new();
+    rec.write(&frame.encode_payload());
+    let bytes = rec.finish();
+    writer.write_all(&bytes)?;
+    writer.flush()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Fill `buf`, distinguishing a clean close before any byte
+/// (`Ok(false)`) from mid-buffer truncation (`Err(Truncated)`).
+fn read_exact_or_closed(reader: &mut impl Read, buf: &mut [u8]) -> Result<bool, ServeError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match reader.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => return Err(ServeError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::from(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. `Ok(None)` is a clean close at a frame boundary;
+/// every CRC/length violation is a typed [`ServeError`].
+pub fn read_frame(reader: &mut impl Read) -> Result<Option<Frame>, ServeError> {
+    // Record framing: [len u64][crc32(len) u32][payload][crc32(payload) u32].
+    let mut header = [0u8; 12];
+    if !read_exact_or_closed(reader, &mut header)? {
+        return Ok(None);
+    }
+    let len = u64::from_le_bytes(header[..8].try_into().unwrap());
+    let stored = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if Crc32::checksum(&header[..8]) != stored {
+        return Err(ServeError::BadHeader);
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ServeError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize + 4];
+    if !read_exact_or_closed(reader, &mut payload)? {
+        return Err(ServeError::Truncated);
+    }
+    let (body, crc) = payload.split_at(len as usize);
+    let stored = u32::from_le_bytes(crc.try_into().unwrap());
+    if Crc32::checksum(body) != stored {
+        return Err(ServeError::BadPayload);
+    }
+    Frame::decode_payload(body).map(Some)
+}
+
+/// Order-insensitive fingerprint of a sample multiset: the wrapping sum
+/// of per-sample FNV-1a hashes over [`Sample::encode`] bytes, plus the
+/// count. Two epochs delivered the same samples (in any order, across
+/// any worker assignment) iff their checksums match.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MultisetChecksum {
+    /// Samples folded in.
+    pub count: u64,
+    /// Wrapping sum of per-sample hashes.
+    pub sum: u64,
+}
+
+impl MultisetChecksum {
+    /// Fold one sample in.
+    pub fn add(&mut self, sample: &Sample) {
+        let bytes = sample.encode();
+        let hash = bytes.iter().fold(0xCBF29CE484222325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100000001B3)
+        });
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(hash);
+    }
+
+    /// Fold another checksum in (disjoint multiset union).
+    pub fn merge(&mut self, other: MultisetChecksum) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// A single comparable digest mixing count and sum.
+    pub fn digest(&self) -> u64 {
+        // SplitMix64 finalizer over the combined state.
+        let mut z = self.sum ^ self.count.wrapping_mul(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Credit gate: the worker blocks here before each BATCH until the
+/// client grants more credits (or the connection/worker dies).
+struct CreditGate {
+    state: Mutex<(u64, bool)>, // (credits, closed)
+    cv: Condvar,
+}
+
+impl CreditGate {
+    fn new() -> Self {
+        CreditGate {
+            state: Mutex::new((0, false)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn add(&self, n: u64) {
+        let mut state = self.state.lock().unwrap();
+        state.0 += n;
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+
+    /// Take one credit, blocking as needed; counts at most one stall
+    /// per call. Returns false once closed or the worker is stopping.
+    fn take(&self, progress: &ServeProgress, stop: &AtomicBool) -> bool {
+        let mut state = self.state.lock().unwrap();
+        let mut stalled = false;
+        loop {
+            if state.1 || stop.load(Ordering::Acquire) {
+                return false;
+            }
+            if state.0 > 0 {
+                state.0 -= 1;
+                return true;
+            }
+            if !stalled {
+                stalled = true;
+                progress.credit_stall();
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .unwrap();
+            state = guard;
+        }
+    }
+}
+
+/// Tuning and fault-injection knobs for a [`ServeWorker`].
+#[derive(Debug, Clone)]
+pub struct ServeWorkerConfig {
+    /// Samples per BATCH frame.
+    pub batch_samples: usize,
+    /// Compression applied to BATCH blocks on the wire.
+    pub wire_codec: Codec,
+    /// Test/CI kill switch: after this many BATCH frames total the
+    /// worker drops every connection and stops accepting — a simulated
+    /// mid-epoch crash for failover tests.
+    pub fail_after_batches: Option<u64>,
+}
+
+impl Default for ServeWorkerConfig {
+    fn default() -> Self {
+        ServeWorkerConfig {
+            batch_samples: 16,
+            wire_codec: Codec::None,
+            fail_after_batches: None,
+        }
+    }
+}
+
+struct WorkerShared {
+    steps: Vec<(String, Arc<dyn crate::step::Step>)>,
+    step_names: Vec<String>,
+    dataset: Materialized,
+    store: Arc<dyn BlobStore>,
+    resilience: Resilience,
+    telemetry: Option<Arc<Telemetry>>,
+    progress: Arc<ServeProgress>,
+    config: ServeWorkerConfig,
+    batches_sent: AtomicU64,
+    stop: AtomicBool,
+    /// One assignment at a time: the worker models a fixed-capacity
+    /// preprocessing node, so concurrent clients share its capacity
+    /// instead of multiplying it (this is what makes measured fan-out
+    /// saturate like [`crate::distributed::fan_out`] predicts).
+    work_lock: Mutex<()>,
+    /// Open connections, for abrupt shutdown on stop/kill.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl WorkerShared {
+    /// Kill every open connection and stop accepting.
+    fn crash(&self) {
+        self.stop.store(true, Ordering::Release);
+        for stream in self.conns.lock().unwrap().iter() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// A running serve worker: accepts client connections on a TCP
+/// listener and streams the online phase of its materialized dataset.
+/// Drop (or [`ServeWorker::stop`]) shuts it down and joins all threads.
+pub struct ServeWorker {
+    addr: SocketAddr,
+    shared: Arc<WorkerShared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeWorker")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServeWorker {
+    /// Bind `bind` (e.g. `127.0.0.1:0` for an ephemeral port) and serve
+    /// the online phase of `dataset` through `pipeline`'s post-split
+    /// steps. Shard fetches go through `resilience` exactly like the
+    /// in-process engine — injected [`crate::store::FaultStore`] faults
+    /// apply end-to-end.
+    pub fn spawn(
+        bind: &str,
+        pipeline: &Pipeline,
+        dataset: &Materialized,
+        store: Arc<dyn BlobStore>,
+        resilience: Resilience,
+        telemetry: Option<Arc<Telemetry>>,
+        config: ServeWorkerConfig,
+    ) -> Result<ServeWorker, PipelineError> {
+        let steps = executable_steps(pipeline, dataset.split)?;
+        let step_names: Vec<String> = steps.iter().map(|(name, _)| name.clone()).collect();
+        let listener =
+            TcpListener::bind(bind).map_err(|e| PipelineError::Io(format!("bind {bind}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PipelineError::Io(e.to_string()))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| PipelineError::Io(e.to_string()))?;
+        let progress = telemetry
+            .as_ref()
+            .map(|t| t.serve())
+            .unwrap_or_else(|| Arc::new(ServeProgress::default()));
+        progress.begin(1);
+        let shared = Arc::new(WorkerShared {
+            steps,
+            step_names,
+            dataset: dataset.clone(),
+            store,
+            resilience,
+            telemetry,
+            progress,
+            config,
+            batches_sent: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            work_lock: Mutex::new(()),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("presto-serve-accept".into())
+            .spawn(move || {
+                let mut handles = Vec::new();
+                while !accept_shared.stop.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if let Ok(clone) = stream.try_clone() {
+                                accept_shared.conns.lock().unwrap().push(clone);
+                            }
+                            let conn_shared = Arc::clone(&accept_shared);
+                            handles.push(std::thread::spawn(move || {
+                                handle_client(&conn_shared, stream);
+                            }));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                    }
+                }
+                for handle in handles {
+                    let _ = handle.join();
+                }
+            })
+            .map_err(|e| PipelineError::Io(e.to_string()))?;
+        Ok(ServeWorker {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port `0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once the worker has stopped (explicitly, or because the
+    /// [`ServeWorkerConfig::fail_after_batches`] kill switch fired).
+    pub fn is_stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// BATCH frames sent across all connections so far.
+    pub fn batches_sent(&self) -> u64 {
+        self.shared.batches_sent.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting, drop connections, and join all threads.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.shared.crash();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeWorker {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve one client connection: HELLO, then ASSIGN/CREDIT frames in,
+/// BATCH/EOF/ERR frames out, until either side closes.
+fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let gate = Arc::new(CreditGate::new());
+    let (assign_tx, assign_rx) = mpsc::channel::<(u64, u32, Vec<String>)>();
+    let reader_gate = Arc::clone(&gate);
+    let reader = std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        loop {
+            match read_frame(&mut reader) {
+                Ok(Some(Frame::Hello { .. })) => {}
+                Ok(Some(Frame::Credit { n })) => reader_gate.add(u64::from(n)),
+                Ok(Some(Frame::Assign {
+                    epoch_seed,
+                    credits,
+                    shards,
+                })) => {
+                    if assign_tx.send((epoch_seed, credits, shards)).is_err() {
+                        break;
+                    }
+                }
+                // Anything else — including a clean close — ends the
+                // conversation.
+                _ => break,
+            }
+        }
+        reader_gate.close();
+    });
+    if write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .is_ok()
+    {
+        'conn: loop {
+            let (epoch_seed, credits, shards) =
+                match assign_rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(assign) => assign,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if shared.stop.load(Ordering::Acquire) {
+                            break 'conn;
+                        }
+                        continue;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break 'conn,
+                };
+            gate.add(u64::from(credits));
+            if serve_assignment(shared, &gate, &mut writer, epoch_seed, &shards).is_err() {
+                break 'conn;
+            }
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+    let _ = reader.join();
+}
+
+/// Stream every assigned shard to the client as credit-gated batches.
+fn serve_assignment(
+    shared: &WorkerShared,
+    gate: &CreditGate,
+    writer: &mut TcpStream,
+    epoch_seed: u64,
+    shards: &[String],
+) -> Result<(), ServeError> {
+    // Fixed capacity: one assignment runs at a time (see `work_lock`).
+    let _capacity = shared.work_lock.lock().unwrap();
+    let started = Instant::now();
+    let rec = shared
+        .telemetry
+        .as_ref()
+        .map(|t| t.begin_epoch(&shared.step_names, 1, 0))
+        .unwrap_or_else(EpochRecorder::noop);
+    rec.set_epoch_seed(epoch_seed);
+    let counters = FaultCounters::default();
+    let bytes_read = AtomicU64::new(0);
+    let mut delivered = 0u64;
+    for (index, shard_name) in shards.iter().enumerate() {
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut deliver = |sample: Sample| {
+            samples.push(sample);
+            Deliver::Delivered
+        };
+        if let Err(fatal) = process_shard(
+            shared.store.as_ref(),
+            shard_name,
+            shared.dataset.codec,
+            &shared.steps,
+            &shared.resilience,
+            &counters,
+            &rec,
+            0,
+            epoch_seed,
+            &bytes_read,
+            &mut deliver,
+        ) {
+            let _ = write_frame(
+                writer,
+                &Frame::Err {
+                    message: fatal.to_string(),
+                },
+            );
+            return Err(ServeError::Protocol(fatal.to_string()));
+        }
+        delivered += samples.len() as u64;
+        for chunk in samples.chunks(shared.config.batch_samples.max(1)) {
+            if !gate.take(&shared.progress, &shared.stop) {
+                return Err(ServeError::Truncated);
+            }
+            let mut block = RecordWriter::new();
+            for sample in chunk {
+                block.write(&sample.encode());
+            }
+            let frame = Frame::Batch {
+                shard: index as u32,
+                count: chunk.len() as u32,
+                codec: wire_codec_tag(shared.config.wire_codec),
+                block: shared.config.wire_codec.compress(&block.finish()),
+            };
+            let wire_bytes = write_frame(writer, &frame)?;
+            shared.progress.batch_sent(wire_bytes);
+            let sent = shared.batches_sent.fetch_add(1, Ordering::AcqRel) + 1;
+            if let Some(limit) = shared.config.fail_after_batches {
+                if sent >= limit {
+                    // Simulated crash: drop everything mid-epoch.
+                    shared.crash();
+                    return Err(ServeError::Truncated);
+                }
+            }
+        }
+        write_frame(
+            writer,
+            &Frame::Eof {
+                shard: index as u32,
+            },
+        )?;
+    }
+    let (retries, skipped, lost) = counters.snapshot();
+    rec.finish(
+        started.elapsed(),
+        delivered,
+        bytes_read.load(Ordering::Relaxed),
+        retries,
+        skipped,
+        lost,
+        skipped > 0 || lost > 0,
+    );
+    Ok(())
+}
+
+/// Client-side tuning: credits bound worker-side in-flight batches,
+/// the policy decides what happens when every worker is gone, and the
+/// read timeout turns a hung worker into a failover.
+#[derive(Debug, Clone)]
+pub struct ServeClientConfig {
+    /// BATCH credits granted up front per connection.
+    pub credits: u32,
+    /// What to do when shards remain and no worker survives.
+    pub policy: FaultPolicy,
+    /// Per-read socket timeout; an unresponsive worker is failed over.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeClientConfig {
+    fn default() -> Self {
+        ServeClientConfig {
+            credits: 8,
+            policy: FaultPolicy::FailFast,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// What one distributed epoch delivered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Samples committed to the consumer.
+    pub samples: u64,
+    /// BATCH frames drained.
+    pub batches: u64,
+    /// Compressed block bytes received.
+    pub bytes_received: u64,
+    /// Order-insensitive fingerprint of the delivered multiset.
+    pub checksum: MultisetChecksum,
+    /// Shards that had to move to a surviving worker.
+    pub reassignments: u64,
+    /// Shards abandoned under [`FaultPolicy::Degrade`].
+    pub lost_shards: u64,
+    /// True when any shard was lost.
+    pub degraded: bool,
+    /// Assignment rounds (1 = no failover).
+    pub rounds: u64,
+    /// Workers the epoch started with.
+    pub workers: u64,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ServeReport {
+    /// Samples per second.
+    pub fn samples_per_second(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.samples as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Outcome of one connection's assignment.
+#[derive(Default)]
+struct ConnOutcome {
+    checksum: MultisetChecksum,
+    samples: u64,
+    batches: u64,
+    bytes: u64,
+    /// Shards assigned but not EOF-committed (to reassign).
+    failed: Vec<String>,
+    /// ERR frame from the worker: fatal, no failover.
+    fatal: Option<PipelineError>,
+}
+
+/// Consume one epoch from `workers`, delivering every sample to
+/// `consume`. Shards are striped across workers exactly like
+/// [`crate::real::RealExecutor`] stripes them across threads; a dead or
+/// unresponsive worker's uncommitted shards are reassigned to the
+/// survivors until the epoch completes (or, with no survivors, the
+/// `config.policy` decides between failing and a degraded epoch).
+pub fn serve_epoch<F>(
+    workers: &[String],
+    shards: &[String],
+    epoch_seed: u64,
+    config: &ServeClientConfig,
+    telemetry: Option<&Telemetry>,
+    consume: F,
+) -> Result<ServeReport, PipelineError>
+where
+    F: Fn(&Sample) + Send + Sync,
+{
+    if workers.is_empty() {
+        return Err(PipelineError::InvalidStrategy(
+            "serve_epoch needs at least one worker address".into(),
+        ));
+    }
+    for addr in workers {
+        addr.parse::<SocketAddr>()
+            .map_err(|_| PipelineError::InvalidStrategy(format!("bad worker address '{addr}'")))?;
+    }
+    let progress = telemetry.map(|t| t.serve());
+    if let Some(progress) = &progress {
+        progress.begin(workers.len() as u64);
+    }
+    let started = Instant::now();
+    let consume = &consume;
+    let mut report = ServeReport {
+        workers: workers.len() as u64,
+        ..ServeReport::default()
+    };
+    let mut live: Vec<String> = workers.to_vec();
+    let mut pending: Vec<String> = shards.to_vec();
+    while !pending.is_empty() {
+        if live.is_empty() {
+            match &config.policy {
+                FaultPolicy::FailFast => {
+                    return Err(PipelineError::LostShard {
+                        shard: pending[0].clone(),
+                    });
+                }
+                FaultPolicy::Degrade {
+                    max_lost_shards, ..
+                } => {
+                    if pending.len() as u64 > *max_lost_shards {
+                        return Err(PipelineError::FaultBudgetExceeded {
+                            skipped_samples: 0,
+                            lost_shards: pending.len() as u64,
+                        });
+                    }
+                    report.lost_shards = pending.len() as u64;
+                    report.degraded = true;
+                    break;
+                }
+            }
+        }
+        report.rounds += 1;
+        // Stripe pending shards across live workers, same layout as the
+        // in-process engine stripes shards across threads.
+        let assignments: Vec<(String, Vec<String>)> = live
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| {
+                (
+                    addr.clone(),
+                    pending
+                        .iter()
+                        .skip(index)
+                        .step_by(live.len())
+                        .cloned()
+                        .collect::<Vec<String>>(),
+                )
+            })
+            .filter(|(_, assigned)| !assigned.is_empty())
+            .collect();
+        let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .iter()
+                .map(|(addr, assigned)| {
+                    scope.spawn(move || {
+                        consume_assignment(addr, assigned, epoch_seed, config, consume)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .zip(assignments.iter())
+                .map(|(handle, (_, assigned))| {
+                    handle.join().unwrap_or_else(|_| ConnOutcome {
+                        failed: assigned.clone(),
+                        ..ConnOutcome::default()
+                    })
+                })
+                .collect()
+        });
+        let mut dead: HashSet<String> = HashSet::new();
+        let mut next_pending: Vec<String> = Vec::new();
+        for ((addr, _), outcome) in assignments.into_iter().zip(outcomes) {
+            if let Some(fatal) = outcome.fatal {
+                return Err(fatal);
+            }
+            report.samples += outcome.samples;
+            report.batches += outcome.batches;
+            report.bytes_received += outcome.bytes;
+            report.checksum.merge(outcome.checksum);
+            if !outcome.failed.is_empty() {
+                dead.insert(addr);
+                next_pending.extend(outcome.failed);
+            }
+        }
+        if !next_pending.is_empty() {
+            live.retain(|addr| !dead.contains(addr));
+            report.reassignments += next_pending.len() as u64;
+            if let Some(progress) = &progress {
+                progress.record_reassignments(next_pending.len() as u64);
+            }
+        }
+        pending = next_pending;
+    }
+    report.elapsed = started.elapsed();
+    if let Some(progress) = &progress {
+        progress.finish();
+    }
+    Ok(report)
+}
+
+/// Drive one worker connection through one assignment, committing each
+/// shard's buffered samples on its EOF.
+fn consume_assignment<F>(
+    addr: &str,
+    shards: &[String],
+    epoch_seed: u64,
+    config: &ServeClientConfig,
+    consume: &F,
+) -> ConnOutcome
+where
+    F: Fn(&Sample) + Send + Sync,
+{
+    let mut outcome = ConnOutcome {
+        failed: shards.to_vec(),
+        ..ConnOutcome::default()
+    };
+    let parsed: SocketAddr = match addr.parse() {
+        Ok(parsed) => parsed,
+        Err(_) => return outcome,
+    };
+    let stream = match TcpStream::connect_timeout(&parsed, Duration::from_secs(5)) {
+        Ok(stream) => stream,
+        Err(_) => return outcome,
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return outcome,
+    };
+    let mut reader = BufReader::new(stream);
+    if write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return outcome;
+    }
+    match read_frame(&mut reader) {
+        Ok(Some(Frame::Hello { version })) if version == PROTOCOL_VERSION => {}
+        Ok(Some(Frame::Hello { version })) => {
+            outcome.fatal = Some(
+                ServeError::Protocol(format!(
+                    "worker speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+                ))
+                .into(),
+            );
+            return outcome;
+        }
+        _ => return outcome,
+    }
+    if write_frame(
+        &mut writer,
+        &Frame::Assign {
+            epoch_seed,
+            credits: config.credits.max(1),
+            shards: shards.to_vec(),
+        },
+    )
+    .is_err()
+    {
+        return outcome;
+    }
+    let mut buffers: Vec<Vec<Sample>> = vec![Vec::new(); shards.len()];
+    let mut done = vec![false; shards.len()];
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Batch {
+                shard,
+                count,
+                codec,
+                block,
+            })) => {
+                let index = shard as usize;
+                if index >= buffers.len() || done[index] {
+                    return outcome; // protocol violation: treat conn as dead
+                }
+                outcome.batches += 1;
+                outcome.bytes += block.len() as u64;
+                let codec = match wire_codec(codec) {
+                    Ok(codec) => codec,
+                    Err(_) => return outcome,
+                };
+                let framed = match codec.decompress(&block) {
+                    Ok(framed) => framed,
+                    Err(_) => return outcome,
+                };
+                let mut records = RecordReader::new(&framed);
+                let mut decoded = 0u32;
+                while let Some(record) = records.next() {
+                    let sample = match record
+                        .map_err(|_| ())
+                        .and_then(|r| Sample::decode(r).map_err(|_| ()))
+                    {
+                        Ok(sample) => sample,
+                        Err(()) => return outcome,
+                    };
+                    buffers[index].push(sample);
+                    decoded += 1;
+                }
+                if decoded != count {
+                    return outcome;
+                }
+                if write_frame(&mut writer, &Frame::Credit { n: 1 }).is_err() {
+                    return outcome;
+                }
+            }
+            Ok(Some(Frame::Eof { shard })) => {
+                let index = shard as usize;
+                if index >= buffers.len() || done[index] {
+                    return outcome;
+                }
+                // Commit: the shard arrived whole, deliver it.
+                done[index] = true;
+                for sample in std::mem::take(&mut buffers[index]) {
+                    outcome.checksum.add(&sample);
+                    outcome.samples += 1;
+                    consume(&sample);
+                }
+                outcome.failed.retain(|name| name != &shards[index]);
+                if done.iter().all(|&d| d) {
+                    return outcome;
+                }
+            }
+            Ok(Some(Frame::Err { message })) => {
+                outcome.fatal = Some(PipelineError::Other(format!(
+                    "worker {addr} failed: {message}"
+                )));
+                return outcome;
+            }
+            // Unexpected frame, clean close mid-assignment, CRC
+            // garbage, timeout: the connection is unusable — whatever
+            // was not committed fails over.
+            _ => return outcome,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_payload_encoding() {
+        let frames = [
+            Frame::Hello { version: 7 },
+            Frame::Assign {
+                epoch_seed: 0xDEAD_BEEF,
+                credits: 4,
+                shards: vec!["a-shard-0000".into(), "b".into(), String::new()],
+            },
+            Frame::Batch {
+                shard: 3,
+                count: 0,
+                codec: 0,
+                block: Vec::new(),
+            },
+            Frame::Credit { n: 1 },
+            Frame::Eof { shard: 9 },
+            Frame::Err {
+                message: "shard fell over".into(),
+            },
+        ];
+        for frame in frames {
+            let decoded = Frame::decode_payload(&frame.encode_payload()).expect("round trip");
+            assert_eq!(decoded, frame);
+        }
+    }
+
+    #[test]
+    fn wire_read_rejects_garbage_and_truncation() {
+        // Garbage header: CRC of the length bytes cannot match.
+        let garbage = [0xABu8; 32];
+        assert_eq!(read_frame(&mut &garbage[..]), Err(ServeError::BadHeader));
+
+        // Truncated: a valid frame cut mid-payload.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Credit { n: 3 }).expect("encode");
+        let cut = &wire[..wire.len() - 3];
+        assert_eq!(read_frame(&mut &cut[..]), Err(ServeError::Truncated));
+
+        // Clean close at a boundary is not an error.
+        assert_eq!(read_frame(&mut &[][..]), Ok(None));
+
+        // Oversized declared length is rejected before allocation.
+        let mut huge = (MAX_FRAME_LEN + 1).to_le_bytes().to_vec();
+        let crc = Crc32::checksum(&huge);
+        huge.extend_from_slice(&crc.to_le_bytes());
+        huge.extend_from_slice(&[0u8; 16]);
+        assert_eq!(
+            read_frame(&mut &huge[..]),
+            Err(ServeError::TooLarge(MAX_FRAME_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn multiset_checksum_is_order_insensitive() {
+        let a = Sample::from_bytes(1, vec![1, 2, 3]);
+        let b = Sample::from_bytes(2, vec![4, 5]);
+        let mut fwd = MultisetChecksum::default();
+        fwd.add(&a);
+        fwd.add(&b);
+        let mut rev = MultisetChecksum::default();
+        rev.add(&b);
+        rev.add(&a);
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd.digest(), rev.digest());
+        let mut missing = MultisetChecksum::default();
+        missing.add(&a);
+        assert_ne!(fwd.digest(), missing.digest());
+    }
+
+    #[test]
+    fn credit_gate_blocks_until_granted_and_counts_stalls() {
+        let gate = Arc::new(CreditGate::new());
+        let progress = ServeProgress::default();
+        let stop = AtomicBool::new(false);
+        gate.add(1);
+        assert!(gate.take(&progress, &stop));
+        assert_eq!(progress.snapshot().credit_stalls, 0);
+        let waiter = Arc::clone(&gate);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waiter.add(1);
+        });
+        assert!(gate.take(&progress, &stop));
+        assert_eq!(progress.snapshot().credit_stalls, 1);
+        handle.join().unwrap();
+        gate.close();
+        assert!(!gate.take(&progress, &stop));
+    }
+}

@@ -7,7 +7,7 @@
 //! `jq` and exists so tests (and downstream tools without `jq`) can
 //! assert the contract without a JSON dependency.
 
-use crate::{SearchSnapshot, TelemetrySnapshot};
+use crate::{SearchSnapshot, ServeSnapshot, TelemetrySnapshot};
 use std::fmt::Write as _;
 
 /// Current JSON schema identifier.
@@ -273,12 +273,65 @@ pub fn prometheus_search(search: &SearchSnapshot) -> String {
     out
 }
 
+/// Render a serve-session progress snapshot in the Prometheus text
+/// exposition format. Emitted by `/metrics` alongside the epoch series
+/// whenever a serve session has started (`workers > 0`).
+pub fn prometheus_serve(serve: &ServeSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        "presto_serve_workers",
+        "Peers in the serve session (connections or workers).",
+        serve.workers,
+    );
+    gauge(
+        "presto_serve_batches_sent_total",
+        "BATCH frames sent over the wire.",
+        serve.batches_sent,
+    );
+    gauge(
+        "presto_serve_bytes_sent_total",
+        "Wire bytes in BATCH frames.",
+        serve.bytes_sent,
+    );
+    gauge(
+        "presto_serve_credit_stalls_total",
+        "Stalls waiting for flow-control credit.",
+        serve.credit_stalls,
+    );
+    gauge(
+        "presto_serve_reassignments_total",
+        "Shards reassigned after worker failures.",
+        serve.reassignments,
+    );
+    gauge(
+        "presto_serve_done",
+        "Whether the serve session has finished (0/1).",
+        u64::from(serve.done),
+    );
+    out
+}
+
 /// Render `snapshot` as the stable `presto.telemetry.v1` JSON object.
 /// The shape is documented in `docs/observability.md` and enforced by
 /// [`validate_json`]; spans are *not* included (use [`chrome_trace`]).
 pub fn json(snapshot: &TelemetrySnapshot) -> String {
+    json_with_mode(snapshot, None)
+}
+
+/// [`json`] with an explicit top-level `"mode"` tag (e.g. `"serve"`
+/// for epochs delivered by the disaggregated service). `None` omits
+/// the field, matching the plain single-process document.
+pub fn json_with_mode(snapshot: &TelemetrySnapshot, mode: Option<&str>) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str(&format!("{{\n  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    if let Some(mode) = mode {
+        let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(mode));
+    }
     let _ = writeln!(
         out,
         "  \"epoch\": {{\"elapsed_ns\": {}, \"threads\": {}, \"samples\": {}, \"samples_per_second\": {:.3}, \"bytes_read\": {}, \"bytes_decoded\": {}, \"seed\": {}}},",
@@ -692,6 +745,13 @@ pub fn validate_json(input: &str) -> Result<JsonValue, String> {
             return Err("'epoch.seed' must be a number when present".into());
         }
     }
+    // `mode` is optional (single-process documents omit it; serve runs
+    // tag themselves) but must be a string when present.
+    if let Some(mode) = doc.get("mode") {
+        if mode.as_str().is_none() {
+            return Err("'mode' must be a string when present".into());
+        }
+    }
     let steps = require(&doc, &["steps"])?
         .as_array()
         .ok_or_else(|| "'steps' must be an array".to_string())?;
@@ -893,6 +953,51 @@ mod tests {
         // Non-numeric optional seed is still rejected.
         let seeded = json(&sample_snapshot()).replace("\"seed\": 0", "\"seed\": \"x\"");
         assert!(validate_json(&seeded).unwrap_err().contains("epoch.seed"));
+    }
+
+    #[test]
+    fn mode_tag_round_trips_and_is_type_checked() {
+        let snap = sample_snapshot();
+        let tagged = json_with_mode(&snap, Some("serve"));
+        let doc = validate_json(&tagged).expect("mode-tagged document validates");
+        assert_eq!(doc.require_str("mode"), Ok("serve"));
+        // Untagged documents still omit and still validate.
+        let plain = validate_json(&json(&snap)).expect("plain document validates");
+        assert!(plain.get("mode").is_none());
+        // A non-string mode is rejected.
+        let bad = tagged.replace("\"mode\": \"serve\"", "\"mode\": 3");
+        assert!(validate_json(&bad).unwrap_err().contains("mode"));
+    }
+
+    #[test]
+    fn prometheus_serve_gauges_parse() -> Result<(), String> {
+        let progress = crate::ServeProgress::default();
+        progress.begin(2);
+        progress.batch_sent(4096);
+        progress.batch_sent(1024);
+        progress.credit_stall();
+        progress.record_reassignments(3);
+        progress.finish();
+        let series = parse_prometheus(&prometheus_serve(&progress.snapshot()))?;
+        assert_eq!(series_value(&series, "presto_serve_workers")?, 2.0);
+        assert_eq!(
+            series_value(&series, "presto_serve_batches_sent_total")?,
+            2.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_bytes_sent_total")?,
+            5120.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_credit_stalls_total")?,
+            1.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_reassignments_total")?,
+            3.0
+        );
+        assert_eq!(series_value(&series, "presto_serve_done")?, 1.0);
+        Ok(())
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct RunMetrics {
     pub cache_misses: u64,
     /// Epoch seed (0 for documents predating the field).
     pub seed: u64,
+    /// Delivery mode: `"real"` (single-process, the default for
+    /// documents predating the field) or `"serve"` (disaggregated
+    /// worker/client epoch).
+    pub mode: String,
     /// Per-step `(name, busy_ns, p95_ns)`.
     pub steps: Vec<(String, f64, f64)>,
 }
@@ -106,6 +110,11 @@ pub fn parse_run_document(input: &str) -> Result<RunMetrics, String> {
             .get("seed")
             .and_then(JsonValue::as_f64)
             .map_or(0, |v| v.max(0.0) as u64),
+        mode: doc
+            .get("mode")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("real")
+            .to_string(),
         steps,
     })
 }
@@ -326,5 +335,19 @@ mod tests {
         assert!(metrics.sps > 0.0);
         assert!(metrics.steps.iter().any(|(name, _, _)| name == "resize"));
         assert_eq!(metrics.seed, 5);
+        assert_eq!(metrics.mode, "real", "untagged documents default to real");
+    }
+
+    #[test]
+    fn serve_mode_documents_store_and_parse() {
+        let dir = scratch_dir();
+        let store = RunStore::new(&dir);
+        let document = export::json_with_mode(&sealed_snapshot(12), Some("serve"));
+        let (id, _) = store.append_document(&document).expect("append serve run");
+        assert_eq!(id, "run-0001");
+        let runs = store.runs().expect("list");
+        assert_eq!(runs[0].metrics.mode, "serve");
+        assert_eq!(runs[0].metrics.samples, 12);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -141,6 +141,10 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
             if search.total > 0 {
                 body.push_str(&export::prometheus_search(&search));
             }
+            let serve = telemetry.serve().snapshot();
+            if serve.workers > 0 {
+                body.push_str(&export::prometheus_serve(&serve));
+            }
             respond(
                 &mut stream,
                 200,

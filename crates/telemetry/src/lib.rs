@@ -552,6 +552,7 @@ pub struct Telemetry {
     span_capacity: usize,
     last: Mutex<Option<Arc<EpochRecorder>>>,
     search: Arc<SearchProgress>,
+    serve: Arc<ServeProgress>,
 }
 
 impl Telemetry {
@@ -562,6 +563,7 @@ impl Telemetry {
             span_capacity: DEFAULT_SPAN_CAPACITY,
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
+            serve: Arc::new(ServeProgress::default()),
         })
     }
 
@@ -573,6 +575,7 @@ impl Telemetry {
             span_capacity: 0,
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
+            serve: Arc::new(ServeProgress::default()),
         })
     }
 
@@ -584,6 +587,7 @@ impl Telemetry {
             span_capacity,
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
+            serve: Arc::new(ServeProgress::default()),
         })
     }
 
@@ -634,6 +638,12 @@ impl Telemetry {
     /// --search` read it.
     pub fn search(&self) -> Arc<SearchProgress> {
         Arc::clone(&self.search)
+    }
+
+    /// The serve-session progress gauge set attached to this handle.
+    /// A `presto-serve` worker writes to it; `/metrics` reads it.
+    pub fn serve(&self) -> Arc<ServeProgress> {
+        Arc::clone(&self.serve)
     }
 }
 
@@ -721,6 +731,87 @@ pub struct SearchSnapshot {
     /// Worker threads in the profiling pool.
     pub jobs: u64,
     /// True once the search has finished.
+    pub done: bool,
+}
+
+/// Live progress of a disaggregated serve session (worker or client
+/// side): monotonic gauges written with relaxed atomics by the serve
+/// threads and read lock-free by `/metrics`. All counts reset on
+/// [`ServeProgress::begin`].
+#[derive(Debug, Default)]
+pub struct ServeProgress {
+    workers: AtomicU64,
+    batches_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    credit_stalls: AtomicU64,
+    reassignments: AtomicU64,
+    done: AtomicU64,
+}
+
+impl ServeProgress {
+    /// Start (or restart) a serve session over `workers` peers.
+    /// Resets every counter.
+    pub fn begin(&self, workers: u64) {
+        self.workers.store(workers, Ordering::Relaxed);
+        self.batches_sent.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.credit_stalls.store(0, Ordering::Relaxed);
+        self.reassignments.store(0, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+    }
+
+    /// Record one BATCH frame of `bytes` wire bytes sent (worker) or
+    /// received (client).
+    pub fn batch_sent(&self, bytes: u64) {
+        self.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one stall waiting for flow-control credit.
+    pub fn credit_stall(&self) {
+        self.credit_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` shards reassigned after a worker failure.
+    pub fn record_reassignments(&self, n: u64) {
+        if n > 0 {
+            self.reassignments.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Mark the serve session finished.
+    pub fn finish(&self) {
+        self.done.store(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time copy for rendering/export.
+    pub fn snapshot(&self) -> ServeSnapshot {
+        ServeSnapshot {
+            workers: self.workers.load(Ordering::Relaxed),
+            batches_sent: self.batches_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            done: self.done.load(Ordering::Relaxed) != 0,
+        }
+    }
+}
+
+/// Point-in-time copy of [`ServeProgress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSnapshot {
+    /// Peers in the session (connections for a worker, workers for a
+    /// client).
+    pub workers: u64,
+    /// BATCH frames sent (or consumed, on the client side).
+    pub batches_sent: u64,
+    /// Wire bytes in those BATCH frames.
+    pub bytes_sent: u64,
+    /// Stalls waiting for flow-control credit.
+    pub credit_stalls: u64,
+    /// Shards reassigned after worker failures.
+    pub reassignments: u64,
+    /// True once the session has finished.
     pub done: bool,
 }
 
