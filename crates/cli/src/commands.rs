@@ -3,6 +3,9 @@
 use crate::args::{parse, Args};
 use crate::render;
 use presto::cost::{cheapest, cheapest_feeding, cost_of, Campaign, CloudPricing};
+use presto::fleet::{
+    rank_policies, simulate, FleetConfig, FleetOutcome, FleetPolicy, FleetVerdict,
+};
 use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
@@ -12,7 +15,7 @@ use presto_pipeline::real::{
     AppCache, BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
 };
 use presto_pipeline::serve::{
-    serve_epoch, ServeClientConfig, ServeReport, ServeWorker, ServeWorkerConfig,
+    serve_epoch, MultisetChecksum, ServeClientConfig, ServeReport, ServeWorker, ServeWorkerConfig,
 };
 use presto_pipeline::sim::{EpochReport, SimEnv, Simulator, StrategyProfile};
 use presto_pipeline::telemetry::export as telemetry_export;
@@ -56,12 +59,25 @@ commands:
       address is printed on stdout) [--samples N] [--split N] [--shards N]
       [--batch N] [--wire-codec none|gzip|zlib] [--retries N]
       [--policy failfast|degrade] [--max-skip N] [--max-lost N]
-      [--kill-after-batches N] [--metrics ADDR] [--sample-ms MS]
-      [--run-secs S]
+      [--kill-after-batches N] [--batch-pace-ms MS] [--metrics ADDR]
+      [--sample-ms MS] [--run-secs S]
   train-client <pipeline>        consume one epoch from serve-workers
       --workers A,B,... [--samples N] [--split N] [--shards N] [--seed S]
       [--credits N] [--policy failfast|degrade] [--max-lost N]
-      [--timeout-ms MS] [--json] [--history-dir DIR] [--no-history]
+      [--timeout-ms MS] [--connect-timeout-ms MS]
+      [--reconnect-attempts N] [--reconnect-base-ms MS]
+      [--reconnect-deadline-ms MS]
+      [--json] [--history-dir DIR] [--no-history]
+      [--preempt-storm SEED] live preemption drill: spawns local
+      workers, replays the fleet simulator's kill schedule against
+      them, and checks checksum parity + the predicted verdict, plus
+      [--storm-policy greedy-spot|on-demand-fallback|on-demand-only]
+      [--storm-workers N] [--storm-ms-per-hour MS] [--batch N]
+  fleet-sim                      rank fleet policies under a spot storm
+      [--workers N] [--seed S] [--market volatile|storm] [--budget N]
+      [--epoch-hours H] [--rejoin-hours H] [--on-demand $/h]
+      [--policy greedy-spot|on-demand-fallback|on-demand-only]
+      [--fallback-after N] [--kill-log] [--json]
   sim-vs-real <pipeline>         fan-out model vs the real TCP service
       [--samples N] [--split N] [--shards N] [--jobs J] [--sim-samples N]
   watch <pipeline>               live dashboard over a real-engine run
@@ -97,6 +113,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "realrun" => cmd_realrun(&args),
         "serve-worker" => cmd_serve_worker(&args),
         "train-client" => cmd_train_client(&args),
+        "fleet-sim" => cmd_fleet_sim(&args),
         "sim-vs-real" => cmd_sim_vs_real(&args),
         "watch" => cmd_watch(&args),
         "history" => cmd_history(&args),
@@ -719,6 +736,26 @@ fn parse_resilience(
     Ok(Resilience::new(retry, policy))
 }
 
+/// Worker-reconnect policy from `--reconnect-*` flags. The default
+/// (one attempt, no backoff) reproduces the pre-rejoin behavior: a
+/// failed worker is dropped for the rest of the epoch.
+fn parse_reconnect(args: &Args) -> Result<RetryPolicy, String> {
+    let attempts = args.get_or("reconnect-attempts", 1u32)?;
+    let base = args.get_or("reconnect-base-ms", 50u64)?;
+    Ok(RetryPolicy {
+        max_attempts: attempts.max(1),
+        base_backoff: Duration::from_millis(base),
+        max_backoff: Duration::from_millis(base.saturating_mul(16).max(1)),
+        jitter: true,
+        deadline: match args.get_str("reconnect-deadline-ms") {
+            Some(_) => Some(Duration::from_millis(
+                args.get_or("reconnect-deadline-ms", 0u64)?,
+            )),
+            None => None,
+        },
+    })
+}
+
 fn parse_wire_codec(args: &Args) -> Result<Codec, String> {
     Ok(match args.get_str("wire-codec").unwrap_or("none") {
         "none" => Codec::None,
@@ -741,6 +778,7 @@ fn cmd_serve_worker(args: &Args) -> Result<(), String> {
         "max-skip",
         "max-lost",
         "kill-after-batches",
+        "batch-pace-ms",
         "metrics",
         "sample-ms",
         "run-secs",
@@ -757,6 +795,7 @@ fn cmd_serve_worker(args: &Args) -> Result<(), String> {
     let config = ServeWorkerConfig {
         batch_samples: args.get_or("batch", 16usize)?,
         wire_codec: parse_wire_codec(args)?,
+        batch_pace: Duration::from_millis(args.get_or("batch-pace-ms", 0u64)?),
         fail_after_batches: match args.get_str("kill-after-batches") {
             Some(_) => Some(args.get_or("kill-after-batches", u64::MAX)?),
             None => None,
@@ -842,16 +881,28 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         "samples",
         "split",
         "shards",
+        "batch",
         "seed",
         "credits",
         "policy",
         "max-skip",
         "max-lost",
         "timeout-ms",
+        "connect-timeout-ms",
+        "reconnect-attempts",
+        "reconnect-base-ms",
+        "reconnect-deadline-ms",
+        "preempt-storm",
+        "storm-policy",
+        "storm-workers",
+        "storm-ms-per-hour",
         "json",
         "history-dir",
         "no-history",
     ])?;
+    if args.get_str("preempt-storm").is_some() {
+        return cmd_preempt_storm(args);
+    }
     let workers: Vec<String> = args
         .get_str("workers")
         .ok_or("missing --workers A,B,... (serve-worker addresses)")?
@@ -880,6 +931,8 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         credits: args.get_or("credits", 8u32)?,
         policy: resilience.policy,
         read_timeout: Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?),
+        connect_timeout: Duration::from_millis(args.get_or("connect-timeout-ms", 5_000u64)?),
+        reconnect: parse_reconnect(args)?,
     };
 
     let telemetry = Telemetry::new();
@@ -944,6 +997,420 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         );
     }
     println!("multiset checksum: 0x{:016x}", report.checksum.digest());
+    Ok(())
+}
+
+/// `--policy` names for [`FleetPolicy`].
+fn parse_fleet_policy(name: &str, fallback_after: u32) -> Result<FleetPolicy, String> {
+    match name {
+        "greedy-spot" => Ok(FleetPolicy::GreedySpot),
+        "on-demand-fallback" => Ok(FleetPolicy::OnDemandFallback { fallback_after }),
+        "on-demand-only" => Ok(FleetPolicy::OnDemandOnly),
+        other => Err(format!(
+            "unknown fleet policy '{other}' (greedy-spot|on-demand-fallback|on-demand-only)"
+        )),
+    }
+}
+
+fn fleet_verdict_name(verdict: FleetVerdict) -> &'static str {
+    match verdict {
+        FleetVerdict::Completed => "completed",
+        FleetVerdict::Degraded => "degraded",
+    }
+}
+
+/// The fleet configuration shared by `fleet-sim` and the live
+/// `--preempt-storm` drill, from the common flags.
+fn parse_fleet_config(
+    args: &Args,
+    workers_key: &str,
+    default_workers: u32,
+) -> Result<FleetConfig, String> {
+    let workers = args.get_or(workers_key, default_workers)?.max(1);
+    let mut config = match args.get_str("market").unwrap_or("storm") {
+        "volatile" => FleetConfig::drill(workers),
+        "storm" => FleetConfig::storm(workers),
+        other => return Err(format!("unknown market '{other}' (volatile|storm)")),
+    };
+    config.epoch_hours = args.get_or("epoch-hours", config.epoch_hours)?;
+    config.rejoin_hours = args.get_or("rejoin-hours", config.rejoin_hours)?;
+    config.on_demand_per_hour = args.get_or("on-demand", config.on_demand_per_hour)?;
+    config.reconnect_budget = args.get_or("budget", config.reconnect_budget)?.max(1);
+    Ok(config)
+}
+
+fn cmd_fleet_sim(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "workers",
+        "seed",
+        "market",
+        "budget",
+        "epoch-hours",
+        "rejoin-hours",
+        "on-demand",
+        "policy",
+        "fallback-after",
+        "kill-log",
+        "json",
+    ])?;
+    let seed = args.get_or("seed", 1u64)?;
+    let config = parse_fleet_config(args, "workers", 4)?;
+    let fallback_after = args.get_or("fallback-after", config.reconnect_budget.max(2) - 1)?;
+    let outcomes: Vec<FleetOutcome> = match args.get_str("policy") {
+        Some(name) => vec![simulate(
+            &config,
+            parse_fleet_policy(name, fallback_after)?,
+            seed,
+        )],
+        None => rank_policies(&config, seed),
+    };
+    if args.get_str("json").is_some() {
+        let rows: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                format!(
+                    "{{\"policy\":\"{}\",\"verdict\":\"{}\",\"preemptions\":{},\
+                     \"worst_worker\":{},\"lost_workers\":{},\"on_demand_workers\":{},\
+                     \"cost_usd\":{:.4},\"elapsed_hours\":{:.3}}}",
+                    o.policy.name(),
+                    fleet_verdict_name(o.verdict),
+                    o.preemptions,
+                    o.worst_worker_preemptions,
+                    o.lost_workers,
+                    o.on_demand_workers,
+                    o.cost_usd,
+                    o.elapsed_hours,
+                )
+            })
+            .collect();
+        println!(
+            "{{\"schema\":\"presto.fleetsim.v1\",\"seed\":{seed},\"workers\":{},\
+             \"budget\":{},\"outcomes\":[{}]}}",
+            config.workers,
+            config.reconnect_budget,
+            rows.join(",")
+        );
+        return Ok(());
+    }
+    println!(
+        "fleet of {} on seed {seed} (reconnect budget {}, epoch {:.2}h):",
+        config.workers, config.reconnect_budget, config.epoch_hours
+    );
+    let mut table = TableBuilder::new(&[
+        "policy",
+        "verdict",
+        "kills",
+        "worst",
+        "lost",
+        "on-demand",
+        "cost",
+        "hours",
+    ]);
+    for o in &outcomes {
+        table.row(&[
+            o.policy.name().to_string(),
+            fleet_verdict_name(o.verdict).to_string(),
+            o.preemptions.to_string(),
+            o.worst_worker_preemptions.to_string(),
+            o.lost_workers.to_string(),
+            o.on_demand_workers.to_string(),
+            format!("${:.3}", o.cost_usd),
+            format!("{:.2}", o.elapsed_hours),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.get_str("kill-log").is_some() {
+        for o in &outcomes {
+            if o.kill_log.is_empty() {
+                println!("{}: no kills", o.policy.name());
+                continue;
+            }
+            println!("{} kill log:", o.policy.name());
+            for kill in &o.kill_log {
+                println!(
+                    "  {:>6.3}h worker {} (kill #{}, {})",
+                    kill.at_hours,
+                    kill.worker,
+                    kill.count,
+                    if kill.permanent {
+                        "written off"
+                    } else if kill.restart_on_spot {
+                        "rejoins on spot"
+                    } else {
+                        "promoted to on-demand"
+                    }
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// What the storm replay thread does at one scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StormAction {
+    /// Stop the worker (preemption).
+    Kill,
+    /// Bring the worker back on its original address (rejoin or
+    /// on-demand replacement — same address either way).
+    Respawn,
+}
+
+/// Live enactment of a simulated preemption storm (`train-client
+/// --preempt-storm SEED`): spawn local serve workers, replay the fleet
+/// simulator's kill schedule against them on a scaled clock, consume
+/// the epoch through the reconnecting client, and check that (a) a
+/// completed epoch's multiset checksum equals the single-process
+/// baseline and (b) the simulator's survival verdict matches what
+/// actually happened.
+fn cmd_preempt_storm(args: &Args) -> Result<(), String> {
+    let seed = args.get_or("preempt-storm", 1u64)?;
+    let ms_per_hour = args.get_or("storm-ms-per-hour", 2_000u64)?.max(1);
+    let samples = args.get_or("samples", 48usize)?.max(1);
+    let shards = args.get_or("shards", 12usize)?.max(1);
+    let batch = args.get_or("batch", 4usize)?.max(1);
+    let credits = args.get_or("credits", 4u32)?.max(1);
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+
+    // Predict first: the same seed that will drive the live storm.
+    let mut config = FleetConfig::storm(args.get_or("storm-workers", 3u32)?.max(1));
+    config.reconnect_budget = args.get_or("reconnect-attempts", 3u32)?.max(1);
+    let policy = parse_fleet_policy(
+        args.get_str("storm-policy").unwrap_or("on-demand-fallback"),
+        config.reconnect_budget.max(2) - 1,
+    )?;
+    let outcome = simulate(&config, policy, seed);
+    println!(
+        "predicted: {} on seed {seed}: {} ({} kills, worst worker {}, {} written off, ${:.3})",
+        policy.name(),
+        fleet_verdict_name(outcome.verdict),
+        outcome.preemptions,
+        outcome.worst_worker_preemptions,
+        outcome.lost_workers,
+        outcome.cost_usd,
+    );
+
+    // Workload, materialization, and the single-process baseline the
+    // stormed epoch must reproduce.
+    let (pipeline, source) = cv_workload(name, samples)?;
+    let split = args.get_or("split", 2usize.min(pipeline.max_split()))?;
+    let strategy = Strategy::at_split(split)
+        .with_threads(2)
+        .with_shards(shards);
+    let store = Arc::new(MemStore::new());
+    let exec = RealExecutor::new(2);
+    let (dataset, _prep) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .map_err(|e| e.to_string())?;
+    let baseline = {
+        let checksum = std::sync::Mutex::new(MultisetChecksum::default());
+        exec.epoch(&pipeline, &dataset, store.as_ref(), None, seed, |sample| {
+            checksum.lock().unwrap().add(sample)
+        })
+        .map_err(|e| e.to_string())?;
+        checksum.into_inner().unwrap()
+    };
+
+    // Pace batches so a full-fleet epoch spans roughly the simulated
+    // epoch on the scaled clock — kills then land mid-epoch in the
+    // same proportion they did in simulation.
+    let epoch_ms = (config.epoch_hours * ms_per_hour as f64) as u64;
+    let total_batches = samples.div_ceil(batch) + dataset.shards.len();
+    let pace_ms =
+        (epoch_ms * u64::from(config.workers) / total_batches.max(1) as u64).clamp(1, 1_000);
+    let worker_config = ServeWorkerConfig {
+        batch_samples: batch,
+        wire_codec: parse_wire_codec(args)?,
+        batch_pace: Duration::from_millis(pace_ms),
+        fail_after_batches: None,
+    };
+
+    let spawn_worker = |bind: &str| {
+        ServeWorker::spawn(
+            bind,
+            &pipeline,
+            &dataset,
+            Arc::clone(&store) as Arc<dyn BlobStore>,
+            Resilience::default(),
+            None,
+            worker_config.clone(),
+        )
+    };
+    let mut initial: Vec<Option<ServeWorker>> = Vec::new();
+    let mut addrs: Vec<String> = Vec::new();
+    for _ in 0..config.workers {
+        let worker = spawn_worker("127.0.0.1:0").map_err(|e| e.to_string())?;
+        addrs.push(worker.addr().to_string());
+        initial.push(Some(worker));
+    }
+    println!(
+        "live fleet: {} worker(s) on {}, {} shards, pace {pace_ms}ms/batch, clock {ms_per_hour}ms/h",
+        config.workers,
+        addrs.join(" "),
+        dataset.shards.len(),
+    );
+
+    // The storm schedule, scaled from simulated hours to live millis.
+    let mut schedule: Vec<(u64, usize, StormAction)> = Vec::new();
+    for kill in &outcome.kill_log {
+        let at = (kill.at_hours * ms_per_hour as f64) as u64;
+        schedule.push((at, kill.worker as usize, StormAction::Kill));
+        if !kill.permanent {
+            let back = ((kill.at_hours + config.rejoin_hours) * ms_per_hour as f64) as u64;
+            schedule.push((back, kill.worker as usize, StormAction::Respawn));
+        }
+    }
+    schedule.sort_by_key(|(at, _, _)| *at);
+
+    let fleet = Arc::new(std::sync::Mutex::new(initial));
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let storm = {
+        let fleet = Arc::clone(&fleet);
+        let done = Arc::clone(&done);
+        let addrs = addrs.clone();
+        let pipeline = pipeline.clone();
+        let dataset = dataset.clone();
+        let store = Arc::clone(&store);
+        let worker_config = worker_config.clone();
+        std::thread::spawn(move || {
+            use std::sync::atomic::Ordering;
+            let started = std::time::Instant::now();
+            let mut kills = 0u64;
+            for (at_ms, w, action) in schedule {
+                loop {
+                    if done.load(Ordering::Acquire) {
+                        return kills;
+                    }
+                    let elapsed = started.elapsed().as_millis() as u64;
+                    if elapsed >= at_ms {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis((at_ms - elapsed).min(20)));
+                }
+                match action {
+                    StormAction::Kill => {
+                        if let Some(worker) = fleet.lock().unwrap()[w].take() {
+                            worker.stop();
+                            kills += 1;
+                            println!("storm: {at_ms:>5}ms killed worker {w} ({})", addrs[w]);
+                        }
+                    }
+                    StormAction::Respawn => {
+                        // The listener port is free again (SO_REUSEADDR);
+                        // a few bind retries absorb shutdown races.
+                        for _ in 0..40 {
+                            match ServeWorker::spawn(
+                                &addrs[w],
+                                &pipeline,
+                                &dataset,
+                                Arc::clone(&store) as Arc<dyn BlobStore>,
+                                Resilience::default(),
+                                None,
+                                worker_config.clone(),
+                            ) {
+                                Ok(worker) => {
+                                    println!(
+                                        "storm: {at_ms:>5}ms worker {w} rejoined ({})",
+                                        addrs[w]
+                                    );
+                                    fleet.lock().unwrap()[w] = Some(worker);
+                                    break;
+                                }
+                                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                            }
+                        }
+                    }
+                }
+            }
+            kills
+        })
+    };
+
+    // The consuming client: a reconnect budget matching the simulated
+    // one, and a policy matching the drill's intent — greedy-spot runs
+    // are allowed to degrade (that is the lesson they teach), the
+    // on-demand policies must complete.
+    let client_config = ServeClientConfig {
+        credits,
+        policy: match policy {
+            FleetPolicy::GreedySpot => FaultPolicy::Degrade {
+                max_skipped_samples: 0,
+                max_lost_shards: dataset.shards.len() as u64,
+            },
+            _ => FaultPolicy::FailFast,
+        },
+        read_timeout: Duration::from_millis(args.get_or("timeout-ms", 10_000u64)?),
+        connect_timeout: Duration::from_millis(args.get_or("connect-timeout-ms", 1_000u64)?),
+        reconnect: RetryPolicy {
+            max_attempts: config.reconnect_budget,
+            base_backoff: Duration::from_millis(args.get_or("reconnect-base-ms", 300u64)?),
+            max_backoff: Duration::from_secs(2),
+            jitter: true,
+            deadline: None,
+        },
+    };
+    let live = std::sync::Mutex::new(MultisetChecksum::default());
+    let result = serve_epoch(
+        &addrs,
+        &dataset.shards,
+        seed,
+        &client_config,
+        None,
+        |sample| live.lock().unwrap().add(sample),
+    );
+    done.store(true, std::sync::atomic::Ordering::Release);
+    let live_kills = storm.join().unwrap_or(0);
+    for worker in fleet.lock().unwrap().drain(..).flatten() {
+        worker.stop();
+    }
+    let report = result.map_err(|e| format!("stormed epoch failed outright: {e}"))?;
+    let live = live.into_inner().unwrap();
+
+    let measured = if report.degraded {
+        FleetVerdict::Degraded
+    } else {
+        FleetVerdict::Completed
+    };
+    println!(
+        "live: {} samples in {:.2?} over {} round(s): {} kills, {} preemptions seen, \
+         {} reconnects, {} rejoins, {} shard(s) lost -> {}",
+        report.samples,
+        report.elapsed,
+        report.rounds,
+        live_kills,
+        report.preemptions,
+        report.reconnects,
+        report.rejoins,
+        report.lost_shards,
+        fleet_verdict_name(measured),
+    );
+    if measured == FleetVerdict::Completed {
+        let matches = live.digest() == baseline.digest() && live.count == baseline.count;
+        println!(
+            "checksum: live 0x{:016x} baseline 0x{:016x} ({})",
+            live.digest(),
+            baseline.digest(),
+            if matches { "match" } else { "MISMATCH" }
+        );
+        if !matches {
+            return Err("stormed epoch delivered a different multiset than the baseline".into());
+        }
+    } else {
+        println!(
+            "checksum: skipped ({} shard(s) lost under degrade policy)",
+            report.lost_shards
+        );
+    }
+    let agree = outcome.verdict == measured;
+    println!(
+        "verdict: predicted {} measured {} ({})",
+        fleet_verdict_name(outcome.verdict),
+        fleet_verdict_name(measured),
+        if agree { "agree" } else { "DISAGREE" }
+    );
+    if !agree {
+        return Err("fleet simulator verdict disagrees with the live storm outcome".into());
+    }
     Ok(())
 }
 

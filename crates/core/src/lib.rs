@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod cost;
 pub mod diagnosis;
 pub mod fidelity;
+pub mod fleet;
 pub mod profiler;
 pub mod report;
 pub mod search;

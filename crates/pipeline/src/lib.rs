@@ -23,6 +23,7 @@
 //!   regenerate the paper's experiments.
 
 pub mod batch;
+pub mod chaos;
 pub mod distributed;
 pub mod error;
 pub mod fault;

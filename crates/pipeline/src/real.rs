@@ -834,15 +834,18 @@ impl RealExecutor {
                 .cloned()
                 .collect();
             let codec = dataset.codec;
+            let capacity = prefetch.max(1);
             handles.push(std::thread::spawn(move || {
                 let mut deliver = |sample: Sample| {
                     // Count before sending so the consumer's decrement
                     // can never observe a counted sample it has not
-                    // been charged for. The gauge therefore includes
-                    // samples blocked in `send` — backpressure shows up
-                    // as depth at (or just above) capacity.
+                    // been charged for. Producers blocked in `send`
+                    // still increment first, so the raw counter can
+                    // transiently exceed the channel bound; clamp the
+                    // *recorded* depth at capacity — a blocked producer
+                    // is a full queue, not a deeper one.
                     let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-                    rec.queue_depth(depth as usize);
+                    rec.queue_depth((depth as usize).min(capacity));
                     if sender.send(Ok(sample)).is_err() {
                         return Deliver::Stop; // consumer hung up
                     }

@@ -36,16 +36,16 @@
 //! [`MultisetChecksum`] proves, order-insensitively.
 
 use crate::error::PipelineError;
-use crate::fault::{FaultCounters, FaultPolicy, Resilience};
+use crate::fault::{FaultCounters, FaultPolicy, Resilience, RetryPolicy};
 use crate::pipeline::Pipeline;
-use crate::real::{executable_steps, process_shard, Deliver, Materialized};
+use crate::real::{executable_steps, fnv64, process_shard, Deliver, Materialized};
 use crate::sample::Sample;
 use crate::store::BlobStore;
 use presto_codecs::checksum::Crc32;
 use presto_codecs::{Codec, Level};
 use presto_telemetry::{EpochRecorder, ServeProgress, Telemetry};
 use presto_tensor::{RecordReader, RecordWriter};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -425,28 +425,36 @@ impl CreditGate {
     }
 
     /// Take one credit, blocking as needed; counts at most one stall
-    /// per call. Returns false once closed or the worker is stopping.
-    fn take(&self, progress: &ServeProgress, stop: &AtomicBool) -> bool {
+    /// per call. Returns false once closed. Purely notification-driven:
+    /// the condvar is signalled on every credit grant and on close
+    /// (connection end, worker stop, kill switch all funnel through
+    /// [`CreditGate::close`] via the gate registry in `WorkerShared`),
+    /// so there is no poll interval — stall time and wakeup count land
+    /// in [`ServeProgress::credit_wait`], which is how tests prove the
+    /// absence of a busy-wait.
+    fn take(&self, progress: &ServeProgress) -> bool {
         let mut state = self.state.lock().unwrap();
-        let mut stalled = false;
-        loop {
-            if state.1 || stop.load(Ordering::Acquire) {
-                return false;
+        let mut stalled: Option<Instant> = None;
+        let mut wakes = 0u64;
+        let granted = loop {
+            if state.1 {
+                break false;
             }
             if state.0 > 0 {
                 state.0 -= 1;
-                return true;
+                break true;
             }
-            if !stalled {
-                stalled = true;
+            if stalled.is_none() {
+                stalled = Some(Instant::now());
                 progress.credit_stall();
             }
-            let (guard, _timeout) = self
-                .cv
-                .wait_timeout(state, Duration::from_millis(50))
-                .unwrap();
-            state = guard;
+            state = self.cv.wait(state).unwrap();
+            wakes += 1;
+        };
+        if let Some(since) = stalled {
+            progress.credit_wait(since.elapsed().as_nanos() as u64, wakes);
         }
+        granted
     }
 }
 
@@ -457,6 +465,12 @@ pub struct ServeWorkerConfig {
     pub batch_samples: usize,
     /// Compression applied to BATCH blocks on the wire.
     pub wire_codec: Codec,
+    /// Sleep before each BATCH frame, modeling a preprocessing node
+    /// whose online phase is slower than this synthetic workload's.
+    /// Storm drills use it to stretch a live epoch across the fleet
+    /// simulator's scaled timeline so kills land mid-epoch the way
+    /// they do in simulation.
+    pub batch_pace: Duration,
     /// Test/CI kill switch: after this many BATCH frames total the
     /// worker drops every connection and stops accepting — a simulated
     /// mid-epoch crash for failover tests.
@@ -468,6 +482,7 @@ impl Default for ServeWorkerConfig {
         ServeWorkerConfig {
             batch_samples: 16,
             wire_codec: Codec::None,
+            batch_pace: Duration::ZERO,
             fail_after_batches: None,
         }
     }
@@ -491,6 +506,10 @@ struct WorkerShared {
     work_lock: Mutex<()>,
     /// Open connections, for abrupt shutdown on stop/kill.
     conns: Mutex<Vec<TcpStream>>,
+    /// Per-connection credit gates, closed on stop/kill so senders
+    /// blocked in [`CreditGate::take`] wake immediately instead of
+    /// polling for the stop flag.
+    gates: Mutex<Vec<Arc<CreditGate>>>,
 }
 
 impl WorkerShared {
@@ -499,6 +518,9 @@ impl WorkerShared {
         self.stop.store(true, Ordering::Release);
         for stream in self.conns.lock().unwrap().iter() {
             let _ = stream.shutdown(Shutdown::Both);
+        }
+        for gate in self.gates.lock().unwrap().iter() {
+            gate.close();
         }
     }
 }
@@ -563,6 +585,7 @@ impl ServeWorker {
             stop: AtomicBool::new(false),
             work_lock: Mutex::new(()),
             conns: Mutex::new(Vec::new()),
+            gates: Mutex::new(Vec::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let accept = std::thread::Builder::new()
@@ -642,6 +665,11 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
         Err(_) => return,
     };
     let gate = Arc::new(CreditGate::new());
+    shared.gates.lock().unwrap().push(Arc::clone(&gate));
+    if shared.stop.load(Ordering::Acquire) {
+        // Lost the race with a crash that already swept the registry.
+        gate.close();
+    }
     let (assign_tx, assign_rx) = mpsc::channel::<(u64, u32, Vec<String>)>();
     let reader_gate = Arc::clone(&gate);
     let reader = std::thread::spawn(move || {
@@ -745,8 +773,11 @@ fn serve_assignment(
         }
         delivered += samples.len() as u64;
         for chunk in samples.chunks(shared.config.batch_samples.max(1)) {
-            if !gate.take(&shared.progress, &shared.stop) {
+            if !gate.take(&shared.progress) {
                 return Err(ServeError::Truncated);
+            }
+            if !shared.config.batch_pace.is_zero() {
+                std::thread::sleep(shared.config.batch_pace);
             }
             let mut block = RecordWriter::new();
             for sample in chunk {
@@ -790,8 +821,9 @@ fn serve_assignment(
 }
 
 /// Client-side tuning: credits bound worker-side in-flight batches,
-/// the policy decides what happens when every worker is gone, and the
-/// read timeout turns a hung worker into a failover.
+/// the policy decides what happens when every worker is gone, the
+/// timeouts turn a hung worker into a failover, and the reconnect
+/// policy decides how hard to try to re-admit a dead one.
 #[derive(Debug, Clone)]
 pub struct ServeClientConfig {
     /// BATCH credits granted up front per connection.
@@ -800,6 +832,18 @@ pub struct ServeClientConfig {
     pub policy: FaultPolicy,
     /// Per-read socket timeout; an unresponsive worker is failed over.
     pub read_timeout: Duration,
+    /// TCP connect timeout per connection attempt.
+    pub connect_timeout: Duration,
+    /// Reconnect schedule for failed workers: a worker gets
+    /// `max_attempts` connection lifecycles in one epoch (so
+    /// [`RetryPolicy::none`] reproduces the pre-rejoin behavior of
+    /// dropping a worker on its first failure), with the policy's
+    /// exponential backoff slept before each re-attempt and its
+    /// `deadline` — measured from epoch start — capping how long dead
+    /// workers keep being retried. A worker that completes an
+    /// assignment after failing counts as a **rejoin** and gets its
+    /// failure budget back.
+    pub reconnect: RetryPolicy,
 }
 
 impl Default for ServeClientConfig {
@@ -808,6 +852,8 @@ impl Default for ServeClientConfig {
             credits: 8,
             policy: FaultPolicy::FailFast,
             read_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            reconnect: RetryPolicy::none(),
         }
     }
 }
@@ -825,6 +871,12 @@ pub struct ServeReport {
     pub checksum: MultisetChecksum,
     /// Shards that had to move to a surviving worker.
     pub reassignments: u64,
+    /// Worker connections lost mid-epoch (presumed preemptions).
+    pub preemptions: u64,
+    /// Reconnect attempts made to previously failed workers.
+    pub reconnects: u64,
+    /// Workers re-admitted mid-epoch after a failure.
+    pub rejoins: u64,
     /// Shards abandoned under [`FaultPolicy::Degrade`].
     pub lost_shards: u64,
     /// True when any shard was lost.
@@ -863,9 +915,17 @@ struct ConnOutcome {
 /// Consume one epoch from `workers`, delivering every sample to
 /// `consume`. Shards are striped across workers exactly like
 /// [`crate::real::RealExecutor`] stripes them across threads; a dead or
-/// unresponsive worker's uncommitted shards are reassigned to the
-/// survivors until the epoch completes (or, with no survivors, the
-/// `config.policy` decides between failing and a degraded epoch).
+/// unresponsive worker's uncommitted shards are reassigned on the next
+/// round. Failed workers are not dropped outright: each gets
+/// [`ServeClientConfig::reconnect`] connection lifecycles (with backoff
+/// slept before each re-attempt), so a preempted worker that comes back
+/// on the same address rejoins mid-epoch and is handed pending shards
+/// again. Only when every worker has exhausted its budget (or the
+/// reconnect deadline has passed) does the `config.policy` decide
+/// between failing and a degraded epoch. Because online-step RNG is
+/// seeded per shard, none of this reordering changes the delivered
+/// multiset — the report's checksum stays equal to a single-process
+/// run's whenever the epoch completes.
 pub fn serve_epoch<F>(
     workers: &[String],
     shards: &[String],
@@ -896,10 +956,26 @@ where
         workers: workers.len() as u64,
         ..ServeReport::default()
     };
-    let mut live: Vec<String> = workers.to_vec();
+    // Connection lifecycles each worker has burned so far. A worker is
+    // a candidate while it has budget left; success resets its count.
+    let budget = config.reconnect.max_attempts.max(1);
+    let mut failures: HashMap<&String, u32> = workers.iter().map(|addr| (addr, 0u32)).collect();
     let mut pending: Vec<String> = shards.to_vec();
     while !pending.is_empty() {
-        if live.is_empty() {
+        let retry_open = !config
+            .reconnect
+            .deadline
+            .is_some_and(|d| started.elapsed() >= d);
+        // Healthy workers always participate; failed ones only while
+        // their budget and the reconnect deadline allow another try.
+        let candidates: Vec<(&String, u32)> = workers
+            .iter()
+            .filter_map(|addr| {
+                let tried = failures[addr];
+                (tried == 0 || (tried < budget && retry_open)).then_some((addr, tried))
+            })
+            .collect();
+        if candidates.is_empty() {
             match &config.policy {
                 FaultPolicy::FailFast => {
                     return Err(PipelineError::LostShard {
@@ -922,37 +998,46 @@ where
             }
         }
         report.rounds += 1;
-        // Stripe pending shards across live workers, same layout as the
-        // in-process engine stripes shards across threads.
-        let assignments: Vec<(String, Vec<String>)> = live
+        // Stripe pending shards across candidate workers, same layout
+        // as the in-process engine stripes shards across threads.
+        let assignments: Vec<(&String, u32, Vec<String>)> = candidates
             .iter()
             .enumerate()
-            .map(|(index, addr)| {
+            .map(|(index, &(addr, tried))| {
                 (
-                    addr.clone(),
+                    addr,
+                    tried,
                     pending
                         .iter()
                         .skip(index)
-                        .step_by(live.len())
+                        .step_by(candidates.len())
                         .cloned()
                         .collect::<Vec<String>>(),
                 )
             })
-            .filter(|(_, assigned)| !assigned.is_empty())
+            .filter(|(_, _, assigned)| !assigned.is_empty())
             .collect();
+        for (_, tried, _) in &assignments {
+            if *tried > 0 {
+                report.reconnects += 1;
+                if let Some(progress) = &progress {
+                    progress.record_reconnect_attempt();
+                }
+            }
+        }
         let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .iter()
-                .map(|(addr, assigned)| {
+                .map(|(addr, tried, assigned)| {
                     scope.spawn(move || {
-                        consume_assignment(addr, assigned, epoch_seed, config, consume)
+                        consume_assignment(addr, assigned, epoch_seed, config, *tried, consume)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
                 .zip(assignments.iter())
-                .map(|(handle, (_, assigned))| {
+                .map(|(handle, (_, _, assigned))| {
                     handle.join().unwrap_or_else(|_| ConnOutcome {
                         failed: assigned.clone(),
                         ..ConnOutcome::default()
@@ -960,9 +1045,8 @@ where
                 })
                 .collect()
         });
-        let mut dead: HashSet<String> = HashSet::new();
         let mut next_pending: Vec<String> = Vec::new();
-        for ((addr, _), outcome) in assignments.into_iter().zip(outcomes) {
+        for ((addr, tried, assigned), outcome) in assignments.into_iter().zip(outcomes) {
             if let Some(fatal) = outcome.fatal {
                 return Err(fatal);
             }
@@ -971,12 +1055,33 @@ where
             report.bytes_received += outcome.bytes;
             report.checksum.merge(outcome.checksum);
             if !outcome.failed.is_empty() {
-                dead.insert(addr);
+                // The budget counts *consecutive lifeless* lifecycles:
+                // a connection that committed a shard — or even just
+                // streamed valid batches — before dying proves the
+                // worker alive (a flaky link, not a corpse), so its
+                // count restarts at this one failure instead of
+                // accumulating toward the write-off threshold. Only a
+                // worker that goes `max_attempts` lifecycles without a
+                // single sign of life is dropped; callers that need a
+                // hard bound under an endlessly flaky link set
+                // `reconnect.deadline`.
+                let alive = outcome.failed.len() < assigned.len() || outcome.batches > 0;
+                *failures.get_mut(addr).unwrap() = if alive { 1 } else { tried + 1 };
+                report.preemptions += 1;
+                if let Some(progress) = &progress {
+                    progress.record_preemption();
+                }
                 next_pending.extend(outcome.failed);
+            } else if tried > 0 {
+                // Came back after failing: a mid-epoch rejoin.
+                *failures.get_mut(addr).unwrap() = 0;
+                report.rejoins += 1;
+                if let Some(progress) = &progress {
+                    progress.record_rejoin();
+                }
             }
         }
         if !next_pending.is_empty() {
-            live.retain(|addr| !dead.contains(addr));
             report.reassignments += next_pending.len() as u64;
             if let Some(progress) = &progress {
                 progress.record_reassignments(next_pending.len() as u64);
@@ -992,12 +1097,16 @@ where
 }
 
 /// Drive one worker connection through one assignment, committing each
-/// shard's buffered samples on its EOF.
+/// shard's buffered samples on its EOF. `attempt` counts earlier failed
+/// connection lifecycles of this worker: a re-attempt first sleeps the
+/// reconnect policy's backoff (jittered deterministically per worker),
+/// giving a preempted worker time to come back on the same address.
 fn consume_assignment<F>(
     addr: &str,
     shards: &[String],
     epoch_seed: u64,
     config: &ServeClientConfig,
+    attempt: u32,
     consume: &F,
 ) -> ConnOutcome
 where
@@ -1011,7 +1120,10 @@ where
         Ok(parsed) => parsed,
         Err(_) => return outcome,
     };
-    let stream = match TcpStream::connect_timeout(&parsed, Duration::from_secs(5)) {
+    if attempt > 0 {
+        std::thread::sleep(config.reconnect.backoff(attempt, epoch_seed ^ fnv64(addr)));
+    }
+    let stream = match TcpStream::connect_timeout(&parsed, config.connect_timeout) {
         Ok(stream) => stream,
         Err(_) => return outcome,
     };
@@ -1210,19 +1322,66 @@ mod tests {
     fn credit_gate_blocks_until_granted_and_counts_stalls() {
         let gate = Arc::new(CreditGate::new());
         let progress = ServeProgress::default();
-        let stop = AtomicBool::new(false);
         gate.add(1);
-        assert!(gate.take(&progress, &stop));
+        assert!(gate.take(&progress));
         assert_eq!(progress.snapshot().credit_stalls, 0);
         let waiter = Arc::clone(&gate);
         let handle = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             waiter.add(1);
         });
-        assert!(gate.take(&progress, &stop));
+        assert!(gate.take(&progress));
         assert_eq!(progress.snapshot().credit_stalls, 1);
         handle.join().unwrap();
         gate.close();
-        assert!(!gate.take(&progress, &stop));
+        assert!(!gate.take(&progress));
+    }
+
+    #[test]
+    fn credit_gate_waits_without_polling() {
+        // A 300 ms stall under the old 50 ms `wait_timeout` poll loop
+        // woke ~6 times; the notify-driven gate wakes only for the
+        // grant itself (plus at most a spurious wakeup or two). The
+        // wake/stall ratio in the idle-time telemetry is the
+        // busy-wait detector.
+        let gate = Arc::new(CreditGate::new());
+        let progress = ServeProgress::default();
+        let waiter = Arc::clone(&gate);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            waiter.add(1);
+        });
+        assert!(gate.take(&progress));
+        handle.join().unwrap();
+        let snap = progress.snapshot();
+        assert_eq!(snap.credit_stalls, 1);
+        assert!(
+            snap.credit_wait_ns >= 250_000_000,
+            "stall time should be recorded, got {} ns",
+            snap.credit_wait_ns
+        );
+        assert!(
+            snap.credit_wakes <= 3,
+            "notify-driven gate should not spin: {} wakes for one stall",
+            snap.credit_wakes
+        );
+    }
+
+    #[test]
+    fn crash_wakes_a_sender_blocked_on_credit() {
+        // The gate registry must propagate a worker crash to senders
+        // parked in `take` — without the old poll loop, a missed
+        // close would hang them forever.
+        let gate = Arc::new(CreditGate::new());
+        let progress = ServeProgress::default();
+        let closer = Arc::clone(&gate);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            closer.close();
+        });
+        let started = Instant::now();
+        assert!(!gate.take(&progress));
+        assert!(started.elapsed() < Duration::from_secs(5));
+        handle.join().unwrap();
     }
 }

@@ -304,9 +304,34 @@ pub fn prometheus_serve(serve: &ServeSnapshot) -> String {
         serve.credit_stalls,
     );
     gauge(
+        "presto_serve_credit_wait_ns_total",
+        "Time spent stalled waiting for credit, nanoseconds.",
+        serve.credit_wait_ns,
+    );
+    gauge(
+        "presto_serve_credit_wakes_total",
+        "Condvar wakeups while stalled on credit.",
+        serve.credit_wakes,
+    );
+    gauge(
         "presto_serve_reassignments_total",
         "Shards reassigned after worker failures.",
         serve.reassignments,
+    );
+    gauge(
+        "presto_serve_preemptions_total",
+        "Worker connections lost mid-epoch (presumed preemptions).",
+        serve.preemptions,
+    );
+    gauge(
+        "presto_serve_reconnect_attempts_total",
+        "Reconnect attempts to previously failed workers.",
+        serve.reconnect_attempts,
+    );
+    gauge(
+        "presto_serve_rejoins_total",
+        "Workers re-admitted mid-epoch after a failure.",
+        serve.rejoins,
     );
     gauge(
         "presto_serve_done",
@@ -976,7 +1001,12 @@ mod tests {
         progress.batch_sent(4096);
         progress.batch_sent(1024);
         progress.credit_stall();
+        progress.credit_wait(7_000, 2);
         progress.record_reassignments(3);
+        progress.record_preemption();
+        progress.record_reconnect_attempt();
+        progress.record_reconnect_attempt();
+        progress.record_rejoin();
         progress.finish();
         let series = parse_prometheus(&prometheus_serve(&progress.snapshot()))?;
         assert_eq!(series_value(&series, "presto_serve_workers")?, 2.0);
@@ -996,6 +1026,23 @@ mod tests {
             series_value(&series, "presto_serve_reassignments_total")?,
             3.0
         );
+        assert_eq!(
+            series_value(&series, "presto_serve_credit_wait_ns_total")?,
+            7000.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_credit_wakes_total")?,
+            2.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_preemptions_total")?,
+            1.0
+        );
+        assert_eq!(
+            series_value(&series, "presto_serve_reconnect_attempts_total")?,
+            2.0
+        );
+        assert_eq!(series_value(&series, "presto_serve_rejoins_total")?, 1.0);
         assert_eq!(series_value(&series, "presto_serve_done")?, 1.0);
         Ok(())
     }

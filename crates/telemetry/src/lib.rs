@@ -744,7 +744,12 @@ pub struct ServeProgress {
     batches_sent: AtomicU64,
     bytes_sent: AtomicU64,
     credit_stalls: AtomicU64,
+    credit_wait_ns: AtomicU64,
+    credit_wakes: AtomicU64,
     reassignments: AtomicU64,
+    preemptions: AtomicU64,
+    reconnect_attempts: AtomicU64,
+    rejoins: AtomicU64,
     done: AtomicU64,
 }
 
@@ -756,7 +761,12 @@ impl ServeProgress {
         self.batches_sent.store(0, Ordering::Relaxed);
         self.bytes_sent.store(0, Ordering::Relaxed);
         self.credit_stalls.store(0, Ordering::Relaxed);
+        self.credit_wait_ns.store(0, Ordering::Relaxed);
+        self.credit_wakes.store(0, Ordering::Relaxed);
         self.reassignments.store(0, Ordering::Relaxed);
+        self.preemptions.store(0, Ordering::Relaxed);
+        self.reconnect_attempts.store(0, Ordering::Relaxed);
+        self.rejoins.store(0, Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
     }
 
@@ -772,11 +782,37 @@ impl ServeProgress {
         self.credit_stalls.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the end of one credit stall: how long the sender slept
+    /// and how many times the condvar woke it before a credit (or
+    /// close) arrived. A notify-driven gate wakes O(1) times per
+    /// stall; a polling gate wakes once per poll interval — the ratio
+    /// of these two gauges is the busy-wait detector used in tests.
+    pub fn credit_wait(&self, ns: u64, wakes: u64) {
+        self.credit_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.credit_wakes.fetch_add(wakes, Ordering::Relaxed);
+    }
+
     /// Record `n` shards reassigned after a worker failure.
     pub fn record_reassignments(&self, n: u64) {
         if n > 0 {
             self.reassignments.fetch_add(n, Ordering::Relaxed);
         }
+    }
+
+    /// Record one worker connection lost mid-epoch (presumed
+    /// preempted or partitioned away).
+    pub fn record_preemption(&self) {
+        self.preemptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one reconnect attempt to a previously failed worker.
+    pub fn record_reconnect_attempt(&self) {
+        self.reconnect_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one worker re-admitted mid-epoch after a failure.
+    pub fn record_rejoin(&self) {
+        self.rejoins.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mark the serve session finished.
@@ -791,7 +827,12 @@ impl ServeProgress {
             batches_sent: self.batches_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             credit_stalls: self.credit_stalls.load(Ordering::Relaxed),
+            credit_wait_ns: self.credit_wait_ns.load(Ordering::Relaxed),
+            credit_wakes: self.credit_wakes.load(Ordering::Relaxed),
             reassignments: self.reassignments.load(Ordering::Relaxed),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+            reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
+            rejoins: self.rejoins.load(Ordering::Relaxed),
             done: self.done.load(Ordering::Relaxed) != 0,
         }
     }
@@ -809,8 +850,19 @@ pub struct ServeSnapshot {
     pub bytes_sent: u64,
     /// Stalls waiting for flow-control credit.
     pub credit_stalls: u64,
+    /// Total time spent stalled waiting for credit, nanoseconds.
+    pub credit_wait_ns: u64,
+    /// Condvar wakeups while stalled (≈ stalls for a notify-driven
+    /// gate, ≫ stalls for a polling one).
+    pub credit_wakes: u64,
     /// Shards reassigned after worker failures.
     pub reassignments: u64,
+    /// Worker connections lost mid-epoch (presumed preemptions).
+    pub preemptions: u64,
+    /// Reconnect attempts to previously failed workers.
+    pub reconnect_attempts: u64,
+    /// Workers re-admitted mid-epoch after a failure.
+    pub rejoins: u64,
     /// True once the session has finished.
     pub done: bool,
 }

@@ -227,6 +227,12 @@ fn streaming_epoch_records_queue_depth_and_spans() {
     );
     assert!(snapshot.queue.max_depth >= 1);
     assert!(snapshot.queue.mean_depth > 0.0);
+    assert!(
+        snapshot.queue.max_depth <= snapshot.queue.capacity,
+        "gauge {} exceeds channel capacity {}",
+        snapshot.queue.max_depth,
+        snapshot.queue.capacity
+    );
 
     assert!(!snapshot.spans.is_empty());
     assert_eq!(snapshot.dropped_spans, 0);
@@ -241,6 +247,43 @@ fn streaming_epoch_records_queue_depth_and_spans() {
         assert!((span.worker as usize) < 3);
         assert!((span.phase as usize) < snapshot.steps.len());
     }
+}
+
+/// Regression: with more producers than queue slots and a consumer
+/// that lags, producers pile up in `send`. The raw in-flight counter
+/// counts them before they block, so the *recorded* gauge used to
+/// exceed the channel capacity (max_depth 19 on a capacity-16 run).
+/// The gauge must clamp at capacity: a blocked producer is a full
+/// queue, not a deeper one.
+#[test]
+fn queue_depth_gauge_never_exceeds_capacity() {
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source = cv_source(24);
+    let strategy = Strategy::at_split(pipeline.max_split())
+        .with_threads(6)
+        .with_shards(12);
+    let telemetry = Telemetry::new();
+    let exec = RealExecutor::new(6).with_telemetry(Arc::clone(&telemetry));
+    let store = Arc::new(MemStore::new());
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .unwrap();
+    // Capacity 2 with 6 producers: almost every send finds the queue
+    // full, and the lagging consumer keeps it that way.
+    let mut stream = exec.stream_epoch(&pipeline, &dataset, store, 2, 3).unwrap();
+    for result in &mut stream {
+        result.unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    stream.join().unwrap();
+    let snapshot = telemetry.last_epoch().unwrap();
+    assert_eq!(snapshot.queue.capacity, 2);
+    assert!(snapshot.queue.max_depth >= 1);
+    assert!(
+        snapshot.queue.max_depth <= 2,
+        "gauge {} exceeds capacity 2",
+        snapshot.queue.max_depth
+    );
 }
 
 #[test]

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Vendors the subset used by `crates/bench/benches/micro.rs`:
+//! [`Criterion::benchmark_group`], group configuration
+//! (`measurement_time`, `warm_up_time`, `throughput`),
+//! [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`],
+//! [`Throughput`] and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of upstream's statistical sampling, each benchmark runs a
+//! short timed loop (capped well below the requested measurement
+//! time) and prints mean wall-clock per iteration plus derived
+//! throughput. Good enough to exercise the bench targets and eyeball
+//! relative cost; not a statistics engine.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint to keep the optimizer from deleting benchmarked work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units for reporting derived throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A benchmark name with a parameter, e.g. `compress/6`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the closure; drives the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over a few batches, accumulating mean cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then batches until the soft cap.
+        black_box(routine());
+        let cap = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut batch = 1u64;
+        while start.elapsed() < cap {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.elapsed += t.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub keeps its own cap.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub warms up per-bench.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Set the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        if bencher.iters == 0 {
+            println!("{}/{id}: no iterations", self.name);
+            return;
+        }
+        let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+        let mut line = format!(
+            "{}/{id}: {:.3} us/iter ({} iters)",
+            self.name,
+            per_iter * 1e6,
+            bencher.iters
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if per_iter > 0.0 => {
+                let mibs = bytes as f64 / per_iter / (1024.0 * 1024.0);
+                line.push_str(&format!(", {mibs:.1} MiB/s"));
+            }
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                line.push_str(&format!(", {:.0} elem/s", n as f64 / per_iter));
+            }
+            _ => {}
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle bench functions under one group name, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group
+            .measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_millis(500));
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| b.iter(|| (0u64..64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, k| b.iter(|| k * 7));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("compress", 6).to_string(), "compress/6");
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Vendors the subset this workspace uses: `channel::bounded` with
+//! cloneable `Sender`/`Receiver`, blocking `send`/`recv`, and
+//! `try_iter`. Implemented as a `Mutex<VecDeque>` with two condvars
+//! (not-empty / not-full). Disconnect semantics match upstream: a
+//! send fails once every receiver is gone; a recv fails once every
+//! sender is gone *and* the queue is drained.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers dropped;
+    /// carries the unsent value back, like upstream.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// The sending half; clone for multiple producers.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// The receiving half; clone for multiple consumers.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// A bounded MPMC channel holding at most `capacity` messages.
+    /// `capacity` of zero is coerced to one (upstream's zero-capacity
+    /// rendezvous channel is not used by this workspace).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity: capacity.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue. Fails only when
+        /// every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < state.capacity {
+                    state.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.0.not_full.wait(state).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake receivers so they observe the disconnect.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives. Fails once the channel is
+        /// drained and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Pop whatever is ready right now without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter(self)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake senders so blocked sends fail fast.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator over immediately-available messages; see
+    /// [`Receiver::try_iter`].
+    pub struct TryIter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            let mut state = self.0 .0.state.lock().unwrap();
+            let value = state.queue.pop_front();
+            if value.is_some() {
+                self.0 .0.not_full.notify_one();
+            }
+            value
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::bounded;
+        use std::time::Duration;
+
+        #[test]
+        fn fifo_roundtrip() {
+            let (tx, rx) = bounded(4);
+            for i in 0..4 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.recv(), Ok(0));
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+        }
+
+        #[test]
+        fn send_blocks_at_capacity_until_recv() {
+            let (tx, rx) = bounded(1);
+            tx.send(1u32).unwrap();
+            let handle = std::thread::spawn(move || {
+                tx.send(2).unwrap();
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            handle.join().unwrap();
+        }
+
+        #[test]
+        fn recv_errors_after_senders_drop() {
+            let (tx, rx) = bounded(2);
+            tx.send(9u8).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn send_errors_after_receivers_drop() {
+            let (tx, rx) = bounded(2);
+            drop(rx);
+            assert!(tx.send(1u8).is_err());
+        }
+
+        #[test]
+        fn cloned_senders_count() {
+            let (tx, rx) = bounded(8);
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(5u8).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(5));
+            assert!(rx.recv().is_err());
+        }
+    }
+}

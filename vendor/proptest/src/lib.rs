@@ -1,0 +1,568 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this vendors the
+//! property-testing subset the workspace's `proptests.rs` suites use:
+//! the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_oneof!`] macros, the [`strategy::Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, [`strategy::Just`],
+//! [`arbitrary::any`], [`collection::vec`], numeric-range strategies,
+//! tuple and `Vec<S>` composite strategies, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, none of which the workspace's tests
+//! rely on: inputs are drawn from a fixed per-test SplitMix64 stream
+//! (seeded from the test name), so runs are fully deterministic and
+//! reproducible; there is no shrinking — a failing case reports the
+//! case index and panics with the original assertion message.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 word source driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from the test name and case index so every test gets a
+        /// distinct but reproducible stream.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E3779B97F4A7C15)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        pub fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        /// Uniform in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform in `[0, 1)` with 53-bit resolution.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draw one value from the deterministic stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Generate a value, then generate from a strategy derived
+        /// from it.
+        fn prop_flat_map<S, F>(self, flat: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, flat }
+        }
+
+        /// Keep only values passing `pred`; panics (with `reason`)
+        /// after too many consecutive rejections rather than
+        /// upstream's global rejection budget.
+        fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Type-erase for heterogeneous composition ([`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy; what [`prop_oneof!`] arms become.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        flat: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.flat)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let value = self.inner.generate(rng);
+                if (self.pred)(&value) {
+                    return value;
+                }
+            }
+            panic!(
+                "prop_filter rejected 10000 consecutive values: {}",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice among boxed alternatives; built by
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        pub arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.below(self.arms.len() as u64) as usize;
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128
+                        + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let span =
+                        (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                    (*self.start() as i128
+                        + (u128::from(rng.next_u64()) % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0);
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
+        (A 0, B 1, C 2, D 3, E 4, F 5);
+    }
+
+    /// A `Vec` of strategies generates element-wise, like upstream.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T` — `any::<u8>()` etc.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    /// See [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    // Full bit-pattern floats, NaNs and infinities included, matching
+    // upstream's any::<fXX>() domain.
+    impl Arbitrary for f32 {
+        fn arbitrary_value(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u32())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible element counts for [`vec`]: an exact count or a
+    /// (half-open or inclusive) range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: r.end() + 1,
+            }
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.lo < self.size.hi_exclusive, "empty size range");
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Declare deterministic property tests. Each `fn name(pat in
+/// strategy, ...) { body }` becomes a test that draws `cases` inputs
+/// from a stream seeded by the test's name and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                // Bodies run in a Result-returning closure so `return
+                // Ok(())` works mid-test, as it does upstream.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $(
+                            let $pat = $crate::strategy::Strategy::generate(
+                                &($strat),
+                                &mut __rng,
+                            );
+                        )+
+                        $body
+                        Ok(())
+                    })();
+                if let ::core::result::Result::Err(message) = __outcome {
+                    panic!("case {case}: {message}");
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert within a property test; forwards to `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property test; forwards to `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union {
+            arms: vec![$($crate::strategy::Strategy::boxed($arm)),+],
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl crate::strategy::Strategy<Value = u64> {
+        (0u64..500).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges honor their bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3usize..17, b in 0u8..=9, f in 0.5f64..2.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b <= 9);
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+
+        /// Collections honor their size range; filters hold.
+        #[test]
+        fn vec_and_filter(data in crate::collection::vec(any::<u8>(), 0..64),
+                          fin in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+            prop_assert!(data.len() < 64);
+            prop_assert!(fin.is_finite());
+        }
+
+        /// prop_oneof, flat_map and Vec<S> compose.
+        #[test]
+        fn composition(v in prop_oneof![Just(1usize), Just(3usize)],
+                       evens in crate::collection::vec(arb_even(), 1..5),
+                       nested in (1usize..4).prop_flat_map(|n| {
+                           let strats: Vec<_> = (0..n).map(|_| arb_even()).collect();
+                           strats.prop_map(|vals| vals.len())
+                       })) {
+            prop_assert!(v == 1 || v == 3);
+            prop_assert!(evens.iter().all(|e| e % 2 == 0));
+            prop_assert!((1..4).contains(&nested));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u8>(), 0..32);
+        let mut r1 = crate::test_runner::TestRng::for_case("det", 0);
+        let mut r2 = crate::test_runner::TestRng::for_case("det", 0);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
