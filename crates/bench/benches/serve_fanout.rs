@@ -10,7 +10,7 @@ use presto_datasets::{generators, steps};
 use presto_formats::image::jpg;
 use presto_pipeline::real::{BlobStore, MemStore, RealExecutor};
 use presto_pipeline::serve::{serve_epoch, ServeClientConfig, ServeWorker, ServeWorkerConfig};
-use presto_pipeline::{Resilience, Sample, Strategy};
+use presto_pipeline::{Resilience, Sample, Strategy, Telemetry};
 use std::sync::Arc;
 
 fn main() {
@@ -104,4 +104,61 @@ fn main() {
     println!("(one serve-worker on loopback; the per-job rate halves with each");
     println!(" doubling of concurrent trainers once the node saturates — the");
     println!(" fan-out trade-off of the paper's Section 7, measured.)");
+    drop(worker);
+
+    // Fleet tracing priced against the bare protocol on the same
+    // worker: the v2 clock handshake, per-shard client spans, metered
+    // reads and the end-of-assignment STATS frame. `tracing: false`
+    // skips all of it while keeping the telemetry handle, so the
+    // delta is exactly what observability costs.
+    let traced_worker = ServeWorker::spawn(
+        "127.0.0.1:0",
+        &pipeline,
+        &dataset,
+        Arc::clone(&store) as Arc<dyn BlobStore>,
+        Resilience::default(),
+        Some(Telemetry::new()),
+        ServeWorkerConfig::default(),
+    )
+    .expect("spawn traced worker");
+    let traced_addr = traced_worker.addr().to_string();
+    let epoch_sps = |tracing: bool| -> f64 {
+        let telemetry = Telemetry::new();
+        let config = ServeClientConfig {
+            tracing,
+            ..ServeClientConfig::default()
+        };
+        let mut runs: Vec<f64> = (0..5)
+            .map(|seed| {
+                serve_epoch(
+                    std::slice::from_ref(&traced_addr),
+                    &dataset.shards,
+                    seed,
+                    &config,
+                    Some(&telemetry),
+                    |_| {},
+                )
+                .expect("serve epoch")
+                .samples_per_second()
+            })
+            .collect();
+        runs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        runs[2]
+    };
+    let _ = epoch_sps(false); // warm-up
+    let bare = epoch_sps(false);
+    let traced = epoch_sps(true);
+    println!();
+    println!(
+        "fleet tracing: {traced:.0} SPS traced vs {bare:.0} SPS bare ({:.1}% overhead)",
+        (1.0 - traced / bare) * 100.0
+    );
+    // CI gate (PRESTO_SERVE_TRACE_GATE=1): tracing must stay within
+    // 5% of the untraced protocol.
+    if std::env::var("PRESTO_SERVE_TRACE_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            traced >= bare * 0.95,
+            "tracing overhead gate failed: {traced:.0} SPS < 95% of {bare:.0} SPS"
+        );
+    }
 }

@@ -10,15 +10,18 @@ use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
 use presto_codecs::{Codec, Level};
 use presto_datasets::{all_workloads, cv, generators, steps, Workload};
+use presto_pipeline::chaos::{ChaosFault, ChaosProxy};
 use presto_pipeline::distributed;
 use presto_pipeline::real::{
     AppCache, BlobStore, FaultSpec, FaultStore, MemStore, RealExecutor, RetryPolicy,
 };
 use presto_pipeline::serve::{
     serve_epoch, MultisetChecksum, ServeClientConfig, ServeReport, ServeWorker, ServeWorkerConfig,
+    PROTOCOL_VERSION,
 };
 use presto_pipeline::sim::{EpochReport, SimEnv, Simulator, StrategyProfile};
 use presto_pipeline::telemetry::export as telemetry_export;
+use presto_pipeline::telemetry::fleet as telemetry_fleet;
 use presto_pipeline::telemetry::history::{self, RunStore};
 use presto_pipeline::telemetry::http::MetricsServer;
 use presto_pipeline::telemetry::timeseries::{self, Sampler};
@@ -60,13 +63,16 @@ commands:
       [--batch N] [--wire-codec none|gzip|zlib] [--retries N]
       [--policy failfast|degrade] [--max-skip N] [--max-lost N]
       [--kill-after-batches N] [--batch-pace-ms MS] [--metrics ADDR]
-      [--sample-ms MS] [--run-secs S]
+      [--sample-ms MS] [--run-secs S] [--proto-max V]
   train-client <pipeline>        consume one epoch from serve-workers
       --workers A,B,... [--samples N] [--split N] [--shards N] [--seed S]
       [--credits N] [--policy failfast|degrade] [--max-lost N]
       [--timeout-ms MS] [--connect-timeout-ms MS]
       [--reconnect-attempts N] [--reconnect-base-ms MS]
       [--reconnect-deadline-ms MS]
+      [--trace-id N] [--no-trace] [--proto-max V] [--fleet-out FILE]
+      [--serve ADDR] serve /metrics + /fleet.json during the epoch,
+      plus [--serve-linger-ms MS] to keep them scrapeable afterwards
       [--json] [--history-dir DIR] [--no-history]
       [--preempt-storm SEED] live preemption drill: spawns local
       workers, replays the fleet simulator's kill schedule against
@@ -80,9 +86,17 @@ commands:
       [--fallback-after N] [--kill-log] [--json]
   sim-vs-real <pipeline>         fan-out model vs the real TCP service
       [--samples N] [--split N] [--shards N] [--jobs J] [--sim-samples N]
+  chaos-proxy --upstream ADDR    deterministic fault-injecting TCP proxy
+      [--seed S] [--throttle-bps N] [--delay-ms MS] [--delay-pct P]
+      [--partition-ms MS] [--partition-pct P] [--corrupt-pct P]
+      [--disconnect-pct P] [--events-out FILE] [--run-secs S]
+  trace --merge                  merge fleet + chaos docs into one
+      --fleet FILE [--chaos FILE] [--out FILE]   Chrome trace
   watch <pipeline>               live dashboard over a real-engine run
       [--samples N] [--threads N] [--split N] [--epochs N] [--cache]
       [--refresh-ms MS] [--sample-ms MS] [--plain]
+      [--attach ADDR] render serve/fleet gauges scraped from a running
+      serve-worker or train-client /metrics, plus [--frames N]
       [--search] live strategy-search progress (any pipeline), plus
       [--jobs N] [--prune] [--probe-samples N] [--keep F] [--serve ADDR]
       [--wp W] [--ws W] [--wt W] [--ssd]
@@ -91,7 +105,7 @@ commands:
   compare <run-a> <run-b>        per-metric deltas + regression verdict
       [--noise F] [--fail F] [--fail-on-regression] [--history-dir DIR]
   validate <file>                check a document with presto's own parsers
-      --format json|prom|trace|timeseries
+      --format json|prom|trace|timeseries|fleet
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -113,6 +127,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "realrun" => cmd_realrun(&args),
         "serve-worker" => cmd_serve_worker(&args),
         "train-client" => cmd_train_client(&args),
+        "chaos-proxy" => cmd_chaos_proxy(&args),
+        "trace" => cmd_trace(&args),
         "fleet-sim" => cmd_fleet_sim(&args),
         "sim-vs-real" => cmd_sim_vs_real(&args),
         "watch" => cmd_watch(&args),
@@ -782,6 +798,7 @@ fn cmd_serve_worker(args: &Args) -> Result<(), String> {
         "metrics",
         "sample-ms",
         "run-secs",
+        "proto-max",
     ])?;
     let bind = args
         .get_str("bind")
@@ -800,6 +817,7 @@ fn cmd_serve_worker(args: &Args) -> Result<(), String> {
             Some(_) => Some(args.get_or("kill-after-batches", u64::MAX)?),
             None => None,
         },
+        max_version: args.get_or("proto-max", PROTOCOL_VERSION)?,
     };
 
     let store = Arc::new(MemStore::new());
@@ -896,6 +914,13 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         "storm-policy",
         "storm-workers",
         "storm-ms-per-hour",
+        "trace-id",
+        "no-trace",
+        "proto-max",
+        "fleet-out",
+        "serve",
+        "serve-linger-ms",
+        "sample-ms",
         "json",
         "history-dir",
         "no-history",
@@ -927,17 +952,54 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         .collect();
     let seed = args.get_or("seed", 0u64)?;
     let resilience = parse_resilience(args, samples as u64, shard_count as u64)?;
+    let tracing = args.get_str("no-trace").is_none();
     let config = ServeClientConfig {
         credits: args.get_or("credits", 8u32)?,
         policy: resilience.policy,
         read_timeout: Duration::from_millis(args.get_or("timeout-ms", 30_000u64)?),
         connect_timeout: Duration::from_millis(args.get_or("connect-timeout-ms", 5_000u64)?),
         reconnect: parse_reconnect(args)?,
+        tracing,
+        trace_id: args.get_or("trace-id", 0u64)?,
+        max_version: args.get_or("proto-max", PROTOCOL_VERSION)?,
     };
 
     let telemetry = Telemetry::new();
-    let rec = telemetry.begin_epoch(&["serve".to_string()], workers.len(), 0);
-    rec.set_epoch_seed(seed);
+    // --serve: the fleet aggregator endpoint. /metrics carries the
+    // merged epoch + serve + fleet gauge families, /fleet.json the
+    // presto.fleet.v1 bundle, live while the epoch runs.
+    let _observability = match args.get_str("serve") {
+        Some(addr) => {
+            let sampler = Sampler::spawn(
+                Arc::clone(&telemetry),
+                Duration::from_millis(args.get_or("sample-ms", 200u64)?.max(1)),
+                timeseries::DEFAULT_RING_CAPACITY,
+            );
+            let server = MetricsServer::serve(addr, Arc::clone(&telemetry), sampler.series())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            let line = format!(
+                "serving http://{0}/metrics and http://{0}/fleet.json",
+                server.addr()
+            );
+            if json_only {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+            Some((sampler, server))
+        }
+        None => None,
+    };
+    // With tracing on, serve_epoch owns the epoch recorder (shards as
+    // steps, per-shard client spans); with --no-trace we record the
+    // epoch envelope ourselves so history and JSON export still work.
+    let manual_rec = if tracing {
+        None
+    } else {
+        let rec = telemetry.begin_epoch(&["serve".to_string()], workers.len(), 0);
+        rec.set_epoch_seed(seed);
+        Some(rec)
+    };
     let report = serve_epoch(
         &workers,
         &shard_names,
@@ -947,15 +1009,17 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         |_| {},
     )
     .map_err(|e| e.to_string())?;
-    rec.finish(
-        report.elapsed,
-        report.samples,
-        report.bytes_received,
-        0,
-        0,
-        report.lost_shards,
-        report.degraded,
-    );
+    if let Some(rec) = manual_rec {
+        rec.finish(
+            report.elapsed,
+            report.samples,
+            report.bytes_received,
+            0,
+            0,
+            report.lost_shards,
+            report.degraded,
+        );
+    }
     let snapshot = telemetry
         .last_epoch()
         .ok_or_else(|| "no telemetry recorded".to_string())?;
@@ -971,6 +1035,28 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
             }
             Err(e) => eprintln!("warning: run not recorded: {e}"),
         }
+    }
+    let serve_snapshot = telemetry.serve().snapshot();
+    let fleet = telemetry.fleet().snapshot();
+    if let Some(path) = args.get_str("fleet-out") {
+        if fleet.active {
+            let fleet_doc = telemetry_fleet::fleet_json(&snapshot, &serve_snapshot, &fleet);
+            std::fs::write(path, &fleet_doc).map_err(|e| format!("writing {path}: {e}"))?;
+            let line = format!("fleet trace -> {path}");
+            if json_only {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+        } else {
+            eprintln!("warning: --fleet-out ignored (fleet tracing is off)");
+        }
+    }
+    // Keep the aggregator scrapeable after the epoch so CI (and
+    // humans) can pull the finished /fleet.json.
+    let linger = args.get_or("serve-linger-ms", 0u64)?;
+    if _observability.is_some() && linger > 0 {
+        std::thread::sleep(Duration::from_millis(linger));
     }
     if json_only {
         println!("{document}");
@@ -996,7 +1082,144 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
             report.lost_shards
         );
     }
+    if let Some(diag) =
+        presto::diagnose_fleet(&snapshot, &serve_snapshot, &fleet).filter(|_| fleet.active)
+    {
+        println!(
+            "fleet bottleneck: {} (gap {:.0}% · stream {:.0}% · consume {:.0}% · worker produce {:.0}% · credit {:.0}%)",
+            diag.bottleneck,
+            diag.gap_share * 100.0,
+            diag.stream_share * 100.0,
+            diag.consume_share * 100.0,
+            diag.produce_share * 100.0,
+            diag.credit_share * 100.0,
+        );
+    }
     println!("multiset checksum: 0x{:016x}", report.checksum.digest());
+    Ok(())
+}
+
+/// `presto chaos-proxy`: a deterministic fault-injecting TCP proxy in
+/// front of one serve-worker. Every fault it fires lands in a bounded
+/// event log; `--events-out` writes that log as `presto.chaos.v1` so
+/// `presto trace --merge --chaos` can lay the faults on their own
+/// track of the merged fleet trace.
+fn cmd_chaos_proxy(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "upstream",
+        "seed",
+        "throttle-bps",
+        "delay-ms",
+        "delay-pct",
+        "partition-ms",
+        "partition-pct",
+        "corrupt-pct",
+        "disconnect-pct",
+        "events-out",
+        "run-secs",
+    ])?;
+    let upstream = args
+        .get_str("upstream")
+        .ok_or("missing --upstream ADDR (a serve-worker address)")?;
+    let seed = args.get_or("seed", 1u64)?;
+    let mut faults = Vec::new();
+    if args.get_str("throttle-bps").is_some() {
+        faults.push(ChaosFault::Throttle {
+            bytes_per_sec: args.get_or("throttle-bps", 64 * 1024u64)?.max(1),
+        });
+    }
+    if args.get_str("delay-ms").is_some() {
+        faults.push(ChaosFault::Delay {
+            probability: args.get_or("delay-pct", 100.0f64)? / 100.0,
+            hold: Duration::from_millis(args.get_or("delay-ms", 0u64)?),
+        });
+    }
+    if args.get_str("partition-ms").is_some() {
+        faults.push(ChaosFault::Partition {
+            probability: args.get_or("partition-pct", 100.0f64)? / 100.0,
+            hold: Duration::from_millis(args.get_or("partition-ms", 0u64)?),
+        });
+    }
+    if args.get_str("corrupt-pct").is_some() {
+        faults.push(ChaosFault::Corrupt {
+            probability: args.get_or("corrupt-pct", 0.0f64)? / 100.0,
+        });
+    }
+    if args.get_str("disconnect-pct").is_some() {
+        faults.push(ChaosFault::Disconnect {
+            probability: args.get_or("disconnect-pct", 0.0f64)? / 100.0,
+        });
+    }
+    let proxy = ChaosProxy::start(upstream, seed, faults).map_err(|e| e.to_string())?;
+    // Scripts parse this line the same way they parse the worker's.
+    println!("chaos proxy listening on {} -> {upstream}", proxy.addr());
+
+    let started = std::time::Instant::now();
+    let deadline = match args.get_str("run-secs") {
+        Some(_) => Some(Duration::from_secs(args.get_or("run-secs", 0u64)?)),
+        None => None,
+    };
+    loop {
+        if let Some(limit) = deadline {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let stats = proxy.injected();
+    let (events, dropped) = proxy.events();
+    if let Some(path) = args.get_str("events-out") {
+        std::fs::write(path, proxy.events_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "chaos events -> {path} ({} events, {dropped} dropped)",
+            events.len()
+        );
+    }
+    println!(
+        "proxied {} connection(s), {} windows ({}): {} delays, {} partitions, {} corruptions, {} disconnects",
+        stats.connections,
+        stats.windows,
+        format_bytes(stats.bytes),
+        stats.delays,
+        stats.partitions,
+        stats.corruptions,
+        stats.disconnects,
+    );
+    proxy.stop();
+    Ok(())
+}
+
+/// `presto trace --merge`: merge a `presto.fleet.v1` bundle (and
+/// optionally a `presto.chaos.v1` event log) into one Chrome trace
+/// covering the whole fleet — client, workers on the offset-corrected
+/// client clock, and chaos faults on their own track.
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    args.expect_known(&["merge", "fleet", "chaos", "out"])?;
+    if args.get_str("merge").is_none() {
+        return Err("usage: presto trace --merge --fleet FILE [--chaos FILE] [--out FILE]".into());
+    }
+    let fleet_path = args
+        .get_str("fleet")
+        .ok_or("missing --fleet FILE (a presto.fleet.v1 document)")?;
+    let fleet_doc =
+        std::fs::read_to_string(fleet_path).map_err(|e| format!("reading {fleet_path}: {e}"))?;
+    let chaos_doc = match args.get_str("chaos") {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let merged = telemetry_fleet::merge_chrome_trace(&fleet_doc, chaos_doc.as_deref())?;
+    let events = telemetry_export::validate_chrome_trace(&merged)
+        .map_err(|e| format!("merged trace failed self-validation: {e}"))?;
+    match args.get_str("out") {
+        Some(path) => {
+            std::fs::write(path, &merged).map_err(|e| format!("writing {path}: {e}"))?;
+            println!("merged trace -> {path} ({events} complete events)");
+        }
+        None => print!("{merged}"),
+    }
     Ok(())
 }
 
@@ -1223,6 +1446,7 @@ fn cmd_preempt_storm(args: &Args) -> Result<(), String> {
         wire_codec: parse_wire_codec(args)?,
         batch_pace: Duration::from_millis(pace_ms),
         fail_after_batches: None,
+        ..ServeWorkerConfig::default()
     };
 
     let spawn_worker = |bind: &str| {
@@ -1348,6 +1572,7 @@ fn cmd_preempt_storm(args: &Args) -> Result<(), String> {
             jitter: true,
             deadline: None,
         },
+        ..ServeClientConfig::default()
     };
     let live = std::sync::Mutex::new(MultisetChecksum::default());
     let result = serve_epoch(
@@ -1606,6 +1831,9 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
     if args.get_str("search").is_some() {
         return watch_search(args);
     }
+    if args.get_str("attach").is_some() {
+        return watch_attach(args);
+    }
     args.expect_known(&[
         "samples",
         "threads",
@@ -1693,6 +1921,47 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
         dataset.sample_count
     );
     Ok(())
+}
+
+/// `watch --attach ADDR`: render the serve-session and fleet gauge
+/// families scraped from a running serve-worker's or train-client's
+/// `/metrics` endpoint. `--frames N` stops after N frames (CI);
+/// without it the dashboard runs until the endpoint goes away.
+fn watch_attach(args: &Args) -> Result<(), String> {
+    args.expect_known(&["attach", "refresh-ms", "frames", "plain"])?;
+    let addr: std::net::SocketAddr = args
+        .get_str("attach")
+        .unwrap_or_default()
+        .parse()
+        .map_err(|_| "bad --attach ADDR (need host:port of a /metrics endpoint)".to_string())?;
+    let refresh = Duration::from_millis(args.get_or("refresh-ms", 250u64)?.max(10));
+    let frames = args.get_or("frames", 0u64)?;
+    let plain = args.get_str("plain").is_some();
+    let mut rendered = 0u64;
+    loop {
+        let body = match presto_pipeline::telemetry::http::get(addr, "/metrics") {
+            Ok((200, body)) => body,
+            Ok((status, _)) => return Err(format!("{addr}/metrics returned HTTP {status}")),
+            Err(e) => {
+                if rendered == 0 {
+                    return Err(format!("cannot scrape {addr}/metrics: {e}"));
+                }
+                // The endpoint went away mid-watch: the session ended.
+                println!("endpoint {addr} closed after {rendered} frame(s)");
+                return Ok(());
+            }
+        };
+        let series = telemetry_export::parse_prometheus(&body)?;
+        if !plain {
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{}", render::serve_frame(&series));
+        rendered += 1;
+        if frames > 0 && rendered >= frames {
+            return Ok(());
+        }
+        std::thread::sleep(refresh);
+    }
 }
 
 /// `watch --search`: live dashboard over a simulated strategy search.
@@ -1838,7 +2107,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 fn cmd_validate(args: &Args) -> Result<(), String> {
     args.expect_known(&["format"])?;
     let path = args.positional.get(1).ok_or_else(|| {
-        "usage: presto validate <file> --format json|prom|trace|timeseries".to_string()
+        "usage: presto validate <file> --format json|prom|trace|timeseries|fleet".to_string()
     })?;
     let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     match args.get_str("format").unwrap_or("json") {
@@ -1867,9 +2136,18 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
                 timeseries::TIMESERIES_SCHEMA
             );
         }
+        "fleet" => {
+            let snapshot = telemetry_fleet::parse_fleet_json(&input)?;
+            println!(
+                "{path}: valid {} ({} worker(s), trace 0x{:016x})",
+                telemetry_fleet::FLEET_SCHEMA,
+                snapshot.workers.len(),
+                snapshot.trace_id
+            );
+        }
         other => {
             return Err(format!(
-                "unknown format '{other}' (json|prom|trace|timeseries)"
+                "unknown format '{other}' (json|prom|trace|timeseries|fleet)"
             ))
         }
     }
@@ -2365,5 +2643,135 @@ mod tests {
         run(&["fio", "--device", "ssd"]).unwrap();
         run(&["fio", "--device", "nvme"]).unwrap();
         assert!(run(&["fio", "--device", "floppy"]).is_err());
+    }
+
+    #[test]
+    fn fleet_cli_writes_validates_and_merges_the_trace() {
+        let dir = scratch_dir("fleet");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fleet_path = dir.join("fleet.json");
+        let fleet_str = fleet_path.to_str().unwrap().to_string();
+        let (worker, addr) = spawn_cli_compatible_worker(8);
+        run(&[
+            "train-client",
+            "CV",
+            "--samples",
+            "8",
+            "--workers",
+            &addr,
+            "--no-history",
+            "--fleet-out",
+            &fleet_str,
+        ])
+        .unwrap();
+        worker.stop();
+        run(&["validate", &fleet_str, "--format", "fleet"]).unwrap();
+
+        let merged_path = dir.join("merged.json");
+        let merged_str = merged_path.to_str().unwrap().to_string();
+        run(&[
+            "trace",
+            "--merge",
+            "--fleet",
+            &fleet_str,
+            "--out",
+            &merged_str,
+        ])
+        .unwrap();
+        let merged = std::fs::read_to_string(&merged_path).unwrap();
+        assert!(telemetry_export::validate_chrome_trace(&merged).unwrap() > 0);
+        assert!(merged.contains("train-client"), "{merged}");
+
+        // A chaos event log rides along on its own track.
+        let chaos_path = dir.join("chaos.json");
+        std::fs::write(
+            &chaos_path,
+            "{\"schema\": \"presto.chaos.v1\", \"dropped_events\": 0, \"events\": [\
+             {\"kind\": \"delay\", \"conn\": 0, \"dir\": \"down\", \"window\": 1, \
+             \"t_ns\": 5, \"dur_ns\": 7}]}",
+        )
+        .unwrap();
+        run(&[
+            "trace",
+            "--merge",
+            "--fleet",
+            &fleet_str,
+            "--chaos",
+            chaos_path.to_str().unwrap(),
+            "--out",
+            &merged_str,
+        ])
+        .unwrap();
+        let merged = std::fs::read_to_string(&merged_path).unwrap();
+        assert!(merged.contains("chaos-proxy"), "{merged}");
+
+        assert!(run(&["trace", "--fleet", &fleet_str]).is_err()); // missing --merge
+        assert!(run(&["trace", "--merge"]).is_err()); // missing --fleet
+        assert!(run(&["trace", "--merge", "--fleet", "/missing.json"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_proxy_cli_binds_and_writes_an_event_log() {
+        let dir = scratch_dir("chaos-cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("events.json");
+        run(&[
+            "chaos-proxy",
+            "--upstream",
+            "127.0.0.1:9",
+            "--delay-ms",
+            "5",
+            "--run-secs",
+            "0",
+            "--events-out",
+            events_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let doc = std::fs::read_to_string(&events_path).unwrap();
+        assert!(doc.contains("presto.chaos.v1"), "{doc}");
+        assert!(run(&["chaos-proxy", "--run-secs", "0"]).is_err()); // missing --upstream
+        assert!(run(&["chaos-proxy", "--upstraem", "127.0.0.1:9"]).is_err()); // typo
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_attach_scrapes_a_live_metrics_endpoint() {
+        let telemetry = Telemetry::new();
+        // Populate the serve + fleet gauge families the frame renders.
+        telemetry.serve().begin(1);
+        telemetry.fleet().begin(0xBEEF);
+        telemetry
+            .fleet()
+            .record_handshake("127.0.0.1:7001", 0, 2, -41_000, 90_000);
+        let series = timeseries::TimeSeries::new(16);
+        let server =
+            MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry), Arc::clone(&series))
+                .unwrap();
+        run(&[
+            "watch",
+            "--attach",
+            &server.addr().to_string(),
+            "--plain",
+            "--frames",
+            "2",
+            "--refresh-ms",
+            "10",
+        ])
+        .unwrap();
+        server.stop();
+        // Nothing listens on the discard port: the first scrape fails.
+        assert!(run(&[
+            "watch",
+            "--attach",
+            "127.0.0.1:9",
+            "--plain",
+            "--frames",
+            "1"
+        ])
+        .is_err());
+        assert!(run(&["watch", "--attach", "not-an-addr"]).is_err());
     }
 }

@@ -1,7 +1,7 @@
 //! ASCII rendering of pipelines and strategies (Figure 2 style), plus
 //! the human-readable telemetry tables behind `presto realrun`.
 
-use presto::report::TableBuilder;
+use presto::report::{format_bytes, TableBuilder};
 use presto::search::SearchStats;
 use presto::{RealDiagnosis, RunComparison, TrendDiagnosis, Verdict};
 use presto_pipeline::telemetry::history::RunRecord;
@@ -219,6 +219,93 @@ pub fn watch_frame(points: &[TimePoint], trend: Option<&TrendDiagnosis>) -> Stri
     out
 }
 
+/// Value of a bare (unlabeled) series in a parsed Prometheus
+/// exposition, if present.
+fn prom_value(series: &[(String, f64)], name: &str) -> Option<f64> {
+    series
+        .iter()
+        .find(|(s, _)| s == name)
+        .map(|(_, value)| *value)
+}
+
+/// Per-worker values of a `worker="addr"`-labeled series family.
+fn prom_labeled(series: &[(String, f64)], name: &str) -> Vec<(String, f64)> {
+    let prefix = format!("{name}{{worker=\"");
+    series
+        .iter()
+        .filter_map(|(s, value)| {
+            s.strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix("\"}"))
+                .map(|addr| (addr.to_string(), *value))
+        })
+        .collect()
+}
+
+/// One `presto watch --attach` frame: the `presto_serve_*` session
+/// gauges (wait-state buckets, flow control, failover counters) and,
+/// when a fleet trace is active, the `presto_fleet_*` per-worker
+/// breakout — all read from a scraped `/metrics` exposition.
+pub fn serve_frame(series: &[(String, f64)]) -> String {
+    let v = |name: &str| prom_value(series, name).unwrap_or(0.0);
+    let Some(workers) = prom_value(series, "presto_serve_workers") else {
+        return String::from("no serve session in this exposition…");
+    };
+    let state = if v("presto_serve_done") > 0.0 {
+        "done"
+    } else {
+        "serving"
+    };
+    let mut out = format!(
+        "serve session · {workers:.0} peer(s) · {state}\n\
+         {:.0} batches · {} on the wire · {:.0} credit stalls ({} waited)\n\
+         waits: gap {} · stream {} · consume {} · produce {}\n\
+         failover: {:.0} reassignments · {:.0} preemptions · {:.0} rejoins\n",
+        v("presto_serve_batches_sent_total"),
+        format_bytes(v("presto_serve_bytes_sent_total") as u64),
+        v("presto_serve_credit_stalls_total"),
+        fmt_ns(v("presto_serve_credit_wait_ns_total") as u64),
+        fmt_ns(v("presto_serve_gap_wait_ns_total") as u64),
+        fmt_ns(v("presto_serve_stream_read_ns_total") as u64),
+        fmt_ns(v("presto_serve_consume_ns_total") as u64),
+        fmt_ns(v("presto_serve_produce_ns_total") as u64),
+        v("presto_serve_reassignments_total"),
+        v("presto_serve_preemptions_total"),
+        v("presto_serve_rejoins_total"),
+    );
+    if let Some(trace_id) = prom_value(series, "presto_fleet_trace_id") {
+        out.push_str(&format!(
+            "fleet trace 0x{:016x} · {:.0} worker(s)\n",
+            trace_id as u64,
+            prom_value(series, "presto_fleet_workers").unwrap_or(0.0)
+        ));
+        let offsets = prom_labeled(series, "presto_fleet_worker_clock_offset_ns");
+        let rtts = prom_labeled(series, "presto_fleet_worker_rtt_ns");
+        let samples = prom_labeled(series, "presto_fleet_worker_samples_total");
+        let produce = prom_labeled(series, "presto_fleet_worker_produce_ns_total");
+        let find = |family: &[(String, f64)], addr: &str| {
+            family
+                .iter()
+                .find(|(a, _)| a == addr)
+                .map(|(_, value)| *value)
+                .unwrap_or(0.0)
+        };
+        let mut table = TableBuilder::new(&["worker", "clock offset", "rtt", "samples", "produce"]);
+        for (addr, offset) in &offsets {
+            table.row(&[
+                addr.clone(),
+                format!("{:+}ns", *offset as i64),
+                fmt_ns(find(&rtts, addr) as u64),
+                format!("{:.0}", find(&samples, addr)),
+                fmt_ns(find(&produce, addr) as u64),
+            ]);
+        }
+        if !offsets.is_empty() {
+            out.push_str(&table.render());
+        }
+    }
+    out
+}
+
 /// One `presto watch --search` frame: a progress bar over the grid
 /// plus the memo and pruning gauges the profiling pool maintains.
 pub fn search_frame(pipeline: &str, snap: &SearchSnapshot) -> String {
@@ -373,6 +460,50 @@ mod tests {
         assert!(table.contains("resize"), "{table}");
         assert!(table.contains("workers: 2"), "{table}");
         assert!(table.contains("prefetch queue: capacity 8"), "{table}");
+    }
+
+    #[test]
+    fn serve_frame_renders_serve_and_fleet_families() {
+        use presto_pipeline::telemetry::export;
+        use presto_pipeline::telemetry::fleet::FleetWorkerEntry;
+        use presto_pipeline::{FleetSnapshot, ServeSnapshot};
+
+        // No serve session: a quiet placeholder, not a panic.
+        assert!(serve_frame(&[]).contains("no serve session"));
+
+        let serve = ServeSnapshot {
+            workers: 2,
+            batches_sent: 12,
+            bytes_sent: 4096,
+            gap_wait_ns: 1_500_000,
+            stream_read_ns: 250_000,
+            consume_ns: 90_000,
+            produce_ns: 2_000_000,
+            ..ServeSnapshot::default()
+        };
+        let fleet = FleetSnapshot {
+            active: true,
+            trace_id: 0xABC,
+            epoch_start_mono_ns: 0,
+            workers: vec![FleetWorkerEntry {
+                addr: "127.0.0.1:7001".into(),
+                clock_offset_ns: -42_000,
+                rtt_ns: 80_000,
+                samples: 64,
+                produce_ns: 2_000_000,
+                ..FleetWorkerEntry::default()
+            }],
+        };
+        let mut exposition = export::prometheus_serve(&serve);
+        exposition.push_str(&export::prometheus_fleet(&fleet));
+        let series = export::parse_prometheus(&exposition).expect("own exposition parses");
+        let frame = serve_frame(&series);
+        assert!(frame.contains("2 peer(s)"), "{frame}");
+        assert!(frame.contains("12 batches"), "{frame}");
+        assert!(frame.contains("gap 1.5ms"), "{frame}");
+        assert!(frame.contains("fleet trace 0x0000000000000abc"), "{frame}");
+        assert!(frame.contains("127.0.0.1:7001"), "{frame}");
+        assert!(frame.contains("-42000ns"), "{frame}");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use presto_pipeline::sim::{SimEnv, StrategyProfile};
 use presto_pipeline::telemetry::timeseries::TimePoint;
-use presto_pipeline::telemetry::{PhaseKind, TelemetrySnapshot};
+use presto_pipeline::telemetry::{FleetSnapshot, PhaseKind, ServeSnapshot, TelemetrySnapshot};
 use std::fmt;
 
 /// The facility limiting a strategy's throughput.
@@ -187,6 +187,127 @@ pub fn diagnose_real(snapshot: &TelemetrySnapshot) -> Option<RealDiagnosis> {
     })
 }
 
+/// The facility limiting a disaggregated serve fleet's throughput.
+///
+/// Where [`Bottleneck`] names a facility inside one process,
+/// `FleetBottleneck` names the binding constraint of a whole serve
+/// session: one `train-client` consuming batches produced by N
+/// `serve-worker` processes over TCP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetBottleneck {
+    /// Workers cannot produce fast enough (CPU/storage on the workers).
+    WorkerCompute,
+    /// The wire is the constraint: batches exist but arrive slowly.
+    Network,
+    /// Flow control is the constraint: workers stall waiting for
+    /// credit the client is slow to return.
+    Credit,
+    /// The client's consume callback is the constraint.
+    Consumer,
+    /// Nothing dominates (idle or well-balanced fleet).
+    None,
+}
+
+impl fmt::Display for FleetBottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FleetBottleneck::WorkerCompute => "worker compute",
+            FleetBottleneck::Network => "network transfer",
+            FleetBottleneck::Credit => "credit/backpressure",
+            FleetBottleneck::Consumer => "consumer (training step)",
+            FleetBottleneck::None => "none (under-utilized)",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Wait-state breakdown of one serve session, client-side shares plus
+/// the aggregate worker-side shares that disambiguate idle-wire time.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetDiagnosis {
+    /// Share of per-connection client time blocked waiting for the
+    /// first byte of a frame (the wire was idle).
+    pub gap_share: f64,
+    /// Share of per-connection client time reading frame bodies (the
+    /// wire was busy).
+    pub stream_share: f64,
+    /// Share of per-connection client time inside the consume callback.
+    pub consume_share: f64,
+    /// Aggregate worker share of time stalled on flow-control credit.
+    pub credit_share: f64,
+    /// Aggregate worker share of time producing samples.
+    pub produce_share: f64,
+    /// The binding constraint.
+    pub bottleneck: FleetBottleneck,
+}
+
+/// Threshold below which no client-side wait state is considered
+/// binding: under 15% of per-connection time on every wait bucket, the
+/// fleet is balanced and the verdict is [`FleetBottleneck::None`].
+const FLEET_IDLE_SHARE: f64 = 0.15;
+
+/// Diagnose one serve session from the three telemetry surfaces the
+/// client holds at the end of an epoch: its own [`TelemetrySnapshot`]
+/// (for elapsed time), its [`ServeSnapshot`] (client-side wait-state
+/// gauges) and the [`FleetSnapshot`] (per-worker remote stats).
+///
+/// The attribution reads the client's per-connection wait buckets
+/// first — `consume` (callback), `stream` (wire busy) and `gap` (wire
+/// idle) — normalized by `elapsed × connections`. A dominant `gap`
+/// share is ambiguous on its own: the wire is idle either because
+/// workers can't produce (compute-bound) or because they're stalled
+/// waiting for credit the client won't return (backpressure-bound).
+/// The worker-side aggregates from the fleet stats break the tie:
+/// more aggregate credit-wait than produce time means the fleet is
+/// credit-bound, otherwise worker-compute-bound.
+///
+/// Returns `None` when the client epoch has no elapsed time.
+pub fn diagnose_fleet(
+    client: &TelemetrySnapshot,
+    serve: &ServeSnapshot,
+    fleet: &FleetSnapshot,
+) -> Option<FleetDiagnosis> {
+    if client.elapsed_ns == 0 {
+        return None;
+    }
+    let denom = client.elapsed_ns as f64 * serve.workers.max(1) as f64;
+    let gap_share = (serve.gap_wait_ns as f64 / denom).min(1.0);
+    let stream_share = (serve.stream_read_ns as f64 / denom).min(1.0);
+    let consume_share = (serve.consume_ns as f64 / denom).min(1.0);
+
+    let worker_elapsed: u64 = fleet.workers.iter().map(|w| w.elapsed_ns).sum();
+    let worker_produce: u64 = fleet.workers.iter().map(|w| w.produce_ns).sum();
+    let worker_credit: u64 = fleet.workers.iter().map(|w| w.credit_wait_ns).sum();
+    let (credit_share, produce_share) = if worker_elapsed == 0 {
+        (0.0, 0.0)
+    } else {
+        (
+            (worker_credit as f64 / worker_elapsed as f64).min(1.0),
+            (worker_produce as f64 / worker_elapsed as f64).min(1.0),
+        )
+    };
+
+    let bottleneck = if gap_share.max(stream_share).max(consume_share) < FLEET_IDLE_SHARE {
+        FleetBottleneck::None
+    } else if consume_share >= gap_share && consume_share >= stream_share {
+        FleetBottleneck::Consumer
+    } else if stream_share >= gap_share {
+        FleetBottleneck::Network
+    } else if credit_share > produce_share {
+        FleetBottleneck::Credit
+    } else {
+        FleetBottleneck::WorkerCompute
+    };
+    Some(FleetDiagnosis {
+        gap_share,
+        stream_share,
+        consume_share,
+        credit_share,
+        produce_share,
+        bottleneck,
+    })
+}
+
 /// One time-series sample's verdict within a [`TrendDiagnosis`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrendPoint {
@@ -346,8 +467,10 @@ mod tests {
         PhaseKind, QueueSnapshot, StepSnapshot, TelemetrySnapshot, BUILTIN_PHASES,
     };
 
-    /// A synthetic real-run snapshot: 4 engine phases + named steps,
-    /// with the given busy times on 2 workers over `elapsed_ns`.
+    /// A synthetic real-run snapshot: 5 engine phases + named steps,
+    /// with the given busy times on 2 workers over `elapsed_ns`. The
+    /// deliver budget is split across its two sub-phases to mirror the
+    /// real engine's queue-wait/hand-off attribution.
     fn real_snapshot(
         io_ns: u64,
         deliver_ns: u64,
@@ -368,7 +491,8 @@ mod tests {
             phase("read", PhaseKind::Io, io_ns),
             phase("decompress", PhaseKind::Cpu, 0),
             phase("decode", PhaseKind::Cpu, 0),
-            phase("deliver", PhaseKind::Deliver, deliver_ns),
+            phase("queue-wait", PhaseKind::Deliver, deliver_ns / 2),
+            phase("hand-off", PhaseKind::Deliver, deliver_ns - deliver_ns / 2),
         ];
         assert_eq!(all.len(), BUILTIN_PHASES);
         all.extend(
@@ -487,6 +611,124 @@ mod tests {
         let trend = diagnose_window(&[time_point(1, 0.1, 0.2, 0.1)]).unwrap();
         assert_eq!(trend.current, Bottleneck::None);
         assert!(trend.shifts.is_empty());
+    }
+
+    use presto_pipeline::telemetry::{FleetSnapshot, FleetWorkerEntry, ServeSnapshot};
+
+    /// A serve snapshot with the three client wait-state gauges set
+    /// for a 2-worker fleet.
+    fn serve_gauges(gap: u64, stream: u64, consume: u64) -> ServeSnapshot {
+        ServeSnapshot {
+            workers: 2,
+            gap_wait_ns: gap,
+            stream_read_ns: stream,
+            consume_ns: consume,
+            ..ServeSnapshot::default()
+        }
+    }
+
+    /// A fleet snapshot whose two workers spent `produce`/`credit` out
+    /// of 1_000 ns each.
+    fn fleet_stats(produce: u64, credit: u64) -> FleetSnapshot {
+        let worker = |addr: &str| FleetWorkerEntry {
+            addr: addr.into(),
+            elapsed_ns: 1_000,
+            produce_ns: produce,
+            credit_wait_ns: credit,
+            ..FleetWorkerEntry::default()
+        };
+        FleetSnapshot {
+            active: true,
+            trace_id: 7,
+            workers: vec![worker("a:1"), worker("b:2")],
+            ..FleetSnapshot::default()
+        }
+    }
+
+    /// Client snapshot with just enough for fleet attribution: 1_000 ns
+    /// elapsed (shares are per-connection over elapsed × workers).
+    fn fleet_client() -> TelemetrySnapshot {
+        real_snapshot(10, 10, &[("serve", 10)], 1_000)
+    }
+
+    #[test]
+    fn slow_workers_diagnose_as_worker_compute_bound() {
+        // Wire idle (gap dominates), workers busy producing.
+        let d = diagnose_fleet(
+            &fleet_client(),
+            &serve_gauges(1_600, 100, 100),
+            &fleet_stats(900, 50),
+        )
+        .unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::WorkerCompute, "{d:?}");
+        assert!(d.gap_share > d.stream_share && d.gap_share > d.consume_share);
+    }
+
+    #[test]
+    fn starved_credits_diagnose_as_credit_bound() {
+        // Wire idle, but workers were mostly stalled on credit.
+        let d = diagnose_fleet(
+            &fleet_client(),
+            &serve_gauges(1_600, 100, 100),
+            &fleet_stats(200, 700),
+        )
+        .unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::Credit, "{d:?}");
+        assert!(d.credit_share > d.produce_share);
+    }
+
+    #[test]
+    fn throttled_wire_diagnoses_as_network_bound() {
+        // Client mostly mid-frame: bytes trickling in.
+        let d = diagnose_fleet(
+            &fleet_client(),
+            &serve_gauges(200, 1_500, 100),
+            &fleet_stats(500, 50),
+        )
+        .unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::Network, "{d:?}");
+    }
+
+    #[test]
+    fn slow_consume_callback_diagnoses_as_consumer_bound() {
+        let d = diagnose_fleet(
+            &fleet_client(),
+            &serve_gauges(200, 100, 1_500),
+            &fleet_stats(500, 50),
+        )
+        .unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::Consumer, "{d:?}");
+    }
+
+    #[test]
+    fn balanced_fleets_diagnose_as_none_and_empty_epochs_as_nothing() {
+        // All wait shares under the 15% idle threshold.
+        let d = diagnose_fleet(
+            &fleet_client(),
+            &serve_gauges(100, 100, 100),
+            &fleet_stats(900, 50),
+        )
+        .unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::None, "{d:?}");
+
+        let mut client = fleet_client();
+        client.elapsed_ns = 0;
+        assert!(diagnose_fleet(&client, &serve_gauges(0, 0, 0), &fleet_stats(0, 0)).is_none());
+    }
+
+    #[test]
+    fn missing_worker_stats_fall_back_to_worker_compute() {
+        // v1 workers send no STATS frame: fleet entries have zero
+        // elapsed. An idle wire still blames worker compute (we cannot
+        // see credit stalls without remote stats).
+        let fleet = FleetSnapshot {
+            active: true,
+            ..FleetSnapshot::default()
+        };
+        let d = diagnose_fleet(&fleet_client(), &serve_gauges(1_600, 100, 100), &fleet).unwrap();
+        assert_eq!(d.bottleneck, FleetBottleneck::WorkerCompute, "{d:?}");
+        assert_eq!(d.credit_share, 0.0);
+        assert_eq!(d.produce_share, 0.0);
     }
 
     #[test]

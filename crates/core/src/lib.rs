@@ -56,8 +56,9 @@ pub use analysis::{
 };
 pub use cost::{Campaign, CloudPricing};
 pub use diagnosis::{
-    diagnose, diagnose_point, diagnose_real, diagnose_window, Bottleneck, Diagnosis, RealDiagnosis,
-    Straggler, TrendDiagnosis, TrendPoint,
+    diagnose, diagnose_fleet, diagnose_point, diagnose_real, diagnose_window, Bottleneck,
+    Diagnosis, FleetBottleneck, FleetDiagnosis, RealDiagnosis, Straggler, TrendDiagnosis,
+    TrendPoint,
 };
 pub use profiler::Presto;
 pub use report::{shape_check, Comparison, TableBuilder};

@@ -18,6 +18,8 @@
 //! error the client's failover path must absorb — exactly the
 //! end-to-end property the chaos tests assert.
 
+use presto_telemetry::fleet::{mono_ns, CHAOS_SCHEMA};
+use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,6 +28,49 @@ use std::time::Duration;
 
 /// Stream window size in bytes: the granularity of fault decisions.
 pub const WINDOW_BYTES: usize = 4096;
+
+/// Cap on retained [`ChaosEvent`]s; overflow bumps a dropped counter
+/// instead of growing without bound under a long throttled run.
+pub const CHAOS_EVENT_CAP: usize = 16_384;
+
+/// One fault the proxy actually injected, timestamped on the proxy's
+/// monotonic clock (the same [`mono_ns`] anchor the serve processes
+/// use, but the proxy's clock is never exchanged — the merged Chrome
+/// trace gives these events their own normalized timeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Fault kind: `delay`, `throttle`, `partition`, `corrupt`,
+    /// or `disconnect`.
+    pub kind: &'static str,
+    /// Proxied connection the fault landed on.
+    pub conn: u64,
+    /// Stream direction: `up` (client → worker) or `down`.
+    pub dir: &'static str,
+    /// Window index within that direction's byte stream.
+    pub window: u64,
+    /// [`mono_ns`] when the fault fired.
+    pub t_ns: u64,
+    /// How long the fault held the stream (0 for corrupt/disconnect).
+    pub dur_ns: u64,
+}
+
+/// Bounded, timestamped log of injected faults.
+#[derive(Default)]
+struct EventLog {
+    events: Mutex<Vec<ChaosEvent>>,
+    dropped: AtomicU64,
+}
+
+impl EventLog {
+    fn push(&self, event: ChaosEvent) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= CHAOS_EVENT_CAP {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        } else {
+            events.push(event);
+        }
+    }
+}
 
 /// One kind of injected misbehavior. Probabilities are evaluated
 /// per-window from the deterministic decision hash.
@@ -141,6 +186,7 @@ pub struct ChaosProxy {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     stats: Arc<StatsCells>,
+    log: Arc<EventLog>,
     accept: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
 }
@@ -162,11 +208,13 @@ impl ChaosProxy {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(StatsCells::default());
+        let log = Arc::new(EventLog::default());
         let conns = Arc::new(Mutex::new(Vec::new()));
         let upstream = upstream.to_string();
         let accept = {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
+            let log = Arc::clone(&log);
             let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("presto-chaos-accept".into())
@@ -189,6 +237,7 @@ impl ChaosProxy {
                                             seed,
                                             faults.clone(),
                                             Arc::clone(&stats),
+                                            Arc::clone(&log),
                                             Arc::clone(&stop),
                                         ));
                                     }
@@ -216,6 +265,7 @@ impl ChaosProxy {
             addr,
             stop,
             stats,
+            log,
             accept: Some(accept),
             conns,
         })
@@ -237,6 +287,41 @@ impl ChaosProxy {
             partitions: self.stats.partitions.load(Ordering::Acquire),
             corruptions: self.stats.corruptions.load(Ordering::Acquire),
         }
+    }
+
+    /// The injected-fault event log so far (bounded at
+    /// [`CHAOS_EVENT_CAP`]), plus how many events overflowed the cap.
+    pub fn events(&self) -> (Vec<ChaosEvent>, u64) {
+        (
+            self.log.events.lock().unwrap().clone(),
+            self.log.dropped.load(Ordering::Acquire),
+        )
+    }
+
+    /// Render the event log as the stable `presto.chaos.v1` JSON
+    /// document [`presto_telemetry::fleet::merge_chrome_trace`]
+    /// accepts for the chaos track of a merged fleet trace.
+    pub fn events_json(&self) -> String {
+        let (events, dropped) = self.events();
+        let mut out = String::with_capacity(256 + events.len() * 96);
+        let _ = writeln!(out, "{{\n  \"schema\": \"{CHAOS_SCHEMA}\",");
+        let _ = writeln!(out, "  \"dropped_events\": {dropped},");
+        out.push_str("  \"events\": [\n");
+        for (i, e) in events.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"kind\": \"{}\", \"conn\": {}, \"dir\": \"{}\", \"window\": {}, \"t_ns\": {}, \"dur_ns\": {}}}{}",
+                e.kind,
+                e.conn,
+                e.dir,
+                e.window,
+                e.t_ns,
+                e.dur_ns,
+                if i + 1 < events.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 
     /// Stop accepting, sever all proxied connections, join threads.
@@ -271,6 +356,7 @@ fn track(conns: &Arc<Mutex<Vec<TcpStream>>>, client: &TcpStream, server: &TcpStr
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_pair(
     client: TcpStream,
     server: TcpStream,
@@ -278,12 +364,14 @@ fn spawn_pair(
     seed: u64,
     faults: Vec<ChaosFault>,
     stats: Arc<StatsCells>,
+    log: Arc<EventLog>,
     stop: Arc<AtomicBool>,
 ) -> Vec<std::thread::JoinHandle<()>> {
     let up = {
         let (read, write) = (client.try_clone(), server.try_clone());
         let faults = faults.clone();
         let stats = Arc::clone(&stats);
+        let log = Arc::clone(&log);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             if let (Ok(read), Ok(write)) = (read, write) {
@@ -295,6 +383,7 @@ fn spawn_pair(
                     Direction::Upstream,
                     &faults,
                     &stats,
+                    &log,
                     &stop,
                 );
             }
@@ -309,6 +398,7 @@ fn spawn_pair(
             Direction::Downstream,
             &faults,
             &stats,
+            &log,
             &stop,
         );
     });
@@ -325,9 +415,15 @@ fn forward(
     direction: Direction,
     faults: &[ChaosFault],
     stats: &StatsCells,
+    log: &EventLog,
     stop: &AtomicBool,
 ) {
-    let _ = read.set_read_timeout(Some(Duration::from_millis(100)));
+    // Idle flush: forward a partial window once the link has been
+    // quiet this long. Must be small relative to the faults injected —
+    // request/response exchanges (HELLO, the serve clock handshake)
+    // never fill a window, so this re-chunking latency would otherwise
+    // masquerade as injected delay in the peer's wait-state gauges.
+    let _ = read.set_read_timeout(Some(Duration::from_millis(2)));
     let mut window = vec![0u8; WINDOW_BYTES];
     let mut filled = 0usize;
     let mut index = 0u64;
@@ -348,6 +444,7 @@ fn forward(
                         index,
                         faults,
                         stats,
+                        log,
                     );
                 }
                 break;
@@ -364,6 +461,7 @@ fn forward(
                         index,
                         faults,
                         stats,
+                        log,
                     );
                     filled = 0;
                     index += 1;
@@ -389,6 +487,7 @@ fn forward(
                         index,
                         faults,
                         stats,
+                        log,
                     );
                     filled = 0;
                     index += 1;
@@ -416,9 +515,22 @@ fn emit(
     index: u64,
     faults: &[ChaosFault],
     stats: &StatsCells,
+    log: &EventLog,
 ) -> bool {
     let word = decision(seed, conn, direction, index);
     stats.windows.fetch_add(1, Ordering::Relaxed);
+    let dir = match direction {
+        Direction::Upstream => "up",
+        Direction::Downstream => "down",
+    };
+    let event = |kind: &'static str, t_ns: u64, dur_ns: u64| ChaosEvent {
+        kind,
+        conn,
+        dir,
+        window: index,
+        t_ns,
+        dur_ns,
+    };
     for (slot, fault) in faults.iter().enumerate() {
         // Each fault draws from its own remix so stacking faults
         // doesn't correlate their decisions.
@@ -427,17 +539,23 @@ fn emit(
             ChaosFault::Delay { probability, hold } => {
                 if unit(draw) < *probability {
                     stats.delays.fetch_add(1, Ordering::Relaxed);
+                    let t0 = mono_ns();
                     std::thread::sleep(*hold);
+                    log.push(event("delay", t0, mono_ns().saturating_sub(t0)));
                 }
             }
             ChaosFault::Throttle { bytes_per_sec } => {
                 let secs = window.len() as f64 / (*bytes_per_sec).max(1) as f64;
+                let t0 = mono_ns();
                 std::thread::sleep(Duration::from_secs_f64(secs));
+                log.push(event("throttle", t0, mono_ns().saturating_sub(t0)));
             }
             ChaosFault::Partition { probability, hold } => {
                 if unit(draw) < *probability {
                     stats.partitions.fetch_add(1, Ordering::Relaxed);
+                    let t0 = mono_ns();
                     std::thread::sleep(*hold);
+                    log.push(event("partition", t0, mono_ns().saturating_sub(t0)));
                 }
             }
             ChaosFault::Corrupt { probability } => {
@@ -445,11 +563,13 @@ fn emit(
                     let at = (draw >> 7) as usize % window.len();
                     window[at] ^= 0x40;
                     stats.corruptions.fetch_add(1, Ordering::Relaxed);
+                    log.push(event("corrupt", mono_ns(), 0));
                 }
             }
             ChaosFault::Disconnect { probability } => {
                 if unit(draw) < *probability {
                     stats.disconnects.fetch_add(1, Ordering::Relaxed);
+                    log.push(event("disconnect", mono_ns(), 0));
                     let half = window.len() / 2;
                     if half > 0 && write.write_all(&window[..half]).is_ok() {
                         stats.bytes.fetch_add(half as u64, Ordering::Relaxed);
@@ -507,9 +627,17 @@ mod tests {
         let mut back = vec![0u8; payload.len()];
         stream.read_exact(&mut back).unwrap();
         assert_eq!(back, payload);
+        // The byte counter lands just after the forwarding write; give
+        // the proxy threads a moment to settle before asserting.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while proxy.injected().bytes < 2 * payload.len() as u64
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
         let stats = proxy.injected();
         assert_eq!(stats.connections, 1);
-        assert!(stats.bytes >= 2 * payload.len() as u64);
+        assert!(stats.bytes >= 2 * payload.len() as u64, "{stats:?}");
         assert_eq!(stats.corruptions + stats.disconnects, 0);
         drop(stream);
         proxy.stop();
@@ -578,6 +706,50 @@ mod tests {
             back.len()
         );
         assert!(proxy.injected().disconnects >= 1);
+        proxy.stop();
+        let _ = server.join();
+    }
+
+    #[test]
+    fn event_log_records_fired_faults_as_chaos_v1_json() {
+        let (addr, server) = echo_server();
+        let proxy = ChaosProxy::start(
+            &addr.to_string(),
+            11,
+            vec![ChaosFault::Delay {
+                probability: 1.0,
+                hold: Duration::from_millis(2),
+            }],
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        let payload = vec![9u8; 2 * WINDOW_BYTES];
+        stream.write_all(&payload).unwrap();
+        let mut back = vec![0u8; payload.len()];
+        stream.read_exact(&mut back).unwrap();
+        drop(stream);
+        let (events, dropped) = proxy.events();
+        assert_eq!(dropped, 0);
+        assert!(
+            events.iter().any(|e| e.kind == "delay" && e.dur_ns > 0),
+            "no delay event logged: {events:?}"
+        );
+        assert_eq!(events.len() as u64, proxy.injected().delays);
+        let doc = proxy.events_json();
+        assert!(doc.contains("presto.chaos.v1"));
+        // The document must be exactly what the fleet merge accepts
+        // for its chaos track.
+        let fleet = presto_telemetry::fleet::fleet_json(
+            &presto_telemetry::Telemetry::new()
+                .begin_epoch(&["s".into()], 1, 0)
+                .snapshot(),
+            &Default::default(),
+            &Default::default(),
+        );
+        let merged =
+            presto_telemetry::fleet::merge_chrome_trace(&fleet, Some(&doc)).expect("merge");
+        assert!(merged.contains("chaos-proxy"));
+        assert!(merged.contains("\"delay\""));
         proxy.stop();
         let _ = server.join();
     }

@@ -51,6 +51,6 @@ pub use strategy::{CacheLevel, Strategy};
 /// latency, per-worker utilization, queue depth and fault counts.
 pub use presto_telemetry as telemetry;
 pub use presto_telemetry::{
-    EpochRecorder, SearchProgress, SearchSnapshot, ServeProgress, ServeSnapshot, Telemetry,
-    TelemetrySnapshot,
+    EpochRecorder, FleetProgress, FleetSnapshot, FleetWorkerEntry, SearchProgress, SearchSnapshot,
+    ServeProgress, ServeSnapshot, Telemetry, TelemetrySnapshot,
 };

@@ -22,8 +22,8 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use presto_codecs::Codec;
 use presto_telemetry::{
-    EpochRecorder, Telemetry, BUILTIN_PHASES, PHASE_DECODE, PHASE_DECOMPRESS, PHASE_DELIVER,
-    PHASE_READ,
+    EpochRecorder, Telemetry, BUILTIN_PHASES, PHASE_DECODE, PHASE_DECOMPRESS, PHASE_HANDOFF,
+    PHASE_QUEUE_WAIT, PHASE_READ,
 };
 use presto_tensor::{RecordReader, RecordWriter};
 use rand::rngs::SmallRng;
@@ -265,6 +265,11 @@ pub(crate) enum Deliver {
 /// [`RealExecutor::stream_epoch_with`] and the TCP serve worker
 /// ([`crate::serve`]); all of them share its fault-absorption semantics.
 ///
+/// Delivery timing is owned by the `deliver` callback itself (each
+/// engine splits it into the `queue-wait` and `hand-off` sub-phases
+/// with the attribution only it knows), so `process_shard` does not
+/// time the callback.
+///
 /// Returns `Ok(true)` when the shard completed (possibly degraded),
 /// `Ok(false)` when `deliver` asked to stop, and `Err` on a fault the
 /// policy would not absorb.
@@ -351,12 +356,8 @@ pub(crate) fn process_shard(
                 continue;
             }
         };
-        let t_deliver = rec.begin();
         match deliver(sample) {
             Deliver::Delivered => {
-                if let Some(t0) = t_deliver {
-                    rec.phase_done(worker, PHASE_DELIVER, t0);
-                }
                 rec.samples_done(worker, 1);
             }
             Deliver::Stop => return Ok(false),
@@ -591,7 +592,7 @@ impl RealExecutor {
                                 let t0 = rec.begin();
                                 consume(sample);
                                 if let Some(t0) = t0 {
-                                    rec.phase_done(chunk_idx, PHASE_DELIVER, t0);
+                                    rec.phase_done(chunk_idx, PHASE_HANDOFF, t0);
                                 }
                                 rec.samples_done(chunk_idx, 1);
                                 samples_done.fetch_add(1, Ordering::Relaxed);
@@ -624,6 +625,9 @@ impl RealExecutor {
                 let steps = &steps;
                 scope.spawn(move || {
                     let mut deliver = |sample: Sample| {
+                        // Callback delivery never queues: the whole
+                        // callback (plus cache insert) is hand-off.
+                        let t0 = rec.begin();
                         consume(&sample);
                         samples_done.fetch_add(1, Ordering::Relaxed);
                         if let Some(cache) = cache {
@@ -633,6 +637,9 @@ impl RealExecutor {
                             if let Err(e) = cache.insert(sample) {
                                 return Deliver::Fail(e);
                             }
+                        }
+                        if let Some(t0) = t0 {
+                            rec.phase_done(worker, PHASE_HANDOFF, t0);
                         }
                         Deliver::Delivered
                     };
@@ -846,8 +853,27 @@ impl RealExecutor {
                     // is a full queue, not a deeper one.
                     let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
                     rec.queue_depth((depth as usize).min(capacity));
-                    if sender.send(Ok(sample)).is_err() {
-                        return Deliver::Stop; // consumer hung up
+                    // A send that finds room is pure hand-off; one that
+                    // has to block on the full channel is queue-wait —
+                    // the backpressure signal, measured directly.
+                    let t0 = rec.begin();
+                    match sender.try_send(Ok(sample)) {
+                        Ok(()) => {
+                            if let Some(t0) = t0 {
+                                rec.phase_done(worker, PHASE_HANDOFF, t0);
+                            }
+                        }
+                        Err(crossbeam::channel::TrySendError::Full(item)) => {
+                            if sender.send(item).is_err() {
+                                return Deliver::Stop; // consumer hung up
+                            }
+                            if let Some(t0) = t0 {
+                                rec.phase_done(worker, PHASE_QUEUE_WAIT, t0);
+                            }
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
+                            return Deliver::Stop; // consumer hung up
+                        }
                     }
                     Deliver::Delivered
                 };

@@ -12,12 +12,32 @@
 //!
 //! | frame  | direction       | body                                            |
 //! |--------|-----------------|-------------------------------------------------|
-//! | HELLO  | both, once      | `version: u32`                                  |
-//! | ASSIGN | client → worker | `epoch_seed: u64`, `credits: u32`, shard names  |
+//! | HELLO  | both, once      | `version: u32` (+v2: `trace_id: u64`)           |
+//! | ASSIGN | client → worker | `epoch_seed: u64`, `credits: u32`, shard names (+v2: `trace_id: u64`, `parent_span: u64`, `flags: u8`) |
 //! | BATCH  | worker → client | `shard: u32`, `count: u32`, `codec: u8`, block  |
 //! | CREDIT | client → worker | `n: u32`                                        |
 //! | EOF    | worker → client | `shard: u32` (shard complete, commit it)        |
 //! | ERR    | worker → client | UTF-8 message (fatal, fail the epoch)           |
+//! | PING   | client → worker | `t0: u64`, `seq: u32` (v2, handshake only)      |
+//! | PONG   | worker → client | `t0: u64`, `t_worker: u64`, `seq: u32` (v2)     |
+//! | STATS  | worker → client | worker totals + span timeline (v2, after EOFs)  |
+//! | BATCH2 | worker → client | BATCH + `span_id: u64`, `t_send: u64` (v2)      |
+//!
+//! **Version negotiation** (v2): both sides advertise their highest
+//! version in HELLO and speak `min(local, remote)`; version 0 is
+//! rejected. v1 decoders read a known prefix of HELLO/ASSIGN and
+//! ignore trailing bytes, which is what lets v2 append the trace
+//! fields without a flag day — a v2 client against a v1 worker simply
+//! skips the PING handshake and never sees STATS/BATCH2.
+//!
+//! **Fleet tracing** (v2): the client stamps every connection with a
+//! trace id, estimates the per-connection clock offset from a burst of
+//! PINGs at handshake time (NTP-style, minimum-RTT sample wins), and
+//! collects each worker's remote stats + span timeline from the STATS
+//! frame it sends after its final EOF. The result lands in
+//! [`presto_telemetry::FleetProgress`] and feeds `/fleet.json` and the
+//! merged Chrome trace
+//! ([`presto_telemetry::fleet::merge_chrome_trace`]).
 //!
 //! Flow control is credit-based: a worker may only send a BATCH after
 //! taking one credit; the client grants `credits` up front in ASSIGN
@@ -43,7 +63,11 @@ use crate::sample::Sample;
 use crate::store::BlobStore;
 use presto_codecs::checksum::Crc32;
 use presto_codecs::{Codec, Level};
-use presto_telemetry::{EpochRecorder, ServeProgress, Telemetry};
+use presto_telemetry::fleet::mono_ns;
+use presto_telemetry::{
+    EpochRecorder, FleetProgress, FleetWorkerEntry, ServeProgress, Telemetry, BUILTIN_PHASES,
+    PHASE_HANDOFF, PHASE_QUEUE_WAIT,
+};
 use presto_tensor::{RecordReader, RecordWriter};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Read, Write};
@@ -53,8 +77,19 @@ use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-/// Protocol version exchanged in HELLO; mismatches are fatal.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Highest protocol version this build speaks. Peers negotiate
+/// `min(local, remote)` at HELLO time; version 0 is rejected.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// PINGs sent per connection handshake; the minimum-RTT sample wins.
+const PING_BURST: u32 = 5;
+
+/// Remote span events carried in one STATS frame at most; the rest
+/// are counted into the entry's `dropped_spans`.
+const STATS_SPAN_CAP: usize = 8192;
+
+/// ASSIGN flag bit: the client wants a STATS frame after the final EOF.
+pub const ASSIGN_WANT_STATS: u8 = 1;
 
 /// Upper bound on one frame's payload — a desynced or hostile peer
 /// cannot make us allocate more than this.
@@ -110,12 +145,14 @@ impl From<ServeError> for PipelineError {
 }
 
 /// One protocol message. See the module docs for the frame table.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Version handshake; first frame in each direction.
     Hello {
-        /// Speaker's [`PROTOCOL_VERSION`].
+        /// Speaker's highest supported version (≤ [`PROTOCOL_VERSION`]).
         version: u32,
+        /// Fleet trace id (v2; 0 when absent or untraced).
+        trace_id: u64,
     },
     /// Client asks the worker to serve these shards of an epoch.
     Assign {
@@ -125,6 +162,13 @@ pub enum Frame {
         credits: u32,
         /// Shard blob names; BATCH/EOF reference them by index.
         shards: Vec<String>,
+        /// Fleet trace id (v2; 0 when absent).
+        trace_id: u64,
+        /// Client-side span this assignment nests under (v2; 0 when
+        /// absent).
+        parent_span: u64,
+        /// Assignment flags (v2): [`ASSIGN_WANT_STATS`].
+        flags: u8,
     },
     /// One batch of encoded samples from one shard.
     Batch {
@@ -152,6 +196,46 @@ pub enum Frame {
         /// Human-readable cause.
         message: String,
     },
+    /// Clock-offset probe (v2, client → worker, handshake only).
+    Ping {
+        /// Client-clock [`mono_ns`] at send time, echoed back.
+        t0: u64,
+        /// Probe sequence number, echoed back.
+        seq: u32,
+    },
+    /// Clock-offset reply (v2, worker → client).
+    Pong {
+        /// The PING's `t0`, echoed.
+        t0: u64,
+        /// Worker-clock [`mono_ns`] when the PING was answered.
+        t_worker: u64,
+        /// The PING's `seq`, echoed.
+        seq: u32,
+    },
+    /// End-of-assignment worker stats + span timeline (v2, sent after
+    /// the final EOF when the ASSIGN asked for it). The entry's
+    /// client-local fields (`addr`, `conn`, handshake estimates) are
+    /// not on the wire; the client fills them on receipt.
+    Stats {
+        /// The worker's contribution to the fleet picture.
+        entry: Box<FleetWorkerEntry>,
+    },
+    /// BATCH plus tracing context (v2): worker-side span id and
+    /// worker-clock send timestamp.
+    Batch2 {
+        /// Index into the ASSIGN shard list.
+        shard: u32,
+        /// Samples in the block.
+        count: u32,
+        /// Wire compression tag (see [`wire_codec`]).
+        codec: u8,
+        /// Worker-side span id of the producing batch.
+        span_id: u64,
+        /// Worker-clock [`mono_ns`] when the frame was written.
+        t_send: u64,
+        /// Record-framed [`Sample::encode`] payloads, compressed.
+        block: Vec<u8>,
+    },
 }
 
 const FRAME_HELLO: u8 = 1;
@@ -160,6 +244,30 @@ const FRAME_BATCH: u8 = 3;
 const FRAME_CREDIT: u8 = 4;
 const FRAME_EOF: u8 = 5;
 const FRAME_ERR: u8 = 6;
+const FRAME_PING: u8 = 7;
+const FRAME_PONG: u8 = 8;
+const FRAME_STATS: u8 = 9;
+const FRAME_BATCH2: u8 = 10;
+
+/// Wire tag for a phase-kind label in STATS step entries.
+fn kind_tag(label: &str) -> u8 {
+    match label {
+        "io" => 0,
+        "cpu" => 1,
+        "deliver" => 2,
+        _ => 3,
+    }
+}
+
+/// Inverse of [`kind_tag`].
+fn kind_label(tag: u8) -> &'static str {
+    match tag {
+        0 => "io",
+        1 => "cpu",
+        2 => "deliver",
+        _ => "step",
+    }
+}
 
 /// Map a BATCH wire-codec tag to the codec used to unpack the block.
 pub fn wire_codec(tag: u8) -> Result<Codec, ServeError> {
@@ -200,14 +308,20 @@ impl Frame {
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Frame::Hello { version } => {
+            Frame::Hello { version, trace_id } => {
                 out.push(FRAME_HELLO);
                 out.extend_from_slice(&version.to_le_bytes());
+                // Appended in v2; v1 decoders read the version and
+                // ignore trailing bytes.
+                out.extend_from_slice(&trace_id.to_le_bytes());
             }
             Frame::Assign {
                 epoch_seed,
                 credits,
                 shards,
+                trace_id,
+                parent_span,
+                flags,
             } => {
                 out.push(FRAME_ASSIGN);
                 out.extend_from_slice(&epoch_seed.to_le_bytes());
@@ -217,6 +331,11 @@ impl Frame {
                     out.extend_from_slice(&(shard.len() as u32).to_le_bytes());
                     out.extend_from_slice(shard.as_bytes());
                 }
+                // Appended in v2; v1 decoders read exactly `count`
+                // names and ignore trailing bytes.
+                out.extend_from_slice(&trace_id.to_le_bytes());
+                out.extend_from_slice(&parent_span.to_le_bytes());
+                out.push(*flags);
             }
             Frame::Batch {
                 shard,
@@ -242,6 +361,61 @@ impl Frame {
                 out.push(FRAME_ERR);
                 out.extend_from_slice(message.as_bytes());
             }
+            Frame::Ping { t0, seq } => {
+                out.push(FRAME_PING);
+                out.extend_from_slice(&t0.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Frame::Pong { t0, t_worker, seq } => {
+                out.push(FRAME_PONG);
+                out.extend_from_slice(&t0.to_le_bytes());
+                out.extend_from_slice(&t_worker.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
+            }
+            Frame::Stats { entry } => {
+                out.push(FRAME_STATS);
+                for value in [
+                    entry.assign_start_mono_ns,
+                    entry.elapsed_ns,
+                    entry.samples,
+                    entry.batches,
+                    entry.produce_ns,
+                    entry.credit_wait_ns,
+                    entry.dropped_spans,
+                ] {
+                    out.extend_from_slice(&value.to_le_bytes());
+                }
+                out.extend_from_slice(&(entry.steps.len() as u32).to_le_bytes());
+                for (name, kind, busy_ns) in &entry.steps {
+                    out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+                    out.extend_from_slice(name.as_bytes());
+                    out.push(kind_tag(kind));
+                    out.extend_from_slice(&busy_ns.to_le_bytes());
+                }
+                out.extend_from_slice(&(entry.spans.len() as u32).to_le_bytes());
+                for span in &entry.spans {
+                    out.extend_from_slice(&span.worker.to_le_bytes());
+                    out.extend_from_slice(&span.phase.to_le_bytes());
+                    out.extend_from_slice(&span.start_ns.to_le_bytes());
+                    out.extend_from_slice(&span.dur_ns.to_le_bytes());
+                }
+            }
+            Frame::Batch2 {
+                shard,
+                count,
+                codec,
+                span_id,
+                t_send,
+                block,
+            } => {
+                out.push(FRAME_BATCH2);
+                out.extend_from_slice(&shard.to_le_bytes());
+                out.extend_from_slice(&count.to_le_bytes());
+                out.push(*codec);
+                out.extend_from_slice(&span_id.to_le_bytes());
+                out.extend_from_slice(&t_send.to_le_bytes());
+                out.extend_from_slice(block);
+            }
         }
         out
     }
@@ -254,6 +428,8 @@ impl Frame {
         match kind {
             FRAME_HELLO => Ok(Frame::Hello {
                 version: read_u32(body, 0)?,
+                // Absent from v1 peers; default to "untraced".
+                trace_id: read_u64(body, 4).unwrap_or(0),
             }),
             FRAME_ASSIGN => {
                 let epoch_seed = read_u64(body, 0)?;
@@ -272,10 +448,19 @@ impl Frame {
                         .map_err(|_| ServeError::Protocol("shard name is not UTF-8".into()))?;
                     shards.push(name.to_string());
                 }
+                // v2 trailer; absent from v1 peers.
+                let (trace_id, parent_span, flags) = if body.len() >= at + 17 {
+                    (read_u64(body, at)?, read_u64(body, at + 8)?, body[at + 16])
+                } else {
+                    (0, 0, 0)
+                };
                 Ok(Frame::Assign {
                     epoch_seed,
                     credits,
                     shards,
+                    trace_id,
+                    parent_span,
+                    flags,
                 })
             }
             FRAME_BATCH => {
@@ -300,6 +485,88 @@ impl Frame {
             FRAME_ERR => Ok(Frame::Err {
                 message: String::from_utf8_lossy(body).into_owned(),
             }),
+            FRAME_PING => Ok(Frame::Ping {
+                t0: read_u64(body, 0)?,
+                seq: read_u32(body, 8)?,
+            }),
+            FRAME_PONG => Ok(Frame::Pong {
+                t0: read_u64(body, 0)?,
+                t_worker: read_u64(body, 8)?,
+                seq: read_u32(body, 16)?,
+            }),
+            FRAME_STATS => {
+                let mut entry = FleetWorkerEntry {
+                    assign_start_mono_ns: read_u64(body, 0)?,
+                    elapsed_ns: read_u64(body, 8)?,
+                    samples: read_u64(body, 16)?,
+                    batches: read_u64(body, 24)?,
+                    produce_ns: read_u64(body, 32)?,
+                    credit_wait_ns: read_u64(body, 40)?,
+                    dropped_spans: read_u64(body, 48)?,
+                    ..FleetWorkerEntry::default()
+                };
+                let step_count = read_u32(body, 56)? as usize;
+                let mut at = 60;
+                for _ in 0..step_count {
+                    let len = read_u32(body, at)? as usize;
+                    at += 4;
+                    let bytes = body
+                        .get(at..at + len)
+                        .ok_or_else(|| ServeError::Protocol("step name overruns frame".into()))?;
+                    at += len;
+                    let name = std::str::from_utf8(bytes)
+                        .map_err(|_| ServeError::Protocol("step name is not UTF-8".into()))?
+                        .to_string();
+                    let kind = *body
+                        .get(at)
+                        .ok_or_else(|| ServeError::Protocol("frame body too short".into()))?;
+                    at += 1;
+                    let busy_ns = read_u64(body, at)?;
+                    at += 8;
+                    entry
+                        .steps
+                        .push((name, kind_label(kind).to_string(), busy_ns));
+                }
+                let span_count = read_u32(body, at)? as usize;
+                at += 4;
+                if span_count > STATS_SPAN_CAP {
+                    return Err(ServeError::Protocol(format!(
+                        "STATS declares {span_count} spans, cap is {STATS_SPAN_CAP}"
+                    )));
+                }
+                for _ in 0..span_count {
+                    entry.spans.push(presto_telemetry::SpanEvent {
+                        worker: read_u32(body, at)?,
+                        phase: read_u32(body, at + 4)?,
+                        start_ns: read_u64(body, at + 8)?,
+                        dur_ns: read_u64(body, at + 16)?,
+                    });
+                    at += 24;
+                }
+                Ok(Frame::Stats {
+                    entry: Box::new(entry),
+                })
+            }
+            FRAME_BATCH2 => {
+                let shard = read_u32(body, 0)?;
+                let count = read_u32(body, 4)?;
+                let codec = *body
+                    .get(8)
+                    .ok_or_else(|| ServeError::Protocol("frame body too short".into()))?;
+                let span_id = read_u64(body, 9)?;
+                let t_send = read_u64(body, 17)?;
+                Ok(Frame::Batch2 {
+                    shard,
+                    count,
+                    codec,
+                    span_id,
+                    t_send,
+                    block: body
+                        .get(25..)
+                        .ok_or_else(|| ServeError::Protocol("frame body too short".into()))?
+                        .to_vec(),
+                })
+            }
             other => Err(ServeError::Protocol(format!("unknown frame type {other}"))),
         }
     }
@@ -475,6 +742,10 @@ pub struct ServeWorkerConfig {
     /// worker drops every connection and stops accepting — a simulated
     /// mid-epoch crash for failover tests.
     pub fail_after_batches: Option<u64>,
+    /// Highest protocol version to advertise (capped at
+    /// [`PROTOCOL_VERSION`]). Tests pin this to 1 to exercise
+    /// mixed-version fleets.
+    pub max_version: u32,
 }
 
 impl Default for ServeWorkerConfig {
@@ -484,6 +755,7 @@ impl Default for ServeWorkerConfig {
             wire_codec: Codec::None,
             batch_pace: Duration::ZERO,
             fail_after_batches: None,
+            max_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -656,8 +928,29 @@ impl Drop for ServeWorker {
     }
 }
 
-/// Serve one client connection: HELLO, then ASSIGN/CREDIT frames in,
-/// BATCH/EOF/ERR frames out, until either side closes.
+/// A frame the worker's reader thread forwards to its writer loop.
+/// Credits short-circuit straight into the gate; everything that needs
+/// a *reply* or a state change (HELLO for negotiation, PING for
+/// PONGs, ASSIGN for serving) funnels through here so only one thread
+/// ever writes to the socket.
+enum ClientMsg {
+    Hello {
+        version: u32,
+    },
+    Ping {
+        t0: u64,
+        seq: u32,
+    },
+    Assign {
+        epoch_seed: u64,
+        credits: u32,
+        shards: Vec<String>,
+        flags: u8,
+    },
+}
+
+/// Serve one client connection: HELLO, then PING/ASSIGN/CREDIT frames
+/// in, PONG/BATCH/EOF/STATS/ERR frames out, until either side closes.
 fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
     let mut writer = match stream.try_clone() {
@@ -670,20 +963,37 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
         // Lost the race with a crash that already swept the registry.
         gate.close();
     }
-    let (assign_tx, assign_rx) = mpsc::channel::<(u64, u32, Vec<String>)>();
+    let (msg_tx, msg_rx) = mpsc::channel::<ClientMsg>();
     let reader_gate = Arc::clone(&gate);
     let reader = std::thread::spawn(move || {
         let mut reader = BufReader::new(stream);
         loop {
             match read_frame(&mut reader) {
-                Ok(Some(Frame::Hello { .. })) => {}
+                Ok(Some(Frame::Hello { version, .. })) => {
+                    if msg_tx.send(ClientMsg::Hello { version }).is_err() {
+                        break;
+                    }
+                }
+                Ok(Some(Frame::Ping { t0, seq })) => {
+                    if msg_tx.send(ClientMsg::Ping { t0, seq }).is_err() {
+                        break;
+                    }
+                }
                 Ok(Some(Frame::Credit { n })) => reader_gate.add(u64::from(n)),
                 Ok(Some(Frame::Assign {
                     epoch_seed,
                     credits,
                     shards,
+                    flags,
+                    ..
                 })) => {
-                    if assign_tx.send((epoch_seed, credits, shards)).is_err() {
+                    let msg = ClientMsg::Assign {
+                        epoch_seed,
+                        credits,
+                        shards,
+                        flags,
+                    };
+                    if msg_tx.send(msg).is_err() {
                         break;
                     }
                 }
@@ -694,29 +1004,68 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
         }
         reader_gate.close();
     });
+    let local_max = shared.config.max_version.clamp(1, PROTOCOL_VERSION);
+    // Until the client's HELLO arrives, assume the lowest version so a
+    // legacy peer that ASSIGNs without saying hello still gets plain
+    // v1 frames.
+    let mut negotiated = 1u32;
     if write_frame(
         &mut writer,
         &Frame::Hello {
-            version: PROTOCOL_VERSION,
+            version: local_max,
+            trace_id: 0,
         },
     )
     .is_ok()
     {
         'conn: loop {
-            let (epoch_seed, credits, shards) =
-                match assign_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(assign) => assign,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if shared.stop.load(Ordering::Acquire) {
-                            break 'conn;
-                        }
-                        continue;
+            let msg = match msg_rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    if shared.stop.load(Ordering::Acquire) {
+                        break 'conn;
                     }
-                    Err(RecvTimeoutError::Disconnected) => break 'conn,
-                };
-            gate.add(u64::from(credits));
-            if serve_assignment(shared, &gate, &mut writer, epoch_seed, &shards).is_err() {
-                break 'conn;
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break 'conn,
+            };
+            match msg {
+                ClientMsg::Hello { version } => {
+                    if version == 0 {
+                        break 'conn; // nonsense version: reject
+                    }
+                    negotiated = local_max.min(version);
+                }
+                ClientMsg::Ping { t0, seq } => {
+                    let pong = Frame::Pong {
+                        t0,
+                        t_worker: mono_ns(),
+                        seq,
+                    };
+                    if write_frame(&mut writer, &pong).is_err() {
+                        break 'conn;
+                    }
+                }
+                ClientMsg::Assign {
+                    epoch_seed,
+                    credits,
+                    shards,
+                    flags,
+                } => {
+                    gate.add(u64::from(credits));
+                    let result = serve_assignment(
+                        shared,
+                        &gate,
+                        &mut writer,
+                        epoch_seed,
+                        &shards,
+                        negotiated,
+                        flags,
+                    );
+                    if result.is_err() {
+                        break 'conn;
+                    }
+                }
             }
         }
     }
@@ -725,16 +1074,28 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
 }
 
 /// Stream every assigned shard to the client as credit-gated batches.
+///
+/// Wait-state attribution: time inside [`process_shard`] plus any
+/// [`ServeWorkerConfig::batch_pace`] sleep is **produce** time (what a
+/// compute-bound worker is doing); blocking in [`CreditGate::take`] is
+/// **queue-wait** (backpressure from the client); writing frames is
+/// **hand-off**. On a v2 connection whose ASSIGN set
+/// [`ASSIGN_WANT_STATS`], a STATS frame with these totals and the
+/// recorder's span timeline follows the final EOF.
 fn serve_assignment(
     shared: &WorkerShared,
     gate: &CreditGate,
     writer: &mut TcpStream,
     epoch_seed: u64,
     shards: &[String],
+    negotiated: u32,
+    flags: u8,
 ) -> Result<(), ServeError> {
     // Fixed capacity: one assignment runs at a time (see `work_lock`).
     let _capacity = shared.work_lock.lock().unwrap();
     let started = Instant::now();
+    let assign_start_mono_ns = mono_ns();
+    let credit_wait_before = shared.progress.snapshot().credit_wait_ns;
     let rec = shared
         .telemetry
         .as_ref()
@@ -744,13 +1105,20 @@ fn serve_assignment(
     let counters = FaultCounters::default();
     let bytes_read = AtomicU64::new(0);
     let mut delivered = 0u64;
+    let mut batches = 0u64;
+    let mut produce_ns = 0u64;
     for (index, shard_name) in shards.iter().enumerate() {
         let mut samples: Vec<Sample> = Vec::new();
         let mut deliver = |sample: Sample| {
+            let t0 = rec.begin();
             samples.push(sample);
+            if let Some(t0) = t0 {
+                rec.phase_done(0, PHASE_HANDOFF, t0);
+            }
             Deliver::Delivered
         };
-        if let Err(fatal) = process_shard(
+        let t_produce = Instant::now();
+        let processed = process_shard(
             shared.store.as_ref(),
             shard_name,
             shared.dataset.codec,
@@ -762,7 +1130,9 @@ fn serve_assignment(
             epoch_seed,
             &bytes_read,
             &mut deliver,
-        ) {
+        );
+        produce_ns += t_produce.elapsed().as_nanos() as u64;
+        if let Err(fatal) = processed {
             let _ = write_frame(
                 writer,
                 &Frame::Err {
@@ -773,24 +1143,50 @@ fn serve_assignment(
         }
         delivered += samples.len() as u64;
         for chunk in samples.chunks(shared.config.batch_samples.max(1)) {
+            let t_gate = rec.begin();
             if !gate.take(&shared.progress) {
                 return Err(ServeError::Truncated);
             }
+            if let Some(t0) = t_gate {
+                rec.phase_done(0, PHASE_QUEUE_WAIT, t0);
+            }
             if !shared.config.batch_pace.is_zero() {
+                let t_pace = Instant::now();
                 std::thread::sleep(shared.config.batch_pace);
+                produce_ns += t_pace.elapsed().as_nanos() as u64;
             }
             let mut block = RecordWriter::new();
             for sample in chunk {
                 block.write(&sample.encode());
             }
-            let frame = Frame::Batch {
-                shard: index as u32,
-                count: chunk.len() as u32,
-                codec: wire_codec_tag(shared.config.wire_codec),
-                block: shared.config.wire_codec.compress(&block.finish()),
+            let block = shared.config.wire_codec.compress(&block.finish());
+            let codec = wire_codec_tag(shared.config.wire_codec);
+            let count = chunk.len() as u32;
+            let shard = index as u32;
+            let frame = if negotiated >= 2 {
+                Frame::Batch2 {
+                    shard,
+                    count,
+                    codec,
+                    span_id: shared.batches_sent.load(Ordering::Acquire) + 1,
+                    t_send: mono_ns(),
+                    block,
+                }
+            } else {
+                Frame::Batch {
+                    shard,
+                    count,
+                    codec,
+                    block,
+                }
             };
+            let t_send = rec.begin();
             let wire_bytes = write_frame(writer, &frame)?;
+            if let Some(t0) = t_send {
+                rec.phase_done(0, PHASE_HANDOFF, t0);
+            }
             shared.progress.batch_sent(wire_bytes);
+            batches += 1;
             let sent = shared.batches_sent.fetch_add(1, Ordering::AcqRel) + 1;
             if let Some(limit) = shared.config.fail_after_batches {
                 if sent >= limit {
@@ -817,6 +1213,43 @@ fn serve_assignment(
         lost,
         skipped > 0 || lost > 0,
     );
+    shared.progress.produce_time(produce_ns);
+    if negotiated >= 2 && flags & ASSIGN_WANT_STATS != 0 {
+        let credit_wait_ns = shared
+            .progress
+            .snapshot()
+            .credit_wait_ns
+            .saturating_sub(credit_wait_before);
+        let snapshot = shared.telemetry.as_ref().and_then(|t| t.last_epoch());
+        let mut entry = FleetWorkerEntry {
+            assign_start_mono_ns,
+            elapsed_ns: started.elapsed().as_nanos() as u64,
+            samples: delivered,
+            batches,
+            produce_ns,
+            credit_wait_ns,
+            ..FleetWorkerEntry::default()
+        };
+        if let Some(snapshot) = snapshot {
+            entry.dropped_spans = snapshot.dropped_spans;
+            entry.steps = snapshot
+                .steps
+                .iter()
+                .map(|s| (s.name.clone(), s.kind.label().to_string(), s.busy_ns))
+                .collect();
+            entry.spans = snapshot.spans;
+            if entry.spans.len() > STATS_SPAN_CAP {
+                entry.dropped_spans += (entry.spans.len() - STATS_SPAN_CAP) as u64;
+                entry.spans.truncate(STATS_SPAN_CAP);
+            }
+        }
+        write_frame(
+            writer,
+            &Frame::Stats {
+                entry: Box::new(entry),
+            },
+        )?;
+    }
     Ok(())
 }
 
@@ -844,6 +1277,19 @@ pub struct ServeClientConfig {
     /// assignment after failing counts as a **rejoin** and gets its
     /// failure budget back.
     pub reconnect: RetryPolicy,
+    /// Fleet tracing: when true (and a [`Telemetry`] handle is
+    /// attached), the client records a per-shard client span timeline,
+    /// runs the clock-offset PING handshake on every v2 connection,
+    /// requests end-of-assignment STATS, and meters its socket reads
+    /// into the gap/stream wait-state gauges. Turn off to measure the
+    /// bare protocol (the `serve_fanout` bench overhead gate does).
+    pub tracing: bool,
+    /// Fleet trace id; 0 derives one from the epoch seed.
+    pub trace_id: u64,
+    /// Highest protocol version to advertise (capped at
+    /// [`PROTOCOL_VERSION`]). Tests pin this to 1 to exercise
+    /// mixed-version fleets.
+    pub max_version: u32,
 }
 
 impl Default for ServeClientConfig {
@@ -854,6 +1300,9 @@ impl Default for ServeClientConfig {
             read_timeout: Duration::from_secs(30),
             connect_timeout: Duration::from_secs(5),
             reconnect: RetryPolicy::none(),
+            tracing: true,
+            trace_id: 0,
+            max_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -910,6 +1359,93 @@ struct ConnOutcome {
     failed: Vec<String>,
     /// ERR frame from the worker: fatal, no failover.
     fatal: Option<PipelineError>,
+    /// Time blocked waiting for the first byte of each frame, ns.
+    gap_ns: u64,
+    /// Time reading frame bytes after the first arrived, ns.
+    stream_ns: u64,
+    /// Time inside the consume callback, ns.
+    consume_ns: u64,
+}
+
+/// A [`Read`] wrapper that buckets time spent blocked in the
+/// underlying socket reads: waiting for the *first* byte of a frame
+/// means the wire was idle (nothing to receive — the `gap` bucket);
+/// reads after that mean bytes were in flight (the `stream` bucket).
+/// An idle-dominated connection is starved of production; a
+/// stream-dominated one is throttled in transfer — the first fork of
+/// the `diagnose_fleet` decision tree.
+///
+/// The split is approximate under [`BufReader`]: reads served from
+/// the buffer never reach this wrapper, so a frame whose bytes all
+/// arrived with a previous fill shows up as pure gap on its next
+/// refill. Fine for attribution — the buckets aggregate over
+/// thousands of frames.
+struct MeteredReader<R> {
+    inner: R,
+    enabled: bool,
+    awaiting_first: bool,
+    gap_ns: u64,
+    stream_ns: u64,
+}
+
+impl<R> MeteredReader<R> {
+    fn new(inner: R, enabled: bool) -> Self {
+        MeteredReader {
+            inner,
+            enabled,
+            awaiting_first: true,
+            gap_ns: 0,
+            stream_ns: 0,
+        }
+    }
+
+    /// Mark a frame boundary: the next underlying read is the wait
+    /// for the next frame's first byte.
+    fn start_frame(&mut self) {
+        self.awaiting_first = true;
+    }
+}
+
+impl<R: Read> Read for MeteredReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if !self.enabled {
+            return self.inner.read(buf);
+        }
+        let t0 = Instant::now();
+        let result = self.inner.read(buf);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if self.awaiting_first {
+            self.gap_ns += ns;
+            if matches!(&result, Ok(n) if *n > 0) {
+                self.awaiting_first = false;
+            }
+        } else {
+            self.stream_ns += ns;
+        }
+        result
+    }
+}
+
+/// Tracing context one connection records into: the client-epoch span
+/// recorder, the fleet registry, and this connection's identity.
+struct ConnTrace<'a> {
+    rec: &'a EpochRecorder,
+    fleet: &'a FleetProgress,
+    /// Stable index of this worker in the epoch's worker list — the
+    /// `worker` field of client-side spans.
+    conn: u32,
+    trace_id: u64,
+    /// Global shard name → index into the epoch's full shard list
+    /// (client span phase = `BUILTIN_PHASES + index`).
+    shard_index: &'a HashMap<String, usize>,
+}
+
+/// SplitMix64: derive a deterministic trace id from the epoch seed.
+fn derive_trace_id(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 /// Consume one epoch from `workers`, delivering every sample to
@@ -950,6 +1486,31 @@ where
     if let Some(progress) = &progress {
         progress.begin(workers.len() as u64);
     }
+    // Fleet tracing: a client-epoch recorder whose extra "steps" are
+    // the shards themselves (one client span per shard, from
+    // assignment start to EOF commit), plus the fleet registry the
+    // connections fill with handshake offsets and remote stats.
+    let tracing = config.tracing && telemetry.is_some();
+    let trace_id = if config.trace_id != 0 {
+        config.trace_id
+    } else {
+        derive_trace_id(epoch_seed)
+    };
+    let rec = telemetry.filter(|_| tracing).map(|t| {
+        let rec = t.begin_epoch(shards, workers.len(), 0);
+        rec.set_epoch_seed(epoch_seed);
+        rec
+    });
+    let fleet = telemetry.filter(|_| tracing).map(|t| {
+        let fleet = t.fleet();
+        fleet.begin(trace_id);
+        fleet
+    });
+    let shard_index: HashMap<String, usize> = shards
+        .iter()
+        .enumerate()
+        .map(|(index, name)| (name.clone(), index))
+        .collect();
     let started = Instant::now();
     let consume = &consume;
     let mut report = ServeReport {
@@ -1025,12 +1586,34 @@ where
                 }
             }
         }
+        let rec_ref = rec.as_deref();
+        let fleet_ref = fleet.as_deref();
+        let shard_index = &shard_index;
         let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = assignments
                 .iter()
                 .map(|(addr, tried, assigned)| {
+                    let conn = workers.iter().position(|w| &w == addr).unwrap_or(0) as u32;
                     scope.spawn(move || {
-                        consume_assignment(addr, assigned, epoch_seed, config, *tried, consume)
+                        let trace = match (rec_ref, fleet_ref) {
+                            (Some(rec), Some(fleet)) => Some(ConnTrace {
+                                rec,
+                                fleet,
+                                conn,
+                                trace_id,
+                                shard_index,
+                            }),
+                            _ => None,
+                        };
+                        consume_assignment(
+                            addr,
+                            assigned,
+                            epoch_seed,
+                            config,
+                            *tried,
+                            trace.as_ref(),
+                            consume,
+                        )
                     })
                 })
                 .collect();
@@ -1049,6 +1632,11 @@ where
         for ((addr, tried, assigned), outcome) in assignments.into_iter().zip(outcomes) {
             if let Some(fatal) = outcome.fatal {
                 return Err(fatal);
+            }
+            if let Some(progress) = &progress {
+                progress.gap_wait(outcome.gap_ns);
+                progress.stream_read(outcome.stream_ns);
+                progress.consume_time(outcome.consume_ns);
             }
             report.samples += outcome.samples;
             report.batches += outcome.batches;
@@ -1090,6 +1678,17 @@ where
         pending = next_pending;
     }
     report.elapsed = started.elapsed();
+    if let Some(rec) = &rec {
+        rec.finish(
+            report.elapsed,
+            report.samples,
+            report.bytes_received,
+            0,
+            0,
+            report.lost_shards,
+            report.degraded,
+        );
+    }
     if let Some(progress) = &progress {
         progress.finish();
     }
@@ -1107,6 +1706,7 @@ fn consume_assignment<F>(
     epoch_seed: u64,
     config: &ServeClientConfig,
     attempt: u32,
+    trace: Option<&ConnTrace<'_>>,
     consume: &F,
 ) -> ConnOutcome
 where
@@ -1133,65 +1733,177 @@ where
         Ok(writer) => writer,
         Err(_) => return outcome,
     };
-    let mut reader = BufReader::new(stream);
-    if write_frame(
+    let mut reader = BufReader::new(MeteredReader::new(stream, trace.is_some()));
+    drive_assignment(
+        addr,
+        shards,
+        epoch_seed,
+        config,
+        trace,
+        consume,
         &mut writer,
+        &mut reader,
+        &mut outcome,
+    );
+    // Whatever happened on the wire, the wait buckets are real.
+    let metered = reader.get_mut();
+    outcome.gap_ns = metered.gap_ns;
+    outcome.stream_ns = metered.stream_ns;
+    outcome
+}
+
+/// The wire conversation of one connection: HELLO negotiation, the
+/// v2 clock-offset handshake, ASSIGN, then the BATCH/EOF/ERR drain
+/// loop and (when requested) the trailing STATS frame. Mutates
+/// `outcome` in place so every early return leaves a consistent
+/// partial result for failover.
+#[allow(clippy::too_many_arguments)]
+fn drive_assignment<F>(
+    addr: &str,
+    shards: &[String],
+    epoch_seed: u64,
+    config: &ServeClientConfig,
+    trace: Option<&ConnTrace<'_>>,
+    consume: &F,
+    writer: &mut TcpStream,
+    reader: &mut BufReader<MeteredReader<TcpStream>>,
+    outcome: &mut ConnOutcome,
+) where
+    F: Fn(&Sample) + Send + Sync,
+{
+    let local_max = config.max_version.clamp(1, PROTOCOL_VERSION);
+    let trace_id = trace.map_or(0, |t| t.trace_id);
+    if write_frame(
+        writer,
         &Frame::Hello {
-            version: PROTOCOL_VERSION,
+            version: local_max,
+            trace_id,
         },
     )
     .is_err()
     {
-        return outcome;
+        return;
     }
-    match read_frame(&mut reader) {
-        Ok(Some(Frame::Hello { version })) if version == PROTOCOL_VERSION => {}
-        Ok(Some(Frame::Hello { version })) => {
+    reader.get_mut().start_frame();
+    let negotiated = match read_frame(reader) {
+        Ok(Some(Frame::Hello { version, .. })) if version >= 1 => local_max.min(version),
+        Ok(Some(Frame::Hello { version, .. })) => {
             outcome.fatal = Some(
-                ServeError::Protocol(format!(
-                    "worker speaks protocol v{version}, client v{PROTOCOL_VERSION}"
-                ))
-                .into(),
+                ServeError::Protocol(format!("worker speaks protocol v{version}, minimum is 1"))
+                    .into(),
             );
-            return outcome;
+            return;
         }
-        _ => return outcome,
+        _ => return,
+    };
+    if let Some(trace) = trace {
+        if negotiated >= 2 {
+            // NTP-style offset estimate: the minimum-RTT PING's
+            // midpoint is the least-delayed view of the worker clock.
+            let mut best_rtt = u64::MAX;
+            let mut offset = 0i64;
+            for seq in 0..PING_BURST {
+                let t0 = mono_ns();
+                if write_frame(writer, &Frame::Ping { t0, seq }).is_err() {
+                    return;
+                }
+                reader.get_mut().start_frame();
+                match read_frame(reader) {
+                    Ok(Some(Frame::Pong {
+                        t0: echo,
+                        t_worker,
+                        seq: echo_seq,
+                    })) if echo == t0 && echo_seq == seq => {
+                        let rtt = mono_ns().saturating_sub(t0);
+                        if rtt < best_rtt {
+                            best_rtt = rtt;
+                            offset = t_worker as i64 - (t0 + rtt / 2) as i64;
+                        }
+                    }
+                    _ => return,
+                }
+            }
+            trace
+                .fleet
+                .record_handshake(addr, trace.conn, negotiated, offset, best_rtt);
+        } else {
+            // v1 worker: no clock exchange; record the connection so
+            // the fleet document still lists it.
+            trace
+                .fleet
+                .record_handshake(addr, trace.conn, negotiated, 0, 0);
+        }
     }
+    let want_stats = trace.is_some() && negotiated >= 2;
     if write_frame(
-        &mut writer,
+        writer,
         &Frame::Assign {
             epoch_seed,
             credits: config.credits.max(1),
             shards: shards.to_vec(),
+            trace_id,
+            parent_span: if trace.is_some() {
+                trace_id ^ fnv64(addr)
+            } else {
+                0
+            },
+            flags: if want_stats { ASSIGN_WANT_STATS } else { 0 },
         },
     )
     .is_err()
     {
-        return outcome;
+        return;
     }
+    // One client span per shard: assignment start → EOF commit.
+    let assign_t0 = trace.and_then(|t| t.rec.begin());
     let mut buffers: Vec<Vec<Sample>> = vec![Vec::new(); shards.len()];
     let mut done = vec![false; shards.len()];
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(Frame::Batch {
+        reader.get_mut().start_frame();
+        let frame = match read_frame(reader) {
+            Ok(Some(frame)) => frame,
+            // Clean close mid-assignment, CRC garbage, timeout: the
+            // connection is unusable — whatever was not committed
+            // fails over.
+            _ => return,
+        };
+        // A v2 BATCH2 carries the same payload as a BATCH plus trace
+        // context the client does not need for delivery.
+        let frame = match frame {
+            Frame::Batch2 {
                 shard,
                 count,
                 codec,
                 block,
-            })) => {
+                ..
+            } => Frame::Batch {
+                shard,
+                count,
+                codec,
+                block,
+            },
+            frame => frame,
+        };
+        match frame {
+            Frame::Batch {
+                shard,
+                count,
+                codec,
+                block,
+            } => {
                 let index = shard as usize;
                 if index >= buffers.len() || done[index] {
-                    return outcome; // protocol violation: treat conn as dead
+                    return; // protocol violation: treat conn as dead
                 }
                 outcome.batches += 1;
                 outcome.bytes += block.len() as u64;
                 let codec = match wire_codec(codec) {
                     Ok(codec) => codec,
-                    Err(_) => return outcome,
+                    Err(_) => return,
                 };
                 let framed = match codec.decompress(&block) {
                     Ok(framed) => framed,
-                    Err(_) => return outcome,
+                    Err(_) => return,
                 };
                 let mut records = RecordReader::new(&framed);
                 let mut decoded = 0u32;
@@ -1201,45 +1913,75 @@ where
                         .and_then(|r| Sample::decode(r).map_err(|_| ()))
                     {
                         Ok(sample) => sample,
-                        Err(()) => return outcome,
+                        Err(()) => return,
                     };
                     buffers[index].push(sample);
                     decoded += 1;
                 }
                 if decoded != count {
-                    return outcome;
+                    return;
                 }
-                if write_frame(&mut writer, &Frame::Credit { n: 1 }).is_err() {
-                    return outcome;
+                if write_frame(writer, &Frame::Credit { n: 1 }).is_err() {
+                    return;
                 }
             }
-            Ok(Some(Frame::Eof { shard })) => {
+            Frame::Eof { shard } => {
                 let index = shard as usize;
                 if index >= buffers.len() || done[index] {
-                    return outcome;
+                    return;
                 }
                 // Commit: the shard arrived whole, deliver it.
                 done[index] = true;
+                let t_consume = Instant::now();
                 for sample in std::mem::take(&mut buffers[index]) {
                     outcome.checksum.add(&sample);
                     outcome.samples += 1;
                     consume(&sample);
                 }
+                outcome.consume_ns += t_consume.elapsed().as_nanos() as u64;
                 outcome.failed.retain(|name| name != &shards[index]);
+                if let (Some(trace), Some(t0)) = (trace, assign_t0) {
+                    if let Some(&global) = trace.shard_index.get(&shards[index]) {
+                        trace
+                            .rec
+                            .phase_done(trace.conn as usize, BUILTIN_PHASES + global, t0);
+                    }
+                }
                 if done.iter().all(|&d| d) {
-                    return outcome;
+                    break;
                 }
             }
-            Ok(Some(Frame::Err { message })) => {
+            Frame::Err { message } => {
                 outcome.fatal = Some(PipelineError::Other(format!(
                     "worker {addr} failed: {message}"
                 )));
-                return outcome;
+                return;
             }
-            // Unexpected frame, clean close mid-assignment, CRC
-            // garbage, timeout: the connection is unusable — whatever
-            // was not committed fails over.
-            _ => return outcome,
+            // A stray PONG (duplicate handshake reply) is harmless.
+            Frame::Pong { .. } => {}
+            _ => return,
+        }
+    }
+    // All shards committed; the worker's STATS frame (if requested)
+    // trails the final EOF. Best-effort: a worker that dies here has
+    // already delivered everything.
+    if want_stats {
+        if let Some(trace) = trace {
+            loop {
+                reader.get_mut().start_frame();
+                match read_frame(reader) {
+                    Ok(Some(Frame::Stats { entry })) => {
+                        let mut entry = *entry;
+                        entry.addr = addr.to_string();
+                        entry.conn = trace.conn;
+                        entry.peer_version = negotiated;
+                        trace.fleet.record_stats(entry);
+                        break;
+                    }
+                    Ok(Some(_)) => continue,
+                    _ => break,
+                }
+            }
         }
     }
 }
@@ -1250,12 +1992,38 @@ mod tests {
 
     #[test]
     fn frames_round_trip_through_payload_encoding() {
+        let entry = FleetWorkerEntry {
+            assign_start_mono_ns: 11,
+            elapsed_ns: 1_000,
+            samples: 64,
+            batches: 4,
+            produce_ns: 800,
+            credit_wait_ns: 120,
+            dropped_spans: 2,
+            steps: vec![
+                ("read".into(), "io".into(), 300),
+                ("resize".into(), "step".into(), 500),
+            ],
+            spans: vec![presto_telemetry::SpanEvent {
+                worker: 0,
+                phase: 1,
+                start_ns: 5,
+                dur_ns: 0, // zero-duration spans must survive the wire
+            }],
+            ..FleetWorkerEntry::default()
+        };
         let frames = [
-            Frame::Hello { version: 7 },
+            Frame::Hello {
+                version: 7,
+                trace_id: 0xFACE,
+            },
             Frame::Assign {
                 epoch_seed: 0xDEAD_BEEF,
                 credits: 4,
                 shards: vec!["a-shard-0000".into(), "b".into(), String::new()],
+                trace_id: 42,
+                parent_span: 7,
+                flags: ASSIGN_WANT_STATS,
             },
             Frame::Batch {
                 shard: 3,
@@ -1268,11 +2036,87 @@ mod tests {
             Frame::Err {
                 message: "shard fell over".into(),
             },
+            Frame::Ping { t0: 123, seq: 2 },
+            Frame::Pong {
+                t0: 123,
+                t_worker: 456,
+                seq: 2,
+            },
+            Frame::Stats {
+                entry: Box::new(entry),
+            },
+            Frame::Batch2 {
+                shard: 1,
+                count: 3,
+                codec: 0,
+                span_id: 77,
+                t_send: 999,
+                block: vec![1, 2, 3],
+            },
         ];
         for frame in frames {
             let decoded = Frame::decode_payload(&frame.encode_payload()).expect("round trip");
             assert_eq!(decoded, frame);
         }
+    }
+
+    #[test]
+    fn v1_peers_survive_v2_hello_and_assign_trailers() {
+        // A v1 decoder reads the known prefix and ignores trailing
+        // bytes. Simulate one by truncating the v2 encodings at the
+        // v1 boundary and checking the v2 decoder defaults the
+        // missing trailer — the exact tolerance a real v1 peer relies
+        // on in reverse.
+        let hello = Frame::Hello {
+            version: 2,
+            trace_id: 0xAB,
+        };
+        let payload = hello.encode_payload();
+        let v1_cut = &payload[..5]; // tag + version only
+        assert_eq!(
+            Frame::decode_payload(v1_cut).expect("v1 hello"),
+            Frame::Hello {
+                version: 2,
+                trace_id: 0,
+            }
+        );
+        let assign = Frame::Assign {
+            epoch_seed: 9,
+            credits: 2,
+            shards: vec!["s0".into(), "s1".into()],
+            trace_id: 5,
+            parent_span: 6,
+            flags: ASSIGN_WANT_STATS,
+        };
+        let payload = assign.encode_payload();
+        let v1_cut = &payload[..payload.len() - 17]; // strip v2 trailer
+        assert_eq!(
+            Frame::decode_payload(v1_cut).expect("v1 assign"),
+            Frame::Assign {
+                epoch_seed: 9,
+                credits: 2,
+                shards: vec!["s0".into(), "s1".into()],
+                trace_id: 0,
+                parent_span: 0,
+                flags: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn stats_frames_reject_absurd_span_counts() {
+        let mut payload = Frame::Stats {
+            entry: Box::new(FleetWorkerEntry::default()),
+        }
+        .encode_payload();
+        // Patch the span count (last 4 bytes of an empty STATS body)
+        // to exceed the cap.
+        let at = payload.len() - 4;
+        payload[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            Frame::decode_payload(&payload),
+            Err(ServeError::Protocol(_))
+        ));
     }
 
     #[test]

@@ -334,10 +334,119 @@ pub fn prometheus_serve(serve: &ServeSnapshot) -> String {
         serve.rejoins,
     );
     gauge(
+        "presto_serve_gap_wait_ns_total",
+        "Client time blocked waiting for the first byte of a frame, ns.",
+        serve.gap_wait_ns,
+    );
+    gauge(
+        "presto_serve_stream_read_ns_total",
+        "Client time reading frame bytes after the first byte, ns.",
+        serve.stream_read_ns,
+    );
+    gauge(
+        "presto_serve_consume_ns_total",
+        "Client time inside the consume callback, ns.",
+        serve.consume_ns,
+    );
+    gauge(
+        "presto_serve_produce_ns_total",
+        "Worker time producing samples (processing + pacing), ns.",
+        serve.produce_ns,
+    );
+    gauge(
         "presto_serve_done",
         "Whether the serve session has finished (0/1).",
         u64::from(serve.done),
     );
+    out
+}
+
+/// Render the fleet registry as Prometheus series with a per-worker
+/// `worker="addr"` breakout. Emitted by `/metrics` alongside the serve
+/// gauges whenever a fleet session is active.
+pub fn prometheus_fleet(fleet: &crate::FleetSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = writeln!(
+        out,
+        "# HELP presto_fleet_trace_id Trace id of the fleet session."
+    );
+    let _ = writeln!(out, "# TYPE presto_fleet_trace_id gauge");
+    let _ = writeln!(out, "presto_fleet_trace_id {}", fleet.trace_id);
+    let _ = writeln!(
+        out,
+        "# HELP presto_fleet_workers Workers the fleet has contacted."
+    );
+    let _ = writeln!(out, "# TYPE presto_fleet_workers gauge");
+    let _ = writeln!(out, "presto_fleet_workers {}", fleet.workers.len());
+    fn series(out: &mut String, name: &str, help: &str) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+    }
+    series(
+        &mut out,
+        "presto_fleet_worker_clock_offset_ns",
+        "Estimated worker_mono - client_mono per connection, ns.",
+    );
+    for w in &fleet.workers {
+        let _ = writeln!(
+            out,
+            "presto_fleet_worker_clock_offset_ns{{worker=\"{}\"}} {}",
+            json_escape(&w.addr),
+            w.clock_offset_ns
+        );
+    }
+    series(
+        &mut out,
+        "presto_fleet_worker_rtt_ns",
+        "Round-trip time of the clock-offset sample, ns.",
+    );
+    for w in &fleet.workers {
+        let _ = writeln!(
+            out,
+            "presto_fleet_worker_rtt_ns{{worker=\"{}\"}} {}",
+            json_escape(&w.addr),
+            w.rtt_ns
+        );
+    }
+    series(
+        &mut out,
+        "presto_fleet_worker_samples_total",
+        "Samples produced per worker.",
+    );
+    for w in &fleet.workers {
+        let _ = writeln!(
+            out,
+            "presto_fleet_worker_samples_total{{worker=\"{}\"}} {}",
+            json_escape(&w.addr),
+            w.samples
+        );
+    }
+    series(
+        &mut out,
+        "presto_fleet_worker_produce_ns_total",
+        "Time producing samples per worker, ns.",
+    );
+    for w in &fleet.workers {
+        let _ = writeln!(
+            out,
+            "presto_fleet_worker_produce_ns_total{{worker=\"{}\"}} {}",
+            json_escape(&w.addr),
+            w.produce_ns
+        );
+    }
+    series(
+        &mut out,
+        "presto_fleet_worker_credit_wait_ns_total",
+        "Time stalled waiting for credit per worker, ns.",
+    );
+    for w in &fleet.workers {
+        let _ = writeln!(
+            out,
+            "presto_fleet_worker_credit_wait_ns_total{{worker=\"{}\"}} {}",
+            json_escape(&w.addr),
+            w.credit_wait_ns
+        );
+    }
     out
 }
 

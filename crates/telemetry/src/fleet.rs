@@ -1,0 +1,890 @@
+//! Cross-process ("fleet") tracing for the disaggregated serve layer.
+//!
+//! A serve session spans one `train-client` and N `serve-worker`
+//! processes, each with its own monotonic clock and its own
+//! [`EpochRecorder`](crate::EpochRecorder). This module is the glue
+//! that turns those per-process telemetry islands into one picture:
+//!
+//! - [`mono_ns`]: a process-wide monotonic clock (nanoseconds since an
+//!   arbitrary per-process anchor). Wire handshakes exchange these
+//!   readings to estimate per-connection clock offsets NTP-style.
+//! - [`FleetProgress`]: a registry the serve client fills as it talks
+//!   to workers — clock offset + RTT per connection at handshake time,
+//!   then each worker's remote stats, step totals and span timeline
+//!   when the assignment completes.
+//! - [`fleet_json`] / [`validate_fleet_json`]: the stable
+//!   `presto.fleet.v1` document served at `/fleet.json` and written by
+//!   `train-client --fleet-out`.
+//! - [`merge_chrome_trace`]: one Chrome `trace_event` document for the
+//!   whole fleet — client spans on pid 1, each worker on its own pid
+//!   with span timestamps corrected onto the client's clock (and
+//!   clamped into the client-side envelope of that connection, keeping
+//!   the raw timestamp in `args`), chaos-proxy events on pid 99.
+//!
+//! Offset convention: `clock_offset_ns = worker_mono − client_mono`,
+//! estimated from a PING/PONG exchange as
+//! `t_worker − (t_send + t_recv) / 2` and taken from the
+//! minimum-RTT sample. To move a worker-clock reading onto the client
+//! clock, *subtract* the offset.
+
+use crate::export::{json_escape, parse_json, JsonValue};
+use crate::{ServeSnapshot, SpanEvent, TelemetrySnapshot};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Schema identifier of the fleet document.
+pub const FLEET_SCHEMA: &str = "presto.fleet.v1";
+/// Schema identifier of the chaos-proxy event document.
+pub const CHAOS_SCHEMA: &str = "presto.chaos.v1";
+
+/// Nanoseconds since this process's (arbitrary) monotonic anchor.
+/// Every process has a different anchor; the ping handshake measures
+/// the difference so readings can be moved between processes.
+pub fn mono_ns() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+/// One worker's contribution to the fleet picture, as recorded by the
+/// serve client: connection metadata from the handshake, remote totals
+/// and the remote span timeline from the end-of-assignment STATS frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetWorkerEntry {
+    /// Worker address (`host:port`).
+    pub addr: String,
+    /// Index of this worker in the client's candidate list — the
+    /// `worker` field of client-side spans for this connection.
+    pub conn: u32,
+    /// Wire protocol version the connection negotiated.
+    pub peer_version: u32,
+    /// Estimated `worker_mono − client_mono`, nanoseconds (min-RTT
+    /// ping sample). 0 until the handshake completes.
+    pub clock_offset_ns: i64,
+    /// Round-trip time of the offset sample, nanoseconds.
+    pub rtt_ns: u64,
+    /// Worker-clock [`mono_ns`] reading at the start of its
+    /// assignment epoch — the origin of its relative span timestamps.
+    pub assign_start_mono_ns: u64,
+    /// Assignment wall time on the worker, nanoseconds.
+    pub elapsed_ns: u64,
+    /// Samples the worker produced for this client.
+    pub samples: u64,
+    /// BATCH frames the worker sent.
+    pub batches: u64,
+    /// Time the worker spent producing samples (processing + pacing),
+    /// nanoseconds.
+    pub produce_ns: u64,
+    /// Time the worker spent stalled waiting for credit, nanoseconds.
+    pub credit_wait_ns: u64,
+    /// Remote span events dropped (budget or wire cap).
+    pub dropped_spans: u64,
+    /// Remote step totals: `(name, kind label, busy_ns)`.
+    pub steps: Vec<(String, String, u64)>,
+    /// Remote span timeline, relative to `assign_start_mono_ns`.
+    pub spans: Vec<SpanEvent>,
+}
+
+#[derive(Debug, Default)]
+struct FleetState {
+    active: bool,
+    trace_id: u64,
+    epoch_start_mono_ns: u64,
+    workers: Vec<FleetWorkerEntry>,
+}
+
+/// Live fleet registry attached to a [`Telemetry`](crate::Telemetry)
+/// handle. The serve client writes to it; `/fleet.json`, the merged
+/// `/metrics` and `presto trace --merge` read it. Updates are rare
+/// (one per handshake, one per finished assignment), so a mutex is
+/// fine — nothing on the per-sample hot path touches this.
+#[derive(Debug, Default)]
+pub struct FleetProgress {
+    state: Mutex<FleetState>,
+}
+
+impl FleetProgress {
+    /// Start (or restart) a fleet session. Clears all worker entries,
+    /// stamps the client-clock epoch origin and stores the trace id.
+    pub fn begin(&self, trace_id: u64) {
+        let mut state = self.state.lock();
+        state.active = true;
+        state.trace_id = trace_id;
+        state.epoch_start_mono_ns = mono_ns();
+        state.workers.clear();
+    }
+
+    /// Record (or refresh) a connection handshake: negotiated version
+    /// plus the clock-offset estimate. Creates the entry if the
+    /// address is new; keeps any stats already recorded otherwise.
+    pub fn record_handshake(
+        &self,
+        addr: &str,
+        conn: u32,
+        peer_version: u32,
+        clock_offset_ns: i64,
+        rtt_ns: u64,
+    ) {
+        let mut state = self.state.lock();
+        let entry = match state.workers.iter_mut().find(|w| w.addr == addr) {
+            Some(entry) => entry,
+            None => {
+                state.workers.push(FleetWorkerEntry {
+                    addr: addr.to_string(),
+                    ..FleetWorkerEntry::default()
+                });
+                state.workers.last_mut().expect("just pushed")
+            }
+        };
+        entry.conn = conn;
+        entry.peer_version = peer_version;
+        entry.clock_offset_ns = clock_offset_ns;
+        entry.rtt_ns = rtt_ns;
+    }
+
+    /// Record a worker's end-of-assignment stats, replacing any
+    /// previous stats for the same address but keeping the handshake
+    /// fields already stored there.
+    pub fn record_stats(&self, entry: FleetWorkerEntry) {
+        let mut state = self.state.lock();
+        match state.workers.iter_mut().find(|w| w.addr == entry.addr) {
+            Some(existing) => {
+                let (offset, rtt, version, conn) = (
+                    existing.clock_offset_ns,
+                    existing.rtt_ns,
+                    existing.peer_version,
+                    existing.conn,
+                );
+                *existing = entry;
+                existing.clock_offset_ns = offset;
+                existing.rtt_ns = rtt;
+                existing.peer_version = version;
+                existing.conn = conn;
+            }
+            None => state.workers.push(entry),
+        }
+    }
+
+    /// True once [`FleetProgress::begin`] has been called.
+    pub fn is_active(&self) -> bool {
+        self.state.lock().active
+    }
+
+    /// A point-in-time copy for rendering/export.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        let state = self.state.lock();
+        FleetSnapshot {
+            active: state.active,
+            trace_id: state.trace_id,
+            epoch_start_mono_ns: state.epoch_start_mono_ns,
+            workers: state.workers.clone(),
+        }
+    }
+}
+
+/// Point-in-time copy of [`FleetProgress`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FleetSnapshot {
+    /// True once a fleet session has begun.
+    pub active: bool,
+    /// Trace id propagated to every worker over the wire.
+    pub trace_id: u64,
+    /// Client-clock [`mono_ns`] reading at epoch start — the origin of
+    /// client-side relative span timestamps.
+    pub epoch_start_mono_ns: u64,
+    /// Per-worker entries, in first-contact order.
+    pub workers: Vec<FleetWorkerEntry>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_process(
+    out: &mut String,
+    indent: &str,
+    elapsed_ns: u64,
+    threads: usize,
+    samples: u64,
+    dropped_spans: u64,
+    steps: &[(String, String, u64)],
+    spans: &[SpanEvent],
+) {
+    let _ = writeln!(
+        out,
+        "{indent}\"elapsed_ns\": {elapsed_ns}, \"threads\": {threads}, \"samples\": {samples}, \"dropped_spans\": {dropped_spans},"
+    );
+    let _ = write!(out, "{indent}\"steps\": [");
+    for (i, (name, kind, busy_ns)) in steps.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"name\": \"{}\", \"kind\": \"{}\", \"busy_ns\": {}}}",
+            if i == 0 { "" } else { ", " },
+            json_escape(name),
+            json_escape(kind),
+            busy_ns
+        );
+    }
+    let _ = writeln!(out, "],");
+    let _ = write!(out, "{indent}\"spans\": [");
+    for (i, s) in spans.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}[{}, {}, {}, {}]",
+            if i == 0 { "" } else { ", " },
+            s.worker,
+            s.phase,
+            s.start_ns,
+            s.dur_ns
+        );
+    }
+    let _ = write!(out, "]");
+}
+
+fn step_triples(snapshot: &TelemetrySnapshot) -> Vec<(String, String, u64)> {
+    snapshot
+        .steps
+        .iter()
+        .map(|s| (s.name.clone(), s.kind.label().to_string(), s.busy_ns))
+        .collect()
+}
+
+/// Render the fleet as the stable `presto.fleet.v1` JSON document:
+/// the client's epoch (with spans), the serve gauge set, and every
+/// worker's handshake + remote stats (with spans). This is what
+/// `/fleet.json` serves and what [`merge_chrome_trace`] consumes.
+pub fn fleet_json(
+    client: &TelemetrySnapshot,
+    serve: &ServeSnapshot,
+    fleet: &FleetSnapshot,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "{{\n  \"schema\": \"{FLEET_SCHEMA}\",");
+    // Hex string, not a number: 64-bit trace ids do not survive the
+    // f64 round-trip a JSON number implies.
+    let _ = writeln!(out, "  \"trace_id\": \"{:#018x}\",", fleet.trace_id);
+    let _ = writeln!(
+        out,
+        "  \"epoch_start_mono_ns\": {},",
+        fleet.epoch_start_mono_ns
+    );
+    out.push_str("  \"client\": {\n");
+    write_process(
+        &mut out,
+        "    ",
+        client.elapsed_ns,
+        client.threads,
+        client.samples,
+        client.dropped_spans,
+        &step_triples(client),
+        &client.spans,
+    );
+    out.push_str("\n  },\n");
+    let _ = writeln!(
+        out,
+        "  \"serve\": {{\"workers\": {}, \"batches_sent\": {}, \"bytes_sent\": {}, \"credit_stalls\": {}, \"credit_wait_ns\": {}, \"reassignments\": {}, \"preemptions\": {}, \"rejoins\": {}, \"gap_wait_ns\": {}, \"stream_read_ns\": {}, \"consume_ns\": {}, \"produce_ns\": {}}},",
+        serve.workers,
+        serve.batches_sent,
+        serve.bytes_sent,
+        serve.credit_stalls,
+        serve.credit_wait_ns,
+        serve.reassignments,
+        serve.preemptions,
+        serve.rejoins,
+        serve.gap_wait_ns,
+        serve.stream_read_ns,
+        serve.consume_ns,
+        serve.produce_ns
+    );
+    out.push_str("  \"workers\": [\n");
+    for (i, w) in fleet.workers.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(
+            out,
+            "      \"addr\": \"{}\", \"conn\": {}, \"peer_version\": {}, \"clock_offset_ns\": {}, \"rtt_ns\": {}, \"assign_start_mono_ns\": {},",
+            json_escape(&w.addr),
+            w.conn,
+            w.peer_version,
+            w.clock_offset_ns,
+            w.rtt_ns,
+            w.assign_start_mono_ns
+        );
+        let _ = writeln!(
+            out,
+            "      \"batches\": {}, \"produce_ns\": {}, \"credit_wait_ns\": {},",
+            w.batches, w.produce_ns, w.credit_wait_ns
+        );
+        write_process(
+            &mut out,
+            "      ",
+            w.elapsed_ns,
+            1,
+            w.samples,
+            w.dropped_spans,
+            &w.steps,
+            &w.spans,
+        );
+        let _ = write!(
+            out,
+            "\n    }}{}\n",
+            if i + 1 < fleet.workers.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_spans(value: &JsonValue, what: &str) -> Result<Vec<SpanEvent>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("'{what}.spans' must be an array"))?;
+    let mut spans = Vec::with_capacity(items.len());
+    for item in items {
+        let quad = item
+            .as_array()
+            .ok_or_else(|| format!("'{what}.spans' entries must be [worker, phase, start, dur]"))?;
+        if quad.len() != 4 || quad.iter().any(|v| v.as_f64().is_none()) {
+            return Err(format!(
+                "'{what}.spans' entries must be 4 numbers, got {item:?}"
+            ));
+        }
+        spans.push(SpanEvent {
+            worker: quad[0].as_f64().unwrap_or(0.0) as u32,
+            phase: quad[1].as_f64().unwrap_or(0.0) as u32,
+            start_ns: quad[2].as_f64().unwrap_or(0.0) as u64,
+            dur_ns: quad[3].as_f64().unwrap_or(0.0) as u64,
+        });
+    }
+    Ok(spans)
+}
+
+fn parse_steps(value: &JsonValue, what: &str) -> Result<Vec<(String, String, u64)>, String> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| format!("'{what}.steps' must be an array"))?;
+    items
+        .iter()
+        .map(|step| {
+            Ok((
+                step.require_str("name")?.to_string(),
+                step.require_str("kind")?.to_string(),
+                step.require_f64("busy_ns")? as u64,
+            ))
+        })
+        .collect()
+}
+
+/// Parse a document's `trace_id`: a `"0x…"` hex string on the wire
+/// (a JSON number cannot carry 64 bits through an f64 parser), with
+/// bare decimal numbers tolerated for hand-written documents.
+fn parse_trace_id(doc: &JsonValue) -> Result<u64, String> {
+    let value = doc.require("trace_id")?;
+    if let Some(text) = value.as_str() {
+        let digits = text.strip_prefix("0x").unwrap_or(text);
+        return u64::from_str_radix(digits, 16)
+            .map_err(|_| format!("'trace_id' is not a hex id: '{text}'"));
+    }
+    match value.as_f64() {
+        Some(n) if n >= 0.0 => Ok(n as u64),
+        _ => Err("'trace_id' must be a hex string or number".into()),
+    }
+}
+
+/// Validate a document against the `presto.fleet.v1` schema and
+/// return the parsed document on success.
+pub fn validate_fleet_json(input: &str) -> Result<JsonValue, String> {
+    let doc = parse_json(input)?;
+    match doc.require("schema")?.as_str() {
+        Some(FLEET_SCHEMA) => {}
+        Some(other) => return Err(format!("wrong schema '{other}', expected '{FLEET_SCHEMA}'")),
+        None => return Err("'schema' must be a string".into()),
+    }
+    parse_trace_id(&doc)?;
+    doc.require_f64("epoch_start_mono_ns")?;
+    let client = doc.require("client")?;
+    client.require_f64("elapsed_ns")?;
+    client.require_f64("samples")?;
+    parse_steps(client.require("steps")?, "client")?;
+    parse_spans(client.require("spans")?, "client")?;
+    let serve = doc.require("serve")?;
+    for field in [
+        "workers",
+        "batches_sent",
+        "gap_wait_ns",
+        "stream_read_ns",
+        "consume_ns",
+        "credit_wait_ns",
+    ] {
+        serve.require_f64(field)?;
+    }
+    let workers = doc
+        .require("workers")?
+        .as_array()
+        .ok_or_else(|| "'workers' must be an array".to_string())?;
+    for worker in workers {
+        worker.require_str("addr")?;
+        for field in [
+            "conn",
+            "peer_version",
+            "clock_offset_ns",
+            "rtt_ns",
+            "assign_start_mono_ns",
+            "elapsed_ns",
+            "produce_ns",
+            "credit_wait_ns",
+        ] {
+            worker.require_f64(field)?;
+        }
+        parse_steps(worker.require("steps")?, "worker")?;
+        parse_spans(worker.require("spans")?, "worker")?;
+    }
+    Ok(doc)
+}
+
+/// Parse a `presto.fleet.v1` document back into the structures the
+/// merge and diagnosis layers use. Handshake-only entries (no stats
+/// yet) round-trip with zeroed stats.
+pub fn parse_fleet_json(input: &str) -> Result<FleetSnapshot, String> {
+    let doc = validate_fleet_json(input)?;
+    let mut workers = Vec::new();
+    for w in doc.require("workers")?.as_array().unwrap_or(&[]) {
+        workers.push(FleetWorkerEntry {
+            addr: w.require_str("addr")?.to_string(),
+            conn: w.require_f64("conn")? as u32,
+            peer_version: w.require_f64("peer_version")? as u32,
+            clock_offset_ns: w.require_f64("clock_offset_ns")? as i64,
+            rtt_ns: w.require_f64("rtt_ns")? as u64,
+            assign_start_mono_ns: w.require_f64("assign_start_mono_ns")? as u64,
+            elapsed_ns: w.require_f64("elapsed_ns")? as u64,
+            samples: w.require_f64("samples")? as u64,
+            batches: w.require_f64("batches")? as u64,
+            produce_ns: w.require_f64("produce_ns")? as u64,
+            credit_wait_ns: w.require_f64("credit_wait_ns")? as u64,
+            dropped_spans: w.require_f64("dropped_spans")? as u64,
+            steps: parse_steps(w.require("steps")?, "worker")?,
+            spans: parse_spans(w.require("spans")?, "worker")?,
+        });
+    }
+    Ok(FleetSnapshot {
+        active: true,
+        trace_id: parse_trace_id(&doc)?,
+        epoch_start_mono_ns: doc.require_f64("epoch_start_mono_ns")? as u64,
+        workers,
+    })
+}
+
+fn step_name(steps: &[(String, String, u64)], phase: u32) -> (String, String) {
+    steps
+        .get(phase as usize)
+        .map(|(name, kind, _)| (json_escape(name), json_escape(kind)))
+        .unwrap_or_else(|| (format!("phase-{phase}"), "step".to_string()))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_event(
+    out: &mut String,
+    name: &str,
+    cat: &str,
+    ts_ns: i128,
+    dur_ns: u64,
+    pid: u32,
+    tid: u32,
+    args: Option<&str>,
+) {
+    let _ = write!(
+        out,
+        ",\n{{\"name\": \"{name}\", \"cat\": \"{cat}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {pid}, \"tid\": {tid}",
+        ts_ns as f64 / 1e3,
+        dur_ns as f64 / 1e3
+    );
+    if let Some(args) = args {
+        let _ = write!(out, ", \"args\": {args}");
+    }
+    out.push('}');
+}
+
+fn push_meta(out: &mut String, kind: &str, pid: u32, tid: u32, name: &str, first: bool) {
+    let _ = write!(
+        out,
+        "{}{{\"name\": \"{kind}\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": \"{}\"}}}}",
+        if first { "" } else { ",\n" },
+        json_escape(name)
+    );
+}
+
+/// Merge a `presto.fleet.v1` document (and optionally a
+/// `presto.chaos.v1` event document) into one Chrome `trace_event`
+/// array covering the whole fleet:
+///
+/// - **pid 1** — the client: one track per connection, spans as
+///   recorded (timestamps are already client-epoch-relative),
+/// - **pid 2+i** — worker *i*: remote spans moved onto the client
+///   clock (`assign_start_mono − clock_offset − epoch_start_mono +
+///   span.start`) and clamped into the client-side span envelope of
+///   that connection; a clamped event keeps its raw corrected start in
+///   `args.raw_ts_ns`,
+/// - **pid 99** — the chaos proxy: fault events on one track per
+///   proxied connection, timestamps normalized to the first event
+///   (the proxy's clock is never exchanged, so it gets its own
+///   timeline rather than a fake correction).
+///
+/// The output is a pure function of the input documents — merging the
+/// same bundle twice yields byte-identical output.
+pub fn merge_chrome_trace(fleet_doc: &str, chaos_doc: Option<&str>) -> Result<String, String> {
+    let doc = validate_fleet_json(fleet_doc)?;
+    let epoch_start = doc.require_f64("epoch_start_mono_ns")? as i128;
+    let client = doc.require("client")?;
+    let client_steps = parse_steps(client.require("steps")?, "client")?;
+    let client_spans = parse_spans(client.require("spans")?, "client")?;
+    let workers = doc.require("workers")?.as_array().unwrap_or(&[]).to_vec();
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("[\n");
+    push_meta(&mut out, "process_name", 1, 0, "train-client", true);
+    for w in &workers {
+        let conn = w.require_f64("conn")? as u32;
+        let addr = w.require_str("addr")?;
+        push_meta(
+            &mut out,
+            "thread_name",
+            1,
+            conn,
+            &format!("conn-{conn} {addr}"),
+            false,
+        );
+    }
+    for (i, w) in workers.iter().enumerate() {
+        let pid = 2 + i as u32;
+        let addr = w.require_str("addr")?;
+        push_meta(
+            &mut out,
+            "process_name",
+            pid,
+            0,
+            &format!("serve-worker {addr}"),
+            false,
+        );
+    }
+
+    // Client spans: already relative to the client epoch start.
+    for span in &client_spans {
+        let (name, cat) = step_name(&client_steps, span.phase);
+        push_event(
+            &mut out,
+            &name,
+            &cat,
+            span.start_ns as i128,
+            span.dur_ns,
+            1,
+            span.worker,
+            None,
+        );
+    }
+
+    // Worker spans: correct onto the client clock, then clamp into the
+    // client-side envelope of that connection (clock-offset estimation
+    // error must not break visual nesting; the raw value is kept).
+    for (i, w) in workers.iter().enumerate() {
+        let pid = 2 + i as u32;
+        let conn = w.require_f64("conn")? as u32;
+        let offset = w.require_f64("clock_offset_ns")? as i128;
+        let assign_start = w.require_f64("assign_start_mono_ns")? as i128;
+        let steps = parse_steps(w.require("steps")?, "worker")?;
+        let spans = parse_spans(w.require("spans")?, "worker")?;
+        let envelope = {
+            let mine: Vec<&SpanEvent> = client_spans.iter().filter(|s| s.worker == conn).collect();
+            if mine.is_empty() {
+                None
+            } else {
+                let lo = mine.iter().map(|s| s.start_ns).min().unwrap_or(0) as i128;
+                let hi = mine
+                    .iter()
+                    .map(|s| s.start_ns + s.dur_ns)
+                    .max()
+                    .unwrap_or(0) as i128;
+                Some((lo, hi))
+            }
+        };
+        let base = assign_start - offset - epoch_start;
+        for span in &spans {
+            let (name, cat) = step_name(&steps, span.phase);
+            let raw_start = base + span.start_ns as i128;
+            let raw_end = raw_start + span.dur_ns as i128;
+            let (start, end) = match envelope {
+                Some((lo, hi)) => {
+                    let s = raw_start.clamp(lo, hi);
+                    (s, raw_end.clamp(s, hi))
+                }
+                None => (raw_start.max(0), raw_end.max(0)),
+            };
+            let args = if start != raw_start || end != raw_end {
+                Some(format!("{{\"raw_ts_ns\": {raw_start}}}"))
+            } else {
+                None
+            };
+            push_event(
+                &mut out,
+                &name,
+                &cat,
+                start,
+                (end - start).max(0) as u64,
+                pid,
+                span.worker,
+                args.as_deref(),
+            );
+        }
+    }
+
+    // Chaos events: separate clock domain, normalized to first event.
+    if let Some(chaos) = chaos_doc {
+        let chaos = parse_json(chaos)?;
+        match chaos.require("schema")?.as_str() {
+            Some(CHAOS_SCHEMA) => {}
+            Some(other) => {
+                return Err(format!(
+                    "wrong chaos schema '{other}', expected '{CHAOS_SCHEMA}'"
+                ))
+            }
+            None => return Err("chaos 'schema' must be a string".into()),
+        }
+        push_meta(&mut out, "process_name", 99, 0, "chaos-proxy", false);
+        let events = chaos
+            .require("events")?
+            .as_array()
+            .ok_or_else(|| "'events' must be an array".to_string())?;
+        let t0 = events
+            .iter()
+            .filter_map(|e| e.get("t_ns").and_then(JsonValue::as_f64))
+            .fold(f64::INFINITY, f64::min);
+        let t0 = if t0.is_finite() { t0 as i128 } else { 0 };
+        for event in events {
+            let kind = event.require_str("kind")?;
+            let conn = event.require_f64("conn")? as u32;
+            let dir = event.get("dir").and_then(JsonValue::as_str).unwrap_or("?");
+            let t_ns = event.require_f64("t_ns")? as i128;
+            let dur_ns = event
+                .get("dur_ns")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64;
+            let window = event
+                .get("window")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0) as u64;
+            push_event(
+                &mut out,
+                &json_escape(kind),
+                "chaos",
+                t_ns - t0,
+                dur_ns,
+                99,
+                conn,
+                Some(&format!(
+                    "{{\"dir\": \"{}\", \"window\": {window}}}",
+                    json_escape(dir)
+                )),
+            );
+        }
+    }
+
+    out.push_str("\n]\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_chrome_trace;
+    use crate::{Telemetry, PHASE_READ};
+
+    fn client_snapshot() -> TelemetrySnapshot {
+        let t = Telemetry::new();
+        let rec = t.begin_epoch(&["shard-0000".into(), "shard-0001".into()], 2, 0);
+        let t0 = rec.begin().unwrap();
+        rec.phase_done(0, PHASE_READ, t0);
+        let t1 = rec.begin().unwrap();
+        rec.phase_done(0, crate::BUILTIN_PHASES, t1);
+        rec.snapshot()
+    }
+
+    fn worker_entry(addr: &str, conn: u32, offset: i64) -> FleetWorkerEntry {
+        FleetWorkerEntry {
+            addr: addr.to_string(),
+            conn,
+            peer_version: 2,
+            clock_offset_ns: offset,
+            rtt_ns: 5_000,
+            assign_start_mono_ns: 1_000_000,
+            elapsed_ns: 900_000,
+            samples: 8,
+            batches: 2,
+            produce_ns: 700_000,
+            credit_wait_ns: 50_000,
+            dropped_spans: 0,
+            steps: vec![
+                ("read".into(), "io".into(), 100),
+                ("decompress".into(), "cpu".into(), 200),
+            ],
+            spans: vec![
+                SpanEvent {
+                    worker: 0,
+                    phase: 0,
+                    start_ns: 10_000,
+                    dur_ns: 40_000,
+                },
+                SpanEvent {
+                    worker: 0,
+                    phase: 1,
+                    start_ns: 60_000,
+                    dur_ns: 0, // zero-duration span must survive the merge
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fleet_json_round_trips_and_validates() {
+        let progress = FleetProgress::default();
+        progress.begin(0xDEAD_BEEF);
+        progress.record_handshake("127.0.0.1:9000", 0, 2, -1234, 5_000);
+        progress.record_stats(worker_entry("127.0.0.1:9000", 0, -1234));
+        progress.record_handshake("127.0.0.1:9001", 1, 2, 777, 9_000);
+        let fleet = progress.snapshot();
+        assert!(fleet.active);
+        assert_eq!(fleet.trace_id, 0xDEAD_BEEF);
+        assert_eq!(fleet.workers.len(), 2);
+        // Stats merge keeps the handshake's offset.
+        assert_eq!(fleet.workers[0].clock_offset_ns, -1234);
+        assert_eq!(fleet.workers[0].samples, 8);
+
+        let doc = fleet_json(&client_snapshot(), &ServeSnapshot::default(), &fleet);
+        let parsed = parse_fleet_json(&doc).expect("fleet doc round-trips");
+        assert_eq!(parsed.trace_id, fleet.trace_id);
+        assert_eq!(parsed.workers.len(), 2);
+        assert_eq!(parsed.workers[0].spans.len(), 2);
+        assert_eq!(parsed.workers[1].rtt_ns, 9_000);
+    }
+
+    #[test]
+    fn validator_rejects_broken_fleet_documents() {
+        assert!(validate_fleet_json("{}").is_err());
+        assert!(validate_fleet_json("{\"schema\": \"presto.fleet.v2\"}").is_err());
+        let progress = FleetProgress::default();
+        progress.begin(1);
+        let good = fleet_json(
+            &client_snapshot(),
+            &ServeSnapshot::default(),
+            &progress.snapshot(),
+        );
+        assert!(validate_fleet_json(&good).is_ok());
+        let bad = good.replace("\"serve\"", "\"swerve\"");
+        assert!(validate_fleet_json(&bad).is_err());
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_contains_every_track() {
+        let progress = FleetProgress::default();
+        progress.begin(7);
+        progress.record_handshake("a:1", 0, 2, 0, 1_000);
+        progress.record_stats(worker_entry("a:1", 0, 0));
+        progress.record_handshake("b:2", 1, 2, 250_000, 1_000);
+        progress.record_stats(worker_entry("b:2", 1, 250_000));
+        let doc = fleet_json(
+            &client_snapshot(),
+            &ServeSnapshot::default(),
+            &progress.snapshot(),
+        );
+        let chaos = format!(
+            "{{\"schema\": \"{CHAOS_SCHEMA}\", \"seed\": 1, \"dropped\": 0, \"events\": [
+              {{\"t_ns\": 5000, \"conn\": 1, \"dir\": \"down\", \"kind\": \"throttle\", \"window\": 3, \"dur_ns\": 100}},
+              {{\"t_ns\": 9000, \"conn\": 1, \"dir\": \"up\", \"kind\": \"delay\", \"window\": 4, \"dur_ns\": 50}}
+            ]}}"
+        );
+        let merged = merge_chrome_trace(&doc, Some(&chaos)).expect("merge succeeds");
+        let again = merge_chrome_trace(&doc, Some(&chaos)).expect("merge succeeds twice");
+        assert_eq!(merged, again, "merge must be byte-deterministic");
+        let complete = validate_chrome_trace(&merged).expect("merged trace validates");
+        // 2 client spans + 2 spans per worker + 2 chaos events.
+        assert_eq!(complete, 2 + 4 + 2);
+        // All three process families are present.
+        for needle in [
+            "train-client",
+            "serve-worker a:1",
+            "serve-worker b:2",
+            "chaos-proxy",
+        ] {
+            assert!(merged.contains(needle), "missing track {needle}");
+        }
+        // Chaos events are normalized to their first event.
+        assert!(merged
+            .contains("\"name\": \"throttle\", \"cat\": \"chaos\", \"ph\": \"X\", \"ts\": 0.000"));
+    }
+
+    #[test]
+    fn merge_clamps_worker_spans_into_the_client_envelope() {
+        // Client span for conn 0 covers [0, elapsed of the read phase].
+        let client = client_snapshot();
+        let envelope_hi = client
+            .spans
+            .iter()
+            .map(|s| s.start_ns + s.dur_ns)
+            .max()
+            .unwrap();
+        let progress = FleetProgress::default();
+        progress.begin(9);
+        // A wildly wrong offset pushes raw corrected timestamps far
+        // outside the client window.
+        progress.record_handshake("a:1", 0, 2, -5_000_000_000, 1_000);
+        progress.record_stats(worker_entry("a:1", 0, -5_000_000_000));
+        let mut fleet = progress.snapshot();
+        fleet.epoch_start_mono_ns = 0;
+        let doc = fleet_json(&client, &ServeSnapshot::default(), &fleet);
+        let merged = merge_chrome_trace(&doc, None).expect("merge succeeds");
+        let parsed = parse_json(&merged).expect("parses");
+        let events = parsed.as_array().unwrap();
+        let hi_us = envelope_hi as f64 / 1e3;
+        for event in events {
+            if event.get("ph").and_then(JsonValue::as_str) != Some("X") {
+                continue;
+            }
+            let pid = event.require_f64("pid").unwrap();
+            if pid < 1.5 {
+                continue; // client events define the envelope
+            }
+            let ts = event.require_f64("ts").unwrap();
+            let dur = event.require_f64("dur").unwrap();
+            assert!(
+                ts >= 0.0 && ts + dur <= hi_us + 1e-6,
+                "worker span [{ts}, {}] escaped the client envelope [0, {hi_us}]",
+                ts + dur
+            );
+            // Clamped events keep the raw corrected timestamp.
+            assert!(
+                event.get("args").and_then(|a| a.get("raw_ts_ns")).is_some(),
+                "clamped event should carry args.raw_ts_ns"
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_spans_survive_the_fleet_document() {
+        let mut entry = worker_entry("a:1", 0, 0);
+        entry.dropped_spans = 17;
+        let progress = FleetProgress::default();
+        progress.begin(3);
+        progress.record_stats(entry);
+        let doc = fleet_json(
+            &client_snapshot(),
+            &ServeSnapshot::default(),
+            &progress.snapshot(),
+        );
+        let parsed = parse_fleet_json(&doc).expect("round-trips");
+        assert_eq!(parsed.workers[0].dropped_spans, 17);
+        // And the merge still succeeds on a lossy timeline.
+        assert!(merge_chrome_trace(&doc, None).is_ok());
+    }
+
+    #[test]
+    fn mono_ns_is_monotonic() {
+        let a = mono_ns();
+        let b = mono_ns();
+        assert!(b >= a);
+    }
+}

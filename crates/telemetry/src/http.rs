@@ -8,6 +8,9 @@
 //!   mid-epoch) snapshot via [`crate::export::prometheus`];
 //! - `GET /timeseries.json` — the sampler ring as
 //!   `presto.timeseries.v1` JSON via [`crate::timeseries::json`];
+//! - `GET /fleet.json` — the fleet trace bundle as `presto.fleet.v1`
+//!   JSON via [`crate::fleet::fleet_json`] (404 until a traced serve
+//!   epoch has begun);
 //! - `GET /healthz` — `ok` once the server is accepting.
 //!
 //! The handler thread takes [`crate::EpochRecorder::light_snapshot`]s,
@@ -145,12 +148,38 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
             if serve.workers > 0 {
                 body.push_str(&export::prometheus_serve(&serve));
             }
+            let fleet = telemetry.fleet().snapshot();
+            if fleet.active {
+                body.push_str(&export::prometheus_fleet(&fleet));
+            }
             respond(
                 &mut stream,
                 200,
                 "text/plain; version=0.0.4; charset=utf-8",
                 &body,
             )
+        }
+        "/fleet.json" => {
+            let fleet = telemetry.fleet().snapshot();
+            // Spans live in the full snapshot; mid-epoch the current
+            // recorder serves, afterwards the last finished epoch.
+            let client = telemetry
+                .current_recorder()
+                .map(|rec| rec.snapshot())
+                .or_else(|| telemetry.last_epoch());
+            match (fleet.active, client) {
+                (true, Some(client)) => {
+                    let body =
+                        crate::fleet::fleet_json(&client, &telemetry.serve().snapshot(), &fleet);
+                    respond(&mut stream, 200, "application/json; charset=utf-8", &body)
+                }
+                _ => respond(
+                    &mut stream,
+                    404,
+                    "text/plain; charset=utf-8",
+                    "no fleet trace recorded\n",
+                ),
+            }
         }
         "/timeseries.json" => {
             let body = timeseries::json(&series.points(), series.evicted());
@@ -254,6 +283,32 @@ mod tests {
             crate::export::series_value(&series, "presto_epoch_samples_total"),
             Ok(3.0)
         );
+        server.stop();
+    }
+
+    #[test]
+    fn fleet_endpoint_serves_the_schema_once_active() {
+        let (server, telemetry, _s) = served();
+        // No traced serve epoch yet: the route 404s.
+        let (status, _) = get(server.addr(), "/fleet.json").expect("inactive fleet");
+        assert_eq!(status, 404);
+
+        let rec = telemetry.begin_epoch(&["shard-0000".into()], 1, 0);
+        telemetry.fleet().begin(0xF1EE7);
+        telemetry
+            .fleet()
+            .record_handshake("127.0.0.1:9", 0, 2, -1_000, 4_000);
+        let t0 = rec.begin().unwrap();
+        rec.phase_done(0, crate::BUILTIN_PHASES, t0);
+        let (status, body) = get(server.addr(), "/fleet.json").expect("active fleet");
+        assert_eq!(status, 200);
+        let doc = crate::fleet::validate_fleet_json(&body).expect("schema-valid document");
+        assert_eq!(doc.require_str("trace_id"), Ok("0x00000000000f1ee7"));
+
+        // The active fleet also shows up in the Prometheus exposition.
+        let (status, metrics) = get(server.addr(), "/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        assert!(metrics.contains("presto_fleet_workers"), "{metrics}");
         server.stop();
     }
 

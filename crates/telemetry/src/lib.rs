@@ -30,9 +30,12 @@
 //! See `docs/observability.md` for the schemas and how to read traces.
 
 pub mod export;
+pub mod fleet;
 pub mod history;
 pub mod http;
 pub mod timeseries;
+
+pub use fleet::{FleetProgress, FleetSnapshot, FleetWorkerEntry};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -167,16 +170,22 @@ pub const PHASE_READ: usize = 0;
 pub const PHASE_DECOMPRESS: usize = 1;
 /// Record parsing + sample decoding phase index.
 pub const PHASE_DECODE: usize = 2;
-/// Sample delivery (consume callback / channel send) phase index.
-pub const PHASE_DELIVER: usize = 3;
+/// Delivery sub-phase: blocking until the consumer side has room
+/// (bounded prefetch channel full, flow-control credit exhausted).
+/// High time here means the run is backpressure-bound.
+pub const PHASE_QUEUE_WAIT: usize = 3;
+/// Delivery sub-phase: the actual transfer of a finished sample to
+/// the consumer (consume callback, non-blocking channel send, wire
+/// write). High time here means delivery itself is the compute cost.
+pub const PHASE_HANDOFF: usize = 4;
 /// Number of built-in phases; pipeline steps start at this index.
-pub const BUILTIN_PHASES: usize = 4;
+pub const BUILTIN_PHASES: usize = 5;
 
 fn phase_kind(index: usize) -> PhaseKind {
     match index {
         PHASE_READ => PhaseKind::Io,
         PHASE_DECOMPRESS | PHASE_DECODE => PhaseKind::Cpu,
-        PHASE_DELIVER => PhaseKind::Deliver,
+        PHASE_QUEUE_WAIT | PHASE_HANDOFF => PhaseKind::Deliver,
         _ => PhaseKind::Step,
     }
 }
@@ -248,7 +257,8 @@ impl EpochRecorder {
             "read".to_string(),
             "decompress".to_string(),
             "decode".to_string(),
-            "deliver".to_string(),
+            "queue-wait".to_string(),
+            "hand-off".to_string(),
         ];
         names.extend(step_names.iter().cloned());
         let phase_times = names.iter().map(|_| Histogram::new()).collect();
@@ -315,7 +325,7 @@ impl EpochRecorder {
         self.phase_times[phase].record(dur_ns);
         let slot = &self.workers[worker];
         slot.busy_ns.fetch_add(dur_ns, Ordering::Relaxed);
-        if phase == PHASE_DELIVER {
+        if phase_kind(phase) == PhaseKind::Deliver {
             slot.deliver_ns.fetch_add(dur_ns, Ordering::Relaxed);
         }
         if self.spans_recorded.fetch_add(1, Ordering::Relaxed) < self.span_capacity as u64 {
@@ -553,6 +563,7 @@ pub struct Telemetry {
     last: Mutex<Option<Arc<EpochRecorder>>>,
     search: Arc<SearchProgress>,
     serve: Arc<ServeProgress>,
+    fleet: Arc<FleetProgress>,
 }
 
 impl Telemetry {
@@ -564,6 +575,7 @@ impl Telemetry {
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
+            fleet: Arc::new(FleetProgress::default()),
         })
     }
 
@@ -576,6 +588,7 @@ impl Telemetry {
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
+            fleet: Arc::new(FleetProgress::default()),
         })
     }
 
@@ -588,6 +601,7 @@ impl Telemetry {
             last: Mutex::new(None),
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
+            fleet: Arc::new(FleetProgress::default()),
         })
     }
 
@@ -644,6 +658,13 @@ impl Telemetry {
     /// A `presto-serve` worker writes to it; `/metrics` reads it.
     pub fn serve(&self) -> Arc<ServeProgress> {
         Arc::clone(&self.serve)
+    }
+
+    /// The fleet registry attached to this handle: per-worker clock
+    /// offsets, remote stats and remote span timelines collected by a
+    /// serve client. `/fleet.json` and `presto trace --merge` read it.
+    pub fn fleet(&self) -> Arc<FleetProgress> {
+        Arc::clone(&self.fleet)
     }
 }
 
@@ -750,6 +771,10 @@ pub struct ServeProgress {
     preemptions: AtomicU64,
     reconnect_attempts: AtomicU64,
     rejoins: AtomicU64,
+    gap_wait_ns: AtomicU64,
+    stream_read_ns: AtomicU64,
+    consume_ns: AtomicU64,
+    produce_ns: AtomicU64,
     done: AtomicU64,
 }
 
@@ -767,6 +792,10 @@ impl ServeProgress {
         self.preemptions.store(0, Ordering::Relaxed);
         self.reconnect_attempts.store(0, Ordering::Relaxed);
         self.rejoins.store(0, Ordering::Relaxed);
+        self.gap_wait_ns.store(0, Ordering::Relaxed);
+        self.stream_read_ns.store(0, Ordering::Relaxed);
+        self.consume_ns.store(0, Ordering::Relaxed);
+        self.produce_ns.store(0, Ordering::Relaxed);
         self.done.store(0, Ordering::Relaxed);
     }
 
@@ -815,6 +844,31 @@ impl ServeProgress {
         self.rejoins.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Client side: time spent blocked waiting for the *first* byte of
+    /// a frame — idle time attributable to the producer (worker busy,
+    /// or worker itself starved of credit), not to the wire.
+    pub fn gap_wait(&self, ns: u64) {
+        self.gap_wait_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Client side: time spent reading the *rest* of a frame after its
+    /// first byte arrived — wire-bandwidth time.
+    pub fn stream_read(&self, ns: u64) {
+        self.stream_read_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Client side: time spent inside the consume callback.
+    pub fn consume_time(&self, ns: u64) {
+        self.consume_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Worker side: time spent producing samples (shard processing
+    /// plus any configured pacing), excluding credit stalls and wire
+    /// writes.
+    pub fn produce_time(&self, ns: u64) {
+        self.produce_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Mark the serve session finished.
     pub fn finish(&self) {
         self.done.store(1, Ordering::Relaxed);
@@ -833,6 +887,10 @@ impl ServeProgress {
             preemptions: self.preemptions.load(Ordering::Relaxed),
             reconnect_attempts: self.reconnect_attempts.load(Ordering::Relaxed),
             rejoins: self.rejoins.load(Ordering::Relaxed),
+            gap_wait_ns: self.gap_wait_ns.load(Ordering::Relaxed),
+            stream_read_ns: self.stream_read_ns.load(Ordering::Relaxed),
+            consume_ns: self.consume_ns.load(Ordering::Relaxed),
+            produce_ns: self.produce_ns.load(Ordering::Relaxed),
             done: self.done.load(Ordering::Relaxed) != 0,
         }
     }
@@ -863,6 +921,14 @@ pub struct ServeSnapshot {
     pub reconnect_attempts: u64,
     /// Workers re-admitted mid-epoch after a failure.
     pub rejoins: u64,
+    /// Client: time blocked waiting for the first byte of a frame, ns.
+    pub gap_wait_ns: u64,
+    /// Client: time reading the rest of a frame after its first byte, ns.
+    pub stream_read_ns: u64,
+    /// Client: time inside the consume callback, ns.
+    pub consume_ns: u64,
+    /// Worker: time producing samples (processing + pacing), ns.
+    pub produce_ns: u64,
     /// True once the session has finished.
     pub done: bool,
 }
@@ -870,8 +936,9 @@ pub struct ServeSnapshot {
 /// Aggregated latency of one phase or pipeline step over an epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StepSnapshot {
-    /// Phase or step name (`read`/`decompress`/`decode`/`deliver` are
-    /// engine phases; the rest are the pipeline's online steps).
+    /// Phase or step name (`read`/`decompress`/`decode`/`queue-wait`/
+    /// `hand-off` are engine phases; the rest are the pipeline's
+    /// online steps).
     pub name: String,
     /// What the phase's wall time is spent on.
     pub kind: PhaseKind,

@@ -30,3 +30,14 @@ if [ -n "$latest" ]; then
 fi
 grep -o '"samples_per_second": [0-9.]*' "$out"
 grep -o '"queue": {[^}]*}' "$out"
+
+# The queue depth gauge is bounded by construction (the counter stops
+# incrementing at capacity): a max_depth above capacity means the
+# instrumentation regressed.
+capacity="$(grep -o '"capacity": [0-9]*' "$out" | head -1 | grep -o '[0-9]*$')"
+max_depth="$(grep -o '"max_depth": [0-9]*' "$out" | head -1 | grep -o '[0-9]*$')"
+if [ "$max_depth" -gt "$capacity" ]; then
+    echo "FAIL: queue max_depth $max_depth exceeds capacity $capacity" >&2
+    exit 1
+fi
+echo "queue depth gauge: max $max_depth <= capacity $capacity"

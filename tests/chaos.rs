@@ -127,6 +127,7 @@ fn chaotic_epoch(
             jitter: true,
             deadline: None,
         },
+        ..ServeClientConfig::default()
     };
     let checksum = Mutex::new(MultisetChecksum::default());
     let report = serve_epoch(&addrs, &dataset.shards, seed, &config, None, |sample| {
@@ -358,6 +359,7 @@ fn live_storm(seed: u64, policy: FleetPolicy) -> StormResult {
             jitter: true,
             deadline: None,
         },
+        ..ServeClientConfig::default()
     };
     let checksum = Mutex::new(MultisetChecksum::default());
     let report = serve_epoch(

@@ -1,0 +1,487 @@
+//! Integration tests of fleet tracing end to end: the v2 clock-offset
+//! handshake, the `presto.fleet.v1` bundle, the merged Chrome trace,
+//! and — the acceptance bar — [`presto::diagnose_fleet`] naming the
+//! injected bottleneck on four seed-matrixed scenarios (paced workers,
+//! a throttled wire, starved credits, a slow consumer).
+
+use presto::{diagnose_fleet, FleetBottleneck};
+use presto_datasets::generators;
+use presto_datasets::steps;
+use presto_formats::image::jpg;
+use presto_pipeline::chaos::{ChaosFault, ChaosProxy};
+use presto_pipeline::real::{Materialized, MemStore, RealExecutor};
+use presto_pipeline::serve::{
+    serve_epoch, MultisetChecksum, ServeClientConfig, ServeWorker, ServeWorkerConfig,
+};
+use presto_pipeline::telemetry::export::validate_chrome_trace;
+use presto_pipeline::telemetry::fleet::{fleet_json, merge_chrome_trace, parse_fleet_json};
+use presto_pipeline::{Pipeline, Resilience, Sample, Strategy, Telemetry};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault seeds under test; CI sweeps one at a time via `FAULT_SEED`.
+fn fault_seeds() -> Vec<u64> {
+    match std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(seed) => vec![seed],
+        None => vec![1, 2, 3],
+    }
+}
+
+/// The CV pipeline split after resize, so the online phase (pixel
+/// center + random crop) still depends on step RNG — multiset checks
+/// exercise per-shard seeding, not just framing. `crop` controls the
+/// wire size per sample: 56 for realistic ~9 KiB tensors, 16 for
+/// sub-window frames in the latency-bound credit scenario.
+fn workload(
+    resize: usize,
+    crop: usize,
+    samples: u64,
+    shards: usize,
+) -> (Pipeline, Materialized, Arc<MemStore>) {
+    let pipeline = steps::executable_cv_pipeline(resize, crop);
+    let source: Vec<Sample> = (0..samples)
+        .map(|key| {
+            let img = generators::natural_image(96, 80, key);
+            Sample::from_bytes(key, jpg::encode(&img, 85))
+        })
+        .collect();
+    let store = Arc::new(MemStore::new());
+    let exec = RealExecutor::new(4);
+    let strategy = Strategy::at_split(2).with_threads(4).with_shards(shards);
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .unwrap();
+    (pipeline, dataset, store)
+}
+
+/// Single-process reference epoch: the multiset every traced fleet
+/// layout must still reproduce exactly.
+fn reference_checksum(
+    pipeline: &Pipeline,
+    dataset: &Materialized,
+    store: &MemStore,
+    epoch_seed: u64,
+) -> MultisetChecksum {
+    let checksum = std::sync::Mutex::new(MultisetChecksum::default());
+    let exec = RealExecutor::new(3);
+    exec.epoch(pipeline, dataset, store, None, epoch_seed, |sample| {
+        checksum.lock().unwrap().add(sample)
+    })
+    .unwrap();
+    checksum.into_inner().unwrap()
+}
+
+/// Everything one traced serve epoch leaves behind.
+struct FleetRun {
+    checksum: MultisetChecksum,
+    client: presto_pipeline::telemetry::TelemetrySnapshot,
+    serve: presto_pipeline::telemetry::ServeSnapshot,
+    fleet: presto_pipeline::telemetry::fleet::FleetSnapshot,
+    /// `presto.chaos.v1` event log, when the run went through proxies.
+    chaos_doc: Option<String>,
+}
+
+/// Run one traced epoch: `worker_count` workers (each with its own
+/// telemetry so STATS carry a remote span timeline), optionally each
+/// behind its own chaos proxy, a consume callback that sleeps
+/// `consume_pause` per sample, and the default tracing client config
+/// unless overridden.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet(
+    pipeline: &Pipeline,
+    dataset: &Materialized,
+    store: &Arc<MemStore>,
+    worker_count: usize,
+    worker_config: &ServeWorkerConfig,
+    client_config: &ServeClientConfig,
+    epoch_seed: u64,
+    faults: Option<(u64, Vec<ChaosFault>)>,
+    consume_pause: Duration,
+) -> FleetRun {
+    let workers: Vec<ServeWorker> = (0..worker_count)
+        .map(|_| {
+            ServeWorker::spawn(
+                "127.0.0.1:0",
+                pipeline,
+                dataset,
+                store.clone() as Arc<dyn presto_pipeline::BlobStore>,
+                Resilience::default(),
+                Some(Telemetry::new()),
+                worker_config.clone(),
+            )
+            .expect("spawn worker")
+        })
+        .collect();
+    let proxies: Vec<ChaosProxy> = match &faults {
+        Some((seed, plan)) => workers
+            .iter()
+            .map(|w| {
+                ChaosProxy::start(&w.addr().to_string(), *seed, plan.clone())
+                    .expect("start chaos proxy")
+            })
+            .collect(),
+        None => Vec::new(),
+    };
+    let addrs: Vec<String> = if proxies.is_empty() {
+        workers.iter().map(|w| w.addr().to_string()).collect()
+    } else {
+        proxies.iter().map(|p| p.addr().to_string()).collect()
+    };
+    let telemetry = Telemetry::new();
+    let checksum = Arc::new(std::sync::Mutex::new(MultisetChecksum::default()));
+    let sink = Arc::clone(&checksum);
+    let report = serve_epoch(
+        &addrs,
+        &dataset.shards,
+        epoch_seed,
+        client_config,
+        Some(&telemetry),
+        move |sample: &Sample| {
+            if !consume_pause.is_zero() {
+                std::thread::sleep(consume_pause);
+            }
+            sink.lock().unwrap().add(sample)
+        },
+    )
+    .expect("traced epoch completes");
+    assert_eq!(report.samples, dataset.sample_count);
+    let chaos_doc = (!proxies.is_empty()).then(|| proxies[0].events_json());
+    for proxy in proxies {
+        proxy.stop();
+    }
+    for worker in workers {
+        worker.stop();
+    }
+    FleetRun {
+        checksum: report.checksum,
+        client: telemetry
+            .last_epoch()
+            .expect("serve_epoch records an epoch"),
+        serve: telemetry.serve().snapshot(),
+        fleet: telemetry.fleet().snapshot(),
+        chaos_doc,
+    }
+}
+
+fn diagnose(run: &FleetRun) -> presto::FleetDiagnosis {
+    assert!(run.fleet.active, "tracing must populate the fleet registry");
+    diagnose_fleet(&run.client, &run.serve, &run.fleet).expect("non-empty epoch")
+}
+
+#[test]
+fn paced_workers_diagnose_as_worker_compute_bound() {
+    let (pipeline, dataset, store) = workload(64, 56, 32, 8);
+    for seed in fault_seeds() {
+        let epoch_seed = 7_000 + seed;
+        let reference = reference_checksum(&pipeline, &dataset, &store, epoch_seed);
+        let run = run_fleet(
+            &pipeline,
+            &dataset,
+            &store,
+            2,
+            &ServeWorkerConfig {
+                batch_pace: Duration::from_millis(10),
+                ..ServeWorkerConfig::default()
+            },
+            &ServeClientConfig::default(),
+            epoch_seed,
+            None,
+            Duration::ZERO,
+        );
+        assert_eq!(run.checksum, reference, "seed {seed}");
+        let diag = diagnose(&run);
+        assert_eq!(
+            diag.bottleneck,
+            FleetBottleneck::WorkerCompute,
+            "seed {seed}: {diag:?}"
+        );
+        // The tie-breaker must have seen the pacing as produce time,
+        // not credit stall.
+        assert!(
+            diag.produce_share > diag.credit_share,
+            "seed {seed}: {diag:?}"
+        );
+    }
+}
+
+#[test]
+fn throttled_wire_diagnoses_as_network_bound() {
+    let (pipeline, dataset, store) = workload(64, 56, 32, 8);
+    for seed in fault_seeds() {
+        let epoch_seed = 7_100 + seed;
+        let reference = reference_checksum(&pipeline, &dataset, &store, epoch_seed);
+        // ~9.4 KiB per sample, 4-sample batches: every BATCH spans
+        // many 4 KiB chaos windows, each throttled to ~500 KB/s, so
+        // the client's wait time lands in `stream` (wire busy), not
+        // `gap`.
+        let run = run_fleet(
+            &pipeline,
+            &dataset,
+            &store,
+            2,
+            &ServeWorkerConfig::default(),
+            &ServeClientConfig::default(),
+            epoch_seed,
+            Some((
+                seed,
+                vec![ChaosFault::Throttle {
+                    bytes_per_sec: 500_000,
+                }],
+            )),
+            Duration::ZERO,
+        );
+        assert_eq!(run.checksum, reference, "seed {seed}");
+        let diag = diagnose(&run);
+        assert_eq!(
+            diag.bottleneck,
+            FleetBottleneck::Network,
+            "seed {seed}: {diag:?}"
+        );
+    }
+}
+
+#[test]
+fn starved_credits_diagnose_as_credit_bound() {
+    // Tiny tensors (16x16x3 < one 4 KiB chaos window) keep each BATCH
+    // in a single window, and the online phase is nearly free — so
+    // with one credit and 2 ms of injected per-window latency, every
+    // batch costs a full credit round trip: the worker stalls on the
+    // gate (credit_wait >> produce) while the client sees an idle
+    // wire (gap >> stream).
+    let (pipeline, dataset, store) = workload(24, 16, 24, 8);
+    for seed in fault_seeds() {
+        let epoch_seed = 7_200 + seed;
+        let reference = reference_checksum(&pipeline, &dataset, &store, epoch_seed);
+        let run = run_fleet(
+            &pipeline,
+            &dataset,
+            &store,
+            2,
+            &ServeWorkerConfig {
+                batch_samples: 1,
+                ..ServeWorkerConfig::default()
+            },
+            &ServeClientConfig {
+                credits: 1,
+                ..ServeClientConfig::default()
+            },
+            epoch_seed,
+            Some((
+                seed,
+                vec![ChaosFault::Delay {
+                    probability: 1.0,
+                    hold: Duration::from_millis(2),
+                }],
+            )),
+            Duration::ZERO,
+        );
+        assert_eq!(run.checksum, reference, "seed {seed}");
+        let diag = diagnose(&run);
+        assert_eq!(
+            diag.bottleneck,
+            FleetBottleneck::Credit,
+            "seed {seed}: {diag:?}"
+        );
+    }
+}
+
+#[test]
+fn slow_consumer_diagnoses_as_consumer_bound() {
+    let (pipeline, dataset, store) = workload(64, 56, 32, 8);
+    for seed in fault_seeds() {
+        let epoch_seed = 7_300 + seed;
+        let reference = reference_checksum(&pipeline, &dataset, &store, epoch_seed);
+        let run = run_fleet(
+            &pipeline,
+            &dataset,
+            &store,
+            2,
+            &ServeWorkerConfig::default(),
+            &ServeClientConfig::default(),
+            epoch_seed,
+            None,
+            Duration::from_millis(3),
+        );
+        assert_eq!(run.checksum, reference, "seed {seed}");
+        let diag = diagnose(&run);
+        assert_eq!(
+            diag.bottleneck,
+            FleetBottleneck::Consumer,
+            "seed {seed}: {diag:?}"
+        );
+    }
+}
+
+#[test]
+fn mixed_version_fleet_downgrades_without_changing_the_multiset() {
+    let (pipeline, dataset, store) = workload(64, 56, 24, 6);
+    let reference = reference_checksum(&pipeline, &dataset, &store, 42);
+
+    // A v1 worker in a v2 fleet: the connection downgrades, skips the
+    // clock handshake and STATS, and still serves its shards.
+    let v1_worker = ServeWorkerConfig {
+        max_version: 1,
+        ..ServeWorkerConfig::default()
+    };
+    let workers = [
+        ServeWorker::spawn(
+            "127.0.0.1:0",
+            &pipeline,
+            &dataset,
+            store.clone() as Arc<dyn presto_pipeline::BlobStore>,
+            Resilience::default(),
+            Some(Telemetry::new()),
+            v1_worker,
+        )
+        .unwrap(),
+        ServeWorker::spawn(
+            "127.0.0.1:0",
+            &pipeline,
+            &dataset,
+            store.clone() as Arc<dyn presto_pipeline::BlobStore>,
+            Resilience::default(),
+            Some(Telemetry::new()),
+            ServeWorkerConfig::default(),
+        )
+        .unwrap(),
+    ];
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let telemetry = Telemetry::new();
+    let report = serve_epoch(
+        &addrs,
+        &dataset.shards,
+        42,
+        &ServeClientConfig::default(),
+        Some(&telemetry),
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(report.checksum, reference);
+    let fleet = telemetry.fleet().snapshot();
+    assert_eq!(fleet.workers.len(), 2);
+    let old = fleet
+        .workers
+        .iter()
+        .find(|w| w.addr == addrs[0])
+        .expect("v1 worker listed");
+    assert_eq!(old.peer_version, 1);
+    assert_eq!((old.clock_offset_ns, old.rtt_ns), (0, 0));
+    assert!(old.spans.is_empty(), "no STATS from a v1 worker");
+    let new = fleet
+        .workers
+        .iter()
+        .find(|w| w.addr == addrs[1])
+        .expect("v2 worker listed");
+    assert_eq!(new.peer_version, 2);
+    assert!(new.samples > 0, "v2 STATS carry totals: {new:?}");
+
+    // And the symmetric case: a v1 client against v2 workers.
+    let telemetry = Telemetry::new();
+    let report = serve_epoch(
+        &addrs,
+        &dataset.shards,
+        42,
+        &ServeClientConfig {
+            max_version: 1,
+            ..ServeClientConfig::default()
+        },
+        Some(&telemetry),
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(report.checksum, reference);
+    let fleet = telemetry.fleet().snapshot();
+    assert!(
+        fleet.workers.iter().all(|w| w.peer_version == 1),
+        "{fleet:?}"
+    );
+    for worker in workers {
+        worker.stop();
+    }
+}
+
+#[test]
+fn merged_chrome_trace_nests_offset_corrected_worker_spans() {
+    let (pipeline, dataset, store) = workload(64, 56, 24, 6);
+    let run = run_fleet(
+        &pipeline,
+        &dataset,
+        &store,
+        2,
+        &ServeWorkerConfig::default(),
+        &ServeClientConfig::default(),
+        42,
+        None,
+        Duration::ZERO,
+    );
+    // Every v2 worker entry's assignment start, corrected onto the
+    // client clock via the handshake offset, must land inside the
+    // client's epoch (with slack for connect/handshake jitter) — the
+    // invariant that makes the merged trace nest without clamping
+    // doing all the work.
+    let slack = 250_000_000i128; // 250ms
+    for w in &run.fleet.workers {
+        assert_eq!(w.peer_version, 2);
+        assert!(!w.spans.is_empty(), "worker {} sent spans", w.addr);
+        let corrected = w.assign_start_mono_ns as i128
+            - w.clock_offset_ns as i128
+            - run.fleet.epoch_start_mono_ns as i128;
+        assert!(
+            corrected >= -slack && corrected <= run.client.elapsed_ns as i128 + slack,
+            "worker {}: corrected assign start {corrected}ns outside epoch of {}ns",
+            w.addr,
+            run.client.elapsed_ns
+        );
+    }
+
+    let doc = fleet_json(&run.client, &run.serve, &run.fleet);
+    let parsed = parse_fleet_json(&doc).expect("fleet doc round-trips");
+    assert_eq!(parsed.trace_id, run.fleet.trace_id);
+    assert_eq!(parsed.workers.len(), 2);
+
+    let merged = merge_chrome_trace(&doc, None).expect("merge");
+    let events = validate_chrome_trace(&merged).expect("valid Chrome trace");
+    assert!(events > 0);
+    // One track per process: the client plus both workers by address.
+    assert!(merged.contains("train-client"), "client track");
+    for w in &run.fleet.workers {
+        assert!(
+            merged.contains(&format!("serve-worker {}", w.addr)),
+            "worker track for {}",
+            w.addr
+        );
+    }
+    // Deterministic: merging the same document twice is byte-identical.
+    assert_eq!(merged, merge_chrome_trace(&doc, None).expect("re-merge"));
+}
+
+#[test]
+fn chaos_events_ride_along_on_their_own_track() {
+    let (pipeline, dataset, store) = workload(24, 16, 12, 4);
+    let run = run_fleet(
+        &pipeline,
+        &dataset,
+        &store,
+        1,
+        &ServeWorkerConfig::default(),
+        &ServeClientConfig::default(),
+        42,
+        Some((
+            1,
+            vec![ChaosFault::Delay {
+                probability: 1.0,
+                hold: Duration::from_millis(1),
+            }],
+        )),
+        Duration::ZERO,
+    );
+    let chaos = run.chaos_doc.as_deref().expect("proxied run logs events");
+    let doc = fleet_json(&run.client, &run.serve, &run.fleet);
+    let merged = merge_chrome_trace(&doc, Some(chaos)).expect("merge with chaos");
+    validate_chrome_trace(&merged).expect("valid Chrome trace");
+    assert!(merged.contains("chaos-proxy"), "chaos track present");
+    assert!(merged.contains("\"delay\""), "delay events present");
+}

@@ -125,6 +125,9 @@ fn truncated_streams_and_garbage_headers_are_rejected() {
             epoch_seed: 42,
             credits: 2,
             shards: vec!["cv-split2-shard0000".into()],
+            trace_id: 0,
+            parent_span: 0,
+            flags: 0,
         },
     )
     .unwrap();

@@ -71,14 +71,15 @@ fn snapshot_totals_match_engine_stats_and_worker_sums() {
     assert_eq!(worker_samples, snapshot.samples);
     assert_eq!(worker_bytes, snapshot.bytes_read);
 
-    // The online steps appear by name after the four engine phases.
+    // The online steps appear by name after the built-in engine
+    // phases (read, decompress, decode, queue-wait, hand-off).
     let names: Vec<&str> = snapshot
         .pipeline_steps()
         .iter()
         .map(|s| s.name.as_str())
         .collect();
     assert!(!names.is_empty());
-    assert!(snapshot.steps.len() == names.len() + 4);
+    assert!(snapshot.steps.len() == names.len() + presto_pipeline::telemetry::BUILTIN_PHASES);
     let delivered: u64 = snapshot
         .pipeline_steps()
         .iter()

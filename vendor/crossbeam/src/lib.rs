@@ -56,6 +56,35 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// value back, like upstream.
+    pub enum TrySendError<T> {
+        /// The channel is at capacity right now.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
     /// The sending half; clone for multiple producers.
     pub struct Sender<T>(Arc<Chan<T>>);
 
@@ -94,6 +123,21 @@ pub mod channel {
                     return Ok(());
                 }
                 state = self.0.not_full.wait(state).unwrap();
+            }
+        }
+
+        /// Enqueue only if there is room right now; never blocks.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.0.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                self.0.not_empty.notify_one();
+                Ok(())
+            } else {
+                Err(TrySendError::Full(value))
             }
         }
     }
@@ -209,6 +253,25 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(9));
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            use super::TrySendError;
+            let (tx, rx) = bounded(1);
+            tx.try_send(1u32).unwrap();
+            match tx.try_send(2) {
+                Err(TrySendError::Full(v)) => assert_eq!(v, 2),
+                other => panic!("expected Full, got {other:?}"),
+            }
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            match tx.try_send(4) {
+                Err(TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+                other => panic!("expected Disconnected, got {other:?}"),
+            }
         }
 
         #[test]
