@@ -14,7 +14,7 @@ use presto::report::TableBuilder;
 use presto_bench::banner;
 use presto_datasets::{generators, steps};
 use presto_formats::image::jpg;
-use presto_pipeline::real::{MemStore, RealExecutor};
+use presto_pipeline::real::{DelayPlan, MemStore, RealExecutor};
 use presto_pipeline::telemetry::timeseries::Sampler;
 use presto_pipeline::telemetry::{Telemetry, PHASE_DECODE};
 use presto_pipeline::{Sample, Strategy};
@@ -94,6 +94,16 @@ fn main() {
             "live + sampler (20ms)",
             RealExecutor::new(threads).with_telemetry(sampled_telemetry),
         ),
+        (
+            // The causal-profiling hooks as shipped by default: alloc
+            // scopes compiled in (TLS counters, no counting allocator)
+            // and a no-op DelayPlan attached — dilation 1.0 means
+            // `after_phase` returns before touching the clock.
+            "live + no-op delay plan",
+            RealExecutor::new(threads)
+                .with_telemetry(Telemetry::new())
+                .with_delay_plan(Arc::new(DelayPlan::noop())),
+        ),
     ];
     let mut sps = Vec::new();
     let mut table = TableBuilder::new(&["telemetry", "SPS", "overhead"]);
@@ -133,6 +143,27 @@ fn main() {
         if sampler_overhead < 1.0 { "OK" } else { "EXCEEDED" },
         ring.len() as u64 + ring.evicted()
     );
+
+    let causal_overhead = (1.0 - sps[4] / sps[0]) * 100.0;
+    println!(
+        "causal instrumentation (disabled) overhead: {causal_overhead:+.1}% (target < 5%) — {}",
+        if causal_overhead < 5.0 {
+            "OK"
+        } else {
+            "EXCEEDED"
+        }
+    );
+    // CI gate (PRESTO_CAUSAL_GATE=1): the dormant causal hooks —
+    // alloc scoping plus a no-op delay plan — must stay within 5% of
+    // the un-instrumented engine.
+    if std::env::var("PRESTO_CAUSAL_GATE").is_ok_and(|v| v == "1") {
+        assert!(
+            sps[4] >= sps[0] * 0.95,
+            "causal instrumentation gate failed: {:.0} SPS < 95% of {:.0} SPS",
+            sps[4],
+            sps[0]
+        );
+    }
 
     // Raw recorder-op cost, both arms of the single branch.
     const OPS: u64 = 1_000_000;

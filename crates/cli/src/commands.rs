@@ -20,6 +20,7 @@ use presto_pipeline::serve::{
     PROTOCOL_VERSION,
 };
 use presto_pipeline::sim::{EpochReport, SimEnv, Simulator, StrategyProfile};
+use presto_pipeline::telemetry::causal as telemetry_causal;
 use presto_pipeline::telemetry::export as telemetry_export;
 use presto_pipeline::telemetry::fleet as telemetry_fleet;
 use presto_pipeline::telemetry::history::{self, RunStore};
@@ -49,6 +50,11 @@ commands:
       [--epochs N] [--months M] [--vm $/h] [--gb-month $] [--feed SPS]
   diagnose <pipeline>            bottleneck attribution per strategy
       [--samples N] [--ssd]
+  causal [<pipeline>]            causal profile: virtual-speedup experiments
+      [--from FILE] replay a recorded presto.telemetry.v1 document
+      live mode: [--samples N] [--threads N] [--split N] [--prefetch N]
+      plus [--live-experiments] to run dilated validation epochs
+      [--seed S] [--trials N] [--json] [--out FILE]
   fio [--device hdd|ssd|nvme]    storage microbenchmark (Table 3)
   realrun <pipeline>             run the real engine over synthetic data
       [--samples N] [--threads N] [--split N] [--epochs N] [--prefetch N]
@@ -101,11 +107,11 @@ commands:
       [--jobs N] [--prune] [--probe-samples N] [--keep F] [--serve ADDR]
       [--wp W] [--ws W] [--wt W] [--ssd]
   history                        list runs stored in the history dir
-      [--history-dir DIR]
+      [--history-dir DIR] [--prune N] delete all but the newest N runs
   compare <run-a> <run-b>        per-metric deltas + regression verdict
       [--noise F] [--fail F] [--fail-on-regression] [--history-dir DIR]
   validate <file>                check a document with presto's own parsers
-      --format json|prom|trace|timeseries|fleet
+      --format json|prom|trace|timeseries|fleet|causal
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -123,6 +129,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "recommend" => cmd_recommend(&args),
         "cost" => cmd_cost(&args),
         "diagnose" => cmd_diagnose(&args),
+        "causal" => cmd_causal(&args),
         "fio" => cmd_fio(&args),
         "realrun" => cmd_realrun(&args),
         "serve-worker" => cmd_serve_worker(&args),
@@ -750,6 +757,138 @@ fn parse_resilience(
         other => return Err(format!("unknown policy '{other}' (failfast|degrade)")),
     };
     Ok(Resilience::new(retry, policy))
+}
+
+/// Drain one real epoch and return its measured SPS.
+fn timed_epoch(
+    exec: &RealExecutor,
+    pipeline: &Pipeline,
+    dataset: &presto_pipeline::real::Materialized,
+    store: &Arc<dyn BlobStore>,
+    prefetch: usize,
+    seed: u64,
+) -> Result<f64, String> {
+    let mut stream = exec
+        .stream_epoch_with(
+            pipeline,
+            dataset,
+            Arc::clone(store),
+            prefetch,
+            seed,
+            Resilience::default(),
+        )
+        .map_err(|e| e.to_string())?;
+    for result in &mut stream {
+        result.map_err(|e| e.to_string())?;
+    }
+    let stats = stream.join().map_err(|e| e.to_string())?;
+    Ok(stats.samples_per_second())
+}
+
+/// Live causal profiling: run a baseline epoch of the real engine,
+/// profile its telemetry snapshot with the virtual evaluator, attach
+/// the epoch's allocation attribution and — under
+/// `--live-experiments` — validate the top predictions with actual
+/// Coz-style dilated epochs.
+fn live_causal_profile(
+    args: &Args,
+    opts: &presto::CausalOptions,
+) -> Result<telemetry_causal::CausalProfile, String> {
+    let samples = args.get_or("samples", 64usize)?;
+    let threads = args.get_or("threads", 4usize)?;
+    let prefetch = args.get_or("prefetch", 16usize)?;
+    let name = args.positional.get(1).map(String::as_str).unwrap_or("CV");
+    let (pipeline, source) = cv_workload(name, samples)?;
+    let split = args.get_or("split", pipeline.max_split())?;
+    let strategy = Strategy::at_split(split).with_threads(threads);
+
+    let telemetry = Telemetry::new();
+    let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
+    let base = Arc::new(MemStore::new());
+    let (dataset, _prep) = exec
+        .materialize(&pipeline, &strategy, &source, base.as_ref())
+        .map_err(|e| e.to_string())?;
+    let store: Arc<dyn BlobStore> = base;
+
+    let baseline_sps = timed_epoch(&exec, &pipeline, &dataset, &store, prefetch, 1)?;
+    let snapshot = telemetry
+        .last_epoch()
+        .ok_or_else(|| "no telemetry recorded".to_string())?;
+    let alloc = telemetry
+        .current_recorder()
+        .map(|r| r.alloc_profile())
+        .unwrap_or_default();
+    let mut profile = presto::profile_from_snapshot(&snapshot, &format!("live:{name}"), opts)?;
+    profile.alloc = alloc;
+
+    if args.get_str("live-experiments").is_some() {
+        // Validate the two strongest predictions with real dilated
+        // epochs: every phase EXCEPT the target spins by the dilation,
+        // and dividing the dilated clock back out yields the virtual
+        // run where the target alone got 50% faster.
+        for rank in profile.ranking.clone().iter().take(2) {
+            let plan = if rank.step == "deliver" {
+                presto::plan_for_deliver(50)
+            } else if let Some(idx) = snapshot.steps.iter().position(|s| s.name == rank.step) {
+                presto::plan_for_phase(idx, 50)
+            } else {
+                continue;
+            };
+            let exp_exec = RealExecutor::new(threads)
+                .with_telemetry(Telemetry::new())
+                .with_delay_plan(Arc::new(plan));
+            let exp_sps = timed_epoch(&exp_exec, &pipeline, &dataset, &store, prefetch, 1)?;
+            profile.measured.push(presto::measured_point(
+                &rank.step,
+                50,
+                baseline_sps,
+                exp_sps,
+            ));
+        }
+    }
+    Ok(profile)
+}
+
+fn cmd_causal(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "from",
+        "seed",
+        "trials",
+        "json",
+        "out",
+        "samples",
+        "threads",
+        "split",
+        "prefetch",
+        "live-experiments",
+    ])?;
+    let opts = presto::CausalOptions {
+        seed: args.get_or("seed", 42u64)?,
+        trials: args.get_or("trials", 3u32)?,
+    };
+    let json_only = args.get_str("json").is_some();
+    let profile = match args.get_str("from") {
+        Some(path) => {
+            let input =
+                std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let snapshot = telemetry_causal::parse_telemetry_snapshot(&input)?;
+            presto::profile_from_snapshot(&snapshot, &format!("file:{path}"), &opts)?
+        }
+        None => live_causal_profile(args, &opts)?,
+    };
+    let doc = telemetry_causal::causal_json(&profile);
+    if let Some(path) = args.get_str("out") {
+        std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+        if !json_only {
+            println!("wrote {} to {path}", telemetry_causal::CAUSAL_SCHEMA);
+        }
+    }
+    if json_only {
+        print!("{doc}");
+    } else {
+        println!("{}", render::causal_table(&profile));
+    }
+    Ok(())
 }
 
 /// Worker-reconnect policy from `--reconnect-*` flags. The default
@@ -2059,8 +2198,13 @@ fn watch_search(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_history(args: &Args) -> Result<(), String> {
-    args.expect_known(&["history-dir"])?;
+    args.expect_known(&["history-dir", "prune"])?;
     let store = run_store(args);
+    if args.get_str("prune").is_some() {
+        let keep: usize = args.get_or("prune", 0usize)?;
+        let removed = store.prune(keep)?;
+        println!("pruned {} run(s); keeping the newest {keep}", removed.len());
+    }
     let runs = store.runs()?;
     if runs.is_empty() {
         println!(
@@ -2107,7 +2251,7 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 fn cmd_validate(args: &Args) -> Result<(), String> {
     args.expect_known(&["format"])?;
     let path = args.positional.get(1).ok_or_else(|| {
-        "usage: presto validate <file> --format json|prom|trace|timeseries|fleet".to_string()
+        "usage: presto validate <file> --format json|prom|trace|timeseries|fleet|causal".to_string()
     })?;
     let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     match args.get_str("format").unwrap_or("json") {
@@ -2145,9 +2289,16 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
                 snapshot.trace_id
             );
         }
+        "causal" => {
+            let experiments = telemetry_causal::validate_causal_json(&input)?;
+            println!(
+                "{path}: valid {} ({experiments} experiments)",
+                telemetry_causal::CAUSAL_SCHEMA
+            );
+        }
         other => {
             return Err(format!(
-                "unknown format '{other}' (json|prom|trace|timeseries|fleet)"
+                "unknown format '{other}' (json|prom|trace|timeseries|fleet|causal)"
             ))
         }
     }
@@ -2427,6 +2578,103 @@ mod tests {
         let dir = scratch_dir("empty");
         let _ = std::fs::remove_dir_all(&dir);
         run(&["history", "--history-dir", dir.to_str().unwrap()]).unwrap();
+    }
+
+    #[test]
+    fn history_prune_keeps_the_newest_runs_and_compare_still_works() {
+        let dir = scratch_dir("prune");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let base = [
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--history-dir",
+            &dir_str,
+        ];
+        for _ in 0..3 {
+            run(&base).unwrap();
+        }
+        run(&["history", "--history-dir", &dir_str, "--prune", "2"]).unwrap();
+        assert!(!dir.join("run-0001.json").exists(), "oldest run must go");
+        assert!(dir.join("run-0002.json").is_file());
+        assert!(dir.join("run-0003.json").is_file());
+        run(&[
+            "compare",
+            "2",
+            "3",
+            "--history-dir",
+            &dir_str,
+            "--fail",
+            "0.95",
+        ])
+        .unwrap();
+        // Numbering continues after the pruned prefix.
+        run(&base).unwrap();
+        assert!(dir.join("run-0004.json").is_file());
+        assert!(run(&["history", "--history-dir", &dir_str, "--prune", "nope"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The committed benchmark document, wherever the test runs from.
+    fn bench_doc() -> &'static str {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_realrun.json")
+    }
+
+    #[test]
+    fn causal_replay_is_deterministic_and_validates() {
+        let dir = scratch_dir("causal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_a = dir.join("a.json");
+        let out_b = dir.join("b.json");
+        for out in [&out_a, &out_b] {
+            run(&[
+                "causal",
+                "--from",
+                bench_doc(),
+                "--seed",
+                "42",
+                "--out",
+                out.to_str().unwrap(),
+            ])
+            .unwrap();
+        }
+        let a = std::fs::read_to_string(&out_a).unwrap();
+        let b = std::fs::read_to_string(&out_b).unwrap();
+        assert_eq!(a, b, "same seed must produce byte-identical documents");
+        run(&["validate", out_a.to_str().unwrap(), "--format", "causal"]).unwrap();
+        // The committed deliver-bound run must rank deliver on top.
+        let profile = telemetry_causal::parse_causal_json(&a).unwrap();
+        assert_eq!(profile.ranking[0].step, "deliver");
+        assert!(profile.verdicts.agree, "{:?}", profile.verdicts);
+        // A different seed draws different latencies.
+        let out_c = dir.join("c.json");
+        run(&[
+            "causal",
+            "--from",
+            bench_doc(),
+            "--seed",
+            "7",
+            "--out",
+            out_c.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert_ne!(a, std::fs::read_to_string(&out_c).unwrap());
+        assert!(run(&["causal", "--from", "/definitely/missing.json"]).is_err());
+        assert!(run(&["causal", "--from", bench_doc(), "--sede", "3"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn causal_live_mode_profiles_a_real_epoch() {
+        run(&["causal", "CV", "--samples", "8", "--threads", "2"]).unwrap();
+        assert!(run(&["causal", "NLP"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,15 @@ mod render;
 
 use std::process::ExitCode;
 
+/// With `--features alloc-profile`, every heap allocation is counted
+/// into the active worker's phase scope, so `presto causal` reports
+/// bytes/allocations/peak-live per step. Without the feature the
+/// stock allocator runs and the alloc table is empty.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: presto_pipeline::telemetry::alloc::CountingAllocator =
+    presto_pipeline::telemetry::alloc::CountingAllocator::system();
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {

@@ -4,6 +4,7 @@
 use presto::report::{format_bytes, TableBuilder};
 use presto::search::SearchStats;
 use presto::{RealDiagnosis, RunComparison, TrendDiagnosis, Verdict};
+use presto_pipeline::telemetry::causal::CausalProfile;
 use presto_pipeline::telemetry::history::RunRecord;
 use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::TelemetrySnapshot;
@@ -192,6 +193,12 @@ pub fn watch_frame(points: &[TimePoint], trend: Option<&TrendDiagnosis>) -> Stri
     );
     let sps: Vec<f64> = tail.iter().map(|p| p.sps).collect();
     out.push_str(&format!("SPS {}\n", sparkline(&sps)));
+    if last.dropped_spans > 0 {
+        out.push_str(&format!(
+            "warning: {} spans dropped (ring full) — traces are incomplete; raise the span budget\n",
+            last.dropped_spans
+        ));
+    }
     let mut table = TableBuilder::new(&["phase/step", "kind", "busy", "activity", "calls"]);
     for (i, step) in last.steps.iter().enumerate() {
         let shares: Vec<f64> = tail
@@ -408,6 +415,131 @@ pub fn compare_table(comparison: &RunComparison) -> String {
     out.push_str(&format!("\noverall: {}", comparison.worst));
     if comparison.worst == Verdict::Regression {
         out.push_str(&format!(" ({})", comparison.regressions().join(", ")));
+    }
+    out
+}
+
+/// Render a causal profile: the experiment matrix (step rows, one
+/// column per published speedup), the ranking, knob predictions,
+/// live measurements (when present), allocation attribution (when
+/// recorded) and the cross-validation verdict.
+pub fn causal_table(profile: &CausalProfile) -> String {
+    let mut out = format!(
+        "causal profile of {} · seed {} · {} trials · {} threads · queue {}\n\
+         observed {:.0} SPS · calibrated model {:.0} SPS (error {:.1}%) · consumer {:.1}us/sample\n",
+        profile.source,
+        profile.seed,
+        profile.trials,
+        profile.threads,
+        profile.queue_capacity,
+        profile.observed_sps,
+        profile.baseline_sps,
+        profile.calibration.sps_error * 100.0,
+        profile.calibration.consumer_ns_per_sample / 1_000.0,
+    );
+    let mut matrix = TableBuilder::new(&["step", "kind", "+10%", "+25%", "+50%", "+75%"]);
+    let mut steps: Vec<&str> = Vec::new();
+    for e in &profile.experiments {
+        if !steps.contains(&e.step.as_str()) {
+            steps.push(&e.step);
+        }
+    }
+    for step in steps {
+        let cell = |pct: u32| {
+            profile
+                .experiments
+                .iter()
+                .find(|e| e.step == step && e.speedup_pct == pct)
+                .map(|e| format!("{:+.1}% ±{:.1}", e.mean_gain * 100.0, e.stddev * 100.0))
+                .unwrap_or_else(|| "-".into())
+        };
+        let kind = profile
+            .experiments
+            .iter()
+            .find(|e| e.step == step)
+            .map(|e| e.kind.clone())
+            .unwrap_or_default();
+        matrix.row(&[
+            step.to_string(),
+            kind,
+            cell(10),
+            cell(25),
+            cell(50),
+            cell(75),
+        ]);
+    }
+    out.push_str(&matrix.render());
+    if let Some(top) = profile.ranking.first() {
+        out.push_str(&format!(
+            "\noptimize first: {} ({}) — a 50% speedup predicts {:+.1}% SPS\n",
+            top.step,
+            top.kind,
+            top.score * 100.0
+        ));
+    }
+    if !profile.knobs.is_empty() {
+        let mut knobs = TableBuilder::new(&["knob", "value", "predicted SPS", "gain"]);
+        for k in &profile.knobs {
+            knobs.row(&[
+                k.knob.clone(),
+                k.value.to_string(),
+                format!("{:.0}", k.predicted_sps),
+                format!("{:+.1}%", k.predicted_gain * 100.0),
+            ]);
+        }
+        out.push_str(&knobs.render());
+    }
+    if !profile.measured.is_empty() {
+        let mut measured = TableBuilder::new(&[
+            "step",
+            "speedup",
+            "baseline SPS",
+            "virtual SPS",
+            "measured gain",
+        ]);
+        for m in &profile.measured {
+            measured.row(&[
+                m.step.clone(),
+                format!("{}%", m.speedup_pct),
+                format!("{:.0}", m.baseline_sps),
+                format!("{:.0}", m.virtual_sps),
+                format!("{:+.1}%", m.measured_gain * 100.0),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&measured.render());
+    }
+    if !profile.alloc.steps.is_empty() {
+        let mut alloc = TableBuilder::new(&["phase/step", "bytes", "allocs", "peak live"]);
+        for s in &profile.alloc.steps {
+            alloc.row(&[
+                s.name.clone(),
+                format_bytes(s.bytes),
+                s.allocations.to_string(),
+                format_bytes(s.peak_live),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&alloc.render());
+        out.push_str(&format!(
+            "buffers: {} allocated, {} reused\n",
+            profile.alloc.buffer_allocs, profile.alloc.buffer_reuses
+        ));
+    }
+    out.push_str(&format!(
+        "\nverdicts: causal={} ({}) · busy-time={} · simulator={} — {}",
+        profile.verdicts.causal_top,
+        profile.verdicts.causal_kind,
+        profile.verdicts.observed,
+        profile.verdicts.simulated,
+        if profile.verdicts.agree {
+            "agree"
+        } else {
+            "DISAGREE"
+        }
+    ));
+    for d in &profile.verdicts.disagreements {
+        out.push_str(&format!("\n  {d}"));
     }
     out
 }

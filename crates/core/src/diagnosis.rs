@@ -17,6 +17,7 @@
 //! automates the attribution.
 
 use presto_pipeline::sim::{SimEnv, StrategyProfile};
+use presto_pipeline::telemetry::causal::{CausalRank, CausalVerdicts};
 use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::{FleetSnapshot, PhaseKind, ServeSnapshot, TelemetrySnapshot};
 use std::fmt;
@@ -185,6 +186,71 @@ pub fn diagnose_real(snapshot: &TelemetrySnapshot) -> Option<RealDiagnosis> {
         },
         straggler,
     })
+}
+
+/// Cross-validate a causal ranking against the busy-time profile and
+/// the simulator verdict.
+///
+/// Three independent observers name a bottleneck: the causal profile
+/// (top of `ranking`, mapped to its facility), the busy-time profile
+/// (the argmax of the snapshot's io/cpu/deliver shares — argmax, not
+/// the thresholded [`diagnose_real`] verdict, because a pipelined
+/// epoch can be causally deliver-bound while no single facility
+/// clears the 0.5-of-max dominance bar), and the virtual-replay
+/// simulator (`simulated`). Agreement between the causal and observed
+/// facilities is the headline `agree` bit; every pairwise mismatch
+/// becomes a human-readable line in `disagreements`.
+pub fn cross_validate_causal(
+    snapshot: &TelemetrySnapshot,
+    ranking: &[CausalRank],
+    simulated: Bottleneck,
+) -> CausalVerdicts {
+    let Some(top) = ranking.first() else {
+        return CausalVerdicts::default();
+    };
+    let causal_facility = match top.kind.as_str() {
+        "io" => Bottleneck::Storage,
+        "deliver" => Bottleneck::Dispatch,
+        _ => Bottleneck::Cpu,
+    };
+    let shares = [
+        (Bottleneck::Storage, snapshot.fraction_of(PhaseKind::Io)),
+        (
+            Bottleneck::Cpu,
+            snapshot.fraction_of(PhaseKind::Cpu) + snapshot.fraction_of(PhaseKind::Step),
+        ),
+        (
+            Bottleneck::Dispatch,
+            snapshot.fraction_of(PhaseKind::Deliver),
+        ),
+    ];
+    let observed = shares
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(b, _)| *b)
+        .unwrap_or(Bottleneck::None);
+    let mut disagreements = Vec::new();
+    if causal_facility != observed {
+        disagreements.push(format!(
+            "causal profile blames {causal_facility} (top step '{}') but the busy-time profile \
+             points at {observed}",
+            top.step
+        ));
+    }
+    if causal_facility != simulated {
+        disagreements.push(format!(
+            "causal profile blames {causal_facility} but the virtual-replay simulator predicts \
+             {simulated} binds"
+        ));
+    }
+    CausalVerdicts {
+        causal_top: top.step.clone(),
+        causal_kind: top.kind.clone(),
+        observed: observed.to_string(),
+        simulated: simulated.to_string(),
+        agree: causal_facility == observed,
+        disagreements,
+    }
 }
 
 /// The facility limiting a disaggregated serve fleet's throughput.
@@ -580,6 +646,7 @@ mod tests {
             retries: 0,
             skipped_samples: 0,
             lost_shards: 0,
+            dropped_spans: 0,
             steps: Vec::new(),
             io_share: io,
             cpu_share: cpu,

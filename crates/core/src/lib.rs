@@ -42,6 +42,7 @@
 //! ```
 
 pub mod analysis;
+pub mod causal;
 pub mod cost;
 pub mod diagnosis;
 pub mod fidelity;
@@ -54,11 +55,15 @@ pub use analysis::{
     compare_metric, compare_runs, Direction, MetricDelta, RunComparison, ScoredStrategy,
     StrategyAnalysis, Verdict, Weights,
 };
+pub use causal::{
+    dilation_for, measured_point, plan_for_deliver, plan_for_phase, profile_from_snapshot,
+    virtual_gain, CausalOptions, SPEEDUPS,
+};
 pub use cost::{Campaign, CloudPricing};
 pub use diagnosis::{
-    diagnose, diagnose_fleet, diagnose_point, diagnose_real, diagnose_window, Bottleneck,
-    Diagnosis, FleetBottleneck, FleetDiagnosis, RealDiagnosis, Straggler, TrendDiagnosis,
-    TrendPoint,
+    cross_validate_causal, diagnose, diagnose_fleet, diagnose_point, diagnose_real,
+    diagnose_window, Bottleneck, Diagnosis, FleetBottleneck, FleetDiagnosis, RealDiagnosis,
+    Straggler, TrendDiagnosis, TrendPoint,
 };
 pub use profiler::Presto;
 pub use report::{shape_check, Comparison, TableBuilder};

@@ -40,6 +40,7 @@ pub mod strategy;
 pub use error::PipelineError;
 pub use fault::{FaultPolicy, Resilience, RetryPolicy};
 pub use pipeline::Pipeline;
+pub use real::{AppCache, DelayPlan, EpochStats, EpochStream, Materialized, RealExecutor};
 pub use sample::{Payload, Sample};
 pub use step::{CostModel, Parallelism, SizeModel, Step, StepSpec};
 pub use store::{BlobStore, DirStore, FaultSpec, FaultStore, MemStore, StoreError};

@@ -223,6 +223,108 @@ pub(crate) fn shard_rng_seed(epoch_seed: u64, shard_name: &str) -> u64 {
     epoch_seed ^ fnv64(shard_name)
 }
 
+/// Calibrated delay injection for causal (virtual-speedup) profiling.
+///
+/// A Coz-style virtual speedup of activity X by `k` (so X takes
+/// `1 − k` of its time) is realized by slowing everything *else*
+/// down: after every timed phase except X, the worker spins for
+/// `(dilation − 1) ×` the phase's measured duration, with
+/// `dilation = 1 / (1 − k)`. The experiment epoch then runs entirely
+/// in dilated time, and dividing its wall clock by `dilation`
+/// recovers the virtual epoch in which X alone got faster. See
+/// `presto_core::causal` for the runner that turns this into
+/// predicted SPS gains.
+///
+/// `queue-wait` is never dilated — blocking on a full prefetch buffer
+/// is idleness, not work. Injection piggybacks on the telemetry phase
+/// timers, so the executor must have telemetry attached for a plan to
+/// take effect.
+#[derive(Debug)]
+pub struct DelayPlan {
+    dilation: f64,
+    exempt: Vec<usize>,
+    exempt_consumer: bool,
+    injected_ns: AtomicU64,
+}
+
+impl DelayPlan {
+    /// A plan dilating every phase except the indices in `exempt`
+    /// (`PHASE_*` constants for engine phases, `BUILTIN_PHASES + i`
+    /// for online step `i`). `dilation` must be ≥ 1.
+    pub fn new(dilation: f64, exempt: Vec<usize>) -> DelayPlan {
+        assert!(
+            dilation >= 1.0 && dilation.is_finite(),
+            "dilation must be a finite factor >= 1, got {dilation}"
+        );
+        DelayPlan {
+            dilation,
+            exempt,
+            exempt_consumer: false,
+            injected_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan that injects nothing: the instrumentation-overhead
+    /// baseline arm.
+    pub fn noop() -> DelayPlan {
+        DelayPlan::new(1.0, Vec::new())
+    }
+
+    /// Mark the *consumer* as the virtually-sped-up activity:
+    /// [`DelayPlan::after_consume`] becomes a no-op while worker-side
+    /// phases keep dilating.
+    pub fn with_exempt_consumer(mut self) -> DelayPlan {
+        self.exempt_consumer = true;
+        self
+    }
+
+    /// The dilation factor.
+    pub fn dilation(&self) -> f64 {
+        self.dilation
+    }
+
+    /// Total spin time injected so far, nanoseconds.
+    pub fn injected_ns(&self) -> u64 {
+        self.injected_ns.load(Ordering::Relaxed)
+    }
+
+    /// Dilate one worker-side phase that just took `took`: spin
+    /// `(dilation − 1) × took` unless `phase` is exempt. Queue-wait is
+    /// unconditionally exempt.
+    pub fn after_phase(&self, phase: usize, took: Duration) {
+        if phase == PHASE_QUEUE_WAIT || self.exempt.contains(&phase) {
+            return;
+        }
+        self.spin(took);
+    }
+
+    /// Dilate consumer-side work (the training step draining the
+    /// queue), unless the consumer itself is the sped-up activity.
+    pub fn after_consume(&self, took: Duration) {
+        if !self.exempt_consumer {
+            self.spin(took);
+        }
+    }
+
+    fn spin(&self, took: Duration) {
+        if self.dilation <= 1.0 {
+            return;
+        }
+        let extra = took.mul_f64(self.dilation - 1.0);
+        if extra.is_zero() {
+            return;
+        }
+        // Busy-wait: the injected delay must consume the worker the
+        // way real work would, not yield the core like sleep would.
+        let t0 = Instant::now();
+        while t0.elapsed() < extra {
+            std::hint::spin_loop();
+        }
+        self.injected_ns
+            .fetch_add(extra.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
 /// The online step chain: `(step name, executable implementation)`.
 pub(crate) type ExecutableSteps = Vec<(String, Arc<dyn crate::step::Step>)>;
 
@@ -285,13 +387,21 @@ pub(crate) fn process_shard(
     worker: usize,
     epoch_seed: u64,
     bytes_read: &AtomicU64,
+    delay: Option<&DelayPlan>,
     deliver: &mut dyn FnMut(Sample) -> Deliver,
 ) -> Result<bool, PipelineError> {
     let mut rng = SmallRng::seed_from_u64(shard_rng_seed(epoch_seed, shard_name));
     let t_read = rec.begin();
+    let a_read = rec.alloc_begin();
     let fetched = fetch_shard(store, shard_name, resilience, counters, rec, worker);
+    if let Some(scope) = a_read {
+        rec.alloc_done(PHASE_READ, scope);
+    }
     if let Some(t0) = t_read {
         rec.phase_done(worker, PHASE_READ, t0);
+        if let Some(plan) = delay {
+            plan.after_phase(PHASE_READ, t0.elapsed());
+        }
     }
     let blob = match fetched {
         Ok(blob) => blob,
@@ -304,9 +414,16 @@ pub(crate) fn process_shard(
     bytes_read.fetch_add(blob.len() as u64, Ordering::Relaxed);
     rec.bytes_read(worker, blob.len() as u64);
     let t_decompress = rec.begin();
+    let a_decompress = rec.alloc_begin();
     let decompressed = codec.decompress(&blob);
+    if let Some(scope) = a_decompress {
+        rec.alloc_done(PHASE_DECOMPRESS, scope);
+    }
     if let Some(t0) = t_decompress {
         rec.phase_done(worker, PHASE_DECOMPRESS, t0);
+        if let Some(plan) = delay {
+            plan.after_phase(PHASE_DECOMPRESS, t0.elapsed());
+        }
     }
     let framed = match decompressed {
         Ok(f) => f,
@@ -320,6 +437,7 @@ pub(crate) fn process_shard(
         }
     };
     rec.bytes_decoded(framed.len() as u64);
+    rec.buffer_allocs(1); // one fresh frame buffer per shard
     let mut reader = RecordReader::new(&framed);
     while let Some(record) = reader.next() {
         let record = match record {
@@ -335,16 +453,31 @@ pub(crate) fn process_shard(
             }
         };
         let t_decode = rec.begin();
+        let a_decode = rec.alloc_begin();
         let decoded = Sample::decode(record);
+        if let Some(scope) = a_decode {
+            rec.alloc_done(PHASE_DECODE, scope);
+        }
         if let Some(t0) = t_decode {
             rec.phase_done(worker, PHASE_DECODE, t0);
+            if let Some(plan) = delay {
+                plan.after_phase(PHASE_DECODE, t0.elapsed());
+            }
         }
         let processed = decoded.and_then(|mut sample| {
+            rec.buffer_allocs(1); // one fresh sample buffer per decode
             for (idx, (name, step)) in steps.iter().enumerate() {
                 let t_step = rec.begin();
+                let a_step = rec.alloc_begin();
                 sample = apply_step(step.as_ref(), name, sample, &mut rng)?;
+                if let Some(scope) = a_step {
+                    rec.alloc_done(BUILTIN_PHASES + idx, scope);
+                }
                 if let Some(t0) = t_step {
                     rec.phase_done(worker, BUILTIN_PHASES + idx, t0);
+                    if let Some(plan) = delay {
+                        plan.after_phase(BUILTIN_PHASES + idx, t0.elapsed());
+                    }
                 }
             }
             Ok(sample)
@@ -373,6 +506,7 @@ pub struct RealExecutor {
     /// Worker thread count.
     pub threads: usize,
     telemetry: Option<Arc<Telemetry>>,
+    delay: Option<Arc<DelayPlan>>,
 }
 
 impl RealExecutor {
@@ -382,6 +516,7 @@ impl RealExecutor {
         RealExecutor {
             threads,
             telemetry: None,
+            delay: None,
         }
     }
 
@@ -396,6 +531,19 @@ impl RealExecutor {
     /// The attached telemetry handle, if any.
     pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
         self.telemetry.as_ref()
+    }
+
+    /// Attach a [`DelayPlan`]: every subsequent epoch injects the
+    /// plan's calibrated per-phase delays. Requires telemetry to be
+    /// attached too — the injection rides on the phase timers.
+    pub fn with_delay_plan(mut self, plan: Arc<DelayPlan>) -> Self {
+        self.delay = Some(plan);
+        self
+    }
+
+    /// The attached delay plan, if any.
+    pub fn delay_plan(&self) -> Option<&Arc<DelayPlan>> {
+        self.delay.as_ref()
     }
 
     /// A recorder for one epoch over the online steps of `pipeline`
@@ -571,6 +719,7 @@ impl RealExecutor {
         let start = Instant::now();
         let rec = self.epoch_recorder(pipeline, dataset.split, 0);
         rec.set_epoch_seed(epoch_seed);
+        let delay = self.delay.as_deref();
         let samples_done = AtomicU64::new(0);
         let bytes_read = AtomicU64::new(0);
         let errors: Mutex<Vec<PipelineError>> = Mutex::new(Vec::new());
@@ -593,6 +742,9 @@ impl RealExecutor {
                                 consume(sample);
                                 if let Some(t0) = t0 {
                                     rec.phase_done(chunk_idx, PHASE_HANDOFF, t0);
+                                    if let Some(plan) = delay {
+                                        plan.after_phase(PHASE_HANDOFF, t0.elapsed());
+                                    }
                                 }
                                 rec.samples_done(chunk_idx, 1);
                                 samples_done.fetch_add(1, Ordering::Relaxed);
@@ -602,6 +754,7 @@ impl RealExecutor {
                 });
                 let samples = samples_done.into_inner();
                 rec.cache_hits(samples);
+                rec.buffer_reuses(samples);
                 let elapsed = start.elapsed();
                 rec.finish(elapsed, samples, 0, 0, 0, 0, false);
                 return Ok(EpochStats {
@@ -628,6 +781,7 @@ impl RealExecutor {
                         // Callback delivery never queues: the whole
                         // callback (plus cache insert) is hand-off.
                         let t0 = rec.begin();
+                        let scope = rec.alloc_begin();
                         consume(&sample);
                         samples_done.fetch_add(1, Ordering::Relaxed);
                         if let Some(cache) = cache {
@@ -638,8 +792,14 @@ impl RealExecutor {
                                 return Deliver::Fail(e);
                             }
                         }
+                        if let Some(scope) = scope {
+                            rec.alloc_done(PHASE_HANDOFF, scope);
+                        }
                         if let Some(t0) = t0 {
                             rec.phase_done(worker, PHASE_HANDOFF, t0);
+                            if let Some(plan) = delay {
+                                plan.after_phase(PHASE_HANDOFF, t0.elapsed());
+                            }
                         }
                         Deliver::Delivered
                     };
@@ -655,6 +815,7 @@ impl RealExecutor {
                             worker,
                             epoch_seed,
                             bytes_read,
+                            delay,
                             &mut deliver,
                         ) {
                             Ok(true) => {}
@@ -833,6 +994,7 @@ impl RealExecutor {
             let resilience = resilience.clone();
             let rec = Arc::clone(&rec);
             let in_flight = Arc::clone(&in_flight);
+            let delay = self.delay.clone();
             let shards: Vec<String> = dataset
                 .shards
                 .iter()
@@ -861,6 +1023,9 @@ impl RealExecutor {
                         Ok(()) => {
                             if let Some(t0) = t0 {
                                 rec.phase_done(worker, PHASE_HANDOFF, t0);
+                                if let Some(plan) = delay.as_deref() {
+                                    plan.after_phase(PHASE_HANDOFF, t0.elapsed());
+                                }
                             }
                         }
                         Err(crossbeam::channel::TrySendError::Full(item)) => {
@@ -889,6 +1054,7 @@ impl RealExecutor {
                         worker,
                         epoch_seed,
                         &bytes_read,
+                        delay.as_deref(),
                         &mut deliver,
                     ) {
                         Ok(true) => {}
@@ -1304,6 +1470,54 @@ mod tests {
         assert_eq!(stats.samples, 29);
         assert_eq!(stats.skipped_samples, 1);
         assert!(stats.degraded);
+    }
+
+    #[test]
+    fn delay_plan_exempts_queue_wait_and_named_phases() {
+        let plan = DelayPlan::new(1.5, vec![PHASE_DECODE]);
+        plan.after_phase(PHASE_DECODE, Duration::from_millis(2));
+        plan.after_phase(PHASE_QUEUE_WAIT, Duration::from_millis(2));
+        assert_eq!(plan.injected_ns(), 0, "exempt phases never dilate");
+        plan.after_phase(PHASE_READ, Duration::from_millis(2));
+        assert!(
+            plan.injected_ns() >= 900_000,
+            "0.5 x 2ms spin expected, got {}ns",
+            plan.injected_ns()
+        );
+        let consumer = DelayPlan::new(2.0, Vec::new()).with_exempt_consumer();
+        consumer.after_consume(Duration::from_millis(1));
+        assert_eq!(consumer.injected_ns(), 0, "exempt consumer never dilates");
+        let noop = DelayPlan::noop();
+        noop.after_phase(PHASE_READ, Duration::from_millis(1));
+        noop.after_consume(Duration::from_millis(1));
+        assert_eq!(noop.injected_ns(), 0, "dilation 1.0 injects nothing");
+    }
+
+    #[test]
+    fn delay_plan_injects_during_a_real_epoch() {
+        let telemetry = Arc::new(Telemetry::new());
+        let pipeline = pipeline();
+        let store = MemStore::new();
+        let strategy = Strategy::at_split(1).with_threads(2).with_shards(4);
+        let base = RealExecutor::new(2).with_telemetry(Arc::clone(&telemetry));
+        let (dataset, _) = base
+            .materialize(&pipeline, &strategy, &source(64), &store)
+            .unwrap();
+        // Dilate everything except the online step: the injected spin
+        // shows up both in the plan's counter and in the epoch time.
+        let plan = Arc::new(DelayPlan::new(2.0, vec![BUILTIN_PHASES]));
+        let exec = base.clone().with_delay_plan(Arc::clone(&plan));
+        let stats = exec
+            .epoch(&pipeline, &dataset, &store, None, 1, |_| {})
+            .unwrap();
+        assert_eq!(stats.samples, 64);
+        assert!(plan.injected_ns() > 0, "delays were injected");
+        // The no-op plan is the overhead baseline: nothing injected.
+        let noop = Arc::new(DelayPlan::noop());
+        let exec = base.with_delay_plan(Arc::clone(&noop));
+        exec.epoch(&pipeline, &dataset, &store, None, 1, |_| {})
+            .unwrap();
+        assert_eq!(noop.injected_ns(), 0);
     }
 
     #[test]

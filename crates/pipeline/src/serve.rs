@@ -1129,6 +1129,7 @@ fn serve_assignment(
             0,
             epoch_seed,
             &bytes_read,
+            None,
             &mut deliver,
         );
         produce_ns += t_produce.elapsed().as_nanos() as u64;

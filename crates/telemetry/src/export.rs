@@ -92,6 +92,13 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
         "Span events dropped past the budget.",
         snapshot.dropped_spans,
     );
+    // Alias without the epoch_ prefix: the name monitoring rules key
+    // on for span-loss alerts (same value, stable going forward).
+    counter(
+        "presto_dropped_spans_total",
+        "Span events dropped past the budget (alias).",
+        snapshot.dropped_spans,
+    );
 
     let _ = writeln!(out, "# HELP presto_epoch_duration_seconds Epoch wall time.");
     let _ = writeln!(out, "# TYPE presto_epoch_duration_seconds gauge");
@@ -1045,6 +1052,11 @@ mod tests {
         );
         assert_eq!(series_value(&series, "presto_epoch_retries_total")?, 2.0);
         assert_eq!(series_value(&series, "presto_queue_depth_max")?, 2.0);
+        assert_eq!(
+            series_value(&series, "presto_dropped_spans_total")?,
+            series_value(&series, "presto_epoch_dropped_spans_total")?,
+            "alias must mirror the epoch counter"
+        );
         assert!(series
             .iter()
             .any(|(s, _)| s.starts_with("presto_step_latency_seconds{")));

@@ -763,6 +763,36 @@ mod tests {
     }
 
     #[test]
+    fn merge_with_zero_worker_spans_still_yields_a_valid_trace() {
+        // A worker that handshook and reported stats but recorded no
+        // spans (span ring disabled, or everything dropped) must not
+        // break the merge: its process metadata appears, the client
+        // tracks render, and the trace stays valid.
+        let progress = FleetProgress::default();
+        progress.begin(11);
+        progress.record_handshake("quiet:1", 0, 2, 0, 1_000);
+        let mut entry = worker_entry("quiet:1", 0, 0);
+        entry.spans.clear();
+        progress.record_stats(entry);
+        let doc = fleet_json(
+            &client_snapshot(),
+            &ServeSnapshot::default(),
+            &progress.snapshot(),
+        );
+        let merged = merge_chrome_trace(&doc, None).expect("merge with spanless worker");
+        let complete = validate_chrome_trace(&merged).expect("trace validates");
+        assert_eq!(complete, 2, "only the client's two spans remain");
+        assert!(merged.contains("serve-worker quiet:1"), "{merged}");
+    }
+
+    #[test]
+    fn merge_and_parse_reject_an_empty_fleet_document() {
+        assert!(merge_chrome_trace("{}", None).is_err());
+        assert!(parse_fleet_json("{}").is_err());
+        assert!(parse_fleet_json("").is_err());
+    }
+
+    #[test]
     fn validator_rejects_broken_fleet_documents() {
         assert!(validate_fleet_json("{}").is_err());
         assert!(validate_fleet_json("{\"schema\": \"presto.fleet.v2\"}").is_err());

@@ -191,6 +191,26 @@ impl RunStore {
         ))
     }
 
+    /// Delete all but the newest `keep` runs (by run number); returns
+    /// the ids removed, oldest first. Numbering keeps counting from
+    /// the highest survivor, so pruning never recycles an id.
+    pub fn prune(&self, keep: usize) -> Result<Vec<String>, String> {
+        let mut files = self.run_files()?;
+        let excess = files.len().saturating_sub(keep);
+        files.truncate(excess);
+        let mut removed = Vec::with_capacity(excess);
+        for path in files {
+            fs::remove_file(&path).map_err(|e| format!("remove {}: {e}", path.display()))?;
+            removed.push(
+                path.file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("run")
+                    .to_string(),
+            );
+        }
+        Ok(removed)
+    }
+
     fn run_files(&self) -> Result<Vec<PathBuf>, String> {
         let mut files = Vec::new();
         let entries = match fs::read_dir(&self.dir) {
@@ -336,6 +356,33 @@ mod tests {
         assert!(metrics.steps.iter().any(|(name, _, _)| name == "resize"));
         assert_eq!(metrics.seed, 5);
         assert_eq!(metrics.mode, "real", "untagged documents default to real");
+    }
+
+    #[test]
+    fn prune_keeps_the_newest_and_numbering_continues() {
+        let dir = scratch_dir();
+        let store = RunStore::new(&dir);
+        for i in 0..5 {
+            store
+                .append_snapshot(&sealed_snapshot(10 + i))
+                .expect("append");
+        }
+        let removed = store.prune(2).expect("prune");
+        assert_eq!(removed, vec!["run-0001", "run-0002", "run-0003"]);
+        let runs = store.runs().expect("list survivors");
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].id, "run-0004");
+        assert_eq!(runs[1].id, "run-0005");
+        assert_eq!(runs[1].metrics.samples, 14);
+        // Survivors still resolve (compare path) and new appends don't
+        // recycle pruned ids.
+        assert_eq!(store.resolve("4").expect("resolve").metrics.samples, 13);
+        let (id, _) = store.append_snapshot(&sealed_snapshot(99)).expect("append");
+        assert_eq!(id, "run-0006");
+        // Pruning to a size the store is already under is a no-op.
+        assert!(store.prune(10).expect("no-op prune").is_empty());
+        assert_eq!(store.runs().expect("list").len(), 3);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

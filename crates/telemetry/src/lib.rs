@@ -29,6 +29,8 @@
 //!
 //! See `docs/observability.md` for the schemas and how to read traces.
 
+pub mod alloc;
+pub mod causal;
 pub mod export;
 pub mod fleet;
 pub mod history;
@@ -203,6 +205,16 @@ pub struct SpanEvent {
     pub dur_ns: u64,
 }
 
+/// Per-phase allocation totals (fed by [`EpochRecorder::alloc_done`];
+/// all zeros unless a counting allocator is installed — see
+/// [`alloc`]).
+#[derive(Debug, Default)]
+struct AllocSlot {
+    bytes: AtomicU64,
+    count: AtomicU64,
+    peak_live: AtomicU64,
+}
+
 /// Per-worker mutable state. Spans live in a per-worker buffer so
 /// workers never contend on a shared lock for the timeline.
 #[derive(Debug, Default)]
@@ -225,6 +237,9 @@ pub struct EpochRecorder {
     started: Instant,
     names: Vec<String>,
     phase_times: Vec<Histogram>,
+    alloc_slots: Vec<AllocSlot>,
+    buffer_allocs: AtomicU64,
+    buffer_reuses: AtomicU64,
     workers: Vec<WorkerSlot>,
     queue_capacity: u64,
     queue_observations: AtomicU64,
@@ -262,11 +277,15 @@ impl EpochRecorder {
         ];
         names.extend(step_names.iter().cloned());
         let phase_times = names.iter().map(|_| Histogram::new()).collect();
+        let alloc_slots = names.iter().map(|_| AllocSlot::default()).collect();
         EpochRecorder {
             enabled: true,
             started: Instant::now(),
             names,
             phase_times,
+            alloc_slots,
+            buffer_allocs: AtomicU64::new(0),
+            buffer_reuses: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerSlot::default()).collect(),
             queue_capacity: queue_capacity as u64,
             queue_observations: AtomicU64::new(0),
@@ -338,6 +357,74 @@ impl EpochRecorder {
             });
         } else {
             self.spans_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Open an allocation-attribution scope for a phase about to run,
+    /// or `None` when disabled. Pair with [`EpochRecorder::alloc_done`]
+    /// at the same site that calls [`EpochRecorder::phase_done`].
+    #[inline]
+    pub fn alloc_begin(&self) -> Option<alloc::ScopeState> {
+        if self.enabled {
+            Some(alloc::scope_begin())
+        } else {
+            None
+        }
+    }
+
+    /// Close an allocation scope and charge the observed delta to
+    /// `phase`. Zeros flow through (and are skipped) when no counting
+    /// allocator is installed.
+    pub fn alloc_done(&self, phase: usize, state: alloc::ScopeState) {
+        if !self.enabled {
+            return;
+        }
+        let delta = alloc::scope_end(state);
+        if delta.count == 0 && delta.bytes == 0 {
+            return;
+        }
+        let slot = &self.alloc_slots[phase];
+        slot.bytes.fetch_add(delta.bytes, Ordering::Relaxed);
+        slot.count.fetch_add(delta.count, Ordering::Relaxed);
+        slot.peak_live.fetch_max(delta.peak_live, Ordering::Relaxed);
+    }
+
+    /// Count `n` fresh sample/frame buffers materialized (shard
+    /// decompression, sample decode).
+    #[inline]
+    pub fn buffer_allocs(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.buffer_allocs.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` buffers served again without re-materializing
+    /// (application-cache replays).
+    #[inline]
+    pub fn buffer_reuses(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.buffer_reuses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The allocation attribution recorded so far: one entry per
+    /// phase/step (same order as [`TelemetrySnapshot::steps`]) plus
+    /// the buffer-reuse counters.
+    pub fn alloc_profile(&self) -> alloc::AllocProfile {
+        alloc::AllocProfile {
+            steps: self
+                .names
+                .iter()
+                .zip(&self.alloc_slots)
+                .map(|(name, slot)| alloc::AllocStepReport {
+                    name: name.clone(),
+                    bytes: slot.bytes.load(Ordering::Relaxed),
+                    allocations: slot.count.load(Ordering::Relaxed),
+                    peak_live: slot.peak_live.load(Ordering::Relaxed),
+                })
+                .collect(),
+            buffer_allocs: self.buffer_allocs.load(Ordering::Relaxed),
+            buffer_reuses: self.buffer_reuses.load(Ordering::Relaxed),
         }
     }
 
@@ -1246,6 +1333,36 @@ mod tests {
         assert_eq!(full.spans.len(), 1);
         assert!(t.current_recorder().is_some());
         assert!(Arc::ptr_eq(&t.current_recorder().unwrap(), &rec));
+    }
+
+    #[test]
+    fn alloc_scopes_charge_the_right_phase() {
+        let t = Telemetry::new();
+        let rec = t.begin_epoch(&["resize".into()], 1, 0);
+        let scope = rec.alloc_begin().unwrap();
+        alloc::note_alloc(2048);
+        rec.alloc_done(PHASE_DECODE, scope);
+        let scope = rec.alloc_begin().unwrap();
+        rec.alloc_done(PHASE_READ, scope); // empty scope: stays zero
+        rec.buffer_allocs(3);
+        rec.buffer_reuses(1);
+        let profile = rec.alloc_profile();
+        assert_eq!(profile.steps.len(), BUILTIN_PHASES + 1);
+        assert_eq!(profile.steps[PHASE_DECODE].bytes, 2048);
+        assert_eq!(profile.steps[PHASE_DECODE].allocations, 1);
+        assert_eq!(profile.steps[PHASE_READ].bytes, 0);
+        assert_eq!(profile.buffer_allocs, 3);
+        assert_eq!(profile.buffer_reuses, 1);
+        alloc::note_dealloc(2048);
+    }
+
+    #[test]
+    fn disabled_recorder_skips_alloc_scopes() {
+        let t = Telemetry::disabled();
+        let rec = t.begin_epoch(&[], 1, 0);
+        assert!(rec.alloc_begin().is_none());
+        rec.buffer_allocs(5);
+        assert_eq!(rec.alloc_profile().buffer_allocs, 0);
     }
 
     #[test]

@@ -69,6 +69,9 @@ pub struct TimePoint {
     pub skipped_samples: u64,
     /// Cumulative lost shards in the current epoch.
     pub lost_shards: u64,
+    /// Cumulative span events dropped past the budget in the current
+    /// epoch — nonzero means the trace timeline is incomplete.
+    pub dropped_spans: u64,
     /// Per-phase/step interval activity, engine phases first.
     pub steps: Vec<StepActivity>,
     /// Interval share of worker time in [`PhaseKind::Io`] phases.
@@ -143,6 +146,7 @@ pub fn point_between(
         retries: curr.retries,
         skipped_samples: curr.skipped_samples,
         lost_shards: curr.lost_shards,
+        dropped_spans: curr.dropped_spans,
         io_share: kind_share(&[PhaseKind::Io]),
         cpu_share: kind_share(&[PhaseKind::Cpu, PhaseKind::Step]),
         deliver_share: kind_share(&[PhaseKind::Deliver]),
@@ -222,7 +226,7 @@ pub fn json(points: &[TimePoint], evicted: u64) -> String {
     for (i, p) in points.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"t_ns\": {}, \"interval_ns\": {}, \"epoch_seed\": {}, \"samples\": {}, \"sps\": {:.3}, \"queue_depth\": {:.3}, \"cache_hit_rate\": {:.4}, \"retries\": {}, \"skipped_samples\": {}, \"lost_shards\": {}, \"io_share\": {:.4}, \"cpu_share\": {:.4}, \"deliver_share\": {:.4}, \"steps\": [",
+            "    {{\"t_ns\": {}, \"interval_ns\": {}, \"epoch_seed\": {}, \"samples\": {}, \"sps\": {:.3}, \"queue_depth\": {:.3}, \"cache_hit_rate\": {:.4}, \"retries\": {}, \"skipped_samples\": {}, \"lost_shards\": {}, \"dropped_spans\": {}, \"io_share\": {:.4}, \"cpu_share\": {:.4}, \"deliver_share\": {:.4}, \"steps\": [",
             p.t_ns,
             p.interval_ns,
             p.epoch_seed,
@@ -233,6 +237,7 @@ pub fn json(points: &[TimePoint], evicted: u64) -> String {
             p.retries,
             p.skipped_samples,
             p.lost_shards,
+            p.dropped_spans,
             p.io_share,
             p.cpu_share,
             p.deliver_share,
@@ -288,6 +293,13 @@ pub fn validate_json(input: &str) -> Result<usize, String> {
             point
                 .require_f64(field)
                 .map_err(|e| format!("point: {e}"))?;
+        }
+        // `dropped_spans` is optional (older documents lack it) but
+        // must be numeric when present.
+        if let Some(dropped) = point.get("dropped_spans") {
+            if dropped.as_f64().is_none() {
+                return Err("point 'dropped_spans' must be a number when present".into());
+            }
         }
         let steps = point
             .require("steps")?
@@ -512,6 +524,23 @@ mod tests {
         assert!(validate_json("{\"points\": []}")
             .unwrap_err()
             .contains("schema"));
+    }
+
+    #[test]
+    fn dropped_spans_ride_the_point_and_stay_optional() {
+        let mut curr = snapshot(10, &[("read", PhaseKind::Io, 5, 100_000)]);
+        curr.dropped_spans = 7;
+        let ring = TimeSeries::new(4);
+        ring.push(point_between(None, &curr, 0, 1_000_000));
+        assert_eq!(ring.last().unwrap().dropped_spans, 7);
+        let doc = json(&ring.points(), ring.evicted());
+        assert!(doc.contains("\"dropped_spans\": 7"));
+        assert_eq!(validate_json(&doc).expect("valid doc"), 1);
+        // Pre-v8 documents without the field must still validate.
+        let legacy = doc.replace("\"dropped_spans\": 7, ", "");
+        assert_eq!(validate_json(&legacy).expect("legacy doc"), 1);
+        let bad = doc.replace("\"dropped_spans\": 7", "\"dropped_spans\": \"x\"");
+        assert!(validate_json(&bad).unwrap_err().contains("dropped_spans"));
     }
 
     #[test]
