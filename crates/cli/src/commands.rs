@@ -58,6 +58,7 @@ commands:
   fio [--device hdd|ssd|nvme]    storage microbenchmark (Table 3)
   realrun <pipeline>             run the real engine over synthetic data
       [--samples N] [--threads N] [--split N] [--epochs N] [--prefetch N]
+      [--bundle-size N] [--pool on|off]
       [--retries N] [--policy failfast|degrade] [--max-skip N] [--max-lost N]
       [--inject-faults] [--fault-seed S] [--fail-pct P]
       [--corrupt-shard I] [--lose-shard I]
@@ -538,6 +539,8 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
         "split",
         "epochs",
         "prefetch",
+        "bundle-size",
+        "pool",
         "retries",
         "policy",
         "max-skip",
@@ -559,6 +562,12 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     let threads = args.get_or("threads", 4usize)?;
     let epochs = args.get_or("epochs", 2usize)?;
     let prefetch = args.get_or("prefetch", 16usize)?;
+    let bundle_size = args.get_or("bundle-size", presto_pipeline::DEFAULT_BUNDLE_SIZE)?;
+    let pooling = match args.get_str("pool").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("unknown --pool mode '{other}' (on|off)")),
+    };
     // --json: one presto.telemetry.v1 document on stdout, nothing else.
     let json_only = args.get_str("json").is_some();
     let metrics = match args.get_str("metrics").unwrap_or("table") {
@@ -577,7 +586,10 @@ fn cmd_realrun(args: &Args) -> Result<(), String> {
     let resilience = parse_resilience(args, samples as u64, strategy.shards as u64)?;
 
     let telemetry = Telemetry::new();
-    let exec = RealExecutor::new(threads).with_telemetry(Arc::clone(&telemetry));
+    let exec = RealExecutor::new(threads)
+        .with_telemetry(Arc::clone(&telemetry))
+        .with_bundle_size(bundle_size)
+        .with_pooling(pooling);
     // Continuous observability: `--serve` starts a sampler thread over
     // the live registry plus the embedded HTTP endpoint. Both shut
     // down (via Drop) when the run ends.
@@ -2649,9 +2661,10 @@ mod tests {
         let b = std::fs::read_to_string(&out_b).unwrap();
         assert_eq!(a, b, "same seed must produce byte-identical documents");
         run(&["validate", out_a.to_str().unwrap(), "--format", "causal"]).unwrap();
-        // The committed deliver-bound run must rank deliver on top.
+        // The batched data plane retired the deliver bottleneck: the
+        // committed run must rank real compute on top, not hand-off.
         let profile = telemetry_causal::parse_causal_json(&a).unwrap();
-        assert_eq!(profile.ranking[0].step, "deliver");
+        assert_ne!(profile.ranking[0].step, "deliver");
         assert!(profile.verdicts.agree, "{:?}", profile.verdicts);
         // A different seed draws different latencies.
         let out_c = dir.join("c.json");

@@ -3,7 +3,7 @@
 
 use crate::checksum::{Adler32, Crc32};
 use crate::deflate::deflate;
-use crate::inflate::inflate;
+use crate::inflate::inflate_into;
 use crate::{CodecError, Level};
 
 const GZIP_MAGIC: [u8; 2] = [0x1F, 0x8B];
@@ -35,6 +35,14 @@ pub fn gzip_compress(data: &[u8], level: Level) -> Vec<u8> {
 
 /// Decompress a GZIP member, verifying CRC-32 and ISIZE.
 pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    gzip_decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`gzip_decompress`], but decompresses into a caller-provided
+/// buffer (cleared first) so scratch can be recycled across calls.
+pub fn gzip_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     if data.len() < 18 {
         return Err(CodecError::UnexpectedEof);
     }
@@ -51,11 +59,12 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         ));
     }
     let payload = &data[10..data.len() - 8];
-    let out = inflate(payload)?;
+    out.clear();
+    inflate_into(payload, out)?;
     let trailer = &data[data.len() - 8..];
     let expected_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
     let expected_len = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
-    let actual_crc = Crc32::checksum(&out);
+    let actual_crc = Crc32::checksum(out);
     if actual_crc != expected_crc {
         return Err(CodecError::ChecksumMismatch {
             expected: expected_crc,
@@ -65,7 +74,7 @@ pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     if out.len() as u32 != expected_len {
         return Err(CodecError::Corrupt("ISIZE mismatch"));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Compress into a ZLIB stream: 2-byte header, DEFLATE payload,
@@ -98,6 +107,14 @@ pub fn zlib_compress(data: &[u8], level: Level) -> Vec<u8> {
 
 /// Decompress a ZLIB stream, verifying the header check and Adler-32.
 pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    zlib_decompress_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`zlib_decompress`], but decompresses into a caller-provided
+/// buffer (cleared first) so scratch can be recycled across calls.
+pub fn zlib_decompress_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     if data.len() < 6 {
         return Err(CodecError::UnexpectedEof);
     }
@@ -113,14 +130,15 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
         return Err(CodecError::BadHeader("preset dictionaries unsupported"));
     }
     let payload = &data[2..data.len() - 4];
-    let out = inflate(payload)?;
+    out.clear();
+    inflate_into(payload, out)?;
     let trailer = &data[data.len() - 4..];
     let expected = u32::from_be_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
-    let actual = Adler32::checksum(&out);
+    let actual = Adler32::checksum(out);
     if actual != expected {
         return Err(CodecError::ChecksumMismatch { expected, actual });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

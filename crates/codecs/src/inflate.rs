@@ -10,21 +10,30 @@ use crate::CodecError;
 
 /// Decompress a raw DEFLATE stream.
 pub fn inflate(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    inflate_into(data, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a raw DEFLATE stream, appending to `out`. Lets callers
+/// recycle a scratch buffer across shards instead of allocating one
+/// per decompression.
+pub fn inflate_into(data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
     let mut reader = BitReader::new(data);
-    let mut out = Vec::with_capacity(data.len() * 3);
+    out.reserve(data.len().saturating_mul(3));
     loop {
         let bfinal = reader.read_bit()?;
         let btype = reader.read_bits(2)?;
         match btype {
-            0b00 => inflate_stored(&mut reader, &mut out)?,
+            0b00 => inflate_stored(&mut reader, out)?,
             0b01 => {
                 let litlen = Decoder::from_lengths(&fixed_litlen_lengths())?;
                 let dist = Decoder::from_lengths(&fixed_dist_lengths())?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, &litlen, &dist)?;
             }
             0b10 => {
                 let (litlen, dist) = read_dynamic_tables(&mut reader)?;
-                inflate_block(&mut reader, &mut out, &litlen, &dist)?;
+                inflate_block(&mut reader, out, &litlen, &dist)?;
             }
             _ => return Err(CodecError::Corrupt("reserved block type 11")),
         }
@@ -32,7 +41,7 @@ pub fn inflate(data: &[u8]) -> Result<Vec<u8>, CodecError> {
             break;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 fn inflate_stored(reader: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), CodecError> {
@@ -120,10 +129,18 @@ fn inflate_block(
                     return Err(CodecError::Corrupt("distance beyond output start"));
                 }
                 let start = out.len() - distance;
-                // Overlapping copies are intentional (RLE idiom).
-                for i in 0..len {
-                    let byte = out[start + i];
-                    out.push(byte);
+                // Bulk-copy the back-reference. When the source run is
+                // shorter than `len` (overlapping RLE copy), the
+                // materialized run doubles every pass, so this stays
+                // O(log len) `extend_from_within` calls — each a plain
+                // memcpy the compiler vectorizes — while reproducing
+                // the byte-at-a-time overlap semantics exactly.
+                let mut remaining = len;
+                while remaining > 0 {
+                    let available = out.len() - start;
+                    let n = available.min(remaining);
+                    out.extend_from_within(start..start + n);
+                    remaining -= n;
                 }
             }
             _ => return Err(CodecError::Corrupt("invalid literal/length symbol")),

@@ -159,6 +159,21 @@ impl Codec {
         }
     }
 
+    /// Decompress into a caller-provided buffer (cleared first),
+    /// letting hot paths recycle scratch instead of allocating per
+    /// call.
+    pub fn decompress_into(&self, data: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        match self {
+            Codec::None => {
+                out.clear();
+                out.extend_from_slice(data);
+                Ok(())
+            }
+            Codec::Gzip(_) => container::gzip_decompress_into(data, out),
+            Codec::Zlib(_) => container::zlib_decompress_into(data, out),
+        }
+    }
+
     /// Space saving fraction in `[0, 1)` achieved on `data`
     /// (the paper's headline compression metric).
     pub fn space_saving(&self, data: &[u8]) -> f64 {

@@ -28,6 +28,30 @@ pub enum Token {
     },
 }
 
+/// Length of the common prefix of `data[a..]` and `data[b..]`, capped
+/// at `max_len`. Compares 8-byte words and locates the first differing
+/// byte with `trailing_zeros` on the XOR, so the hot loop is a single
+/// word load + compare per 8 bytes instead of a per-byte branch (and
+/// autovectorizes cleanly); `chunks_exact` handles the tail.
+#[inline]
+fn match_length(data: &[u8], a: usize, b: usize, max_len: usize) -> usize {
+    debug_assert!(a < b);
+    let mut len = 0usize;
+    while len + 8 <= max_len {
+        let wa = u64::from_le_bytes(data[a + len..a + len + 8].try_into().unwrap());
+        let wb = u64::from_le_bytes(data[b + len..b + len + 8].try_into().unwrap());
+        let diff = wa ^ wb;
+        if diff != 0 {
+            return len + (diff.trailing_zeros() / 8) as usize;
+        }
+        len += 8;
+    }
+    while len < max_len && data[a + len] == data[b + len] {
+        len += 1;
+    }
+    len
+}
+
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
     let h = u32::from(data[pos])
@@ -82,10 +106,7 @@ pub fn tokenize(data: &[u8], level: Level) -> Vec<Token> {
                 if data[cand_pos + best_len.min(max_len - 1)]
                     == data[pos + best_len.min(max_len - 1)]
                 {
-                    let mut len = 0usize;
-                    while len < max_len && data[cand_pos + len] == data[pos + len] {
-                        len += 1;
-                    }
+                    let len = match_length(data, cand_pos, pos, max_len);
                     if len > best_len {
                         best_len = len;
                         best_dist = pos - cand_pos;

@@ -690,6 +690,7 @@ mod tests {
                 max_depth: capacity,
                 mean_depth: capacity as f64 / 2.0,
             },
+            data_plane: Default::default(),
             spans: Vec::new(),
             dropped_spans: 0,
         }

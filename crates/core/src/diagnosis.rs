@@ -587,6 +587,7 @@ mod tests {
                 max_depth: 0,
                 mean_depth: 0.0,
             },
+            data_plane: Default::default(),
             spans: Vec::new(),
             dropped_spans: 0,
         }

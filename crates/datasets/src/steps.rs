@@ -184,15 +184,18 @@ impl Step for RandomCrop {
         }
         let y0 = rng.gen_range(0..=h - self.height);
         let x0 = rng.gen_range(0..=w - self.width);
-        let values = tensor
-            .to_vec::<f32>()
-            .map_err(|e| PipelineError::Other(e.to_string()))?;
-        let mut out = Vec::with_capacity(self.width * self.height * c);
+        // Copy whole rows of raw storage instead of round-tripping
+        // through typed vectors: same bytes, no per-element decode or
+        // re-encode on the hot path.
+        let esize = tensor.dtype().size_bytes();
+        let raw = tensor.bytes();
+        let row_bytes = self.width * c * esize;
+        let mut out = Vec::with_capacity(self.height * row_bytes);
         for y in y0..y0 + self.height {
-            let row = (y * w + x0) * c;
-            out.extend_from_slice(&values[row..row + self.width * c]);
+            let start = (y * w + x0) * c * esize;
+            out.extend_from_slice(&raw[start..start + row_bytes]);
         }
-        let cropped = Tensor::from_vec(vec![self.height, self.width, c], out)
+        let cropped = Tensor::from_raw(tensor.dtype(), vec![self.height, self.width, c], out)
             .map_err(|e| PipelineError::Other(e.to_string()))?;
         Ok(Sample::from_tensors(sample.key, vec![cropped]))
     }

@@ -73,27 +73,46 @@ fn alpha(u: usize) -> f32 {
     }
 }
 
-/// Forward 8×8 DCT-II (separable, reference formulation).
+/// Dot product of two 8-lane rows. Fixed width with no bounds checks
+/// in the loop body, so the multiply unrolls into a single vector op;
+/// the summation order matches the scalar reference exactly.
+#[inline]
+fn dot8(a: &[f32; 8], b: &[f32; 8]) -> f32 {
+    let mut sum = 0.0;
+    for i in 0..8 {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Gather column `u` of an 8×8 block into a contiguous 8-lane row, so
+/// the column pass of the separable DCT runs over unit-stride data.
+#[inline]
+fn column8(block: &[f32; 64], u: usize) -> [f32; 8] {
+    let mut col = [0f32; 8];
+    for (lane, row) in col.iter_mut().zip(block.chunks_exact(8)) {
+        *lane = row[u];
+    }
+    col
+}
+
+/// Forward 8×8 DCT-II (separable). Both passes reduce over contiguous
+/// 8-lane rows — the column pass gathers each column once instead of
+/// striding through the block per coefficient.
 fn fdct(block: &[f32; 64], cos: &[[f32; 8]; 8]) -> [f32; 64] {
     let mut out = [0f32; 64];
     // Rows then columns.
     let mut tmp = [0f32; 64];
-    for y in 0..8 {
+    for (y, row) in block.chunks_exact(8).enumerate() {
+        let row: &[f32; 8] = row.try_into().unwrap();
         for u in 0..8 {
-            let mut sum = 0.0;
-            for x in 0..8 {
-                sum += block[y * 8 + x] * cos[u][x];
-            }
-            tmp[y * 8 + u] = sum * alpha(u) * 0.5;
+            tmp[y * 8 + u] = dot8(row, &cos[u]) * alpha(u) * 0.5;
         }
     }
     for u in 0..8 {
+        let col = column8(&tmp, u);
         for v in 0..8 {
-            let mut sum = 0.0;
-            for y in 0..8 {
-                sum += tmp[y * 8 + u] * cos[v][y];
-            }
-            out[v * 8 + u] = sum * alpha(v) * 0.5;
+            out[v * 8 + u] = dot8(&col, &cos[v]) * alpha(v) * 0.5;
         }
     }
     out
@@ -101,22 +120,32 @@ fn fdct(block: &[f32; 64], cos: &[[f32; 8]; 8]) -> [f32; 64] {
 
 /// Inverse 8×8 DCT.
 fn idct(block: &[f32; 64], cos: &[[f32; 8]; 8]) -> [f32; 64] {
+    // Fold alpha into the basis rows once so the inner reductions are
+    // plain dot products.
+    let mut acos = [[0f32; 8]; 8];
+    for (v, row) in acos.iter_mut().enumerate() {
+        for (y, value) in row.iter_mut().enumerate() {
+            *value = alpha(v) * cos[v][y];
+        }
+    }
     let mut tmp = [0f32; 64];
     for u in 0..8 {
+        let col = column8(block, u);
         for y in 0..8 {
             let mut sum = 0.0;
             for v in 0..8 {
-                sum += alpha(v) * block[v * 8 + u] * cos[v][y];
+                sum += col[v] * acos[v][y];
             }
             tmp[y * 8 + u] = sum * 0.5;
         }
     }
     let mut out = [0f32; 64];
-    for y in 0..8 {
+    for (y, row) in tmp.chunks_exact(8).enumerate() {
+        let row: &[f32; 8] = row.try_into().unwrap();
         for x in 0..8 {
             let mut sum = 0.0;
             for u in 0..8 {
-                sum += alpha(u) * tmp[y * 8 + u] * cos[u][x];
+                sum += row[u] * acos[u][x];
             }
             out[y * 8 + x] = sum * 0.5;
         }

@@ -24,6 +24,7 @@
 
 pub mod batch;
 pub mod chaos;
+pub mod dataplane;
 pub mod distributed;
 pub mod error;
 pub mod fault;
@@ -37,6 +38,7 @@ pub mod step;
 pub mod store;
 pub mod strategy;
 
+pub use dataplane::{BufferPool, SampleBundle, DEFAULT_BUNDLE_SIZE};
 pub use error::PipelineError;
 pub use fault::{FaultPolicy, Resilience, RetryPolicy};
 pub use pipeline::Pipeline;

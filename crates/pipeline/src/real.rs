@@ -13,6 +13,7 @@
 //! the epoch or are absorbed within an error budget — see
 //! [`crate::fault`] and `docs/robustness.md`.
 
+use crate::dataplane::{self, BufferPool, SampleBundle, DEFAULT_BUNDLE_SIZE};
 use crate::error::PipelineError;
 use crate::fault::{FaultCounters, RetryError};
 use crate::pipeline::Pipeline;
@@ -388,6 +389,7 @@ pub(crate) fn process_shard(
     epoch_seed: u64,
     bytes_read: &AtomicU64,
     delay: Option<&DelayPlan>,
+    pool: Option<&BufferPool>,
     deliver: &mut dyn FnMut(Sample) -> Deliver,
 ) -> Result<bool, PipelineError> {
     let mut rng = SmallRng::seed_from_u64(shard_rng_seed(epoch_seed, shard_name));
@@ -415,7 +417,28 @@ pub(crate) fn process_shard(
     rec.bytes_read(worker, blob.len() as u64);
     let t_decompress = rec.begin();
     let a_decompress = rec.alloc_begin();
-    let decompressed = codec.decompress(&blob);
+    // Uncompressed shards skip materialization entirely: the store
+    // blob *is* the frame, and samples decoded from it alias its
+    // refcounted allocation. Compressed shards inflate into pooled
+    // scratch (when a pool is attached), then seal one shared frame.
+    let decompressed: Result<Bytes, presto_codecs::CodecError> = match codec {
+        Codec::None => Ok(blob),
+        _ => match pool {
+            Some(pool) => {
+                let (mut scratch, hit) = pool.get_bytes(blob.len().saturating_mul(3));
+                if hit {
+                    rec.pool_hits(1);
+                } else {
+                    rec.pool_misses(1);
+                }
+                let inflated = codec.decompress_into(&blob, &mut scratch);
+                let sealed = inflated.map(|()| Bytes::copy_from_slice(&scratch));
+                pool.put_bytes(scratch);
+                sealed
+            }
+            None => codec.decompress(&blob).map(Bytes::from),
+        },
+    };
     if let Some(scope) = a_decompress {
         rec.alloc_done(PHASE_DECOMPRESS, scope);
     }
@@ -437,7 +460,10 @@ pub(crate) fn process_shard(
         }
     };
     rec.bytes_decoded(framed.len() as u64);
-    rec.buffer_allocs(1); // one fresh frame buffer per shard
+    match codec {
+        Codec::None => rec.buffer_reuses(1), // store blob reused as the frame
+        _ => rec.buffer_allocs(1),           // one fresh frame buffer per shard
+    }
     let mut reader = RecordReader::new(&framed);
     while let Some(record) = reader.next() {
         let record = match record {
@@ -454,7 +480,9 @@ pub(crate) fn process_shard(
         };
         let t_decode = rec.begin();
         let a_decode = rec.alloc_begin();
-        let decoded = Sample::decode(record);
+        // Zero-copy decode: Bytes/Tensors payloads become views into
+        // the shared frame instead of per-sample heap copies.
+        let decoded = Sample::decode_shared(&framed, record);
         if let Some(scope) = a_decode {
             rec.alloc_done(PHASE_DECODE, scope);
         }
@@ -464,8 +492,12 @@ pub(crate) fn process_shard(
                 plan.after_phase(PHASE_DECODE, t0.elapsed());
             }
         }
-        let processed = decoded.and_then(|mut sample| {
-            rec.buffer_allocs(1); // one fresh sample buffer per decode
+        let processed = decoded.and_then(|(mut sample, shared)| {
+            if shared {
+                rec.buffer_reuses(1); // payload aliases the frame
+            } else {
+                rec.buffer_allocs(1); // in-memory-only payload: copied
+            }
             for (idx, (name, step)) in steps.iter().enumerate() {
                 let t_step = rec.begin();
                 let a_step = rec.alloc_begin();
@@ -507,6 +539,9 @@ pub struct RealExecutor {
     pub threads: usize,
     telemetry: Option<Arc<Telemetry>>,
     delay: Option<Arc<DelayPlan>>,
+    bundle_size: usize,
+    pooling: bool,
+    pool: Arc<BufferPool>,
 }
 
 impl RealExecutor {
@@ -517,6 +552,45 @@ impl RealExecutor {
             threads,
             telemetry: None,
             delay: None,
+            bundle_size: DEFAULT_BUNDLE_SIZE,
+            pooling: true,
+            pool: Arc::new(BufferPool::new()),
+        }
+    }
+
+    /// Set the streaming hand-off batch size (`--bundle-size`): how
+    /// many finished samples ride in one [`SampleBundle`] through the
+    /// prefetch ring. 1 restores per-sample hand-off.
+    pub fn with_bundle_size(mut self, samples: usize) -> Self {
+        self.bundle_size = samples.max(1);
+        self
+    }
+
+    /// The streaming hand-off batch size.
+    pub fn bundle_size(&self) -> usize {
+        self.bundle_size
+    }
+
+    /// Enable or disable buffer pooling (`--pool`): recycling bundle
+    /// containers and decompress scratch across shards and epochs.
+    /// Enabled by default.
+    pub fn with_pooling(mut self, enabled: bool) -> Self {
+        self.pooling = enabled;
+        self
+    }
+
+    /// True when buffer pooling is enabled.
+    pub fn pooling(&self) -> bool {
+        self.pooling
+    }
+
+    /// The executor's buffer pool (shared across epochs), or `None`
+    /// when pooling is disabled.
+    fn pool_ref(&self) -> Option<&BufferPool> {
+        if self.pooling {
+            Some(&self.pool)
+        } else {
+            None
         }
     }
 
@@ -816,6 +890,7 @@ impl RealExecutor {
                             epoch_seed,
                             bytes_read,
                             delay,
+                            self.pool_ref(),
                             &mut deliver,
                         ) {
                             Ok(true) => {}
@@ -859,12 +934,19 @@ impl RealExecutor {
 }
 
 /// A running, prefetching epoch: worker threads decode shards into a
-/// bounded channel (the `tf.data` prefetch buffer) while the caller
-/// consumes at its own pace; back-pressure applies when the buffer
-/// fills. Iterate to receive samples; [`EpochStream::join`] afterwards
-/// for the stats.
+/// bounded sharded ring (the `tf.data` prefetch buffer) while the
+/// caller consumes at its own pace; back-pressure applies when a
+/// worker's lane fills. Hand-off is batched: workers deliver
+/// [`SampleBundle`]s, the iterator unpacks them one sample at a time.
+/// Iterate to receive samples; [`EpochStream::join`] afterwards for
+/// the stats.
 pub struct EpochStream {
-    receiver: crossbeam::channel::Receiver<Result<Sample, PipelineError>>,
+    receiver: dataplane::RingReceiver<Result<SampleBundle, PipelineError>>,
+    /// Samples of the bundle being drained, in reverse order so `pop`
+    /// yields them FIFO.
+    pending: Vec<Sample>,
+    pool: Arc<BufferPool>,
+    pooling: bool,
     handles: Vec<std::thread::JoinHandle<()>>,
     bytes_read: Arc<AtomicU64>,
     counters: Arc<FaultCounters>,
@@ -872,9 +954,9 @@ pub struct EpochStream {
     started: Instant,
     failed: Option<PipelineError>,
     recorder: Arc<EpochRecorder>,
-    /// Samples sent but not yet received — the observed prefetch-queue
-    /// depth. Tracked here (not via the channel) so the gauge works
-    /// with any channel implementation.
+    /// Bundles sent but not yet received — the observed prefetch-ring
+    /// depth, in hand-off units. Tracked here (not via the ring) so
+    /// the gauge works with any queue implementation.
     in_flight: Arc<AtomicU64>,
 }
 
@@ -882,19 +964,32 @@ impl Iterator for EpochStream {
     type Item = Result<Sample, PipelineError>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        match self.receiver.recv() {
-            Ok(Ok(sample)) => {
+        loop {
+            if let Some(sample) = self.pending.pop() {
                 self.samples += 1;
-                self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                Some(Ok(sample))
+                return Some(Ok(sample));
             }
-            Ok(Err(e)) => {
-                if self.failed.is_none() {
-                    self.failed = Some(e.clone());
+            match self.receiver.recv() {
+                Some(Ok(bundle)) => {
+                    self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    // Swap the drained container for the fresh bundle
+                    // and recycle it back to the producers' pool.
+                    let drained = std::mem::replace(&mut self.pending, bundle.samples);
+                    if self.pooling {
+                        self.pool.put_bundle(drained);
+                    }
+                    self.pending.reverse();
+                    // Workers never send empty bundles, so this loops
+                    // at most once per received bundle.
                 }
-                Some(Err(e))
+                Some(Err(e)) => {
+                    if self.failed.is_none() {
+                        self.failed = Some(e.clone());
+                    }
+                    return Some(Err(e));
+                }
+                None => return None, // all workers done
             }
-            Err(_) => None, // all workers done
         }
     }
 }
@@ -941,6 +1036,100 @@ impl EpochStream {
     }
 }
 
+/// Per-worker bundling state for the streaming engine: accumulates
+/// finished samples and flushes them as one [`SampleBundle`] hand-off
+/// when the bundle fills, at shard boundaries, and before a fatal
+/// error — so a bundle never spans shards and nothing produced is
+/// lost.
+struct BundleFlusher<'a> {
+    sender: dataplane::RingSender<Result<SampleBundle, PipelineError>>,
+    bundle: Vec<Sample>,
+    bundle_cap: usize,
+    pool: Option<&'a BufferPool>,
+    rec: &'a EpochRecorder,
+    in_flight: &'a AtomicU64,
+    capacity: usize,
+    worker: usize,
+    delay: Option<&'a DelayPlan>,
+}
+
+impl BundleFlusher<'_> {
+    /// A bundle container, pool-recycled when pooling is on.
+    fn acquire(pool: Option<&BufferPool>, cap: usize, rec: &EpochRecorder) -> Vec<Sample> {
+        match pool {
+            Some(pool) => {
+                let (container, hit) = pool.get_bundle(cap);
+                if hit {
+                    rec.pool_hits(1);
+                } else {
+                    rec.pool_misses(1);
+                }
+                container
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    fn push(&mut self, sample: Sample) -> Deliver {
+        self.bundle.push(sample);
+        if self.bundle.len() >= self.bundle_cap {
+            self.flush()
+        } else {
+            Deliver::Delivered
+        }
+    }
+
+    fn flush(&mut self) -> Deliver {
+        if self.bundle.is_empty() {
+            return Deliver::Delivered;
+        }
+        let fresh = Self::acquire(self.pool, self.bundle_cap, self.rec);
+        let full = std::mem::replace(&mut self.bundle, fresh);
+        // Count before sending so the consumer's decrement can never
+        // observe a counted bundle it has not been charged for.
+        // Producers blocked in `send` still increment first, so the
+        // raw counter can transiently exceed the ring bound; clamp
+        // the *recorded* depth at capacity — a blocked producer is a
+        // full queue, not a deeper one.
+        let depth = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.rec.queue_depth((depth as usize).min(self.capacity));
+        self.rec.bundles(1);
+        // A send that finds lane room is pure hand-off; one that has
+        // to block is queue-wait — and every individual blocked wait
+        // becomes its own span, so skew diagnosis sees each
+        // backpressure episode instead of one coalesced wait.
+        let t0 = self.rec.begin();
+        match self.sender.try_send(Ok(SampleBundle::from_container(full))) {
+            Ok(()) => {
+                if let Some(t0) = t0 {
+                    self.rec.phase_done(self.worker, PHASE_HANDOFF, t0);
+                    if let Some(plan) = self.delay {
+                        plan.after_phase(PHASE_HANDOFF, t0.elapsed());
+                    }
+                }
+                Deliver::Delivered
+            }
+            Err(dataplane::TrySendError::Full(item)) => {
+                let rec = self.rec;
+                let worker = self.worker;
+                match self.sender.send(item, &mut |wait_started| {
+                    rec.phase_done(worker, PHASE_QUEUE_WAIT, wait_started);
+                }) {
+                    Ok(()) => Deliver::Delivered,
+                    Err(dataplane::RingClosed(_)) => Deliver::Stop, // consumer hung up
+                }
+            }
+            Err(dataplane::TrySendError::Closed(_)) => Deliver::Stop, // consumer hung up
+        }
+    }
+
+    /// Deliver whatever was already produced, then the fatal error.
+    fn fail(&mut self, fatal: PipelineError) {
+        let _ = self.flush();
+        let _ = self.sender.send(Err(fatal), &mut |_| {});
+    }
+}
+
 impl RealExecutor {
     /// Streaming epoch with default [`Resilience`] (fail fast).
     pub fn stream_epoch(
@@ -978,15 +1167,21 @@ impl RealExecutor {
         resilience: Resilience,
     ) -> Result<EpochStream, PipelineError> {
         let steps = executable_steps(pipeline, dataset.split)?;
-        let (sender, receiver) = crossbeam::channel::bounded(prefetch.max(1));
+        let capacity = prefetch.max(1);
+        // One single-producer lane per worker; total ring capacity
+        // rounds `prefetch` up to a lane multiple so no worker gets a
+        // zero-capacity lane.
+        let lane_capacity = capacity.div_ceil(self.threads.max(1)).max(1);
+        let (senders, receiver) = dataplane::ring(self.threads, lane_capacity);
         let bytes_read = Arc::new(AtomicU64::new(0));
         let counters = Arc::new(FaultCounters::default());
-        let rec = self.epoch_recorder(pipeline, dataset.split, prefetch.max(1));
+        let rec = self.epoch_recorder(pipeline, dataset.split, capacity);
         rec.set_epoch_seed(epoch_seed);
         let in_flight = Arc::new(AtomicU64::new(0));
+        let bundle_cap = self.bundle_size.max(1);
+        let pooling = self.pooling;
         let mut handles = Vec::with_capacity(self.threads);
-        for worker in 0..self.threads {
-            let sender = sender.clone();
+        for (worker, sender) in senders.into_iter().enumerate() {
             let steps = steps.clone();
             let store = Arc::clone(&store);
             let bytes_read = Arc::clone(&bytes_read);
@@ -995,6 +1190,7 @@ impl RealExecutor {
             let rec = Arc::clone(&rec);
             let in_flight = Arc::clone(&in_flight);
             let delay = self.delay.clone();
+            let pool = Arc::clone(&self.pool);
             let shards: Vec<String> = dataset
                 .shards
                 .iter()
@@ -1003,46 +1199,21 @@ impl RealExecutor {
                 .cloned()
                 .collect();
             let codec = dataset.codec;
-            let capacity = prefetch.max(1);
             handles.push(std::thread::spawn(move || {
-                let mut deliver = |sample: Sample| {
-                    // Count before sending so the consumer's decrement
-                    // can never observe a counted sample it has not
-                    // been charged for. Producers blocked in `send`
-                    // still increment first, so the raw counter can
-                    // transiently exceed the channel bound; clamp the
-                    // *recorded* depth at capacity — a blocked producer
-                    // is a full queue, not a deeper one.
-                    let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
-                    rec.queue_depth((depth as usize).min(capacity));
-                    // A send that finds room is pure hand-off; one that
-                    // has to block on the full channel is queue-wait —
-                    // the backpressure signal, measured directly.
-                    let t0 = rec.begin();
-                    match sender.try_send(Ok(sample)) {
-                        Ok(()) => {
-                            if let Some(t0) = t0 {
-                                rec.phase_done(worker, PHASE_HANDOFF, t0);
-                                if let Some(plan) = delay.as_deref() {
-                                    plan.after_phase(PHASE_HANDOFF, t0.elapsed());
-                                }
-                            }
-                        }
-                        Err(crossbeam::channel::TrySendError::Full(item)) => {
-                            if sender.send(item).is_err() {
-                                return Deliver::Stop; // consumer hung up
-                            }
-                            if let Some(t0) = t0 {
-                                rec.phase_done(worker, PHASE_QUEUE_WAIT, t0);
-                            }
-                        }
-                        Err(crossbeam::channel::TrySendError::Disconnected(_)) => {
-                            return Deliver::Stop; // consumer hung up
-                        }
-                    }
-                    Deliver::Delivered
+                let pool_ref = if pooling { Some(&*pool) } else { None };
+                let mut flusher = BundleFlusher {
+                    bundle: BundleFlusher::acquire(pool_ref, bundle_cap, &rec),
+                    sender,
+                    bundle_cap,
+                    pool: pool_ref,
+                    rec: &rec,
+                    in_flight: &in_flight,
+                    capacity,
+                    worker,
+                    delay: delay.as_deref(),
                 };
                 for shard_name in shards {
+                    let mut deliver = |sample: Sample| flusher.push(sample);
                     match process_shard(
                         store.as_ref(),
                         &shard_name,
@@ -1055,21 +1226,31 @@ impl RealExecutor {
                         epoch_seed,
                         &bytes_read,
                         delay.as_deref(),
+                        pool_ref,
                         &mut deliver,
                     ) {
-                        Ok(true) => {}
+                        Ok(true) => {
+                            // Bundles never span shards: flush at the
+                            // boundary so consumers see whole-shard
+                            // sample runs regardless of bundle size.
+                            if matches!(flusher.flush(), Deliver::Stop) {
+                                return;
+                            }
+                        }
                         Ok(false) => return,
                         Err(fatal) => {
-                            let _ = sender.send(Err(fatal));
+                            flusher.fail(fatal);
                             return;
                         }
                     }
                 }
             }));
         }
-        drop(sender);
         Ok(EpochStream {
             receiver,
+            pending: Vec::new(),
+            pool: Arc::clone(&self.pool),
+            pooling,
             handles,
             bytes_read,
             counters,

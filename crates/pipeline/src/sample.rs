@@ -137,6 +137,26 @@ impl Sample {
 
     /// Inverse of [`Sample::encode`].
     pub fn decode(data: &[u8]) -> Result<Sample, crate::PipelineError> {
+        Self::decode_inner(data, None).map(|(sample, _)| sample)
+    }
+
+    /// Zero-copy variant of [`Sample::decode`] for the streaming hot
+    /// path: `record` must be a subslice of `frame` (a shard's framed
+    /// bytes), and `Bytes`/`Tensors` payloads become reference-counted
+    /// views into `frame` instead of fresh copies. Returns the sample
+    /// and whether its payload aliases the frame (`true`) or had to be
+    /// copied anyway (the in-memory-only payload kinds).
+    pub fn decode_shared(
+        frame: &Bytes,
+        record: &[u8],
+    ) -> Result<(Sample, bool), crate::PipelineError> {
+        Self::decode_inner(record, Some(frame))
+    }
+
+    fn decode_inner(
+        data: &[u8],
+        frame: Option<&Bytes>,
+    ) -> Result<(Sample, bool), crate::PipelineError> {
         use crate::PipelineError as E;
         if data.len() < 9 {
             return Err(E::Decode("sample too short".into()));
@@ -144,8 +164,15 @@ impl Sample {
         let key = u64::from_le_bytes(data[0..8].try_into().unwrap());
         let tag = data[8];
         let body = &data[9..];
+        let mut shared = false;
         let payload = match tag {
-            0 => Payload::Bytes(Bytes::copy_from_slice(body)),
+            0 => Payload::Bytes(match frame {
+                Some(frame) => {
+                    shared = true;
+                    frame.slice_ref(body)
+                }
+                None => Bytes::copy_from_slice(body),
+            }),
             1 => {
                 if body.is_empty() {
                     return Err(E::Decode("missing tensor count".into()));
@@ -154,11 +181,17 @@ impl Sample {
                 let mut tensors = Vec::with_capacity(count);
                 let mut pos = 1;
                 for _ in 0..count {
-                    let (tensor, used) =
-                        Tensor::decode(&body[pos..]).map_err(|e| E::Decode(e.to_string()))?;
+                    let (tensor, used) = match frame {
+                        Some(frame) => Tensor::decode_shared(frame, &body[pos..])
+                            .map_err(|e| E::Decode(e.to_string()))?,
+                        None => {
+                            Tensor::decode(&body[pos..]).map_err(|e| E::Decode(e.to_string()))?
+                        }
+                    };
                     tensors.push(tensor);
                     pos += used;
                 }
+                shared = frame.is_some();
                 Payload::Tensors(tensors)
             }
             2 => Payload::Text(
@@ -217,7 +250,7 @@ impl Sample {
             }
             _ => return Err(E::Decode(format!("unknown payload tag {tag}"))),
         };
-        Ok(Sample { key, payload })
+        Ok((Sample { key, payload }, shared))
     }
 }
 
@@ -288,6 +321,32 @@ mod tests {
             let decoded = Sample::decode(&encoded).unwrap();
             assert_eq!(decoded, sample);
         }
+    }
+
+    #[test]
+    fn decode_shared_aliases_frame_for_bytes_and_tensors() {
+        let samples = vec![
+            Sample::from_bytes(1, vec![7u8; 32]),
+            Sample::from_tensors(
+                2,
+                vec![Tensor::from_vec(vec![4], vec![1.0f32, 2.0, 3.0, 4.0]).unwrap()],
+            ),
+        ];
+        for sample in samples {
+            let frame = Bytes::from(sample.encode());
+            let (decoded, shared) = Sample::decode_shared(&frame, &frame).unwrap();
+            assert_eq!(decoded, sample);
+            assert!(shared, "bytes/tensor payloads must alias the frame");
+        }
+        // In-memory-only kinds still decode, just not zero-copy.
+        let text = Sample {
+            key: 3,
+            payload: Payload::Text("hi".into()),
+        };
+        let frame = Bytes::from(text.encode());
+        let (decoded, shared) = Sample::decode_shared(&frame, &frame).unwrap();
+        assert_eq!(decoded, text);
+        assert!(!shared);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 //! epoch still delivers the exact same sample multiset — which
 //! [`MultisetChecksum`] proves, order-insensitively.
 
+use crate::dataplane::BufferPool;
 use crate::error::PipelineError;
 use crate::fault::{FaultCounters, FaultPolicy, Resilience, RetryPolicy};
 use crate::pipeline::Pipeline;
@@ -771,6 +772,11 @@ struct WorkerShared {
     config: ServeWorkerConfig,
     batches_sent: AtomicU64,
     stop: AtomicBool,
+    /// Scratch recycling for the serve-side data plane: decompress
+    /// scratch inside [`process_shard`] and wire-encode blocks in
+    /// [`serve_assignment`] both draw from here, so steady-state
+    /// assignments allocate ~nothing per sample.
+    pool: BufferPool,
     /// One assignment at a time: the worker models a fixed-capacity
     /// preprocessing node, so concurrent clients share its capacity
     /// instead of multiplying it (this is what makes measured fan-out
@@ -855,6 +861,7 @@ impl ServeWorker {
             config,
             batches_sent: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            pool: BufferPool::new(),
             work_lock: Mutex::new(()),
             conns: Mutex::new(Vec::new()),
             gates: Mutex::new(Vec::new()),
@@ -1107,8 +1114,16 @@ fn serve_assignment(
     let mut delivered = 0u64;
     let mut batches = 0u64;
     let mut produce_ns = 0u64;
+    // Shard sample container recycled across the whole assignment:
+    // after the first shard, pushes land in already-grown capacity.
+    let (mut samples, hit) = shared.pool.get_bundle(0);
+    if hit {
+        rec.pool_hits(1);
+    } else {
+        rec.pool_misses(1);
+    }
     for (index, shard_name) in shards.iter().enumerate() {
-        let mut samples: Vec<Sample> = Vec::new();
+        samples.clear();
         let mut deliver = |sample: Sample| {
             let t0 = rec.begin();
             samples.push(sample);
@@ -1130,6 +1145,7 @@ fn serve_assignment(
             epoch_seed,
             &bytes_read,
             None,
+            Some(&shared.pool),
             &mut deliver,
         );
         produce_ns += t_produce.elapsed().as_nanos() as u64;
@@ -1156,11 +1172,22 @@ fn serve_assignment(
                 std::thread::sleep(shared.config.batch_pace);
                 produce_ns += t_pace.elapsed().as_nanos() as u64;
             }
-            let mut block = RecordWriter::new();
+            // Encode scratch comes from the pool; `finish` hands the
+            // allocation to the frame, so the recycled win is the
+            // record-framing growth, not the final block itself.
+            let (scratch, hit) = shared.pool.get_bytes(0);
+            if hit {
+                rec.pool_hits(1);
+            } else {
+                rec.pool_misses(1);
+            }
+            let mut block = RecordWriter::with_buffer(scratch);
             for sample in chunk {
                 block.write(&sample.encode());
             }
-            let block = shared.config.wire_codec.compress(&block.finish());
+            let encoded = block.finish();
+            let block = shared.config.wire_codec.compress(&encoded);
+            shared.pool.put_bytes(encoded);
             let codec = wire_codec_tag(shared.config.wire_codec);
             let count = chunk.len() as u32;
             let shard = index as u32;
@@ -1204,6 +1231,7 @@ fn serve_assignment(
             },
         )?;
     }
+    shared.pool.put_bundle(samples);
     let (retries, skipped, lost) = counters.snapshot();
     rec.finish(
         started.elapsed(),

@@ -227,6 +227,22 @@ pub fn parse_telemetry_snapshot(input: &str) -> Result<TelemetrySnapshot, String
             max_depth: queue.require_f64("max_depth")? as u64,
             mean_depth: queue.require_f64("mean_depth")?,
         },
+        // Optional section: documents exported before batched delivery
+        // have no data_plane object and parse as all-zero.
+        data_plane: match doc.get("data_plane") {
+            Some(dp) => crate::DataPlaneSnapshot {
+                bundles: dp.get("bundles").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+                pool_hits: dp
+                    .get("pool_hits")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64,
+                pool_misses: dp
+                    .get("pool_misses")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64,
+            },
+            None => crate::DataPlaneSnapshot::default(),
+        },
         spans: Vec::new(),
         dropped_spans: doc
             .get("dropped_spans")

@@ -229,6 +229,33 @@ pub fn prometheus(snapshot: &TelemetrySnapshot) -> String {
     );
     let _ = writeln!(out, "# TYPE presto_queue_capacity gauge");
     let _ = writeln!(out, "presto_queue_capacity {}", snapshot.queue.capacity);
+
+    let _ = writeln!(
+        out,
+        "# HELP presto_bundles_total Sample bundles handed to the prefetch ring."
+    );
+    let _ = writeln!(out, "# TYPE presto_bundles_total counter");
+    let _ = writeln!(out, "presto_bundles_total {}", snapshot.data_plane.bundles);
+    let _ = writeln!(
+        out,
+        "# HELP presto_pool_hits_total Scratch buffers served from the buffer pool."
+    );
+    let _ = writeln!(out, "# TYPE presto_pool_hits_total counter");
+    let _ = writeln!(
+        out,
+        "presto_pool_hits_total {}",
+        snapshot.data_plane.pool_hits
+    );
+    let _ = writeln!(
+        out,
+        "# HELP presto_pool_misses_total Buffer-pool requests that allocated fresh."
+    );
+    let _ = writeln!(out, "# TYPE presto_pool_misses_total counter");
+    let _ = writeln!(
+        out,
+        "presto_pool_misses_total {}",
+        snapshot.data_plane.pool_misses
+    );
     out
 }
 
@@ -532,6 +559,11 @@ pub fn json_with_mode(snapshot: &TelemetrySnapshot, mode: Option<&str>) -> Strin
         snapshot.queue.observations,
         snapshot.queue.max_depth,
         snapshot.queue.mean_depth
+    );
+    let _ = writeln!(
+        out,
+        "  \"data_plane\": {{\"bundles\": {}, \"pool_hits\": {}, \"pool_misses\": {}}},",
+        snapshot.data_plane.bundles, snapshot.data_plane.pool_hits, snapshot.data_plane.pool_misses
     );
     let _ = write!(out, "  \"dropped_spans\": {}\n}}\n", snapshot.dropped_spans);
     out

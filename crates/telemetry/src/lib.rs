@@ -240,6 +240,9 @@ pub struct EpochRecorder {
     alloc_slots: Vec<AllocSlot>,
     buffer_allocs: AtomicU64,
     buffer_reuses: AtomicU64,
+    bundles: AtomicU64,
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
     workers: Vec<WorkerSlot>,
     queue_capacity: u64,
     queue_observations: AtomicU64,
@@ -286,6 +289,9 @@ impl EpochRecorder {
             alloc_slots,
             buffer_allocs: AtomicU64::new(0),
             buffer_reuses: AtomicU64::new(0),
+            bundles: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
             workers: (0..workers).map(|_| WorkerSlot::default()).collect(),
             queue_capacity: queue_capacity as u64,
             queue_observations: AtomicU64::new(0),
@@ -404,6 +410,32 @@ impl EpochRecorder {
     pub fn buffer_reuses(&self, n: u64) {
         if self.enabled && n > 0 {
             self.buffer_reuses.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` sample bundles handed to the prefetch ring (each one
+    /// hand-off covering up to the engine's bundle size of samples).
+    #[inline]
+    pub fn bundles(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.bundles.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` scratch buffers served from the engine's buffer pool.
+    #[inline]
+    pub fn pool_hits(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.pool_hits.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Count `n` pool requests that had to allocate fresh (cold pool
+    /// or all shelves checked out).
+    #[inline]
+    pub fn pool_misses(&self, n: u64) {
+        if self.enabled && n > 0 {
+            self.pool_misses.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -618,6 +650,11 @@ impl EpochRecorder {
                 self.queue_depth_sum.load(Ordering::Relaxed) as f64 / observations as f64
             },
         };
+        let data_plane = DataPlaneSnapshot {
+            bundles: self.bundles.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
+        };
         TelemetrySnapshot {
             elapsed_ns,
             epoch_seed: self.epoch_seed.load(Ordering::Relaxed),
@@ -634,6 +671,7 @@ impl EpochRecorder {
             steps,
             workers,
             queue,
+            data_plane,
             spans,
             dropped_spans: self.spans_dropped.load(Ordering::Relaxed),
         }
@@ -1076,6 +1114,32 @@ pub struct QueueSnapshot {
     pub mean_depth: f64,
 }
 
+/// Batched data-plane activity over an epoch: how many sample bundles
+/// crossed the prefetch ring and how the engine's buffer pool fared.
+/// All-zero on engines that deliver unbatched (callback epochs, cache
+/// replays) or predate pooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DataPlaneSnapshot {
+    /// Sample bundles handed to the prefetch ring.
+    pub bundles: u64,
+    /// Scratch buffers served from the pool without allocating.
+    pub pool_hits: u64,
+    /// Pool requests that allocated fresh.
+    pub pool_misses: u64,
+}
+
+impl DataPlaneSnapshot {
+    /// Fraction of pool requests served without allocating, in
+    /// `[0, 1]` (0 when the pool was never asked).
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.pool_hits as f64 / total as f64
+    }
+}
+
 /// Everything one epoch recorded, as plain data — the input to every
 /// exporter and to real-run bottleneck diagnosis.
 #[derive(Debug, Clone, PartialEq)]
@@ -1112,6 +1176,8 @@ pub struct TelemetrySnapshot {
     pub workers: Vec<WorkerSnapshot>,
     /// Prefetch-queue depth statistics.
     pub queue: QueueSnapshot,
+    /// Batched-delivery and buffer-pool statistics.
+    pub data_plane: DataPlaneSnapshot,
     /// Timeline of worker × phase activity, sorted by start time.
     pub spans: Vec<SpanEvent>,
     /// Span events dropped after the per-epoch budget filled up.

@@ -447,6 +447,7 @@ mod tests {
                 max_depth: 4,
                 mean_depth: 2.0,
             },
+            data_plane: Default::default(),
             spans: Vec::new(),
             dropped_spans: 0,
         }

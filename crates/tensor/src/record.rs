@@ -62,6 +62,14 @@ impl RecordWriter {
         }
     }
 
+    /// Reuse an existing allocation (cleared first) instead of
+    /// growing a fresh one — the buffer-pool path for hot encode
+    /// loops.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        RecordWriter { buf, records: 0 }
+    }
+
     /// Append one record.
     pub fn write(&mut self, payload: &[u8]) {
         let len = payload.len() as u64;

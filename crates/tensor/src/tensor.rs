@@ -198,6 +198,20 @@ impl Tensor {
 
     /// Inverse of [`Tensor::encode`]; returns the tensor and the bytes consumed.
     pub fn decode(bytes: &[u8]) -> Result<(Tensor, usize), TensorError> {
+        Self::decode_inner(bytes, None)
+    }
+
+    /// Zero-copy variant of [`Tensor::decode`]: `bytes` must be a
+    /// subslice of `frame`, and the decoded tensor's storage becomes a
+    /// reference-counted view into `frame` instead of a fresh copy.
+    /// This is what makes steady-state per-sample decode allocations
+    /// ~0 on the streaming hot path — the shard frame is materialized
+    /// once and every tensor payload aliases it.
+    pub fn decode_shared(frame: &Bytes, bytes: &[u8]) -> Result<(Tensor, usize), TensorError> {
+        Self::decode_inner(bytes, Some(frame))
+    }
+
+    fn decode_inner(bytes: &[u8], frame: Option<&Bytes>) -> Result<(Tensor, usize), TensorError> {
         if bytes.len() < 2 {
             return Err(TensorError::Corrupt("short header"));
         }
@@ -224,15 +238,12 @@ impl Tensor {
         if bytes.len() < header + data_len {
             return Err(TensorError::Corrupt("truncated data"));
         }
-        let data = bytes[header..header + data_len].to_vec();
-        Ok((
-            Tensor {
-                dtype,
-                shape,
-                data: Bytes::from(data),
-            },
-            header + data_len,
-        ))
+        let payload = &bytes[header..header + data_len];
+        let data = match frame {
+            Some(frame) => frame.slice_ref(payload),
+            None => Bytes::from(payload.to_vec()),
+        };
+        Ok((Tensor { dtype, shape, data }, header + data_len))
     }
 }
 
@@ -326,6 +337,18 @@ mod tests {
         for (tensor, expected) in cases {
             assert_eq!(tensor.iter_f64().collect::<Vec<_>>(), expected);
         }
+    }
+
+    #[test]
+    fn decode_shared_aliases_the_frame() {
+        let t = Tensor::from_vec(vec![4], vec![1.5f32, -2.0, 0.25, 9.0]).unwrap();
+        let frame = Bytes::from(t.encode());
+        let (decoded, used) = Tensor::decode_shared(&frame, &frame).unwrap();
+        assert_eq!(used, frame.len());
+        assert_eq!(decoded, t);
+        // Zero-copy: the tensor's storage points into the frame buffer.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(decoded.bytes().as_ptr() as usize)));
     }
 
     #[test]

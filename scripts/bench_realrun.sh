@@ -41,3 +41,16 @@ if [ "$max_depth" -gt "$capacity" ]; then
     exit 1
 fi
 echo "queue depth gauge: max $max_depth <= capacity $capacity"
+
+# Absolute throughput floor: PRESTO_REALRUN_SPS_GATE (samples/second)
+# fails the run outright when the engine falls below it. CI pins this
+# to the batched-data-plane level so the deliver bottleneck cannot
+# silently come back.
+if [ -n "${PRESTO_REALRUN_SPS_GATE:-}" ]; then
+    sps="$(grep -o '"samples_per_second": [0-9.]*' "$out" | head -1 | grep -o '[0-9.]*$')"
+    if awk -v s="$sps" -v g="$PRESTO_REALRUN_SPS_GATE" 'BEGIN { exit !(s < g) }'; then
+        echo "FAIL: $sps samples/s is below the gate $PRESTO_REALRUN_SPS_GATE" >&2
+        exit 1
+    fi
+    echo "throughput gate: $sps samples/s >= $PRESTO_REALRUN_SPS_GATE"
+fi

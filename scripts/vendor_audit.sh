@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Vendor audit: every crate under vendor/ must be resolved by
+# Cargo.lock at exactly the version its Cargo.toml declares. A
+# mismatch means the workspace silently resolved a different copy
+# (or the lockfile was hand-edited) — fail loudly instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for manifest in vendor/*/Cargo.toml; do
+    name="$(sed -n 's/^name = "\(.*\)"$/\1/p' "$manifest" | head -1)"
+    version="$(sed -n 's/^version = "\(.*\)"$/\1/p' "$manifest" | head -1)"
+    if [ -z "$name" ] || [ -z "$version" ]; then
+        echo "FAIL: $manifest has no parsable name/version" >&2
+        fail=1
+        continue
+    fi
+    # The lockfile entry for this crate, if any.
+    locked="$(awk -v crate="$name" '
+        $0 == "name = \"" crate "\"" { grab = 1; next }
+        grab && /^version = / { gsub(/version = |"/, ""); print; exit }
+    ' Cargo.lock)"
+    if [ -z "$locked" ]; then
+        echo "FAIL: vendored crate '$name' is not in Cargo.lock" >&2
+        fail=1
+    elif [ "$locked" != "$version" ]; then
+        echo "FAIL: '$name' vendored at $version but locked at $locked" >&2
+        fail=1
+    else
+        echo "ok: $name $version"
+    fi
+done
+exit "$fail"

@@ -1,0 +1,95 @@
+//! Temporary perf probe (ignored): isolates where epoch wall time goes.
+//! Run with: cargo test --release -p presto-integration-tests --test perf_probe -- --ignored --nocapture
+
+use presto_datasets::{generators, steps};
+use presto_formats::image::jpg;
+use presto_pipeline::real::{MemStore, RealExecutor};
+use presto_pipeline::{Sample, Strategy, Telemetry};
+use std::sync::Arc;
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn probe() {
+    let samples = 64u64;
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..samples)
+        .map(|key| {
+            let img = generators::natural_image(96, 96, key);
+            Sample::from_bytes(key, jpg::encode(&img, 85))
+        })
+        .collect();
+    let strategy = Strategy::at_split(pipeline.max_split()).with_threads(1);
+    let exec = RealExecutor::new(1);
+    let store = Arc::new(MemStore::new());
+    let t0 = Instant::now();
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .unwrap();
+    println!("materialize: {:.2?}", t0.elapsed());
+    println!("shards: {}", dataset.shards.len());
+
+    // A: callback engine, no telemetry, 1 thread.
+    for _ in 0..2 {
+        let t = Instant::now();
+        let n = std::sync::atomic::AtomicU64::new(0);
+        exec.epoch(&pipeline, &dataset, store.as_ref(), None, 2, |_s| {
+            n.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        })
+        .unwrap();
+        println!(
+            "epoch_with cb, no telem, 1t: {:.2?} ({} samples)",
+            t.elapsed(),
+            n.load(std::sync::atomic::Ordering::Relaxed)
+        );
+    }
+
+    // B: stream engine, no telemetry, 1 thread.
+    for _ in 0..2 {
+        let t = Instant::now();
+        let mut stream = exec
+            .stream_epoch(&pipeline, &dataset, Arc::clone(&store) as _, 16, 2)
+            .unwrap();
+        let mut n = 0u64;
+        for r in &mut stream {
+            r.unwrap();
+            n += 1;
+        }
+        stream.join().unwrap();
+        println!("stream, no telem, 1t: {:.2?} ({n} samples)", t.elapsed());
+    }
+
+    // C: stream engine, telemetry, 1 thread.
+    let telemetry = Telemetry::new();
+    let exec_t = RealExecutor::new(1).with_telemetry(Arc::clone(&telemetry));
+    for _ in 0..2 {
+        let t = Instant::now();
+        let mut stream = exec_t
+            .stream_epoch(&pipeline, &dataset, Arc::clone(&store) as _, 16, 2)
+            .unwrap();
+        let mut n = 0u64;
+        for r in &mut stream {
+            r.unwrap();
+            n += 1;
+        }
+        stream.join().unwrap();
+        println!("stream, telem, 1t: {:.2?} ({n} samples)", t.elapsed());
+    }
+
+    // D: stream engine, telemetry, 4 threads.
+    let telemetry4 = Telemetry::new();
+    let exec4 = RealExecutor::new(4).with_telemetry(Arc::clone(&telemetry4));
+    for _ in 0..2 {
+        let t = Instant::now();
+        let mut stream = exec4
+            .stream_epoch(&pipeline, &dataset, Arc::clone(&store) as _, 16, 2)
+            .unwrap();
+        let mut n = 0u64;
+        for r in &mut stream {
+            r.unwrap();
+            n += 1;
+        }
+        stream.join().unwrap();
+        println!("stream, telem, 4t: {:.2?} ({n} samples)", t.elapsed());
+    }
+}

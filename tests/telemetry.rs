@@ -222,9 +222,17 @@ fn streaming_epoch_records_queue_depth_and_spans() {
 
     assert_eq!(snapshot.samples, stats.samples);
     assert_eq!(snapshot.queue.capacity, 4);
+    // Hand-off is bundled: one observation per bundle send, not per
+    // sample. 6 shards of 4 samples under the default bundle size
+    // flush exactly once per shard boundary.
     assert_eq!(
-        snapshot.queue.observations, stats.samples,
-        "one observation per send"
+        snapshot.data_plane.bundles, snapshot.queue.observations,
+        "one observation per bundle send"
+    );
+    assert_eq!(snapshot.data_plane.bundles, 6, "one bundle per shard");
+    assert!(
+        snapshot.queue.observations < stats.samples,
+        "bundling amortizes sends below one per sample"
     );
     assert!(snapshot.queue.max_depth >= 1);
     assert!(snapshot.queue.mean_depth > 0.0);

@@ -1,63 +1,112 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Vendors the subset of the `Bytes` API this workspace uses: an
-//! immutable, cheaply-cloneable byte buffer (`Arc<[u8]>` under the
-//! hood) with `From<Vec<u8>>`, `copy_from_slice`, `Deref` to `[u8]`,
-//! equality, hashing and iteration. Slicing views (`slice`,
-//! `split_off`) are not needed by the workspace and are omitted.
+//! immutable, cheaply-cloneable byte buffer (`Arc<[u8]>` plus an
+//! offset/length window) with `From<Vec<u8>>`, `copy_from_slice`,
+//! `Deref` to `[u8]`, equality, hashing, iteration and zero-copy
+//! subslice views (`slice`, `slice_ref`) — the views are what let the
+//! streaming engine decode samples without copying shard frames.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply-cloneable immutable contiguous byte buffer.
+/// A cheaply-cloneable immutable contiguous byte buffer, possibly a
+/// window into a larger shared allocation.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::from_arc(Arc::from(&[][..]))
     }
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Copy a static slice (upstream borrows it zero-copy; the
     /// distinction is unobservable through this API subset).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// The contents as a plain `Vec`, copying.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
+    }
+
+    /// A zero-copy view of `range` within this buffer: the returned
+    /// `Bytes` shares the same allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// A zero-copy view corresponding to `subset`, which must be a
+    /// subslice of `self` (same allocation, in range) — this is the
+    /// upstream `bytes` contract. Panics otherwise.
+    pub fn slice_ref(&self, subset: &[u8]) -> Bytes {
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let self_start = self.as_ptr() as usize;
+        let sub_start = subset.as_ptr() as usize;
+        assert!(
+            sub_start >= self_start && sub_start + subset.len() <= self_start + self.len,
+            "slice_ref: subset is not a subslice of this Bytes"
+        );
+        let start = sub_start - self_start;
+        self.slice(start..start + subset.len())
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -71,25 +120,25 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self[..] == other[..]
     }
 }
 
@@ -97,26 +146,26 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self[..] == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self[..] == other[..]
     }
 }
 
 impl Hash for Bytes {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self[..].hash(state);
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -132,7 +181,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self[..].iter()
     }
 }
 
@@ -165,5 +214,44 @@ mod tests {
     fn debug_escapes() {
         let b = Bytes::copy_from_slice(b"a\x00");
         assert_eq!(format!("{b:?}"), "b\"a\\x00\"");
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_window() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        assert_eq!(mid.as_ptr(), b[2..].as_ptr(), "same allocation");
+        let nested = mid.slice(1..);
+        assert_eq!(&nested[..], &[3, 4]);
+        assert_eq!(b.slice(..).len(), 6);
+        assert_eq!(b.slice(6..6).len(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![1u8, 2]).slice(1..4);
+    }
+
+    #[test]
+    fn slice_ref_resolves_subslices() {
+        let b = Bytes::from(vec![9u8, 8, 7, 6, 5]);
+        let sub = &b[1..4];
+        let view = b.slice_ref(sub);
+        assert_eq!(&view[..], &[8, 7, 6]);
+        assert_eq!(view.as_ptr(), sub.as_ptr());
+        assert!(b.slice_ref(&[]).is_empty());
+        // A view of a view still resolves against the original window.
+        let inner = view.slice_ref(&view[1..]);
+        assert_eq!(&inner[..], &[7, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn slice_ref_foreign_slice_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let other = [1u8, 2, 3];
+        b.slice_ref(&other);
     }
 }
