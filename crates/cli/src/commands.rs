@@ -4,7 +4,7 @@ use crate::args::{parse, Args};
 use crate::render;
 use presto::cost::{cheapest, cheapest_feeding, cost_of, Campaign, CloudPricing};
 use presto::fleet::{
-    rank_policies, simulate, FleetConfig, FleetOutcome, FleetPolicy, FleetVerdict,
+    rank_policies, simulate, tenant_shares, FleetConfig, FleetOutcome, FleetPolicy, FleetVerdict,
 };
 use presto::report::{format_bytes, TableBuilder};
 use presto::{Presto, Weights};
@@ -17,7 +17,7 @@ use presto_pipeline::real::{
 };
 use presto_pipeline::serve::{
     serve_epoch, MultisetChecksum, ServeClientConfig, ServeReport, ServeWorker, ServeWorkerConfig,
-    PROTOCOL_VERSION,
+    TenantSpec, PROTOCOL_VERSION,
 };
 use presto_pipeline::sim::{EpochReport, SimEnv, Simulator, StrategyProfile};
 use presto_pipeline::telemetry::causal as telemetry_causal;
@@ -25,7 +25,9 @@ use presto_pipeline::telemetry::export as telemetry_export;
 use presto_pipeline::telemetry::fleet as telemetry_fleet;
 use presto_pipeline::telemetry::history::{self, RunStore};
 use presto_pipeline::telemetry::http::MetricsServer;
+use presto_pipeline::telemetry::tenants as telemetry_tenants;
 use presto_pipeline::telemetry::timeseries::{self, Sampler};
+use presto_pipeline::tenant::{AdmissionPolicy, FleetDaemon, FleetDaemonConfig};
 use presto_pipeline::{CacheLevel, FaultPolicy, Pipeline, Resilience, Sample, Strategy, Telemetry};
 use presto_storage::fio::{self, FioWorkload};
 use presto_storage::{DeviceProfile, Dstat, Nanos};
@@ -73,6 +75,8 @@ commands:
       [--sample-ms MS] [--run-secs S] [--proto-max V]
   train-client <pipeline>        consume one epoch from serve-workers
       --workers A,B,... [--samples N] [--split N] [--shards N] [--seed S]
+      [--tenant NAME] [--weight W] register as a multi-tenant job with
+      a fleetd daemon (REGISTER/ADMIT before ASSIGN)
       [--credits N] [--policy failfast|degrade] [--max-lost N]
       [--timeout-ms MS] [--connect-timeout-ms MS]
       [--reconnect-attempts N] [--reconnect-base-ms MS]
@@ -91,6 +95,14 @@ commands:
       [--epoch-hours H] [--rejoin-hours H] [--on-demand $/h]
       [--policy greedy-spot|on-demand-fallback|on-demand-only]
       [--fallback-after N] [--kill-log] [--json]
+      [--tenants N] layer N weighted jobs (weights 1..N) onto each
+      outcome via processor sharing and report per-job finish + share
+  fleetd                         multi-tenant scheduler daemon
+      --bind ADDR --backends A,B,... (running serve-workers)
+      [--max-jobs N] [--quota N] [--max-requeues N] [--credits N]
+      [--quantum N] [--max-inflight N] [--metrics ADDR] [--run-secs S]
+  tenants --attach ADDR          per-tenant status table scraped from a
+      fleetd /tenants.json endpoint [--json]
   sim-vs-real <pipeline>         fan-out model vs the real TCP service
       [--samples N] [--split N] [--shards N] [--jobs J] [--sim-samples N]
   chaos-proxy --upstream ADDR    deterministic fault-injecting TCP proxy
@@ -109,10 +121,12 @@ commands:
       [--wp W] [--ws W] [--wt W] [--ssd]
   history                        list runs stored in the history dir
       [--history-dir DIR] [--prune N] delete all but the newest N runs
+      [--mode real|serve] list only runs recorded in that mode
   compare <run-a> <run-b>        per-metric deltas + regression verdict
       [--noise F] [--fail F] [--fail-on-regression] [--history-dir DIR]
+      [--mode real|serve] refuse to compare runs from other modes
   validate <file>                check a document with presto's own parsers
-      --format json|prom|trace|timeseries|fleet|causal
+      --format json|prom|trace|timeseries|fleet|causal|tenants
   help                           this text";
 
 /// Dispatch a CLI invocation.
@@ -137,6 +151,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "train-client" => cmd_train_client(&args),
         "chaos-proxy" => cmd_chaos_proxy(&args),
         "trace" => cmd_trace(&args),
+        "fleetd" => cmd_fleetd(&args),
+        "tenants" => cmd_tenants(&args),
         "fleet-sim" => cmd_fleet_sim(&args),
         "sim-vs-real" => cmd_sim_vs_real(&args),
         "watch" => cmd_watch(&args),
@@ -1052,6 +1068,8 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         "shards",
         "batch",
         "seed",
+        "tenant",
+        "weight",
         "credits",
         "policy",
         "max-skip",
@@ -1113,6 +1131,15 @@ fn cmd_train_client(args: &Args) -> Result<(), String> {
         tracing,
         trace_id: args.get_or("trace-id", 0u64)?,
         max_version: args.get_or("proto-max", PROTOCOL_VERSION)?,
+        tenant: match args.get_str("tenant") {
+            Some(name) => Some(TenantSpec::new(name, args.get_or("weight", 1u32)?.max(1))),
+            None => {
+                if args.get_str("weight").is_some() {
+                    return Err("--weight needs --tenant NAME".into());
+                }
+                None
+            }
+        },
     };
 
     let telemetry = Telemetry::new();
@@ -1393,6 +1420,155 @@ fn fleet_verdict_name(verdict: FleetVerdict) -> &'static str {
     }
 }
 
+/// `presto fleetd`: the multi-tenant scheduler daemon. A pure relay —
+/// it holds no dataset of its own; `--backends` names running
+/// serve-workers and clients register weighted jobs against the
+/// daemon's admission policy with `train-client --tenant`.
+fn cmd_fleetd(args: &Args) -> Result<(), String> {
+    args.expect_known(&[
+        "bind",
+        "backends",
+        "max-jobs",
+        "quota",
+        "max-requeues",
+        "credits",
+        "quantum",
+        "max-inflight",
+        "metrics",
+        "sample-ms",
+        "run-secs",
+    ])?;
+    let bind = args
+        .get_str("bind")
+        .ok_or("missing --bind ADDR (use 127.0.0.1:0 for an ephemeral port)")?;
+    let backends: Vec<String> = args
+        .get_str("backends")
+        .ok_or("missing --backends A,B,... (serve-worker addresses)")?
+        .split(',')
+        .map(|w| w.trim().to_string())
+        .filter(|w| !w.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err("--backends lists no addresses".into());
+    }
+    let config = FleetDaemonConfig {
+        policy: AdmissionPolicy {
+            max_jobs: args.get_or("max-jobs", 8usize)?.max(1),
+            shard_quota: args.get_or("quota", 1024u32)?.max(1),
+            max_requeues: args.get_or("max-requeues", 16u64)?,
+        },
+        backend_credits: args.get_or("credits", 8u32)?.max(1),
+        quantum: args.get_or("quantum", 32u64)?.max(1),
+        max_inflight: args.get_or("max-inflight", 2usize)?.max(1),
+        ..FleetDaemonConfig::default()
+    };
+    let telemetry = Telemetry::new();
+    let sample_ms = args.get_or("sample-ms", 200u64)?;
+    let _observability = match args.get_str("metrics") {
+        Some(addr) => {
+            let sampler = Sampler::spawn(
+                Arc::clone(&telemetry),
+                Duration::from_millis(sample_ms.max(1)),
+                timeseries::DEFAULT_RING_CAPACITY,
+            );
+            let server = MetricsServer::serve(addr, Arc::clone(&telemetry), sampler.series())
+                .map_err(|e| format!("cannot serve metrics on {addr}: {e}"))?;
+            println!(
+                "serving http://{0}/metrics and http://{0}/tenants.json",
+                server.addr()
+            );
+            Some((sampler, server))
+        }
+        None => None,
+    };
+    let daemon = FleetDaemon::spawn(bind, &backends, config, Some(Arc::clone(&telemetry)))
+        .map_err(|e| e.to_string())?;
+    // The line scripts and CI parse: with --bind 127.0.0.1:0 this is
+    // the only way to learn the kernel-assigned port.
+    println!("fleetd listening on {}", daemon.addr());
+    let started = std::time::Instant::now();
+    let deadline = match args.get_str("run-secs") {
+        Some(_) => Some(Duration::from_secs(args.get_or("run-secs", 0u64)?)),
+        None => None,
+    };
+    loop {
+        if let Some(limit) = deadline {
+            if started.elapsed() >= limit {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let snapshot = telemetry.tenants().snapshot();
+    let done = snapshot
+        .tenants
+        .iter()
+        .filter(|t| t.state.label() == "done")
+        .count();
+    let failed = snapshot
+        .tenants
+        .iter()
+        .filter(|t| t.state.label() == "failed")
+        .count();
+    println!(
+        "fleetd saw {} tenant(s): {} done, {} failed, {} rejected",
+        snapshot.tenants.len(),
+        done,
+        failed,
+        snapshot.rejected
+    );
+    Ok(())
+}
+
+/// `presto tenants --attach ADDR`: the per-tenant status table scraped
+/// from a running fleetd's `/tenants.json` endpoint.
+fn cmd_tenants(args: &Args) -> Result<(), String> {
+    args.expect_known(&["attach", "json"])?;
+    let addr: std::net::SocketAddr = args
+        .get_str("attach")
+        .ok_or("missing --attach ADDR (a fleetd --metrics endpoint)")?
+        .parse()
+        .map_err(|_| {
+            "bad --attach ADDR (need host:port of a /tenants.json endpoint)".to_string()
+        })?;
+    let body = match presto_pipeline::telemetry::http::get(addr, "/tenants.json") {
+        Ok((200, body)) => body,
+        Ok((status, body)) => {
+            return Err(format!(
+                "{addr}/tenants.json returned HTTP {status}: {}",
+                body.trim()
+            ))
+        }
+        Err(e) => return Err(format!("cannot scrape {addr}/tenants.json: {e}")),
+    };
+    // Parse before printing even in --json mode: a malformed document
+    // should fail loudly, not propagate downstream.
+    let snapshot = telemetry_tenants::parse_tenants_json(&body)?;
+    if args.get_str("json").is_some() {
+        println!("{body}");
+        return Ok(());
+    }
+    println!(
+        "admission: max {} jobs, shard quota {}, {} rejected; fairness window {}",
+        snapshot.max_jobs,
+        snapshot.shard_quota,
+        snapshot.rejected,
+        if snapshot.window_closed {
+            "closed"
+        } else if snapshot.window_open {
+            "open"
+        } else {
+            "not yet open"
+        }
+    );
+    if snapshot.tenants.is_empty() {
+        println!("no tenants registered");
+        return Ok(());
+    }
+    println!("{}", render::tenants_table(&snapshot));
+    Ok(())
+}
+
 /// The fleet configuration shared by `fleet-sim` and the live
 /// `--preempt-storm` drill, from the common flags.
 fn parse_fleet_config(
@@ -1425,6 +1601,7 @@ fn cmd_fleet_sim(args: &Args) -> Result<(), String> {
         "policy",
         "fallback-after",
         "kill-log",
+        "tenants",
         "json",
     ])?;
     let seed = args.get_or("seed", 1u64)?;
@@ -1438,14 +1615,30 @@ fn cmd_fleet_sim(args: &Args) -> Result<(), String> {
         )],
         None => rank_policies(&config, seed),
     };
+    let tenants_n = args.get_or("tenants", 0u32)?;
     if args.get_str("json").is_some() {
         let rows: Vec<String> = outcomes
             .iter()
             .map(|o| {
+                let tenants_field = if tenants_n > 0 {
+                    let shares: Vec<String> = tenant_shares(&config, o, tenants_n)
+                        .iter()
+                        .map(|s| {
+                            format!(
+                                "{{\"name\":\"{}\",\"weight\":{},\"fair_share\":{:.6},\
+                                 \"mean_share\":{:.6},\"finish_hours\":{:.4}}}",
+                                s.name, s.weight, s.fair_share, s.mean_share, s.finish_hours
+                            )
+                        })
+                        .collect();
+                    format!(",\"tenants\":[{}]", shares.join(","))
+                } else {
+                    String::new()
+                };
                 format!(
                     "{{\"policy\":\"{}\",\"verdict\":\"{}\",\"preemptions\":{},\
                      \"worst_worker\":{},\"lost_workers\":{},\"on_demand_workers\":{},\
-                     \"cost_usd\":{:.4},\"elapsed_hours\":{:.3}}}",
+                     \"cost_usd\":{:.4},\"elapsed_hours\":{:.3}{}}}",
                     o.policy.name(),
                     fleet_verdict_name(o.verdict),
                     o.preemptions,
@@ -1454,6 +1647,7 @@ fn cmd_fleet_sim(args: &Args) -> Result<(), String> {
                     o.on_demand_workers,
                     o.cost_usd,
                     o.elapsed_hours,
+                    tenants_field,
                 )
             })
             .collect();
@@ -1493,6 +1687,30 @@ fn cmd_fleet_sim(args: &Args) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    if tenants_n > 0 {
+        // The multi-tenant view: the same delivered capacity split by
+        // weighted processor sharing — the closed-form counterpart of
+        // fleetd's deficit round robin.
+        for o in &outcomes {
+            println!(
+                "{} with {} weighted jobs (processor sharing):",
+                o.policy.name(),
+                tenants_n
+            );
+            let mut shares_table =
+                TableBuilder::new(&["job", "weight", "fair share", "mean share", "finish"]);
+            for s in tenant_shares(&config, o, tenants_n) {
+                shares_table.row(&[
+                    s.name.clone(),
+                    s.weight.to_string(),
+                    format!("{:.1}%", s.fair_share * 100.0),
+                    format!("{:.1}%", s.mean_share * 100.0),
+                    format!("{:.2}h", s.finish_hours),
+                ]);
+            }
+            println!("{}", shares_table.render());
+        }
+    }
     if args.get_str("kill-log").is_some() {
         for o in &outcomes {
             if o.kill_log.is_empty() {
@@ -2210,14 +2428,28 @@ fn watch_search(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_history(args: &Args) -> Result<(), String> {
-    args.expect_known(&["history-dir", "prune"])?;
+    args.expect_known(&["history-dir", "prune", "mode"])?;
     let store = run_store(args);
     if args.get_str("prune").is_some() {
         let keep: usize = args.get_or("prune", 0usize)?;
         let removed = store.prune(keep)?;
         println!("pruned {} run(s); keeping the newest {keep}", removed.len());
     }
-    let runs = store.runs()?;
+    let mut runs = store.runs()?;
+    // One history dir collects realrun and serve epochs alike; their
+    // SPS regimes differ by orders of magnitude, so mixed listings
+    // (and the noise-aware compare verdicts built on them) mislead.
+    // --mode narrows the view to one population.
+    if let Some(mode) = args.get_str("mode") {
+        runs.retain(|r| r.metrics.mode == mode);
+        if runs.is_empty() {
+            println!(
+                "no '{mode}' runs recorded in {} (modes: real, serve)",
+                store.dir().display()
+            );
+            return Ok(());
+        }
+    }
     if runs.is_empty() {
         println!(
             "no runs recorded in {} (run `presto realrun` to record one)",
@@ -2230,7 +2462,7 @@ fn cmd_history(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
-    args.expect_known(&["noise", "fail", "fail-on-regression", "history-dir"])?;
+    args.expect_known(&["noise", "fail", "fail-on-regression", "history-dir", "mode"])?;
     let (Some(spec_a), Some(spec_b)) = (args.positional.get(1), args.positional.get(2)) else {
         return Err("usage: presto compare <run-a> <run-b> (run ids or snapshot paths)".into());
     };
@@ -2239,6 +2471,25 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let store = run_store(args);
     let before = store.resolve(spec_a)?;
     let after = store.resolve(spec_b)?;
+    // Cross-mode comparisons produce absurd "regressions" (a serve
+    // epoch against a realrun epoch); --mode pins both sides, and even
+    // without it two different modes refuse to compare.
+    if let Some(mode) = args.get_str("mode") {
+        for run in [&before, &after] {
+            if run.metrics.mode != mode {
+                return Err(format!(
+                    "{} is a '{}' run, not '{mode}' (see `presto history --mode {mode}`)",
+                    run.id, run.metrics.mode
+                ));
+            }
+        }
+    } else if before.metrics.mode != after.metrics.mode {
+        return Err(format!(
+            "refusing to compare across modes: {} is '{}' but {} is '{}' \
+             (pick runs of one mode; see `presto history --mode`)",
+            before.id, before.metrics.mode, after.id, after.metrics.mode
+        ));
+    }
     let comparison = presto::compare_runs(&before.metrics, &after.metrics, noise, fail);
     println!(
         "comparing {} -> {} (noise {:.0}%, fail bar {:.0}%)",
@@ -2263,7 +2514,8 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
 fn cmd_validate(args: &Args) -> Result<(), String> {
     args.expect_known(&["format"])?;
     let path = args.positional.get(1).ok_or_else(|| {
-        "usage: presto validate <file> --format json|prom|trace|timeseries|fleet|causal".to_string()
+        "usage: presto validate <file> --format json|prom|trace|timeseries|fleet|causal|tenants"
+            .to_string()
     })?;
     let input = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     match args.get_str("format").unwrap_or("json") {
@@ -2308,9 +2560,18 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
                 telemetry_causal::CAUSAL_SCHEMA
             );
         }
+        "tenants" => {
+            let snapshot = telemetry_tenants::parse_tenants_json(&input)?;
+            println!(
+                "{path}: valid {} ({} tenant(s), {} rejected)",
+                telemetry_tenants::TENANTS_SCHEMA,
+                snapshot.tenants.len(),
+                snapshot.rejected
+            );
+        }
         other => {
             return Err(format!(
-                "unknown format '{other}' (json|prom|trace|timeseries|fleet|causal)"
+                "unknown format '{other}' (json|prom|trace|timeseries|fleet|causal|tenants)"
             ))
         }
     }
@@ -3034,5 +3295,191 @@ mod tests {
         ])
         .is_err());
         assert!(run(&["watch", "--attach", "not-an-addr"]).is_err());
+    }
+
+    #[test]
+    fn history_and_compare_filter_and_guard_by_mode() {
+        let dir = scratch_dir("mode");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let realrun = [
+            "realrun",
+            "CV",
+            "--samples",
+            "8",
+            "--threads",
+            "2",
+            "--epochs",
+            "1",
+            "--history-dir",
+            &dir_str,
+        ];
+        run(&realrun).unwrap();
+        run(&realrun).unwrap();
+        let (worker, addr) = spawn_cli_compatible_worker(8);
+        run(&[
+            "train-client",
+            "CV",
+            "--samples",
+            "8",
+            "--workers",
+            &addr,
+            "--history-dir",
+            &dir_str,
+        ])
+        .unwrap();
+        worker.stop();
+        run(&["history", "--history-dir", &dir_str, "--mode", "real"]).unwrap();
+        run(&["history", "--history-dir", &dir_str, "--mode", "serve"]).unwrap();
+        // An unknown mode lists nothing rather than erroring; the
+        // empty-store hint names the real ones.
+        run(&["history", "--history-dir", &dir_str, "--mode", "imaginary"]).unwrap();
+        // Cross-mode compare refuses outright...
+        let err = run(&["compare", "1", "3", "--history-dir", &dir_str]).unwrap_err();
+        assert!(err.contains("refusing to compare across modes"), "{err}");
+        // ...and --mode pins both sides to one population.
+        run(&[
+            "compare",
+            "1",
+            "2",
+            "--history-dir",
+            &dir_str,
+            "--mode",
+            "real",
+            "--fail",
+            "0.95",
+        ])
+        .unwrap();
+        let err = run(&[
+            "compare",
+            "1",
+            "3",
+            "--history-dir",
+            &dir_str,
+            "--mode",
+            "real",
+        ])
+        .unwrap_err();
+        assert!(err.contains("is a 'serve' run"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleetd_cli_parses_and_tenant_clients_complete_through_the_relay() {
+        // --run-secs 0 exercises daemon bring-up and teardown alone.
+        run(&[
+            "fleetd",
+            "--bind",
+            "127.0.0.1:0",
+            "--backends",
+            "127.0.0.1:9",
+            "--run-secs",
+            "0",
+        ])
+        .unwrap();
+        assert!(run(&["fleetd", "--backends", "127.0.0.1:9"]).is_err()); // missing --bind
+        assert!(run(&["fleetd", "--bind", "127.0.0.1:0"]).is_err()); // missing --backends
+        assert!(run(&["fleetd", "--bind", "127.0.0.1:0", "--backends", " , "]).is_err());
+
+        // A library-level daemon in front of a CLI-compatible worker:
+        // `train-client --tenant` registers, is admitted, and drains a
+        // full epoch through the relay.
+        let (worker, addr) = spawn_cli_compatible_worker(8);
+        let telemetry = Telemetry::new();
+        let daemon = FleetDaemon::spawn(
+            "127.0.0.1:0",
+            &[addr],
+            FleetDaemonConfig::default(),
+            Some(Arc::clone(&telemetry)),
+        )
+        .unwrap();
+        let daemon_addr = daemon.addr().to_string();
+        run(&[
+            "train-client",
+            "CV",
+            "--samples",
+            "8",
+            "--workers",
+            &daemon_addr,
+            "--tenant",
+            "alice",
+            "--weight",
+            "2",
+            "--no-history",
+        ])
+        .unwrap();
+        let err = run(&[
+            "train-client",
+            "CV",
+            "--samples",
+            "8",
+            "--workers",
+            &daemon_addr,
+            "--weight",
+            "2",
+            "--no-history",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--weight needs --tenant"), "{err}");
+        let snapshot = telemetry.tenants().snapshot();
+        assert_eq!(snapshot.tenants.len(), 1, "{snapshot:?}");
+        assert_eq!(snapshot.tenants[0].name, "alice");
+        assert_eq!(snapshot.tenants[0].state.label(), "done");
+
+        // `presto tenants` scrapes the same registry over HTTP.
+        let series = timeseries::TimeSeries::new(16);
+        let server =
+            MetricsServer::serve("127.0.0.1:0", Arc::clone(&telemetry), Arc::clone(&series))
+                .unwrap();
+        let metrics_addr = server.addr().to_string();
+        run(&["tenants", "--attach", &metrics_addr]).unwrap();
+        run(&["tenants", "--attach", &metrics_addr, "--json"]).unwrap();
+        assert!(run(&["tenants"]).is_err()); // missing --attach
+        assert!(run(&["tenants", "--attach", "not-an-addr"]).is_err());
+        assert!(run(&["tenants", "--attach", "127.0.0.1:9"]).is_err()); // nothing listening
+        server.stop();
+        daemon.stop();
+        worker.stop();
+
+        // A metrics endpoint without a tenant registry 404s the scrape.
+        let idle = Telemetry::new();
+        let idle_series = timeseries::TimeSeries::new(16);
+        let idle_server =
+            MetricsServer::serve("127.0.0.1:0", Arc::clone(&idle), Arc::clone(&idle_series))
+                .unwrap();
+        let err = run(&["tenants", "--attach", &idle_server.addr().to_string()]).unwrap_err();
+        assert!(err.contains("HTTP 404"), "{err}");
+        idle_server.stop();
+    }
+
+    #[test]
+    fn fleet_sim_tenants_reports_weighted_shares() {
+        run(&["fleet-sim", "--seed", "1", "--tenants", "3"]).unwrap();
+        run(&["fleet-sim", "--seed", "1", "--tenants", "3", "--json"]).unwrap();
+        assert!(run(&["fleet-sim", "--tenants", "many"]).is_err());
+    }
+
+    #[test]
+    fn validate_tenants_document_roundtrips() {
+        let dir = scratch_dir("tenants-doc");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let telemetry = Telemetry::new();
+        let reg = telemetry.tenants();
+        reg.begin(8, 1024);
+        reg.admitted("alice", 2, 4);
+        reg.delivered("alice", 16, 4, 4096);
+        reg.shard_done("alice");
+        reg.finished("alice");
+        reg.rejected();
+        let doc = telemetry_tenants::tenants_json(&reg.snapshot());
+        let path = dir.join("tenants.json");
+        std::fs::write(&path, &doc).unwrap();
+        run(&["validate", path.to_str().unwrap(), "--format", "tenants"]).unwrap();
+        // A different document under the tenants parser fails loudly.
+        let bogus = dir.join("bogus.json");
+        std::fs::write(&bogus, "{}").unwrap();
+        assert!(run(&["validate", bogus.to_str().unwrap(), "--format", "tenants"]).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -6,6 +6,7 @@ use presto::search::SearchStats;
 use presto::{RealDiagnosis, RunComparison, TrendDiagnosis, Verdict};
 use presto_pipeline::telemetry::causal::CausalProfile;
 use presto_pipeline::telemetry::history::RunRecord;
+use presto_pipeline::telemetry::tenants::TenantsSnapshot;
 use presto_pipeline::telemetry::timeseries::TimePoint;
 use presto_pipeline::telemetry::TelemetrySnapshot;
 use presto_pipeline::{Pipeline, SearchSnapshot};
@@ -542,6 +543,41 @@ pub fn causal_table(profile: &CausalProfile) -> String {
         out.push_str(&format!("\n  {d}"));
     }
     out
+}
+
+/// Render the per-tenant status table behind `presto tenants`: one row
+/// per registered job with its DRR weight, lifecycle state, shard and
+/// sample progress, fault-budget consumption, and — once the fairness
+/// window has data — the weight-proportional fair share next to the
+/// share actually measured.
+pub fn tenants_table(snapshot: &TenantsSnapshot) -> String {
+    let mut table = TableBuilder::new(&[
+        "tenant",
+        "weight",
+        "state",
+        "shards",
+        "samples",
+        "requeues",
+        "fair share",
+        "measured",
+    ]);
+    let share = |s: Option<f64>| match s {
+        Some(v) => format!("{:.1}%", v * 100.0),
+        None => "-".into(),
+    };
+    for t in &snapshot.tenants {
+        table.row(&[
+            t.name.clone(),
+            t.weight.to_string(),
+            t.state.label().to_string(),
+            format!("{}/{}", t.shards_done, t.shards_total),
+            t.samples.to_string(),
+            t.requeues.to_string(),
+            share(snapshot.fair_share(&t.name)),
+            share(snapshot.measured_share(&t.name)),
+        ]);
+    }
+    table.render()
 }
 
 #[cfg(test)]

@@ -483,6 +483,83 @@ pub fn rank_policies(config: &FleetConfig, seed: u64) -> Vec<FleetOutcome> {
     outcomes
 }
 
+/// One training job's slice of a shared preprocessing fleet under the
+/// weighted processor-sharing model ([`tenant_shares`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantShare {
+    /// Job name (`job-1`..`job-N`).
+    pub name: String,
+    /// Deficit-round-robin weight.
+    pub weight: u32,
+    /// `weight / Σ weights` while every job competes.
+    pub fair_share: f64,
+    /// Hours until this job's epoch completes.
+    pub finish_hours: f64,
+    /// Capacity fraction the job averaged over its own lifetime —
+    /// rises above `fair_share` as lighter competitors drain away.
+    pub mean_share: f64,
+}
+
+/// Layer `tenants` equal-size training jobs with weights `1..=N` onto
+/// a simulated fleet outcome and split its delivered capacity by
+/// weighted processor sharing — the closed-form twin of the live
+/// daemon's deficit round robin. While a set `A` of jobs is active,
+/// job *i* is served at `C · wᵢ / Σ_{j∈A} wⱼ` where `C` is the
+/// outcome's average effective capacity (worker-hours per hour,
+/// preemption stalls already paid). Heavier jobs finish first; each
+/// finish redistributes its share over the survivors. Deterministic —
+/// no RNG beyond what shaped the outcome itself.
+pub fn tenant_shares(
+    config: &FleetConfig,
+    outcome: &FleetOutcome,
+    tenants: u32,
+) -> Vec<TenantShare> {
+    let tenants = tenants.max(1);
+    let needed = config.epoch_hours * f64::from(config.workers.max(1));
+    let capacity = needed / outcome.elapsed_hours.max(1e-9);
+    let total_weight: f64 = (1..=tenants).map(f64::from).sum();
+    // Each job is one epoch-equivalent of work, so the combined demand
+    // matches what the simulated fleet actually delivered.
+    let job_work = needed / f64::from(tenants);
+    let mut remaining: Vec<f64> = vec![job_work; tenants as usize];
+    let mut finish = vec![0.0f64; tenants as usize];
+    let mut now = 0.0f64;
+    loop {
+        let active: Vec<usize> = (0..tenants as usize)
+            .filter(|&i| remaining[i] > 1e-12)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let weight_sum: f64 = active.iter().map(|&i| f64::from(i as u32 + 1)).sum();
+        // Next finisher: smallest remaining work per unit weight.
+        let dt = active
+            .iter()
+            .map(|&i| remaining[i] * weight_sum / (capacity * f64::from(i as u32 + 1)))
+            .fold(f64::INFINITY, f64::min);
+        for &i in &active {
+            let rate = capacity * f64::from(i as u32 + 1) / weight_sum;
+            remaining[i] = (remaining[i] - rate * dt).max(0.0);
+            if remaining[i] <= 1e-12 && finish[i] == 0.0 {
+                finish[i] = now + dt;
+            }
+        }
+        now += dt;
+    }
+    (0..tenants as usize)
+        .map(|i| {
+            let weight = i as u32 + 1;
+            TenantShare {
+                name: format!("job-{weight}"),
+                weight,
+                fair_share: f64::from(weight) / total_weight,
+                finish_hours: finish[i],
+                mean_share: job_work / (capacity * finish[i].max(1e-9)),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -639,6 +716,32 @@ mod tests {
             // Within the completed class, costs ascend.
             for pair in ranked[..first_degraded].windows(2) {
                 assert!(pair[0].cost_usd <= pair[1].cost_usd);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_shares_conserve_work_and_order_by_weight() {
+        let config = FleetConfig::drill(4);
+        for seed in 1..=10 {
+            let out = simulate(&config, FleetPolicy::OnDemandOnly, seed);
+            let shares = tenant_shares(&config, &out, 3);
+            assert_eq!(shares.len(), 3);
+            // Weights 1..=3: fair shares sum to 1 and ascend.
+            let fair: f64 = shares.iter().map(|s| s.fair_share).sum();
+            assert!((fair - 1.0).abs() < 1e-9);
+            // Heavier jobs finish no later than lighter ones.
+            assert!(shares[2].finish_hours <= shares[1].finish_hours);
+            assert!(shares[1].finish_hours <= shares[0].finish_hours);
+            // Work conservation: the fleet is saturated while any job
+            // runs, so the last finisher lands exactly where the
+            // single-job epoch did.
+            let makespan = shares.iter().map(|s| s.finish_hours).fold(0.0f64, f64::max);
+            assert!((makespan - out.elapsed_hours).abs() / out.elapsed_hours < 1e-6);
+            // Everyone's mean share meets or beats their fair share
+            // (departures only ever free capacity up).
+            for s in &shares {
+                assert!(s.mean_share >= s.fair_share - 1e-9, "{s:?}");
             }
         }
     }

@@ -37,16 +37,20 @@ pub mod sim;
 pub mod step;
 pub mod store;
 pub mod strategy;
+pub mod tenant;
 
 pub use dataplane::{BufferPool, SampleBundle, DEFAULT_BUNDLE_SIZE};
 pub use error::PipelineError;
 pub use fault::{FaultPolicy, Resilience, RetryPolicy};
 pub use pipeline::Pipeline;
-pub use real::{AppCache, DelayPlan, EpochStats, EpochStream, Materialized, RealExecutor};
+pub use real::{
+    shard_rng_seed, AppCache, DelayPlan, EpochStats, EpochStream, Materialized, RealExecutor,
+};
 pub use sample::{Payload, Sample};
 pub use step::{CostModel, Parallelism, SizeModel, Step, StepSpec};
 pub use store::{BlobStore, DirStore, FaultSpec, FaultStore, MemStore, StoreError};
 pub use strategy::{CacheLevel, Strategy};
+pub use tenant::{AdmissionPolicy, FleetDaemon, FleetDaemonConfig};
 
 /// Observability for the real engine, re-exported from
 /// [`presto_telemetry`]: attach a [`telemetry::Telemetry`] handle via

@@ -220,7 +220,11 @@ pub(crate) fn fnv64(name: &str) -> u64 {
 /// makes the multiset checksum of a distributed epoch comparable to a
 /// single-process run (see [`crate::serve`]), and it mirrors the
 /// offline phase's per-shard seeding.
-pub(crate) fn shard_rng_seed(epoch_seed: u64, shard_name: &str) -> u64 {
+/// Public because the multi-tenant scheduler ([`crate::tenant`])
+/// leans on this contract: cache-affinity routing may place a
+/// tenant's shard on *any* backend (including a different one after a
+/// requeue) and the delivered multiset stays bit-identical per tenant.
+pub fn shard_rng_seed(epoch_seed: u64, shard_name: &str) -> u64 {
     epoch_seed ^ fnv64(shard_name)
 }
 

@@ -237,6 +237,33 @@ pub enum Frame {
         /// Record-framed [`Sample::encode`] payloads, compressed.
         block: Vec<u8>,
     },
+    /// Tenant registration (v2, client → daemon/worker, after HELLO and
+    /// before ASSIGN). Declares the job so the receiver can admit or
+    /// reject it before any shard work starts.
+    Register {
+        /// Tenant (job) name; the key for quotas, fairness and metrics.
+        tenant: String,
+        /// Deficit-round-robin weight (≥ 1) for the fair-share split.
+        weight: u32,
+        /// Shards the job intends to ASSIGN — checked against the
+        /// per-tenant shard quota at admission time.
+        shards: u32,
+    },
+    /// Registration accepted (v2, daemon/worker → client).
+    Admit {
+        /// The registered tenant name, echoed.
+        tenant: String,
+        /// Effective per-tenant shard quota (`u32::MAX` = unlimited).
+        quota: u32,
+    },
+    /// Registration refused (v2, daemon/worker → client). The
+    /// connection is useless for ASSIGN after this.
+    Reject {
+        /// The registered tenant name, echoed.
+        tenant: String,
+        /// Human-readable admission-policy cause.
+        reason: String,
+    },
 }
 
 const FRAME_HELLO: u8 = 1;
@@ -249,6 +276,27 @@ const FRAME_PING: u8 = 7;
 const FRAME_PONG: u8 = 8;
 const FRAME_STATS: u8 = 9;
 const FRAME_BATCH2: u8 = 10;
+const FRAME_REGISTER: u8 = 11;
+const FRAME_ADMIT: u8 = 12;
+const FRAME_REJECT: u8 = 13;
+
+/// Encode a length-prefixed string (`len u32` + UTF-8 bytes).
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decode a length-prefixed string at `at`; returns (string, next offset).
+fn read_str(body: &[u8], at: usize, what: &str) -> Result<(String, usize), ServeError> {
+    let len = read_u32(body, at)? as usize;
+    let at = at + 4;
+    let bytes = body
+        .get(at..at + len)
+        .ok_or_else(|| ServeError::Protocol(format!("{what} overruns frame")))?;
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ServeError::Protocol(format!("{what} is not UTF-8")))?;
+    Ok((text.to_string(), at + len))
+}
 
 /// Wire tag for a phase-kind label in STATS step entries.
 fn kind_tag(label: &str) -> u8 {
@@ -417,6 +465,26 @@ impl Frame {
                 out.extend_from_slice(&t_send.to_le_bytes());
                 out.extend_from_slice(block);
             }
+            Frame::Register {
+                tenant,
+                weight,
+                shards,
+            } => {
+                out.push(FRAME_REGISTER);
+                push_str(&mut out, tenant);
+                out.extend_from_slice(&weight.to_le_bytes());
+                out.extend_from_slice(&shards.to_le_bytes());
+            }
+            Frame::Admit { tenant, quota } => {
+                out.push(FRAME_ADMIT);
+                push_str(&mut out, tenant);
+                out.extend_from_slice(&quota.to_le_bytes());
+            }
+            Frame::Reject { tenant, reason } => {
+                out.push(FRAME_REJECT);
+                push_str(&mut out, tenant);
+                push_str(&mut out, reason);
+            }
         }
         out
     }
@@ -568,6 +636,26 @@ impl Frame {
                         .to_vec(),
                 })
             }
+            FRAME_REGISTER => {
+                let (tenant, at) = read_str(body, 0, "tenant name")?;
+                Ok(Frame::Register {
+                    tenant,
+                    weight: read_u32(body, at)?,
+                    shards: read_u32(body, at + 4)?,
+                })
+            }
+            FRAME_ADMIT => {
+                let (tenant, at) = read_str(body, 0, "tenant name")?;
+                Ok(Frame::Admit {
+                    tenant,
+                    quota: read_u32(body, at)?,
+                })
+            }
+            FRAME_REJECT => {
+                let (tenant, at) = read_str(body, 0, "tenant name")?;
+                let (reason, _) = read_str(body, at, "reject reason")?;
+                Ok(Frame::Reject { tenant, reason })
+            }
             other => Err(ServeError::Protocol(format!("unknown frame type {other}"))),
         }
     }
@@ -668,26 +756,26 @@ impl MultisetChecksum {
 
 /// Credit gate: the worker blocks here before each BATCH until the
 /// client grants more credits (or the connection/worker dies).
-struct CreditGate {
+pub(crate) struct CreditGate {
     state: Mutex<(u64, bool)>, // (credits, closed)
     cv: Condvar,
 }
 
 impl CreditGate {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         CreditGate {
             state: Mutex::new((0, false)),
             cv: Condvar::new(),
         }
     }
 
-    fn add(&self, n: u64) {
+    pub(crate) fn add(&self, n: u64) {
         let mut state = self.state.lock().unwrap();
         state.0 += n;
         self.cv.notify_all();
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.state.lock().unwrap().1 = true;
         self.cv.notify_all();
     }
@@ -700,7 +788,7 @@ impl CreditGate {
     /// so there is no poll interval — stall time and wakeup count land
     /// in [`ServeProgress::credit_wait`], which is how tests prove the
     /// absence of a busy-wait.
-    fn take(&self, progress: &ServeProgress) -> bool {
+    pub(crate) fn take(&self, progress: &ServeProgress) -> bool {
         let mut state = self.state.lock().unwrap();
         let mut stalled: Option<Instant> = None;
         let mut wakes = 0u64;
@@ -954,6 +1042,9 @@ enum ClientMsg {
         shards: Vec<String>,
         flags: u8,
     },
+    Register {
+        tenant: String,
+    },
 }
 
 /// Serve one client connection: HELLO, then PING/ASSIGN/CREDIT frames
@@ -1004,6 +1095,11 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
                         break;
                     }
                 }
+                Ok(Some(Frame::Register { tenant, .. })) => {
+                    if msg_tx.send(ClientMsg::Register { tenant }).is_err() {
+                        break;
+                    }
+                }
                 // Anything else — including a clean close — ends the
                 // conversation.
                 _ => break,
@@ -1050,6 +1146,20 @@ fn handle_client(shared: &Arc<WorkerShared>, stream: TcpStream) {
                         seq,
                     };
                     if write_frame(&mut writer, &pong).is_err() {
+                        break 'conn;
+                    }
+                }
+                ClientMsg::Register { tenant } => {
+                    // A plain worker serves one assignment at a time
+                    // and enforces no quota — every registration is
+                    // admitted. Admission policy lives in `fleetd`
+                    // (see [`crate::tenant`]); answering here keeps
+                    // `--tenant` clients working against either.
+                    let admit = Frame::Admit {
+                        tenant,
+                        quota: u32::MAX,
+                    };
+                    if write_frame(&mut writer, &admit).is_err() {
                         break 'conn;
                     }
                 }
@@ -1319,6 +1429,31 @@ pub struct ServeClientConfig {
     /// [`PROTOCOL_VERSION`]). Tests pin this to 1 to exercise
     /// mixed-version fleets.
     pub max_version: u32,
+    /// Tenant identity for multi-tenant serving: when set (and the
+    /// connection negotiates v2), the client sends REGISTER after the
+    /// handshake and waits for ADMIT before assigning shards. A REJECT
+    /// is fatal for the epoch — admission is policy, not a transient
+    /// fault, so there is no failover.
+    pub tenant: Option<TenantSpec>,
+}
+
+/// A training job's identity on the wire: the REGISTER payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant (job) name; the key for quotas, fairness and metrics.
+    pub name: String,
+    /// Deficit-round-robin weight (≥ 1).
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A tenant spec with a clamped-to-valid weight.
+    pub fn new(name: impl Into<String>, weight: u32) -> Self {
+        TenantSpec {
+            name: name.into(),
+            weight: weight.max(1),
+        }
+    }
 }
 
 impl Default for ServeClientConfig {
@@ -1332,6 +1467,7 @@ impl Default for ServeClientConfig {
             tracing: true,
             trace_id: 0,
             max_version: PROTOCOL_VERSION,
+            tenant: None,
         }
     }
 }
@@ -1863,6 +1999,35 @@ fn drive_assignment<F>(
                 .record_handshake(addr, trace.conn, negotiated, 0, 0);
         }
     }
+    // Multi-tenant admission: declare the job before asking for work.
+    // REGISTER is a v2 frame; a v1 peer cannot enforce quotas anyway,
+    // so the exchange is skipped there (single-job semantics).
+    if let Some(tenant) = &config.tenant {
+        if negotiated >= 2 {
+            let register = Frame::Register {
+                tenant: tenant.name.clone(),
+                weight: tenant.weight.max(1),
+                shards: shards.len() as u32,
+            };
+            if write_frame(writer, &register).is_err() {
+                return;
+            }
+            reader.get_mut().start_frame();
+            match read_frame(reader) {
+                Ok(Some(Frame::Admit { .. })) => {}
+                Ok(Some(Frame::Reject { reason, .. })) => {
+                    // Policy, not a fault: retrying elsewhere would
+                    // dodge the admission controller.
+                    outcome.fatal = Some(PipelineError::Other(format!(
+                        "tenant '{}' rejected by {addr}: {reason}",
+                        tenant.name
+                    )));
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
     let want_stats = trace.is_some() && negotiated >= 2;
     if write_frame(
         writer,
@@ -2081,6 +2246,19 @@ mod tests {
                 span_id: 77,
                 t_send: 999,
                 block: vec![1, 2, 3],
+            },
+            Frame::Register {
+                tenant: "résnet-50".into(), // names survive as UTF-8
+                weight: 4,
+                shards: 12,
+            },
+            Frame::Admit {
+                tenant: String::new(),
+                quota: u32::MAX,
+            },
+            Frame::Reject {
+                tenant: "greedy".into(),
+                reason: "12 shards over quota 8".into(),
             },
         ];
         for frame in frames {

@@ -1,0 +1,976 @@
+//! Multi-tenant preprocessing fleet: one daemon, many training jobs.
+//!
+//! The serve layer ([`crate::serve`]) runs one job per epoch: a
+//! `train-client` talks straight to its workers. That leaves a fleet
+//! idle whenever its one job stalls, which is exactly the economics
+//! the disaggregation papers warn about — preprocessing capacity only
+//! pays for itself when it is *shared*. This module promotes the
+//! worker pool into a shared service:
+//!
+//! ```text
+//! train-client ──┐                       ┌── serve-worker
+//! train-client ──┼── fleetd (scheduler) ──┤
+//! train-client ──┘                       └── serve-worker
+//! ```
+//!
+//! [`FleetDaemon`] speaks the same v2 wire protocol on both sides.
+//! Clients REGISTER a tenant (name + DRR weight), pass the
+//! **admission controller** (max concurrent jobs, per-tenant shard
+//! quota), then ASSIGN their shards exactly as they would against a
+//! plain worker. The daemon splits every assignment into shard tasks
+//! and schedules them over its backends:
+//!
+//! - **Deficit round robin over delivered samples.** Each tenant
+//!   accrues `quantum × weight` deficit when the scheduler tops up and
+//!   is charged the samples its completed shards actually delivered,
+//!   so concurrent tenants see sample throughput proportional to their
+//!   weights while they compete (the fairness the CI gate measures).
+//! - **Cache-affinity routing.** A completed shard remembers which
+//!   backend served it; when that backend asks for work again, shards
+//!   affine to it are preferred — its [`BufferPool`](crate::BufferPool)
+//!   bundles and decoded artifacts are already warm. Idle backends
+//!   asking for work *is* the least-loaded fallback: whoever is free
+//!   pulls next. Placement is a pure performance choice — per-shard
+//!   RNG seeding ([`crate::shard_rng_seed`]) keeps any placement
+//!   bit-identical per tenant.
+//! - **Per-tenant isolation.** Every tenant has its own outbox,
+//!   credit gate and fault budget. A stalled client blocks only its
+//!   own writer thread; a backend dying mid-shard requeues the shard
+//!   against the *owning* tenant's budget ([`AdmissionPolicy::
+//!   max_requeues`]); one tenant exhausting its budget gets an ERR
+//!   frame while everyone else keeps streaming.
+//!
+//! Accounting lands in the attached
+//! [`TenantsProgress`](presto_telemetry::TenantsProgress) registry:
+//! `/tenants.json` (the `presto.tenants.v1` document) and per-tenant
+//! labeled `/metrics` series.
+
+use crate::error::PipelineError;
+use crate::serve::{
+    read_frame, write_frame, Frame, ServeError, ASSIGN_WANT_STATS, PROTOCOL_VERSION,
+};
+use presto_telemetry::fleet::mono_ns;
+use presto_telemetry::{FleetWorkerEntry, ServeProgress, Telemetry, TenantsProgress};
+use std::collections::{HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Admission-controller policy: what the daemon lets in and how much
+/// failure it absorbs per tenant.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Maximum concurrently admitted jobs; further REGISTERs get
+    /// REJECT until someone finishes.
+    pub max_jobs: usize,
+    /// Maximum shards one tenant may declare at REGISTER.
+    pub shard_quota: u32,
+    /// Per-tenant fault budget: shard requeues (backend deaths while
+    /// serving that tenant's shard) tolerated before the tenant is
+    /// failed with an ERR frame. One tenant's requeues never count
+    /// against another's budget.
+    pub max_requeues: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_jobs: 8,
+            shard_quota: 1024,
+            max_requeues: 16,
+        }
+    }
+}
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FleetDaemonConfig {
+    /// Admission policy.
+    pub policy: AdmissionPolicy,
+    /// Credits granted to a backend per shard assignment (backend
+    /// flow control; client flow control is the client's own credits).
+    pub backend_credits: u32,
+    /// Deficit-round-robin quantum, in samples. Each top-up grants a
+    /// tenant `quantum × weight` samples of scheduling headroom.
+    pub quantum: u64,
+    /// Shards of one tenant in flight at once. 1 serializes a tenant
+    /// (strictest fairness); higher overlaps its shards across
+    /// backends.
+    pub max_inflight: usize,
+    /// Backend connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout on both client and backend connections —
+    /// a peer silent this long is treated as dead.
+    pub read_timeout: Duration,
+}
+
+impl Default for FleetDaemonConfig {
+    fn default() -> Self {
+        FleetDaemonConfig {
+            policy: AdmissionPolicy::default(),
+            backend_credits: 8,
+            quantum: 32,
+            max_inflight: 2,
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One shard of one tenant's assignment.
+#[derive(Debug, Clone)]
+struct Task {
+    /// Shard blob name (what the backend's ASSIGN carries).
+    shard: String,
+    /// Index into the owning client's ASSIGN shard list — BATCH/EOF
+    /// frames relayed to the client are rewritten to this index.
+    index: u32,
+}
+
+/// Frames queued for one tenant's writer thread, plus the control
+/// message that ends the stream.
+enum Out {
+    Frame(Frame),
+    /// All shards delivered: write the final STATS (if the ASSIGN
+    /// asked) and let the client close.
+    Finish,
+}
+
+/// One admitted tenant's scheduling state.
+struct Tenant {
+    name: String,
+    weight: u32,
+    epoch_seed: u64,
+    /// The ASSIGN arrived and filled `queue`/`shards_total`. Until
+    /// then the tenant only occupies an admission slot.
+    assigned: bool,
+    /// Shards not yet handed to a dispatcher.
+    queue: VecDeque<Task>,
+    /// Shards currently on a backend.
+    inflight: usize,
+    /// DRR deficit, in samples. Eligible to dispatch while > 0.
+    deficit: i64,
+    /// Fault-budget consumption (requeued shards).
+    requeues: u64,
+    shards_total: usize,
+    shards_done: usize,
+    /// Samples delivered (for the synthesized STATS frame).
+    samples: u64,
+    batches: u64,
+    started: Instant,
+    /// The client asked for a STATS frame after the last EOF.
+    want_stats: bool,
+    /// Writer-thread inbox. Dispatchers send relayed frames here and
+    /// never block on client I/O.
+    outbox: Sender<Out>,
+    /// Client credits; the writer blocks here before each BATCH.
+    gate: Arc<crate::serve::CreditGate>,
+    /// Cleared when the client connection dies or the tenant fails;
+    /// dispatchers drop the tenant's work on the next visit.
+    alive: Arc<AtomicBool>,
+}
+
+/// Scheduler state shared by client connections and dispatchers.
+#[derive(Default)]
+struct Sched {
+    tenants: Vec<Tenant>,
+    /// shard name → backend index that last completed it. Cache
+    /// affinity only; correctness never depends on placement.
+    affinity: HashMap<String, usize>,
+    /// Round-robin cursor over tenants for deficit top-up order.
+    cursor: usize,
+}
+
+impl Sched {
+    fn active_jobs(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.alive.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Drop tenants whose client vanished or whose budget failed them.
+    fn prune(&mut self, tenants: &TenantsProgress) {
+        self.tenants.retain(|t| {
+            let alive = t.alive.load(Ordering::Acquire);
+            let done = t.assigned
+                && t.shards_done >= t.shards_total
+                && t.queue.is_empty()
+                && t.inflight == 0;
+            if !alive && !done {
+                // Client gone mid-epoch: record the failure once.
+                tenants.failed(&t.name);
+            }
+            alive && !done
+        });
+    }
+}
+
+struct DaemonShared {
+    backends: Vec<String>,
+    config: FleetDaemonConfig,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+    stop: AtomicBool,
+    tenants: Arc<TenantsProgress>,
+    /// Dummy progress sink for the client-side credit gates (fleetd's
+    /// own serve gauges stay untouched — it is a relay, not a worker).
+    gate_progress: ServeProgress,
+    /// Client connections, for shutdown.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl DaemonShared {
+    fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+}
+
+/// The running daemon: an accept loop for clients plus one dispatcher
+/// thread per backend worker. Dropping the handle stops everything.
+pub struct FleetDaemon {
+    addr: SocketAddr,
+    shared: Arc<DaemonShared>,
+    accept: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
+}
+
+impl FleetDaemon {
+    /// Bind `bind` for clients and start one dispatcher per backend
+    /// address. Backends are plain [`ServeWorker`](crate::serve::ServeWorker)s;
+    /// connections to them are made lazily as work arrives.
+    pub fn spawn(
+        bind: &str,
+        backends: &[String],
+        config: FleetDaemonConfig,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Result<FleetDaemon, PipelineError> {
+        if backends.is_empty() {
+            return Err(PipelineError::Other(
+                "fleetd needs at least one backend worker".into(),
+            ));
+        }
+        for addr in backends {
+            addr.to_socket_addrs()
+                .map_err(|e| PipelineError::Other(format!("bad backend address '{addr}': {e}")))?;
+        }
+        let listener = TcpListener::bind(bind)
+            .map_err(|e| PipelineError::Other(format!("fleetd bind {bind}: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PipelineError::Other(format!("fleetd local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| PipelineError::Other(format!("fleetd set_nonblocking: {e}")))?;
+        let tenants = telemetry
+            .as_ref()
+            .map(|t| t.tenants())
+            .unwrap_or_else(|| Arc::new(TenantsProgress::default()));
+        tenants.begin(
+            config.policy.max_jobs as u64,
+            u64::from(config.policy.shard_quota),
+        );
+        let shared = Arc::new(DaemonShared {
+            backends: backends.to_vec(),
+            config,
+            sched: Mutex::new(Sched::default()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            tenants,
+            gate_progress: ServeProgress::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            while !accept_shared.stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accept_shared
+                            .conns
+                            .lock()
+                            .unwrap()
+                            .push(stream.try_clone().expect("clone client stream"));
+                        let conn_shared = Arc::clone(&accept_shared);
+                        std::thread::spawn(move || handle_tenant_client(&conn_shared, stream));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        let dispatchers = (0..shared.backends.len())
+            .map(|backend| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || dispatcher_loop(&shared, backend))
+            })
+            .collect();
+        Ok(FleetDaemon {
+            addr,
+            shared,
+            accept: Some(accept),
+            dispatchers,
+        })
+    }
+
+    /// The bound client-facing address (port `0` resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every dispatcher, and sever client
+    /// connections. Idempotent.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+        self.shared.wake_all();
+        for conn in self.shared.conns.lock().unwrap().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for FleetDaemon {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for handle in self.dispatchers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serve one client connection: HELLO → REGISTER (admission) →
+/// ASSIGN (enqueue shard tasks) → relay CREDIT/PING until the epoch
+/// finishes or either side dies.
+fn handle_tenant_client(shared: &Arc<DaemonShared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    if write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            trace_id: 0,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    // Handshake: the daemon needs REGISTER, which is a v2 frame — a
+    // v1 client cannot be admitted at all.
+    match read_frame(&mut reader) {
+        Ok(Some(Frame::Hello { version, .. })) if version >= 2 => {}
+        Ok(Some(Frame::Hello { .. })) => {
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Err {
+                    message: "fleetd requires protocol v2 (REGISTER)".into(),
+                },
+            );
+            return;
+        }
+        _ => return,
+    }
+    // Pre-admission frames: answer clock probes, wait for REGISTER.
+    let (name, weight, declared) = loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Ping { t0, seq })) => {
+                let pong = Frame::Pong {
+                    t0,
+                    t_worker: mono_ns(),
+                    seq,
+                };
+                if write_frame(&mut writer, &pong).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Frame::Register {
+                tenant,
+                weight,
+                shards,
+            })) => break (tenant, weight.max(1), shards),
+            _ => return,
+        }
+    };
+    // Admission. Same-name re-registration is a *rejoin* (the chaos
+    // path: a client reconnecting after a cut): the stale entry is
+    // evicted — latest wins — rather than rejected, so a half-dead
+    // connection cannot lock its own tenant out.
+    {
+        let mut sched = shared.sched.lock().unwrap();
+        sched.prune(&shared.tenants);
+        for stale in sched.tenants.iter().filter(|t| t.name == name) {
+            stale.alive.store(false, Ordering::Release);
+            stale.gate.close();
+        }
+        sched.prune(&shared.tenants);
+        let verdict = if declared > shared.config.policy.shard_quota {
+            Err(format!(
+                "{declared} shards over quota {}",
+                shared.config.policy.shard_quota
+            ))
+        } else if sched.active_jobs() >= shared.config.policy.max_jobs {
+            Err(format!(
+                "max concurrent jobs ({}) reached",
+                shared.config.policy.max_jobs
+            ))
+        } else {
+            Ok(())
+        };
+        match verdict {
+            Ok(()) => {}
+            Err(reason) => {
+                shared.tenants.rejected();
+                drop(sched);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Reject {
+                        tenant: name,
+                        reason,
+                    },
+                );
+                return;
+            }
+        }
+        // Admitted: the tenant occupies a job slot from this moment —
+        // a client that registers and stalls before ASSIGN still
+        // counts against `max_jobs` (and is reaped when it hangs up).
+        let (out_tx, out_rx) = mpsc::channel::<Out>();
+        let gate = Arc::new(crate::serve::CreditGate::new());
+        let alive = Arc::new(AtomicBool::new(true));
+        sched.tenants.push(Tenant {
+            name: name.clone(),
+            weight,
+            epoch_seed: 0,
+            assigned: false,
+            queue: VecDeque::new(),
+            inflight: 0,
+            deficit: 0,
+            requeues: 0,
+            shards_total: 0,
+            shards_done: 0,
+            samples: 0,
+            batches: 0,
+            started: Instant::now(),
+            want_stats: false,
+            outbox: out_tx,
+            gate: Arc::clone(&gate),
+            alive: Arc::clone(&alive),
+        });
+        shared.tenants.admitted(&name, weight, u64::from(declared));
+        drop(sched);
+        if write_frame(
+            &mut writer,
+            &Frame::Admit {
+                tenant: name.clone(),
+                quota: shared.config.policy.shard_quota,
+            },
+        )
+        .is_ok()
+        {
+            serve_admitted(shared, &mut reader, writer, out_rx, &gate, &alive);
+        }
+        // Unified cleanup: every exit after admission lands here, so a
+        // slot can never leak (ADMIT write failure, death before
+        // ASSIGN, normal epoch end — all of them).
+        alive.store(false, Ordering::Release);
+        gate.close();
+        shared.sched.lock().unwrap().prune(&shared.tenants);
+        shared.wake_all();
+    }
+}
+/// Post-admission protocol for one tenant: wait for the ASSIGN, fill
+/// the tenant's scheduler entry, spawn the writer thread, then relay
+/// credits and clock probes until the client closes. The caller owns
+/// cleanup — every return path here is covered by it.
+fn serve_admitted(
+    shared: &Arc<DaemonShared>,
+    mut reader: &mut BufReader<TcpStream>,
+    mut writer: TcpStream,
+    out_rx: mpsc::Receiver<Out>,
+    gate: &Arc<crate::serve::CreditGate>,
+    alive: &Arc<AtomicBool>,
+) {
+    // The assignment: turn the shard list into scheduled tasks.
+    let (epoch_seed, credits, shards, flags) = loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Ping { t0, seq })) => {
+                let pong = Frame::Pong {
+                    t0,
+                    t_worker: mono_ns(),
+                    seq,
+                };
+                if write_frame(&mut writer, &pong).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(Frame::Assign {
+                epoch_seed,
+                credits,
+                shards,
+                flags,
+                ..
+            })) => break (epoch_seed, credits, shards, flags),
+            _ => return,
+        }
+    };
+    if shards.len() as u32 > shared.config.policy.shard_quota {
+        let _ = write_frame(
+            &mut writer,
+            &Frame::Err {
+                message: format!(
+                    "assignment of {} shards exceeds quota {}",
+                    shards.len(),
+                    shared.config.policy.shard_quota
+                ),
+            },
+        );
+        return;
+    }
+    gate.add(u64::from(credits.max(1)));
+    {
+        let mut sched = shared.sched.lock().unwrap();
+        // Locate this connection's own entry by identity, not name —
+        // a same-name rejoin may already have replaced it, and that
+        // newcomer's queue is not ours to touch.
+        let Some(t) = sched
+            .tenants
+            .iter_mut()
+            .find(|t| Arc::ptr_eq(&t.alive, alive))
+        else {
+            return; // evicted by a rejoin before assigning
+        };
+        t.epoch_seed = epoch_seed;
+        t.assigned = true;
+        t.queue = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| Task {
+                shard: shard.clone(),
+                index: i as u32,
+            })
+            .collect();
+        t.shards_total = shards.len();
+        t.started = Instant::now();
+        t.want_stats = flags & ASSIGN_WANT_STATS != 0;
+    }
+    shared.wake_all();
+    // Writer thread: drains the outbox toward the client, blocking on
+    // the tenant's own credit gate before each BATCH. Nothing another
+    // tenant does can stall this thread.
+    let writer_shared = Arc::clone(shared);
+    let writer_alive = Arc::clone(alive);
+    let writer_gate = Arc::clone(gate);
+    let writer_handle = std::thread::spawn(move || {
+        while let Ok(out) = out_rx.recv() {
+            match out {
+                Out::Frame(frame) => {
+                    if matches!(frame, Frame::Batch { .. } | Frame::Batch2 { .. })
+                        && !writer_gate.take(&writer_shared.gate_progress)
+                    {
+                        break; // gate closed: client is gone
+                    }
+                    let fatal = matches!(frame, Frame::Err { .. });
+                    if write_frame(&mut writer, &frame).is_err() || fatal {
+                        break;
+                    }
+                }
+                Out::Finish => return, // leave the socket open for STATS/close
+            }
+        }
+        writer_alive.store(false, Ordering::Release);
+        writer_gate.close();
+        writer_shared.wake_all();
+    });
+    // Reader loop: client credits and clock probes until it closes.
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(Frame::Credit { n })) => gate.add(u64::from(n)),
+            Ok(Some(Frame::Ping { t0, seq })) => {
+                let pong = Frame::Pong {
+                    t0,
+                    t_worker: mono_ns(),
+                    seq,
+                };
+                // Routed through the outbox: the writer thread owns
+                // the socket now.
+                if alive.load(Ordering::Acquire) {
+                    let tenant_pong = {
+                        let sched = shared.sched.lock().unwrap();
+                        sched
+                            .tenants
+                            .iter()
+                            .find(|t| Arc::ptr_eq(&t.alive, alive))
+                            .map(|t| t.outbox.clone())
+                    };
+                    if let Some(outbox) = tenant_pong {
+                        let _ = outbox.send(Out::Frame(pong));
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    // Unblock the writer before joining it; the caller prunes.
+    alive.store(false, Ordering::Release);
+    gate.close();
+    shared.wake_all();
+    let _ = writer_handle.join();
+}
+
+/// What `next_task` hands a dispatcher.
+struct Dispatch {
+    task: Task,
+    tenant: String,
+    epoch_seed: u64,
+    outbox: Sender<Out>,
+    alive: Arc<AtomicBool>,
+}
+
+/// Pick the next shard for `backend`: deficit round robin over
+/// tenants, cache-affine shards first. Blocks until work exists or
+/// the daemon stops.
+fn next_task(shared: &DaemonShared, backend: usize) -> Option<Dispatch> {
+    let mut sched = shared.sched.lock().unwrap();
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        sched.prune(&shared.tenants);
+        let eligible = |t: &Tenant| {
+            t.alive.load(Ordering::Acquire)
+                && !t.queue.is_empty()
+                && t.inflight < shared.config.max_inflight
+        };
+        if sched.tenants.iter().any(eligible) {
+            // DRR top-up: when every eligible tenant has exhausted its
+            // deficit, everyone gets another quantum × weight. Charging
+            // happens at completion, in delivered samples.
+            if !sched.tenants.iter().any(|t| eligible(t) && t.deficit > 0) {
+                for t in sched.tenants.iter_mut() {
+                    if t.alive.load(Ordering::Acquire) && !t.queue.is_empty() {
+                        t.deficit += (shared.config.quantum.max(1) * u64::from(t.weight)) as i64;
+                    }
+                }
+            }
+            // Prefer a tenant holding a shard affine to this backend;
+            // break ties (and the no-affinity case) by largest deficit,
+            // then by round-robin order so equals alternate.
+            let len = sched.tenants.len();
+            let cursor = sched.cursor;
+            let mut best: Option<(bool, i64, usize)> = None; // (affine, deficit, slot)
+            for offset in 0..len {
+                let slot = (cursor + offset) % len;
+                let t = &sched.tenants[slot];
+                if !eligible(t) || t.deficit <= 0 {
+                    continue;
+                }
+                let affine = t
+                    .queue
+                    .iter()
+                    .any(|task| sched.affinity.get(&task.shard) == Some(&backend));
+                let better = match &best {
+                    None => true,
+                    Some((b_affine, b_deficit, _)) => (affine, t.deficit) > (*b_affine, *b_deficit),
+                };
+                if better {
+                    best = Some((affine, t.deficit, slot));
+                }
+            }
+            if let Some((_, _, slot)) = best {
+                sched.cursor = (slot + 1) % len;
+                let affinity = &sched.affinity;
+                let t = &sched.tenants[slot];
+                let pick = t
+                    .queue
+                    .iter()
+                    .position(|task| affinity.get(&task.shard) == Some(&backend))
+                    .unwrap_or(0);
+                let t = &mut sched.tenants[slot];
+                let task = t.queue.remove(pick).expect("picked index in bounds");
+                t.inflight += 1;
+                return Some(Dispatch {
+                    task,
+                    tenant: t.name.clone(),
+                    epoch_seed: t.epoch_seed,
+                    outbox: t.outbox.clone(),
+                    alive: Arc::clone(&t.alive),
+                });
+            }
+        }
+        let (guard, _) = shared
+            .cv
+            .wait_timeout(sched, Duration::from_millis(100))
+            .unwrap();
+        sched = guard;
+    }
+}
+
+/// One backend's dispatcher: pull tasks, relay their batches, record
+/// completions (affinity + DRR charge) and requeue on failure.
+fn dispatcher_loop(shared: &Arc<DaemonShared>, backend: usize) {
+    let addr = shared.backends[backend].clone();
+    let mut conn: Option<(TcpStream, BufReader<TcpStream>)> = None;
+    let mut consecutive_failures = 0u32;
+    while let Some(dispatch) = next_task(shared, backend) {
+        match serve_task(shared, &addr, &mut conn, &dispatch) {
+            Ok((samples, batches)) => {
+                consecutive_failures = 0;
+                complete_task(shared, backend, &dispatch, samples, batches);
+            }
+            Err(failure) => {
+                conn = None;
+                consecutive_failures += 1;
+                // A shard the backend never started costs nothing: a
+                // refused connection is this backend's problem, not
+                // the tenant's. A shard that died mid-stream consumed
+                // backend time under this tenant's name — that is the
+                // budget the admission policy meters.
+                requeue_task(shared, &dispatch, failure.started);
+                // A dead backend should not spin through the queue;
+                // back off before asking for more work.
+                let pause = Duration::from_millis(50 * u64::from(consecutive_failures.min(20)));
+                std::thread::sleep(pause);
+            }
+        }
+    }
+}
+
+/// Why a shard task failed, and whether the backend had started it.
+struct TaskFailure {
+    #[allow(dead_code)]
+    error: ServeError,
+    /// The ASSIGN reached the backend: the failure interrupted real
+    /// work, so it charges the owning tenant's fault budget.
+    started: bool,
+}
+
+/// Run one shard on the backend and relay it to the tenant's client.
+///
+/// The relay is **shard-atomic**: batches are buffered here and only
+/// flushed to the tenant outbox once the backend's EOF arrives. The
+/// client's connection to the daemon survives a backend death, so a
+/// half-streamed shard must leave no trace — the requeued shard will
+/// be served again from scratch (bit-identically, thanks to
+/// [`crate::shard_rng_seed`]) and anything already forwarded would
+/// have doubled its samples. Returns `(samples, batches)` delivered.
+fn serve_task(
+    shared: &DaemonShared,
+    addr: &str,
+    conn: &mut Option<(TcpStream, BufReader<TcpStream>)>,
+    dispatch: &Dispatch,
+) -> Result<(u64, u64), TaskFailure> {
+    let unstarted = |error: ServeError| TaskFailure {
+        error,
+        started: false,
+    };
+    let started = |error: ServeError| TaskFailure {
+        error,
+        started: true,
+    };
+    if conn.is_none() {
+        let target: SocketAddr = addr
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut addrs| addrs.next())
+            .ok_or_else(|| unstarted(ServeError::Protocol(format!("unresolvable '{addr}'"))))?;
+        let stream = TcpStream::connect_timeout(&target, shared.config.connect_timeout)
+            .map_err(|e| unstarted(e.into()))?;
+        stream.set_nodelay(true).map_err(|e| unstarted(e.into()))?;
+        stream
+            .set_read_timeout(Some(shared.config.read_timeout))
+            .map_err(|e| unstarted(e.into()))?;
+        let mut writer = stream.try_clone().map_err(|e| unstarted(e.into()))?;
+        let mut reader = BufReader::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+                trace_id: 0,
+            },
+        )
+        .map_err(unstarted)?;
+        match read_frame(&mut reader).map_err(unstarted)? {
+            Some(Frame::Hello { version, .. }) if version >= 1 => {}
+            _ => {
+                return Err(unstarted(ServeError::Protocol(
+                    "backend handshake failed".into(),
+                )))
+            }
+        }
+        *conn = Some((writer, reader));
+    }
+    let (writer, reader) = conn.as_mut().expect("connection established above");
+    write_frame(
+        writer,
+        &Frame::Assign {
+            epoch_seed: dispatch.epoch_seed,
+            credits: shared.config.backend_credits.max(1),
+            shards: vec![dispatch.task.shard.clone()],
+            trace_id: 0,
+            parent_span: 0,
+            flags: 0,
+        },
+    )
+    .map_err(unstarted)?;
+    let mut samples = 0u64;
+    let mut buffered: Vec<(u32, u8, Vec<u8>)> = Vec::new();
+    loop {
+        let frame = read_frame(reader)
+            .map_err(started)?
+            .ok_or_else(|| started(ServeError::Protocol("backend closed mid-shard".into())))?;
+        // The v2 BATCH2 trace context is backend-local; the relay
+        // forwards plain BATCH frames under the client's shard index.
+        let (count, codec, block) = match frame {
+            Frame::Batch {
+                count,
+                codec,
+                block,
+                ..
+            }
+            | Frame::Batch2 {
+                count,
+                codec,
+                block,
+                ..
+            } => (count, codec, block),
+            Frame::Eof { .. } => break,
+            Frame::Err { message } => {
+                return Err(started(ServeError::Protocol(format!(
+                    "backend error: {message}"
+                ))))
+            }
+            _ => {
+                return Err(started(ServeError::Protocol(
+                    "unexpected frame from backend".into(),
+                )))
+            }
+        };
+        samples += u64::from(count);
+        buffered.push((count, codec, block));
+        // Re-credit the backend immediately: client backpressure is
+        // absorbed by the tenant's outbox + gate, never by stalling
+        // the shared backend.
+        write_frame(writer, &Frame::Credit { n: 1 }).map_err(started)?;
+    }
+    // EOF reached: the shard is complete — flush it atomically.
+    let batches = buffered.len() as u64;
+    if dispatch.alive.load(Ordering::Acquire) {
+        for (count, codec, block) in buffered {
+            let bytes = block.len() as u64;
+            let _ = dispatch.outbox.send(Out::Frame(Frame::Batch {
+                shard: dispatch.task.index,
+                count,
+                codec,
+                block,
+            }));
+            shared
+                .tenants
+                .delivered(&dispatch.tenant, u64::from(count), 1, bytes);
+        }
+        let _ = dispatch.outbox.send(Out::Frame(Frame::Eof {
+            shard: dispatch.task.index,
+        }));
+        shared.tenants.shard_done(&dispatch.tenant);
+    }
+    Ok((samples, batches))
+}
+
+/// Record a completed shard: affinity, DRR charge, epoch completion.
+fn complete_task(
+    shared: &DaemonShared,
+    backend: usize,
+    dispatch: &Dispatch,
+    samples: u64,
+    batches: u64,
+) {
+    let mut sched = shared.sched.lock().unwrap();
+    sched.affinity.insert(dispatch.task.shard.clone(), backend);
+    // Identity match, not name: a same-name rejoin starts a fresh
+    // incarnation whose accounting a stale dispatch must not touch.
+    if let Some(t) = sched
+        .tenants
+        .iter_mut()
+        .find(|t| Arc::ptr_eq(&t.alive, &dispatch.alive))
+    {
+        t.inflight = t.inflight.saturating_sub(1);
+        t.deficit -= samples as i64;
+        t.samples += samples;
+        t.batches += batches;
+        t.shards_done += 1;
+        if t.shards_done >= t.shards_total && t.queue.is_empty() && t.inflight == 0 {
+            if t.want_stats {
+                let entry = FleetWorkerEntry {
+                    samples: t.samples,
+                    batches: t.batches,
+                    elapsed_ns: t.started.elapsed().as_nanos() as u64,
+                    peer_version: PROTOCOL_VERSION,
+                    ..FleetWorkerEntry::default()
+                };
+                let _ = t.outbox.send(Out::Frame(Frame::Stats {
+                    entry: Box::new(entry),
+                }));
+            }
+            let _ = t.outbox.send(Out::Finish);
+            shared.tenants.finished(&t.name);
+        }
+    }
+    drop(sched);
+    shared.wake_all();
+}
+
+/// Put a failed shard back on its owner's queue and, when `charged`,
+/// debit the owner's fault budget — failing the tenant if the budget
+/// is gone. No other tenant's budget or credits are ever touched.
+///
+/// `charged` is false for failures that never reached started work
+/// (connect refused, dead handshake): those are fleet problems, not
+/// the tenant's, and requeue for free so a down backend can't drain
+/// every tenant's budget with connection errors.
+fn requeue_task(shared: &DaemonShared, dispatch: &Dispatch, charged: bool) {
+    let mut sched = shared.sched.lock().unwrap();
+    if let Some(t) = sched
+        .tenants
+        .iter_mut()
+        .find(|t| Arc::ptr_eq(&t.alive, &dispatch.alive))
+    {
+        t.inflight = t.inflight.saturating_sub(1);
+        if !charged {
+            t.queue.push_front(dispatch.task.clone());
+            drop(sched);
+            shared.wake_all();
+            return;
+        }
+        t.requeues += 1;
+        shared.tenants.requeued(&t.name, 1);
+        if t.requeues > shared.config.policy.max_requeues {
+            let _ = t.outbox.send(Out::Frame(Frame::Err {
+                message: format!(
+                    "tenant '{}' exhausted its fault budget ({} requeues)",
+                    t.name, shared.config.policy.max_requeues
+                ),
+            }));
+            t.alive.store(false, Ordering::Release);
+            t.gate.close();
+            shared.tenants.failed(&t.name);
+        } else {
+            // Front of the queue: the shard was next in line when it
+            // failed; keep its delivery order close to the original.
+            t.queue.push_front(dispatch.task.clone());
+        }
+    }
+    drop(sched);
+    shared.wake_all();
+}

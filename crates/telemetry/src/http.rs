@@ -152,6 +152,10 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
             if fleet.active {
                 body.push_str(&export::prometheus_fleet(&fleet));
             }
+            let tenants = telemetry.tenants().snapshot();
+            if tenants.active {
+                body.push_str(&crate::tenants::prometheus_tenants(&tenants));
+            }
             respond(
                 &mut stream,
                 200,
@@ -179,6 +183,20 @@ fn handle_connection(stream: TcpStream, telemetry: &Arc<Telemetry>, series: &Arc
                     "text/plain; charset=utf-8",
                     "no fleet trace recorded\n",
                 ),
+            }
+        }
+        "/tenants.json" => {
+            let tenants = telemetry.tenants().snapshot();
+            if tenants.active {
+                let body = crate::tenants::tenants_json(&tenants);
+                respond(&mut stream, 200, "application/json; charset=utf-8", &body)
+            } else {
+                respond(
+                    &mut stream,
+                    404,
+                    "text/plain; charset=utf-8",
+                    "no tenant registry active\n",
+                )
             }
         }
         "/timeseries.json" => {
@@ -309,6 +327,37 @@ mod tests {
         let (status, metrics) = get(server.addr(), "/metrics").expect("metrics");
         assert_eq!(status, 200);
         assert!(metrics.contains("presto_fleet_workers"), "{metrics}");
+        server.stop();
+    }
+
+    #[test]
+    fn tenants_endpoint_serves_the_schema_once_active() {
+        let (server, telemetry, _s) = served();
+        // No daemon session yet: the route 404s.
+        let (status, _) = get(server.addr(), "/tenants.json").expect("inactive tenants");
+        assert_eq!(status, 404);
+
+        telemetry.tenants().begin(4, 32);
+        telemetry.tenants().admitted("job-a", 2, 8);
+        telemetry.tenants().delivered("job-a", 64, 4, 4_096);
+        let (status, body) = get(server.addr(), "/tenants.json").expect("active tenants");
+        assert_eq!(status, 200);
+        let doc = crate::tenants::validate_tenants_json(&body).expect("schema-valid document");
+        assert_eq!(doc.require_f64("max_jobs"), Ok(4.0));
+
+        // The registry also shows up in the Prometheus exposition,
+        // labeled per tenant with an unlabeled back-compat sum.
+        let (status, metrics) = get(server.addr(), "/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        let series = parse_prometheus(&metrics).expect("parses");
+        assert_eq!(
+            crate::export::series_value(&series, "presto_serve_batches_total{tenant=\"job-a\"}"),
+            Ok(4.0)
+        );
+        assert_eq!(
+            crate::export::series_value(&series, "presto_serve_batches_total"),
+            Ok(4.0)
+        );
         server.stop();
     }
 

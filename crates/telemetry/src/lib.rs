@@ -35,9 +35,11 @@ pub mod export;
 pub mod fleet;
 pub mod history;
 pub mod http;
+pub mod tenants;
 pub mod timeseries;
 
 pub use fleet::{FleetProgress, FleetSnapshot, FleetWorkerEntry};
+pub use tenants::{TenantEntry, TenantsProgress, TenantsSnapshot};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -689,6 +691,7 @@ pub struct Telemetry {
     search: Arc<SearchProgress>,
     serve: Arc<ServeProgress>,
     fleet: Arc<FleetProgress>,
+    tenants: Arc<TenantsProgress>,
 }
 
 impl Telemetry {
@@ -701,6 +704,7 @@ impl Telemetry {
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
             fleet: Arc::new(FleetProgress::default()),
+            tenants: Arc::new(TenantsProgress::default()),
         })
     }
 
@@ -714,6 +718,7 @@ impl Telemetry {
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
             fleet: Arc::new(FleetProgress::default()),
+            tenants: Arc::new(TenantsProgress::default()),
         })
     }
 
@@ -727,6 +732,7 @@ impl Telemetry {
             search: Arc::new(SearchProgress::default()),
             serve: Arc::new(ServeProgress::default()),
             fleet: Arc::new(FleetProgress::default()),
+            tenants: Arc::new(TenantsProgress::default()),
         })
     }
 
@@ -790,6 +796,14 @@ impl Telemetry {
     /// serve client. `/fleet.json` and `presto trace --merge` read it.
     pub fn fleet(&self) -> Arc<FleetProgress> {
         Arc::clone(&self.fleet)
+    }
+
+    /// The multi-tenant registry attached to this handle: admission
+    /// decisions, per-tenant delivery counters and the fair-share
+    /// window (see [`tenants`]). `fleetd` writes to it; `/tenants.json`
+    /// and the labeled `/metrics` series read it.
+    pub fn tenants(&self) -> Arc<TenantsProgress> {
+        Arc::clone(&self.tenants)
     }
 }
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Write the serve fan-out baseline to BENCH_serve_fanout.json: one
+# presto.telemetry.v1 document (mode "serve") for a train-client epoch
+# fanned out over two local serve-workers. This is the single-job
+# reference the multi-tenant fleetd path is compared against — record
+# it before and after scheduler changes so relay/admission overhead
+# shows up as an SPS delta in `presto compare` instead of folklore.
+#
+#   presto compare BENCH_serve_fanout.json .presto/runs/run-NNNN.json --mode serve
+#
+# Usage: scripts/bench_serve.sh [samples] [workers]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+samples="${1:-64}"
+workers="${2:-2}"
+out=BENCH_serve_fanout.json
+
+cargo build --release -q -p presto-cli
+bin=target/release/presto
+
+pids=()
+logs=()
+addrs=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    for log in "${logs[@]:-}"; do rm -f "$log"; done
+}
+trap cleanup EXIT
+
+for i in $(seq 1 "$workers"); do
+    log="$(mktemp)"
+    logs+=("$log")
+    "$bin" serve-worker CV --bind 127.0.0.1:0 --samples "$samples" \
+        --run-secs 120 > "$log" &
+    pids+=($!)
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(grep -o 'listening on [0-9.:]*' "$log" | head -1 | awk '{print $3}' || true)"
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "FAIL: worker $i never printed its bound address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    addrs+=("$addr")
+done
+
+joined="$(IFS=,; echo "${addrs[*]}")"
+# --json keeps stdout pure (the document only); --no-history because
+# the baseline file itself is the record here.
+"$bin" train-client CV --samples "$samples" --workers "$joined" \
+    --no-history --json > "$out"
+
+echo "wrote $out"
+grep -q '"mode": "serve"' "$out" || {
+    echo "FAIL: $out is not a serve-mode document" >&2
+    exit 1
+}
+"$bin" validate "$out" --format json
+grep -o '"samples_per_second": [0-9.]*' "$out"
+
+# Absolute throughput floor: PRESTO_SERVE_SPS_GATE (samples/second)
+# fails the run outright when the serve path falls below it, the same
+# contract bench_realrun.sh enforces with PRESTO_REALRUN_SPS_GATE.
+if [ -n "${PRESTO_SERVE_SPS_GATE:-}" ]; then
+    sps="$(grep -o '"samples_per_second": [0-9.]*' "$out" | head -1 | grep -o '[0-9.]*$')"
+    if awk -v s="$sps" -v g="$PRESTO_SERVE_SPS_GATE" 'BEGIN { exit !(s < g) }'; then
+        echo "FAIL: $sps samples/s is below the gate $PRESTO_SERVE_SPS_GATE" >&2
+        exit 1
+    fi
+    echo "throughput gate: $sps samples/s >= $PRESTO_SERVE_SPS_GATE"
+fi

@@ -1,0 +1,518 @@
+//! Integration tests of the multi-tenant fleet daemon
+//! ([`presto_pipeline::tenant`]): admission control (quota, capacity,
+//! latest-wins rejoin), weighted fair sharing with per-tenant bitwise
+//! parity, seed-matrixed backend-death requeues, and fault-budget
+//! isolation between tenants.
+
+use presto_datasets::generators;
+use presto_datasets::steps;
+use presto_formats::image::jpg;
+use presto_pipeline::real::{Materialized, MemStore, RealExecutor};
+use presto_pipeline::serve::{
+    read_frame, serve_epoch, write_frame, Frame, MultisetChecksum, ServeClientConfig, ServeWorker,
+    ServeWorkerConfig, TenantSpec, PROTOCOL_VERSION,
+};
+use presto_pipeline::tenant::{AdmissionPolicy, FleetDaemon, FleetDaemonConfig};
+use presto_pipeline::{Pipeline, Resilience, Sample, Strategy, Telemetry};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Fault seeds under test; CI sweeps one at a time via `FAULT_SEED`.
+fn fault_seeds() -> Vec<u64> {
+    match std::env::var("FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(seed) => vec![seed],
+        None => vec![1, 2, 3],
+    }
+}
+
+/// The CV pipeline with its random crop kept online (sample bytes
+/// depend on the per-shard RNG), materialized once per test.
+fn cv_workload(samples: u64, shards: usize) -> (Pipeline, Materialized, Arc<MemStore>) {
+    let pipeline = steps::executable_cv_pipeline(64, 56);
+    let source: Vec<Sample> = (0..samples)
+        .map(|key| {
+            let img = generators::natural_image(96, 80, key);
+            Sample::from_bytes(key, jpg::encode(&img, 85))
+        })
+        .collect();
+    let store = Arc::new(MemStore::new());
+    let exec = RealExecutor::new(4);
+    let strategy = Strategy::at_split(2).with_threads(4).with_shards(shards);
+    let (dataset, _) = exec
+        .materialize(&pipeline, &strategy, &source, store.as_ref())
+        .unwrap();
+    (pipeline, dataset, store)
+}
+
+/// Single-process reference epoch: the multiset every tenant must
+/// receive exactly, regardless of fleet placement.
+fn reference_checksum(
+    pipeline: &Pipeline,
+    dataset: &Materialized,
+    store: &MemStore,
+    epoch_seed: u64,
+) -> MultisetChecksum {
+    let checksum = std::sync::Mutex::new(MultisetChecksum::default());
+    let exec = RealExecutor::new(3);
+    let stats = exec
+        .epoch(pipeline, dataset, store, None, epoch_seed, |sample| {
+            checksum.lock().unwrap().add(sample)
+        })
+        .unwrap();
+    let checksum = checksum.into_inner().unwrap();
+    assert_eq!(stats.samples, checksum.count);
+    checksum
+}
+
+fn spawn_worker(
+    pipeline: &Pipeline,
+    dataset: &Materialized,
+    store: &Arc<MemStore>,
+    config: ServeWorkerConfig,
+) -> ServeWorker {
+    ServeWorker::spawn(
+        "127.0.0.1:0",
+        pipeline,
+        dataset,
+        store.clone() as Arc<dyn presto_pipeline::BlobStore>,
+        Resilience::default(),
+        None,
+        config,
+    )
+    .unwrap()
+}
+
+fn tenant_config(name: &str, weight: u32) -> ServeClientConfig {
+    ServeClientConfig {
+        tenant: Some(TenantSpec::new(name, weight)),
+        ..ServeClientConfig::default()
+    }
+}
+
+/// Speak the wire protocol by hand up through REGISTER and return the
+/// open connection plus the daemon's admission verdict.
+fn raw_register(addr: SocketAddr, name: &str, shards: u32) -> (TcpStream, Frame) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+            trace_id: 0,
+        },
+    )
+    .unwrap();
+    match read_frame(&mut reader).unwrap() {
+        Some(Frame::Hello { version, .. }) => assert!(version >= 2, "fleetd must speak v2"),
+        other => panic!("expected HELLO from fleetd, got {other:?}"),
+    }
+    write_frame(
+        &mut writer,
+        &Frame::Register {
+            tenant: name.to_string(),
+            weight: 1,
+            shards,
+        },
+    )
+    .unwrap();
+    let verdict = read_frame(&mut reader).unwrap().expect("admission verdict");
+    (stream, verdict)
+}
+
+#[test]
+fn admission_enforces_quota_capacity_and_latest_wins_rejoin() {
+    let (pipeline, dataset, store) = cv_workload(16, 8);
+    let worker = spawn_worker(&pipeline, &dataset, &store, ServeWorkerConfig::default());
+    let backend = vec![worker.addr().to_string()];
+
+    // Shard quota: an 8-shard assignment against a 4-shard quota is
+    // rejected at REGISTER, before any shard is scheduled.
+    {
+        let daemon = FleetDaemon::spawn(
+            "127.0.0.1:0",
+            &backend,
+            FleetDaemonConfig {
+                policy: AdmissionPolicy {
+                    shard_quota: 4,
+                    ..AdmissionPolicy::default()
+                },
+                ..FleetDaemonConfig::default()
+            },
+            None,
+        )
+        .unwrap();
+        let err = serve_epoch(
+            &[daemon.addr().to_string()],
+            &dataset.shards,
+            7,
+            &tenant_config("greedy", 1),
+            None,
+            |_| {},
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rejected"), "not an admission error: {msg}");
+        assert!(msg.contains("over quota 4"), "wrong reason: {msg}");
+    }
+
+    // Capacity: with max_jobs 1 a second tenant is rejected while the
+    // first merely *occupies* its slot (registered, never assigned) —
+    // admission must count admitted jobs, not only assigned ones.
+    let telemetry = Arc::new(Telemetry::new());
+    let daemon = FleetDaemon::spawn(
+        "127.0.0.1:0",
+        &backend,
+        FleetDaemonConfig {
+            policy: AdmissionPolicy {
+                max_jobs: 1,
+                ..AdmissionPolicy::default()
+            },
+            ..FleetDaemonConfig::default()
+        },
+        Some(Arc::clone(&telemetry)),
+    )
+    .unwrap();
+    let (hog, verdict) = raw_register(daemon.addr(), "hog", 2);
+    assert!(
+        matches!(&verdict, Frame::Admit { tenant, .. } if tenant == "hog"),
+        "hog should be admitted, got {verdict:?}"
+    );
+    let err = serve_epoch(
+        &[daemon.addr().to_string()],
+        &dataset.shards,
+        7,
+        &tenant_config("late", 1),
+        None,
+        |_| {},
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("max concurrent jobs (1) reached"),
+        "wrong reason: {msg}"
+    );
+
+    // Rejoin: a same-name REGISTER is a reconnect, not a duplicate —
+    // latest wins and is admitted even at capacity, so a half-dead
+    // connection can never lock its own tenant out.
+    let (hog2, verdict) = raw_register(daemon.addr(), "hog", 2);
+    assert!(
+        matches!(&verdict, Frame::Admit { tenant, .. } if tenant == "hog"),
+        "rejoining hog should evict its stale self, got {verdict:?}"
+    );
+    drop(hog);
+    drop(hog2);
+    // Both hog connections are gone; once the daemon reaps them the
+    // slot frees up and a real epoch runs end to end.
+    let reference = reference_checksum(&pipeline, &dataset, &store, 7);
+    let mut report = None;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(100));
+        match serve_epoch(
+            &[daemon.addr().to_string()],
+            &dataset.shards,
+            7,
+            &tenant_config("late", 1),
+            None,
+            |_| {},
+        ) {
+            Ok(r) => {
+                report = Some(r);
+                break;
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(msg.contains("max concurrent jobs"), "unexpected: {msg}");
+            }
+        }
+    }
+    let report = report.expect("slot never freed after both hog connections closed");
+    assert_eq!(report.samples, 16);
+    assert_eq!(report.checksum, reference);
+    let snapshot = telemetry.tenants().snapshot();
+    assert!(snapshot.rejected >= 1, "late's rejection should be counted");
+    let late = snapshot
+        .tenants
+        .iter()
+        .find(|t| t.name == "late")
+        .expect("late in registry");
+    assert_eq!(late.state.label(), "done");
+    assert_eq!(late.samples, 16);
+    assert_eq!(late.shards_done, 8);
+}
+
+#[test]
+fn weighted_tenants_get_proportional_service_with_bitwise_parity() {
+    let (pipeline, dataset, store) = cv_workload(32, 8);
+    // Paced backends so scheduling (not raw decode speed) dominates
+    // the epoch and the DRR window sees many interleaved batches.
+    let worker_config = ServeWorkerConfig {
+        batch_samples: 2,
+        batch_pace: Duration::from_millis(2),
+        ..ServeWorkerConfig::default()
+    };
+    let workers: Vec<ServeWorker> = (0..2)
+        .map(|_| spawn_worker(&pipeline, &dataset, &store, worker_config.clone()))
+        .collect();
+    let backends: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let telemetry = Arc::new(Telemetry::new());
+    let daemon = FleetDaemon::spawn(
+        "127.0.0.1:0",
+        &backends,
+        FleetDaemonConfig {
+            quantum: 8,
+            ..FleetDaemonConfig::default()
+        },
+        Some(Arc::clone(&telemetry)),
+    )
+    .unwrap();
+    let fleet = vec![daemon.addr().to_string()];
+
+    // Three jobs, three seeds, weights 1/2/4. Each must get *its own*
+    // single-process multiset back, bit for bit, no matter how the
+    // daemon interleaves them across the two backends.
+    let jobs: Vec<(&str, u32, u64)> = vec![("small", 1, 21), ("medium", 2, 22), ("large", 4, 23)];
+    let references: Vec<MultisetChecksum> = jobs
+        .iter()
+        .map(|(_, _, seed)| reference_checksum(&pipeline, &dataset, &store, *seed))
+        .collect();
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(name, weight, seed)| {
+                let fleet = &fleet;
+                let dataset = &dataset;
+                scope.spawn(move || {
+                    serve_epoch(
+                        fleet,
+                        &dataset.shards,
+                        *seed,
+                        &tenant_config(name, *weight),
+                        None,
+                        |_| {},
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (report, reference) in reports.iter().zip(&references) {
+        assert_eq!(report.samples, 32);
+        assert_eq!(&report.checksum, reference);
+    }
+    // Distinct seeds produced distinct multisets (the parity above is
+    // per-tenant, not one shared stream).
+    assert_ne!(references[0], references[1]);
+    assert_ne!(references[1], references[2]);
+
+    let snapshot = telemetry.tenants().snapshot();
+    assert!(
+        snapshot.window_closed,
+        "three concurrent tenants must open and close a fairness window"
+    );
+    let entry = |name: &str| {
+        snapshot
+            .tenants
+            .iter()
+            .find(|t| t.name == name)
+            .unwrap_or_else(|| panic!("{name} in registry"))
+            .clone()
+    };
+    let (small, large) = (entry("small"), entry("large"));
+    assert_eq!(small.state.label(), "done");
+    assert_eq!(large.state.label(), "done");
+    // DRR grants the weight-4 job 4x the scheduling headroom of the
+    // weight-1 job; inside the all-active window that must show up as
+    // at least as many delivered samples.
+    assert!(
+        large.window_samples >= small.window_samples,
+        "weight 4 ({}) out-served by weight 1 ({})",
+        large.window_samples,
+        small.window_samples
+    );
+    assert!(snapshot.fair_share("large").unwrap() > snapshot.fair_share("small").unwrap());
+}
+
+#[test]
+fn backend_death_requeues_only_the_owning_tenants_shards() {
+    let (pipeline, dataset, store) = cv_workload(32, 8);
+    for seed in fault_seeds() {
+        let seed_a = 300 + seed;
+        let seed_b = 400 + seed;
+        let reference_a = reference_checksum(&pipeline, &dataset, &store, seed_a);
+        let reference_b = reference_checksum(&pipeline, &dataset, &store, seed_b);
+        // The victim backend crashes after a seed-dependent number of
+        // single-sample batches — always mid-shard, before that
+        // shard's EOF — and stops accepting; the healthy backend must
+        // absorb the requeued work.
+        let victim = spawn_worker(
+            &pipeline,
+            &dataset,
+            &store,
+            ServeWorkerConfig {
+                batch_samples: 1,
+                fail_after_batches: Some(seed + 1),
+                ..ServeWorkerConfig::default()
+            },
+        );
+        let healthy = spawn_worker(
+            &pipeline,
+            &dataset,
+            &store,
+            ServeWorkerConfig {
+                batch_samples: 1,
+                ..ServeWorkerConfig::default()
+            },
+        );
+        let backends = vec![victim.addr().to_string(), healthy.addr().to_string()];
+        let telemetry = Arc::new(Telemetry::new());
+        let daemon = FleetDaemon::spawn("127.0.0.1:0", &backends, FleetDaemonConfig::default(), {
+            Some(Arc::clone(&telemetry))
+        })
+        .unwrap();
+        let fleet = vec![daemon.addr().to_string()];
+        let (report_a, report_b) = std::thread::scope(|scope| {
+            let fleet_a = &fleet;
+            let dataset_a = &dataset;
+            let a = scope.spawn(move || {
+                serve_epoch(
+                    fleet_a,
+                    &dataset_a.shards,
+                    seed_a,
+                    &tenant_config("alpha", 1),
+                    None,
+                    |_| {},
+                )
+                .unwrap()
+            });
+            let fleet_b = &fleet;
+            let dataset_b = &dataset;
+            let b = scope.spawn(move || {
+                serve_epoch(
+                    fleet_b,
+                    &dataset_b.shards,
+                    seed_b,
+                    &tenant_config("beta", 2),
+                    None,
+                    |_| {},
+                )
+                .unwrap()
+            });
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        // Bitwise parity per tenant proves the requeued shard landed
+        // back in *its* tenant's stream exactly once: a duplicated or
+        // cross-delivered shard breaks the multiset.
+        assert_eq!(report_a.samples, 32, "seed {seed}");
+        assert_eq!(report_a.checksum, reference_a, "seed {seed}");
+        assert_eq!(report_b.samples, 32, "seed {seed}");
+        assert_eq!(report_b.checksum, reference_b, "seed {seed}");
+        let snapshot = telemetry.tenants().snapshot();
+        let requeues: u64 = snapshot.tenants.iter().map(|t| t.requeues).sum();
+        assert!(
+            requeues >= 1,
+            "seed {seed}: the crash interrupts a started shard, so someone was charged"
+        );
+        for t in &snapshot.tenants {
+            assert_eq!(t.state.label(), "done", "seed {seed}: tenant {}", t.name);
+            assert_eq!(t.shards_done, 8, "seed {seed}: tenant {}", t.name);
+        }
+    }
+}
+
+#[test]
+fn fault_budget_exhaustion_fails_one_tenant_and_spares_the_next() {
+    let (pipeline, dataset, store) = cv_workload(16, 4);
+    // Zero fault budget: the first charged requeue fails the tenant.
+    let victim = spawn_worker(
+        &pipeline,
+        &dataset,
+        &store,
+        ServeWorkerConfig {
+            batch_samples: 1,
+            fail_after_batches: Some(1),
+            ..ServeWorkerConfig::default()
+        },
+    );
+    let healthy = spawn_worker(
+        &pipeline,
+        &dataset,
+        &store,
+        ServeWorkerConfig {
+            batch_samples: 1,
+            ..ServeWorkerConfig::default()
+        },
+    );
+    let backends = vec![victim.addr().to_string(), healthy.addr().to_string()];
+    let telemetry = Arc::new(Telemetry::new());
+    let daemon = FleetDaemon::spawn(
+        "127.0.0.1:0",
+        &backends,
+        FleetDaemonConfig {
+            policy: AdmissionPolicy {
+                max_requeues: 0,
+                ..AdmissionPolicy::default()
+            },
+            ..FleetDaemonConfig::default()
+        },
+        Some(Arc::clone(&telemetry)),
+    )
+    .unwrap();
+    let fleet = vec![daemon.addr().to_string()];
+
+    // Tenant alpha runs alone, so the crashing backend's mid-shard
+    // death is charged to alpha — and with a zero budget that is
+    // fatal for alpha's epoch.
+    let err = serve_epoch(
+        &fleet,
+        &dataset.shards,
+        51,
+        &tenant_config("alpha", 1),
+        None,
+        |_| {},
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("exhausted its fault budget (0 requeues)"),
+        "unexpected: {msg}"
+    );
+
+    // Tenant beta arrives after the crash. The dead backend now only
+    // produces *connection* failures, which requeue for free — they
+    // are a fleet problem, not beta's — so beta completes on the
+    // healthy backend with a clean budget and exact parity.
+    let reference = reference_checksum(&pipeline, &dataset, &store, 52);
+    let report = serve_epoch(
+        &fleet,
+        &dataset.shards,
+        52,
+        &tenant_config("beta", 1),
+        None,
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(report.samples, 16);
+    assert_eq!(report.checksum, reference);
+
+    let snapshot = telemetry.tenants().snapshot();
+    let alpha = snapshot.tenants.iter().find(|t| t.name == "alpha").unwrap();
+    let beta = snapshot.tenants.iter().find(|t| t.name == "beta").unwrap();
+    assert_eq!(alpha.state.label(), "failed");
+    assert_eq!(alpha.requeues, 1, "exactly the one charged requeue");
+    assert_eq!(beta.state.label(), "done");
+    assert_eq!(
+        beta.requeues, 0,
+        "alpha's crash and the dead backend must not consume beta's budget"
+    );
+}
